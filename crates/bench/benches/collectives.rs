@@ -1,0 +1,50 @@
+//! Criterion benches for end-to-end collective planning + execution on the
+//! simulator, Blink vs the NCCL baseline (the computational core of
+//! Figures 15-17).
+use blink_bench::measure::{blink_collective, mb, nccl_collective};
+use blink_core::CollectiveKind;
+use blink_topology::presets::dgx1v;
+use blink_topology::GpuId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let machine = dgx1v();
+    let full: Vec<GpuId> = (0..8).map(GpuId).collect();
+    let fragmented = vec![GpuId(1), GpuId(4), GpuId(5), GpuId(6)];
+    group.bench_function("blink_broadcast_8gpu_64mb", |b| {
+        b.iter(|| {
+            blink_collective(
+                &machine,
+                &full,
+                CollectiveKind::Broadcast { root: GpuId(0) },
+                mb(64),
+            )
+        })
+    });
+    group.bench_function("nccl_broadcast_8gpu_64mb", |b| {
+        b.iter(|| {
+            nccl_collective(
+                &machine,
+                &full,
+                CollectiveKind::Broadcast { root: GpuId(0) },
+                mb(64),
+            )
+        })
+    });
+    group.bench_function("blink_allreduce_frag4gpu_64mb", |b| {
+        b.iter(|| blink_collective(&machine, &fragmented, CollectiveKind::AllReduce, mb(64)))
+    });
+    group.bench_function("nccl_allreduce_frag4gpu_64mb", |b| {
+        b.iter(|| nccl_collective(&machine, &fragmented, CollectiveKind::AllReduce, mb(64)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

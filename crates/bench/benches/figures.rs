@@ -1,0 +1,29 @@
+//! Criterion benches that exercise the quick figure harnesses end-to-end
+//! (the heavyweight sweeps are run through their dedicated binaries instead).
+use blink_bench::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("fig02_broadcast_motivation", |b| {
+        b.iter(figures::fig02_broadcast_motivation)
+    });
+    group.bench_function("fig03_scheduler_allocations_2k_jobs", |b| {
+        b.iter(|| figures::fig03_scheduler_allocations(2_000))
+    });
+    group.bench_function("tab_tree_minimization", |b| {
+        b.iter(figures::tab_tree_minimization)
+    });
+    group.bench_function("fig22b_bandwidth_projection", |b| {
+        b.iter(figures::fig22b_bandwidth_projection)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

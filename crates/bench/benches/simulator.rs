@@ -1,0 +1,38 @@
+//! Criterion benches for the discrete-event simulator itself: the micro
+//! benchmark patterns of Figures 7/8/24/26.
+use blink_sim::{patterns, Simulator};
+use blink_topology::presets::dgx1v;
+use blink_topology::GpuId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn chain(n: usize) -> Vec<GpuId> {
+    [0usize, 1, 2, 3, 7, 6, 5, 4][..n].iter().map(|&i| GpuId(i)).collect()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let sim = Simulator::with_defaults(dgx1v());
+    let bytes = 100 * 1024 * 1024;
+    group.bench_function("chain_forward_8gpu_100mb", |b| {
+        let prog = patterns::chain_forward(&chain(8), bytes, 32).unwrap();
+        b.iter(|| sim.run(&prog).unwrap())
+    });
+    group.bench_function("chain_reduce_forward_8gpu_100mb", |b| {
+        let prog = patterns::chain_reduce_forward(&chain(8), bytes, 32).unwrap();
+        b.iter(|| sim.run(&prog).unwrap())
+    });
+    group.bench_function("mimo_100mb", |b| {
+        let prog = patterns::mimo((GpuId(1), GpuId(2)), GpuId(3), (GpuId(7), GpuId(0)), bytes, 32)
+            .unwrap();
+        b.iter(|| sim.run(&prog).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

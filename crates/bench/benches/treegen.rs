@@ -1,0 +1,45 @@
+//! Criterion benches for the TreeGen stage: MWU packing, tree minimisation and
+//! the max-flow certificate on the DGX presets.
+use blink_graph::{
+    minimize_trees, optimal_broadcast_rate, pack_spanning_trees, DiGraph, MinimizeOptions,
+    PackingOptions,
+};
+use blink_topology::presets::{dgx1p, dgx1v};
+use blink_topology::GpuId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn nvlink_graph_v100() -> DiGraph {
+    DiGraph::from_topology_filtered(&dgx1v(), |l| l.kind.is_nvlink())
+}
+
+fn bench_treegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treegen");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let g = nvlink_graph_v100();
+    let gp = DiGraph::from_topology_filtered(&dgx1p(), |l| l.kind.is_nvlink());
+    let opts = PackingOptions {
+        epsilon: 0.08,
+        ..Default::default()
+    };
+    group.bench_function("mwu_packing_dgx1v_8gpu", |b| {
+        b.iter(|| pack_spanning_trees(&g, GpuId(0), &opts).unwrap())
+    });
+    group.bench_function("mwu_packing_dgx1p_8gpu", |b| {
+        b.iter(|| pack_spanning_trees(&gp, GpuId(0), &opts).unwrap())
+    });
+    let packing = pack_spanning_trees(&g, GpuId(0), &opts).unwrap();
+    group.bench_function("minimize_trees_dgx1v_8gpu", |b| {
+        b.iter(|| minimize_trees(&g, &packing, &MinimizeOptions::default()))
+    });
+    group.bench_function("maxflow_certificate_dgx1v", |b| {
+        b.iter(|| optimal_broadcast_rate(&g, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_treegen);
+criterion_main!(benches);

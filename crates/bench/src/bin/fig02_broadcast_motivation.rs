@@ -1,0 +1,6 @@
+//! Figure 2: Broadcast throughput from GPU 0 on a DGX-1P, NCCL vs Blink,
+//! for a fully connected triple (0,1,3) and a partially connected one (0,1,4).
+fn main() {
+    let rows = blink_bench::figures::fig02_broadcast_motivation();
+    blink_bench::print_rows("Figure 2: Broadcast motivation (DGX-1P, 500 MB)", &rows);
+}

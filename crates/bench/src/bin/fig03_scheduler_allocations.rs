@@ -1,0 +1,6 @@
+//! Figure 3: distribution of per-server GPU allocation sizes across a
+//! synthetic 40,000-job multi-tenant workload.
+fn main() {
+    let rows = blink_bench::figures::fig03_scheduler_allocations(40_000);
+    blink_bench::print_rows("Figure 3: per-server allocation sizes (40,000 jobs)", &rows);
+}

@@ -1,0 +1,6 @@
+//! Figure 5: best/worst-case communication share of iteration time when
+//! training the four paper CNNs with the NCCL baseline on DGX-1P and DGX-1V.
+fn main() {
+    let rows = blink_bench::figures::fig05_comm_overhead();
+    blink_bench::print_rows("Figure 5: communication overhead with NCCL", &rows);
+}

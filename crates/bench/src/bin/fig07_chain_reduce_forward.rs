@@ -1,0 +1,5 @@
+//! Figure 7: reduce+forward throughput over a chain of 3-8 V100 GPUs.
+fn main() {
+    let rows = blink_bench::figures::fig07_chain_reduce_forward();
+    blink_bench::print_rows("Figure 7: chain reduce+forward throughput", &rows);
+}

@@ -1,0 +1,5 @@
+//! Figure 8(c): MIMO and MCA multi-transfer micro-benchmark throughput.
+fn main() {
+    let rows = blink_bench::figures::fig08_mimo_mca();
+    blink_bench::print_rows("Figure 8: MIMO / MCA throughput", &rows);
+}

@@ -1,0 +1,5 @@
+//! Figure 12: the MIAD automatic chunk-size selection trace.
+fn main() {
+    let rows = blink_bench::figures::fig12_chunk_autotune(8);
+    blink_bench::print_rows("Figure 12: automatic chunk size selection", &rows);
+}

@@ -1,0 +1,6 @@
+//! Figure 14: theoretical speedup of packing spanning trees vs rings over all
+//! unique DGX-1P / DGX-1V allocations.
+fn main() {
+    let rows = blink_bench::figures::fig14_theoretical_speedup();
+    blink_bench::print_rows("Figure 14: theoretical tree-packing speedups", &rows);
+}

@@ -1,0 +1,6 @@
+//! Figure 15: Broadcast throughput, Blink vs NCCL, every unique DGX-1V
+//! allocation (3-8 GPUs, 500 MB).
+fn main() {
+    let rows = blink_bench::figures::fig15_broadcast_dgx1v();
+    blink_bench::print_rows("Figure 15: Broadcast on DGX-1V", &rows);
+}

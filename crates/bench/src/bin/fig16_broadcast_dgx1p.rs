@@ -1,0 +1,6 @@
+//! Figure 16: Broadcast throughput, Blink vs NCCL, every unique DGX-1P
+//! allocation (3-8 GPUs, 500 MB).
+fn main() {
+    let rows = blink_bench::figures::fig16_broadcast_dgx1p();
+    blink_bench::print_rows("Figure 16: Broadcast on DGX-1P", &rows);
+}

@@ -1,0 +1,6 @@
+//! Figure 17: AllReduce throughput, Blink vs NCCL, every unique DGX-1V
+//! allocation (3-8 GPUs, 500 MB).
+fn main() {
+    let rows = blink_bench::figures::fig17_allreduce_dgx1v();
+    blink_bench::print_rows("Figure 17: AllReduce on DGX-1V", &rows);
+}

@@ -1,0 +1,6 @@
+//! Figure 18: end-to-end training-time and communication-time reduction from
+//! switching the collective backend from NCCL to Blink on a DGX-1V.
+fn main() {
+    let rows = blink_bench::figures::fig18_end_to_end_dgx1v();
+    blink_bench::print_rows("Figure 18: end-to-end training on a DGX-1V", &rows);
+}

@@ -1,0 +1,5 @@
+//! Figure 19: AllReduce throughput vs data size on a 16-GPU DGX-2.
+fn main() {
+    let rows = blink_bench::figures::fig19_20_dgx2_allreduce(1024);
+    blink_bench::print_rows("Figure 19: DGX-2 AllReduce throughput (1 KB - 1 GB)", &rows);
+}

@@ -1,0 +1,5 @@
+//! Figure 20: AllReduce latency vs data size on a 16-GPU DGX-2.
+fn main() {
+    let rows = blink_bench::figures::fig19_20_dgx2_allreduce(1024);
+    blink_bench::print_rows("Figure 20: DGX-2 AllReduce latency (1 KB - 1 GB)", &rows);
+}

@@ -1,0 +1,5 @@
+//! Figure 21: hybrid PCIe+NVLink vs NVLink-only broadcast throughput.
+fn main() {
+    let rows = blink_bench::figures::fig21_hybrid_transfers();
+    blink_bench::print_rows("Figure 21: hybrid vs NVLink-only broadcast", &rows);
+}

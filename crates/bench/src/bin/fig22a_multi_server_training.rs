@@ -1,0 +1,5 @@
+//! Figure 22(a): multi-server training throughput (2 DGX-1Vs, 3+5 GPUs).
+fn main() {
+    let rows = blink_bench::figures::fig22a_multi_server_training();
+    blink_bench::print_rows("Figure 22(a): multi-server training throughput", &rows);
+}

@@ -1,0 +1,5 @@
+//! Figure 22(b): AllReduce throughput vs cross-machine bandwidth projection.
+fn main() {
+    let rows = blink_bench::figures::fig22b_bandwidth_projection();
+    blink_bench::print_rows("Figure 22(b): cross-machine bandwidth projection", &rows);
+}

@@ -1,0 +1,6 @@
+//! Figure 24 (appendix): chain forward / reduce+forward / reduce-broadcast
+//! depth tests.
+fn main() {
+    let rows = blink_bench::figures::fig24_depth_tests();
+    blink_bench::print_rows("Figure 24: chain depth tests", &rows);
+}

@@ -1,0 +1,5 @@
+//! Figure 26 (appendix): fan-in / fan-out breadth tests.
+fn main() {
+    let rows = blink_bench::figures::fig26_breadth_tests();
+    blink_bench::print_rows("Figure 26: fan-in / fan-out breadth tests", &rows);
+}

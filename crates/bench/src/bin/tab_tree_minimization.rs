@@ -1,0 +1,6 @@
+//! Section 3.2.1 case study: MWU tree count vs the minimised tree set on the
+//! full DGX-1V allocation.
+fn main() {
+    let row = blink_bench::figures::tab_tree_minimization();
+    blink_bench::print_rows("Section 3.2.1: tree minimisation", &[row]);
+}

@@ -1,0 +1,156 @@
+//! Automatic chunk-size selection (Section 4.2.1, Figure 12).
+//!
+//! The optimal chunk size trades pipeline latency (smaller chunks let a node
+//! start forwarding earlier) against per-chunk CUDA launch overhead (each
+//! chunk costs at least three CUDA commands). Because training jobs run the
+//! same collective thousands of times, Blink tunes the chunk size online with
+//! a multiplicative-increase / additive-decrease (MIAD) controller: grow the
+//! chunk size geometrically while throughput keeps improving, back off
+//! additively once it regresses, and settle into a steady state.
+
+use serde::{Deserialize, Serialize};
+
+/// MIAD chunk-size controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChunkAutotuner {
+    current: u64,
+    best_throughput: f64,
+    growth_factor: f64,
+    decrease_bytes: u64,
+    min_chunk: u64,
+    max_chunk: u64,
+    settled: bool,
+    history: Vec<(u64, f64)>,
+}
+
+impl ChunkAutotuner {
+    /// Creates a tuner starting from `initial_chunk` bytes.
+    ///
+    /// The paper's example (Figure 12) starts at 1 MB and doubles each
+    /// iteration until throughput stops improving.
+    pub fn new(initial_chunk: u64) -> Self {
+        ChunkAutotuner {
+            current: initial_chunk.max(64 * 1024),
+            best_throughput: 0.0,
+            growth_factor: 2.0,
+            decrease_bytes: 512 * 1024,
+            min_chunk: 64 * 1024,
+            max_chunk: 64 << 20,
+            settled: false,
+            history: Vec::new(),
+        }
+    }
+
+    /// Creates a tuner with the paper's defaults (1 MB initial chunk, 2×
+    /// growth).
+    pub fn with_defaults() -> Self {
+        Self::new(1 << 20)
+    }
+
+    /// The chunk size to use for the next iteration.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.current
+    }
+
+    /// Whether the controller has reached steady state.
+    pub fn is_settled(&self) -> bool {
+        self.settled
+    }
+
+    /// The `(chunk size, throughput)` trace so far — this is exactly the data
+    /// plotted in Figure 12.
+    pub fn history(&self) -> &[(u64, f64)] {
+        &self.history
+    }
+
+    /// Reports the throughput (GB/s) observed with the current chunk size and
+    /// advances the controller.
+    pub fn observe(&mut self, throughput_gbps: f64) {
+        self.history.push((self.current, throughput_gbps));
+        if self.settled {
+            return;
+        }
+        if throughput_gbps > self.best_throughput * 1.01 {
+            // still improving: multiplicative increase
+            self.best_throughput = throughput_gbps;
+            self.current = ((self.current as f64 * self.growth_factor) as u64).min(self.max_chunk);
+            if self.current == self.max_chunk {
+                self.settled = true;
+            }
+        } else if throughput_gbps < self.best_throughput * 0.99 {
+            // regression: additive decrease, then settle
+            self.current = self
+                .current
+                .saturating_sub(self.decrease_bytes)
+                .max(self.min_chunk);
+            self.settled = true;
+        } else {
+            // within noise of the best: stop here
+            self.settled = true;
+        }
+    }
+
+    /// Resets the controller (e.g. when the buffer size changes drastically).
+    pub fn reset(&mut self, initial_chunk: u64) {
+        *self = ChunkAutotuner::new(initial_chunk);
+    }
+}
+
+impl Default for ChunkAutotuner {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_while_throughput_improves() {
+        let mut t = ChunkAutotuner::new(1 << 20);
+        assert_eq!(t.chunk_bytes(), 1 << 20);
+        t.observe(40.0);
+        assert_eq!(t.chunk_bytes(), 2 << 20);
+        t.observe(60.0);
+        assert_eq!(t.chunk_bytes(), 4 << 20);
+        assert!(!t.is_settled());
+        assert_eq!(t.history().len(), 2);
+    }
+
+    #[test]
+    fn backs_off_additively_on_regression() {
+        let mut t = ChunkAutotuner::new(1 << 20);
+        t.observe(40.0); // -> 2 MB
+        t.observe(80.0); // -> 4 MB
+        t.observe(60.0); // regression: back off and settle
+        assert!(t.is_settled());
+        assert_eq!(t.chunk_bytes(), (4 << 20) - (512 * 1024));
+        let before = t.chunk_bytes();
+        t.observe(100.0); // settled: no change
+        assert_eq!(t.chunk_bytes(), before);
+    }
+
+    #[test]
+    fn settles_when_throughput_plateaus() {
+        let mut t = ChunkAutotuner::new(1 << 20);
+        t.observe(40.0);
+        t.observe(40.1); // within 1% of the best -> settle
+        assert!(t.is_settled());
+    }
+
+    #[test]
+    fn respects_bounds_and_reset() {
+        let mut t = ChunkAutotuner::new(1);
+        assert!(t.chunk_bytes() >= 64 * 1024);
+        for gbps in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0] {
+            t.observe(gbps);
+        }
+        assert!(t.chunk_bytes() <= 64 << 20);
+        assert!(t.is_settled());
+        t.reset(1 << 20);
+        assert!(!t.is_settled());
+        assert_eq!(t.chunk_bytes(), 1 << 20);
+        assert!(t.history().is_empty());
+    }
+}

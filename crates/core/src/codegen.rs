@@ -1,0 +1,632 @@
+//! CodeGen: lowering tree plans to chunked, pipelined transfer programs
+//! (Section 4 of the paper).
+//!
+//! For every collective the generated program follows the paper's recipe:
+//!
+//! * the buffer is split across trees proportionally to their weights,
+//! * each tree's share is further divided into chunks so that forwarding can
+//!   start before the whole share has arrived (Figure 11),
+//! * every (link, tree position) gets a CUDA-stream equivalent; when the same
+//!   link appears at the same position in several trees the stream is *reused*
+//!   so chunks from the two trees interleave fairly (Section 4.2.2,
+//!   Figure 13),
+//! * reductions are issued into the stream of the outgoing copy, which is what
+//!   makes reduce-and-forward cost a little more than pure forwarding (the
+//!   effect measured in Figure 7).
+
+use crate::collective::CollectiveKind;
+use crate::{BlinkError, Result};
+use blink_graph::{Arborescence, WeightedTree};
+use blink_sim::{LinkClass, OpId, Program, ProgramBuilder, StreamId};
+use blink_topology::GpuId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Options for CodeGen.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CodeGenOptions {
+    /// Target chunk size in bytes (the automatic tuner of Section 4.2.1 feeds
+    /// this value).
+    pub chunk_bytes: u64,
+    /// Reuse streams when a link occupies the same position in two trees
+    /// (Section 4.2.2). Disabling this is an ablation knob.
+    pub stream_reuse: bool,
+    /// Which link class the copies use.
+    pub link_class: LinkClass,
+}
+
+impl Default for CodeGenOptions {
+    fn default() -> Self {
+        CodeGenOptions {
+            chunk_bytes: 4 << 20,
+            // The paper reuses streams to work around CUDA's unfair scheduling
+            // of competing streams on one link. The simulator arbitrates links
+            // fairly at chunk granularity, so sharing a FIFO stream across
+            // trees only adds head-of-line coupling; it is therefore off by
+            // default and kept as an ablation knob.
+            stream_reuse: false,
+            link_class: LinkClass::NvLink,
+        }
+    }
+}
+
+/// The CodeGen stage.
+#[derive(Debug, Clone, Default)]
+pub struct CodeGen {
+    options: CodeGenOptions,
+}
+
+pub(crate) fn chunk_sizes(total: u64, target: u64) -> Vec<u64> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let target = target.max(1);
+    let chunks = total.div_ceil(target);
+    let base = total / chunks;
+    let rem = total % chunks;
+    (0..chunks)
+        .map(|i| if i < rem { base + 1 } else { base })
+        .filter(|&b| b > 0)
+        .collect()
+}
+
+pub(crate) fn split_by_weight(trees: &[WeightedTree], bytes: u64) -> Vec<u64> {
+    let total_weight: f64 = trees.iter().map(|t| t.weight).sum();
+    if trees.is_empty() || total_weight <= 0.0 {
+        return vec![0; trees.len()];
+    }
+    let mut out: Vec<u64> = trees
+        .iter()
+        .map(|t| ((t.weight / total_weight) * bytes as f64).floor() as u64)
+        .collect();
+    let assigned: u64 = out.iter().sum();
+    if let Some(idx) = (0..trees.len()).max_by(|&a, &b| {
+        trees[a]
+            .weight
+            .partial_cmp(&trees[b].weight)
+            .expect("finite weights")
+    }) {
+        out[idx] += bytes - assigned;
+    }
+    out
+}
+
+/// Allocates streams per (link, tree position), reusing them across trees when
+/// enabled.
+struct StreamAllocator {
+    reuse: bool,
+    by_position: BTreeMap<(GpuId, GpuId, usize), StreamId>,
+    by_tree_edge: BTreeMap<(usize, GpuId, GpuId), StreamId>,
+}
+
+impl StreamAllocator {
+    fn new(reuse: bool) -> Self {
+        StreamAllocator {
+            reuse,
+            by_position: BTreeMap::new(),
+            by_tree_edge: BTreeMap::new(),
+        }
+    }
+
+    fn stream(
+        &mut self,
+        b: &mut ProgramBuilder,
+        tree_idx: usize,
+        src: GpuId,
+        dst: GpuId,
+        position: usize,
+    ) -> StreamId {
+        if self.reuse {
+            *self
+                .by_position
+                .entry((src, dst, position))
+                .or_insert_with(|| b.new_stream())
+        } else {
+            *self
+                .by_tree_edge
+                .entry((tree_idx, src, dst))
+                .or_insert_with(|| b.new_stream())
+        }
+    }
+}
+
+/// Per-tree, per-chunk emission context shared by the collective lowerings.
+struct TreeChunk<'a> {
+    tree_idx: usize,
+    tree: &'a Arborescence,
+    chunk_idx: usize,
+    bytes: u64,
+    class: LinkClass,
+    /// Ops that must complete before any op of this chunk with no other
+    /// dependency may start (e.g. a peer-access toggle for PCIe trees).
+    gate: &'a [OpId],
+}
+
+impl TreeChunk<'_> {
+    fn gated(&self, deps: Vec<OpId>) -> Vec<OpId> {
+        if deps.is_empty() {
+            self.gate.to_vec()
+        } else {
+            deps
+        }
+    }
+}
+
+impl CodeGen {
+    /// Creates a CodeGen stage with the given options.
+    pub fn new(options: CodeGenOptions) -> Self {
+        CodeGen { options }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &CodeGenOptions {
+        &self.options
+    }
+
+    /// Lowers `kind` over `trees` into a fresh simulator program for a
+    /// `bytes`-byte buffer.
+    ///
+    /// For rooted collectives every tree must be rooted at the collective's
+    /// root; [`crate::treegen::TreeGen`] guarantees this. Multi-root tree sets
+    /// (the DGX-2 one-hop plan) may only be used with the all-to-all
+    /// collectives.
+    pub fn build(
+        &self,
+        trees: &[WeightedTree],
+        kind: CollectiveKind,
+        bytes: u64,
+    ) -> Result<Program> {
+        let mut builder = ProgramBuilder::new();
+        self.emit_into(&mut builder, trees, kind, bytes, &[])?;
+        builder
+            .build()
+            .map_err(|e| BlinkError::CodeGen(e.to_string()))
+    }
+
+    /// Emits the ops for `kind` into an existing builder. Ops that have no
+    /// data dependency of their own are gated on `gate` — this is how the
+    /// hybrid planner makes PCIe trees wait for the peer-access toggle and how
+    /// the multi-server protocol chains its phases.
+    pub fn emit_into(
+        &self,
+        builder: &mut ProgramBuilder,
+        trees: &[WeightedTree],
+        kind: CollectiveKind,
+        bytes: u64,
+        gate: &[OpId],
+    ) -> Result<()> {
+        if let Some(root) = kind.root() {
+            if trees.iter().any(|t| t.tree.root != root) {
+                return Err(BlinkError::CodeGen(format!(
+                    "collective {kind} requires every tree to be rooted at {root}"
+                )));
+            }
+        }
+        let num_gpus = trees
+            .first()
+            .map(|t| t.tree.num_vertices())
+            .unwrap_or(1)
+            .max(1);
+        let shares = split_by_weight(trees, bytes);
+        let mut streams = StreamAllocator::new(self.options.stream_reuse);
+
+        // per-tree chunk lists
+        let chunk_lists: Vec<Vec<u64>> = shares
+            .iter()
+            .map(|&share| chunk_sizes(share, self.options.chunk_bytes))
+            .collect();
+        let max_chunks = chunk_lists.iter().map(Vec::len).max().unwrap_or(0);
+
+        for chunk_idx in 0..max_chunks {
+            for (tree_idx, wt) in trees.iter().enumerate() {
+                let Some(&chunk_bytes) = chunk_lists[tree_idx].get(chunk_idx) else {
+                    continue;
+                };
+                if chunk_bytes == 0 {
+                    continue;
+                }
+                let ctx = TreeChunk {
+                    tree_idx,
+                    tree: &wt.tree,
+                    chunk_idx,
+                    bytes: chunk_bytes,
+                    class: self.options.link_class,
+                    gate,
+                };
+                match kind {
+                    CollectiveKind::Broadcast { .. } => {
+                        emit_broadcast(builder, &mut streams, &ctx, Vec::new());
+                    }
+                    CollectiveKind::Gather { .. } => {
+                        emit_gather(builder, &mut streams, &ctx);
+                    }
+                    CollectiveKind::Reduce { .. } => {
+                        emit_reduce(builder, &mut streams, &ctx);
+                    }
+                    CollectiveKind::AllReduce => {
+                        let root_reduce = emit_reduce(builder, &mut streams, &ctx);
+                        emit_broadcast(
+                            builder,
+                            &mut streams,
+                            &ctx,
+                            root_reduce.map(|d| vec![d]).unwrap_or_default(),
+                        );
+                    }
+                    CollectiveKind::AllGather => {
+                        let root_arrivals = emit_gather(builder, &mut streams, &ctx);
+                        // after gathering, the root redistributes the
+                        // concatenation of all contributions
+                        let full = TreeChunk {
+                            bytes: ctx.bytes * num_gpus as u64,
+                            ..ctx
+                        };
+                        emit_broadcast(builder, &mut streams, &full, root_arrivals);
+                    }
+                    CollectiveKind::ReduceScatter => {
+                        let root_reduce = emit_reduce(builder, &mut streams, &ctx);
+                        emit_scatter(builder, &mut streams, &ctx, root_reduce, num_gpus);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Broadcast one chunk down a tree; `root_deps` (if non-empty) gate the root's
+/// sends (used by AllReduce, where the reduced value must exist first).
+fn emit_broadcast(
+    b: &mut ProgramBuilder,
+    streams: &mut StreamAllocator,
+    ctx: &TreeChunk<'_>,
+    root_deps: Vec<OpId>,
+) {
+    let tree = ctx.tree;
+    let mut arrival: BTreeMap<GpuId, OpId> = BTreeMap::new();
+    for (parent, child) in tree.edges_bfs() {
+        let depth = tree.depth_of(parent).unwrap_or(0);
+        let stream = streams.stream(b, ctx.tree_idx, parent, child, depth);
+        let deps = if parent == tree.root {
+            ctx.gated(root_deps.clone())
+        } else {
+            ctx.gated(arrival.get(&parent).map(|&a| vec![a]).unwrap_or_default())
+        };
+        let id = b.copy(
+            parent,
+            child,
+            ctx.bytes,
+            ctx.class,
+            stream,
+            deps,
+            format!("blink bcast t{} c{}", ctx.tree_idx, ctx.chunk_idx),
+        );
+        arrival.insert(child, id);
+    }
+}
+
+/// Gather one chunk up a tree (no reduction). Returns the copies that arrive
+/// at the root (the deps a follow-up redistribution phase must wait for).
+fn emit_gather(
+    b: &mut ProgramBuilder,
+    streams: &mut StreamAllocator,
+    ctx: &TreeChunk<'_>,
+) -> Vec<OpId> {
+    let tree = ctx.tree;
+    let mut order = tree.bfs_order();
+    order.reverse();
+    let mut sent: BTreeMap<GpuId, OpId> = BTreeMap::new();
+    let mut root_arrivals = Vec::new();
+    for &v in &order {
+        let Some(parent) = tree.parent(v) else { continue };
+        let subtree = subtree_size(tree, v);
+        let deps: Vec<OpId> = tree
+            .children(v)
+            .iter()
+            .filter_map(|c| sent.get(c).copied())
+            .collect();
+        let depth = tree.depth_of(v).unwrap_or(0);
+        let stream = streams.stream(b, ctx.tree_idx, v, parent, depth);
+        let id = b.copy(
+            v,
+            parent,
+            ctx.bytes * subtree as u64,
+            ctx.class,
+            stream,
+            ctx.gated(deps),
+            format!("blink gather t{} c{}", ctx.tree_idx, ctx.chunk_idx),
+        );
+        sent.insert(v, id);
+        if parent == tree.root {
+            root_arrivals.push(id);
+        }
+    }
+    root_arrivals
+}
+
+/// Reduce one chunk up a tree. Returns the root's final reduction op (when the
+/// tree has more than one vertex).
+fn emit_reduce(
+    b: &mut ProgramBuilder,
+    streams: &mut StreamAllocator,
+    ctx: &TreeChunk<'_>,
+) -> Option<OpId> {
+    let tree = ctx.tree;
+    let mut order = tree.bfs_order();
+    order.reverse();
+    let mut uploaded: BTreeMap<GpuId, OpId> = BTreeMap::new();
+    let mut root_reduce = None;
+    for &v in &order {
+        let children = tree.children(v);
+        let mut deps: Vec<OpId> = children
+            .iter()
+            .filter_map(|c| uploaded.get(c).copied())
+            .collect();
+        let parent = tree.parent(v);
+        let depth = tree.depth_of(v).unwrap_or(0);
+        if !children.is_empty() {
+            // reduce the children's contributions with the local buffer, in
+            // the stream of the outgoing copy (or the first child's reverse
+            // stream at the root)
+            let stream = match parent {
+                Some(p) => streams.stream(b, ctx.tree_idx, v, p, depth),
+                None => streams.stream(b, ctx.tree_idx, v, children[0], depth),
+            };
+            let red = b.reduce(
+                v,
+                ctx.bytes,
+                stream,
+                ctx.gated(deps.clone()),
+                format!("blink reduce t{} c{}", ctx.tree_idx, ctx.chunk_idx),
+            );
+            deps = vec![red];
+            if parent.is_none() {
+                root_reduce = Some(red);
+            }
+        }
+        if let Some(p) = parent {
+            let stream = streams.stream(b, ctx.tree_idx, v, p, depth);
+            let id = b.copy(
+                v,
+                p,
+                ctx.bytes,
+                ctx.class,
+                stream,
+                ctx.gated(deps),
+                format!("blink reduce-up t{} c{}", ctx.tree_idx, ctx.chunk_idx),
+            );
+            uploaded.insert(v, id);
+        }
+    }
+    root_reduce
+}
+
+/// Scatter shards from the root down a tree: the edge into a child carries the
+/// shards of every GPU in that child's subtree.
+fn emit_scatter(
+    b: &mut ProgramBuilder,
+    streams: &mut StreamAllocator,
+    ctx: &TreeChunk<'_>,
+    root_dep: Option<OpId>,
+    num_gpus: usize,
+) {
+    let tree = ctx.tree;
+    let shard = (ctx.bytes / num_gpus.max(1) as u64).max(1);
+    let mut arrival: BTreeMap<GpuId, OpId> = BTreeMap::new();
+    for (parent, child) in tree.edges_bfs() {
+        let depth = tree.depth_of(parent).unwrap_or(0);
+        let stream = streams.stream(b, ctx.tree_idx, parent, child, depth);
+        let deps = if parent == tree.root {
+            ctx.gated(root_dep.map(|d| vec![d]).unwrap_or_default())
+        } else {
+            ctx.gated(arrival.get(&parent).map(|&a| vec![a]).unwrap_or_default())
+        };
+        let bytes = shard * subtree_size(tree, child) as u64;
+        let id = b.copy(
+            parent,
+            child,
+            bytes,
+            ctx.class,
+            stream,
+            deps,
+            format!("blink scatter t{} c{}", ctx.tree_idx, ctx.chunk_idx),
+        );
+        arrival.insert(child, id);
+    }
+}
+
+fn subtree_size(tree: &Arborescence, v: GpuId) -> usize {
+    1 + tree
+        .children(v)
+        .iter()
+        .map(|&c| subtree_size(tree, c))
+        .sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::treegen::{TreeGen, TreeGenOptions};
+    use blink_sim::Simulator;
+    use blink_topology::presets::dgx1v;
+    use blink_topology::Topology;
+
+    fn mb(n: u64) -> u64 {
+        n * 1024 * 1024
+    }
+
+    fn plan_for(ids: &[usize], root: usize) -> (Topology, Vec<WeightedTree>) {
+        let machine = dgx1v();
+        let alloc: Vec<GpuId> = ids.iter().map(|&i| GpuId(i)).collect();
+        let topo = machine.induced(&alloc).unwrap();
+        let tg = TreeGen::new(topo, TreeGenOptions::default());
+        let plan = tg.plan(GpuId(root)).unwrap();
+        (machine, plan.trees)
+    }
+
+    #[test]
+    fn full_dgx1v_broadcast_approaches_the_packing_rate() {
+        let (machine, trees) = plan_for(&[0, 1, 2, 3, 4, 5, 6, 7], 0);
+        let bytes = mb(500);
+        let prog = CodeGen::default()
+            .build(&trees, CollectiveKind::Broadcast { root: GpuId(0) }, bytes)
+            .unwrap();
+        let report = Simulator::with_defaults(machine).run(&prog).unwrap();
+        let bw = report.algorithmic_bandwidth_gbps(bytes);
+        assert!(bw > 110.0 && bw <= 140.0, "bw = {bw}");
+    }
+
+    #[test]
+    fn full_dgx1v_allreduce_is_roughly_half_of_broadcast() {
+        let (machine, trees) = plan_for(&[0, 1, 2, 3, 4, 5, 6, 7], 0);
+        let bytes = mb(200);
+        let sim = Simulator::with_defaults(machine);
+        let cg = CodeGen::default();
+        let bcast = sim
+            .run(&cg.build(&trees, CollectiveKind::Broadcast { root: GpuId(0) }, bytes).unwrap())
+            .unwrap()
+            .algorithmic_bandwidth_gbps(bytes);
+        let ar = sim
+            .run(&cg.build(&trees, CollectiveKind::AllReduce, bytes).unwrap())
+            .unwrap()
+            .algorithmic_bandwidth_gbps(bytes);
+        assert!(ar < 0.8 * bcast, "allreduce {ar} vs broadcast {bcast}");
+        assert!(ar > 0.3 * bcast, "allreduce {ar} vs broadcast {bcast}");
+    }
+
+    #[test]
+    fn broadcast_volume_matches_trees() {
+        // all trees over {0,1,3} span 3 GPUs -> 2 edges each; every edge
+        // carries its tree's share exactly once, so the total volume copied is
+        // 2x the buffer regardless of how many trees are packed.
+        let (_, trees) = plan_for(&[0, 1, 3], 0);
+        let bytes = mb(60);
+        let prog = CodeGen::default()
+            .build(&trees, CollectiveKind::Broadcast { root: GpuId(0) }, bytes)
+            .unwrap();
+        assert_eq!(prog.total_copy_bytes(), bytes * 2);
+    }
+
+    #[test]
+    fn gather_and_reduce_volumes_differ() {
+        let (_, trees) = plan_for(&[0, 1, 2, 3], 0);
+        let bytes = mb(40);
+        let cg = CodeGen::default();
+        let gather = cg
+            .build(&trees, CollectiveKind::Gather { root: GpuId(0) }, bytes)
+            .unwrap()
+            .total_copy_bytes();
+        let reduce = cg
+            .build(&trees, CollectiveKind::Reduce { root: GpuId(0) }, bytes)
+            .unwrap()
+            .total_copy_bytes();
+        // gather must carry distinct contributions (more volume than reduce)
+        assert!(gather > reduce, "gather {gather} vs reduce {reduce}");
+        // reduce carries each tree's share over each of its edges once
+        let reduce_expected: u64 = {
+            let shares = split_by_weight(&trees, bytes);
+            trees
+                .iter()
+                .zip(shares)
+                .map(|(t, s)| s * t.tree.edges.len() as u64)
+                .sum()
+        };
+        assert_eq!(reduce, reduce_expected);
+    }
+
+    #[test]
+    fn mismatched_root_is_rejected() {
+        let (_, trees) = plan_for(&[0, 1, 3], 0);
+        let err = CodeGen::default()
+            .build(&trees, CollectiveKind::Broadcast { root: GpuId(1) }, mb(1))
+            .unwrap_err();
+        assert!(matches!(err, BlinkError::CodeGen(_)));
+    }
+
+    #[test]
+    fn stream_reuse_reduces_stream_count() {
+        let (_, trees) = plan_for(&[0, 1, 2, 3, 4, 5, 6, 7], 0);
+        let bytes = mb(100);
+        let with_reuse = CodeGen::new(CodeGenOptions {
+            stream_reuse: true,
+            ..Default::default()
+        })
+        .build(&trees, CollectiveKind::Broadcast { root: GpuId(0) }, bytes)
+        .unwrap()
+        .num_streams();
+        let without_reuse = CodeGen::new(CodeGenOptions {
+            stream_reuse: false,
+            ..Default::default()
+        })
+        .build(&trees, CollectiveKind::Broadcast { root: GpuId(0) }, bytes)
+        .unwrap()
+        .num_streams();
+        assert!(with_reuse <= without_reuse);
+    }
+
+    #[test]
+    fn allgather_and_reducescatter_build_and_run() {
+        let (machine, trees) = plan_for(&[0, 1, 2, 3], 0);
+        let bytes = mb(32);
+        let sim = Simulator::with_defaults(machine);
+        let cg = CodeGen::default();
+        for kind in [CollectiveKind::AllGather, CollectiveKind::ReduceScatter] {
+            let prog = cg.build(&trees, kind, bytes).unwrap();
+            assert!(!prog.is_empty());
+            let report = sim.run(&prog).unwrap();
+            assert!(report.total_us > 0.0, "{kind} must take time");
+        }
+    }
+
+    #[test]
+    fn zero_bytes_and_empty_plans_are_empty_programs() {
+        let (_, trees) = plan_for(&[0, 1, 3], 0);
+        let cg = CodeGen::default();
+        assert!(cg
+            .build(&trees, CollectiveKind::AllReduce, 0)
+            .unwrap()
+            .is_empty());
+        assert!(cg
+            .build(&[], CollectiveKind::AllReduce, mb(1))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn gate_ops_precede_everything() {
+        let (machine, trees) = plan_for(&[0, 1, 3], 0);
+        let mut builder = ProgramBuilder::new();
+        let s = builder.new_stream();
+        let gate = builder.toggle_peer_access(3, s, vec![], "dpa");
+        CodeGen::default()
+            .emit_into(
+                &mut builder,
+                &trees,
+                CollectiveKind::Broadcast { root: GpuId(0) },
+                mb(16),
+                &[gate],
+            )
+            .unwrap();
+        let prog = builder.build().unwrap();
+        let report = Simulator::with_defaults(machine).run(&prog).unwrap();
+        let (_, gate_end) = report.op_spans[gate.0];
+        // every copy starts after the gate completes
+        for (i, op) in prog.ops().iter().enumerate() {
+            if i == gate.0 {
+                continue;
+            }
+            let _ = op;
+            assert!(report.op_spans[i].0 >= gate_end - 1e-9);
+        }
+    }
+
+    #[test]
+    fn chunk_splitting_conserves_bytes() {
+        for (total, target) in [(mb(500), 4 << 20), (12345u64, 1000u64), (1, 1 << 20)] {
+            let sizes = chunk_sizes(total, target);
+            assert_eq!(sizes.iter().sum::<u64>(), total);
+        }
+        let (_, trees) = plan_for(&[0, 1, 2, 3, 4, 5, 6, 7], 0);
+        let shares = split_by_weight(&trees, mb(1000));
+        assert_eq!(shares.iter().sum::<u64>(), mb(1000));
+    }
+}

@@ -1,0 +1,471 @@
+//! The user-facing communicator: an NCCL-flavoured API over the whole Blink
+//! pipeline (probe → TreeGen → CodeGen → execute).
+//!
+//! A [`Communicator`] is created for one job's GPU allocation, exactly like
+//! `ncclCommInitRank` creates a communicator for a set of ranks. Each
+//! collective call plans (or reuses) the tree set for the current strategy,
+//! lowers it to a transfer program with the current chunk size, executes it on
+//! the simulator, feeds the measured throughput back into the MIAD chunk
+//! tuner, and returns a [`CollectiveReport`].
+
+use crate::autotune::ChunkAutotuner;
+use crate::codegen::{CodeGen, CodeGenOptions};
+use crate::collective::{CollectiveKind, CollectiveReport};
+use crate::hybrid::HybridPlanner;
+use crate::multiserver::three_phase_allreduce;
+use crate::onehop::{is_switch_fabric, one_hop_broadcast_tree, one_hop_trees};
+use crate::treegen::{LinkSelection, TreeGen, TreeGenOptions};
+use crate::{BlinkError, Result};
+use blink_graph::{optimal_broadcast_rate, DiGraph, WeightedTree};
+use blink_sim::{Program, SimParams, Simulator};
+use blink_topology::{GpuId, Topology};
+use std::collections::BTreeMap;
+
+/// Options for [`Communicator::new`].
+#[derive(Debug, Clone, Copy)]
+pub struct CommunicatorOptions {
+    /// Hardware calibration parameters for the simulator backend.
+    pub sim_params: SimParams,
+    /// TreeGen options (packing ε, minimisation threshold, link class).
+    pub treegen: TreeGenOptions,
+    /// Fixed chunk size; `None` enables the MIAD automatic tuner.
+    pub chunk_bytes: Option<u64>,
+    /// Enable hybrid PCIe + NVLink transfers (Section 3.4).
+    pub use_hybrid: bool,
+    /// Reuse streams across trees (Section 4.2.2).
+    pub stream_reuse: bool,
+}
+
+impl Default for CommunicatorOptions {
+    fn default() -> Self {
+        CommunicatorOptions {
+            sim_params: SimParams::default(),
+            treegen: TreeGenOptions::default(),
+            chunk_bytes: Some(4 << 20),
+            use_hybrid: false,
+            stream_reuse: false,
+        }
+    }
+}
+
+/// A Blink communicator bound to one GPU allocation on one machine (or
+/// cluster slice).
+#[derive(Debug)]
+pub struct Communicator {
+    machine: Topology,
+    allocation: Vec<GpuId>,
+    induced: Topology,
+    sim: Simulator,
+    options: CommunicatorOptions,
+    autotuners: BTreeMap<String, ChunkAutotuner>,
+}
+
+impl Communicator {
+    /// Creates a communicator for `allocation` on `machine`.
+    ///
+    /// # Errors
+    /// Fails if the allocation is empty or references unknown GPUs.
+    pub fn new(
+        machine: Topology,
+        allocation: &[GpuId],
+        options: CommunicatorOptions,
+    ) -> Result<Self> {
+        let induced = machine
+            .induced(allocation)
+            .map_err(|e| BlinkError::Planning(e.to_string()))?;
+        let sim = Simulator::new(machine.clone(), options.sim_params);
+        Ok(Communicator {
+            machine,
+            allocation: allocation.to_vec(),
+            induced,
+            sim,
+            options,
+            autotuners: BTreeMap::new(),
+        })
+    }
+
+    /// The GPUs this communicator spans.
+    pub fn allocation(&self) -> &[GpuId] {
+        &self.allocation
+    }
+
+    /// The induced topology the communicator plans over.
+    pub fn induced_topology(&self) -> &Topology {
+        &self.induced
+    }
+
+    /// Whether the allocation spans more than one server.
+    pub fn is_multi_server(&self) -> bool {
+        self.induced.servers().len() > 1
+    }
+
+    /// One-to-all broadcast from `root`.
+    pub fn broadcast(&mut self, root: GpuId, bytes: u64) -> Result<CollectiveReport> {
+        self.run(CollectiveKind::Broadcast { root }, bytes)
+    }
+
+    /// All-to-one gather to `root`.
+    pub fn gather(&mut self, root: GpuId, bytes: u64) -> Result<CollectiveReport> {
+        self.run(CollectiveKind::Gather { root }, bytes)
+    }
+
+    /// All-to-one reduction to `root`.
+    pub fn reduce(&mut self, root: GpuId, bytes: u64) -> Result<CollectiveReport> {
+        self.run(CollectiveKind::Reduce { root }, bytes)
+    }
+
+    /// All-to-all reduction.
+    pub fn all_reduce(&mut self, bytes: u64) -> Result<CollectiveReport> {
+        self.run(CollectiveKind::AllReduce, bytes)
+    }
+
+    /// All-to-all concatenation.
+    pub fn all_gather(&mut self, bytes: u64) -> Result<CollectiveReport> {
+        self.run(CollectiveKind::AllGather, bytes)
+    }
+
+    /// Reduction followed by scatter.
+    pub fn reduce_scatter(&mut self, bytes: u64) -> Result<CollectiveReport> {
+        self.run(CollectiveKind::ReduceScatter, bytes)
+    }
+
+    /// Runs an arbitrary collective.
+    pub fn run(&mut self, kind: CollectiveKind, bytes: u64) -> Result<CollectiveReport> {
+        if self.allocation.len() < 2 || bytes == 0 {
+            return Ok(CollectiveReport {
+                kind,
+                bytes,
+                elapsed_us: 0.0,
+                algorithmic_bandwidth_gbps: 0.0,
+                num_trees: 0,
+                chunk_bytes: 0,
+                strategy: "trivial (single GPU or empty buffer)".to_string(),
+            });
+        }
+        for &g in &self.allocation {
+            if !self.machine.contains(g) {
+                return Err(BlinkError::Planning(format!("GPU {g} not in topology")));
+            }
+        }
+        let chunk = self.current_chunk(kind, bytes);
+        let (program, num_trees, strategy) = self.build_program(kind, bytes, chunk)?;
+        let report = self
+            .sim
+            .run(&program)
+            .map_err(|e| BlinkError::Simulation(e.to_string()))?;
+        let gbps = report.algorithmic_bandwidth_gbps(bytes);
+        self.observe_chunk(kind, bytes, gbps);
+        Ok(CollectiveReport {
+            kind,
+            bytes,
+            elapsed_us: report.total_us,
+            algorithmic_bandwidth_gbps: gbps,
+            num_trees,
+            chunk_bytes: chunk,
+            strategy,
+        })
+    }
+
+    /// The chunk size the next call with this signature would use (exposed for
+    /// the Figure 12 harness).
+    pub fn current_chunk(&mut self, kind: CollectiveKind, bytes: u64) -> u64 {
+        match self.options.chunk_bytes {
+            Some(c) => c,
+            None => {
+                let key = Self::tuner_key(kind, bytes);
+                self.autotuners
+                    .entry(key)
+                    .or_insert_with(ChunkAutotuner::with_defaults)
+                    .chunk_bytes()
+            }
+        }
+    }
+
+    fn observe_chunk(&mut self, kind: CollectiveKind, bytes: u64, gbps: f64) {
+        if self.options.chunk_bytes.is_none() {
+            let key = Self::tuner_key(kind, bytes);
+            if let Some(t) = self.autotuners.get_mut(&key) {
+                t.observe(gbps);
+            }
+        }
+    }
+
+    /// The chunk-tuner trace for one collective signature (Figure 12).
+    pub fn autotune_history(&self, kind: CollectiveKind, bytes: u64) -> Vec<(u64, f64)> {
+        self.autotuners
+            .get(&Self::tuner_key(kind, bytes))
+            .map(|t| t.history().to_vec())
+            .unwrap_or_default()
+    }
+
+    fn tuner_key(kind: CollectiveKind, bytes: u64) -> String {
+        format!("{kind}:{bytes}")
+    }
+
+    fn codegen_options(&self, chunk: u64) -> CodeGenOptions {
+        CodeGenOptions {
+            chunk_bytes: chunk,
+            stream_reuse: self.options.stream_reuse,
+            ..Default::default()
+        }
+    }
+
+    /// Picks the root that maximises the achievable packing rate for
+    /// all-to-all collectives (any root works; a well-connected one packs
+    /// more trees).
+    fn pick_root(&self) -> GpuId {
+        let g = DiGraph::from_topology_filtered(&self.induced, |l| l.kind.is_nvlink());
+        let mut best = self.allocation[0];
+        let mut best_rate = -1.0;
+        for &cand in &self.allocation {
+            if let Some(idx) = g.node(cand) {
+                if !g.spans_from(idx) {
+                    continue;
+                }
+                let rate = optimal_broadcast_rate(&g, idx);
+                if rate > best_rate {
+                    best_rate = rate;
+                    best = cand;
+                }
+            }
+        }
+        best
+    }
+
+    fn build_program(
+        &self,
+        kind: CollectiveKind,
+        bytes: u64,
+        chunk: u64,
+    ) -> Result<(Program, usize, String)> {
+        // ---- multi-server allocations: the three-phase protocol ----
+        if self.is_multi_server() {
+            if kind != CollectiveKind::AllReduce {
+                return Err(BlinkError::Planning(format!(
+                    "{kind} across servers is not supported; only AllReduce uses the three-phase protocol"
+                )));
+            }
+            let (program, info) = three_phase_allreduce(
+                &self.machine,
+                &self.allocation,
+                bytes,
+                &self.options.treegen,
+                &self.codegen_options(chunk),
+            )?;
+            let strategy = format!(
+                "three-phase multi-server ({} servers, {} partitions)",
+                info.servers, info.partitions
+            );
+            return Ok((program, info.partitions, strategy));
+        }
+
+        let cg = CodeGen::new(self.codegen_options(chunk));
+
+        // ---- switch fabrics (DGX-2): one-hop trees ----
+        if is_switch_fabric(&self.induced, &self.allocation) {
+            let cap = self
+                .induced
+                .gpu_cap(self.allocation[0])
+                .unwrap_or(23.0 * 6.0);
+            let trees: Vec<WeightedTree> = match kind.root() {
+                Some(root) => vec![one_hop_broadcast_tree(&self.allocation, root, cap)],
+                None => one_hop_trees(
+                    &self.allocation,
+                    cap / self.allocation.len() as f64,
+                ),
+            };
+            let n = trees.len();
+            let program = cg.build(&trees, kind, bytes)?;
+            return Ok((program, n, "one-hop switch trees".to_string()));
+        }
+
+        // ---- single DGX-1-style server: packed spanning trees ----
+        let root = kind.root().unwrap_or_else(|| self.pick_root());
+        let nvlink_tg = TreeGen::new(self.induced.clone(), self.options.treegen);
+        if nvlink_tg.can_span(root) {
+            if self.options.use_hybrid {
+                let planner = HybridPlanner::plan(&self.induced, root, &self.options.treegen)?;
+                let (program, split) = planner.build(
+                    kind,
+                    bytes,
+                    &self.codegen_options(chunk),
+                    self.sim.params(),
+                )?;
+                let n = planner.nvlink_plan().num_trees() + planner.pcie_plan().num_trees();
+                let strategy = format!(
+                    "hybrid NVLink+PCIe ({} B over PCIe)",
+                    split.pcie_bytes
+                );
+                return Ok((program, n, strategy));
+            }
+            let plan = nvlink_tg.plan(root)?;
+            let n = plan.num_trees();
+            let program = cg.build(&plan.trees, kind, bytes)?;
+            return Ok((program, n, "packed spanning trees (NVLink)".to_string()));
+        }
+
+        // ---- NVLink cannot span the allocation: fall back to PCIe trees ----
+        let pcie_tg = TreeGen::new(
+            self.induced.clone(),
+            TreeGenOptions {
+                links: LinkSelection::PcieOnly,
+                ..self.options.treegen
+            },
+        );
+        let plan = pcie_tg.plan(root)?;
+        let n = plan.num_trees();
+        let pcie_cg = CodeGen::new(CodeGenOptions {
+            link_class: blink_sim::LinkClass::Pcie,
+            ..self.codegen_options(chunk)
+        });
+        let program = pcie_cg.build(&plan.trees, kind, bytes)?;
+        Ok((program, n, "packed spanning trees (PCIe fallback)".to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blink_topology::presets::{dgx1p, dgx1v, dgx2, multi_server, ServerKind};
+
+    fn mb(n: u64) -> u64 {
+        n * 1024 * 1024
+    }
+
+    #[test]
+    fn full_dgx1v_broadcast_and_allreduce() {
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let mut comm =
+            Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        let bcast = comm.broadcast(GpuId(0), mb(500)).unwrap();
+        assert!(bcast.algorithmic_bandwidth_gbps > 110.0, "{bcast}");
+        assert_eq!(bcast.num_trees, 6);
+        let ar = comm.all_reduce(mb(500)).unwrap();
+        assert!(ar.algorithmic_bandwidth_gbps > 45.0, "{ar}");
+        assert!(ar.algorithmic_bandwidth_gbps < bcast.algorithmic_bandwidth_gbps);
+    }
+
+    #[test]
+    fn partially_connected_triple_beats_nccl_pcie_fallback() {
+        // Figure 2(b): Blink keeps using the available NVLinks while NCCL
+        // falls back to PCIe.
+        let alloc = [GpuId(0), GpuId(1), GpuId(4)];
+        let mut comm =
+            Communicator::new(dgx1p(), &alloc, CommunicatorOptions::default()).unwrap();
+        let report = comm.broadcast(GpuId(0), mb(500)).unwrap();
+        assert!(
+            report.algorithmic_bandwidth_gbps > 15.0,
+            "expected ~one NVLink lane, got {report}"
+        );
+    }
+
+    #[test]
+    fn nvlink_disconnected_pair_falls_back_to_pcie() {
+        let alloc = [GpuId(1), GpuId(4)];
+        let mut comm =
+            Communicator::new(dgx1p(), &alloc, CommunicatorOptions::default()).unwrap();
+        let report = comm.broadcast(GpuId(1), mb(100)).unwrap();
+        assert!(report.strategy.contains("PCIe fallback"));
+        assert!(report.algorithmic_bandwidth_gbps < 6.0);
+        assert!(report.algorithmic_bandwidth_gbps > 2.0);
+    }
+
+    #[test]
+    fn dgx2_allreduce_uses_one_hop_trees() {
+        let alloc: Vec<GpuId> = (0..16).map(GpuId).collect();
+        let mut comm = Communicator::new(dgx2(), &alloc, CommunicatorOptions::default()).unwrap();
+        let report = comm.all_reduce(mb(256)).unwrap();
+        assert!(report.strategy.contains("one-hop"));
+        assert_eq!(report.num_trees, 16);
+        assert!(report.algorithmic_bandwidth_gbps > 40.0, "{report}");
+        // small messages are latency bound but still fast in absolute terms
+        let small = comm.all_reduce(64 * 1024).unwrap();
+        assert!(small.elapsed_us < 300.0, "{small}");
+    }
+
+    #[test]
+    fn multi_server_allreduce_uses_three_phases() {
+        let machine = multi_server(2, ServerKind::Dgx1V, 5.0);
+        let alloc = vec![
+            GpuId(0),
+            GpuId(1),
+            GpuId(2),
+            GpuId(8),
+            GpuId(9),
+            GpuId(10),
+            GpuId(11),
+            GpuId(12),
+        ];
+        let mut comm = Communicator::new(machine, &alloc, CommunicatorOptions::default()).unwrap();
+        assert!(comm.is_multi_server());
+        let report = comm.all_reduce(mb(100)).unwrap();
+        assert!(report.strategy.contains("three-phase"));
+        assert!(report.algorithmic_bandwidth_gbps > 0.5);
+        // other collectives are rejected across servers
+        assert!(comm.broadcast(GpuId(0), mb(1)).is_err());
+    }
+
+    #[test]
+    fn hybrid_option_reports_pcie_share() {
+        let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let mut comm = Communicator::new(
+            dgx1v(),
+            &alloc,
+            CommunicatorOptions {
+                use_hybrid: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let report = comm.broadcast(GpuId(0), mb(500)).unwrap();
+        assert!(report.strategy.contains("hybrid"));
+    }
+
+    #[test]
+    fn autotuner_traces_are_recorded() {
+        let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let mut comm = Communicator::new(
+            dgx1v(),
+            &alloc,
+            CommunicatorOptions {
+                chunk_bytes: None,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..5 {
+            comm.broadcast(GpuId(0), mb(200)).unwrap();
+        }
+        let history = comm.autotune_history(CollectiveKind::Broadcast { root: GpuId(0) }, mb(200));
+        assert_eq!(history.len(), 5);
+        // chunk sizes change over the first iterations
+        assert!(history.windows(2).any(|w| w[0].0 != w[1].0));
+    }
+
+    #[test]
+    fn trivial_cases_return_empty_reports() {
+        let mut comm =
+            Communicator::new(dgx1v(), &[GpuId(2)], CommunicatorOptions::default()).unwrap();
+        let report = comm.all_reduce(mb(10)).unwrap();
+        assert_eq!(report.elapsed_us, 0.0);
+        let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let mut comm = Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        let report = comm.all_reduce(0).unwrap();
+        assert_eq!(report.elapsed_us, 0.0);
+    }
+
+    #[test]
+    fn gather_reduce_allgather_reducescatter_run() {
+        let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let mut comm = Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        for report in [
+            comm.gather(GpuId(0), mb(64)).unwrap(),
+            comm.reduce(GpuId(0), mb(64)).unwrap(),
+            comm.all_gather(mb(64)).unwrap(),
+            comm.reduce_scatter(mb(64)).unwrap(),
+        ] {
+            assert!(report.elapsed_us > 0.0, "{report}");
+            assert!(report.algorithmic_bandwidth_gbps > 1.0, "{report}");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! # blink-core
+//!
+//! The Blink collective-communication library (the paper's primary
+//! contribution), implemented over the simulated substrate:
+//!
+//! * [`treegen`] — the TreeGen stage (Figure 9): probe the topology induced by
+//!   a job's GPU allocation, pack spanning trees with the MWU approximation
+//!   and minimise the number of trees (Sections 3.1–3.2).
+//! * [`codegen`] — the CodeGen stage: lower a tree plan into a chunked,
+//!   pipelined transfer program with one stream per link per tree and stream
+//!   reuse for fair link sharing (Section 4).
+//! * [`collective`] — the collective operations Blink exposes (Broadcast,
+//!   Gather, Reduce, AllGather, ReduceScatter, AllReduce) and their reports.
+//! * [`autotune`] — the multiplicative-increase / additive-decrease automatic
+//!   chunk-size selection (Section 4.2.1, Figure 12).
+//! * [`hybrid`] — balanced hybrid PCIe + NVLink transfers (Section 3.4,
+//!   Equation 8, Figure 21).
+//! * [`onehop`] — the DGX-2 / NVSwitch planner: `m` one-hop trees, one rooted
+//!   at every GPU (Section 3.5, Figures 19–20).
+//! * [`multiserver`] — the three-phase cross-machine AllReduce (Section 3.5,
+//!   Figure 10, Figure 22).
+//! * [`communicator`] — the NCCL-flavoured front door: create a communicator
+//!   for an allocation, call collectives, get timing reports back from the
+//!   simulator.
+//!
+//! ```
+//! use blink_core::{Communicator, CommunicatorOptions};
+//! use blink_topology::{presets, GpuId};
+//!
+//! let machine = presets::dgx1v();
+//! let allocation: Vec<GpuId> = (0..4).map(GpuId).collect();
+//! let mut comm = Communicator::new(machine, &allocation, CommunicatorOptions::default()).unwrap();
+//! let report = comm.broadcast(GpuId(0), 64 << 20).unwrap();
+//! assert!(report.algorithmic_bandwidth_gbps > 20.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod autotune;
+pub mod codegen;
+pub mod collective;
+pub mod communicator;
+pub mod hybrid;
+pub mod multiserver;
+pub mod onehop;
+pub mod treegen;
+
+pub use autotune::ChunkAutotuner;
+pub use codegen::{CodeGen, CodeGenOptions};
+pub use collective::{CollectiveKind, CollectiveReport};
+pub use communicator::{Communicator, CommunicatorOptions};
+pub use treegen::{TreeGen, TreeGenOptions, TreePlan};
+
+/// Errors surfaced by the Blink library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlinkError {
+    /// The allocation or topology cannot support the requested collective.
+    Planning(String),
+    /// Lowering a plan to a program failed (indicates an internal bug).
+    CodeGen(String),
+    /// Executing the program on the simulator failed.
+    Simulation(String),
+}
+
+impl std::fmt::Display for BlinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlinkError::Planning(m) => write!(f, "planning error: {m}"),
+            BlinkError::CodeGen(m) => write!(f, "code generation error: {m}"),
+            BlinkError::Simulation(m) => write!(f, "simulation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BlinkError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, BlinkError>;

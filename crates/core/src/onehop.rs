@@ -1,0 +1,104 @@
+//! One-hop tree plans for switch fabrics (DGX-2 / NVSwitch, Section 3.5).
+//!
+//! On an NVSwitch every GPU pair is directly connected, so Blink's generated
+//! trees are "deceptively simple": with `m` GPUs, each GPU acts as the root of
+//! one tree over `1/m` of the data, and each root is directly connected to the
+//! other `m − 1` GPUs. AllReduce then reduces each slice to its root and
+//! broadcasts it back in one hop, which beats NCCL's double-binary trees on
+//! latency (Figures 19 and 20) because no chunk ever crosses more than two
+//! hops.
+
+use blink_graph::{Arborescence, WeightedTree};
+use blink_topology::{GpuId, Topology};
+
+/// Builds the `m` one-hop trees for a switch-fabric allocation, one rooted at
+/// every GPU, each weighted equally (the data is split evenly across roots).
+///
+/// `per_tree_weight` is the rate attributed to each tree; for throughput
+/// accounting the communicator passes `injection_cap / m` so the aggregate
+/// equals the fabric injection bandwidth.
+pub fn one_hop_trees(gpus: &[GpuId], per_tree_weight: f64) -> Vec<WeightedTree> {
+    gpus.iter()
+        .map(|&root| {
+            let edges = gpus
+                .iter()
+                .copied()
+                .filter(|&g| g != root)
+                .map(|g| (root, g))
+                .collect();
+            WeightedTree {
+                tree: Arborescence::new(root, edges),
+                weight: per_tree_weight,
+            }
+        })
+        .collect()
+}
+
+/// A single one-hop tree rooted at `root` (used for Broadcast on a switch
+/// fabric, where the root can inject at full port bandwidth directly to every
+/// peer).
+pub fn one_hop_broadcast_tree(gpus: &[GpuId], root: GpuId, weight: f64) -> WeightedTree {
+    let edges = gpus
+        .iter()
+        .copied()
+        .filter(|&g| g != root)
+        .map(|g| (root, g))
+        .collect();
+    WeightedTree {
+        tree: Arborescence::new(root, edges),
+        weight,
+    }
+}
+
+/// Whether an allocation on `topology` behaves like a switch fabric: every
+/// pair of allocated GPUs is NVLink-connected and every GPU declares a fabric
+/// injection cap.
+pub fn is_switch_fabric(topology: &Topology, gpus: &[GpuId]) -> bool {
+    gpus.len() >= 2
+        && gpus.iter().all(|&g| topology.gpu_cap(g).is_some())
+        && gpus
+            .iter()
+            .all(|&a| gpus.iter().all(|&b| a == b || topology.has_nvlink(a, b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blink_topology::presets::{dgx1v, dgx2};
+
+    #[test]
+    fn one_hop_trees_have_depth_one_and_distinct_roots() {
+        let gpus: Vec<GpuId> = (0..16).map(GpuId).collect();
+        let trees = one_hop_trees(&gpus, 138.0 / 16.0);
+        assert_eq!(trees.len(), 16);
+        for (i, wt) in trees.iter().enumerate() {
+            assert_eq!(wt.tree.root, GpuId(i));
+            assert_eq!(wt.tree.depth(), 1);
+            assert!(wt.tree.is_valid_over(&gpus));
+        }
+        let total: f64 = trees.iter().map(|t| t.weight).sum();
+        assert!((total - 138.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_tree_is_rooted_correctly() {
+        let gpus: Vec<GpuId> = (0..16).map(GpuId).collect();
+        let t = one_hop_broadcast_tree(&gpus, GpuId(5), 138.0);
+        assert_eq!(t.tree.root, GpuId(5));
+        assert_eq!(t.tree.depth(), 1);
+        assert_eq!(t.tree.edges.len(), 15);
+    }
+
+    #[test]
+    fn switch_fabric_detection() {
+        let dgx2 = dgx2();
+        let all16: Vec<GpuId> = (0..16).map(GpuId).collect();
+        assert!(is_switch_fabric(&dgx2, &all16));
+        assert!(is_switch_fabric(&dgx2, &[GpuId(0), GpuId(9), GpuId(15)]));
+        let dgx1 = dgx1v();
+        let quad: Vec<GpuId> = (0..4).map(GpuId).collect();
+        // fully NVLink-connected, but no per-GPU fabric cap -> not a switch
+        assert!(!is_switch_fabric(&dgx1, &quad));
+        assert!(!is_switch_fabric(&dgx2, &[GpuId(3)]));
+    }
+}

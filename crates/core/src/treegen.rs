@@ -1,0 +1,248 @@
+//! TreeGen: from a probed topology to a minimal set of weighted spanning
+//! trees (Sections 3.1–3.2 of the paper).
+
+use crate::{BlinkError, Result};
+use blink_graph::{
+    minimize_trees, optimal_broadcast_rate, pack_spanning_trees, DiGraph, MinimizeOptions,
+    PackingOptions, TreePacking, WeightedTree,
+};
+use blink_topology::{GpuId, LinkKind, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Which link class TreeGen packs trees over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkSelection {
+    /// NVLink / NVSwitch links only (the default — what Blink uses unless the
+    /// hybrid planner explicitly adds a PCIe tree set).
+    NvLinkOnly,
+    /// PCIe links only (used by the hybrid planner after disabling peer
+    /// access).
+    PcieOnly,
+}
+
+/// Options for [`TreeGen`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeGenOptions {
+    /// Which links to pack over.
+    pub links: LinkSelection,
+    /// MWU packing options.
+    pub packing: PackingOptions,
+    /// Tree-count minimisation options.
+    pub minimize: MinimizeOptions,
+    /// Skip the minimisation step (used by ablation benchmarks to quantify
+    /// what Section 3.2.1 buys).
+    pub skip_minimize: bool,
+}
+
+impl Default for TreeGenOptions {
+    fn default() -> Self {
+        TreeGenOptions {
+            links: LinkSelection::NvLinkOnly,
+            packing: PackingOptions::default(),
+            minimize: MinimizeOptions::default(),
+            skip_minimize: false,
+        }
+    }
+}
+
+/// The output of TreeGen: a set of weighted spanning trees over the allocated
+/// GPUs, plus the certificate rate they were packed against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreePlan {
+    /// The root every tree originates from.
+    pub root: GpuId,
+    /// The GPUs spanned.
+    pub gpus: Vec<GpuId>,
+    /// The packed trees with their weights (GB/s).
+    pub trees: Vec<WeightedTree>,
+    /// The Edmonds/Lovász optimal broadcast rate for this allocation (GB/s).
+    pub optimal_rate_gbps: f64,
+    /// Number of trees the raw MWU packing produced before minimisation
+    /// (the paper's "181 trees" statistic).
+    pub trees_before_minimize: usize,
+    /// Which link class the plan uses.
+    pub links: LinkSelection,
+}
+
+impl TreePlan {
+    /// Total packing rate (GB/s).
+    pub fn rate_gbps(&self) -> f64 {
+        self.trees.iter().map(|t| t.weight).sum()
+    }
+
+    /// Number of trees in the plan.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Splits `bytes` across the trees proportionally to their weights.
+    pub fn split_bytes(&self, bytes: u64) -> Vec<u64> {
+        TreePacking::new(self.root, self.trees.clone()).split_bytes(bytes)
+    }
+
+    /// The deepest tree in the plan (bounds pipeline fill latency).
+    pub fn max_depth(&self) -> usize {
+        self.trees.iter().map(|t| t.tree.depth()).max().unwrap_or(0)
+    }
+}
+
+/// The TreeGen stage: owns the induced topology for one job and produces
+/// [`TreePlan`]s for requested roots.
+#[derive(Debug, Clone)]
+pub struct TreeGen {
+    topology: Topology,
+    options: TreeGenOptions,
+}
+
+impl TreeGen {
+    /// Creates a TreeGen over the (already induced) topology of a job's
+    /// allocation.
+    pub fn new(topology: Topology, options: TreeGenOptions) -> Self {
+        TreeGen { topology, options }
+    }
+
+    /// The induced topology this TreeGen plans over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn graph(&self) -> DiGraph {
+        match self.options.links {
+            LinkSelection::NvLinkOnly => {
+                DiGraph::from_topology_filtered(&self.topology, |l| l.kind.is_nvlink())
+            }
+            LinkSelection::PcieOnly => {
+                DiGraph::from_topology_filtered(&self.topology, |l| l.kind == LinkKind::Pcie)
+            }
+        }
+    }
+
+    /// Whether a spanning tree rooted at `root` exists over the selected link
+    /// class (if not, callers fall back to PCIe or hybrid strategies).
+    pub fn can_span(&self, root: GpuId) -> bool {
+        let g = self.graph();
+        match g.node(root) {
+            Some(idx) => g.spans_from(idx),
+            None => false,
+        }
+    }
+
+    /// Runs packing + minimisation for a broadcast/reduce root.
+    ///
+    /// # Errors
+    /// Fails when the root is not in the allocation or the selected link class
+    /// cannot span the allocation.
+    pub fn plan(&self, root: GpuId) -> Result<TreePlan> {
+        let g = self.graph();
+        let gpus = self.topology.gpu_ids();
+        if gpus.len() == 1 {
+            return Ok(TreePlan {
+                root,
+                gpus,
+                trees: Vec::new(),
+                optimal_rate_gbps: 0.0,
+                trees_before_minimize: 0,
+                links: self.options.links,
+            });
+        }
+        let packing = pack_spanning_trees(&g, root, &self.options.packing)
+            .map_err(|e| BlinkError::Planning(e.to_string()))?;
+        let root_idx = g
+            .node(root)
+            .ok_or_else(|| BlinkError::Planning(format!("root {root} not in allocation")))?;
+        let optimal = optimal_broadcast_rate(&g, root_idx);
+        let before = packing.num_trees();
+        let final_packing = if self.options.skip_minimize {
+            packing
+        } else {
+            minimize_trees(&g, &packing, &self.options.minimize)
+        };
+        Ok(TreePlan {
+            root,
+            gpus,
+            trees: final_packing.trees,
+            optimal_rate_gbps: optimal,
+            trees_before_minimize: before,
+            links: self.options.links,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blink_topology::presets::{dgx1p, dgx1v};
+
+    fn induced(topo: &Topology, ids: &[usize]) -> Topology {
+        let alloc: Vec<GpuId> = ids.iter().map(|&i| GpuId(i)).collect();
+        topo.induced(&alloc).unwrap()
+    }
+
+    #[test]
+    fn full_dgx1v_plan_recovers_six_trees() {
+        let topo = induced(&dgx1v(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        let tg = TreeGen::new(topo, TreeGenOptions::default());
+        let plan = tg.plan(GpuId(0)).unwrap();
+        assert_eq!(plan.num_trees(), 6);
+        assert!((plan.rate_gbps() - 138.0).abs() < 1.0);
+        assert!((plan.optimal_rate_gbps - 138.0).abs() < 1e-6);
+        assert!(plan.trees_before_minimize >= plan.num_trees());
+        assert!(plan.max_depth() >= 1);
+        // all trees share the requested root
+        assert!(plan.trees.iter().all(|t| t.tree.root == GpuId(0)));
+    }
+
+    #[test]
+    fn skip_minimize_keeps_the_raw_packing() {
+        let topo = induced(&dgx1v(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        let tg = TreeGen::new(
+            topo,
+            TreeGenOptions {
+                skip_minimize: true,
+                ..Default::default()
+            },
+        );
+        let plan = tg.plan(GpuId(0)).unwrap();
+        // the raw MWU packing uses many more trees than the minimised one
+        assert!(plan.num_trees() > 6, "got {}", plan.num_trees());
+        assert!(plan.rate_gbps() > 0.85 * plan.optimal_rate_gbps);
+    }
+
+    #[test]
+    fn disconnected_nvlink_allocation_fails_but_pcie_spans() {
+        let topo = induced(&dgx1p(), &[1, 4]);
+        let tg = TreeGen::new(topo.clone(), TreeGenOptions::default());
+        assert!(!tg.can_span(GpuId(1)));
+        assert!(tg.plan(GpuId(1)).is_err());
+        let tg_pcie = TreeGen::new(
+            topo,
+            TreeGenOptions {
+                links: LinkSelection::PcieOnly,
+                ..Default::default()
+            },
+        );
+        assert!(tg_pcie.can_span(GpuId(1)));
+        let plan = tg_pcie.plan(GpuId(1)).unwrap();
+        assert!(plan.rate_gbps() > 0.0);
+        assert_eq!(plan.links, LinkSelection::PcieOnly);
+    }
+
+    #[test]
+    fn single_gpu_plan_is_empty() {
+        let topo = induced(&dgx1v(), &[3]);
+        let tg = TreeGen::new(topo, TreeGenOptions::default());
+        let plan = tg.plan(GpuId(3)).unwrap();
+        assert_eq!(plan.num_trees(), 0);
+        assert_eq!(plan.rate_gbps(), 0.0);
+        assert_eq!(plan.split_bytes(100), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn figure4_configuration_packs_three_trees() {
+        let topo = induced(&dgx1p(), &[0, 1, 3, 4, 5, 7]);
+        let tg = TreeGen::new(topo, TreeGenOptions::default());
+        let plan = tg.plan(GpuId(0)).unwrap();
+        assert_eq!(plan.num_trees(), 3);
+        assert!((plan.rate_gbps() - 57.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,449 @@
+//! Spanning arborescences (directed, rooted spanning trees) and the
+//! Chu–Liu/Edmonds minimum-weight arborescence algorithm.
+//!
+//! Blink's MWU packing (Section 3.2) repeatedly needs the *minimum-length*
+//! spanning arborescence under the current edge lengths; Chu–Liu/Edmonds
+//! computes it exactly. Graphs here are tiny (≤ 16 GPUs), so the classic
+//! recursive contraction formulation is more than fast enough.
+
+use crate::digraph::{DiGraph, EdgeIdx, NodeIdx};
+use blink_topology::GpuId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A spanning arborescence: a directed tree that originates at `root` and
+/// reaches every other vertex, each non-root vertex having exactly one parent.
+///
+/// Edges are stored as `(parent, child)` pairs in GPU-id space so that the
+/// structure survives independently of any particular [`DiGraph`] node
+/// numbering (CodeGen and the simulator consume GPU ids directly).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arborescence {
+    /// The root GPU (origin of a broadcast / destination of a reduce).
+    pub root: GpuId,
+    /// `(parent, child)` pairs; every non-root vertex appears exactly once as
+    /// a child.
+    pub edges: Vec<(GpuId, GpuId)>,
+}
+
+impl Arborescence {
+    /// Creates an arborescence from its root and parent→child edge list.
+    pub fn new(root: GpuId, mut edges: Vec<(GpuId, GpuId)>) -> Self {
+        edges.sort();
+        Arborescence { root, edges }
+    }
+
+    /// A single-vertex arborescence (the degenerate 1-GPU collective).
+    pub fn singleton(root: GpuId) -> Self {
+        Arborescence {
+            root,
+            edges: Vec::new(),
+        }
+    }
+
+    /// All vertices (root plus every child), sorted.
+    pub fn vertices(&self) -> Vec<GpuId> {
+        let mut set: BTreeSet<GpuId> = BTreeSet::new();
+        set.insert(self.root);
+        for &(p, c) in &self.edges {
+            set.insert(p);
+            set.insert(c);
+        }
+        set.into_iter().collect()
+    }
+
+    /// Number of vertices spanned.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices().len()
+    }
+
+    /// The parent of `v`, or `None` for the root (or an unknown vertex).
+    pub fn parent(&self, v: GpuId) -> Option<GpuId> {
+        self.edges.iter().find(|&&(_, c)| c == v).map(|&(p, _)| p)
+    }
+
+    /// The children of `v`, in sorted order.
+    pub fn children(&self, v: GpuId) -> Vec<GpuId> {
+        let mut out: Vec<GpuId> = self
+            .edges
+            .iter()
+            .filter(|&&(p, _)| p == v)
+            .map(|&(_, c)| c)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Vertices with no children.
+    pub fn leaves(&self) -> Vec<GpuId> {
+        self.vertices()
+            .into_iter()
+            .filter(|&v| self.children(v).is_empty())
+            .collect()
+    }
+
+    /// Depth of the tree: number of edges on the longest root-to-leaf path.
+    pub fn depth(&self) -> usize {
+        let mut max_depth = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back((self.root, 0usize));
+        while let Some((v, d)) = queue.pop_front() {
+            max_depth = max_depth.max(d);
+            for c in self.children(v) {
+                queue.push_back((c, d + 1));
+            }
+        }
+        max_depth
+    }
+
+    /// Depth (distance from the root) of a single vertex, if present.
+    pub fn depth_of(&self, v: GpuId) -> Option<usize> {
+        let mut depth = 0;
+        let mut cur = v;
+        if !self.vertices().contains(&v) {
+            return None;
+        }
+        while cur != self.root {
+            cur = self.parent(cur)?;
+            depth += 1;
+            if depth > self.edges.len() + 1 {
+                return None; // malformed: cycle
+            }
+        }
+        Some(depth)
+    }
+
+    /// Vertices in breadth-first order starting at the root. This is the order
+    /// CodeGen uses to schedule chunk forwarding.
+    pub fn bfs_order(&self) -> Vec<GpuId> {
+        let mut order = Vec::with_capacity(self.num_vertices());
+        let mut queue = VecDeque::new();
+        queue.push_back(self.root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for c in self.children(v) {
+                queue.push_back(c);
+            }
+        }
+        order
+    }
+
+    /// Edges in breadth-first order (parents before their children's edges).
+    pub fn edges_bfs(&self) -> Vec<(GpuId, GpuId)> {
+        let mut out = Vec::with_capacity(self.edges.len());
+        for v in self.bfs_order() {
+            for c in self.children(v) {
+                out.push((v, c));
+            }
+        }
+        out
+    }
+
+    /// Checks that this is a valid spanning arborescence over exactly
+    /// `expected` vertices: every non-root vertex has one parent, the root has
+    /// none, and every vertex is reachable from the root.
+    pub fn is_valid_over(&self, expected: &[GpuId]) -> bool {
+        let expected: BTreeSet<GpuId> = expected.iter().copied().collect();
+        if !expected.contains(&self.root) {
+            return false;
+        }
+        let verts: BTreeSet<GpuId> = self.vertices().into_iter().collect();
+        if verts != expected {
+            return false;
+        }
+        // each non-root vertex has exactly one incoming edge; root has none
+        let mut indeg: BTreeMap<GpuId, usize> = BTreeMap::new();
+        for &(_, c) in &self.edges {
+            *indeg.entry(c).or_insert(0) += 1;
+        }
+        if indeg.contains_key(&self.root) {
+            return false;
+        }
+        for &v in &verts {
+            if v != self.root && indeg.get(&v).copied().unwrap_or(0) != 1 {
+                return false;
+            }
+        }
+        // reachability
+        self.bfs_order().len() == verts.len()
+    }
+
+    /// The reverse view: every edge flipped. Used for the reduce direction of
+    /// AllReduce (children send *toward* the root).
+    pub fn reversed_edges(&self) -> Vec<(GpuId, GpuId)> {
+        self.edges.iter().map(|&(p, c)| (c, p)).collect()
+    }
+}
+
+/// Computes a minimum-weight spanning arborescence of `graph` rooted at
+/// `root`, where `weight[e]` gives the length of edge `e`.
+///
+/// Returns the chosen edge indices, or `None` if some vertex is unreachable
+/// from the root.
+pub fn min_arborescence(graph: &DiGraph, root: NodeIdx, weights: &[f64]) -> Option<Vec<EdgeIdx>> {
+    assert_eq!(weights.len(), graph.num_edges(), "one weight per edge");
+    if graph.num_nodes() == 0 {
+        return None;
+    }
+    if !graph.spans_from(root) {
+        return None;
+    }
+    #[derive(Clone, Copy)]
+    struct E {
+        u: usize,
+        v: usize,
+        w: f64,
+        id: EdgeIdx,
+    }
+    let edges: Vec<E> = graph
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.src != e.dst)
+        .map(|(id, e)| E {
+            u: e.src,
+            v: e.dst,
+            w: weights[id],
+            id,
+        })
+        .collect();
+
+    fn solve(n: usize, root: usize, edges: &[E]) -> Option<Vec<EdgeIdx>> {
+        if n <= 1 {
+            return Some(Vec::new());
+        }
+        // 1. cheapest incoming edge for every non-root vertex
+        let mut best: Vec<Option<E>> = vec![None; n];
+        for e in edges {
+            if e.v == root || e.u == e.v {
+                continue;
+            }
+            match best[e.v] {
+                Some(b) if b.w <= e.w => {}
+                _ => best[e.v] = Some(*e),
+            }
+        }
+        for (v, b) in best.iter().enumerate() {
+            if v != root && b.is_none() {
+                return None;
+            }
+        }
+        // 2. look for a cycle among the chosen edges
+        let mut color = vec![0u8; n]; // 0 unvisited, 1 in progress, 2 done
+        color[root] = 2;
+        let mut cycle: Option<Vec<usize>> = None;
+        for start in 0..n {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut v = start;
+            while color[v] == 0 {
+                color[v] = 1;
+                path.push(v);
+                v = best[v].expect("non-root vertices have a parent").u;
+            }
+            if color[v] == 1 {
+                // found a cycle: the suffix of `path` starting at v
+                let pos = path.iter().position(|&x| x == v).expect("v is on path");
+                cycle = Some(path[pos..].to_vec());
+            }
+            for &x in &path {
+                color[x] = 2;
+            }
+            if cycle.is_some() {
+                break;
+            }
+        }
+        let chosen: Vec<E> = (0..n)
+            .filter(|&v| v != root)
+            .map(|v| best[v].expect("checked above"))
+            .collect();
+        let Some(cycle) = cycle else {
+            return Some(chosen.iter().map(|e| e.id).collect());
+        };
+        // 3. contract the cycle into a single super-node
+        let in_cycle: BTreeSet<usize> = cycle.iter().copied().collect();
+        let mut map = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for v in 0..n {
+            if !in_cycle.contains(&v) {
+                map[v] = next;
+                next += 1;
+            }
+        }
+        let super_node = next;
+        for &v in &in_cycle {
+            map[v] = super_node;
+        }
+        let new_n = next + 1;
+        let mut new_edges = Vec::new();
+        for e in edges {
+            let (nu, nv) = (map[e.u], map[e.v]);
+            if nu == nv {
+                continue;
+            }
+            let w = if in_cycle.contains(&e.v) {
+                e.w - best[e.v].expect("cycle vertex has a best edge").w
+            } else {
+                e.w
+            };
+            new_edges.push(E {
+                u: nu,
+                v: nv,
+                w,
+                id: e.id,
+            });
+        }
+        let sub = solve(new_n, map[root], &new_edges)?;
+        // 4. expand: the chosen sub-solution has exactly one edge entering the
+        // super-node; the vertex (in *this* level's numbering) where that edge
+        // lands breaks the cycle. Original edge ids are preserved across
+        // contraction levels, so we can look the head up in this level's list.
+        let head_at_this_level: BTreeMap<EdgeIdx, usize> =
+            edges.iter().map(|e| (e.id, e.v)).collect();
+        let mut result: Vec<EdgeIdx> = Vec::new();
+        let mut entering_head: Option<usize> = None;
+        for &id in &sub {
+            result.push(id);
+            if let Some(&dst) = head_at_this_level.get(&id) {
+                if in_cycle.contains(&dst) {
+                    entering_head = Some(dst);
+                }
+            }
+        }
+        let entering_head = entering_head.expect("some edge must enter the contracted cycle");
+        for &v in &in_cycle {
+            if v != entering_head {
+                result.push(best[v].expect("cycle vertex has a best edge").id);
+            }
+        }
+        Some(result)
+    }
+
+    solve(graph.num_nodes(), root, &edges)
+}
+
+/// Converts a set of edge indices (as returned by [`min_arborescence`]) into
+/// an [`Arborescence`] labelled with GPU ids.
+pub fn arborescence_from_edges(graph: &DiGraph, root: NodeIdx, edge_ids: &[EdgeIdx]) -> Arborescence {
+    let edges = edge_ids
+        .iter()
+        .map(|&e| {
+            let edge = graph.edges()[e];
+            (graph.gpu(edge.src), graph.gpu(edge.dst))
+        })
+        .collect();
+    Arborescence::new(graph.gpu(root), edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph() -> DiGraph {
+        // 0 -> 1 -> 2 with a costly shortcut 0 -> 2
+        let mut g = DiGraph::new();
+        let a = g.add_node(GpuId(0));
+        let b = g.add_node(GpuId(1));
+        let c = g.add_node(GpuId(2));
+        g.add_edge(a, b, 1.0); // e0
+        g.add_edge(b, c, 1.0); // e1
+        g.add_edge(a, c, 1.0); // e2
+        g
+    }
+
+    #[test]
+    fn min_arborescence_prefers_cheap_edges() {
+        let g = line_graph();
+        let picked = min_arborescence(&g, 0, &[1.0, 1.0, 10.0]).unwrap();
+        let arb = arborescence_from_edges(&g, 0, &picked);
+        assert_eq!(arb.edges, vec![(GpuId(0), GpuId(1)), (GpuId(1), GpuId(2))]);
+        let picked = min_arborescence(&g, 0, &[1.0, 10.0, 1.0]).unwrap();
+        let arb = arborescence_from_edges(&g, 0, &picked);
+        assert_eq!(arb.edges, vec![(GpuId(0), GpuId(1)), (GpuId(0), GpuId(2))]);
+    }
+
+    #[test]
+    fn min_arborescence_handles_cycles() {
+        // A graph where the greedy per-vertex choice forms a 1<->2 cycle.
+        let mut g = DiGraph::new();
+        let a = g.add_node(GpuId(0));
+        let b = g.add_node(GpuId(1));
+        let c = g.add_node(GpuId(2));
+        let _e0 = g.add_edge(b, c, 1.0); // cheap 1 -> 2
+        let _e1 = g.add_edge(c, b, 1.0); // cheap 2 -> 1
+        let _e2 = g.add_edge(a, b, 5.0); // expensive entries from the root
+        let _e3 = g.add_edge(a, c, 6.0);
+        let picked = min_arborescence(&g, a, &[1.0, 1.0, 5.0, 6.0]).unwrap();
+        let arb = arborescence_from_edges(&g, a, &picked);
+        assert!(arb.is_valid_over(&[GpuId(0), GpuId(1), GpuId(2)]));
+        // best total: enter at 1 (cost 5) then 1 -> 2 (cost 1)
+        assert_eq!(arb.edges, vec![(GpuId(0), GpuId(1)), (GpuId(1), GpuId(2))]);
+    }
+
+    #[test]
+    fn unreachable_vertex_returns_none() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(GpuId(0));
+        let _b = g.add_node(GpuId(1));
+        let c = g.add_node(GpuId(2));
+        g.add_edge(a, c, 1.0);
+        assert!(min_arborescence(&g, a, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn arborescence_queries() {
+        let arb = Arborescence::new(
+            GpuId(0),
+            vec![
+                (GpuId(0), GpuId(1)),
+                (GpuId(0), GpuId(2)),
+                (GpuId(2), GpuId(3)),
+            ],
+        );
+        assert_eq!(arb.num_vertices(), 4);
+        assert_eq!(arb.parent(GpuId(3)), Some(GpuId(2)));
+        assert_eq!(arb.parent(GpuId(0)), None);
+        assert_eq!(arb.children(GpuId(0)), vec![GpuId(1), GpuId(2)]);
+        assert_eq!(arb.leaves(), vec![GpuId(1), GpuId(3)]);
+        assert_eq!(arb.depth(), 2);
+        assert_eq!(arb.depth_of(GpuId(3)), Some(2));
+        assert_eq!(arb.depth_of(GpuId(0)), Some(0));
+        assert_eq!(arb.bfs_order()[0], GpuId(0));
+        assert!(arb.is_valid_over(&[GpuId(0), GpuId(1), GpuId(2), GpuId(3)]));
+        assert!(!arb.is_valid_over(&[GpuId(0), GpuId(1)]));
+        assert_eq!(arb.reversed_edges().len(), 3);
+    }
+
+    #[test]
+    fn invalid_arborescences_are_rejected() {
+        // two parents for vertex 2
+        let arb = Arborescence::new(
+            GpuId(0),
+            vec![(GpuId(0), GpuId(1)), (GpuId(0), GpuId(2)), (GpuId(1), GpuId(2))],
+        );
+        assert!(!arb.is_valid_over(&[GpuId(0), GpuId(1), GpuId(2)]));
+        // edge into the root
+        let arb = Arborescence::new(GpuId(0), vec![(GpuId(1), GpuId(0))]);
+        assert!(!arb.is_valid_over(&[GpuId(0), GpuId(1)]));
+    }
+
+    #[test]
+    fn singleton_is_valid() {
+        let arb = Arborescence::singleton(GpuId(5));
+        assert!(arb.is_valid_over(&[GpuId(5)]));
+        assert_eq!(arb.depth(), 0);
+        assert_eq!(arb.bfs_order(), vec![GpuId(5)]);
+    }
+
+    #[test]
+    fn edges_bfs_lists_parents_first() {
+        let arb = Arborescence::new(
+            GpuId(0),
+            vec![(GpuId(1), GpuId(2)), (GpuId(0), GpuId(1))],
+        );
+        let bfs = arb.edges_bfs();
+        assert_eq!(bfs, vec![(GpuId(0), GpuId(1)), (GpuId(1), GpuId(2))]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Double binary trees, the structure NCCL 2.4 uses for AllReduce on large
+//! GPU counts and for small messages on the DGX-2 (Figure 19/20 baseline).
+//!
+//! The idea (Sanders, Speck & Träff; adopted by NCCL 2.4): build two binary
+//! trees over the ranks such that every rank is an interior node in at most
+//! one of them, split the data in half and run a reduce+broadcast pipeline on
+//! each tree. Against Blink's one-hop trees on a DGX-2 the relevant properties
+//! are (a) depth `O(log N)` — so small messages pay multiple hops of latency —
+//! and (b) every rank sends/receives each byte at most twice.
+//!
+//! The construction below uses a complete binary tree laid out in heap order
+//! over a rank permutation, and a second tree over the reversed permutation.
+//! This keeps the two trees edge-disjoint at the top and gives every rank an
+//! interior role in at most one tree for the power-of-two counts used in the
+//! evaluation; it is a structural stand-in for NCCL's exact construction, with
+//! identical depth and message-count behaviour.
+
+use crate::arborescence::Arborescence;
+use blink_topology::GpuId;
+
+/// A pair of binary trees over the same set of GPUs.
+#[derive(Debug, Clone)]
+pub struct DoubleBinaryTree {
+    /// First tree; carries the first half of the data.
+    pub tree_a: Arborescence,
+    /// Second tree; carries the second half of the data.
+    pub tree_b: Arborescence,
+}
+
+/// Builds a complete binary tree (heap order) over `ranks`; index 0 is the
+/// root, children of index `i` are `2i + 1` and `2i + 2`.
+fn heap_tree(ranks: &[GpuId]) -> Arborescence {
+    let mut edges = Vec::new();
+    for i in 0..ranks.len() {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < ranks.len() {
+                edges.push((ranks[i], ranks[child]));
+            }
+        }
+    }
+    Arborescence::new(ranks[0], edges)
+}
+
+/// Builds the double binary tree over `gpus` (must be non-empty).
+///
+/// # Panics
+/// Panics if `gpus` is empty.
+pub fn double_binary_tree(gpus: &[GpuId]) -> DoubleBinaryTree {
+    assert!(!gpus.is_empty(), "double binary tree needs at least one GPU");
+    let tree_a = heap_tree(gpus);
+    let reversed: Vec<GpuId> = gpus.iter().rev().copied().collect();
+    let tree_b = heap_tree(&reversed);
+    DoubleBinaryTree { tree_a, tree_b }
+}
+
+impl DoubleBinaryTree {
+    /// The depth of the deeper of the two trees.
+    pub fn depth(&self) -> usize {
+        self.tree_a.depth().max(self.tree_b.depth())
+    }
+
+    /// Number of GPUs spanned.
+    pub fn num_gpus(&self) -> usize {
+        self.tree_a.num_vertices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpus(n: usize) -> Vec<GpuId> {
+        (0..n).map(GpuId).collect()
+    }
+
+    #[test]
+    fn trees_span_all_ranks_and_have_log_depth() {
+        for n in [2usize, 3, 4, 7, 8, 15, 16] {
+            let g = gpus(n);
+            let dbt = double_binary_tree(&g);
+            assert!(dbt.tree_a.is_valid_over(&g), "tree A invalid for n={n}");
+            assert!(dbt.tree_b.is_valid_over(&g), "tree B invalid for n={n}");
+            let expected_depth = (n as f64).log2().ceil() as usize;
+            assert!(
+                dbt.depth() <= expected_depth.max(1),
+                "depth {} too large for n={}",
+                dbt.depth(),
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn roots_differ_for_more_than_one_rank() {
+        let dbt = double_binary_tree(&gpus(16));
+        assert_ne!(dbt.tree_a.root, dbt.tree_b.root);
+        assert_eq!(dbt.num_gpus(), 16);
+    }
+
+    #[test]
+    fn interior_overlap_is_limited() {
+        // Every GPU should be a leaf in at least one of the two trees for
+        // power-of-two rank counts (the property that balances send load).
+        let g = gpus(16);
+        let dbt = double_binary_tree(&g);
+        let interior_a: Vec<GpuId> = g
+            .iter()
+            .copied()
+            .filter(|&v| !dbt.tree_a.children(v).is_empty())
+            .collect();
+        let interior_b: Vec<GpuId> = g
+            .iter()
+            .copied()
+            .filter(|&v| !dbt.tree_b.children(v).is_empty())
+            .collect();
+        let both: Vec<GpuId> = interior_a
+            .iter()
+            .copied()
+            .filter(|v| interior_b.contains(v))
+            .collect();
+        // heap-order + reversal keeps the overlap small (not necessarily zero)
+        assert!(both.len() <= g.len() / 2, "overlap {both:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn empty_input_panics() {
+        double_binary_tree(&[]);
+    }
+
+    #[test]
+    fn single_gpu_tree_is_trivial() {
+        let dbt = double_binary_tree(&gpus(1));
+        assert_eq!(dbt.depth(), 0);
+        assert_eq!(dbt.num_gpus(), 1);
+    }
+}

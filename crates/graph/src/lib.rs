@@ -1,0 +1,42 @@
+//! # blink-graph
+//!
+//! Directed-graph algorithms used by Blink's TreeGen stage (Section 3 of the
+//! paper) and by the NCCL baseline:
+//!
+//! * [`DiGraph`] — a small, dense, capacitated directed graph whose vertices
+//!   are GPUs, built from a [`blink_topology::Topology`].
+//! * [`arborescence`] — spanning arborescences (directed spanning trees rooted
+//!   at the collective's root) and the Chu–Liu/Edmonds minimum-weight
+//!   arborescence algorithm.
+//! * [`maxflow`] — Dinic max-flow and the Edmonds/Lovász optimal broadcast
+//!   rate certificate (`min_v maxflow(root → v)`), the value a correct packing
+//!   must approach.
+//! * [`packing`] — the multiplicative-weight-update (MWU) approximate
+//!   fractional packing of spanning arborescences (Section 3.2).
+//! * [`minimize`] — the tree-count minimisation step (Section 3.2.1): a 0/1
+//!   integer program solved by branch-and-bound over the MWU candidates, with
+//!   the paper's iterative relaxation back to fractional weights.
+//! * [`rings`] — lane-disjoint NVLink ring discovery, modelling NCCL's ring
+//!   construction, plus PCIe fallback detection.
+//! * [`dbtree`] — double binary trees as used by NCCL 2.4 for small messages
+//!   on the DGX-2.
+//!
+//! Everything in this crate is pure combinatorics: no simulator, no timing.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arborescence;
+pub mod dbtree;
+pub mod digraph;
+pub mod maxflow;
+pub mod minimize;
+pub mod packing;
+pub mod rings;
+
+pub use arborescence::{min_arborescence, Arborescence};
+pub use digraph::{DiGraph, Edge, EdgeIdx, NodeIdx};
+pub use maxflow::{max_flow, optimal_broadcast_rate};
+pub use minimize::{minimize_trees, MinimizeOptions};
+pub use packing::{pack_spanning_trees, PackingError, PackingOptions, TreePacking, WeightedTree};
+pub use rings::{find_rings, Ring, RingSearch};

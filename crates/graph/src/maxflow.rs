@@ -1,0 +1,200 @@
+//! Max-flow (Dinic) and the optimal broadcast-rate certificate.
+//!
+//! Edmonds' branching theorem (and Lovász's fractional extension) says the
+//! maximum total weight of spanning arborescences rooted at `r` that can be
+//! packed into a capacitated digraph equals the minimum, over all other
+//! vertices `v`, of the max-flow value from `r` to `v`. Blink uses this as the
+//! target rate that the MWU packing must reach; we use it both as a test
+//! oracle and to drive the tree-minimisation threshold.
+
+use crate::digraph::{DiGraph, NodeIdx};
+
+#[derive(Clone, Copy, Debug)]
+struct FlowEdge {
+    to: usize,
+    cap: f64,
+    rev: usize,
+}
+
+struct Dinic {
+    graph: Vec<Vec<FlowEdge>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    fn new(n: usize) -> Self {
+        Dinic {
+            graph: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, cap: f64) {
+        let from_len = self.graph[from].len();
+        let to_len = self.graph[to].len();
+        self.graph[from].push(FlowEdge {
+            to,
+            cap,
+            rev: to_len,
+        });
+        self.graph[to].push(FlowEdge {
+            to: from,
+            cap: 0.0,
+            rev: from_len,
+        });
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for e in &self.graph[v] {
+                if e.cap > 1e-12 && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[v] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, f: f64) -> f64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.graph[v].len() {
+            let i = self.iter[v];
+            let e = self.graph[v][i];
+            if e.cap > 1e-12 && self.level[v] < self.level[e.to] {
+                let d = self.dfs(e.to, t, f.min(e.cap));
+                if d > 1e-12 {
+                    self.graph[v][i].cap -= d;
+                    let rev = e.rev;
+                    self.graph[e.to][rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0.0
+    }
+
+    fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        let mut flow = 0.0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY);
+                if f <= 1e-12 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+}
+
+/// Maximum flow from `source` to `sink` respecting edge capacities.
+///
+/// Returns 0.0 when `source == sink`.
+pub fn max_flow(graph: &DiGraph, source: NodeIdx, sink: NodeIdx) -> f64 {
+    if source == sink {
+        return 0.0;
+    }
+    let mut dinic = Dinic::new(graph.num_nodes());
+    for e in graph.edges() {
+        dinic.add_edge(e.src, e.dst, e.capacity);
+    }
+    dinic.max_flow(source, sink)
+}
+
+/// The optimal one-to-all broadcast rate from `root`:
+/// `min over v != root of max_flow(root -> v)` (Edmonds / Lovász).
+///
+/// Returns `f64::INFINITY` for a single-vertex graph (nothing to send) and
+/// `0.0` when some vertex is unreachable.
+pub fn optimal_broadcast_rate(graph: &DiGraph, root: NodeIdx) -> f64 {
+    let mut rate = f64::INFINITY;
+    for v in 0..graph.num_nodes() {
+        if v == root {
+            continue;
+        }
+        rate = rate.min(max_flow(graph, root, v));
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blink_topology::presets::{dgx1p, dgx1v};
+    use blink_topology::GpuId;
+
+    #[test]
+    fn max_flow_on_a_diamond() {
+        let mut g = DiGraph::new();
+        let s = g.add_node(GpuId(0));
+        let a = g.add_node(GpuId(1));
+        let b = g.add_node(GpuId(2));
+        let t = g.add_node(GpuId(3));
+        g.add_edge(s, a, 3.0);
+        g.add_edge(s, b, 2.0);
+        g.add_edge(a, t, 2.0);
+        g.add_edge(b, t, 3.0);
+        g.add_edge(a, b, 1.0);
+        assert!((max_flow(&g, s, t) - 5.0).abs() < 1e-9);
+        assert!((max_flow(&g, s, s) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_rate_of_a_chain() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(GpuId(0));
+        let b = g.add_node(GpuId(1));
+        let c = g.add_node(GpuId(2));
+        g.add_edge(a, b, 10.0);
+        g.add_edge(b, c, 4.0);
+        assert!((optimal_broadcast_rate(&g, a) - 4.0).abs() < 1e-9);
+        // c cannot reach anyone
+        assert_eq!(optimal_broadcast_rate(&g, c), 0.0);
+    }
+
+    #[test]
+    fn dgx1v_full_allocation_rate_is_six_lanes() {
+        // All 8 GPUs over NVLink: every GPU has 6 lanes of 23 GB/s, and the
+        // hybrid cube-mesh admits a packing that saturates them (the paper's
+        // "6 trees at rate 1.0" result), so the min-cut certificate is 138.
+        let topo = dgx1v();
+        let g = DiGraph::from_topology_filtered(&topo, |l| l.kind.is_nvlink());
+        let root = g.node(GpuId(0)).unwrap();
+        let rate = optimal_broadcast_rate(&g, root);
+        assert!((rate - 138.0).abs() < 1e-6, "rate = {rate}");
+    }
+
+    #[test]
+    fn dgx1p_full_allocation_rate_is_four_lanes() {
+        let topo = dgx1p();
+        let g = DiGraph::from_topology_filtered(&topo, |l| l.kind.is_nvlink());
+        let root = g.node(GpuId(0)).unwrap();
+        let rate = optimal_broadcast_rate(&g, root);
+        assert!((rate - 76.0).abs() < 1e-6, "rate = {rate}");
+    }
+
+    #[test]
+    fn partially_connected_triple_is_limited_by_one_lane() {
+        // GPUs 0, 1, 4 on a DGX-1P (Figure 2b): no NVLink between 1 and 4, so
+        // the broadcast rate from 0 is one NVLink lane (19 GB/s): the cut
+        // around GPU 1 only admits the 0->1 link.
+        let topo = dgx1p();
+        let sub = topo.induced(&[GpuId(0), GpuId(1), GpuId(4)]).unwrap();
+        let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+        let root = g.node(GpuId(0)).unwrap();
+        let rate = optimal_broadcast_rate(&g, root);
+        assert!((rate - 19.0).abs() < 1e-6, "rate = {rate}");
+    }
+}

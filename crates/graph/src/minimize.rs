@@ -1,0 +1,391 @@
+//! Minimising the number of packed trees (Section 3.2.1).
+//!
+//! The MWU packing achieves a near-optimal rate but may return very many
+//! trees with tiny weights (the paper observed 181 trees on the 8-GPU DGX-1V
+//! where 6 suffice). Small per-tree data slices hurt link utilisation and blow
+//! up the number of CUDA operations the generated code must issue, so Blink
+//! post-processes the packing:
+//!
+//! 1. Express capacities in integer *units* (one unit = one NVLink lane's
+//!    bandwidth) and solve a 0/1 integer program over the candidate trees —
+//!    pick a maximum-cardinality subset such that no edge is over-subscribed —
+//!    by branch-and-bound (the candidate set is tiny).
+//! 2. If the integral rate `ĉ` is more than `threshold` below the optimal
+//!    rate `c*`, iteratively relax: add fractional trees on the residual
+//!    capacities until the rate is within the threshold.
+//!
+//! The branch-and-bound is seeded with additional candidates produced by a
+//! greedy "peel one unit-weight arborescence at a time" pass so that a good
+//! integral solution exists even when the MWU candidates overlap badly.
+
+use crate::arborescence::{arborescence_from_edges, min_arborescence, Arborescence};
+use crate::digraph::DiGraph;
+use crate::maxflow::optimal_broadcast_rate;
+use crate::packing::{TreePacking, WeightedTree};
+use blink_topology::GpuId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Options for [`minimize_trees`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MinimizeOptions {
+    /// Accept an integral solution whose rate is within this fraction of the
+    /// optimal rate (the paper uses 5%).
+    pub threshold: f64,
+    /// The bandwidth of "one unit" in GB/s. Defaults to the smallest edge
+    /// capacity in the graph (one NVLink lane on the DGX presets).
+    pub unit_gbps: Option<f64>,
+    /// Cap on branch-and-bound nodes explored before falling back to the best
+    /// incumbent found so far.
+    pub max_bb_nodes: usize,
+}
+
+impl Default for MinimizeOptions {
+    fn default() -> Self {
+        MinimizeOptions {
+            threshold: 0.05,
+            unit_gbps: None,
+            max_bb_nodes: 200_000,
+        }
+    }
+}
+
+fn edge_index_of(graph: &DiGraph, p: GpuId, c: GpuId) -> Option<usize> {
+    let (u, v) = (graph.node(p)?, graph.node(c)?);
+    graph.edge_between(u, v)
+}
+
+fn tree_edge_indices(graph: &DiGraph, tree: &Arborescence) -> Option<Vec<usize>> {
+    tree.edges
+        .iter()
+        .map(|&(p, c)| edge_index_of(graph, p, c))
+        .collect()
+}
+
+/// Greedily peels unit-weight arborescences from the integer unit capacities,
+/// producing candidate trees guaranteed to be packable together.
+fn greedy_unit_trees(graph: &DiGraph, root_idx: usize, unit_caps: &[u32]) -> Vec<Arborescence> {
+    let mut residual: Vec<u32> = unit_caps.to_vec();
+    let mut out = Vec::new();
+    loop {
+        // lengths: prefer edges with plenty of residual capacity; forbid
+        // saturated edges by giving them an effectively infinite length and
+        // checking afterwards.
+        let lengths: Vec<f64> = residual
+            .iter()
+            .map(|&r| if r == 0 { 1e9 } else { 1.0 / r as f64 })
+            .collect();
+        let Some(edge_ids) = min_arborescence(graph, root_idx, &lengths) else {
+            break;
+        };
+        if edge_ids.iter().any(|&e| residual[e] == 0) {
+            break;
+        }
+        for &e in &edge_ids {
+            residual[e] -= 1;
+        }
+        out.push(arborescence_from_edges(graph, root_idx, &edge_ids));
+        if out.len() > 64 {
+            break; // safety valve; real topologies need at most a handful
+        }
+    }
+    out
+}
+
+/// Branch-and-bound for the 0/1 selection: maximise the number of selected
+/// candidates subject to integer unit capacities.
+fn branch_and_bound(
+    candidates: &[Vec<usize>],
+    unit_caps: &[u32],
+    max_nodes: usize,
+) -> Vec<usize> {
+    // Greedy incumbent first.
+    let mut best: Vec<usize> = Vec::new();
+    {
+        let mut residual = unit_caps.to_vec();
+        for (i, edges) in candidates.iter().enumerate() {
+            if edges.iter().all(|&e| residual[e] > 0) {
+                for &e in edges {
+                    residual[e] -= 1;
+                }
+                best.push(i);
+            }
+        }
+    }
+    let mut explored = 0usize;
+    let mut residual = unit_caps.to_vec();
+    let mut chosen: Vec<usize> = Vec::new();
+
+    fn dfs(
+        i: usize,
+        candidates: &[Vec<usize>],
+        residual: &mut Vec<u32>,
+        chosen: &mut Vec<usize>,
+        best: &mut Vec<usize>,
+        explored: &mut usize,
+        max_nodes: usize,
+    ) {
+        *explored += 1;
+        if *explored > max_nodes {
+            return;
+        }
+        if chosen.len() > best.len() {
+            *best = chosen.clone();
+        }
+        if i >= candidates.len() {
+            return;
+        }
+        // bound: even taking every remaining candidate cannot beat the best
+        if chosen.len() + (candidates.len() - i) <= best.len() {
+            return;
+        }
+        // branch 1: take candidate i if it fits
+        if candidates[i].iter().all(|&e| residual[e] > 0) {
+            for &e in &candidates[i] {
+                residual[e] -= 1;
+            }
+            chosen.push(i);
+            dfs(i + 1, candidates, residual, chosen, best, explored, max_nodes);
+            chosen.pop();
+            for &e in &candidates[i] {
+                residual[e] += 1;
+            }
+        }
+        // branch 2: skip candidate i
+        dfs(i + 1, candidates, residual, chosen, best, explored, max_nodes);
+    }
+
+    dfs(
+        0,
+        candidates,
+        &mut residual,
+        &mut chosen,
+        &mut best,
+        &mut explored,
+        max_nodes,
+    );
+    best
+}
+
+/// Reduces the number of trees in `packing` while keeping the total rate
+/// within `opts.threshold` of the optimal broadcast rate.
+///
+/// The returned packing is always feasible. If minimisation cannot reach the
+/// threshold (which does not happen on the DGX presets), the original packing
+/// is returned unchanged.
+pub fn minimize_trees(graph: &DiGraph, packing: &TreePacking, opts: &MinimizeOptions) -> TreePacking {
+    let Some(root_idx) = graph.node(packing.root) else {
+        return packing.clone();
+    };
+    if graph.num_nodes() <= 1 || packing.trees.is_empty() {
+        return packing.clone();
+    }
+    let optimum = optimal_broadcast_rate(graph, root_idx);
+    if optimum <= 0.0 {
+        return packing.clone();
+    }
+    let unit = opts
+        .unit_gbps
+        .or_else(|| graph.min_capacity())
+        .unwrap_or(1.0)
+        .max(1e-9);
+    let unit_caps: Vec<u32> = graph
+        .edges()
+        .iter()
+        .map(|e| (e.capacity / unit + 1e-6).floor() as u32)
+        .collect();
+
+    // Candidate set: distinct MWU trees (heaviest first) plus greedily peeled
+    // unit trees.
+    let mut seen: BTreeMap<Vec<(GpuId, GpuId)>, ()> = BTreeMap::new();
+    let mut candidates: Vec<Arborescence> = Vec::new();
+    let mut sorted: Vec<&WeightedTree> = packing.trees.iter().collect();
+    sorted.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
+    for wt in sorted {
+        if seen.insert(wt.tree.edges.clone(), ()).is_none() {
+            candidates.push(wt.tree.clone());
+        }
+    }
+    for t in greedy_unit_trees(graph, root_idx, &unit_caps) {
+        if seen.insert(t.edges.clone(), ()).is_none() {
+            candidates.push(t);
+        }
+    }
+    // Prefer shallow trees: when several maximum-cardinality selections exist
+    // the branch-and-bound keeps earlier candidates, and shallower trees mean
+    // shorter forwarding pipelines (lower fill latency in CodeGen).
+    candidates.sort_by_key(|t| (t.depth(), t.edges.clone()));
+    let candidate_edges: Vec<Vec<usize>> = candidates
+        .iter()
+        .filter_map(|t| tree_edge_indices(graph, t))
+        .collect();
+    if candidate_edges.len() != candidates.len() {
+        // some candidate references a missing edge — should not happen
+        return packing.clone();
+    }
+
+    let selected = branch_and_bound(&candidate_edges, &unit_caps, opts.max_bb_nodes);
+    let mut trees: Vec<WeightedTree> = selected
+        .iter()
+        .map(|&i| WeightedTree {
+            tree: candidates[i].clone(),
+            weight: unit,
+        })
+        .collect();
+    let mut rate: f64 = trees.iter().map(|t| t.weight).sum();
+
+    // Iterative relaxation: top up with fractional trees on the residual
+    // capacity until we are within the threshold of the optimum.
+    if rate < (1.0 - opts.threshold) * optimum {
+        let mut residual: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
+        for (i, edges) in candidate_edges.iter().enumerate() {
+            if selected.contains(&i) {
+                for &e in edges {
+                    residual[e] -= unit;
+                }
+            }
+        }
+        // fill greedily with the remaining candidates, largest feasible
+        // fractional weight first
+        let mut progress = true;
+        while rate < (1.0 - opts.threshold) * optimum && progress {
+            progress = false;
+            for (i, edges) in candidate_edges.iter().enumerate() {
+                let headroom = edges
+                    .iter()
+                    .map(|&e| residual[e])
+                    .fold(f64::INFINITY, f64::min);
+                if headroom > 1e-6 {
+                    let need = (1.0 - opts.threshold) * optimum - rate;
+                    let w = headroom.min(need.max(0.0));
+                    if w <= 1e-9 {
+                        continue;
+                    }
+                    for &e in edges {
+                        residual[e] -= w;
+                    }
+                    trees.push(WeightedTree {
+                        tree: candidates[i].clone(),
+                        weight: w,
+                    });
+                    rate += w;
+                    progress = true;
+                    if rate >= (1.0 - opts.threshold) * optimum {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let minimized = TreePacking::new(packing.root, trees).scaled_to_feasible(graph);
+    // Never return something worse than what we started with.
+    if minimized.rate() + 1e-9 < packing.rate().min((1.0 - opts.threshold) * optimum) {
+        packing.clone()
+    } else {
+        minimized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packing::{pack_spanning_trees, PackingOptions};
+    use blink_topology::presets::{dgx1p, dgx1v};
+    use blink_topology::Topology;
+
+    fn nvlink_graph(topo: &Topology, alloc: &[GpuId]) -> DiGraph {
+        let sub = topo.induced(alloc).unwrap();
+        DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink())
+    }
+
+    #[test]
+    fn dgx1v_8gpu_minimizes_to_six_unit_trees() {
+        // The paper's headline example: 181 MWU trees reduce to 6 trees, each
+        // carrying one NVLink lane (rate 1.0 in lane units).
+        let topo = dgx1v();
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let g = nvlink_graph(&topo, &alloc);
+        let opts = PackingOptions {
+            epsilon: 0.08,
+            ..Default::default()
+        };
+        let packing = pack_spanning_trees(&g, GpuId(0), &opts).unwrap();
+        let minimized = minimize_trees(&g, &packing, &MinimizeOptions::default());
+        assert!(minimized.is_feasible(&g));
+        assert_eq!(minimized.num_trees(), 6, "rate={}", minimized.rate());
+        assert!((minimized.rate() - 138.0).abs() < 1.0);
+        // every tree carries exactly one lane unit
+        for t in &minimized.trees {
+            assert!((t.weight - 23.0).abs() < 1e-6);
+        }
+        // and the data split is even (166 MB per tree for a 1000 MB buffer)
+        let split = minimized.split_bytes(1000 * 1024 * 1024);
+        let expect = 1000.0 * 1024.0 * 1024.0 / 6.0;
+        for bytes in split {
+            assert!((bytes as f64 - expect).abs() < expect * 0.02);
+        }
+    }
+
+    #[test]
+    fn dgx1p_8gpu_minimizes_to_four_unit_trees() {
+        let topo = dgx1p();
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let g = nvlink_graph(&topo, &alloc);
+        let packing = pack_spanning_trees(
+            &g,
+            GpuId(0),
+            &PackingOptions {
+                epsilon: 0.08,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let minimized = minimize_trees(&g, &packing, &MinimizeOptions::default());
+        assert!(minimized.is_feasible(&g));
+        assert_eq!(minimized.num_trees(), 4);
+        assert!((minimized.rate() - 76.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn minimization_never_reduces_achieved_rate_below_threshold() {
+        let topo = dgx1v();
+        for alloc in [
+            vec![GpuId(0), GpuId(1), GpuId(3)],
+            vec![GpuId(1), GpuId(4), GpuId(5), GpuId(6)],
+            vec![GpuId(2), GpuId(3), GpuId(5), GpuId(6), GpuId(7)],
+        ] {
+            let g = nvlink_graph(&topo, &alloc);
+            if !g.spans_from(g.node(alloc[0]).unwrap()) {
+                continue;
+            }
+            let packing = pack_spanning_trees(
+                &g,
+                alloc[0],
+                &PackingOptions {
+                    epsilon: 0.08,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let opt = optimal_broadcast_rate(&g, g.node(alloc[0]).unwrap());
+            let minimized = minimize_trees(&g, &packing, &MinimizeOptions::default());
+            assert!(minimized.is_feasible(&g));
+            assert!(
+                minimized.rate() >= 0.94 * opt,
+                "alloc {alloc:?}: rate {} vs opt {opt}",
+                minimized.rate()
+            );
+            assert!(minimized.num_trees() <= packing.num_trees().max(1));
+        }
+    }
+
+    #[test]
+    fn minimizing_an_empty_packing_is_a_noop() {
+        let topo = dgx1p();
+        let g = nvlink_graph(&topo, &[GpuId(0)]);
+        let packing = TreePacking::new(GpuId(0), Vec::new());
+        let out = minimize_trees(&g, &packing, &MinimizeOptions::default());
+        assert_eq!(out.num_trees(), 0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Approximate fractional packing of spanning arborescences (Section 3.2).
+//!
+//! The problem: given the capacitated digraph induced by a job's GPU
+//! allocation and a root vertex `r`, find weights `w_T ≥ 0` for spanning
+//! arborescences `T` rooted at `r` maximising `Σ w_T` subject to
+//! `Σ_{T ∋ e} w_T ≤ c_e` for every edge `e`. The optimum equals the
+//! broadcast min-cut certificate computed in [`crate::maxflow`].
+//!
+//! We follow the multiplicative-weight-update / Garg–Könemann scheme the
+//! paper references (Chekuri & Quanrud's near-linear fractional packing):
+//! maintain a length `ℓ_e` per edge, repeatedly pick the *minimum-length*
+//! arborescence (Chu–Liu/Edmonds), route the bottleneck capacity along it and
+//! multiplicatively inflate the lengths of its edges. On termination the raw
+//! weights are scaled down so the packing is feasible; with the default ε the
+//! result is within a few percent of the certificate.
+
+use crate::arborescence::{arborescence_from_edges, min_arborescence, Arborescence};
+use crate::digraph::DiGraph;
+use crate::maxflow::optimal_broadcast_rate;
+use blink_topology::GpuId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Options controlling the MWU packing.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PackingOptions {
+    /// Approximation parameter ε: smaller means closer to optimal but more
+    /// iterations (`O(m ln m / ε²)`).
+    pub epsilon: f64,
+    /// Hard cap on MWU iterations (a safety valve; the Garg–Könemann stopping
+    /// rule normally fires first).
+    pub max_iterations: usize,
+}
+
+impl Default for PackingOptions {
+    fn default() -> Self {
+        PackingOptions {
+            epsilon: 0.05,
+            max_iterations: 200_000,
+        }
+    }
+}
+
+/// Errors from [`pack_spanning_trees`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackingError {
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// The requested root is not a vertex of the graph.
+    UnknownRoot(GpuId),
+    /// Some vertex cannot be reached from the root, so no spanning
+    /// arborescence exists (the caller should fall back to another link class,
+    /// e.g. PCIe).
+    Unreachable,
+}
+
+impl fmt::Display for PackingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackingError::EmptyGraph => write!(f, "graph has no vertices"),
+            PackingError::UnknownRoot(g) => write!(f, "root {g} is not in the graph"),
+            PackingError::Unreachable => {
+                write!(f, "some vertex is unreachable from the root; no spanning tree exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackingError {}
+
+/// A spanning arborescence together with the rate (GB/s) assigned to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedTree {
+    /// The tree.
+    pub tree: Arborescence,
+    /// Rate in GB/s: the share of the collective's data transferred over this
+    /// tree per unit time.
+    pub weight: f64,
+}
+
+/// The result of packing spanning arborescences rooted at `root`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreePacking {
+    /// The root vertex every tree originates from.
+    pub root: GpuId,
+    /// The packed trees and their weights.
+    pub trees: Vec<WeightedTree>,
+}
+
+impl TreePacking {
+    /// Creates a packing from parts.
+    pub fn new(root: GpuId, trees: Vec<WeightedTree>) -> Self {
+        TreePacking { root, trees }
+    }
+
+    /// Total packing rate `Σ w_T` in GB/s — the achievable broadcast rate.
+    pub fn rate(&self) -> f64 {
+        self.trees.iter().map(|t| t.weight).sum()
+    }
+
+    /// Number of trees with a strictly positive weight.
+    pub fn num_trees(&self) -> usize {
+        self.trees.iter().filter(|t| t.weight > 1e-12).count()
+    }
+
+    /// Aggregate weight crossing each directed edge.
+    pub fn edge_usage(&self) -> BTreeMap<(GpuId, GpuId), f64> {
+        let mut usage = BTreeMap::new();
+        for wt in &self.trees {
+            for &(p, c) in &wt.tree.edges {
+                *usage.entry((p, c)).or_insert(0.0) += wt.weight;
+            }
+        }
+        usage
+    }
+
+    /// Maximum over-subscription factor of any edge: `max_e usage_e / c_e`.
+    /// A feasible packing has a factor ≤ 1 (+ numerical slack).
+    pub fn max_overuse(&self, graph: &DiGraph) -> f64 {
+        let mut worst = 0.0f64;
+        for ((p, c), usage) in self.edge_usage() {
+            let cap = match (graph.node(p), graph.node(c)) {
+                (Some(u), Some(v)) => graph.capacity_between(u, v),
+                _ => 0.0,
+            };
+            if cap <= 0.0 {
+                return f64::INFINITY;
+            }
+            worst = worst.max(usage / cap);
+        }
+        worst
+    }
+
+    /// Whether no edge is over-subscribed (within a small numerical slack).
+    pub fn is_feasible(&self, graph: &DiGraph) -> bool {
+        self.max_overuse(graph) <= 1.0 + 1e-6
+    }
+
+    /// Returns a copy scaled so that the packing is exactly feasible.
+    pub fn scaled_to_feasible(&self, graph: &DiGraph) -> TreePacking {
+        let overuse = self.max_overuse(graph);
+        let scale = if overuse > 1.0 && overuse.is_finite() {
+            1.0 / overuse
+        } else {
+            1.0
+        };
+        TreePacking {
+            root: self.root,
+            trees: self
+                .trees
+                .iter()
+                .map(|t| WeightedTree {
+                    tree: t.tree.clone(),
+                    weight: t.weight * scale,
+                })
+                .collect(),
+        }
+    }
+
+    /// Drops trees whose weight is negligible (below `min_weight` GB/s) and
+    /// renormalises nothing — the remaining rate simply shrinks by the dropped
+    /// amount (which is bounded by `min_weight * num_trees`).
+    pub fn pruned(&self, min_weight: f64) -> TreePacking {
+        TreePacking {
+            root: self.root,
+            trees: self
+                .trees
+                .iter()
+                .filter(|t| t.weight >= min_weight)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Splits `total_bytes` across the trees proportionally to their weights.
+    /// The returned vector is parallel to `trees` and sums to `total_bytes`.
+    pub fn split_bytes(&self, total_bytes: u64) -> Vec<u64> {
+        let rate = self.rate();
+        if rate <= 0.0 || self.trees.is_empty() {
+            return vec![0; self.trees.len()];
+        }
+        let mut out: Vec<u64> = self
+            .trees
+            .iter()
+            .map(|t| ((t.weight / rate) * total_bytes as f64).floor() as u64)
+            .collect();
+        let assigned: u64 = out.iter().sum();
+        // give any rounding remainder to the heaviest tree
+        if let Some(idx) = (0..self.trees.len()).max_by(|&a, &b| {
+            self.trees[a]
+                .weight
+                .partial_cmp(&self.trees[b].weight)
+                .expect("weights are finite")
+        }) {
+            out[idx] += total_bytes - assigned;
+        }
+        out
+    }
+}
+
+/// Packs spanning arborescences rooted at `root` into `graph` using the MWU
+/// approximation, returning a feasible packing whose rate is close to the
+/// Edmonds/Lovász optimum.
+///
+/// # Errors
+/// * [`PackingError::EmptyGraph`] for a vertex-less graph.
+/// * [`PackingError::UnknownRoot`] if `root` is not a vertex.
+/// * [`PackingError::Unreachable`] if no spanning arborescence exists.
+pub fn pack_spanning_trees(
+    graph: &DiGraph,
+    root: GpuId,
+    opts: &PackingOptions,
+) -> Result<TreePacking, PackingError> {
+    if graph.num_nodes() == 0 {
+        return Err(PackingError::EmptyGraph);
+    }
+    let root_idx = graph.node(root).ok_or(PackingError::UnknownRoot(root))?;
+    if graph.num_nodes() == 1 {
+        return Ok(TreePacking::new(root, Vec::new()));
+    }
+    if !graph.spans_from(root_idx) {
+        return Err(PackingError::Unreachable);
+    }
+    let m = graph.num_edges();
+    let eps = opts.epsilon.clamp(1e-3, 0.5);
+    let caps: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
+    // Garg–Könemann initialisation.
+    let delta = (1.0 + eps) * ((1.0 + eps) * m as f64).powf(-1.0 / eps);
+    let mut lengths: Vec<f64> = caps.iter().map(|c| delta / c).collect();
+    let mut raw: BTreeMap<Vec<(GpuId, GpuId)>, f64> = BTreeMap::new();
+
+    for _ in 0..opts.max_iterations {
+        let d: f64 = lengths
+            .iter()
+            .zip(&caps)
+            .map(|(l, c)| l * c)
+            .sum();
+        if d >= 1.0 {
+            break;
+        }
+        let edge_ids = min_arborescence(graph, root_idx, &lengths)
+            .expect("spanning arborescence exists: graph spans from root");
+        let bottleneck = edge_ids
+            .iter()
+            .map(|&e| caps[e])
+            .fold(f64::INFINITY, f64::min);
+        let arb = arborescence_from_edges(graph, root_idx, &edge_ids);
+        *raw.entry(arb.edges.clone()).or_insert(0.0) += bottleneck;
+        for &e in &edge_ids {
+            lengths[e] *= 1.0 + eps * bottleneck / caps[e];
+        }
+    }
+
+    let trees: Vec<WeightedTree> = raw
+        .into_iter()
+        .map(|(edges, weight)| WeightedTree {
+            tree: Arborescence::new(root, edges),
+            weight,
+        })
+        .collect();
+    let packing = TreePacking::new(root, trees).scaled_to_feasible(graph);
+    Ok(packing)
+}
+
+/// Convenience wrapper: packs trees and reports how close the rate is to the
+/// max-flow certificate. Mostly used by tests and the experiment harness.
+pub fn pack_with_certificate(
+    graph: &DiGraph,
+    root: GpuId,
+    opts: &PackingOptions,
+) -> Result<(TreePacking, f64), PackingError> {
+    let packing = pack_spanning_trees(graph, root, opts)?;
+    let root_idx = graph.node(root).expect("validated by pack_spanning_trees");
+    let optimum = optimal_broadcast_rate(graph, root_idx);
+    Ok((packing, optimum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blink_topology::presets::{dgx1p, dgx1v};
+    use blink_topology::Topology;
+
+    fn pack_nvlink(topo: &Topology, alloc: &[GpuId], root: GpuId) -> (TreePacking, f64, DiGraph) {
+        let sub = topo.induced(alloc).unwrap();
+        let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+        let opts = PackingOptions {
+            epsilon: 0.08,
+            ..Default::default()
+        };
+        let (packing, opt) = pack_with_certificate(&g, root, &opts).unwrap();
+        (packing, opt, g)
+    }
+
+    #[test]
+    fn packing_is_feasible_and_near_optimal_on_full_dgx1v() {
+        let topo = dgx1v();
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let (packing, opt, g) = pack_nvlink(&topo, &alloc, GpuId(0));
+        assert!(packing.is_feasible(&g));
+        assert!((opt - 138.0).abs() < 1e-6);
+        assert!(
+            packing.rate() >= 0.88 * opt,
+            "rate {} should be close to optimum {}",
+            packing.rate(),
+            opt
+        );
+        // every tree spans all 8 GPUs
+        for wt in &packing.trees {
+            assert!(wt.tree.is_valid_over(&alloc));
+        }
+    }
+
+    #[test]
+    fn packing_is_feasible_and_near_optimal_on_full_dgx1p() {
+        let topo = dgx1p();
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let (packing, opt, g) = pack_nvlink(&topo, &alloc, GpuId(0));
+        assert!(packing.is_feasible(&g));
+        assert!((opt - 76.0).abs() < 1e-6);
+        assert!(packing.rate() >= 0.88 * opt);
+    }
+
+    #[test]
+    fn six_gpu_figure4_configuration_beats_two_rings() {
+        // Figure 4: GPUs {0,1,3,4,5,7} on a DGX-1P. NCCL can only build one
+        // undirected ring (2 directed rings = 2 lanes of broadcast rate);
+        // Blink packs 3 spanning trees.
+        let topo = dgx1p();
+        let alloc = [GpuId(0), GpuId(1), GpuId(3), GpuId(4), GpuId(5), GpuId(7)];
+        let (packing, opt, g) = pack_nvlink(&topo, &alloc, GpuId(0));
+        assert!((opt - 3.0 * 19.0).abs() < 1e-6, "opt = {opt}");
+        assert!(packing.is_feasible(&g));
+        assert!(packing.rate() >= 0.88 * opt);
+    }
+
+    #[test]
+    fn partially_connected_triple_packs_one_lane() {
+        let topo = dgx1p();
+        let alloc = [GpuId(0), GpuId(1), GpuId(4)];
+        let (packing, opt, g) = pack_nvlink(&topo, &alloc, GpuId(0));
+        assert!((opt - 19.0).abs() < 1e-6);
+        assert!(packing.rate() >= 0.9 * opt);
+        assert!(packing.is_feasible(&g));
+        // only one distinct tree exists
+        assert_eq!(packing.num_trees(), 1);
+    }
+
+    #[test]
+    fn unreachable_allocation_is_rejected() {
+        // NVLink-only graph over GPUs 1 and 4 has no edges (Figure 1).
+        let topo = dgx1p();
+        let sub = topo.induced(&[GpuId(1), GpuId(4)]).unwrap();
+        let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+        let err = pack_spanning_trees(&g, GpuId(1), &PackingOptions::default()).unwrap_err();
+        assert_eq!(err, PackingError::Unreachable);
+    }
+
+    #[test]
+    fn unknown_root_and_empty_graph_errors() {
+        let g = DiGraph::new();
+        assert_eq!(
+            pack_spanning_trees(&g, GpuId(0), &PackingOptions::default()).unwrap_err(),
+            PackingError::EmptyGraph
+        );
+        let topo = dgx1p();
+        let sub = topo.induced(&[GpuId(0), GpuId(1)]).unwrap();
+        let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+        assert_eq!(
+            pack_spanning_trees(&g, GpuId(7), &PackingOptions::default()).unwrap_err(),
+            PackingError::UnknownRoot(GpuId(7))
+        );
+    }
+
+    #[test]
+    fn single_gpu_packs_trivially() {
+        let topo = dgx1p();
+        let sub = topo.induced(&[GpuId(2)]).unwrap();
+        let g = DiGraph::from_topology(&sub);
+        let packing = pack_spanning_trees(&g, GpuId(2), &PackingOptions::default()).unwrap();
+        assert_eq!(packing.num_trees(), 0);
+        assert_eq!(packing.rate(), 0.0);
+    }
+
+    #[test]
+    fn split_bytes_conserves_total() {
+        let topo = dgx1v();
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let (packing, _, _) = pack_nvlink(&topo, &alloc, GpuId(0));
+        let total = 500 * 1024 * 1024u64;
+        let split = packing.split_bytes(total);
+        assert_eq!(split.iter().sum::<u64>(), total);
+        assert_eq!(split.len(), packing.trees.len());
+    }
+
+    #[test]
+    fn pruning_drops_only_tiny_trees() {
+        let topo = dgx1v();
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let (packing, _, _) = pack_nvlink(&topo, &alloc, GpuId(0));
+        let pruned = packing.pruned(0.5);
+        assert!(pruned.num_trees() <= packing.num_trees());
+        assert!(pruned.rate() <= packing.rate() + 1e-9);
+        assert!(pruned.trees.iter().all(|t| t.weight >= 0.5));
+    }
+}

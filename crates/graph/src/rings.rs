@@ -1,0 +1,471 @@
+//! NCCL-style ring discovery.
+//!
+//! NCCL builds ring channels over NVLink: each ring is a Hamiltonian cycle
+//! through the allocated GPUs that consumes one NVLink lane per hop, and the
+//! set of rings must be lane-disjoint. If no NVLink ring through *all* GPUs
+//! exists, NCCL falls back to PCIe (Section 1, Figure 2(b) of the paper).
+//!
+//! [`find_rings`] reproduces this behaviour. For the small graphs that matter
+//! here (≤ 10 GPUs) it enumerates every Hamiltonian cycle and then picks, by
+//! branch-and-bound, the largest multiset of lane-disjoint cycles — i.e. the
+//! best ring set NCCL could possibly construct. For larger graphs (the DGX-2's
+//! 16-GPU complete graph) it falls back to greedy extraction, which is exact
+//! there because any permutation is a valid ring.
+
+use crate::digraph::DiGraph;
+use blink_topology::GpuId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A ring (Hamiltonian cycle) over GPUs, stored as the cyclic visiting order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ring {
+    /// The GPUs in ring order; the last hop closes back to the first entry.
+    pub order: Vec<GpuId>,
+}
+
+impl Ring {
+    /// Number of GPUs on the ring.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the ring is empty (never produced by [`find_rings`]).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The directed hops of the ring in its forward orientation, including the
+    /// closing hop.
+    pub fn hops(&self) -> Vec<(GpuId, GpuId)> {
+        let n = self.order.len();
+        (0..n)
+            .map(|i| (self.order[i], self.order[(i + 1) % n]))
+            .collect()
+    }
+
+    /// The ring traversed in the opposite direction.
+    pub fn reversed(&self) -> Ring {
+        let mut order = self.order.clone();
+        order[1..].reverse();
+        Ring { order }
+    }
+
+    /// The position of `gpu` on the ring, if present.
+    pub fn position(&self, gpu: GpuId) -> Option<usize> {
+        self.order.iter().position(|&g| g == gpu)
+    }
+
+    /// Rotates the ring so that it starts at `root` (used for broadcast,
+    /// where the root must be the origin). Returns `None` if `root` is not on
+    /// the ring.
+    pub fn rooted_at(&self, root: GpuId) -> Option<Ring> {
+        let pos = self.position(root)?;
+        let mut order = Vec::with_capacity(self.order.len());
+        for i in 0..self.order.len() {
+            order.push(self.order[(pos + i) % self.order.len()]);
+        }
+        Some(Ring { order })
+    }
+}
+
+/// The result of ring discovery over one allocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RingSearch {
+    /// Lane-disjoint undirected Hamiltonian cycles found over NVLink.
+    pub rings: Vec<Ring>,
+    /// The per-lane bandwidth (GB/s) used to convert capacities to lane counts.
+    pub unit_gbps: f64,
+}
+
+impl RingSearch {
+    /// Whether NCCL would have to fall back to PCIe for this allocation.
+    pub fn requires_pcie_fallback(&self) -> bool {
+        self.rings.is_empty()
+    }
+
+    /// Number of *directed* ring channels (each undirected cycle yields two).
+    pub fn directed_channels(&self) -> usize {
+        self.rings.len() * 2
+    }
+}
+
+type LaneMap = BTreeMap<(usize, usize), u32>;
+
+fn lane_counts(graph: &DiGraph, unit_gbps: f64) -> LaneMap {
+    let n = graph.num_nodes();
+    let mut lanes = LaneMap::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let fwd = graph.capacity_between(u, v);
+            let bwd = graph.capacity_between(v, u);
+            let count = (fwd.min(bwd) / unit_gbps + 0.25).floor() as u32;
+            if count > 0 {
+                lanes.insert((u, v), count);
+            }
+        }
+    }
+    lanes
+}
+
+fn lane(lanes: &LaneMap, a: usize, b: usize) -> u32 {
+    lanes.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
+}
+
+fn take_cycle(lanes: &mut LaneMap, cycle: &[usize]) {
+    for i in 0..cycle.len() {
+        let a = cycle[i];
+        let b = cycle[(i + 1) % cycle.len()];
+        let key = (a.min(b), a.max(b));
+        if let Some(c) = lanes.get_mut(&key) {
+            *c -= 1;
+            if *c == 0 {
+                lanes.remove(&key);
+            }
+        }
+    }
+}
+
+fn cycle_fits(lanes: &LaneMap, cycle: &[usize]) -> bool {
+    // every hop must have at least one lane left; hops that reuse the same
+    // pair (only possible for 2-node rings) need as many lanes as uses.
+    let mut needed: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+    for i in 0..cycle.len() {
+        let a = cycle[i];
+        let b = cycle[(i + 1) % cycle.len()];
+        *needed.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+    }
+    needed
+        .iter()
+        .all(|(&k, &need)| lanes.get(&k).copied().unwrap_or(0) >= need)
+}
+
+/// Enumerates Hamiltonian cycles (as node orders starting at 0) up to `cap`
+/// of them; returns `None` when the cap is exceeded.
+fn enumerate_cycles(n: usize, lanes: &LaneMap, cap: usize) -> Option<Vec<Vec<usize>>> {
+    if n < 2 {
+        return Some(Vec::new());
+    }
+    if n == 2 {
+        return Some(if lane(lanes, 0, 1) >= 2 {
+            vec![vec![0, 1]]
+        } else {
+            Vec::new()
+        });
+    }
+    let mut cycles = Vec::new();
+    let mut path = vec![0usize];
+    let mut used = vec![false; n];
+    used[0] = true;
+    let mut overflow = false;
+
+    fn backtrack(
+        n: usize,
+        path: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        lanes: &LaneMap,
+        cycles: &mut Vec<Vec<usize>>,
+        cap: usize,
+        overflow: &mut bool,
+    ) {
+        if *overflow {
+            return;
+        }
+        if path.len() == n {
+            if lane(lanes, path[n - 1], path[0]) > 0 {
+                // dedupe orientation: require second node < last node
+                if path[1] < path[n - 1] {
+                    cycles.push(path.clone());
+                    if cycles.len() > cap {
+                        *overflow = true;
+                    }
+                }
+            }
+            return;
+        }
+        let last = *path.last().expect("path non-empty");
+        for next in 1..n {
+            if !used[next] && lane(lanes, last, next) > 0 {
+                used[next] = true;
+                path.push(next);
+                backtrack(n, path, used, lanes, cycles, cap, overflow);
+                path.pop();
+                used[next] = false;
+            }
+        }
+    }
+
+    backtrack(n, &mut path, &mut used, lanes, &mut cycles, cap, &mut overflow);
+    if overflow {
+        None
+    } else {
+        Some(cycles)
+    }
+}
+
+/// Greedy extraction used when cycle enumeration is too large (DGX-2 and
+/// bigger). Preference is given to hops with more remaining lanes.
+fn greedy_extract(n: usize, lanes: &mut LaneMap) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    loop {
+        let mut path = vec![0usize];
+        let mut used = vec![false; n];
+        used[0] = true;
+        if !greedy_backtrack(n, &mut path, &mut used, lanes) {
+            break;
+        }
+        take_cycle(lanes, &path);
+        out.push(path);
+        if out.len() > 32 {
+            break;
+        }
+    }
+    out
+}
+
+fn greedy_backtrack(n: usize, path: &mut Vec<usize>, used: &mut Vec<bool>, lanes: &LaneMap) -> bool {
+    if path.len() == n {
+        return lane(lanes, path[n - 1], path[0]) > 0;
+    }
+    let last = *path.last().expect("path non-empty");
+    let mut nexts: Vec<usize> = (0..n).filter(|&v| !used[v] && lane(lanes, last, v) > 0).collect();
+    nexts.sort_by_key(|&v| std::cmp::Reverse(lane(lanes, last, v)));
+    for next in nexts {
+        used[next] = true;
+        path.push(next);
+        if greedy_backtrack(n, path, used, lanes) {
+            return true;
+        }
+        path.pop();
+        used[next] = false;
+    }
+    false
+}
+
+/// Branch-and-bound selection of the largest lane-disjoint multiset of cycles.
+fn best_cycle_packing(cycles: &[Vec<usize>], lanes: &LaneMap, max_nodes: usize) -> Vec<Vec<usize>> {
+    let mut best: Vec<Vec<usize>> = Vec::new();
+    // greedy incumbent
+    {
+        let mut residual = lanes.clone();
+        for c in cycles {
+            if cycle_fits(&residual, c) {
+                take_cycle(&mut residual, c);
+                best.push(c.clone());
+            }
+        }
+    }
+    let upper_bound = |lanes: &LaneMap, n_nodes: usize| -> usize {
+        if n_nodes == 0 {
+            return 0;
+        }
+        let mut deg = vec![0u32; n_nodes];
+        for (&(a, b), &c) in lanes {
+            deg[a] += c;
+            deg[b] += c;
+        }
+        (deg.iter().copied().min().unwrap_or(0) / 2) as usize
+    };
+    let n_nodes = cycles.iter().map(|c| c.len()).max().unwrap_or(0);
+    let mut chosen: Vec<Vec<usize>> = Vec::new();
+    let mut residual = lanes.clone();
+    let mut explored = 0usize;
+
+    fn dfs(
+        i: usize,
+        cycles: &[Vec<usize>],
+        residual: &mut LaneMap,
+        chosen: &mut Vec<Vec<usize>>,
+        best: &mut Vec<Vec<usize>>,
+        explored: &mut usize,
+        max_nodes: usize,
+        n_nodes: usize,
+        upper_bound: &dyn Fn(&LaneMap, usize) -> usize,
+    ) {
+        *explored += 1;
+        if chosen.len() > best.len() {
+            *best = chosen.clone();
+        }
+        if i >= cycles.len() || *explored > max_nodes {
+            return;
+        }
+        if chosen.len() + upper_bound(residual, n_nodes) <= best.len() {
+            return;
+        }
+        // take cycle i (possibly again later: stay at index i)
+        if cycle_fits(residual, &cycles[i]) {
+            take_cycle(residual, &cycles[i]);
+            chosen.push(cycles[i].clone());
+            dfs(i, cycles, residual, chosen, best, explored, max_nodes, n_nodes, upper_bound);
+            chosen.pop();
+            // restore lanes
+            for k in 0..cycles[i].len() {
+                let a = cycles[i][k];
+                let b = cycles[i][(k + 1) % cycles[i].len()];
+                *residual.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+            }
+        }
+        // skip cycle i
+        dfs(i + 1, cycles, residual, chosen, best, explored, max_nodes, n_nodes, upper_bound);
+    }
+
+    dfs(
+        0,
+        cycles,
+        &mut residual,
+        &mut chosen,
+        &mut best,
+        &mut explored,
+        max_nodes,
+        n_nodes,
+        &upper_bound,
+    );
+    best
+}
+
+/// Finds a maximum set of lane-disjoint Hamiltonian cycles in the NVLink
+/// graph `graph` (typically built with
+/// `DiGraph::from_topology_filtered(topo, |l| l.kind.is_nvlink())`).
+///
+/// `unit_gbps` is the bandwidth of one lane; the lane count of an undirected
+/// pair is `round(min(cap(a→b), cap(b→a)) / unit_gbps)`.
+pub fn find_rings(graph: &DiGraph, unit_gbps: f64) -> RingSearch {
+    let n = graph.num_nodes();
+    let mut lanes = lane_counts(graph, unit_gbps);
+    let cycles = if n <= 10 {
+        enumerate_cycles(n, &lanes, 20_000)
+    } else {
+        None
+    };
+    let picked: Vec<Vec<usize>> = match cycles {
+        Some(cycles) if !cycles.is_empty() => best_cycle_packing(&cycles, &lanes, 200_000),
+        Some(_) => Vec::new(),
+        None => greedy_extract(n, &mut lanes),
+    };
+    RingSearch {
+        rings: picked
+            .into_iter()
+            .map(|cycle| Ring {
+                order: cycle.into_iter().map(|i| graph.gpu(i)).collect(),
+            })
+            .collect(),
+        unit_gbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blink_topology::presets::{dgx1p, dgx1v, dgx2};
+    use blink_topology::Topology;
+
+    fn nvlink_graph(topo: &Topology, alloc: &[GpuId]) -> DiGraph {
+        let sub = topo.induced(alloc).unwrap();
+        DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink())
+    }
+
+    #[test]
+    fn full_dgx1p_supports_two_lane_disjoint_rings() {
+        // 4 lanes per GPU: a Hamiltonian cycle uses 2 per GPU, so at most 2
+        // lane-disjoint cycles exist; the hybrid cube-mesh admits both.
+        let topo = dgx1p();
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let g = nvlink_graph(&topo, &alloc);
+        let search = find_rings(&g, 19.0);
+        assert_eq!(search.rings.len(), 2);
+        assert_eq!(search.directed_channels(), 4);
+        for r in &search.rings {
+            assert_eq!(r.len(), 8);
+        }
+    }
+
+    #[test]
+    fn full_dgx1v_supports_three_lane_disjoint_rings() {
+        // 6 lanes per GPU -> up to 3 lane-disjoint Hamiltonian cycles, and the
+        // DGX-1V wiring admits all three.
+        let topo = dgx1v();
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let g = nvlink_graph(&topo, &alloc);
+        let search = find_rings(&g, 23.0);
+        assert_eq!(search.rings.len(), 3);
+        assert!(!search.requires_pcie_fallback());
+    }
+
+    #[test]
+    fn partially_connected_triple_requires_pcie_fallback() {
+        // GPUs 0, 1, 4: no NVLink between 1 and 4 (Figure 2b), so no NVLink
+        // ring exists.
+        let topo = dgx1p();
+        let g = nvlink_graph(&topo, &[GpuId(0), GpuId(1), GpuId(4)]);
+        let search = find_rings(&g, 19.0);
+        assert!(search.requires_pcie_fallback());
+    }
+
+    #[test]
+    fn figure4_six_gpu_case_builds_one_ring_pair() {
+        let topo = dgx1p();
+        let alloc = [GpuId(0), GpuId(1), GpuId(3), GpuId(4), GpuId(5), GpuId(7)];
+        let g = nvlink_graph(&topo, &alloc);
+        let search = find_rings(&g, 19.0);
+        assert_eq!(search.rings.len(), 1);
+        assert_eq!(search.directed_channels(), 2);
+    }
+
+    #[test]
+    fn fully_connected_triple_builds_a_ring() {
+        let topo = dgx1p();
+        let g = nvlink_graph(&topo, &[GpuId(0), GpuId(1), GpuId(3)]);
+        let search = find_rings(&g, 19.0);
+        assert_eq!(search.rings.len(), 1);
+        assert_eq!(search.rings[0].len(), 3);
+    }
+
+    #[test]
+    fn two_gpu_ring_needs_two_lanes() {
+        let topo = dgx1v();
+        // GPUs 0 and 3 are connected by a doubled lane -> a 2-GPU "ring" works
+        let g = nvlink_graph(&topo, &[GpuId(0), GpuId(3)]);
+        let search = find_rings(&g, 23.0);
+        assert_eq!(search.rings.len(), 1);
+        // GPUs 0 and 1 share a single lane -> no ring
+        let g = nvlink_graph(&topo, &[GpuId(0), GpuId(1)]);
+        let search = find_rings(&g, 23.0);
+        assert!(search.requires_pcie_fallback());
+    }
+
+    #[test]
+    fn dgx2_greedy_path_builds_rings() {
+        // 16 GPUs on a switch: every permutation is a ring; the greedy path
+        // must find at least one.
+        let topo = dgx2();
+        let alloc: Vec<GpuId> = (0..16).map(GpuId).collect();
+        let g = nvlink_graph(&topo, &alloc);
+        let search = find_rings(&g, 23.0);
+        assert!(!search.requires_pcie_fallback());
+        assert!(search.rings.iter().all(|r| r.len() == 16));
+    }
+
+    #[test]
+    fn ring_helpers() {
+        let ring = Ring {
+            order: vec![GpuId(2), GpuId(5), GpuId(7)],
+        };
+        assert_eq!(ring.len(), 3);
+        assert!(!ring.is_empty());
+        assert_eq!(
+            ring.hops(),
+            vec![
+                (GpuId(2), GpuId(5)),
+                (GpuId(5), GpuId(7)),
+                (GpuId(7), GpuId(2))
+            ]
+        );
+        let rooted = ring.rooted_at(GpuId(5)).unwrap();
+        assert_eq!(rooted.order[0], GpuId(5));
+        assert_eq!(rooted.len(), 3);
+        assert!(ring.rooted_at(GpuId(0)).is_none());
+        let rev = ring.reversed();
+        assert_eq!(rev.order, vec![GpuId(2), GpuId(7), GpuId(5)]);
+        assert_eq!(ring.position(GpuId(7)), Some(2));
+    }
+}

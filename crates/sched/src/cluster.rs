@@ -1,0 +1,275 @@
+//! First-fit cluster simulator producing fragmented per-server allocations.
+
+use crate::workload::{AllocationHistogram, Job};
+use blink_topology::GpuId;
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// Where one job's GPUs ended up: a list of `(server index, local GPU ids)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Placement {
+    /// The job this placement belongs to.
+    pub job_id: u64,
+    /// Per-server slices: `(server index, GPUs on that server)`.
+    pub slices: Vec<(usize, Vec<GpuId>)>,
+}
+
+impl Placement {
+    /// Total number of GPUs in the placement.
+    pub fn total_gpus(&self) -> usize {
+        self.slices.iter().map(|(_, g)| g.len()).sum()
+    }
+
+    /// Whether the job is split across more than one server.
+    pub fn is_fragmented(&self) -> bool {
+        self.slices.len() > 1
+    }
+
+    /// Per-server allocation sizes (the quantity Figure 3 histograms).
+    pub fn per_server_sizes(&self) -> Vec<usize> {
+        self.slices.iter().map(|(_, g)| g.len()).collect()
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct Completion {
+    time: f64,
+    job_id: u64,
+}
+
+impl Eq for Completion {}
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.job_id.cmp(&self.job_id))
+    }
+}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A cluster of identical multi-GPU servers with a first-fit scheduler.
+#[derive(Debug)]
+pub struct Cluster {
+    gpus_per_server: usize,
+    /// free\[s\]\[g\] = GPU `g` of server `s` is free.
+    free: Vec<Vec<bool>>,
+    completions: BinaryHeap<Completion>,
+    running: Vec<(u64, Vec<(usize, Vec<usize>)>)>,
+    histogram: AllocationHistogram,
+    rejected: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster of `servers` machines with `gpus_per_server` GPUs
+    /// each.
+    pub fn new(servers: usize, gpus_per_server: usize) -> Self {
+        Cluster {
+            gpus_per_server,
+            free: vec![vec![true; gpus_per_server]; servers],
+            completions: BinaryHeap::new(),
+            running: Vec::new(),
+            histogram: AllocationHistogram::new(gpus_per_server),
+            rejected: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of currently free GPUs.
+    pub fn free_gpus(&self) -> usize {
+        self.free
+            .iter()
+            .map(|s| s.iter().filter(|&&f| f).count())
+            .sum()
+    }
+
+    /// Jobs that could not be placed even after waiting for completions.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The per-server allocation-size histogram accumulated so far.
+    pub fn histogram(&self) -> &AllocationHistogram {
+        &self.histogram
+    }
+
+    fn release_until(&mut self, time: f64) {
+        while let Some(c) = self.completions.peek() {
+            if c.time > time {
+                break;
+            }
+            let c = self.completions.pop().expect("peeked");
+            if let Some(pos) = self.running.iter().position(|(id, _)| *id == c.job_id) {
+                let (_, slices) = self.running.swap_remove(pos);
+                for (server, gpus) in slices {
+                    for g in gpus {
+                        self.free[server][g] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Offers a job to the cluster at its arrival time. Returns the placement,
+    /// or `None` if the cluster cannot hold the job at all (it is then counted
+    /// as rejected rather than queued — queueing does not change the
+    /// fragmentation statistics we are after).
+    pub fn submit(&mut self, job: &Job) -> Option<Placement> {
+        self.release_until(job.arrival);
+        if (job.gpus as usize) > self.free_gpus() {
+            self.rejected += 1;
+            return None;
+        }
+        let mut remaining = job.gpus as usize;
+        let mut slices: Vec<(usize, Vec<usize>)> = Vec::new();
+        // Best-fit pass: prefer a server that can hold the
+        // whole remainder, to mimic schedulers that try to keep jobs local.
+        while remaining > 0 {
+            let target = self
+                .free
+                .iter()
+                .enumerate()
+                .map(|(s, gpus)| (s, gpus.iter().filter(|&&f| f).count()))
+                .filter(|&(_, free)| free > 0)
+                .max_by_key(|&(s, free)| (free.min(remaining), std::cmp::Reverse(s)))
+                .map(|(s, _)| s);
+            let Some(server) = target else { break };
+            let mut taken = Vec::new();
+            for g in 0..self.gpus_per_server {
+                if remaining == 0 {
+                    break;
+                }
+                if self.free[server][g] {
+                    self.free[server][g] = false;
+                    taken.push(g);
+                    remaining -= 1;
+                }
+            }
+            slices.push((server, taken));
+        }
+        debug_assert_eq!(remaining, 0, "free_gpus() said the job fits");
+        for (_, gpus) in &slices {
+            self.histogram.record(gpus.len());
+        }
+        self.completions.push(Completion {
+            time: job.arrival + job.duration,
+            job_id: job.id,
+        });
+        self.running.push((job.id, slices.clone()));
+        Some(Placement {
+            job_id: job.id,
+            slices: slices
+                .into_iter()
+                .map(|(s, gpus)| {
+                    (
+                        s,
+                        gpus.into_iter()
+                            .map(|g| GpuId(s * self.gpus_per_server + g))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        })
+    }
+
+    /// Runs an entire job stream and returns the placements that succeeded.
+    pub fn run_workload(&mut self, jobs: &[Job]) -> Vec<Placement> {
+        jobs.iter().filter_map(|j| self.submit(j)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{WorkloadConfig, WorkloadGenerator};
+
+    #[test]
+    fn placements_respect_requested_size() {
+        let mut cluster = Cluster::new(4, 8);
+        let jobs = WorkloadGenerator::new(WorkloadConfig::default()).take(100);
+        for p in cluster.run_workload(&jobs) {
+            let job = jobs.iter().find(|j| j.id == p.job_id).unwrap();
+            assert_eq!(p.total_gpus(), job.gpus as usize);
+            for (_, gpus) in &p.slices {
+                assert!(!gpus.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn gpus_are_released_when_jobs_finish() {
+        let mut cluster = Cluster::new(1, 8);
+        let job_a = Job {
+            id: 0,
+            gpus: 8,
+            arrival: 0.0,
+            duration: 10.0,
+        };
+        let job_b = Job {
+            id: 1,
+            gpus: 8,
+            arrival: 5.0,
+            duration: 10.0,
+        };
+        let job_c = Job {
+            id: 2,
+            gpus: 8,
+            arrival: 20.0,
+            duration: 1.0,
+        };
+        assert!(cluster.submit(&job_a).is_some());
+        assert!(cluster.submit(&job_b).is_none()); // cluster full at t=5
+        assert_eq!(cluster.rejected(), 1);
+        assert!(cluster.submit(&job_c).is_some()); // job A finished at t=10
+    }
+
+    #[test]
+    fn contended_cluster_produces_fragmented_allocations() {
+        // The Figure 3 phenomenon: under contention, some jobs get split
+        // across servers and non-power-of-two per-server slices appear.
+        let mut cluster = Cluster::new(8, 8);
+        let jobs = WorkloadGenerator::new(WorkloadConfig {
+            mean_interarrival: 0.5,
+            mean_duration: 50.0,
+            ..Default::default()
+        })
+        .take(2_000);
+        let placements = cluster.run_workload(&jobs);
+        assert!(!placements.is_empty());
+        let hist = cluster.histogram();
+        assert!(hist.total_multi_gpu() > 100);
+        assert!(
+            hist.fragmented_fraction() > 0.05,
+            "expected visible fragmentation, got {}",
+            hist.fragmented_fraction()
+        );
+        // power-of-two sizes still dominate
+        assert!(hist.fraction(8) + hist.fraction(4) + hist.fraction(2) > 0.4);
+    }
+
+    #[test]
+    fn global_gpu_ids_are_unique_per_placement() {
+        let mut cluster = Cluster::new(2, 8);
+        let job = Job {
+            id: 9,
+            gpus: 16,
+            arrival: 0.0,
+            duration: 1.0,
+        };
+        let p = cluster.submit(&job).unwrap();
+        let mut ids: Vec<GpuId> = p.slices.iter().flat_map(|(_, g)| g.clone()).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+        assert_eq!(before, 16);
+    }
+}

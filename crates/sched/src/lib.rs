@@ -1,0 +1,23 @@
+//! # blink-sched
+//!
+//! A synthetic multi-tenant GPU-cluster scheduler, standing in for the
+//! production trace behind Figure 3 of the Blink paper ("number of GPUs
+//! allocated per 8-GPU server across 40,000 multi-GPU jobs at Cloud-X").
+//!
+//! The paper's observation is that although jobs overwhelmingly request GPUs
+//! in powers of two, bin-packing them onto 8-GPU servers under churn leaves
+//! *fragmented* per-server allocations — 3, 5, 6 or 7 GPUs of one job on a
+//! single machine — and those fragments induce the irregular topologies that
+//! break ring-based collectives. This crate reproduces that effect with a
+//! simple first-fit cluster simulator: jobs arrive with power-of-two sizes,
+//! run for a random duration, and may be split across servers when no single
+//! server can hold them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod workload;
+
+pub use cluster::{Cluster, Placement};
+pub use workload::{AllocationHistogram, Job, WorkloadConfig, WorkloadGenerator};

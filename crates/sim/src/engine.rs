@@ -1,0 +1,574 @@
+//! The discrete-event execution engine.
+//!
+//! Programs are executed by list scheduling: an operation becomes *ready* when
+//! all of its dependencies (explicit cross-stream deps plus the implicit
+//! same-stream FIFO predecessor) have completed; ready operations are started
+//! in order of readiness and occupy every hardware resource they touch — the
+//! directed link, the NVSwitch injection/ejection port (when the topology
+//! declares a per-GPU cap), the server NIC for cross-machine copies, and the
+//! GPU's compute engine for kernels — until they finish. Resources serialise
+//! their operations, which at chunk granularity is an accurate stand-in for
+//! fair time-sharing of a link.
+
+use crate::params::SimParams;
+use crate::program::{LinkClass, OpKind, Program, StreamId};
+use blink_topology::{GpuId, LinkKind, ServerId, Topology};
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
+
+/// Errors raised while executing a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A copy references a GPU pair with no link of the requested class.
+    MissingLink {
+        /// Copy source.
+        src: GpuId,
+        /// Copy destination.
+        dst: GpuId,
+        /// Requested link class.
+        class: LinkClass,
+    },
+    /// A GPU referenced by the program is not part of the topology.
+    UnknownGpu(GpuId),
+    /// The program failed validation.
+    InvalidProgram(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingLink { src, dst, class } => {
+                write!(f, "no {class} link from {src} to {dst}")
+            }
+            SimError::UnknownGpu(g) => write!(f, "GPU {g} is not in the topology"),
+            SimError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Execution result.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock time of the whole program in microseconds.
+    pub total_us: f64,
+    /// Per-op `(start, end)` times in microseconds, indexed by op id.
+    pub op_spans: Vec<(f64, f64)>,
+    /// Busy time per directed link actually used, in microseconds.
+    pub link_busy_us: BTreeMap<(GpuId, GpuId, LinkClass), f64>,
+    /// Bytes moved per directed link actually used.
+    pub link_bytes: BTreeMap<(GpuId, GpuId, LinkClass), u64>,
+}
+
+impl RunReport {
+    /// Algorithmic bandwidth: `logical_bytes / total time`, in GB/s.
+    ///
+    /// `logical_bytes` is the collective's buffer size (what the paper's
+    /// throughput figures divide by), not the number of bytes physically
+    /// moved.
+    pub fn algorithmic_bandwidth_gbps(&self, logical_bytes: u64) -> f64 {
+        if self.total_us <= 0.0 {
+            return 0.0;
+        }
+        logical_bytes as f64 / (self.total_us * 1000.0)
+    }
+
+    /// Utilisation of a link over the whole run (busy time / total time).
+    pub fn link_utilization(&self, src: GpuId, dst: GpuId, class: LinkClass) -> f64 {
+        if self.total_us <= 0.0 {
+            return 0.0;
+        }
+        self.link_busy_us
+            .get(&(src, dst, class))
+            .map(|b| b / self.total_us)
+            .unwrap_or(0.0)
+    }
+
+    /// Number of distinct directed links that carried any traffic.
+    pub fn links_used(&self) -> usize {
+        self.link_bytes.len()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Resource {
+    Link(GpuId, GpuId, u8),
+    EgressPort(GpuId),
+    IngressPort(GpuId),
+    NicOut(ServerId),
+    NicIn(ServerId),
+    Compute(GpuId),
+    Stream(StreamId),
+}
+
+fn class_tag(class: LinkClass) -> u8 {
+    match class {
+        LinkClass::NvLink => 0,
+        LinkClass::Pcie => 1,
+        LinkClass::Network => 2,
+    }
+}
+
+/// Executes [`Program`]s against a [`Topology`] with given [`SimParams`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    topology: Topology,
+    params: SimParams,
+}
+
+impl Simulator {
+    /// Creates a simulator for `topology` with `params`.
+    pub fn new(topology: Topology, params: SimParams) -> Self {
+        Simulator { topology, params }
+    }
+
+    /// Creates a simulator with default calibration parameters.
+    pub fn with_defaults(topology: Topology) -> Self {
+        Self::new(topology, SimParams::default())
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The calibration parameters.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    fn link_capacity(&self, src: GpuId, dst: GpuId, class: LinkClass) -> f64 {
+        self.topology
+            .links_between(src, dst)
+            .filter(|l| match class {
+                LinkClass::NvLink => l.kind.is_nvlink(),
+                LinkClass::Pcie => l.kind == LinkKind::Pcie,
+                LinkClass::Network => l.kind == LinkKind::Network,
+            })
+            .map(|l| l.capacity_gbps())
+            .sum()
+    }
+
+    fn op_duration(&self, kind: &OpKind) -> Result<f64, SimError> {
+        let p = &self.params;
+        Ok(match *kind {
+            OpKind::Copy {
+                src,
+                dst,
+                bytes,
+                class,
+            } => {
+                let bw = self.link_capacity(src, dst, class);
+                if bw <= 0.0 {
+                    return Err(SimError::MissingLink { src, dst, class });
+                }
+                let latency = match class {
+                    LinkClass::Network => p.network_latency_us,
+                    _ => p.link_latency_us,
+                };
+                p.op_launch_overhead_us + latency + SimParams::transfer_us(bytes, bw)
+            }
+            OpKind::Reduce { bytes, .. } => p.reduce_us(bytes),
+            OpKind::Compute { duration_us, .. } => p.op_launch_overhead_us + duration_us,
+            OpKind::TogglePeerAccess { gpus } => f64::from(gpus) * p.dpa_per_gpu_us,
+        })
+    }
+
+    fn op_resources(&self, kind: &OpKind, stream: StreamId) -> Result<Vec<Resource>, SimError> {
+        let mut res = vec![Resource::Stream(stream)];
+        match *kind {
+            OpKind::Copy {
+                src, dst, class, ..
+            } => {
+                if !self.topology.contains(src) {
+                    return Err(SimError::UnknownGpu(src));
+                }
+                if !self.topology.contains(dst) {
+                    return Err(SimError::UnknownGpu(dst));
+                }
+                res.push(Resource::Link(src, dst, class_tag(class)));
+                if class == LinkClass::NvLink {
+                    if self.topology.gpu_cap(src).is_some() {
+                        res.push(Resource::EgressPort(src));
+                    }
+                    if self.topology.gpu_cap(dst).is_some() {
+                        res.push(Resource::IngressPort(dst));
+                    }
+                }
+                if class == LinkClass::Network {
+                    let s_srv = self.topology.gpu(src).map_err(|_| SimError::UnknownGpu(src))?.server;
+                    let d_srv = self.topology.gpu(dst).map_err(|_| SimError::UnknownGpu(dst))?.server;
+                    if self.topology.server_nic(s_srv).is_some() {
+                        res.push(Resource::NicOut(s_srv));
+                    }
+                    if self.topology.server_nic(d_srv).is_some() {
+                        res.push(Resource::NicIn(d_srv));
+                    }
+                }
+            }
+            OpKind::Reduce { gpu, .. } => {
+                if !self.topology.contains(gpu) {
+                    return Err(SimError::UnknownGpu(gpu));
+                }
+            }
+            OpKind::Compute { gpu, .. } => {
+                if !self.topology.contains(gpu) {
+                    return Err(SimError::UnknownGpu(gpu));
+                }
+                res.push(Resource::Compute(gpu));
+            }
+            OpKind::TogglePeerAccess { .. } => {}
+        }
+        Ok(res)
+    }
+
+    /// Runs `program` and reports timings.
+    ///
+    /// # Errors
+    /// Fails if the program is structurally invalid, references GPUs outside
+    /// the topology, or copies over a link class that does not exist between
+    /// the two endpoints.
+    pub fn run(&self, program: &Program) -> Result<RunReport, SimError> {
+        program
+            .validate()
+            .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
+        let n = program.len();
+        let ops = program.ops();
+
+        // implicit same-stream FIFO dependencies
+        let mut extra_dep: Vec<Option<usize>> = vec![None; n];
+        let mut last_in_stream: BTreeMap<StreamId, usize> = BTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            if let Some(&prev) = last_in_stream.get(&op.stream) {
+                extra_dep[i] = Some(prev);
+            }
+            last_in_stream.insert(op.stream, i);
+        }
+
+        // dependency bookkeeping
+        let mut indeg = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, op) in ops.iter().enumerate() {
+            for &d in &op.deps {
+                indeg[i] += 1;
+                children[d.0].push(i);
+            }
+            if let Some(prev) = extra_dep[i] {
+                indeg[i] += 1;
+                children[prev].push(i);
+            }
+        }
+
+        #[derive(PartialEq)]
+        struct Ready {
+            time: f64,
+            id: usize,
+        }
+        impl Eq for Ready {}
+        impl Ord for Ready {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // min-heap on (time, id)
+                other
+                    .time
+                    .total_cmp(&self.time)
+                    .then(other.id.cmp(&self.id))
+            }
+        }
+        impl PartialOrd for Ready {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut ready_time = vec![0.0f64; n];
+        let mut heap = BinaryHeap::new();
+        for i in 0..n {
+            if indeg[i] == 0 {
+                heap.push(Ready { time: 0.0, id: i });
+            }
+        }
+
+        let mut resource_free: BTreeMap<Resource, f64> = BTreeMap::new();
+        let mut op_spans = vec![(0.0, 0.0); n];
+        let mut link_busy: BTreeMap<(GpuId, GpuId, LinkClass), f64> = BTreeMap::new();
+        let mut link_bytes: BTreeMap<(GpuId, GpuId, LinkClass), u64> = BTreeMap::new();
+        let mut total = 0.0f64;
+        let mut done = 0usize;
+
+        // Among the ready operations, run the one that can actually *start*
+        // earliest given current resource occupancy (ties broken by issue
+        // order). Considering only the K earliest-ready candidates keeps the
+        // scheduler near-linear while still packing independent flows (e.g.
+        // the 16x15 one-hop pattern on a DGX-2) tightly.
+        const CANDIDATES: usize = 128;
+        while !heap.is_empty() {
+            let mut pulled: Vec<Ready> = Vec::with_capacity(CANDIDATES);
+            while pulled.len() < CANDIDATES {
+                match heap.pop() {
+                    Some(r) => pulled.push(r),
+                    None => break,
+                }
+            }
+            let mut best_idx = 0usize;
+            let mut best_start = f64::INFINITY;
+            let mut best_key = usize::MAX;
+            for (idx, cand) in pulled.iter().enumerate() {
+                let op = &ops[cand.id];
+                let resources = self.op_resources(&op.kind, op.stream)?;
+                let mut start = cand.time;
+                for r in &resources {
+                    start = start.max(resource_free.get(r).copied().unwrap_or(0.0));
+                }
+                if start < best_start - 1e-9 || (start < best_start + 1e-9 && cand.id < best_key) {
+                    best_start = start;
+                    best_idx = idx;
+                    best_key = cand.id;
+                }
+            }
+            let chosen = pulled.swap_remove(best_idx);
+            for other in pulled {
+                heap.push(other);
+            }
+            let Ready { time, id } = chosen;
+            let op = &ops[id];
+            let duration = self.op_duration(&op.kind)?;
+            let resources = self.op_resources(&op.kind, op.stream)?;
+            let mut start = time;
+            for r in &resources {
+                start = start.max(resource_free.get(r).copied().unwrap_or(0.0));
+            }
+            let end = start + duration;
+            for r in &resources {
+                resource_free.insert(*r, end);
+            }
+            op_spans[id] = (start, end);
+            total = total.max(end);
+            if let OpKind::Copy {
+                src,
+                dst,
+                bytes,
+                class,
+            } = op.kind
+            {
+                *link_busy.entry((src, dst, class)).or_insert(0.0) += duration;
+                *link_bytes.entry((src, dst, class)).or_insert(0) += bytes;
+            }
+            done += 1;
+            for &c in &children[id] {
+                ready_time[c] = ready_time[c].max(end);
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    heap.push(Ready {
+                        time: ready_time[c],
+                        id: c,
+                    });
+                }
+            }
+        }
+
+        if done != n {
+            return Err(SimError::InvalidProgram(
+                "dependency cycle: not every op became ready".to_string(),
+            ));
+        }
+
+        Ok(RunReport {
+            total_us: total,
+            op_spans,
+            link_busy_us: link_busy,
+            link_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use blink_topology::presets::{dgx1v, dgx2, multi_server, ServerKind};
+
+    fn mb(n: u64) -> u64 {
+        n * 1024 * 1024
+    }
+
+    #[test]
+    fn single_copy_time_matches_bandwidth() {
+        let topo = dgx1v();
+        let sim = Simulator::with_defaults(topo);
+        let mut b = ProgramBuilder::new();
+        let s = b.new_stream();
+        // GPU0 -> GPU3 is a doubled lane: 46 GB/s
+        b.copy(GpuId(0), GpuId(3), mb(100), LinkClass::NvLink, s, vec![], "");
+        let report = sim.run(&b.build().unwrap()).unwrap();
+        let expect = 100.0 * 1024.0 * 1024.0 / 46_000.0;
+        assert!((report.total_us - expect).abs() < 10.0, "total {}", report.total_us);
+        assert!(report.algorithmic_bandwidth_gbps(mb(100)) > 44.0);
+        assert_eq!(report.links_used(), 1);
+    }
+
+    #[test]
+    fn missing_link_is_an_error() {
+        let topo = dgx1v();
+        let sim = Simulator::with_defaults(topo);
+        let mut b = ProgramBuilder::new();
+        let s = b.new_stream();
+        // no NVLink between GPU 1 and GPU 4
+        b.copy(GpuId(1), GpuId(4), 1024, LinkClass::NvLink, s, vec![], "");
+        let err = sim.run(&b.build().unwrap()).unwrap_err();
+        assert!(matches!(err, SimError::MissingLink { .. }));
+    }
+
+    #[test]
+    fn same_stream_ops_serialize_and_different_streams_overlap() {
+        let topo = dgx1v();
+        let sim = Simulator::with_defaults(topo.clone());
+        // same stream: two copies on different links still serialize
+        // GPU0->GPU1 and GPU5->GPU7 are both single NVLink lanes (23 GB/s)
+        let mut b = ProgramBuilder::new();
+        let s = b.new_stream();
+        b.copy(GpuId(0), GpuId(1), mb(50), LinkClass::NvLink, s, vec![], "");
+        b.copy(GpuId(5), GpuId(7), mb(50), LinkClass::NvLink, s, vec![], "");
+        let serial = sim.run(&b.build().unwrap()).unwrap().total_us;
+
+        let mut b = ProgramBuilder::new();
+        let s0 = b.new_stream();
+        let s1 = b.new_stream();
+        b.copy(GpuId(0), GpuId(1), mb(50), LinkClass::NvLink, s0, vec![], "");
+        b.copy(GpuId(5), GpuId(7), mb(50), LinkClass::NvLink, s1, vec![], "");
+        let parallel = sim.run(&b.build().unwrap()).unwrap().total_us;
+        assert!(parallel < 0.6 * serial, "parallel {parallel} vs serial {serial}");
+    }
+
+    #[test]
+    fn shared_link_serializes_even_across_streams() {
+        let topo = dgx1v();
+        let sim = Simulator::with_defaults(topo);
+        let mut b = ProgramBuilder::new();
+        let s0 = b.new_stream();
+        let s1 = b.new_stream();
+        b.copy(GpuId(0), GpuId(1), mb(50), LinkClass::NvLink, s0, vec![], "");
+        b.copy(GpuId(0), GpuId(1), mb(50), LinkClass::NvLink, s1, vec![], "");
+        let report = sim.run(&b.build().unwrap()).unwrap();
+        let one = 50.0 * 1024.0 * 1024.0 / 23_000.0;
+        assert!(report.total_us > 1.9 * one, "total {}", report.total_us);
+        assert!(report.link_utilization(GpuId(0), GpuId(1), LinkClass::NvLink) > 0.95);
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let topo = dgx1v();
+        let sim = Simulator::with_defaults(topo);
+        let mut b = ProgramBuilder::new();
+        let s0 = b.new_stream();
+        let s1 = b.new_stream();
+        let first = b.copy(GpuId(0), GpuId(1), mb(10), LinkClass::NvLink, s0, vec![], "");
+        b.copy(GpuId(1), GpuId(3), mb(10), LinkClass::NvLink, s1, vec![first], "");
+        let report = sim.run(&b.build().unwrap()).unwrap();
+        let (s_a, e_a) = report.op_spans[0];
+        let (s_b, _) = report.op_spans[1];
+        assert!(s_a < e_a);
+        assert!(s_b >= e_a);
+    }
+
+    #[test]
+    fn dgx2_egress_port_caps_aggregate_bandwidth() {
+        // One GPU sending to 15 peers "simultaneously" is limited by its
+        // injection capacity (138 GB/s), not 15 × 138.
+        let topo = dgx2();
+        let sim = Simulator::with_defaults(topo);
+        let mut b = ProgramBuilder::new();
+        let per_peer = mb(64);
+        for dst in 1..16 {
+            let s = b.new_stream();
+            b.copy(GpuId(0), GpuId(dst), per_peer, LinkClass::NvLink, s, vec![], "");
+        }
+        let report = sim.run(&b.build().unwrap()).unwrap();
+        let total_bytes = per_peer * 15;
+        let agg = report.algorithmic_bandwidth_gbps(total_bytes);
+        assert!(agg < 140.0, "aggregate {agg} should be capped near 138");
+        assert!(agg > 110.0, "aggregate {agg} should approach the port cap");
+    }
+
+    #[test]
+    fn network_copies_share_the_server_nic() {
+        let topo = multi_server(2, ServerKind::Dgx1V, 5.0);
+        let sim = Simulator::with_defaults(topo);
+        let mut b = ProgramBuilder::new();
+        for (src, dst) in [(0usize, 8usize), (1, 9), (2, 10), (3, 11)] {
+            let s = b.new_stream();
+            b.copy(GpuId(src), GpuId(dst), mb(10), LinkClass::Network, s, vec![], "");
+        }
+        let report = sim.run(&b.build().unwrap()).unwrap();
+        // 40 MB over a shared 5 GB/s NIC ≈ 8.4 ms, not 2.1 ms
+        let agg = report.algorithmic_bandwidth_gbps(mb(40));
+        assert!(agg < 5.5, "aggregate {agg} must be bounded by the NIC");
+    }
+
+    #[test]
+    fn peer_access_toggle_costs_scale_with_gpu_count() {
+        let topo = dgx1v();
+        let sim = Simulator::with_defaults(topo);
+        let mut b = ProgramBuilder::new();
+        let s = b.new_stream();
+        b.toggle_peer_access(8, s, vec![], "dpa");
+        let report = sim.run(&b.build().unwrap()).unwrap();
+        let expect = 8.0 * sim.params().dpa_per_gpu_us;
+        assert!((report.total_us - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chunking_reduces_pipeline_latency() {
+        // Figure 11: forwarding along a chain with chunking overlaps hops.
+        let topo = dgx1v();
+        let sim = Simulator::with_defaults(topo.clone());
+        let chain = [GpuId(0), GpuId(1), GpuId(2), GpuId(3)];
+        let total = mb(64);
+
+        let build = |chunks: u64| {
+            let mut b = ProgramBuilder::new();
+            let per = total / chunks;
+            let mut streams = Vec::new();
+            for _ in 0..chain.len() - 1 {
+                streams.push(b.new_stream());
+            }
+            for c in 0..chunks {
+                let mut arrival = None;
+                for hop in 0..chain.len() - 1 {
+                    let deps = arrival.map(|a| vec![a]).unwrap_or_default();
+                    let id = b.copy(
+                        chain[hop],
+                        chain[hop + 1],
+                        per,
+                        LinkClass::NvLink,
+                        streams[hop],
+                        deps,
+                        format!("c{c}h{hop}"),
+                    );
+                    arrival = Some(id);
+                }
+            }
+            b.build().unwrap()
+        };
+
+        let one_chunk = sim.run(&build(1)).unwrap().total_us;
+        let many_chunks = sim.run(&build(16)).unwrap().total_us;
+        // With chunking the slowest hop dominates instead of the sum of hops
+        // (Figure 11); on this chain (23 + 46 + 46 GB/s hops) that is a ~45%
+        // reduction.
+        assert!(
+            many_chunks < 0.62 * one_chunk,
+            "chunked {many_chunks} vs monolithic {one_chunk}"
+        );
+    }
+
+    #[test]
+    fn empty_program_takes_no_time() {
+        let topo = dgx1v();
+        let sim = Simulator::with_defaults(topo);
+        let report = sim.run(&ProgramBuilder::new().build().unwrap()).unwrap();
+        assert_eq!(report.total_us, 0.0);
+        assert_eq!(report.links_used(), 0);
+        assert_eq!(report.algorithmic_bandwidth_gbps(1024), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # blink-sim
+//!
+//! A discrete-event simulator of multi-GPU servers that stands in for the
+//! CUDA/NVLink/PCIe hardware the Blink paper runs on.
+//!
+//! The paper's performance results are all *timing* phenomena: chunked,
+//! pipelined peer-to-peer copies over capacitated links, reduction kernels
+//! that run while data is being forwarded, per-operation launch overheads that
+//! dominate at small sizes, and shared fabrics (NVSwitch ports, server NICs)
+//! that bound aggregate injection bandwidth. This crate models exactly those
+//! effects and nothing more:
+//!
+//! * [`program`] — a [`Program`](program::Program) is a DAG of operations
+//!   (peer-to-peer copies, local reductions, compute kernels, peer-access
+//!   toggles) organised into streams, the unit of FIFO ordering, mirroring the
+//!   CUDA-stream schedules Blink's CodeGen emits.
+//! * [`engine`] — the [`Simulator`](engine::Simulator) executes a program
+//!   against a [`blink_topology::Topology`] using list scheduling over link,
+//!   port, NIC and compute resources and reports per-op timings, total elapsed
+//!   time and per-link utilisation.
+//! * [`params`] — calibration constants ([`SimParams`](params::SimParams)),
+//!   documented against the paper's own micro-benchmarks (Section 2.2 and
+//!   Appendix A).
+//! * [`patterns`] — builders for the paper's micro-benchmark traffic patterns
+//!   (chain forward / reduce+forward / reduce-broadcast, fan-in/out, MIMO,
+//!   MCA) used to reproduce Figures 7, 8, 24 and 26.
+//!
+//! The simulator deliberately knows nothing about collectives: Blink and the
+//! NCCL baseline lower their schedules to programs, and correctness of the
+//! *data flow* is checked at that layer, not here.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod params;
+pub mod patterns;
+pub mod program;
+
+pub use engine::{RunReport, Simulator};
+pub use params::SimParams;
+pub use program::{LinkClass, Op, OpId, OpKind, Program, ProgramBuilder, StreamId};

@@ -1,0 +1,396 @@
+//! Programs: DAGs of chunk-level operations organised into streams.
+//!
+//! Blink's CodeGen (Section 4.1) turns a set of spanning trees into CUDA
+//! code: per-link `cudaMemcpy` calls for each chunk, reduction kernels, and
+//! CUDA events for cross-stream synchronisation. A [`Program`] is the
+//! simulator-level equivalent: each [`Op`] corresponds to one such CUDA call
+//! and carries its dependencies explicitly. Streams reproduce CUDA-stream FIFO
+//! semantics — two ops in the same stream never overlap and execute in
+//! insertion order — which is also how the stream-reuse fair-sharing trick of
+//! Section 4.2.2 is expressed.
+
+use blink_topology::GpuId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of an operation within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub usize);
+
+/// Identifier of a stream. Streams are global to the program; by convention
+/// CodeGen allocates one per (tree, link) unless it reuses streams for fair
+/// sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StreamId(pub usize);
+
+/// Which class of physical link a copy uses. The simulator looks the actual
+/// capacity up in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// NVLink or NVSwitch peer-to-peer path.
+    NvLink,
+    /// PCIe path through the host.
+    Pcie,
+    /// Cross-server network path.
+    Network,
+}
+
+impl fmt::Display for LinkClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkClass::NvLink => f.write_str("nvlink"),
+            LinkClass::Pcie => f.write_str("pcie"),
+            LinkClass::Network => f.write_str("net"),
+        }
+    }
+}
+
+/// One simulated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A peer-to-peer copy of `bytes` from `src` to `dst` over `class`.
+    Copy {
+        /// Source GPU.
+        src: GpuId,
+        /// Destination GPU.
+        dst: GpuId,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Link class used.
+        class: LinkClass,
+    },
+    /// A local reduction kernel on `gpu` combining `bytes` of received data
+    /// with resident data.
+    Reduce {
+        /// GPU running the reduction.
+        gpu: GpuId,
+        /// Bytes reduced.
+        bytes: u64,
+    },
+    /// A compute kernel (used by the training simulator for forward/backward
+    /// passes) of a fixed duration.
+    Compute {
+        /// GPU running the kernel.
+        gpu: GpuId,
+        /// Kernel duration in microseconds.
+        duration_us: f64,
+    },
+    /// Toggling peer access on `gpus` GPUs (the `cudaDeviceDisablePeerAccess`
+    /// latency `T_dpa` of Section 3.4). Blocks the owning stream for
+    /// `dpa_per_gpu_us * gpus`.
+    TogglePeerAccess {
+        /// Number of GPUs whose peer mappings are being changed.
+        gpus: u32,
+    },
+}
+
+/// An operation plus its scheduling metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Op {
+    /// The operation's id (its index in the program).
+    pub id: OpId,
+    /// What the operation does.
+    pub kind: OpKind,
+    /// Stream the op belongs to (FIFO with other ops on the same stream).
+    pub stream: StreamId,
+    /// Ops that must complete before this one may start (cross-stream
+    /// dependencies, i.e. CUDA events).
+    pub deps: Vec<OpId>,
+    /// Optional human-readable tag (tree index, chunk index, phase name…)
+    /// surfaced in traces.
+    pub tag: String,
+}
+
+/// Errors detected by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// An op depends on an op id that does not exist.
+    UnknownDependency {
+        /// The op with the bad dependency.
+        op: OpId,
+        /// The missing dependency.
+        dep: OpId,
+    },
+    /// An op depends on a *later* op, which would deadlock CUDA streams.
+    ForwardDependency {
+        /// The offending op.
+        op: OpId,
+        /// The dependency that comes later in the program.
+        dep: OpId,
+    },
+    /// The dependency graph contains a cycle.
+    Cycle,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnknownDependency { op, dep } => {
+                write!(f, "op {} depends on unknown op {}", op.0, dep.0)
+            }
+            ProgramError::ForwardDependency { op, dep } => {
+                write!(f, "op {} depends on later op {}", op.0, dep.0)
+            }
+            ProgramError::Cycle => write!(f, "dependency cycle"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A complete schedule: ops in issue order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Program {
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// The ops, in issue order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total bytes moved by copy ops (all link classes).
+    pub fn total_copy_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|o| match o.kind {
+                OpKind::Copy { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of distinct streams used.
+    pub fn num_streams(&self) -> usize {
+        let mut set = std::collections::BTreeSet::new();
+        for o in &self.ops {
+            set.insert(o.stream);
+        }
+        set.len()
+    }
+
+    /// Checks structural validity (dependencies exist, point backwards, and —
+    /// together with stream ordering — form a DAG, which backward-only
+    /// dependencies guarantee).
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        for op in &self.ops {
+            for &dep in &op.deps {
+                if dep.0 >= self.ops.len() {
+                    return Err(ProgramError::UnknownDependency { op: op.id, dep });
+                }
+                if dep.0 >= op.id.0 {
+                    return Err(ProgramError::ForwardDependency { op: op.id, dep });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-(src, dst, class) bytes moved; useful for link-utilisation checks.
+    pub fn bytes_per_link(&self) -> BTreeMap<(GpuId, GpuId, LinkClass), u64> {
+        let mut out = BTreeMap::new();
+        for o in &self.ops {
+            if let OpKind::Copy {
+                src,
+                dst,
+                bytes,
+                class,
+            } = o.kind
+            {
+                *out.entry((src, dst, class)).or_insert(0) += bytes;
+            }
+        }
+        out
+    }
+}
+
+/// Incremental builder for [`Program`]s: hands out stream ids and op ids and
+/// keeps dependencies well-formed.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+    next_stream: usize,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh stream.
+    pub fn new_stream(&mut self) -> StreamId {
+        let s = StreamId(self.next_stream);
+        self.next_stream += 1;
+        s
+    }
+
+    /// Number of ops added so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Adds an op and returns its id.
+    pub fn push(&mut self, kind: OpKind, stream: StreamId, deps: Vec<OpId>, tag: impl Into<String>) -> OpId {
+        let id = OpId(self.ops.len());
+        self.ops.push(Op {
+            id,
+            kind,
+            stream,
+            deps,
+            tag: tag.into(),
+        });
+        id
+    }
+
+    /// Adds a copy op.
+    pub fn copy(
+        &mut self,
+        src: GpuId,
+        dst: GpuId,
+        bytes: u64,
+        class: LinkClass,
+        stream: StreamId,
+        deps: Vec<OpId>,
+        tag: impl Into<String>,
+    ) -> OpId {
+        self.push(
+            OpKind::Copy {
+                src,
+                dst,
+                bytes,
+                class,
+            },
+            stream,
+            deps,
+            tag,
+        )
+    }
+
+    /// Adds a reduction op.
+    pub fn reduce(
+        &mut self,
+        gpu: GpuId,
+        bytes: u64,
+        stream: StreamId,
+        deps: Vec<OpId>,
+        tag: impl Into<String>,
+    ) -> OpId {
+        self.push(OpKind::Reduce { gpu, bytes }, stream, deps, tag)
+    }
+
+    /// Adds a compute op.
+    pub fn compute(
+        &mut self,
+        gpu: GpuId,
+        duration_us: f64,
+        stream: StreamId,
+        deps: Vec<OpId>,
+        tag: impl Into<String>,
+    ) -> OpId {
+        self.push(OpKind::Compute { gpu, duration_us }, stream, deps, tag)
+    }
+
+    /// Adds a peer-access toggle op.
+    pub fn toggle_peer_access(
+        &mut self,
+        gpus: u32,
+        stream: StreamId,
+        deps: Vec<OpId>,
+        tag: impl Into<String>,
+    ) -> OpId {
+        self.push(OpKind::TogglePeerAccess { gpus }, stream, deps, tag)
+    }
+
+    /// Finalises the program.
+    ///
+    /// # Errors
+    /// Returns the first structural error found (see [`Program::validate`]).
+    pub fn build(self) -> Result<Program, ProgramError> {
+        let p = Program { ops: self.ops };
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids_and_streams() {
+        let mut b = ProgramBuilder::new();
+        let s0 = b.new_stream();
+        let s1 = b.new_stream();
+        assert_ne!(s0, s1);
+        let a = b.copy(GpuId(0), GpuId(1), 1024, LinkClass::NvLink, s0, vec![], "c0");
+        let r = b.reduce(GpuId(1), 1024, s1, vec![a], "r0");
+        assert_eq!(a, OpId(0));
+        assert_eq!(r, OpId(1));
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.num_streams(), 2);
+        assert_eq!(p.total_copy_bytes(), 1024);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn forward_dependencies_are_rejected() {
+        let mut b = ProgramBuilder::new();
+        let s = b.new_stream();
+        b.copy(
+            GpuId(0),
+            GpuId(1),
+            8,
+            LinkClass::Pcie,
+            s,
+            vec![OpId(5)],
+            "bad",
+        );
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ProgramError::UnknownDependency { .. }));
+
+        let mut b = ProgramBuilder::new();
+        let s = b.new_stream();
+        b.push(OpKind::Compute { gpu: GpuId(0), duration_us: 1.0 }, s, vec![OpId(0)], "self");
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ProgramError::ForwardDependency { .. }));
+    }
+
+    #[test]
+    fn bytes_per_link_aggregates_copies() {
+        let mut b = ProgramBuilder::new();
+        let s = b.new_stream();
+        b.copy(GpuId(0), GpuId(1), 100, LinkClass::NvLink, s, vec![], "");
+        b.copy(GpuId(0), GpuId(1), 50, LinkClass::NvLink, s, vec![], "");
+        b.copy(GpuId(0), GpuId(1), 7, LinkClass::Pcie, s, vec![], "");
+        let p = b.build().unwrap();
+        let per = p.bytes_per_link();
+        assert_eq!(per[&(GpuId(0), GpuId(1), LinkClass::NvLink)], 150);
+        assert_eq!(per[&(GpuId(0), GpuId(1), LinkClass::Pcie)], 7);
+    }
+
+    #[test]
+    fn link_class_display() {
+        assert_eq!(LinkClass::NvLink.to_string(), "nvlink");
+        assert_eq!(LinkClass::Pcie.to_string(), "pcie");
+        assert_eq!(LinkClass::Network.to_string(), "net");
+    }
+}

@@ -1,0 +1,82 @@
+//! Strongly-typed identifiers for GPUs and servers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a GPU.
+///
+/// GPU identifiers are *global* across a multi-server topology: the first
+/// server's GPUs are `0..gpus_per_server`, the second server's follow, and so
+/// on. Within a single-server preset such as [`crate::presets::dgx1v`] the
+/// identifiers match the paper's Figure 1 numbering (GPU 0–7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GpuId(pub usize);
+
+impl GpuId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GPU{}", self.0)
+    }
+}
+
+impl From<usize> for GpuId {
+    fn from(v: usize) -> Self {
+        GpuId(v)
+    }
+}
+
+/// Identifier of a server (a machine such as a DGX-1 or DGX-2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServerId(pub usize);
+
+impl ServerId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server{}", self.0)
+    }
+}
+
+impl From<usize> for ServerId {
+    fn from(v: usize) -> Self {
+        ServerId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_id_display_and_index() {
+        let g = GpuId(3);
+        assert_eq!(g.index(), 3);
+        assert_eq!(g.to_string(), "GPU3");
+        assert_eq!(GpuId::from(3), g);
+    }
+
+    #[test]
+    fn server_id_display_and_index() {
+        let s = ServerId(1);
+        assert_eq!(s.index(), 1);
+        assert_eq!(s.to_string(), "server1");
+        assert_eq!(ServerId::from(1), s);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(GpuId(1) < GpuId(2));
+        assert!(ServerId(0) < ServerId(3));
+    }
+}

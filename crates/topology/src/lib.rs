@@ -1,0 +1,45 @@
+//! # blink-topology
+//!
+//! Interconnect-topology models for the Blink reproduction.
+//!
+//! The Blink paper ([Wang et al., MLSYS 2020]) targets NVIDIA multi-GPU
+//! servers (DGX-1P, DGX-1V, DGX-2) whose GPUs are connected by a mix of
+//! NVLink, NVSwitch and PCIe. All of Blink's algorithms — spanning-tree
+//! packing, ring construction, hybrid transfers — consume only the *graph*
+//! of GPUs and capacitated links, so this crate provides:
+//!
+//! * strongly-typed identifiers for GPUs and servers ([`GpuId`], [`ServerId`]),
+//! * link descriptions with per-direction bandwidth ([`Link`], [`LinkKind`]),
+//! * the [`Topology`] container with adjacency queries, induced subgraphs and
+//!   per-link-class filtering,
+//! * faithful presets of the paper's hardware ([`presets::dgx1p`],
+//!   [`presets::dgx1v`], [`presets::dgx2`], [`presets::multi_server`]),
+//! * enumeration of *unique* allocation-induced topologies up to isomorphism
+//!   ([`enumerate::unique_allocations`]), reproducing the paper's "46 unique
+//!   settings on DGX-1V, 14 on DGX-1P" analysis, and
+//! * a runtime [`probe::TopologyProber`] that mimics Blink's `LD_PRELOAD`-time
+//!   discovery of the links available to the GPUs a scheduler allocated.
+//!
+//! Real hardware is not required anywhere: the presets encode the wiring shown
+//! in Figure 1 of the paper and the bandwidths it reports (NVLink Gen1
+//! 18–20 GB/s, Gen2 22–25 GB/s, PCIe 8–12 GB/s).
+//!
+//! [Wang et al., MLSYS 2020]: https://arxiv.org/abs/1910.04940
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod ids;
+mod link;
+mod topology;
+
+pub mod enumerate;
+pub mod presets;
+pub mod probe;
+
+pub use ids::{GpuId, ServerId};
+pub use link::{Link, LinkKind};
+pub use topology::{GpuInfo, Topology, TopologyError};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TopologyError>;

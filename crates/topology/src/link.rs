@@ -1,0 +1,196 @@
+//! Link kinds and directed link descriptions.
+
+use crate::GpuId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of interconnect a [`Link`] belongs to.
+///
+/// Bandwidths follow the figures quoted in the Blink paper:
+///
+/// * NVLink Gen1 (DGX-1P / P100): 18–20 GB/s pairwise bi-directional — we use
+///   19 GB/s per direction per link as the nominal capacity.
+/// * NVLink Gen2 (DGX-1V / V100, DGX-2): 22–25 GB/s — nominal 23 GB/s.
+/// * NVSwitch (DGX-2): each GPU connects to the switch fabric with 6 NVLink
+///   Gen2 bricks, i.e. ~138 GB/s per direction of injection/ejection capacity.
+/// * PCIe 3.0 x16 through a switch hierarchy: 8–12 GB/s raw; because every
+///   transfer shares the switch and host bridges, the *effective* GPU-to-GPU
+///   capacity we expose on PCIe edges is roughly half of the raw value
+///   (the paper makes the same "PCIe rings have half the NVLink bandwidth"
+///   approximation in Section 5.1).
+/// * Network: cross-server interconnect (40–400 Gb/s Ethernet / InfiniBand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// First-generation NVLink (P100-class parts).
+    NvLinkGen1,
+    /// Second-generation NVLink (V100-class parts).
+    NvLinkGen2,
+    /// An NVSwitch port (DGX-2); behaves like NVLink Gen2 per brick but the
+    /// fabric is non-blocking between any GPU pair.
+    NvSwitch,
+    /// PCIe through the host's switch hierarchy.
+    Pcie,
+    /// Cross-server network interface (Ethernet / InfiniBand).
+    Network,
+}
+
+impl LinkKind {
+    /// Nominal per-direction bandwidth of a single link of this kind in GB/s.
+    ///
+    /// For [`LinkKind::Network`] the figure corresponds to 40 Gb/s Ethernet
+    /// (the commodity-cloud setting used in the paper's Section 5.4); use
+    /// [`Link::with_bandwidth`] to model faster interconnects.
+    pub fn nominal_bandwidth_gbps(self) -> f64 {
+        match self {
+            LinkKind::NvLinkGen1 => 19.0,
+            LinkKind::NvLinkGen2 => 23.0,
+            LinkKind::NvSwitch => 23.0,
+            LinkKind::Pcie => 5.0,
+            LinkKind::Network => 5.0, // 40 Gb/s ≈ 5 GB/s
+        }
+    }
+
+    /// Whether this link kind is a point-to-point NVLink-class interconnect.
+    pub fn is_nvlink(self) -> bool {
+        matches!(
+            self,
+            LinkKind::NvLinkGen1 | LinkKind::NvLinkGen2 | LinkKind::NvSwitch
+        )
+    }
+
+    /// Whether this link kind crosses server boundaries.
+    pub fn is_network(self) -> bool {
+        matches!(self, LinkKind::Network)
+    }
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinkKind::NvLinkGen1 => "NVLink-Gen1",
+            LinkKind::NvLinkGen2 => "NVLink-Gen2",
+            LinkKind::NvSwitch => "NVSwitch",
+            LinkKind::Pcie => "PCIe",
+            LinkKind::Network => "Network",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A directed, capacitated link between two GPUs.
+///
+/// All physical interconnects modelled here are bi-directional and
+/// full-duplex; a physical connection is therefore represented by *two*
+/// `Link` values, one per direction, each carrying the full per-direction
+/// bandwidth. `lanes` counts parallel physical bricks (e.g. the "NV2" pairs
+/// on a DGX-1V are two NVLink bricks between the same GPU pair) and the
+/// total capacity of the directed edge is `lanes * bandwidth_gbps`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Source GPU.
+    pub src: GpuId,
+    /// Destination GPU.
+    pub dst: GpuId,
+    /// Interconnect class.
+    pub kind: LinkKind,
+    /// Number of parallel physical links aggregated into this edge.
+    pub lanes: u32,
+    /// Per-lane, per-direction bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl Link {
+    /// Creates a directed link of `kind` with its nominal bandwidth and a
+    /// single lane.
+    pub fn new(src: GpuId, dst: GpuId, kind: LinkKind) -> Self {
+        Link {
+            src,
+            dst,
+            kind,
+            lanes: 1,
+            bandwidth_gbps: kind.nominal_bandwidth_gbps(),
+        }
+    }
+
+    /// Sets the number of parallel lanes.
+    pub fn with_lanes(mut self, lanes: u32) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Overrides the per-lane bandwidth (GB/s).
+    pub fn with_bandwidth(mut self, gbps: f64) -> Self {
+        self.bandwidth_gbps = gbps;
+        self
+    }
+
+    /// Total per-direction capacity of this edge in GB/s.
+    pub fn capacity_gbps(&self) -> f64 {
+        self.bandwidth_gbps * f64::from(self.lanes)
+    }
+
+    /// Returns the same link with source and destination swapped.
+    pub fn reversed(&self) -> Self {
+        Link {
+            src: self.dst,
+            dst: self.src,
+            ..*self
+        }
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} [{} x{} @ {:.1} GB/s]",
+            self.src, self.dst, self.kind, self.lanes, self.bandwidth_gbps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_bandwidths_match_paper_ranges() {
+        // NVLink Gen1: 18-20 GB/s, Gen2: 22-25 GB/s, PCIe effective below 8-12.
+        assert!((18.0..=20.0).contains(&LinkKind::NvLinkGen1.nominal_bandwidth_gbps()));
+        assert!((22.0..=25.0).contains(&LinkKind::NvLinkGen2.nominal_bandwidth_gbps()));
+        assert!(LinkKind::Pcie.nominal_bandwidth_gbps() < 12.0);
+    }
+
+    #[test]
+    fn link_capacity_scales_with_lanes() {
+        let l = Link::new(GpuId(0), GpuId(3), LinkKind::NvLinkGen2).with_lanes(2);
+        assert!((l.capacity_gbps() - 46.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints_only() {
+        let l = Link::new(GpuId(0), GpuId(1), LinkKind::NvLinkGen1).with_lanes(2);
+        let r = l.reversed();
+        assert_eq!(r.src, GpuId(1));
+        assert_eq!(r.dst, GpuId(0));
+        assert_eq!(r.lanes, 2);
+        assert_eq!(r.kind, LinkKind::NvLinkGen1);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(LinkKind::NvLinkGen1.is_nvlink());
+        assert!(LinkKind::NvSwitch.is_nvlink());
+        assert!(!LinkKind::Pcie.is_nvlink());
+        assert!(LinkKind::Network.is_network());
+        assert!(!LinkKind::NvLinkGen2.is_network());
+    }
+
+    #[test]
+    fn display_formats() {
+        let l = Link::new(GpuId(0), GpuId(1), LinkKind::Pcie);
+        let s = l.to_string();
+        assert!(s.contains("GPU0"));
+        assert!(s.contains("PCIe"));
+    }
+}

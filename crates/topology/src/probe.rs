@@ -1,0 +1,122 @@
+//! Runtime topology probing.
+//!
+//! Blink discovers, at job start-up time, which links exist among exactly the
+//! GPUs the cluster scheduler assigned to the job (Section 2.3, "Topology
+//! Discovery" in Figure 9). On real hardware this is done through
+//! `nvmlDeviceGetNvLinkRemotePciInfo` / `cudaDeviceCanAccessPeer`; here the
+//! [`TopologyProber`] plays that role against a modelled machine.
+
+use crate::{GpuId, LinkKind, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Result of probing a machine for one job's GPU allocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeReport {
+    /// The induced sub-topology visible to the job.
+    pub topology: Topology,
+    /// Pairwise peer-access matrix over the allocation (indexed in allocation
+    /// order): `true` when a direct NVLink-class path exists.
+    pub peer_access: Vec<Vec<bool>>,
+    /// The allocation, in the order it was requested.
+    pub allocation: Vec<GpuId>,
+}
+
+impl ProbeReport {
+    /// Whether every GPU pair in the allocation has direct NVLink peer access.
+    pub fn fully_nvlink_connected(&self) -> bool {
+        let n = self.allocation.len();
+        (0..n).all(|i| (0..n).all(|j| i == j || self.peer_access[i][j]))
+    }
+}
+
+/// Probes a machine topology on behalf of a job.
+///
+/// ```
+/// use blink_topology::{presets, probe::TopologyProber, GpuId};
+///
+/// let machine = presets::dgx1v();
+/// let prober = TopologyProber::new(machine);
+/// let report = prober.probe(&[GpuId(1), GpuId(4), GpuId(5), GpuId(6)]).unwrap();
+/// assert_eq!(report.topology.num_gpus(), 4);
+/// assert!(!report.fully_nvlink_connected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyProber {
+    machine: Topology,
+}
+
+impl TopologyProber {
+    /// Creates a prober for the given machine (or cluster) topology.
+    pub fn new(machine: Topology) -> Self {
+        TopologyProber { machine }
+    }
+
+    /// The underlying machine topology.
+    pub fn machine(&self) -> &Topology {
+        &self.machine
+    }
+
+    /// Probes the links available to `allocation` and reports the induced
+    /// topology plus the peer-access matrix.
+    pub fn probe(&self, allocation: &[GpuId]) -> crate::Result<ProbeReport> {
+        let topology = self.machine.induced(allocation)?;
+        let n = allocation.len();
+        let mut peer_access = vec![vec![false; n]; n];
+        for (i, &a) in allocation.iter().enumerate() {
+            for (j, &b) in allocation.iter().enumerate() {
+                if i != j && topology.has_nvlink(a, b) {
+                    peer_access[i][j] = true;
+                }
+            }
+        }
+        Ok(ProbeReport {
+            topology,
+            peer_access,
+            allocation: allocation.to_vec(),
+        })
+    }
+
+    /// Probes only a particular class of links (e.g. PCIe for the hybrid
+    /// planner, after `cudaDeviceDisablePeerAccess` has turned NVLink off).
+    pub fn probe_kind(&self, allocation: &[GpuId], kind: LinkKind) -> crate::Result<Topology> {
+        Ok(self
+            .machine
+            .induced(allocation)?
+            .filter_links(|l| l.kind == kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{dgx1p, dgx1v};
+
+    #[test]
+    fn probe_reports_peer_access() {
+        let prober = TopologyProber::new(dgx1p());
+        let report = prober.probe(&[GpuId(0), GpuId(1), GpuId(3)]).unwrap();
+        assert!(report.fully_nvlink_connected());
+        let report = prober.probe(&[GpuId(0), GpuId(1), GpuId(4)]).unwrap();
+        assert!(!report.fully_nvlink_connected());
+        // 0-1 and 0-4 are connected, 1-4 is not (Figure 2b)
+        assert!(report.peer_access[0][1]);
+        assert!(report.peer_access[0][2]);
+        assert!(!report.peer_access[1][2]);
+    }
+
+    #[test]
+    fn probe_kind_filters_to_pcie() {
+        let prober = TopologyProber::new(dgx1v());
+        let pcie = prober
+            .probe_kind(&[GpuId(0), GpuId(1), GpuId(2)], LinkKind::Pcie)
+            .unwrap();
+        assert!(pcie.links().iter().all(|l| l.kind == LinkKind::Pcie));
+        assert_eq!(pcie.links().len(), 6);
+    }
+
+    #[test]
+    fn probe_rejects_unknown_gpu() {
+        let prober = TopologyProber::new(dgx1p());
+        assert!(prober.probe(&[GpuId(42)]).is_err());
+    }
+}

@@ -1,0 +1,506 @@
+//! The [`Topology`] container: GPUs plus directed capacitated links.
+
+use crate::{GpuId, Link, LinkKind, ServerId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Errors produced while building or querying a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A GPU id was referenced that is not part of the topology.
+    UnknownGpu(GpuId),
+    /// The same GPU id was added twice.
+    DuplicateGpu(GpuId),
+    /// An operation that needs at least one GPU received an empty allocation.
+    EmptyAllocation,
+    /// A link references a GPU that has not been added.
+    DanglingLink {
+        /// Link source.
+        src: GpuId,
+        /// Link destination.
+        dst: GpuId,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownGpu(g) => write!(f, "unknown GPU {g}"),
+            TopologyError::DuplicateGpu(g) => write!(f, "GPU {g} added twice"),
+            TopologyError::EmptyAllocation => write!(f, "allocation contains no GPUs"),
+            TopologyError::DanglingLink { src, dst } => {
+                write!(f, "link {src} -> {dst} references a GPU not in the topology")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Metadata describing a single GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuInfo {
+    /// Global identifier.
+    pub id: GpuId,
+    /// Server this GPU lives on.
+    pub server: ServerId,
+    /// Index of the GPU *within* its server (what `nvidia-smi` would show).
+    pub local_index: usize,
+}
+
+/// A set of GPUs and the directed, capacitated links between them.
+///
+/// A `Topology` may describe a whole machine (e.g. [`crate::presets::dgx1v`]),
+/// a multi-server cluster slice, or the sub-topology *induced* by the GPUs a
+/// scheduler allocated to one job (see [`Topology::induced`]). The latter is
+/// what Blink's TreeGen consumes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    name: String,
+    gpus: Vec<GpuInfo>,
+    links: Vec<Link>,
+    /// Optional per-GPU injection/ejection cap (GB/s per direction). Used for
+    /// switch fabrics (DGX-2 NVSwitch) where a GPU's aggregate bandwidth into
+    /// the fabric is lower than the sum of its pairwise edge capacities.
+    #[serde(default)]
+    gpu_caps: BTreeMap<GpuId, f64>,
+    /// Optional per-server NIC bandwidth (GB/s per direction). Cross-server
+    /// [`LinkKind::Network`] transfers from/to a server share this capacity.
+    #[serde(default)]
+    server_nics: BTreeMap<ServerId, f64>,
+}
+
+impl Topology {
+    /// Creates an empty topology with a human-readable name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Topology {
+            name: name.into(),
+            gpus: Vec::new(),
+            links: Vec::new(),
+            gpu_caps: BTreeMap::new(),
+            server_nics: BTreeMap::new(),
+        }
+    }
+
+    /// Sets a per-direction injection/ejection cap (GB/s) for one GPU.
+    ///
+    /// # Errors
+    /// Returns [`TopologyError::UnknownGpu`] if the GPU is not present.
+    pub fn set_gpu_cap(&mut self, id: GpuId, gbps: f64) -> crate::Result<()> {
+        if !self.contains(id) {
+            return Err(TopologyError::UnknownGpu(id));
+        }
+        self.gpu_caps.insert(id, gbps);
+        Ok(())
+    }
+
+    /// Per-direction injection/ejection cap for `id`, if one was configured.
+    pub fn gpu_cap(&self, id: GpuId) -> Option<f64> {
+        self.gpu_caps.get(&id).copied()
+    }
+
+    /// Sets the per-direction NIC bandwidth (GB/s) of a server.
+    pub fn set_server_nic(&mut self, server: ServerId, gbps: f64) {
+        self.server_nics.insert(server, gbps);
+    }
+
+    /// Per-direction NIC bandwidth of `server`, if configured.
+    pub fn server_nic(&self, server: ServerId) -> Option<f64> {
+        self.server_nics.get(&server).copied()
+    }
+
+    /// Human-readable name (e.g. `"dgx-1v"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replaces the topology name, returning `self` for chaining.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds a GPU.
+    ///
+    /// # Errors
+    /// Returns [`TopologyError::DuplicateGpu`] if the id is already present.
+    pub fn add_gpu(&mut self, id: GpuId, server: ServerId, local_index: usize) -> crate::Result<()> {
+        if self.contains(id) {
+            return Err(TopologyError::DuplicateGpu(id));
+        }
+        self.gpus.push(GpuInfo {
+            id,
+            server,
+            local_index,
+        });
+        Ok(())
+    }
+
+    /// Adds a directed link. Both endpoints must already be present.
+    pub fn add_link(&mut self, link: Link) -> crate::Result<()> {
+        if !self.contains(link.src) || !self.contains(link.dst) {
+            return Err(TopologyError::DanglingLink {
+                src: link.src,
+                dst: link.dst,
+            });
+        }
+        self.links.push(link);
+        Ok(())
+    }
+
+    /// Adds a bi-directional physical connection as two directed links of the
+    /// given kind and lane count.
+    pub fn add_duplex(
+        &mut self,
+        a: GpuId,
+        b: GpuId,
+        kind: LinkKind,
+        lanes: u32,
+    ) -> crate::Result<()> {
+        self.add_link(Link::new(a, b, kind).with_lanes(lanes))?;
+        self.add_link(Link::new(b, a, kind).with_lanes(lanes))?;
+        Ok(())
+    }
+
+    /// Adds a bi-directional connection with an explicit per-lane bandwidth.
+    pub fn add_duplex_with_bandwidth(
+        &mut self,
+        a: GpuId,
+        b: GpuId,
+        kind: LinkKind,
+        lanes: u32,
+        gbps: f64,
+    ) -> crate::Result<()> {
+        self.add_link(Link::new(a, b, kind).with_lanes(lanes).with_bandwidth(gbps))?;
+        self.add_link(Link::new(b, a, kind).with_lanes(lanes).with_bandwidth(gbps))?;
+        Ok(())
+    }
+
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// All GPU metadata, in insertion order.
+    pub fn gpus(&self) -> &[GpuInfo] {
+        &self.gpus
+    }
+
+    /// All GPU ids, in insertion order.
+    pub fn gpu_ids(&self) -> Vec<GpuId> {
+        self.gpus.iter().map(|g| g.id).collect()
+    }
+
+    /// Whether `id` is part of this topology.
+    pub fn contains(&self, id: GpuId) -> bool {
+        self.gpus.iter().any(|g| g.id == id)
+    }
+
+    /// Metadata for one GPU.
+    pub fn gpu(&self, id: GpuId) -> crate::Result<&GpuInfo> {
+        self.gpus
+            .iter()
+            .find(|g| g.id == id)
+            .ok_or(TopologyError::UnknownGpu(id))
+    }
+
+    /// All directed links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// All directed links leaving `src`.
+    pub fn links_from(&self, src: GpuId) -> impl Iterator<Item = &Link> {
+        self.links.iter().filter(move |l| l.src == src)
+    }
+
+    /// All directed links entering `dst`.
+    pub fn links_into(&self, dst: GpuId) -> impl Iterator<Item = &Link> {
+        self.links.iter().filter(move |l| l.dst == dst)
+    }
+
+    /// All directed links from `src` to `dst` (there may be several classes).
+    pub fn links_between(&self, src: GpuId, dst: GpuId) -> impl Iterator<Item = &Link> {
+        self.links
+            .iter()
+            .filter(move |l| l.src == src && l.dst == dst)
+    }
+
+    /// Total directed capacity from `src` to `dst` in GB/s, summed over all
+    /// link classes and lanes.
+    pub fn capacity_between(&self, src: GpuId, dst: GpuId) -> f64 {
+        self.links_between(src, dst).map(Link::capacity_gbps).sum()
+    }
+
+    /// Directed NVLink-only capacity from `src` to `dst` in GB/s.
+    pub fn nvlink_capacity_between(&self, src: GpuId, dst: GpuId) -> f64 {
+        self.links_between(src, dst)
+            .filter(|l| l.kind.is_nvlink())
+            .map(Link::capacity_gbps)
+            .sum()
+    }
+
+    /// Whether there is at least one NVLink-class link from `src` to `dst`.
+    pub fn has_nvlink(&self, src: GpuId, dst: GpuId) -> bool {
+        self.links_between(src, dst).any(|l| l.kind.is_nvlink())
+    }
+
+    /// Out-neighbours of `src` (deduplicated, sorted).
+    pub fn neighbors(&self, src: GpuId) -> Vec<GpuId> {
+        let mut set: BTreeSet<GpuId> = BTreeSet::new();
+        for l in self.links_from(src) {
+            set.insert(l.dst);
+        }
+        set.into_iter().collect()
+    }
+
+    /// Distinct servers present in the topology, sorted.
+    pub fn servers(&self) -> Vec<ServerId> {
+        let mut set: BTreeSet<ServerId> = BTreeSet::new();
+        for g in &self.gpus {
+            set.insert(g.server);
+        }
+        set.into_iter().collect()
+    }
+
+    /// GPU ids located on `server`, sorted.
+    pub fn gpus_on_server(&self, server: ServerId) -> Vec<GpuId> {
+        let mut v: Vec<GpuId> = self
+            .gpus
+            .iter()
+            .filter(|g| g.server == server)
+            .map(|g| g.id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Sum of all directed link capacities (GB/s). Useful as a quick sanity
+    /// figure and in tests.
+    pub fn total_capacity_gbps(&self) -> f64 {
+        self.links.iter().map(Link::capacity_gbps).sum()
+    }
+
+    /// The sub-topology induced by `allocation`: only the listed GPUs and the
+    /// links with *both* endpoints in the allocation survive.
+    ///
+    /// This mirrors Blink's runtime topology probing: a job scheduled on GPUs
+    /// `{1, 4, 5, 6}` only ever sees the links among those four GPUs.
+    ///
+    /// # Errors
+    /// Returns an error if the allocation is empty or references a GPU not in
+    /// this topology.
+    pub fn induced(&self, allocation: &[GpuId]) -> crate::Result<Topology> {
+        if allocation.is_empty() {
+            return Err(TopologyError::EmptyAllocation);
+        }
+        let set: BTreeSet<GpuId> = allocation.iter().copied().collect();
+        for &g in &set {
+            if !self.contains(g) {
+                return Err(TopologyError::UnknownGpu(g));
+            }
+        }
+        let mut sub = Topology::new(format!(
+            "{}[{}]",
+            self.name,
+            allocation
+                .iter()
+                .map(|g| g.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        for g in self.gpus.iter().filter(|g| set.contains(&g.id)) {
+            sub.gpus.push(*g);
+        }
+        for l in self.links.iter().filter(|l| set.contains(&l.src) && set.contains(&l.dst)) {
+            sub.links.push(*l);
+        }
+        for (&g, &cap) in self.gpu_caps.iter().filter(|(g, _)| set.contains(g)) {
+            sub.gpu_caps.insert(g, cap);
+        }
+        sub.server_nics = self.server_nics.clone();
+        Ok(sub)
+    }
+
+    /// Returns a copy of the topology that keeps only links for which the
+    /// predicate returns `true`. GPUs are always kept.
+    pub fn filter_links<F: Fn(&Link) -> bool>(&self, pred: F) -> Topology {
+        Topology {
+            name: self.name.clone(),
+            gpus: self.gpus.clone(),
+            links: self.links.iter().copied().filter(|l| pred(l)).collect(),
+            gpu_caps: self.gpu_caps.clone(),
+            server_nics: self.server_nics.clone(),
+        }
+    }
+
+    /// NVLink/NVSwitch-only view of the topology.
+    pub fn nvlink_only(&self) -> Topology {
+        self.filter_links(|l| l.kind.is_nvlink())
+            .with_name(format!("{}-nvlink", self.name))
+    }
+
+    /// PCIe-only view of the topology.
+    pub fn pcie_only(&self) -> Topology {
+        self.filter_links(|l| l.kind == LinkKind::Pcie)
+            .with_name(format!("{}-pcie", self.name))
+    }
+
+    /// Intra-server links only (drops [`LinkKind::Network`]).
+    pub fn intra_server_only(&self) -> Topology {
+        self.filter_links(|l| !l.kind.is_network())
+            .with_name(format!("{}-local", self.name))
+    }
+
+    /// A dense capacity matrix (GB/s), indexed by position in [`Topology::gpu_ids`].
+    ///
+    /// Entry `(i, j)` is the total directed capacity from the `i`-th to the
+    /// `j`-th GPU. Used by the isomorphism canonicalisation in
+    /// [`crate::enumerate`] and handy for debugging.
+    pub fn capacity_matrix(&self) -> Vec<Vec<f64>> {
+        let ids = self.gpu_ids();
+        let index: BTreeMap<GpuId, usize> =
+            ids.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let n = ids.len();
+        let mut m = vec![vec![0.0; n]; n];
+        for l in &self.links {
+            let (i, j) = (index[&l.src], index[&l.dst]);
+            m[i][j] += l.capacity_gbps();
+        }
+        m
+    }
+
+    /// Checks structural invariants: every link endpoint exists and lane
+    /// counts / bandwidths are positive. Intended for tests and debug builds.
+    pub fn validate(&self) -> crate::Result<()> {
+        for l in &self.links {
+            if !self.contains(l.src) || !self.contains(l.dst) {
+                return Err(TopologyError::DanglingLink {
+                    src: l.src,
+                    dst: l.dst,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "topology {}: {} GPUs, {} directed links, {:.1} GB/s aggregate",
+            self.name,
+            self.num_gpus(),
+            self.links.len(),
+            self.total_capacity_gbps()
+        )?;
+        for l in &self.links {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Topology {
+        let mut t = Topology::new("tiny");
+        for i in 0..3 {
+            t.add_gpu(GpuId(i), ServerId(0), i).unwrap();
+        }
+        t.add_duplex(GpuId(0), GpuId(1), LinkKind::NvLinkGen2, 1).unwrap();
+        t.add_duplex(GpuId(1), GpuId(2), LinkKind::NvLinkGen2, 2).unwrap();
+        t.add_duplex(GpuId(0), GpuId(2), LinkKind::Pcie, 1).unwrap();
+        t
+    }
+
+    #[test]
+    fn duplicate_gpu_rejected() {
+        let mut t = Topology::new("t");
+        t.add_gpu(GpuId(0), ServerId(0), 0).unwrap();
+        assert_eq!(
+            t.add_gpu(GpuId(0), ServerId(0), 0),
+            Err(TopologyError::DuplicateGpu(GpuId(0)))
+        );
+    }
+
+    #[test]
+    fn dangling_link_rejected() {
+        let mut t = Topology::new("t");
+        t.add_gpu(GpuId(0), ServerId(0), 0).unwrap();
+        let err = t
+            .add_link(Link::new(GpuId(0), GpuId(9), LinkKind::Pcie))
+            .unwrap_err();
+        assert!(matches!(err, TopologyError::DanglingLink { .. }));
+    }
+
+    #[test]
+    fn capacity_and_adjacency_queries() {
+        let t = tiny();
+        assert_eq!(t.num_gpus(), 3);
+        assert!(t.has_nvlink(GpuId(0), GpuId(1)));
+        assert!(!t.has_nvlink(GpuId(0), GpuId(2)));
+        assert!((t.capacity_between(GpuId(1), GpuId(2)) - 46.0).abs() < 1e-9);
+        assert!((t.nvlink_capacity_between(GpuId(0), GpuId(2)) - 0.0).abs() < 1e-9);
+        assert_eq!(t.neighbors(GpuId(0)), vec![GpuId(1), GpuId(2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_links_only() {
+        let t = tiny();
+        let sub = t.induced(&[GpuId(0), GpuId(1)]).unwrap();
+        assert_eq!(sub.num_gpus(), 2);
+        // only the 0<->1 duplex survives
+        assert_eq!(sub.links().len(), 2);
+        assert!(sub.validate().is_ok());
+    }
+
+    #[test]
+    fn induced_rejects_bad_allocations() {
+        let t = tiny();
+        assert_eq!(t.induced(&[]).unwrap_err(), TopologyError::EmptyAllocation);
+        assert_eq!(
+            t.induced(&[GpuId(17)]).unwrap_err(),
+            TopologyError::UnknownGpu(GpuId(17))
+        );
+    }
+
+    #[test]
+    fn link_class_filters() {
+        let t = tiny();
+        assert_eq!(t.nvlink_only().links().len(), 4);
+        assert_eq!(t.pcie_only().links().len(), 2);
+        assert_eq!(t.intra_server_only().links().len(), t.links().len());
+    }
+
+    #[test]
+    fn capacity_matrix_is_consistent_with_queries() {
+        let t = tiny();
+        let m = t.capacity_matrix();
+        assert!((m[0][1] - t.capacity_between(GpuId(0), GpuId(1))).abs() < 1e-9);
+        assert!((m[1][2] - 46.0).abs() < 1e-9);
+        assert!((m[2][2] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = tiny();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_gpus(), t.num_gpus());
+        assert_eq!(back.links().len(), t.links().len());
+        assert_eq!(back.name(), t.name());
+    }
+
+    #[test]
+    fn display_lists_all_links() {
+        let t = tiny();
+        let s = t.to_string();
+        assert!(s.contains("3 GPUs"));
+        assert!(s.contains("6 directed links"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Collective backends the training simulator can plug in.
+//!
+//! Both backends run against the same [`blink_sim`] hardware model, which is
+//! what makes the Blink-vs-NCCL end-to-end comparison apples-to-apples.
+
+use blink_core::{Communicator, CommunicatorOptions};
+use blink_nccl::schedule::{build_program, NcclCollective, ScheduleOptions};
+use blink_nccl::{NcclPlanner, PlannerOptions};
+use blink_sim::{SimParams, Simulator};
+use blink_topology::{GpuId, Topology};
+use std::collections::BTreeMap;
+
+/// Something that can execute an AllReduce over a fixed GPU allocation and
+/// report how long it took.
+pub trait CollectiveBackend {
+    /// Human-readable backend name ("blink", "nccl").
+    fn name(&self) -> &str;
+    /// Time to AllReduce `bytes` bytes across the allocation, in microseconds.
+    fn allreduce_us(&mut self, bytes: u64) -> f64;
+    /// Algorithmic AllReduce bandwidth in GB/s for `bytes` (convenience).
+    fn allreduce_gbps(&mut self, bytes: u64) -> f64 {
+        let us = self.allreduce_us(bytes);
+        if us <= 0.0 {
+            0.0
+        } else {
+            bytes as f64 / (us * 1000.0)
+        }
+    }
+}
+
+/// Blink backend: spanning-tree packing / one-hop / three-phase as
+/// appropriate, via [`blink_core::Communicator`].
+pub struct BlinkBackend {
+    comm: Communicator,
+    cache: BTreeMap<u64, f64>,
+}
+
+impl BlinkBackend {
+    /// Creates the backend for an allocation on a machine.
+    ///
+    /// # Errors
+    /// Propagates planning errors from [`Communicator::new`].
+    pub fn new(machine: Topology, allocation: &[GpuId]) -> Result<Self, blink_core::BlinkError> {
+        let comm = Communicator::new(machine, allocation, CommunicatorOptions::default())?;
+        Ok(BlinkBackend {
+            comm,
+            cache: BTreeMap::new(),
+        })
+    }
+}
+
+impl CollectiveBackend for BlinkBackend {
+    fn name(&self) -> &str {
+        "blink"
+    }
+
+    fn allreduce_us(&mut self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        if let Some(&t) = self.cache.get(&bytes) {
+            return t;
+        }
+        let t = self
+            .comm
+            .all_reduce(bytes)
+            .map(|r| r.elapsed_us)
+            .unwrap_or(f64::INFINITY);
+        self.cache.insert(bytes, t);
+        t
+    }
+}
+
+/// NCCL baseline backend: rings / PCIe fallback / double-binary trees.
+///
+/// For allocations spanning several servers the baseline builds a single ring
+/// through all GPUs that crosses the network once in each direction — the
+/// hierarchical behaviour the paper attributes to NCCL/Horovod in Section 5.4
+/// — and its throughput is bounded by the NIC (and PCIe on the way to it).
+pub struct NcclBackend {
+    machine: Topology,
+    allocation: Vec<GpuId>,
+    sim: Simulator,
+    cache: BTreeMap<u64, f64>,
+}
+
+impl NcclBackend {
+    /// Creates the backend for an allocation on a machine.
+    pub fn new(machine: Topology, allocation: &[GpuId]) -> Self {
+        let sim = Simulator::new(machine.clone(), SimParams::default());
+        NcclBackend {
+            machine,
+            allocation: allocation.to_vec(),
+            sim,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    fn single_server_us(&self, bytes: u64) -> f64 {
+        let planner = NcclPlanner::new(self.machine.clone(), PlannerOptions::default());
+        let Ok(plan) = planner.plan(&self.allocation, bytes) else {
+            return f64::INFINITY;
+        };
+        let Ok(program) = build_program(
+            &plan,
+            NcclCollective::AllReduce,
+            bytes,
+            &ScheduleOptions::default(),
+        ) else {
+            return f64::INFINITY;
+        };
+        self.sim
+            .run(&program)
+            .map(|r| r.total_us)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    fn multi_server_us(&self, bytes: u64) -> f64 {
+        // A flat ring across servers: within each server the ring moves over
+        // NVLink (or PCIe), and it crosses the network twice. The effective
+        // rate is governed by the slowest hop — the NIC — with the standard
+        // ring AllReduce 2(N-1)/N volume factor.
+        let n = self.allocation.len() as f64;
+        let nic = self
+            .machine
+            .servers()
+            .iter()
+            .filter_map(|&s| self.machine.server_nic(s))
+            .fold(f64::INFINITY, f64::min);
+        let nic = if nic.is_finite() { nic } else { 5.0 };
+        // PCIe hop to reach the NIC bounds the cross-machine path, as the
+        // paper notes ("NCCL is bound by intra-server PCIe throughput").
+        let effective = nic.min(blink_topology::LinkKind::Pcie.nominal_bandwidth_gbps() * 2.0);
+        let volume_factor = 2.0 * (n - 1.0) / n;
+        bytes as f64 * volume_factor / (effective * 1000.0)
+    }
+}
+
+impl CollectiveBackend for NcclBackend {
+    fn name(&self) -> &str {
+        "nccl"
+    }
+
+    fn allreduce_us(&mut self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        if let Some(&t) = self.cache.get(&bytes) {
+            return t;
+        }
+        let servers: std::collections::BTreeSet<_> = self
+            .allocation
+            .iter()
+            .filter_map(|&g| self.machine.gpu(g).ok().map(|i| i.server))
+            .collect();
+        let t = if servers.len() > 1 {
+            self.multi_server_us(bytes)
+        } else {
+            self.single_server_us(bytes)
+        };
+        self.cache.insert(bytes, t);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blink_topology::presets::{dgx1v, multi_server, ServerKind};
+
+    fn mb(n: u64) -> u64 {
+        n * 1024 * 1024
+    }
+
+    #[test]
+    fn blink_beats_nccl_on_a_fragmented_allocation() {
+        let alloc = [GpuId(1), GpuId(4), GpuId(5), GpuId(6)];
+        let mut blink = BlinkBackend::new(dgx1v(), &alloc).unwrap();
+        let mut nccl = NcclBackend::new(dgx1v(), &alloc);
+        let bytes = mb(100);
+        let b = blink.allreduce_us(bytes);
+        let n = nccl.allreduce_us(bytes);
+        assert!(b < n, "blink {b} us vs nccl {n} us");
+        assert!(blink.allreduce_gbps(bytes) > nccl.allreduce_gbps(bytes));
+        assert_eq!(blink.name(), "blink");
+        assert_eq!(nccl.name(), "nccl");
+    }
+
+    #[test]
+    fn results_are_cached_per_size() {
+        let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let mut blink = BlinkBackend::new(dgx1v(), &alloc).unwrap();
+        let a = blink.allreduce_us(mb(16));
+        let b = blink.allreduce_us(mb(16));
+        assert_eq!(a, b);
+        assert_eq!(blink.allreduce_us(0), 0.0);
+    }
+
+    #[test]
+    fn multi_server_nccl_is_nic_bound() {
+        let machine = multi_server(2, ServerKind::Dgx1V, 5.0);
+        let alloc: Vec<GpuId> = vec![
+            GpuId(0),
+            GpuId(1),
+            GpuId(2),
+            GpuId(8),
+            GpuId(9),
+            GpuId(10),
+            GpuId(11),
+            GpuId(12),
+        ];
+        let mut nccl = NcclBackend::new(machine, &alloc);
+        let gbps = nccl.allreduce_gbps(mb(100));
+        assert!(gbps < 6.0, "nccl cross-machine {gbps} must be NIC bound");
+        assert!(gbps > 1.0);
+    }
+}

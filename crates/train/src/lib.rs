@@ -1,0 +1,31 @@
+//! # blink-train
+//!
+//! A data-parallel DNN training simulator used to reproduce the paper's
+//! end-to-end results (Figure 5, Figure 18, Figure 22(a)).
+//!
+//! The paper trains AlexNet, ResNet18, ResNet50 and VGG16 on ImageNet-1K with
+//! PyTorch, swapping the collective backend between NCCL and Blink via
+//! `LD_PRELOAD`. What determines the end-to-end numbers is simple arithmetic
+//! over three quantities: per-iteration forward+backward compute time, the
+//! gradient volume that must be AllReduced every iteration, and how much of
+//! that AllReduce can be hidden behind the backward pass (wait-free
+//! backpropagation). This crate models exactly that:
+//!
+//! * [`models`] — the four CNNs with their parameter sizes and calibrated
+//!   per-GPU compute times on P100 and V100 parts.
+//! * [`backend`] — a [`CollectiveBackend`](backend::CollectiveBackend) trait
+//!   with adapters for the Blink communicator and the NCCL baseline, both
+//!   running over the same simulated hardware.
+//! * [`trainer`] — bucketed wait-free backpropagation and the iteration-time /
+//!   images-per-second / communication-share accounting.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod models;
+pub mod trainer;
+
+pub use backend::{BlinkBackend, CollectiveBackend, NcclBackend};
+pub use models::{DnnModel, GpuGeneration};
+pub use trainer::{IterationBreakdown, TrainerConfig, TrainingSimulator};

@@ -1,0 +1,130 @@
+//! The image-classification models used in the paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// GPU generation, used to pick compute-time calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GpuGeneration {
+    /// Pascal P100 (DGX-1P).
+    P100,
+    /// Volta V100 (DGX-1V / DGX-2).
+    V100,
+}
+
+/// A DNN described by the quantities that matter for data-parallel training:
+/// gradient volume and per-iteration compute time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DnnModel {
+    /// Model name.
+    pub name: String,
+    /// Number of trainable parameters, in millions.
+    pub params_millions: f64,
+    /// Per-GPU minibatch size (the largest that fits in memory, as in the
+    /// paper).
+    pub batch_per_gpu: u32,
+    /// Forward+backward time per iteration per GPU on a P100, in
+    /// milliseconds.
+    pub compute_ms_p100: f64,
+    /// Forward+backward time per iteration per GPU on a V100, in
+    /// milliseconds.
+    pub compute_ms_v100: f64,
+}
+
+impl DnnModel {
+    /// Gradient bytes exchanged per iteration (fp32 parameters).
+    pub fn gradient_bytes(&self) -> u64 {
+        (self.params_millions * 1e6 * 4.0) as u64
+    }
+
+    /// Compute time per iteration on the given generation, in microseconds.
+    pub fn compute_us(&self, generation: GpuGeneration) -> f64 {
+        match generation {
+            GpuGeneration::P100 => self.compute_ms_p100 * 1000.0,
+            GpuGeneration::V100 => self.compute_ms_v100 * 1000.0,
+        }
+    }
+
+    /// AlexNet (61 M parameters, ~244 MB of gradients).
+    pub fn alexnet() -> Self {
+        DnnModel {
+            name: "AlexNet".to_string(),
+            params_millions: 61.0,
+            batch_per_gpu: 128,
+            compute_ms_p100: 60.0,
+            compute_ms_v100: 34.0,
+        }
+    }
+
+    /// ResNet-18 (11.7 M parameters, ~47 MB of gradients).
+    pub fn resnet18() -> Self {
+        DnnModel {
+            name: "ResNet18".to_string(),
+            params_millions: 11.7,
+            batch_per_gpu: 128,
+            compute_ms_p100: 95.0,
+            compute_ms_v100: 52.0,
+        }
+    }
+
+    /// ResNet-50 (25.6 M parameters, ~102 MB of gradients).
+    pub fn resnet50() -> Self {
+        DnnModel {
+            name: "ResNet50".to_string(),
+            params_millions: 25.6,
+            batch_per_gpu: 64,
+            compute_ms_p100: 185.0,
+            compute_ms_v100: 98.0,
+        }
+    }
+
+    /// VGG-16 (138 M parameters, ~553 MB of gradients).
+    pub fn vgg16() -> Self {
+        DnnModel {
+            name: "VGG16".to_string(),
+            params_millions: 138.0,
+            batch_per_gpu: 32,
+            compute_ms_p100: 210.0,
+            compute_ms_v100: 115.0,
+        }
+    }
+
+    /// The four models evaluated in the paper, in the order they appear in
+    /// Figures 5 and 18.
+    pub fn paper_models() -> Vec<DnnModel> {
+        vec![
+            Self::alexnet(),
+            Self::resnet18(),
+            Self::resnet50(),
+            Self::vgg16(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_sizes_match_known_parameter_counts() {
+        // AlexNet ≈ 244 MB, ResNet50 ≈ 102 MB, VGG16 ≈ 552 MB of fp32 grads
+        assert!((DnnModel::alexnet().gradient_bytes() as f64 / 1e6 - 244.0).abs() < 5.0);
+        assert!((DnnModel::resnet50().gradient_bytes() as f64 / 1e6 - 102.4).abs() < 3.0);
+        assert!((DnnModel::vgg16().gradient_bytes() as f64 / 1e6 - 552.0).abs() < 5.0);
+        assert!(DnnModel::resnet18().gradient_bytes() < DnnModel::resnet50().gradient_bytes());
+    }
+
+    #[test]
+    fn v100_is_faster_than_p100() {
+        for m in DnnModel::paper_models() {
+            assert!(m.compute_us(GpuGeneration::V100) < m.compute_us(GpuGeneration::P100));
+            assert!(m.compute_us(GpuGeneration::V100) > 0.0);
+            assert!(m.batch_per_gpu > 0);
+        }
+    }
+
+    #[test]
+    fn paper_models_are_the_four_cnns() {
+        let names: Vec<String> = DnnModel::paper_models().into_iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["AlexNet", "ResNet18", "ResNet50", "VGG16"]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Data-parallel training iteration model with bucketed wait-free
+//! backpropagation.
+
+use crate::backend::CollectiveBackend;
+use crate::models::{DnnModel, GpuGeneration};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the training simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// GPU generation (selects the per-model compute calibration).
+    pub generation: GpuGeneration,
+    /// Gradient bucket size for wait-free backpropagation, in bytes (modern
+    /// frameworks default to ~25 MB).
+    pub bucket_bytes: u64,
+    /// Fraction of the per-iteration compute time spent in the backward pass
+    /// (the window communication can overlap with).
+    pub backward_fraction: f64,
+    /// Efficiency of the overlap (1.0 = perfect wait-free backprop).
+    pub overlap_efficiency: f64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            generation: GpuGeneration::V100,
+            bucket_bytes: 25 << 20,
+            backward_fraction: 0.6,
+            overlap_efficiency: 0.9,
+        }
+    }
+}
+
+/// Timing breakdown of one training iteration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IterationBreakdown {
+    /// Forward + backward compute time, in microseconds.
+    pub compute_us: f64,
+    /// Total gradient-synchronisation time (all buckets, before overlap), in
+    /// microseconds.
+    pub comm_us: f64,
+    /// Communication time that could not be hidden behind the backward pass,
+    /// in microseconds.
+    pub exposed_comm_us: f64,
+    /// Total iteration time, in microseconds.
+    pub iteration_us: f64,
+    /// Images processed per second across all GPUs.
+    pub images_per_sec: f64,
+}
+
+impl IterationBreakdown {
+    /// Fraction of the iteration spent waiting on communication (the
+    /// "communication percentage" of Figure 5).
+    pub fn comm_fraction(&self) -> f64 {
+        if self.iteration_us <= 0.0 {
+            0.0
+        } else {
+            self.exposed_comm_us / self.iteration_us
+        }
+    }
+}
+
+/// Simulates data-parallel training of one model over one collective backend.
+pub struct TrainingSimulator<'a, B: CollectiveBackend> {
+    model: DnnModel,
+    config: TrainerConfig,
+    backend: &'a mut B,
+    num_gpus: usize,
+}
+
+impl<'a, B: CollectiveBackend> TrainingSimulator<'a, B> {
+    /// Creates a simulator for `model` over `num_gpus` GPUs using `backend`
+    /// for gradient synchronisation.
+    pub fn new(model: DnnModel, num_gpus: usize, config: TrainerConfig, backend: &'a mut B) -> Self {
+        TrainingSimulator {
+            model,
+            config,
+            backend,
+            num_gpus,
+        }
+    }
+
+    /// Splits the gradient volume into wait-free backprop buckets.
+    fn buckets(&self) -> Vec<u64> {
+        let total = self.model.gradient_bytes();
+        let bucket = self.config.bucket_bytes.max(1);
+        let n = total.div_ceil(bucket);
+        let base = total / n;
+        let rem = total % n;
+        (0..n)
+            .map(|i| if i < rem { base + 1 } else { base })
+            .collect()
+    }
+
+    /// Computes the timing breakdown of a steady-state training iteration.
+    pub fn iteration(&mut self) -> IterationBreakdown {
+        let compute_us = self.model.compute_us(self.config.generation);
+        let comm_us: f64 = if self.num_gpus < 2 {
+            0.0
+        } else {
+            self.buckets()
+                .into_iter()
+                .map(|b| self.backend.allreduce_us(b))
+                .sum()
+        };
+        let overlap_window =
+            compute_us * self.config.backward_fraction * self.config.overlap_efficiency;
+        let exposed = (comm_us - overlap_window).max(0.0);
+        let iteration_us = compute_us + exposed;
+        let images = self.model.batch_per_gpu as f64 * self.num_gpus as f64;
+        IterationBreakdown {
+            compute_us,
+            comm_us,
+            exposed_comm_us: exposed,
+            iteration_us,
+            images_per_sec: images / (iteration_us / 1e6),
+        }
+    }
+}
+
+/// Relative reduction of `b` with respect to `a`: `(a - b) / a`.
+pub fn reduction(a: f64, b: f64) -> f64 {
+    if a <= 0.0 {
+        0.0
+    } else {
+        (a - b) / a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BlinkBackend, NcclBackend};
+    use blink_topology::presets::dgx1v;
+    use blink_topology::GpuId;
+
+    #[test]
+    fn comm_heavy_models_show_higher_overhead() {
+        let alloc: Vec<GpuId> = vec![GpuId(1), GpuId(4), GpuId(5), GpuId(6)];
+        let mut backend = NcclBackend::new(dgx1v(), &alloc);
+        let mut light = TrainingSimulator::new(
+            DnnModel::resnet18(),
+            alloc.len(),
+            TrainerConfig::default(),
+            &mut backend,
+        );
+        let light_frac = light.iteration().comm_fraction();
+        let mut backend = NcclBackend::new(dgx1v(), &alloc);
+        let mut heavy = TrainingSimulator::new(
+            DnnModel::vgg16(),
+            alloc.len(),
+            TrainerConfig::default(),
+            &mut backend,
+        );
+        let heavy_frac = heavy.iteration().comm_fraction();
+        assert!(
+            heavy_frac > light_frac,
+            "VGG16 {heavy_frac} should out-communicate ResNet18 {light_frac}"
+        );
+        assert!(heavy_frac > 0.2, "fragmented NCCL should be comm bound: {heavy_frac}");
+    }
+
+    #[test]
+    fn blink_reduces_iteration_time_on_fragmented_allocations() {
+        // The Figure 18 effect: on allocations where NCCL falls back to PCIe,
+        // switching the backend to Blink shrinks both communication time and
+        // iteration time.
+        let alloc: Vec<GpuId> = vec![GpuId(1), GpuId(4), GpuId(5), GpuId(6)];
+        let model = DnnModel::vgg16();
+        let mut nccl = NcclBackend::new(dgx1v(), &alloc);
+        let nccl_iter =
+            TrainingSimulator::new(model.clone(), alloc.len(), TrainerConfig::default(), &mut nccl)
+                .iteration();
+        let mut blink = BlinkBackend::new(dgx1v(), &alloc).unwrap();
+        let blink_iter =
+            TrainingSimulator::new(model, alloc.len(), TrainerConfig::default(), &mut blink)
+                .iteration();
+        let iter_reduction = reduction(nccl_iter.iteration_us, blink_iter.iteration_us);
+        let comm_reduction = reduction(nccl_iter.comm_us, blink_iter.comm_us);
+        assert!(iter_reduction > 0.1, "iteration reduction {iter_reduction}");
+        assert!(comm_reduction > 0.4, "comm reduction {comm_reduction}");
+        assert!(blink_iter.images_per_sec > nccl_iter.images_per_sec);
+    }
+
+    #[test]
+    fn single_gpu_training_has_no_communication() {
+        let mut backend = NcclBackend::new(dgx1v(), &[GpuId(0)]);
+        let mut sim = TrainingSimulator::new(
+            DnnModel::resnet50(),
+            1,
+            TrainerConfig::default(),
+            &mut backend,
+        );
+        let iter = sim.iteration();
+        assert_eq!(iter.comm_us, 0.0);
+        assert_eq!(iter.exposed_comm_us, 0.0);
+        assert!((iter.comm_fraction() - 0.0).abs() < 1e-12);
+        assert!(iter.images_per_sec > 0.0);
+    }
+
+    #[test]
+    fn buckets_cover_the_gradient_volume() {
+        let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let mut backend = NcclBackend::new(dgx1v(), &alloc);
+        let sim = TrainingSimulator::new(
+            DnnModel::alexnet(),
+            alloc.len(),
+            TrainerConfig::default(),
+            &mut backend,
+        );
+        let buckets = sim.buckets();
+        assert_eq!(
+            buckets.iter().sum::<u64>(),
+            DnnModel::alexnet().gradient_bytes()
+        );
+        assert!(buckets.iter().all(|&b| b <= TrainerConfig::default().bucket_bytes + 1));
+    }
+
+    #[test]
+    fn reduction_helper() {
+        assert!((reduction(10.0, 5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(reduction(0.0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! DGX-2 / NVSwitch: Blink's one-hop trees vs NCCL's double binary trees and
+//! rings across message sizes (the Figure 19/20 scenario).
+//!
+//! Run with: `cargo run --release --example dgx2_latency`
+
+use blink::prelude::*;
+use blink_bench::measure::{blink_collective, nccl_collective};
+use blink_core::CollectiveKind;
+
+fn main() {
+    let machine = presets::dgx2();
+    let allocation: Vec<GpuId> = (0..16).map(GpuId).collect();
+    println!("{:>12}  {:>18}  {:>18}", "size", "Blink", "NCCL");
+    let mut bytes: u64 = 1024;
+    while bytes <= 256 << 20 {
+        let blink = blink_collective(&machine, &allocation, CollectiveKind::AllReduce, bytes);
+        let nccl = nccl_collective(&machine, &allocation, CollectiveKind::AllReduce, bytes);
+        println!(
+            "{:>12}  {:>8.2} GB/s {:>6.0}us  {:>8.2} GB/s {:>6.0}us",
+            bytesize(bytes),
+            blink.gbps,
+            blink.elapsed_us,
+            nccl.gbps,
+            nccl.elapsed_us
+        );
+        bytes *= 8;
+    }
+}
+
+fn bytesize(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{} MB", b >> 20)
+    } else {
+        format!("{} KB", b >> 10)
+    }
+}

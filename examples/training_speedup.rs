@@ -1,0 +1,71 @@
+//! End-to-end data-parallel training: iteration time and images/second for
+//! the paper's four CNNs under NCCL and Blink on a fragmented DGX-1V
+//! allocation (the Figure 18 scenario), plus a two-server run (Figure 22a).
+//!
+//! Run with: `cargo run --release --example training_speedup`
+
+use blink::prelude::*;
+use blink_topology::presets::{multi_server, ServerKind};
+use blink_train::{
+    BlinkBackend, DnnModel, NcclBackend, TrainerConfig, TrainingSimulator,
+};
+
+fn show(label: &str, machine: &Topology, allocation: &[GpuId]) {
+    println!("== {label} ({} GPUs) ==", allocation.len());
+    for model in DnnModel::paper_models() {
+        let mut nccl = NcclBackend::new(machine.clone(), allocation);
+        let nccl_iter = TrainingSimulator::new(
+            model.clone(),
+            allocation.len(),
+            TrainerConfig::default(),
+            &mut nccl,
+        )
+        .iteration();
+        let mut blink = BlinkBackend::new(machine.clone(), allocation).expect("valid allocation");
+        let blink_iter = TrainingSimulator::new(
+            model.clone(),
+            allocation.len(),
+            TrainerConfig::default(),
+            &mut blink,
+        )
+        .iteration();
+        println!(
+            "  {:<9} nccl {:>7.0} img/s ({:>4.1}% comm)   blink {:>7.0} img/s ({:>4.1}% comm)   iteration time -{:.0}%",
+            model.name,
+            nccl_iter.images_per_sec,
+            100.0 * nccl_iter.comm_fraction(),
+            blink_iter.images_per_sec,
+            100.0 * blink_iter.comm_fraction(),
+            100.0 * (1.0 - blink_iter.iteration_us / nccl_iter.iteration_us),
+        );
+    }
+}
+
+fn main() {
+    let dgx1v = presets::dgx1v();
+    show(
+        "single DGX-1V, fragmented 6-GPU allocation",
+        &dgx1v,
+        &[GpuId(1), GpuId(2), GpuId(4), GpuId(5), GpuId(6), GpuId(7)],
+    );
+    show(
+        "single DGX-1V, full 8-GPU allocation",
+        &dgx1v,
+        &(0..8).map(GpuId).collect::<Vec<_>>(),
+    );
+    let cluster = multi_server(2, ServerKind::Dgx1V, 5.0);
+    show(
+        "two DGX-1Vs, 3 + 5 GPUs over a 40 Gb/s network",
+        &cluster,
+        &[
+            GpuId(0),
+            GpuId(1),
+            GpuId(2),
+            GpuId(8),
+            GpuId(9),
+            GpuId(10),
+            GpuId(11),
+            GpuId(12),
+        ],
+    );
+}

@@ -1,0 +1,127 @@
+//! Cross-crate integration tests: the whole pipeline — topology probing,
+//! TreeGen, CodeGen, simulator execution, NCCL baseline — exercised together
+//! over the configurations that matter in the paper.
+
+use blink::prelude::*;
+use blink_bench::measure::{blink_collective, mb, nccl_collective};
+use blink_core::CollectiveKind;
+use blink_topology::enumerate::unique_allocations;
+use blink_topology::presets::{dgx1p, dgx1v, dgx2, multi_server, ServerKind};
+
+/// Blink never loses to the NCCL baseline by more than a few percent on any
+/// unique DGX-1V allocation, and wins big where NCCL falls back to PCIe
+/// (the Figure 15 claim).
+#[test]
+fn blink_broadcast_dominates_nccl_across_unique_dgx1v_allocations() {
+    let machine = dgx1v();
+    let classes = unique_allocations(&machine, 3..=8).unwrap();
+    assert!(classes.len() >= 40, "expected ~46 unique classes");
+    let bytes = mb(100);
+    let mut big_wins = 0;
+    for class in classes.iter().step_by(2) {
+        let alloc = class.representative.clone();
+        let kind = CollectiveKind::Broadcast { root: alloc[0] };
+        let blink = blink_collective(&machine, &alloc, kind, bytes);
+        let nccl = nccl_collective(&machine, &alloc, kind, bytes);
+        let ratio = blink.gbps / nccl.gbps;
+        assert!(
+            ratio > 0.9,
+            "Blink should not lose on {}: {} vs {}",
+            class.label(),
+            blink.gbps,
+            nccl.gbps
+        );
+        if ratio > 3.0 {
+            big_wins += 1;
+        }
+    }
+    assert!(big_wins > 0, "some allocation should show a multi-x win");
+}
+
+/// The Figure 16 counterpart on the DGX-1P (fewer unique classes).
+#[test]
+fn blink_allreduce_dominates_nccl_on_dgx1p_classes() {
+    let machine = dgx1p();
+    let classes = unique_allocations(&machine, 3..=8).unwrap();
+    let bytes = mb(64);
+    for class in classes.iter().step_by(3) {
+        let alloc = class.representative.clone();
+        let blink = blink_collective(&machine, &alloc, CollectiveKind::AllReduce, bytes);
+        let nccl = nccl_collective(&machine, &alloc, CollectiveKind::AllReduce, bytes);
+        // Our NCCL baseline implements the idealised reduce-scatter +
+        // all-gather ring schedule, which on small fully connected
+        // allocations slightly beats a single-root reduce+broadcast tree
+        // (see EXPERIMENTS.md); Blink must stay within ~40% there and win
+        // clearly wherever rings cannot be formed.
+        assert!(
+            blink.gbps > 0.6 * nccl.gbps,
+            "{}: blink {} vs nccl {}",
+            class.label(),
+            blink.gbps,
+            nccl.gbps
+        );
+    }
+}
+
+/// On the DGX-2, Blink's one-hop trees give a clear latency advantage at small
+/// sizes (the Figure 20 claim) while staying competitive at large sizes.
+#[test]
+fn dgx2_small_message_latency_advantage() {
+    let machine = dgx2();
+    let alloc: Vec<GpuId> = (0..16).map(GpuId).collect();
+    let small = 64 * 1024;
+    let blink = blink_collective(&machine, &alloc, CollectiveKind::AllReduce, small);
+    let nccl = nccl_collective(&machine, &alloc, CollectiveKind::AllReduce, small);
+    assert!(
+        blink.elapsed_us < nccl.elapsed_us,
+        "blink {} us vs nccl {} us",
+        blink.elapsed_us,
+        nccl.elapsed_us
+    );
+    let large = mb(256);
+    let blink = blink_collective(&machine, &alloc, CollectiveKind::AllReduce, large);
+    let nccl = nccl_collective(&machine, &alloc, CollectiveKind::AllReduce, large);
+    assert!(blink.gbps > 0.8 * nccl.gbps);
+}
+
+/// End-to-end multi-server AllReduce through the public communicator.
+#[test]
+fn multi_server_allreduce_end_to_end() {
+    let machine = multi_server(2, ServerKind::Dgx1V, 5.0);
+    let alloc = vec![
+        GpuId(0),
+        GpuId(1),
+        GpuId(2),
+        GpuId(8),
+        GpuId(9),
+        GpuId(10),
+        GpuId(11),
+        GpuId(12),
+    ];
+    let mut comm = Communicator::new(machine, &alloc, CommunicatorOptions::default()).unwrap();
+    let report = comm.all_reduce(mb(100)).unwrap();
+    assert!(report.strategy.contains("three-phase"));
+    assert!(report.algorithmic_bandwidth_gbps > 0.5);
+    assert!(report.algorithmic_bandwidth_gbps < 5.5, "bounded by the 40 Gb/s NIC");
+}
+
+/// The communicator handles every collective kind on an arbitrary allocation.
+#[test]
+fn all_collectives_run_on_a_partial_allocation() {
+    let machine = dgx1v();
+    let alloc = vec![GpuId(2), GpuId(3), GpuId(5), GpuId(6), GpuId(7)];
+    let mut comm = Communicator::new(machine, &alloc, CommunicatorOptions::default()).unwrap();
+    let bytes = mb(64);
+    let reports = vec![
+        comm.broadcast(GpuId(2), bytes).unwrap(),
+        comm.gather(GpuId(2), bytes).unwrap(),
+        comm.reduce(GpuId(2), bytes).unwrap(),
+        comm.all_reduce(bytes).unwrap(),
+        comm.all_gather(bytes).unwrap(),
+        comm.reduce_scatter(bytes).unwrap(),
+    ];
+    for r in reports {
+        assert!(r.elapsed_us > 0.0, "{r}");
+        assert!(r.num_trees >= 1, "{r}");
+    }
+}

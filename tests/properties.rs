@@ -1,0 +1,134 @@
+//! Property-based tests over the core data structures and invariants:
+//! arborescence validity, packing feasibility and optimality, byte-split
+//! conservation, and schedule volume accounting on randomly chosen
+//! allocations of the real DGX topologies.
+
+use blink_core::codegen::{CodeGen, CodeGenOptions};
+use blink_core::treegen::{TreeGen, TreeGenOptions};
+use blink_core::CollectiveKind;
+use blink_graph::{
+    max_flow, optimal_broadcast_rate, pack_spanning_trees, DiGraph, PackingOptions, TreePacking,
+};
+use blink_topology::presets::{dgx1p, dgx1v};
+use blink_topology::{GpuId, Topology};
+use proptest::prelude::*;
+
+/// A random subset of 2..=8 GPUs of an 8-GPU server, plus a root index.
+fn allocation_strategy() -> impl Strategy<Value = (Vec<usize>, usize)> {
+    (proptest::collection::btree_set(0usize..8, 2..=8), 0usize..8).prop_map(|(set, seed)| {
+        let alloc: Vec<usize> = set.into_iter().collect();
+        let root = seed % alloc.len();
+        (alloc, root)
+    })
+}
+
+fn induced(machine: &Topology, ids: &[usize]) -> Topology {
+    let alloc: Vec<GpuId> = ids.iter().map(|&i| GpuId(i)).collect();
+    machine.induced(&alloc).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The MWU packing is always feasible and within 15% of the max-flow
+    /// certificate whenever a spanning tree exists, on both DGX generations.
+    #[test]
+    fn packing_is_feasible_and_near_optimal((alloc, root_pos) in allocation_strategy(), v100 in any::<bool>()) {
+        let machine = if v100 { dgx1v() } else { dgx1p() };
+        let sub = induced(&machine, &alloc);
+        let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+        let root = GpuId(alloc[root_pos]);
+        let Some(root_idx) = g.node(root) else { return Ok(()); };
+        if !g.spans_from(root_idx) {
+            prop_assert!(pack_spanning_trees(&g, root, &PackingOptions::default()).is_err());
+            return Ok(());
+        }
+        let packing = pack_spanning_trees(&g, root, &PackingOptions { epsilon: 0.08, ..Default::default() }).unwrap();
+        let opt = optimal_broadcast_rate(&g, root_idx);
+        prop_assert!(packing.is_feasible(&g));
+        prop_assert!(packing.rate() <= opt + 1e-6);
+        prop_assert!(packing.rate() >= 0.85 * opt, "rate {} vs certificate {}", packing.rate(), opt);
+        let expected: Vec<GpuId> = alloc.iter().map(|&i| GpuId(i)).collect();
+        for wt in &packing.trees {
+            prop_assert!(wt.tree.is_valid_over(&expected));
+        }
+    }
+
+    /// TreeGen's minimised plan keeps the rate within the configured threshold
+    /// of the certificate and never uses more trees than the raw packing.
+    #[test]
+    fn treegen_minimisation_preserves_rate((alloc, root_pos) in allocation_strategy()) {
+        let machine = dgx1v();
+        let sub = induced(&machine, &alloc);
+        let root = GpuId(alloc[root_pos]);
+        let tg = TreeGen::new(sub, TreeGenOptions::default());
+        if !tg.can_span(root) {
+            return Ok(());
+        }
+        let plan = tg.plan(root).unwrap();
+        prop_assert!(plan.rate_gbps() >= 0.9 * plan.optimal_rate_gbps,
+            "rate {} vs optimal {}", plan.rate_gbps(), plan.optimal_rate_gbps);
+        // minimisation may *add* unit-weight trees (the greedy peel) when the
+        // raw MWU packing found fewer distinct trees than lanes, but the final
+        // count stays tiny — never more than one tree per root NVLink lane.
+        prop_assert!(plan.num_trees() <= 8, "a DGX-1 allocation never needs more than 8 trees");
+    }
+
+    /// Splitting bytes across trees conserves the total exactly.
+    #[test]
+    fn byte_split_conserves_total((alloc, root_pos) in allocation_strategy(), bytes in 1u64..2_000_000_000) {
+        let machine = dgx1v();
+        let sub = induced(&machine, &alloc);
+        let root = GpuId(alloc[root_pos]);
+        let tg = TreeGen::new(sub, TreeGenOptions::default());
+        if !tg.can_span(root) {
+            return Ok(());
+        }
+        let plan = tg.plan(root).unwrap();
+        let split = plan.split_bytes(bytes);
+        prop_assert_eq!(split.iter().sum::<u64>(), bytes);
+    }
+
+    /// Broadcast programs move exactly (number of tree edges) x (tree share)
+    /// bytes, i.e. CodeGen neither duplicates nor drops data.
+    #[test]
+    fn broadcast_volume_is_exact((alloc, root_pos) in allocation_strategy(), chunk_kb in 64u64..8192) {
+        let machine = dgx1v();
+        let sub = induced(&machine, &alloc);
+        let root = GpuId(alloc[root_pos]);
+        let tg = TreeGen::new(sub, TreeGenOptions::default());
+        if !tg.can_span(root) {
+            return Ok(());
+        }
+        let plan = tg.plan(root).unwrap();
+        let bytes = 64 << 20;
+        let cg = CodeGen::new(CodeGenOptions { chunk_bytes: chunk_kb * 1024, ..Default::default() });
+        let program = cg.build(&plan.trees, CollectiveKind::Broadcast { root }, bytes).unwrap();
+        let packing = TreePacking::new(root, plan.trees.clone());
+        let shares = packing.split_bytes(bytes);
+        let expected: u64 = plan.trees.iter().zip(shares).map(|(t, s)| s * t.tree.edges.len() as u64).sum();
+        prop_assert_eq!(program.total_copy_bytes(), expected);
+    }
+
+    /// Max-flow is monotone: adding the PCIe links never lowers the broadcast
+    /// certificate.
+    #[test]
+    fn certificate_is_monotone_in_links((alloc, root_pos) in allocation_strategy()) {
+        let machine = dgx1v();
+        let sub = induced(&machine, &alloc);
+        let root = GpuId(alloc[root_pos]);
+        let nvlink = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+        let all = DiGraph::from_topology(&sub);
+        let (Some(a), Some(b)) = (nvlink.node(root), all.node(root)) else { return Ok(()); };
+        let nv_rate = optimal_broadcast_rate(&nvlink, a);
+        let full_rate = optimal_broadcast_rate(&all, b);
+        prop_assert!(full_rate >= nv_rate - 1e-9);
+        // and per-pair max-flow never exceeds the source's out-capacity
+        for v in 0..all.num_nodes() {
+            if v != b {
+                let out_cap: f64 = all.out_edges(b).iter().map(|&e| all.edges()[e].capacity).sum();
+                prop_assert!(max_flow(&all, b, v) <= out_cap + 1e-6);
+            }
+        }
+    }
+}
