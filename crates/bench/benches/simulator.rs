@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 fn chain(n: usize) -> Vec<GpuId> {
-    [0usize, 1, 2, 3, 7, 6, 5, 4][..n].iter().map(|&i| GpuId(i)).collect()
+    [0usize, 1, 2, 3, 7, 6, 5, 4][..n]
+        .iter()
+        .map(|&i| GpuId(i))
+        .collect()
 }
 
 fn bench_simulator(c: &mut Criterion) {
@@ -27,8 +30,14 @@ fn bench_simulator(c: &mut Criterion) {
         b.iter(|| sim.run(&prog).unwrap())
     });
     group.bench_function("mimo_100mb", |b| {
-        let prog = patterns::mimo((GpuId(1), GpuId(2)), GpuId(3), (GpuId(7), GpuId(0)), bytes, 32)
-            .unwrap();
+        let prog = patterns::mimo(
+            (GpuId(1), GpuId(2)),
+            GpuId(3),
+            (GpuId(7), GpuId(0)),
+            bytes,
+            32,
+        )
+        .unwrap();
         b.iter(|| sim.run(&prog).unwrap())
     });
     group.finish();

@@ -1,8 +1,10 @@
-//! Criterion benches for the TreeGen stage: MWU packing, tree minimisation and
-//! the max-flow certificate on the DGX presets.
+//! Criterion benches for the TreeGen stage: MWU packing (fast path with and
+//! without scratch reuse, plus the preserved naive baseline), tree
+//! minimisation and the max-flow certificate on the DGX presets.
+use blink_graph::baseline::pack_spanning_trees_naive;
 use blink_graph::{
-    minimize_trees, optimal_broadcast_rate, pack_spanning_trees, DiGraph, MinimizeOptions,
-    PackingOptions,
+    minimize_trees, optimal_broadcast_rate, pack_spanning_trees, pack_spanning_trees_in, DiGraph,
+    MinimizeOptions, PackingOptions, PackingScratch,
 };
 use blink_topology::presets::{dgx1p, dgx1v};
 use blink_topology::GpuId;
@@ -30,6 +32,13 @@ fn bench_treegen(c: &mut Criterion) {
     });
     group.bench_function("mwu_packing_dgx1p_8gpu", |b| {
         b.iter(|| pack_spanning_trees(&gp, GpuId(0), &opts).unwrap())
+    });
+    let mut scratch = PackingScratch::new();
+    group.bench_function("mwu_packing_dgx1v_8gpu_scratch_reuse", |b| {
+        b.iter(|| pack_spanning_trees_in(&g, GpuId(0), &opts, &mut scratch).unwrap())
+    });
+    group.bench_function("mwu_packing_dgx1v_8gpu_naive_baseline", |b| {
+        b.iter(|| pack_spanning_trees_naive(&g, GpuId(0), &opts).unwrap())
     });
     let packing = pack_spanning_trees(&g, GpuId(0), &opts).unwrap();
     group.bench_function("minimize_trees_dgx1v_8gpu", |b| {

@@ -1,0 +1,153 @@
+//! MWU tree-packing perf baseline: fast path vs the pre-optimisation path.
+//!
+//! Measures the zero-allocation scratch-reuse packing
+//! ([`blink_graph::pack_spanning_trees_in`]) against the preserved naive
+//! implementation ([`blink_graph::baseline::pack_spanning_trees_naive`]) on
+//! the 8-GPU DGX-1V NVLink graph at ε = 0.05 — the paper's headline broadcast
+//! configuration — and writes `BENCH_packing.json` so future PRs have a
+//! trajectory to compare against.
+//!
+//! Run with `cargo run --release -p blink-bench --bin bench_packing`.
+
+use blink_graph::baseline::pack_spanning_trees_naive;
+use blink_graph::{
+    optimal_broadcast_rate, pack_spanning_trees_in, DiGraph, PackingOptions, PackingScratch,
+    TreePacking,
+};
+use blink_topology::presets::dgx1v;
+use blink_topology::GpuId;
+use serde::Serialize;
+use std::time::Instant;
+
+const EPSILON: f64 = 0.05;
+const ROOT: GpuId = GpuId(0);
+
+/// Per-path measurements.
+#[derive(Debug, Serialize)]
+struct PathReport {
+    /// Complete packings computed per second.
+    packings_per_sec: f64,
+    /// Packed trees produced per second (trees in the final packing divided
+    /// by the time one packing takes).
+    trees_per_sec: f64,
+    /// Mean wall-clock microseconds per packing.
+    us_per_packing: f64,
+    /// MWU iterations (min-arborescence solves) one packing runs.
+    mwu_iterations: usize,
+    /// Distinct trees in the resulting packing.
+    num_trees: usize,
+    /// Total packed rate in GB/s.
+    rate_gbps: f64,
+    /// Packed rate divided by the Edmonds/Lovász certificate.
+    rate_over_optimal: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Config {
+    topology: String,
+    gpus: usize,
+    epsilon: f64,
+    root: usize,
+    naive_runs: usize,
+    fast_runs: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Speedup {
+    packings_per_sec: f64,
+    trees_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    config: Config,
+    naive: PathReport,
+    fast: PathReport,
+    speedup: Speedup,
+}
+
+fn report(
+    packing: &TreePacking,
+    iterations: usize,
+    runs: usize,
+    elapsed_s: f64,
+    opt: f64,
+) -> PathReport {
+    let per_packing = elapsed_s / runs as f64;
+    PathReport {
+        packings_per_sec: 1.0 / per_packing,
+        trees_per_sec: packing.num_trees() as f64 / per_packing,
+        us_per_packing: per_packing * 1e6,
+        mwu_iterations: iterations,
+        num_trees: packing.num_trees(),
+        rate_gbps: packing.rate(),
+        rate_over_optimal: packing.rate() / opt,
+    }
+}
+
+fn main() {
+    let topo = dgx1v();
+    let g = DiGraph::from_topology_filtered(&topo, |l| l.kind.is_nvlink());
+    let opt = optimal_broadcast_rate(&g, g.node(ROOT).expect("root exists"));
+    let opts = PackingOptions {
+        epsilon: EPSILON,
+        ..Default::default()
+    };
+
+    // ---- naive path (pre-optimisation reference, measured in-process) ----
+    let (warm_packing, warm_iters) =
+        pack_spanning_trees_naive(&g, ROOT, &opts).expect("dgx1v spans");
+    let naive_runs = 3usize;
+    let t0 = Instant::now();
+    for _ in 0..naive_runs {
+        pack_spanning_trees_naive(&g, ROOT, &opts).expect("dgx1v spans");
+    }
+    let naive = report(
+        &warm_packing,
+        warm_iters,
+        naive_runs,
+        t0.elapsed().as_secs_f64(),
+        opt,
+    );
+
+    // ---- fast path (iterative solver + reused PackingScratch) ----
+    let mut scratch = PackingScratch::new();
+    let (fast_packing, fast_stats) =
+        pack_spanning_trees_in(&g, ROOT, &opts, &mut scratch).expect("dgx1v spans");
+    let fast_runs = 200usize;
+    let t0 = Instant::now();
+    for _ in 0..fast_runs {
+        pack_spanning_trees_in(&g, ROOT, &opts, &mut scratch).expect("dgx1v spans");
+    }
+    let fast = report(
+        &fast_packing,
+        fast_stats.iterations,
+        fast_runs,
+        t0.elapsed().as_secs_f64(),
+        opt,
+    );
+
+    let out = Report {
+        config: Config {
+            topology: "dgx1v".to_string(),
+            gpus: 8,
+            epsilon: EPSILON,
+            root: ROOT.0,
+            naive_runs,
+            fast_runs,
+        },
+        speedup: Speedup {
+            packings_per_sec: fast.packings_per_sec / naive.packings_per_sec,
+            trees_per_sec: fast.trees_per_sec / naive.trees_per_sec,
+        },
+        naive,
+        fast,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serializable");
+    std::fs::write("BENCH_packing.json", &json).expect("write BENCH_packing.json");
+    println!("{json}");
+    eprintln!(
+        "speedup: {:.1}x packings/sec, {:.1}x trees/sec (fast rate/optimal {:.3})",
+        out.speedup.packings_per_sec, out.speedup.trees_per_sec, out.fast.rate_over_optimal
+    );
+}

@@ -235,8 +235,15 @@ pub fn fig08_mimo_mca() -> Vec<MicrobenchRow> {
             data_mb,
             gbps: report.algorithmic_bandwidth_gbps(mb(data_mb)),
         });
-        let prog = patterns::mca(&[GpuId(1)], &[GpuId(2)], GpuId(3), GpuId(7), mb(data_mb), 32)
-            .expect("valid mca");
+        let prog = patterns::mca(
+            &[GpuId(1)],
+            &[GpuId(2)],
+            GpuId(3),
+            GpuId(7),
+            mb(data_mb),
+            32,
+        )
+        .expect("valid mca");
         let report = sim.run(&prog).expect("mca runs");
         rows.push(MicrobenchRow {
             pattern: "MCA".to_string(),
@@ -418,7 +425,9 @@ pub fn fig14_theoretical_speedup() -> Vec<TheoreticalSpeedupRow> {
             let sub = machine.induced(&alloc).expect("valid class");
             let nvlink = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
             let root = alloc[0];
-            let Some(root_idx) = nvlink.node(root) else { continue };
+            let Some(root_idx) = nvlink.node(root) else {
+                continue;
+            };
             // Blink: the optimal packing rate (NVLink), or the PCIe rate when
             // NVLink cannot span the allocation.
             let blink_rate = if nvlink.spans_from(root_idx) {
@@ -575,7 +584,10 @@ pub fn fig18_end_to_end_dgx1v() -> Vec<EndToEndRow> {
                 allocation: label(&alloc),
                 model: model.name.clone(),
                 iteration_time_reduction_percent: 100.0
-                    * blink_train::trainer::reduction(nccl_iter.iteration_us, blink_iter.iteration_us),
+                    * blink_train::trainer::reduction(
+                        nccl_iter.iteration_us,
+                        blink_iter.iteration_us,
+                    ),
                 comm_time_reduction_percent: 100.0
                     * blink_train::trainer::reduction(nccl_iter.comm_us, blink_iter.comm_us),
             });
@@ -642,9 +654,7 @@ pub struct HybridRow {
 /// Figure 21: hybrid vs NVLink-only broadcast on the DGX-1V, 3–8 GPUs.
 pub fn fig21_hybrid_transfers() -> Vec<HybridRow> {
     let machine = dgx1v();
-    let allocations: Vec<Vec<GpuId>> = (3..=8usize)
-        .map(|n| (0..n).map(GpuId).collect())
-        .collect();
+    let allocations: Vec<Vec<GpuId>> = (3..=8usize).map(|n| (0..n).map(GpuId).collect()).collect();
     allocations
         .into_iter()
         .map(|alloc| {
@@ -845,7 +855,10 @@ mod tests {
         for row in &rows {
             assert!(row.median >= 0.99, "{row:?}");
             assert!(row.max >= row.median);
-            assert!(row.max > 2.0, "some configuration should show a large win: {row:?}");
+            assert!(
+                row.max > 2.0,
+                "some configuration should show a large win: {row:?}"
+            );
         }
     }
 

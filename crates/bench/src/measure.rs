@@ -33,7 +33,13 @@ pub fn blink_collective(
     kind: CollectiveKind,
     bytes: u64,
 ) -> CollectiveMeasurement {
-    blink_collective_with(machine, allocation, kind, bytes, CommunicatorOptions::default())
+    blink_collective_with(
+        machine,
+        allocation,
+        kind,
+        bytes,
+        CommunicatorOptions::default(),
+    )
 }
 
 /// Runs a Blink collective with explicit communicator options (used by the
@@ -47,7 +53,9 @@ pub fn blink_collective_with(
 ) -> CollectiveMeasurement {
     let mut comm = Communicator::new(machine.clone(), allocation, options)
         .expect("harness allocations are valid");
-    let report = comm.run(kind, bytes).expect("harness collectives are plannable");
+    let report = comm
+        .run(kind, bytes)
+        .expect("harness collectives are plannable");
     CollectiveMeasurement {
         library: "blink".to_string(),
         bytes,
@@ -114,6 +122,11 @@ mod tests {
         let blink = blink_collective(&machine, &alloc, kind, mb(500));
         let nccl = nccl_collective(&machine, &alloc, kind, mb(500));
         assert!(nccl.gbps < 6.0);
-        assert!(blink.gbps / nccl.gbps > 3.0, "{} vs {}", blink.gbps, nccl.gbps);
+        assert!(
+            blink.gbps / nccl.gbps > 3.0,
+            "{} vs {}",
+            blink.gbps,
+            nccl.gbps
+        );
     }
 }

@@ -1,4 +1,5 @@
-//! Automatic chunk-size selection (Section 4.2.1, Figure 12).
+//! Automatic chunk-size selection (Section 4.2.1, Figure 12) and plan reuse
+//! for the tuning loop.
 //!
 //! The optimal chunk size trades pipeline latency (smaller chunks let a node
 //! start forwarding earlier) against per-chunk CUDA launch overhead (each
@@ -7,8 +8,112 @@
 //! a multiplicative-increase / additive-decrease (MIAD) controller: grow the
 //! chunk size geometrically while throughput keeps improving, back off
 //! additively once it regresses, and settle into a steady state.
+//!
+//! The tuning loop re-issues the same collective over and over while only the
+//! chunk size changes — the tree set does not. [`PlanCache`] keeps the MWU
+//! packing out of that loop entirely: it memoises [`TreePlan`]s per
+//! `(root, link class)` and funnels every cache miss through one
+//! [`SharedPackingScratch`], so even misses reuse the packing buffers.
 
+use crate::treegen::{LinkSelection, SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan};
+use crate::{new_shared_scratch, Result};
+use blink_topology::{GpuId, Topology};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Memoises [`TreePlan`]s per `(root, link class)` for one fixed allocation
+/// and option set, sharing a single [`SharedPackingScratch`] across misses.
+///
+/// The cache does not hash the topology or the options: it belongs to a
+/// context that plans over one induced topology with fixed [`TreeGenOptions`]
+/// (e.g. a communicator). Call [`PlanCache::invalidate`] if either changes.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    scratch: SharedPackingScratch,
+    plans: BTreeMap<(GpuId, LinkSelection), TreePlan>,
+    /// First-seen options with the link class normalised away, used to
+    /// debug-assert the fixed-options contract.
+    seen_options: Option<TreeGenOptions>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache with its own scratch.
+    pub fn new() -> Self {
+        Self::with_scratch(new_shared_scratch())
+    }
+
+    /// Creates an empty cache that packs over caller-provided scratch buffers.
+    pub fn with_scratch(scratch: SharedPackingScratch) -> Self {
+        PlanCache {
+            scratch,
+            plans: BTreeMap::new(),
+            seen_options: None,
+        }
+    }
+
+    /// The scratch handle cache misses pack with (clone it to share buffers
+    /// with planners that bypass the cache, e.g. the hybrid planner).
+    pub fn scratch(&self) -> &SharedPackingScratch {
+        &self.scratch
+    }
+
+    /// Returns the cached plan for `(root, options.links)`, computing and
+    /// memoising it on first request.
+    ///
+    /// # Errors
+    /// Propagates planning failures (unknown root, unspannable link class);
+    /// failures are not cached.
+    pub fn plan_for(
+        &mut self,
+        induced: &Topology,
+        options: &TreeGenOptions,
+        root: GpuId,
+    ) -> Result<&TreePlan> {
+        // Entries are keyed by (root, links) only; everything else in the
+        // options must stay fixed for the cache's lifetime. Enforce the
+        // documented contract in debug builds.
+        let normalized = TreeGenOptions {
+            links: LinkSelection::NvLinkOnly,
+            ..*options
+        };
+        match &self.seen_options {
+            Some(prev) => debug_assert!(
+                *prev == normalized,
+                "PlanCache reused with different TreeGenOptions; call invalidate() first"
+            ),
+            None => self.seen_options = Some(normalized),
+        }
+        let key = (root, options.links);
+        if !self.plans.contains_key(&key) {
+            let tg = TreeGen::with_scratch(induced.clone(), *options, self.scratch.clone());
+            let plan = tg.plan(root)?;
+            self.plans.insert(key, plan);
+        }
+        Ok(&self.plans[&key])
+    }
+
+    /// Whether a plan for `(root, links)` is already memoised.
+    pub fn contains(&self, root: GpuId, links: LinkSelection) -> bool {
+        self.plans.contains_key(&(root, links))
+    }
+
+    /// Number of memoised plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Drops every memoised plan (keeps the scratch buffers). Call when the
+    /// underlying topology or planning options change.
+    pub fn invalidate(&mut self) {
+        self.plans.clear();
+        self.seen_options = None;
+    }
+}
 
 /// MIAD chunk-size controller.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -105,6 +210,51 @@ impl Default for ChunkAutotuner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blink_topology::presets::dgx1v;
+
+    #[test]
+    fn plan_cache_memoises_per_root_and_link_class() {
+        let topo = dgx1v();
+        let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let induced = topo.induced(&alloc).unwrap();
+        let opts = TreeGenOptions::default();
+        let mut cache = PlanCache::new();
+        assert!(cache.is_empty());
+        let rate = cache
+            .plan_for(&induced, &opts, GpuId(0))
+            .unwrap()
+            .rate_gbps();
+        assert_eq!(cache.len(), 1);
+        // repeat hit: same plan object, no recomputation observable via len
+        let again = cache
+            .plan_for(&induced, &opts, GpuId(0))
+            .unwrap()
+            .rate_gbps();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(rate.to_bits(), again.to_bits());
+        // a different root and a different link class are distinct entries
+        cache.plan_for(&induced, &opts, GpuId(1)).unwrap();
+        let pcie = TreeGenOptions {
+            links: LinkSelection::PcieOnly,
+            ..opts
+        };
+        cache.plan_for(&induced, &pcie, GpuId(0)).unwrap();
+        assert_eq!(cache.len(), 3);
+        cache.invalidate();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn plan_cache_does_not_cache_failures() {
+        let topo = blink_topology::presets::dgx1p();
+        // GPUs 1 and 4 share no NVLink: NvLinkOnly planning fails
+        let induced = topo.induced(&[GpuId(1), GpuId(4)]).unwrap();
+        let mut cache = PlanCache::new();
+        assert!(cache
+            .plan_for(&induced, &TreeGenOptions::default(), GpuId(1))
+            .is_err());
+        assert!(cache.is_empty());
+    }
 
     #[test]
     fn grows_while_throughput_improves() {
@@ -143,7 +293,9 @@ mod tests {
     fn respects_bounds_and_reset() {
         let mut t = ChunkAutotuner::new(1);
         assert!(t.chunk_bytes() >= 64 * 1024);
-        for gbps in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0] {
+        for gbps in [
+            1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0,
+        ] {
             t.observe(gbps);
         }
         assert!(t.chunk_bytes() <= 64 << 20);

@@ -317,7 +317,9 @@ fn emit_gather(
     let mut sent: BTreeMap<GpuId, OpId> = BTreeMap::new();
     let mut root_arrivals = Vec::new();
     for &v in &order {
-        let Some(parent) = tree.parent(v) else { continue };
+        let Some(parent) = tree.parent(v) else {
+            continue;
+        };
         let subtree = subtree_size(tree, v);
         let deps: Vec<OpId> = tree
             .children(v)
@@ -482,7 +484,10 @@ mod tests {
         let sim = Simulator::with_defaults(machine);
         let cg = CodeGen::default();
         let bcast = sim
-            .run(&cg.build(&trees, CollectiveKind::Broadcast { root: GpuId(0) }, bytes).unwrap())
+            .run(
+                &cg.build(&trees, CollectiveKind::Broadcast { root: GpuId(0) }, bytes)
+                    .unwrap(),
+            )
             .unwrap()
             .algorithmic_bandwidth_gbps(bytes);
         let ar = sim

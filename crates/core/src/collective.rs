@@ -52,7 +52,9 @@ impl CollectiveKind {
     pub fn reduces(&self) -> bool {
         matches!(
             self,
-            CollectiveKind::Reduce { .. } | CollectiveKind::AllReduce | CollectiveKind::ReduceScatter
+            CollectiveKind::Reduce { .. }
+                | CollectiveKind::AllReduce
+                | CollectiveKind::ReduceScatter
         )
     }
 }
@@ -130,7 +132,10 @@ mod tests {
         assert!(!CollectiveKind::Broadcast { root: GpuId(0) }.reduces());
         assert!(!CollectiveKind::AllGather.reduces());
         assert!(CollectiveKind::ReduceScatter.reduces());
-        assert_eq!(CollectiveKind::Gather { root: GpuId(1) }.root(), Some(GpuId(1)));
+        assert_eq!(
+            CollectiveKind::Gather { root: GpuId(1) }.root(),
+            Some(GpuId(1))
+        );
     }
 
     #[test]

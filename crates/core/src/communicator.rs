@@ -8,13 +8,13 @@
 //! the simulator, feeds the measured throughput back into the MIAD chunk
 //! tuner, and returns a [`CollectiveReport`].
 
-use crate::autotune::ChunkAutotuner;
+use crate::autotune::{ChunkAutotuner, PlanCache};
 use crate::codegen::{CodeGen, CodeGenOptions};
 use crate::collective::{CollectiveKind, CollectiveReport};
 use crate::hybrid::HybridPlanner;
-use crate::multiserver::three_phase_allreduce;
+use crate::multiserver::three_phase_allreduce_with_scratch;
 use crate::onehop::{is_switch_fabric, one_hop_broadcast_tree, one_hop_trees};
-use crate::treegen::{LinkSelection, TreeGen, TreeGenOptions};
+use crate::treegen::{LinkSelection, TreeGenOptions};
 use crate::{BlinkError, Result};
 use blink_graph::{optimal_broadcast_rate, DiGraph, WeightedTree};
 use blink_sim::{Program, SimParams, Simulator};
@@ -58,6 +58,21 @@ pub struct Communicator {
     sim: Simulator,
     options: CommunicatorOptions,
     autotuners: BTreeMap<String, ChunkAutotuner>,
+    /// Memoised tree plans plus the shared MWU packing scratch: collectives
+    /// re-issued by the autotune loop skip the packing stage entirely, and
+    /// cache misses (including the hybrid planner's) reuse one buffer set.
+    plans: PlanCache,
+    /// Memoised [`Communicator::pick_root`] answer: the allocation and
+    /// topology are fixed per communicator, so the best rootless-collective
+    /// root is a constant — no per-call Dinic sweep.
+    picked_root: Option<GpuId>,
+    /// Memoised spannability verdicts per `(root, link class)` — including
+    /// the negative ones the plan cache cannot represent, so PCIe-fallback
+    /// communicators stop rebuilding the NVLink graph every collective.
+    spannable: BTreeMap<(GpuId, LinkSelection), bool>,
+    /// Memoised assembled hybrid planners per root, so hybrid-mode cache hits
+    /// clone no tree plans at all.
+    hybrids: BTreeMap<GpuId, HybridPlanner>,
 }
 
 impl Communicator {
@@ -81,6 +96,10 @@ impl Communicator {
             sim,
             options,
             autotuners: BTreeMap::new(),
+            plans: PlanCache::new(),
+            picked_root: None,
+            spannable: BTreeMap::new(),
+            hybrids: BTreeMap::new(),
         })
     }
 
@@ -212,8 +231,18 @@ impl Communicator {
 
     /// Picks the root that maximises the achievable packing rate for
     /// all-to-all collectives (any root works; a well-connected one packs
-    /// more trees).
-    fn pick_root(&self) -> GpuId {
+    /// more trees). Memoised: the allocation never changes, so the Dinic
+    /// sweep runs once per communicator, not once per collective.
+    fn pick_root(&mut self) -> GpuId {
+        if let Some(root) = self.picked_root {
+            return root;
+        }
+        let root = self.compute_pick_root();
+        self.picked_root = Some(root);
+        root
+    }
+
+    fn compute_pick_root(&self) -> GpuId {
         let g = DiGraph::from_topology_filtered(&self.induced, |l| l.kind.is_nvlink());
         let mut best = self.allocation[0];
         let mut best_rate = -1.0;
@@ -233,7 +262,7 @@ impl Communicator {
     }
 
     fn build_program(
-        &self,
+        &mut self,
         kind: CollectiveKind,
         bytes: u64,
         chunk: u64,
@@ -245,12 +274,14 @@ impl Communicator {
                     "{kind} across servers is not supported; only AllReduce uses the three-phase protocol"
                 )));
             }
-            let (program, info) = three_phase_allreduce(
+            let scratch = self.plans.scratch().clone();
+            let (program, info) = three_phase_allreduce_with_scratch(
                 &self.machine,
                 &self.allocation,
                 bytes,
                 &self.options.treegen,
                 &self.codegen_options(chunk),
+                &scratch,
             )?;
             let strategy = format!(
                 "three-phase multi-server ({} servers, {} partitions)",
@@ -269,10 +300,7 @@ impl Communicator {
                 .unwrap_or(23.0 * 6.0);
             let trees: Vec<WeightedTree> = match kind.root() {
                 Some(root) => vec![one_hop_broadcast_tree(&self.allocation, root, cap)],
-                None => one_hop_trees(
-                    &self.allocation,
-                    cap / self.allocation.len() as f64,
-                ),
+                None => one_hop_trees(&self.allocation, cap / self.allocation.len() as f64),
             };
             let n = trees.len();
             let program = cg.build(&trees, kind, bytes)?;
@@ -280,46 +308,72 @@ impl Communicator {
         }
 
         // ---- single DGX-1-style server: packed spanning trees ----
-        let root = kind.root().unwrap_or_else(|| self.pick_root());
-        let nvlink_tg = TreeGen::new(self.induced.clone(), self.options.treegen);
-        if nvlink_tg.can_span(root) {
+        let root = match kind.root() {
+            Some(root) => root,
+            None => self.pick_root(),
+        };
+        // Only the first collective per (root, link class) pays for the graph
+        // build and reachability walk; the verdict (positive or negative) is
+        // memoised for every later call.
+        let links = self.options.treegen.links;
+        let nvlink_spans = match self.spannable.get(&(root, links)) {
+            Some(&spans) => spans,
+            None => {
+                let g = DiGraph::from_topology_filtered(&self.induced, |l| links.matches(l));
+                let spans = g.node(root).map(|i| g.spans_from(i)).unwrap_or(false);
+                self.spannable.insert((root, links), spans);
+                spans
+            }
+        };
+        if nvlink_spans {
             if self.options.use_hybrid {
-                let planner = HybridPlanner::plan(&self.induced, root, &self.options.treegen)?;
-                let (program, split) = planner.build(
-                    kind,
-                    bytes,
-                    &self.codegen_options(chunk),
-                    self.sim.params(),
-                )?;
+                if !self.hybrids.contains_key(&root) {
+                    let planner = HybridPlanner::plan_cached(
+                        &mut self.plans,
+                        &self.induced,
+                        root,
+                        &self.options.treegen,
+                    )?;
+                    self.hybrids.insert(root, planner);
+                }
+                let planner = &self.hybrids[&root];
+                let (program, split) =
+                    planner.build(kind, bytes, &self.codegen_options(chunk), self.sim.params())?;
                 let n = planner.nvlink_plan().num_trees() + planner.pcie_plan().num_trees();
-                let strategy = format!(
-                    "hybrid NVLink+PCIe ({} B over PCIe)",
-                    split.pcie_bytes
-                );
+                let strategy = format!("hybrid NVLink+PCIe ({} B over PCIe)", split.pcie_bytes);
                 return Ok((program, n, strategy));
             }
-            let plan = nvlink_tg.plan(root)?;
+            let treegen_opts = self.options.treegen;
+            let plan = self.plans.plan_for(&self.induced, &treegen_opts, root)?;
             let n = plan.num_trees();
             let program = cg.build(&plan.trees, kind, bytes)?;
-            return Ok((program, n, "packed spanning trees (NVLink)".to_string()));
+            let strategy = if plan.mwu.hit_iteration_cap {
+                "packed spanning trees (NVLink; MWU iteration cap hit)".to_string()
+            } else {
+                "packed spanning trees (NVLink)".to_string()
+            };
+            return Ok((program, n, strategy));
         }
 
         // ---- NVLink cannot span the allocation: fall back to PCIe trees ----
-        let pcie_tg = TreeGen::new(
-            self.induced.clone(),
-            TreeGenOptions {
-                links: LinkSelection::PcieOnly,
-                ..self.options.treegen
-            },
-        );
-        let plan = pcie_tg.plan(root)?;
-        let n = plan.num_trees();
+        let pcie_opts = TreeGenOptions {
+            links: LinkSelection::PcieOnly,
+            ..self.options.treegen
+        };
         let pcie_cg = CodeGen::new(CodeGenOptions {
             link_class: blink_sim::LinkClass::Pcie,
             ..self.codegen_options(chunk)
         });
+        let plan = self.plans.plan_for(&self.induced, &pcie_opts, root)?;
+        let n = plan.num_trees();
+        let capped = plan.mwu.hit_iteration_cap;
         let program = pcie_cg.build(&plan.trees, kind, bytes)?;
-        Ok((program, n, "packed spanning trees (PCIe fallback)".to_string()))
+        let strategy = if capped {
+            "packed spanning trees (PCIe fallback; MWU iteration cap hit)".to_string()
+        } else {
+            "packed spanning trees (PCIe fallback)".to_string()
+        };
+        Ok((program, n, strategy))
     }
 }
 
@@ -335,8 +389,7 @@ mod tests {
     #[test]
     fn full_dgx1v_broadcast_and_allreduce() {
         let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
-        let mut comm =
-            Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        let mut comm = Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
         let bcast = comm.broadcast(GpuId(0), mb(500)).unwrap();
         assert!(bcast.algorithmic_bandwidth_gbps > 110.0, "{bcast}");
         assert_eq!(bcast.num_trees, 6);
@@ -350,8 +403,7 @@ mod tests {
         // Figure 2(b): Blink keeps using the available NVLinks while NCCL
         // falls back to PCIe.
         let alloc = [GpuId(0), GpuId(1), GpuId(4)];
-        let mut comm =
-            Communicator::new(dgx1p(), &alloc, CommunicatorOptions::default()).unwrap();
+        let mut comm = Communicator::new(dgx1p(), &alloc, CommunicatorOptions::default()).unwrap();
         let report = comm.broadcast(GpuId(0), mb(500)).unwrap();
         assert!(
             report.algorithmic_bandwidth_gbps > 15.0,
@@ -362,8 +414,7 @@ mod tests {
     #[test]
     fn nvlink_disconnected_pair_falls_back_to_pcie() {
         let alloc = [GpuId(1), GpuId(4)];
-        let mut comm =
-            Communicator::new(dgx1p(), &alloc, CommunicatorOptions::default()).unwrap();
+        let mut comm = Communicator::new(dgx1p(), &alloc, CommunicatorOptions::default()).unwrap();
         let report = comm.broadcast(GpuId(1), mb(100)).unwrap();
         assert!(report.strategy.contains("PCIe fallback"));
         assert!(report.algorithmic_bandwidth_gbps < 6.0);

@@ -11,10 +11,14 @@
 //! D_pcie = D · BW_p / (BW_p + BW_n)  −  T_dpa · BW_p · BW_n / (BW_p + BW_n)
 //! ```
 
+use crate::autotune::PlanCache;
 use crate::codegen::{CodeGen, CodeGenOptions};
 use crate::collective::CollectiveKind;
-use crate::treegen::{LinkSelection, TreeGen, TreeGenOptions, TreePlan};
+use crate::treegen::{
+    new_shared_scratch, LinkSelection, SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan,
+};
 use crate::{BlinkError, Result};
+use blink_graph::WeightedTree;
 use blink_sim::{LinkClass, Program, ProgramBuilder, SimParams};
 use blink_topology::{GpuId, Topology};
 use serde::{Deserialize, Serialize};
@@ -56,6 +60,19 @@ pub fn split_data(total: u64, bw_nvlink: f64, bw_pcie: f64, t_dpa_us: f64) -> Hy
     }
 }
 
+/// The heaviest tree of a set, first maximum winning ties — the one rule for
+/// which PCIe tree a hybrid plan keeps, shared by the cached and uncached
+/// planning paths.
+fn heaviest_tree(trees: &[WeightedTree]) -> Option<&WeightedTree> {
+    let mut best: Option<&WeightedTree> = None;
+    for t in trees {
+        if best.is_none_or(|b| t.weight > b.weight) {
+            best = Some(t);
+        }
+    }
+    best
+}
+
 /// The hybrid planner: builds an NVLink plan and a PCIe plan for the same
 /// allocation and lowers collectives that use both simultaneously.
 #[derive(Debug, Clone)]
@@ -72,34 +89,99 @@ impl HybridPlanner {
     /// # Errors
     /// Fails if either link class cannot span the allocation from `root`.
     pub fn plan(induced: &Topology, root: GpuId, base: &TreeGenOptions) -> Result<Self> {
-        let nvlink = TreeGen::new(
+        Self::plan_with_scratch(induced, root, base, &new_shared_scratch())
+    }
+
+    /// [`HybridPlanner::plan`] over caller-provided packing scratch buffers:
+    /// both the NVLink and the PCIe TreeGen pack through the same
+    /// [`SharedPackingScratch`], and callers planning repeatedly (several
+    /// roots, the communicator loop) amortise the buffers across all of it.
+    pub fn plan_with_scratch(
+        induced: &Topology,
+        root: GpuId,
+        base: &TreeGenOptions,
+        scratch: &SharedPackingScratch,
+    ) -> Result<Self> {
+        let nvlink = TreeGen::with_scratch(
             induced.clone(),
             TreeGenOptions {
                 links: LinkSelection::NvLinkOnly,
                 ..*base
             },
+            scratch.clone(),
         )
         .plan(root)?;
-        let mut pcie = TreeGen::new(
+        let pcie = TreeGen::with_scratch(
             induced.clone(),
             TreeGenOptions {
                 links: LinkSelection::PcieOnly,
                 ..*base
             },
+            scratch.clone(),
         )
         .plan(root)?;
+        Ok(Self::from_plans(nvlink, pcie, induced.num_gpus() as u32))
+    }
+
+    /// Plans through a [`PlanCache`]: the NVLink and PCIe plans are memoised
+    /// per root, so re-planning the same collective (the autotune loop) skips
+    /// the MWU packing entirely.
+    ///
+    /// # Errors
+    /// Fails if either link class cannot span the allocation from `root`.
+    pub fn plan_cached(
+        cache: &mut PlanCache,
+        induced: &Topology,
+        root: GpuId,
+        base: &TreeGenOptions,
+    ) -> Result<Self> {
+        let nvlink = cache
+            .plan_for(
+                induced,
+                &TreeGenOptions {
+                    links: LinkSelection::NvLinkOnly,
+                    ..*base
+                },
+                root,
+            )?
+            .clone();
+        let pcie_src = cache.plan_for(
+            induced,
+            &TreeGenOptions {
+                links: LinkSelection::PcieOnly,
+                ..*base
+            },
+            root,
+        )?;
+        // Only the heaviest PCIe tree survives from_plans; clone just that one
+        // instead of the whole cached tree set on every (cache-hit) call.
+        let pcie = TreePlan {
+            root: pcie_src.root,
+            gpus: pcie_src.gpus.clone(),
+            trees: heaviest_tree(&pcie_src.trees)
+                .cloned()
+                .into_iter()
+                .collect(),
+            optimal_rate_gbps: pcie_src.optimal_rate_gbps,
+            trees_before_minimize: pcie_src.trees_before_minimize,
+            links: pcie_src.links,
+            mwu: pcie_src.mwu,
+        };
+        Ok(Self::from_plans(nvlink, pcie, induced.num_gpus() as u32))
+    }
+
+    fn from_plans(nvlink: TreePlan, mut pcie: TreePlan, num_gpus: u32) -> Self {
         // PCIe is a shared switch hierarchy, not a set of independent
         // point-to-point links: packing several "PCIe trees" would double
         // count the fabric. Blink builds a single tree set over PCIe
         // (Section 3.4), so keep only the heaviest tree — its weight (the
         // slowest hop, ~5 GB/s) is the realistic fabric rate.
-        pcie.trees.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
-        pcie.trees.truncate(1);
-        Ok(HybridPlanner {
+        pcie.trees = heaviest_tree(&pcie.trees).cloned().into_iter().collect();
+        HybridPlanner {
             nvlink_plan: nvlink,
             pcie_plan: pcie,
-            num_gpus: induced.num_gpus() as u32,
-        })
+            num_gpus,
+        }
     }
 
     /// The NVLink tree plan.
@@ -256,7 +338,10 @@ mod tests {
                 &params,
             )
             .unwrap();
-        assert!(split.pcie_bytes > 0, "PCIe share should be non-zero: {split:?}");
+        assert!(
+            split.pcie_bytes > 0,
+            "PCIe share should be non-zero: {split:?}"
+        );
         let hybrid_bw = sim
             .run(&hybrid_prog)
             .unwrap()

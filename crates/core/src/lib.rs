@@ -46,11 +46,13 @@ pub mod multiserver;
 pub mod onehop;
 pub mod treegen;
 
-pub use autotune::ChunkAutotuner;
+pub use autotune::{ChunkAutotuner, PlanCache};
 pub use codegen::{CodeGen, CodeGenOptions};
 pub use collective::{CollectiveKind, CollectiveReport};
 pub use communicator::{Communicator, CommunicatorOptions};
-pub use treegen::{TreeGen, TreeGenOptions, TreePlan};
+pub use treegen::{
+    new_shared_scratch, LinkSelection, SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan,
+};
 
 /// Errors surfaced by the Blink library.
 #[derive(Debug, Clone, PartialEq)]

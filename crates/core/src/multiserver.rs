@@ -15,7 +15,7 @@
 
 use crate::codegen::{chunk_sizes, CodeGen, CodeGenOptions};
 use crate::collective::CollectiveKind;
-use crate::treegen::{TreeGen, TreeGenOptions, TreePlan};
+use crate::treegen::{new_shared_scratch, TreeGen, TreeGenOptions, TreePlan};
 use crate::{BlinkError, Result};
 use blink_sim::{LinkClass, OpId, Program, ProgramBuilder};
 use blink_topology::{GpuId, ServerId, Topology};
@@ -61,6 +61,27 @@ pub fn three_phase_allreduce(
     tg_options: &TreeGenOptions,
     cg_options: &CodeGenOptions,
 ) -> Result<(Program, ThreePhaseInfo)> {
+    three_phase_allreduce_with_scratch(
+        machine,
+        allocation,
+        bytes,
+        tg_options,
+        cg_options,
+        &new_shared_scratch(),
+    )
+}
+
+/// [`three_phase_allreduce`] over caller-provided packing scratch buffers, so
+/// repeated multi-server collectives (the communicator's autotune loop) reuse
+/// one set of MWU allocations across every (server, partition-root) plan.
+pub fn three_phase_allreduce_with_scratch(
+    machine: &Topology,
+    allocation: &[GpuId],
+    bytes: u64,
+    tg_options: &TreeGenOptions,
+    cg_options: &CodeGenOptions,
+    scratch: &crate::treegen::SharedPackingScratch,
+) -> Result<(Program, ThreePhaseInfo)> {
     // group by server, preserving allocation order
     let mut by_server: BTreeMap<ServerId, Vec<GpuId>> = BTreeMap::new();
     for &g in allocation {
@@ -83,7 +104,8 @@ pub fn three_phase_allreduce(
         .unwrap_or(1)
         .max(1);
 
-    // plan local trees for every (server, partition root)
+    // plan local trees for every (server, partition root); the shared scratch
+    // carries the MWU buffers across every server and root
     let mut plans: Vec<Vec<TreePlan>> = Vec::new();
     let mut roots: Vec<Vec<GpuId>> = Vec::new();
     let mut local_rates = Vec::new();
@@ -91,7 +113,7 @@ pub fn three_phase_allreduce(
         let induced = machine
             .induced(gpus)
             .map_err(|e| BlinkError::Planning(e.to_string()))?;
-        let tg = TreeGen::new(induced, *tg_options);
+        let tg = TreeGen::with_scratch(induced, *tg_options, scratch.clone());
         let mut server_plans = Vec::new();
         let mut server_roots = Vec::new();
         for p in 0..partitions {
@@ -99,7 +121,8 @@ pub fn three_phase_allreduce(
             server_plans.push(tg.plan(root)?);
             server_roots.push(root);
         }
-        local_rates.push(server_plans.iter().map(TreePlan::rate_gbps).sum::<f64>() / partitions as f64);
+        local_rates
+            .push(server_plans.iter().map(TreePlan::rate_gbps).sum::<f64>() / partitions as f64);
         plans.push(server_plans);
         roots.push(server_roots);
     }
@@ -127,7 +150,13 @@ pub fn three_phase_allreduce(
             )?;
             let deps: Vec<OpId> = (start..builder.len()).map(OpId).collect();
             let stream = builder.new_stream();
-            let barrier = builder.compute(roots[s][p], 0.0, stream, deps, format!("phase1 barrier p{p} s{s}"));
+            let barrier = builder.compute(
+                roots[s][p],
+                0.0,
+                stream,
+                deps,
+                format!("phase1 barrier p{p} s{s}"),
+            );
             phase1_barriers.push(barrier);
         }
         // ---- phase 2: cross-server one-hop reduce + return ----
@@ -142,7 +171,10 @@ pub fn three_phase_allreduce(
             }
             let owner = roots[q][p];
             let owner_stream = builder.new_stream();
-            for (c_idx, &sz) in chunk_sizes(slice, cg_options.chunk_bytes).iter().enumerate() {
+            for (c_idx, &sz) in chunk_sizes(slice, cg_options.chunk_bytes)
+                .iter()
+                .enumerate()
+            {
                 let mut arrivals = Vec::new();
                 for s in 0..n_servers {
                     if s == q {
@@ -161,7 +193,13 @@ pub fn three_phase_allreduce(
                 }
                 let mut red_deps = arrivals;
                 red_deps.push(phase1_barriers[q]);
-                let red = builder.reduce(owner, sz, owner_stream, red_deps, format!("phase2 red p{p} q{q} c{c_idx}"));
+                let red = builder.reduce(
+                    owner,
+                    sz,
+                    owner_stream,
+                    red_deps,
+                    format!("phase2 red p{p} q{q} c{c_idx}"),
+                );
                 phase2_barriers[q].push(red);
                 for s in 0..n_servers {
                     if s == q {

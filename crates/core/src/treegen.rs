@@ -1,16 +1,36 @@
 //! TreeGen: from a probed topology to a minimal set of weighted spanning
 //! trees (Sections 3.1–3.2 of the paper).
+//!
+//! Every [`TreeGen`] owns a [`SharedPackingScratch`] — the reusable MWU/solver
+//! buffers from [`blink_graph::PackingScratch`] — so repeated `plan` calls
+//! (per-root, as in the three-phase multi-server AllReduce) never re-allocate
+//! the packing state. Callers that build several TreeGens over the same job
+//! (per-link-class, the hybrid planner, the communicator's autotune loop) pass
+//! one shared scratch to [`TreeGen::with_scratch`] so all of them reuse a
+//! single set of buffers; [`crate::autotune::PlanCache`] builds on this to
+//! also memoise whole plans.
 
 use crate::{BlinkError, Result};
 use blink_graph::{
-    minimize_trees, optimal_broadcast_rate, pack_spanning_trees, DiGraph, MinimizeOptions,
-    PackingOptions, TreePacking, WeightedTree,
+    minimize_trees, pack_spanning_trees_in, DiGraph, MinimizeOptions, PackingOptions,
+    PackingScratch, PackingStats, TreePacking, WeightedTree,
 };
 use blink_topology::{GpuId, LinkKind, Topology};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The packing scratch handle TreeGens share: cloning the handle shares the
+/// underlying buffers (planning is single-threaded by design).
+pub type SharedPackingScratch = Rc<RefCell<PackingScratch>>;
+
+/// Creates a fresh [`SharedPackingScratch`].
+pub fn new_shared_scratch() -> SharedPackingScratch {
+    Rc::new(RefCell::new(PackingScratch::new()))
+}
 
 /// Which link class TreeGen packs trees over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum LinkSelection {
     /// NVLink / NVSwitch links only (the default — what Blink uses unless the
     /// hybrid planner explicitly adds a PCIe tree set).
@@ -20,8 +40,20 @@ pub enum LinkSelection {
     PcieOnly,
 }
 
+impl LinkSelection {
+    /// Whether `link` belongs to this link class — the single source of truth
+    /// for the class-to-link mapping (used by [`TreeGen`]'s graph construction
+    /// and the communicator's spannability gate alike).
+    pub fn matches(self, link: &blink_topology::Link) -> bool {
+        match self {
+            LinkSelection::NvLinkOnly => link.kind.is_nvlink(),
+            LinkSelection::PcieOnly => link.kind == LinkKind::Pcie,
+        }
+    }
+}
+
 /// Options for [`TreeGen`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TreeGenOptions {
     /// Which links to pack over.
     pub links: LinkSelection,
@@ -62,6 +94,10 @@ pub struct TreePlan {
     pub trees_before_minimize: usize,
     /// Which link class the plan uses.
     pub links: LinkSelection,
+    /// Diagnostics from the MWU packing run (iterations, termination reason,
+    /// and whether [`PackingOptions::max_iterations`] truncated it — callers
+    /// should log the latter).
+    pub mwu: PackingStats,
 }
 
 impl TreePlan {
@@ -88,17 +124,43 @@ impl TreePlan {
 
 /// The TreeGen stage: owns the induced topology for one job and produces
 /// [`TreePlan`]s for requested roots.
+///
+/// Cloning a TreeGen shares its packing scratch (buffer reuse, not state:
+/// scratch contents never affect results — see the bit-identical regression
+/// test in `tests/properties.rs`).
 #[derive(Debug, Clone)]
 pub struct TreeGen {
     topology: Topology,
     options: TreeGenOptions,
+    scratch: SharedPackingScratch,
 }
 
 impl TreeGen {
     /// Creates a TreeGen over the (already induced) topology of a job's
-    /// allocation.
+    /// allocation, with its own packing scratch.
     pub fn new(topology: Topology, options: TreeGenOptions) -> Self {
-        TreeGen { topology, options }
+        Self::with_scratch(topology, options, new_shared_scratch())
+    }
+
+    /// Creates a TreeGen that packs over caller-provided scratch buffers, so
+    /// several TreeGens (e.g. one per link class, or the hybrid planner's
+    /// pair) share one set of allocations.
+    pub fn with_scratch(
+        topology: Topology,
+        options: TreeGenOptions,
+        scratch: SharedPackingScratch,
+    ) -> Self {
+        TreeGen {
+            topology,
+            options,
+            scratch,
+        }
+    }
+
+    /// The packing scratch this TreeGen plans with (clone the handle to share
+    /// it with further TreeGens).
+    pub fn scratch(&self) -> &SharedPackingScratch {
+        &self.scratch
     }
 
     /// The induced topology this TreeGen plans over.
@@ -107,14 +169,8 @@ impl TreeGen {
     }
 
     fn graph(&self) -> DiGraph {
-        match self.options.links {
-            LinkSelection::NvLinkOnly => {
-                DiGraph::from_topology_filtered(&self.topology, |l| l.kind.is_nvlink())
-            }
-            LinkSelection::PcieOnly => {
-                DiGraph::from_topology_filtered(&self.topology, |l| l.kind == LinkKind::Pcie)
-            }
-        }
+        let links = self.options.links;
+        DiGraph::from_topology_filtered(&self.topology, |l| links.matches(l))
     }
 
     /// Whether a spanning tree rooted at `root` exists over the selected link
@@ -143,14 +199,19 @@ impl TreeGen {
                 optimal_rate_gbps: 0.0,
                 trees_before_minimize: 0,
                 links: self.options.links,
+                mwu: PackingStats::trivial(),
             });
         }
-        let packing = pack_spanning_trees(&g, root, &self.options.packing)
-            .map_err(|e| BlinkError::Planning(e.to_string()))?;
-        let root_idx = g
-            .node(root)
-            .ok_or_else(|| BlinkError::Planning(format!("root {root} not in allocation")))?;
-        let optimal = optimal_broadcast_rate(&g, root_idx);
+        let (packing, stats) = pack_spanning_trees_in(
+            &g,
+            root,
+            &self.options.packing,
+            &mut self.scratch.borrow_mut(),
+        )
+        .map_err(|e| BlinkError::Planning(e.to_string()))?;
+        // The packing already computed the Edmonds/Lovász certificate for its
+        // early exit; reuse it instead of re-running Dinic.
+        let optimal = stats.certificate_gbps;
         let before = packing.num_trees();
         let final_packing = if self.options.skip_minimize {
             packing
@@ -164,6 +225,7 @@ impl TreeGen {
             optimal_rate_gbps: optimal,
             trees_before_minimize: before,
             links: self.options.links,
+            mwu: stats,
         })
     }
 }

@@ -3,8 +3,14 @@
 //!
 //! Blink's MWU packing (Section 3.2) repeatedly needs the *minimum-length*
 //! spanning arborescence under the current edge lengths; Chu–Liu/Edmonds
-//! computes it exactly. Graphs here are tiny (≤ 16 GPUs), so the classic
-//! recursive contraction formulation is more than fast enough.
+//! computes it exactly. The packing loop invokes the solver `O(m ln m / ε²)`
+//! times per job, so the implementation here is an *iterative* contraction
+//! loop over an [`ArborescenceScratch`] arena: every buffer (per-level
+//! cheapest-in-edge tables, cycle membership, vertex remapping, the working
+//! edge lists) is preallocated once and reused across calls, making the
+//! steady-state solve allocation-free. The classic recursive
+//! clone-per-contraction formulation survives in [`crate::baseline`] as the
+//! reference the perf harness compares against.
 
 use crate::digraph::{DiGraph, EdgeIdx, NodeIdx};
 use blink_topology::GpuId;
@@ -175,158 +181,261 @@ impl Arborescence {
     }
 }
 
+/// A working edge inside the iterative solver. Original edge ids are carried
+/// through every contraction level so the final selection can be reported in
+/// the caller's edge numbering.
+#[derive(Debug, Clone, Copy)]
+struct WorkEdge {
+    u: u32,
+    v: u32,
+    w: f64,
+    id: u32,
+}
+
+/// Per-contraction-level state the expansion pass needs to undo one cycle
+/// contraction. All vectors are reused (cleared, never shrunk) across calls.
+#[derive(Debug, Clone, Default)]
+struct ContractionLevel {
+    /// Cheapest incoming edge id per vertex of this level (`u32::MAX` = none).
+    best_id: Vec<u32>,
+    /// Tail vertex of the cheapest incoming edge per vertex.
+    best_u: Vec<u32>,
+    /// Weight of the cheapest incoming edge per vertex.
+    best_w: Vec<f64>,
+    /// Vertices of the contracted cycle, in walk order.
+    cycle: Vec<u32>,
+    /// Cycle membership, indexed by this level's vertex numbering.
+    in_cycle: Vec<bool>,
+    /// Head vertex (this level's numbering) per *original* edge id;
+    /// `u32::MAX` when the edge no longer exists at this level.
+    head_of: Vec<u32>,
+}
+
+/// Reusable buffers for [`min_arborescence_in`].
+///
+/// One scratch serves any number of solves over graphs of any size: buffers
+/// grow to the high-water mark on first use and are only cleared afterwards,
+/// so the steady state performs no heap allocation at all. The MWU packing
+/// loop threads one of these (inside a [`crate::packing::PackingScratch`])
+/// through its thousands of solver invocations.
+#[derive(Debug, Clone, Default)]
+pub struct ArborescenceScratch {
+    cur: Vec<WorkEdge>,
+    next: Vec<WorkEdge>,
+    levels: Vec<ContractionLevel>,
+    map: Vec<u32>,
+    color: Vec<u8>,
+    path: Vec<u32>,
+    result: Vec<EdgeIdx>,
+}
+
+impl ArborescenceScratch {
+    /// Creates an empty scratch. Buffers are sized lazily on first solve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Computes a minimum-weight spanning arborescence of `graph` rooted at
 /// `root`, where `weight[e]` gives the length of edge `e`.
 ///
 /// Returns the chosen edge indices, or `None` if some vertex is unreachable
 /// from the root.
+///
+/// This is the convenience wrapper that allocates a fresh
+/// [`ArborescenceScratch`] per call; hot loops should hold a scratch and call
+/// [`min_arborescence_in`] instead.
 pub fn min_arborescence(graph: &DiGraph, root: NodeIdx, weights: &[f64]) -> Option<Vec<EdgeIdx>> {
+    let mut scratch = ArborescenceScratch::new();
+    min_arborescence_in(graph, root, weights, &mut scratch).map(|ids| ids.to_vec())
+}
+
+/// [`min_arborescence`] over caller-owned scratch buffers: the allocation-free
+/// fast path. The returned slice borrows `scratch` and is valid until the next
+/// solve.
+///
+/// Unreachability is detected by the solver itself (a vertex — possibly a
+/// contracted super-node — with no incoming edge), so no separate reachability
+/// pass is run per call.
+pub fn min_arborescence_in<'s>(
+    graph: &DiGraph,
+    root: NodeIdx,
+    weights: &[f64],
+    scratch: &'s mut ArborescenceScratch,
+) -> Option<&'s [EdgeIdx]> {
     assert_eq!(weights.len(), graph.num_edges(), "one weight per edge");
     if graph.num_nodes() == 0 {
         return None;
     }
-    if !graph.spans_from(root) {
-        return None;
-    }
-    #[derive(Clone, Copy)]
-    struct E {
-        u: usize,
-        v: usize,
-        w: f64,
-        id: EdgeIdx,
-    }
-    let edges: Vec<E> = graph
-        .edges()
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| e.src != e.dst)
-        .map(|(id, e)| E {
-            u: e.src,
-            v: e.dst,
-            w: weights[id],
-            id,
-        })
-        .collect();
-
-    fn solve(n: usize, root: usize, edges: &[E]) -> Option<Vec<EdgeIdx>> {
-        if n <= 1 {
-            return Some(Vec::new());
+    let m = graph.num_edges();
+    scratch.result.clear();
+    scratch.cur.clear();
+    for (id, e) in graph.edges().iter().enumerate() {
+        if e.src != e.dst {
+            scratch.cur.push(WorkEdge {
+                u: e.src as u32,
+                v: e.dst as u32,
+                w: weights[id],
+                id: id as u32,
+            });
         }
-        // 1. cheapest incoming edge for every non-root vertex
-        let mut best: Vec<Option<E>> = vec![None; n];
-        for e in edges {
-            if e.v == root || e.u == e.v {
+    }
+    let mut n = graph.num_nodes();
+    let mut root = root as u32;
+    let mut depth = 0usize;
+    loop {
+        if n <= 1 {
+            break;
+        }
+        if depth == scratch.levels.len() {
+            scratch.levels.push(ContractionLevel::default());
+        }
+        let level = &mut scratch.levels[depth];
+        // 1. cheapest incoming edge for every non-root vertex (first edge wins
+        // ties, matching the scan order of the reference implementation)
+        level.best_id.clear();
+        level.best_id.resize(n, u32::MAX);
+        level.best_u.clear();
+        level.best_u.resize(n, u32::MAX);
+        level.best_w.clear();
+        level.best_w.resize(n, 0.0);
+        for e in &scratch.cur {
+            if e.v == root {
                 continue;
             }
-            match best[e.v] {
-                Some(b) if b.w <= e.w => {}
-                _ => best[e.v] = Some(*e),
+            let v = e.v as usize;
+            if level.best_id[v] == u32::MAX || e.w < level.best_w[v] {
+                level.best_id[v] = e.id;
+                level.best_u[v] = e.u;
+                level.best_w[v] = e.w;
             }
         }
-        for (v, b) in best.iter().enumerate() {
-            if v != root && b.is_none() {
-                return None;
+        for v in 0..n {
+            if v as u32 != root && level.best_id[v] == u32::MAX {
+                return None; // unreachable (possibly a contracted component)
             }
         }
         // 2. look for a cycle among the chosen edges
-        let mut color = vec![0u8; n]; // 0 unvisited, 1 in progress, 2 done
-        color[root] = 2;
-        let mut cycle: Option<Vec<usize>> = None;
+        scratch.color.clear();
+        scratch.color.resize(n, 0); // 0 unvisited, 1 in progress, 2 done
+        scratch.color[root as usize] = 2;
+        level.cycle.clear();
         for start in 0..n {
-            if color[start] != 0 {
+            if scratch.color[start] != 0 {
                 continue;
             }
-            let mut path = Vec::new();
-            let mut v = start;
-            while color[v] == 0 {
-                color[v] = 1;
-                path.push(v);
-                v = best[v].expect("non-root vertices have a parent").u;
+            scratch.path.clear();
+            let mut v = start as u32;
+            while scratch.color[v as usize] == 0 {
+                scratch.color[v as usize] = 1;
+                scratch.path.push(v);
+                v = level.best_u[v as usize];
             }
-            if color[v] == 1 {
+            if scratch.color[v as usize] == 1 {
                 // found a cycle: the suffix of `path` starting at v
-                let pos = path.iter().position(|&x| x == v).expect("v is on path");
-                cycle = Some(path[pos..].to_vec());
+                let pos = scratch
+                    .path
+                    .iter()
+                    .position(|&x| x == v)
+                    .expect("v is on path");
+                level.cycle.extend_from_slice(&scratch.path[pos..]);
             }
-            for &x in &path {
-                color[x] = 2;
+            for &x in &scratch.path {
+                scratch.color[x as usize] = 2;
             }
-            if cycle.is_some() {
+            if !level.cycle.is_empty() {
                 break;
             }
         }
-        let chosen: Vec<E> = (0..n)
-            .filter(|&v| v != root)
-            .map(|v| best[v].expect("checked above"))
-            .collect();
-        let Some(cycle) = cycle else {
-            return Some(chosen.iter().map(|e| e.id).collect());
-        };
+        if level.cycle.is_empty() {
+            // no cycle: this level's chosen edges complete the solution
+            for v in 0..n {
+                if v as u32 != root {
+                    scratch.result.push(level.best_id[v] as EdgeIdx);
+                }
+            }
+            break;
+        }
         // 3. contract the cycle into a single super-node
-        let in_cycle: BTreeSet<usize> = cycle.iter().copied().collect();
-        let mut map = vec![usize::MAX; n];
-        let mut next = 0usize;
+        level.in_cycle.clear();
+        level.in_cycle.resize(n, false);
+        for &v in &level.cycle {
+            level.in_cycle[v as usize] = true;
+        }
+        level.head_of.clear();
+        level.head_of.resize(m, u32::MAX);
+        scratch.map.clear();
+        scratch.map.resize(n, u32::MAX);
+        let mut next_id = 0u32;
         for v in 0..n {
-            if !in_cycle.contains(&v) {
-                map[v] = next;
-                next += 1;
+            if !level.in_cycle[v] {
+                scratch.map[v] = next_id;
+                next_id += 1;
             }
         }
-        let super_node = next;
-        for &v in &in_cycle {
-            map[v] = super_node;
+        let super_node = next_id;
+        for &v in &level.cycle {
+            scratch.map[v as usize] = super_node;
         }
-        let new_n = next + 1;
-        let mut new_edges = Vec::new();
-        for e in edges {
-            let (nu, nv) = (map[e.u], map[e.v]);
+        scratch.next.clear();
+        for e in &scratch.cur {
+            level.head_of[e.id as usize] = e.v;
+            let (nu, nv) = (scratch.map[e.u as usize], scratch.map[e.v as usize]);
             if nu == nv {
                 continue;
             }
-            let w = if in_cycle.contains(&e.v) {
-                e.w - best[e.v].expect("cycle vertex has a best edge").w
+            let w = if level.in_cycle[e.v as usize] {
+                e.w - level.best_w[e.v as usize]
             } else {
                 e.w
             };
-            new_edges.push(E {
+            scratch.next.push(WorkEdge {
                 u: nu,
                 v: nv,
                 w,
                 id: e.id,
             });
         }
-        let sub = solve(new_n, map[root], &new_edges)?;
-        // 4. expand: the chosen sub-solution has exactly one edge entering the
-        // super-node; the vertex (in *this* level's numbering) where that edge
-        // lands breaks the cycle. Original edge ids are preserved across
-        // contraction levels, so we can look the head up in this level's list.
-        let head_at_this_level: BTreeMap<EdgeIdx, usize> =
-            edges.iter().map(|e| (e.id, e.v)).collect();
-        let mut result: Vec<EdgeIdx> = Vec::new();
-        let mut entering_head: Option<usize> = None;
-        for &id in &sub {
-            result.push(id);
-            if let Some(&dst) = head_at_this_level.get(&id) {
-                if in_cycle.contains(&dst) {
-                    entering_head = Some(dst);
-                }
-            }
-        }
-        let entering_head = entering_head.expect("some edge must enter the contracted cycle");
-        for &v in &in_cycle {
-            if v != entering_head {
-                result.push(best[v].expect("cycle vertex has a best edge").id);
-            }
-        }
-        Some(result)
+        std::mem::swap(&mut scratch.cur, &mut scratch.next);
+        n = super_node as usize + 1;
+        root = scratch.map[root as usize];
+        depth += 1;
     }
-
-    solve(graph.num_nodes(), root, &edges)
+    // 4. expand: walk the contraction levels innermost-out. At each level the
+    // partial solution has exactly one edge whose head lies on that level's
+    // cycle; that vertex breaks the cycle and every other cycle vertex keeps
+    // its cheapest incoming edge.
+    for lvl in (0..depth).rev() {
+        let level = &scratch.levels[lvl];
+        let mut entering_head = u32::MAX;
+        for &id in &scratch.result {
+            let h = level.head_of[id];
+            if h != u32::MAX && level.in_cycle[h as usize] {
+                entering_head = h;
+            }
+        }
+        assert_ne!(
+            entering_head,
+            u32::MAX,
+            "some edge must enter the contracted cycle"
+        );
+        for i in 0..level.cycle.len() {
+            let v = level.cycle[i];
+            if v != entering_head {
+                scratch.result.push(level.best_id[v as usize] as EdgeIdx);
+            }
+        }
+    }
+    Some(&scratch.result)
 }
 
 /// Converts a set of edge indices (as returned by [`min_arborescence`]) into
 /// an [`Arborescence`] labelled with GPU ids.
-pub fn arborescence_from_edges(graph: &DiGraph, root: NodeIdx, edge_ids: &[EdgeIdx]) -> Arborescence {
+pub fn arborescence_from_edges(
+    graph: &DiGraph,
+    root: NodeIdx,
+    edge_ids: &[EdgeIdx],
+) -> Arborescence {
     let edges = edge_ids
         .iter()
         .map(|&e| {
@@ -421,7 +530,11 @@ mod tests {
         // two parents for vertex 2
         let arb = Arborescence::new(
             GpuId(0),
-            vec![(GpuId(0), GpuId(1)), (GpuId(0), GpuId(2)), (GpuId(1), GpuId(2))],
+            vec![
+                (GpuId(0), GpuId(1)),
+                (GpuId(0), GpuId(2)),
+                (GpuId(1), GpuId(2)),
+            ],
         );
         assert!(!arb.is_valid_over(&[GpuId(0), GpuId(1), GpuId(2)]));
         // edge into the root
@@ -439,10 +552,7 @@ mod tests {
 
     #[test]
     fn edges_bfs_lists_parents_first() {
-        let arb = Arborescence::new(
-            GpuId(0),
-            vec![(GpuId(1), GpuId(2)), (GpuId(0), GpuId(1))],
-        );
+        let arb = Arborescence::new(GpuId(0), vec![(GpuId(1), GpuId(2)), (GpuId(0), GpuId(1))]);
         let bfs = arb.edges_bfs();
         assert_eq!(bfs, vec![(GpuId(0), GpuId(1)), (GpuId(1), GpuId(2))]);
     }

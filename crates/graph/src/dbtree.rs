@@ -46,7 +46,10 @@ fn heap_tree(ranks: &[GpuId]) -> Arborescence {
 /// # Panics
 /// Panics if `gpus` is empty.
 pub fn double_binary_tree(gpus: &[GpuId]) -> DoubleBinaryTree {
-    assert!(!gpus.is_empty(), "double binary tree needs at least one GPU");
+    assert!(
+        !gpus.is_empty(),
+        "double binary tree needs at least one GPU"
+    );
     let tree_a = heap_tree(gpus);
     let reversed: Vec<GpuId> = gpus.iter().rev().copied().collect();
     let tree_b = heap_tree(&reversed);

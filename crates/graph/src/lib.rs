@@ -12,7 +12,11 @@
 //!   rate certificate (`min_v maxflow(root → v)`), the value a correct packing
 //!   must approach.
 //! * [`packing`] — the multiplicative-weight-update (MWU) approximate
-//!   fractional packing of spanning arborescences (Section 3.2).
+//!   fractional packing of spanning arborescences (Section 3.2), engineered as
+//!   a zero-allocation hot loop over reusable [`PackingScratch`] buffers with
+//!   a min-cut-certificate early exit.
+//! * [`baseline`] — the pre-optimisation recursive solver and packing loop,
+//!   kept as the reference the perf harness measures against.
 //! * [`minimize`] — the tree-count minimisation step (Section 3.2.1): a 0/1
 //!   integer program solved by branch-and-bound over the MWU candidates, with
 //!   the paper's iterative relaxation back to fractional weights.
@@ -27,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod arborescence;
+pub mod baseline;
 pub mod dbtree;
 pub mod digraph;
 pub mod maxflow;
@@ -34,9 +39,12 @@ pub mod minimize;
 pub mod packing;
 pub mod rings;
 
-pub use arborescence::{min_arborescence, Arborescence};
+pub use arborescence::{min_arborescence, min_arborescence_in, Arborescence, ArborescenceScratch};
 pub use digraph::{DiGraph, Edge, EdgeIdx, NodeIdx};
 pub use maxflow::{max_flow, optimal_broadcast_rate};
 pub use minimize::{minimize_trees, MinimizeOptions};
-pub use packing::{pack_spanning_trees, PackingError, PackingOptions, TreePacking, WeightedTree};
+pub use packing::{
+    pack_spanning_trees, pack_spanning_trees_in, pack_with_certificate, PackingError,
+    PackingOptions, PackingScratch, PackingStats, PackingTermination, TreePacking, WeightedTree,
+};
 pub use rings::{find_rings, Ring, RingSearch};

@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Options for [`minimize_trees`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MinimizeOptions {
     /// Accept an integral solution whose rate is within this fraction of the
     /// optimal rate (the paper uses 5%).
@@ -94,11 +94,7 @@ fn greedy_unit_trees(graph: &DiGraph, root_idx: usize, unit_caps: &[u32]) -> Vec
 
 /// Branch-and-bound for the 0/1 selection: maximise the number of selected
 /// candidates subject to integer unit capacities.
-fn branch_and_bound(
-    candidates: &[Vec<usize>],
-    unit_caps: &[u32],
-    max_nodes: usize,
-) -> Vec<usize> {
+fn branch_and_bound(candidates: &[Vec<usize>], unit_caps: &[u32], max_nodes: usize) -> Vec<usize> {
     // Greedy incumbent first.
     let mut best: Vec<usize> = Vec::new();
     {
@@ -145,14 +141,30 @@ fn branch_and_bound(
                 residual[e] -= 1;
             }
             chosen.push(i);
-            dfs(i + 1, candidates, residual, chosen, best, explored, max_nodes);
+            dfs(
+                i + 1,
+                candidates,
+                residual,
+                chosen,
+                best,
+                explored,
+                max_nodes,
+            );
             chosen.pop();
             for &e in &candidates[i] {
                 residual[e] += 1;
             }
         }
         // branch 2: skip candidate i
-        dfs(i + 1, candidates, residual, chosen, best, explored, max_nodes);
+        dfs(
+            i + 1,
+            candidates,
+            residual,
+            chosen,
+            best,
+            explored,
+            max_nodes,
+        );
     }
 
     dfs(
@@ -173,7 +185,11 @@ fn branch_and_bound(
 /// The returned packing is always feasible. If minimisation cannot reach the
 /// threshold (which does not happen on the DGX presets), the original packing
 /// is returned unchanged.
-pub fn minimize_trees(graph: &DiGraph, packing: &TreePacking, opts: &MinimizeOptions) -> TreePacking {
+pub fn minimize_trees(
+    graph: &DiGraph,
+    packing: &TreePacking,
+    opts: &MinimizeOptions,
+) -> TreePacking {
     let Some(root_idx) = graph.node(packing.root) else {
         return packing.clone();
     };

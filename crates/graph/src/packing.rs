@@ -11,19 +11,36 @@
 //! maintain a length `ℓ_e` per edge, repeatedly pick the *minimum-length*
 //! arborescence (Chu–Liu/Edmonds), route the bottleneck capacity along it and
 //! multiplicatively inflate the lengths of its edges. On termination the raw
-//! weights are scaled down so the packing is feasible; with the default ε the
-//! result is within a few percent of the certificate.
+//! weights are scaled down so the packing is feasible.
+//!
+//! The hot loop is engineered for speed (this is the synthesizer-latency
+//! bottleneck PCCL identifies):
+//!
+//! * every MWU iteration runs the iterative arena-backed solver
+//!   ([`crate::arborescence::min_arborescence_in`]) over buffers owned by a
+//!   [`PackingScratch`], so the steady state allocates nothing;
+//! * accumulated trees are keyed by compact sorted-edge-id keys in a hash map
+//!   (a `Box<[u32]>` per *distinct* tree, not a cloned `Vec<(GpuId, GpuId)>`
+//!   per iteration), and edge lengths/usages are updated incrementally along
+//!   the chosen tree only;
+//! * the loop consults the Dinic min-cut certificate from [`crate::maxflow`]
+//!   once up front and exits as soon as the feasibility-scaled rate is within
+//!   `(1 − ε)` of it — usually orders of magnitude before the classical dual
+//!   stopping rule would fire.
+//!
+//! The pre-optimisation path survives in [`crate::baseline`] for the perf
+//! harness and regression tests.
 
-use crate::arborescence::{arborescence_from_edges, min_arborescence, Arborescence};
+use crate::arborescence::{min_arborescence_in, Arborescence, ArborescenceScratch};
 use crate::digraph::DiGraph;
 use crate::maxflow::optimal_broadcast_rate;
 use blink_topology::GpuId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Options controlling the MWU packing.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PackingOptions {
     /// Approximation parameter ε: smaller means closer to optimal but more
     /// iterations (`O(m ln m / ε²)`).
@@ -61,7 +78,10 @@ impl fmt::Display for PackingError {
             PackingError::EmptyGraph => write!(f, "graph has no vertices"),
             PackingError::UnknownRoot(g) => write!(f, "root {g} is not in the graph"),
             PackingError::Unreachable => {
-                write!(f, "some vertex is unreachable from the root; no spanning tree exists")
+                write!(
+                    f,
+                    "some vertex is unreachable from the root; no spanning tree exists"
+                )
             }
         }
     }
@@ -199,9 +219,109 @@ impl TreePacking {
     }
 }
 
+/// How a packing run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PackingTermination {
+    /// The feasibility-scaled rate reached `(1 − ε)` of the min-cut
+    /// certificate — the normal, fast exit.
+    Certificate,
+    /// The classical Garg–Könemann dual threshold (`Σ ℓ_e c_e ≥ 1`) fired
+    /// before the certificate target was reached — the theoretical
+    /// `O(m ln m / ε²)` safety net for graphs where MWU plateaus just below
+    /// `(1 − ε)` of optimal. The packing is feasible but its rate carries the
+    /// weaker classical guarantee.
+    DualThreshold,
+    /// [`PackingOptions::max_iterations`] fired first. The returned packing is
+    /// still feasible (scaled down) but may be further from the certificate
+    /// than ε allows; callers should log this.
+    IterationCap,
+    /// The graph was too small for any packing to exist (a single vertex), so
+    /// the MWU loop never ran.
+    Trivial,
+}
+
+/// Diagnostics from one MWU packing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackingStats {
+    /// Number of MWU iterations (min-arborescence solves) executed.
+    pub iterations: usize,
+    /// Number of distinct trees the run accumulated.
+    pub distinct_trees: usize,
+    /// `true` when the run stopped because it hit
+    /// [`PackingOptions::max_iterations`] rather than converging — the
+    /// returned packing is a scaled-feasible *partial* packing in that case.
+    pub hit_iteration_cap: bool,
+    /// How the run terminated.
+    pub termination: PackingTermination,
+    /// The Edmonds/Lovász min-cut certificate (GB/s) the run converged
+    /// against, computed on the pair-merged capacity view when the graph has
+    /// parallel edges (matching [`TreePacking::max_overuse`]'s accounting);
+    /// `0.0` for the trivial single-vertex case.
+    pub certificate_gbps: f64,
+}
+
+impl PackingStats {
+    /// Stats for a degenerate packing (single vertex or an empty tree set):
+    /// zero iterations, no trees, no certificate.
+    pub fn trivial() -> Self {
+        PackingStats {
+            iterations: 0,
+            distinct_trees: 0,
+            hit_iteration_cap: false,
+            termination: PackingTermination::Trivial,
+            certificate_gbps: 0.0,
+        }
+    }
+}
+
+/// Reusable buffers for [`pack_spanning_trees_in`]: the arborescence-solver
+/// arena, the per-edge length/capacity/usage vectors and the distinct-tree
+/// accumulator.
+///
+/// One scratch serves any number of packings over any graphs — buffers grow to
+/// the high-water mark and stay allocated, so repeated TreeGen invocations
+/// (per-root, per-link-class, the hybrid planner, the communicator's autotune
+/// loop) share a single set of allocations.
+#[derive(Debug, Clone, Default)]
+pub struct PackingScratch {
+    arb: ArborescenceScratch,
+    lengths: Vec<f64>,
+    caps: Vec<f64>,
+    /// Edge id → capacity-group index. [`TreePacking::max_overuse`] judges
+    /// feasibility per `(src, dst)` GPU pair (against the *first* edge's
+    /// capacity), so the in-loop feasibility estimate must aggregate the same
+    /// way or the certificate early exit could overstate the scaled rate on
+    /// graphs with parallel edges. Groups collapse to one-per-edge on the
+    /// merged graphs `DiGraph::from_topology*` builds.
+    edge_group: Vec<u32>,
+    group_cap: Vec<f64>,
+    group_usage: Vec<f64>,
+    group_of_pair: HashMap<(u32, u32), u32>,
+    key: Vec<u32>,
+    acc: HashMap<Box<[u32]>, f64>,
+}
+
+impl PackingScratch {
+    /// Creates an empty scratch. Buffers are sized lazily on first packing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Packs spanning arborescences rooted at `root` into `graph` using the MWU
 /// approximation, returning a feasible packing whose rate is close to the
 /// Edmonds/Lovász optimum.
+///
+/// # Complexity and allocation
+/// Each iteration solves one minimum arborescence (`O(n·m)` on these tiny
+/// graphs) and performs `O(tree)` incremental length/usage updates; the loop
+/// runs until the feasibility-scaled rate is within `(1 − ε)` of the min-cut
+/// certificate (typically a handful of iterations on the DGX presets) with
+/// `opts.max_iterations` as the safety valve, far below the classical
+/// `O(m ln m / ε²)` dual-termination bound. This wrapper allocates one fresh
+/// [`PackingScratch`]; hot callers should hold a scratch and use
+/// [`pack_spanning_trees_in`], which allocates only when a new distinct tree
+/// is first seen (one compact `Box<[u32]>` edge-id key per tree).
 ///
 /// # Errors
 /// * [`PackingError::EmptyGraph`] for a vertex-less graph.
@@ -212,55 +332,175 @@ pub fn pack_spanning_trees(
     root: GpuId,
     opts: &PackingOptions,
 ) -> Result<TreePacking, PackingError> {
+    let mut scratch = PackingScratch::new();
+    pack_spanning_trees_in(graph, root, opts, &mut scratch).map(|(packing, _)| packing)
+}
+
+/// [`pack_spanning_trees`] over caller-owned scratch buffers — the
+/// zero-allocation fast path — additionally returning [`PackingStats`]
+/// (iterations, termination reason, and whether the iteration cap truncated
+/// the run).
+///
+/// # Errors
+/// Same as [`pack_spanning_trees`].
+pub fn pack_spanning_trees_in(
+    graph: &DiGraph,
+    root: GpuId,
+    opts: &PackingOptions,
+    scratch: &mut PackingScratch,
+) -> Result<(TreePacking, PackingStats), PackingError> {
     if graph.num_nodes() == 0 {
         return Err(PackingError::EmptyGraph);
     }
     let root_idx = graph.node(root).ok_or(PackingError::UnknownRoot(root))?;
     if graph.num_nodes() == 1 {
-        return Ok(TreePacking::new(root, Vec::new()));
+        return Ok((TreePacking::new(root, Vec::new()), PackingStats::trivial()));
     }
     if !graph.spans_from(root_idx) {
         return Err(PackingError::Unreachable);
     }
     let m = graph.num_edges();
     let eps = opts.epsilon.clamp(1e-3, 0.5);
-    let caps: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
-    // Garg–Könemann initialisation.
+    // The certificate the packed rate must approach (Edmonds/Lovász). Dinic on
+    // these graphs costs microseconds and lets the loop stop thousands of
+    // iterations before the Garg–Könemann dual rule would.
+    scratch.caps.clear();
+    scratch
+        .caps
+        .extend(graph.edges().iter().map(|e| e.capacity));
+    // Garg–Könemann initialisation. The trajectory is invariant under scaling
+    // all lengths, so guard against δ underflowing to zero for very small ε.
     let delta = (1.0 + eps) * ((1.0 + eps) * m as f64).powf(-1.0 / eps);
-    let mut lengths: Vec<f64> = caps.iter().map(|c| delta / c).collect();
-    let mut raw: BTreeMap<Vec<(GpuId, GpuId)>, f64> = BTreeMap::new();
+    // The Garg-Konemann dual rule only makes sense with the canonical delta;
+    // for tiny eps the delta underflows, the trajectory falls back to unit
+    // scale (selection is scale-invariant) and the dual exit is disabled.
+    let dual_active = delta > f64::MIN_POSITIVE;
+    let delta = if dual_active { delta } else { 1.0 };
+    let mut dual = delta * m as f64; // sum of lengths[e] * caps[e]
+    scratch.lengths.clear();
+    scratch
+        .lengths
+        .extend(scratch.caps.iter().map(|c| delta / c));
+    scratch.edge_group.clear();
+    scratch.group_cap.clear();
+    scratch.group_of_pair.clear();
+    for e in graph.edges() {
+        let pair = (e.src as u32, e.dst as u32);
+        let next = scratch.group_cap.len() as u32;
+        let g = *scratch.group_of_pair.entry(pair).or_insert(next);
+        if g == next {
+            // first edge of the pair defines the group capacity, mirroring
+            // TreePacking::max_overuse / DiGraph::capacity_between
+            scratch.group_cap.push(e.capacity);
+        }
+        scratch.edge_group.push(g);
+    }
+    scratch.group_usage.clear();
+    scratch.group_usage.resize(scratch.group_cap.len(), 0.0);
+    scratch.acc.clear();
+    // On a graph with parallel edges the certificate is computed on the
+    // pair-merged capacity view so it matches what `scaled_to_feasible` can
+    // actually certify; merged graphs (the normal case) use the graph as-is.
+    let certificate = if scratch.group_cap.len() == m {
+        optimal_broadcast_rate(graph, root_idx)
+    } else {
+        let mut merged = DiGraph::new();
+        for &gpu in graph.gpus() {
+            merged.add_node(gpu);
+        }
+        let mut group_seen = vec![false; scratch.group_cap.len()];
+        for (id, e) in graph.edges().iter().enumerate() {
+            let g = scratch.edge_group[id] as usize;
+            if !group_seen[g] {
+                group_seen[g] = true;
+                merged.add_edge(e.src, e.dst, scratch.group_cap[g]);
+            }
+        }
+        optimal_broadcast_rate(&merged, root_idx)
+    };
+    let target = (1.0 - eps) * certificate;
 
-    for _ in 0..opts.max_iterations {
-        let d: f64 = lengths
+    let mut total_raw = 0.0f64;
+    let mut max_overuse = 0.0f64;
+    let mut iterations = 0usize;
+    let mut termination = PackingTermination::IterationCap;
+    while iterations < opts.max_iterations {
+        iterations += 1;
+        let tree = min_arborescence_in(graph, root_idx, &scratch.lengths, &mut scratch.arb)
+            .expect("spanning arborescence exists: graph spans from root");
+        let bottleneck = tree
             .iter()
-            .zip(&caps)
-            .map(|(l, c)| l * c)
-            .sum();
-        if d >= 1.0 {
+            .map(|&e| scratch.caps[e])
+            .fold(f64::INFINITY, f64::min);
+        // Accumulate under a compact sorted-edge-id key; the boxed key is only
+        // allocated the first time a distinct tree appears.
+        scratch.key.clear();
+        scratch.key.extend(tree.iter().map(|&e| e as u32));
+        scratch.key.sort_unstable();
+        if let Some(w) = scratch.acc.get_mut(scratch.key.as_slice()) {
+            *w += bottleneck;
+        } else {
+            scratch
+                .acc
+                .insert(scratch.key.as_slice().into(), bottleneck);
+        }
+        total_raw += bottleneck;
+        // Incremental updates along the chosen tree only: lengths inflate
+        // multiplicatively, usage accumulates, and the running worst
+        // over-subscription factor gives the feasibility-scaled rate for free.
+        for &e in tree {
+            let g = scratch.edge_group[e] as usize;
+            scratch.group_usage[g] += bottleneck;
+            let overuse = scratch.group_usage[g] / scratch.group_cap[g];
+            if overuse > max_overuse {
+                max_overuse = overuse;
+            }
+            let old_len = scratch.lengths[e];
+            scratch.lengths[e] = old_len * (1.0 + eps * bottleneck / scratch.caps[e]);
+            dual += (scratch.lengths[e] - old_len) * scratch.caps[e];
+        }
+        if certificate.is_finite() && total_raw / max_overuse.max(1.0) >= target {
+            termination = PackingTermination::Certificate;
             break;
         }
-        let edge_ids = min_arborescence(graph, root_idx, &lengths)
-            .expect("spanning arborescence exists: graph spans from root");
-        let bottleneck = edge_ids
-            .iter()
-            .map(|&e| caps[e])
-            .fold(f64::INFINITY, f64::min);
-        let arb = arborescence_from_edges(graph, root_idx, &edge_ids);
-        *raw.entry(arb.edges.clone()).or_insert(0.0) += bottleneck;
-        for &e in &edge_ids {
-            lengths[e] *= 1.0 + eps * bottleneck / caps[e];
+        // Safety net: the classical dual stopping rule bounds the worst case
+        // at O(m ln m / eps^2) iterations even if the certificate target is
+        // never quite reached (MWU only guarantees 1 - O(eps) of optimal).
+        if dual_active && dual >= 1.0 {
+            termination = PackingTermination::DualThreshold;
+            break;
         }
     }
 
-    let trees: Vec<WeightedTree> = raw
+    // Drain the accumulator in deterministic (sorted-key) order so results do
+    // not depend on the hash map's iteration order.
+    let mut entries: Vec<(Box<[u32]>, f64)> = scratch.acc.drain().collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let trees: Vec<WeightedTree> = entries
         .into_iter()
-        .map(|(edges, weight)| WeightedTree {
-            tree: Arborescence::new(root, edges),
-            weight,
+        .map(|(key, weight)| {
+            let edges = key
+                .iter()
+                .map(|&e| {
+                    let edge = graph.edges()[e as usize];
+                    (graph.gpu(edge.src), graph.gpu(edge.dst))
+                })
+                .collect();
+            WeightedTree {
+                tree: Arborescence::new(root, edges),
+                weight,
+            }
         })
         .collect();
+    let stats = PackingStats {
+        iterations,
+        distinct_trees: trees.len(),
+        hit_iteration_cap: termination == PackingTermination::IterationCap,
+        termination,
+        certificate_gbps: certificate,
+    };
     let packing = TreePacking::new(root, trees).scaled_to_feasible(graph);
-    Ok(packing)
+    Ok((packing, stats))
 }
 
 /// Convenience wrapper: packs trees and reports how close the rate is to the
@@ -270,9 +510,15 @@ pub fn pack_with_certificate(
     root: GpuId,
     opts: &PackingOptions,
 ) -> Result<(TreePacking, f64), PackingError> {
-    let packing = pack_spanning_trees(graph, root, opts)?;
-    let root_idx = graph.node(root).expect("validated by pack_spanning_trees");
-    let optimum = optimal_broadcast_rate(graph, root_idx);
+    let mut scratch = PackingScratch::new();
+    let (packing, stats) = pack_spanning_trees_in(graph, root, opts, &mut scratch)?;
+    // The single-vertex case reports a 0.0 certificate in its stats (to keep
+    // the value JSON-safe); preserve the historical infinite optimum here.
+    let optimum = if graph.num_nodes() == 1 {
+        f64::INFINITY
+    } else {
+        stats.certificate_gbps
+    };
     Ok((packing, optimum))
 }
 
@@ -370,6 +616,105 @@ mod tests {
         assert_eq!(
             pack_spanning_trees(&g, GpuId(7), &PackingOptions::default()).unwrap_err(),
             PackingError::UnknownRoot(GpuId(7))
+        );
+    }
+
+    #[test]
+    fn hitting_the_iteration_cap_is_reported_and_still_feasible() {
+        let topo = dgx1v();
+        let sub = topo
+            .induced(&(0..8).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+        let opts = PackingOptions {
+            epsilon: 0.05,
+            max_iterations: 3,
+        };
+        let mut scratch = PackingScratch::new();
+        let (packing, stats) = pack_spanning_trees_in(&g, GpuId(0), &opts, &mut scratch).unwrap();
+        assert!(stats.hit_iteration_cap);
+        assert_eq!(stats.termination, PackingTermination::IterationCap);
+        assert_eq!(stats.iterations, 3);
+        // the partial packing is scaled to feasibility, not silently broken
+        assert!(packing.is_feasible(&g));
+        assert!(packing.rate() > 0.0);
+        assert!(packing.rate() < stats.certificate_gbps);
+    }
+
+    #[test]
+    fn converged_runs_terminate_on_the_certificate_with_stats() {
+        let topo = dgx1v();
+        let g = DiGraph::from_topology_filtered(&topo, |l| l.kind.is_nvlink());
+        let opts = PackingOptions::default();
+        let mut scratch = PackingScratch::new();
+        let (packing, stats) = pack_spanning_trees_in(&g, GpuId(0), &opts, &mut scratch).unwrap();
+        assert_eq!(stats.termination, PackingTermination::Certificate);
+        assert!(!stats.hit_iteration_cap);
+        assert!((stats.certificate_gbps - 138.0).abs() < 1e-6);
+        assert_eq!(stats.distinct_trees, packing.trees.len());
+        assert!(stats.iterations >= stats.distinct_trees);
+        // the early exit guarantees the (1 − ε) bound
+        assert!(packing.rate() >= (1.0 - opts.epsilon) * stats.certificate_gbps - 1e-9);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation_bitwise() {
+        let topo = dgx1p();
+        let mut scratch = PackingScratch::new();
+        let opts = PackingOptions::default();
+        for alloc in [
+            vec![0usize, 1, 2, 3, 4, 5, 6, 7],
+            vec![0, 1, 3, 4, 5, 7],
+            vec![0, 1, 4],
+            vec![2, 3, 6, 7],
+        ] {
+            let ids: Vec<GpuId> = alloc.iter().map(|&i| GpuId(i)).collect();
+            let sub = topo.induced(&ids).unwrap();
+            let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+            let root = ids[0];
+            if g.node(root).map(|r| !g.spans_from(r)).unwrap_or(true) {
+                continue;
+            }
+            let (reused, reused_stats) =
+                pack_spanning_trees_in(&g, root, &opts, &mut scratch).unwrap();
+            let (fresh, fresh_stats) =
+                pack_spanning_trees_in(&g, root, &opts, &mut PackingScratch::new()).unwrap();
+            assert_eq!(reused_stats, fresh_stats);
+            assert_eq!(reused.trees.len(), fresh.trees.len());
+            for (a, b) in reused.trees.iter().zip(&fresh.trees) {
+                assert_eq!(a.tree, b.tree);
+                assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_do_not_overstate_the_certificate_exit() {
+        // DiGraph::add_edge permits parallel edges (only from_topology* merges
+        // them); the in-loop feasibility estimate must aggregate them the way
+        // TreePacking::max_overuse does, or the Certificate termination would
+        // claim a bound the scaled packing misses.
+        let mut g = DiGraph::new();
+        let a = g.add_node(GpuId(0));
+        let b = g.add_node(GpuId(1));
+        g.add_edge(a, b, 10.0);
+        g.add_edge(a, b, 10.0); // parallel lane, same pair
+        let opts = PackingOptions {
+            epsilon: 0.05,
+            max_iterations: 500,
+        };
+        let mut scratch = PackingScratch::new();
+        let (packing, stats) = pack_spanning_trees_in(&g, GpuId(0), &opts, &mut scratch).unwrap();
+        assert!(packing.is_feasible(&g));
+        // the certificate is judged on the pair-merged view (10, not 20), so
+        // the early exit fires and honours its bound
+        assert_eq!(stats.termination, PackingTermination::Certificate);
+        assert!((stats.certificate_gbps - 10.0).abs() < 1e-9);
+        assert!(
+            packing.rate() >= (1.0 - opts.epsilon) * stats.certificate_gbps - 1e-9,
+            "Certificate termination must honour the bound: rate {} vs cert {}",
+            packing.rate(),
+            stats.certificate_gbps
         );
     }
 

@@ -195,7 +195,15 @@ fn enumerate_cycles(n: usize, lanes: &LaneMap, cap: usize) -> Option<Vec<Vec<usi
         }
     }
 
-    backtrack(n, &mut path, &mut used, lanes, &mut cycles, cap, &mut overflow);
+    backtrack(
+        n,
+        &mut path,
+        &mut used,
+        lanes,
+        &mut cycles,
+        cap,
+        &mut overflow,
+    );
     if overflow {
         None
     } else {
@@ -223,12 +231,19 @@ fn greedy_extract(n: usize, lanes: &mut LaneMap) -> Vec<Vec<usize>> {
     out
 }
 
-fn greedy_backtrack(n: usize, path: &mut Vec<usize>, used: &mut Vec<bool>, lanes: &LaneMap) -> bool {
+fn greedy_backtrack(
+    n: usize,
+    path: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    lanes: &LaneMap,
+) -> bool {
     if path.len() == n {
         return lane(lanes, path[n - 1], path[0]) > 0;
     }
     let last = *path.last().expect("path non-empty");
-    let mut nexts: Vec<usize> = (0..n).filter(|&v| !used[v] && lane(lanes, last, v) > 0).collect();
+    let mut nexts: Vec<usize> = (0..n)
+        .filter(|&v| !used[v] && lane(lanes, last, v) > 0)
+        .collect();
     nexts.sort_by_key(|&v| std::cmp::Reverse(lane(lanes, last, v)));
     for next in nexts {
         used[next] = true;
@@ -271,6 +286,7 @@ fn best_cycle_packing(cycles: &[Vec<usize>], lanes: &LaneMap, max_nodes: usize) 
     let mut residual = lanes.clone();
     let mut explored = 0usize;
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         i: usize,
         cycles: &[Vec<usize>],
@@ -296,7 +312,17 @@ fn best_cycle_packing(cycles: &[Vec<usize>], lanes: &LaneMap, max_nodes: usize) 
         if cycle_fits(residual, &cycles[i]) {
             take_cycle(residual, &cycles[i]);
             chosen.push(cycles[i].clone());
-            dfs(i, cycles, residual, chosen, best, explored, max_nodes, n_nodes, upper_bound);
+            dfs(
+                i,
+                cycles,
+                residual,
+                chosen,
+                best,
+                explored,
+                max_nodes,
+                n_nodes,
+                upper_bound,
+            );
             chosen.pop();
             // restore lanes
             for k in 0..cycles[i].len() {
@@ -306,7 +332,17 @@ fn best_cycle_packing(cycles: &[Vec<usize>], lanes: &LaneMap, max_nodes: usize) 
             }
         }
         // skip cycle i
-        dfs(i + 1, cycles, residual, chosen, best, explored, max_nodes, n_nodes, upper_bound);
+        dfs(
+            i + 1,
+            cycles,
+            residual,
+            chosen,
+            best,
+            explored,
+            max_nodes,
+            n_nodes,
+            upper_bound,
+        );
     }
 
     dfs(

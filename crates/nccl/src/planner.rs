@@ -110,10 +110,18 @@ impl fmt::Display for NcclPlan {
                 self.gpus.len()
             ),
             NcclAlgorithm::PcieRing(_) => {
-                write!(f, "NCCL plan: PCIe fallback ring over {} GPUs", self.gpus.len())
+                write!(
+                    f,
+                    "NCCL plan: PCIe fallback ring over {} GPUs",
+                    self.gpus.len()
+                )
             }
             NcclAlgorithm::DoubleBinaryTrees(_) => {
-                write!(f, "NCCL plan: double binary trees over {} GPUs", self.gpus.len())
+                write!(
+                    f,
+                    "NCCL plan: double binary trees over {} GPUs",
+                    self.gpus.len()
+                )
             }
         }
     }
@@ -194,10 +202,9 @@ impl NcclPlanner {
     /// fabric such as the DGX-2, where NCCL's tree/ring protocol switch
     /// applies).
     fn is_switch_fabric(&self, sub: &Topology, gpus: &[GpuId]) -> bool {
-        gpus.iter().all(|&a| {
-            gpus.iter()
-                .all(|&b| a == b || sub.has_nvlink(a, b))
-        }) && gpus.iter().all(|&g| self.topology.gpu_cap(g).is_some())
+        gpus.iter()
+            .all(|&a| gpus.iter().all(|&b| a == b || sub.has_nvlink(a, b)))
+            && gpus.iter().all(|&g| self.topology.gpu_cap(g).is_some())
     }
 
     /// Plans the channels NCCL would use for a collective over `allocation`
@@ -294,7 +301,10 @@ mod tests {
         let planner = NcclPlanner::with_defaults(dgx2());
         let alloc: Vec<GpuId> = (0..16).map(GpuId).collect();
         let small = planner.plan(&alloc, 4 * 1024).unwrap();
-        assert!(matches!(small.algorithm, NcclAlgorithm::DoubleBinaryTrees(_)));
+        assert!(matches!(
+            small.algorithm,
+            NcclAlgorithm::DoubleBinaryTrees(_)
+        ));
         assert_eq!(small.num_channels(), 2);
         let large = planner.plan(&alloc, 256 << 20).unwrap();
         assert!(matches!(large.algorithm, NcclAlgorithm::NvLinkRings(_)));
@@ -307,13 +317,19 @@ mod tests {
         let planner = NcclPlanner::with_defaults(dgx1v());
         let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
         let plan = planner.plan(&alloc, 4 * 1024).unwrap();
-        assert!(!matches!(plan.algorithm, NcclAlgorithm::DoubleBinaryTrees(_)));
+        assert!(!matches!(
+            plan.algorithm,
+            NcclAlgorithm::DoubleBinaryTrees(_)
+        ));
     }
 
     #[test]
     fn planning_errors() {
         let planner = NcclPlanner::with_defaults(dgx1v());
-        assert_eq!(planner.plan(&[GpuId(0)], 1024).unwrap_err(), PlanError::TooFewGpus);
+        assert_eq!(
+            planner.plan(&[GpuId(0)], 1024).unwrap_err(),
+            PlanError::TooFewGpus
+        );
         assert_eq!(
             planner.plan(&[GpuId(0), GpuId(99)], 1024).unwrap_err(),
             PlanError::UnknownGpu(GpuId(99))

@@ -230,6 +230,7 @@ fn ring_allreduce(
         .map(|&seg| split_even(seg, passes))
         .collect();
 
+    #[allow(clippy::needless_range_loop)]
     for pass in 0..passes {
         let mut last: Vec<Option<OpId>> = vec![None; n];
         // reduce-scatter rounds
@@ -363,7 +364,13 @@ fn tree_allreduce(b: &mut ProgramBuilder, tree: &Arborescence, bytes: u64, opts:
                     // downlink so the broadcast can chain off it
                     down_streams[&(v, children[0])]
                 };
-                let red = b.reduce(v, sz, stream, deps.clone(), format!("nccl-dbt red c{c_idx}"));
+                let red = b.reduce(
+                    v,
+                    sz,
+                    stream,
+                    deps.clone(),
+                    format!("nccl-dbt red c{c_idx}"),
+                );
                 reduced_at.insert(v, red);
                 deps = vec![red];
             }
@@ -479,8 +486,13 @@ mod tests {
             .algorithmic_bandwidth_gbps(bytes);
         let ar = sim
             .run(
-                &build_program(&plan, NcclCollective::AllReduce, bytes, &ScheduleOptions::default())
-                    .unwrap(),
+                &build_program(
+                    &plan,
+                    NcclCollective::AllReduce,
+                    bytes,
+                    &ScheduleOptions::default(),
+                )
+                .unwrap(),
             )
             .unwrap()
             .algorithmic_bandwidth_gbps(bytes);
@@ -495,8 +507,13 @@ mod tests {
         let alloc: Vec<GpuId> = (0..16).map(GpuId).collect();
         let bytes = 8 * 1024;
         let plan = planner.plan(&alloc, bytes).unwrap();
-        let prog = build_program(&plan, NcclCollective::AllReduce, bytes, &ScheduleOptions::default())
-            .unwrap();
+        let prog = build_program(
+            &plan,
+            NcclCollective::AllReduce,
+            bytes,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
         assert!(!prog.is_empty());
         let report = Simulator::with_defaults(topo).run(&prog).unwrap();
         // latency-bound: a handful of tree hops, each dominated by the launch
@@ -530,8 +547,13 @@ mod tests {
         let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
         let bytes = mb(64);
         let plan = planner.plan(&alloc, bytes).unwrap();
-        let prog = build_program(&plan, NcclCollective::AllReduce, bytes, &ScheduleOptions::default())
-            .unwrap();
+        let prog = build_program(
+            &plan,
+            NcclCollective::AllReduce,
+            bytes,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
         let n = alloc.len() as u64;
         let expected = bytes * 2 * (n - 1);
         let moved = prog.total_copy_bytes();
@@ -548,8 +570,13 @@ mod tests {
         let planner = NcclPlanner::with_defaults(topo);
         let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
         let plan = planner.plan(&alloc, 0).unwrap();
-        let prog = build_program(&plan, NcclCollective::AllReduce, 0, &ScheduleOptions::default())
-            .unwrap();
+        let prog = build_program(
+            &plan,
+            NcclCollective::AllReduce,
+            0,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
         assert!(prog.is_empty());
     }
 }

@@ -52,6 +52,9 @@ impl PartialOrd for Completion {
     }
 }
 
+/// Per-server GPU slices of one running job: `(server index, gpu indices)`.
+type ServerAllocation = Vec<(usize, Vec<usize>)>;
+
 /// A cluster of identical multi-GPU servers with a first-fit scheduler.
 #[derive(Debug)]
 pub struct Cluster {
@@ -59,7 +62,7 @@ pub struct Cluster {
     /// free\[s\]\[g\] = GPU `g` of server `s` is free.
     free: Vec<Vec<bool>>,
     completions: BinaryHeap<Completion>,
-    running: Vec<(u64, Vec<(usize, Vec<usize>)>)>,
+    running: Vec<(u64, ServerAllocation)>,
     histogram: AllocationHistogram,
     rejected: u64,
 }

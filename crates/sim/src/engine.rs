@@ -197,8 +197,16 @@ impl Simulator {
                     }
                 }
                 if class == LinkClass::Network {
-                    let s_srv = self.topology.gpu(src).map_err(|_| SimError::UnknownGpu(src))?.server;
-                    let d_srv = self.topology.gpu(dst).map_err(|_| SimError::UnknownGpu(dst))?.server;
+                    let s_srv = self
+                        .topology
+                        .gpu(src)
+                        .map_err(|_| SimError::UnknownGpu(src))?
+                        .server;
+                    let d_srv = self
+                        .topology
+                        .gpu(dst)
+                        .map_err(|_| SimError::UnknownGpu(dst))?
+                        .server;
                     if self.topology.server_nic(s_srv).is_some() {
                         res.push(Resource::NicOut(s_srv));
                     }
@@ -283,8 +291,8 @@ impl Simulator {
 
         let mut ready_time = vec![0.0f64; n];
         let mut heap = BinaryHeap::new();
-        for i in 0..n {
-            if indeg[i] == 0 {
+        for (i, &deg) in indeg.iter().enumerate() {
+            if deg == 0 {
                 heap.push(Ready { time: 0.0, id: i });
             }
         }
@@ -399,10 +407,22 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let s = b.new_stream();
         // GPU0 -> GPU3 is a doubled lane: 46 GB/s
-        b.copy(GpuId(0), GpuId(3), mb(100), LinkClass::NvLink, s, vec![], "");
+        b.copy(
+            GpuId(0),
+            GpuId(3),
+            mb(100),
+            LinkClass::NvLink,
+            s,
+            vec![],
+            "",
+        );
         let report = sim.run(&b.build().unwrap()).unwrap();
         let expect = 100.0 * 1024.0 * 1024.0 / 46_000.0;
-        assert!((report.total_us - expect).abs() < 10.0, "total {}", report.total_us);
+        assert!(
+            (report.total_us - expect).abs() < 10.0,
+            "total {}",
+            report.total_us
+        );
         assert!(report.algorithmic_bandwidth_gbps(mb(100)) > 44.0);
         assert_eq!(report.links_used(), 1);
     }
@@ -434,10 +454,29 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let s0 = b.new_stream();
         let s1 = b.new_stream();
-        b.copy(GpuId(0), GpuId(1), mb(50), LinkClass::NvLink, s0, vec![], "");
-        b.copy(GpuId(5), GpuId(7), mb(50), LinkClass::NvLink, s1, vec![], "");
+        b.copy(
+            GpuId(0),
+            GpuId(1),
+            mb(50),
+            LinkClass::NvLink,
+            s0,
+            vec![],
+            "",
+        );
+        b.copy(
+            GpuId(5),
+            GpuId(7),
+            mb(50),
+            LinkClass::NvLink,
+            s1,
+            vec![],
+            "",
+        );
         let parallel = sim.run(&b.build().unwrap()).unwrap().total_us;
-        assert!(parallel < 0.6 * serial, "parallel {parallel} vs serial {serial}");
+        assert!(
+            parallel < 0.6 * serial,
+            "parallel {parallel} vs serial {serial}"
+        );
     }
 
     #[test]
@@ -447,8 +486,24 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let s0 = b.new_stream();
         let s1 = b.new_stream();
-        b.copy(GpuId(0), GpuId(1), mb(50), LinkClass::NvLink, s0, vec![], "");
-        b.copy(GpuId(0), GpuId(1), mb(50), LinkClass::NvLink, s1, vec![], "");
+        b.copy(
+            GpuId(0),
+            GpuId(1),
+            mb(50),
+            LinkClass::NvLink,
+            s0,
+            vec![],
+            "",
+        );
+        b.copy(
+            GpuId(0),
+            GpuId(1),
+            mb(50),
+            LinkClass::NvLink,
+            s1,
+            vec![],
+            "",
+        );
         let report = sim.run(&b.build().unwrap()).unwrap();
         let one = 50.0 * 1024.0 * 1024.0 / 23_000.0;
         assert!(report.total_us > 1.9 * one, "total {}", report.total_us);
@@ -462,8 +517,24 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let s0 = b.new_stream();
         let s1 = b.new_stream();
-        let first = b.copy(GpuId(0), GpuId(1), mb(10), LinkClass::NvLink, s0, vec![], "");
-        b.copy(GpuId(1), GpuId(3), mb(10), LinkClass::NvLink, s1, vec![first], "");
+        let first = b.copy(
+            GpuId(0),
+            GpuId(1),
+            mb(10),
+            LinkClass::NvLink,
+            s0,
+            vec![],
+            "",
+        );
+        b.copy(
+            GpuId(1),
+            GpuId(3),
+            mb(10),
+            LinkClass::NvLink,
+            s1,
+            vec![first],
+            "",
+        );
         let report = sim.run(&b.build().unwrap()).unwrap();
         let (s_a, e_a) = report.op_spans[0];
         let (s_b, _) = report.op_spans[1];
@@ -481,7 +552,15 @@ mod tests {
         let per_peer = mb(64);
         for dst in 1..16 {
             let s = b.new_stream();
-            b.copy(GpuId(0), GpuId(dst), per_peer, LinkClass::NvLink, s, vec![], "");
+            b.copy(
+                GpuId(0),
+                GpuId(dst),
+                per_peer,
+                LinkClass::NvLink,
+                s,
+                vec![],
+                "",
+            );
         }
         let report = sim.run(&b.build().unwrap()).unwrap();
         let total_bytes = per_peer * 15;
@@ -497,7 +576,15 @@ mod tests {
         let mut b = ProgramBuilder::new();
         for (src, dst) in [(0usize, 8usize), (1, 9), (2, 10), (3, 11)] {
             let s = b.new_stream();
-            b.copy(GpuId(src), GpuId(dst), mb(10), LinkClass::Network, s, vec![], "");
+            b.copy(
+                GpuId(src),
+                GpuId(dst),
+                mb(10),
+                LinkClass::Network,
+                s,
+                vec![],
+                "",
+            );
         }
         let report = sim.run(&b.build().unwrap()).unwrap();
         // 40 MB over a shared 5 GB/s NIC ≈ 8.4 ms, not 2.1 ms

@@ -282,10 +282,7 @@ pub fn mimo(
     chunks: u64,
 ) -> Result<Program, ProgramError> {
     let mut b = ProgramBuilder::new();
-    let flows = [
-        (producers.0, consumers.0),
-        (producers.1, consumers.1),
-    ];
+    let flows = [(producers.0, consumers.0), (producers.1, consumers.1)];
     for (f, &(src, dst)) in flows.iter().enumerate() {
         let in_stream = b.new_stream();
         let out_stream = b.new_stream();
@@ -299,7 +296,13 @@ pub fn mimo(
                 vec![],
                 format!("mimo f{f} in c{c}"),
             );
-            let red = b.reduce(center, sz, out_stream, vec![arr], format!("mimo f{f} red c{c}"));
+            let red = b.reduce(
+                center,
+                sz,
+                out_stream,
+                vec![arr],
+                format!("mimo f{f} red c{c}"),
+            );
             b.copy(
                 center,
                 dst,
@@ -338,7 +341,11 @@ pub fn mca(
          -> Option<OpId> {
             let mut arrival: Option<OpId> = None;
             for hop in 0..chain.len() {
-                let next = if hop + 1 < chain.len() { chain[hop + 1] } else { center };
+                let next = if hop + 1 < chain.len() {
+                    chain[hop + 1]
+                } else {
+                    center
+                };
                 let mut deps = arrival.map(|a| vec![a]).unwrap_or_default();
                 if hop > 0 {
                     let red = builder.reduce(
@@ -427,7 +434,10 @@ mod tests {
     /// A valid NVLink path through the DGX-1V (see Figure 1): every
     /// consecutive pair is connected.
     fn dgx1v_chain(n: usize) -> Vec<GpuId> {
-        [0usize, 1, 2, 3, 7, 6, 5, 4][..n].iter().map(|&i| GpuId(i)).collect()
+        [0usize, 1, 2, 3, 7, 6, 5, 4][..n]
+            .iter()
+            .map(|&i| GpuId(i))
+            .collect()
     }
 
     #[test]
@@ -444,8 +454,14 @@ mod tests {
             .run(&chain_reduce_forward(&dgx1v_chain(6), bytes, DEFAULT_CHUNKS).unwrap())
             .unwrap()
             .algorithmic_bandwidth_gbps(bytes);
-        assert!(rf < fwd, "reduce+forward {rf} should be below forward {fwd}");
-        assert!(rf > 0.6 * fwd, "penalty should be moderate, got {rf} vs {fwd}");
+        assert!(
+            rf < fwd,
+            "reduce+forward {rf} should be below forward {fwd}"
+        );
+        assert!(
+            rf > 0.6 * fwd,
+            "penalty should be moderate, got {rf} vs {fwd}"
+        );
         // absolute numbers should land near the paper's 18-22 GB/s band
         assert!((15.0..=24.0).contains(&rf), "rf = {rf}");
         assert!((18.0..=24.0).contains(&fwd), "fwd = {fwd}");
@@ -480,7 +496,10 @@ mod tests {
             .run(&chain_forward(&gpus(4), large, DEFAULT_CHUNKS).unwrap())
             .unwrap()
             .algorithmic_bandwidth_gbps(large);
-        assert!(bw_small < 0.7 * bw_large, "small {bw_small} vs large {bw_large}");
+        assert!(
+            bw_small < 0.7 * bw_large,
+            "small {bw_small} vs large {bw_large}"
+        );
     }
 
     #[test]
@@ -518,11 +537,30 @@ mod tests {
     fn fan_patterns_build_and_run() {
         let sim = sim16();
         let bytes = mb(32);
-        let f1 = fan_in_forward(&[GpuId(1), GpuId(2), GpuId(3)], GpuId(4), GpuId(5), bytes, 16).unwrap();
-        let f2 =
-            fan_in_reduce_forward(&[GpuId(1), GpuId(2), GpuId(3)], GpuId(4), GpuId(5), bytes, 16)
-                .unwrap();
-        let f3 = fan_out_forward(GpuId(5), GpuId(4), &[GpuId(1), GpuId(2), GpuId(3)], bytes, 16).unwrap();
+        let f1 = fan_in_forward(
+            &[GpuId(1), GpuId(2), GpuId(3)],
+            GpuId(4),
+            GpuId(5),
+            bytes,
+            16,
+        )
+        .unwrap();
+        let f2 = fan_in_reduce_forward(
+            &[GpuId(1), GpuId(2), GpuId(3)],
+            GpuId(4),
+            GpuId(5),
+            bytes,
+            16,
+        )
+        .unwrap();
+        let f3 = fan_out_forward(
+            GpuId(5),
+            GpuId(4),
+            &[GpuId(1), GpuId(2), GpuId(3)],
+            bytes,
+            16,
+        )
+        .unwrap();
         for p in [f1, f2, f3] {
             let r = sim.run(&p).unwrap();
             assert!(r.total_us > 0.0);

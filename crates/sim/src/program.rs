@@ -248,7 +248,13 @@ impl ProgramBuilder {
     }
 
     /// Adds an op and returns its id.
-    pub fn push(&mut self, kind: OpKind, stream: StreamId, deps: Vec<OpId>, tag: impl Into<String>) -> OpId {
+    pub fn push(
+        &mut self,
+        kind: OpKind,
+        stream: StreamId,
+        deps: Vec<OpId>,
+        tag: impl Into<String>,
+    ) -> OpId {
         let id = OpId(self.ops.len());
         self.ops.push(Op {
             id,
@@ -261,6 +267,7 @@ impl ProgramBuilder {
     }
 
     /// Adds a copy op.
+    #[allow(clippy::too_many_arguments)]
     pub fn copy(
         &mut self,
         src: GpuId,
@@ -340,7 +347,15 @@ mod tests {
         let s0 = b.new_stream();
         let s1 = b.new_stream();
         assert_ne!(s0, s1);
-        let a = b.copy(GpuId(0), GpuId(1), 1024, LinkClass::NvLink, s0, vec![], "c0");
+        let a = b.copy(
+            GpuId(0),
+            GpuId(1),
+            1024,
+            LinkClass::NvLink,
+            s0,
+            vec![],
+            "c0",
+        );
         let r = b.reduce(GpuId(1), 1024, s1, vec![a], "r0");
         assert_eq!(a, OpId(0));
         assert_eq!(r, OpId(1));
@@ -369,7 +384,15 @@ mod tests {
 
         let mut b = ProgramBuilder::new();
         let s = b.new_stream();
-        b.push(OpKind::Compute { gpu: GpuId(0), duration_us: 1.0 }, s, vec![OpId(0)], "self");
+        b.push(
+            OpKind::Compute {
+                gpu: GpuId(0),
+                duration_us: 1.0,
+            },
+            s,
+            vec![OpId(0)],
+            "self",
+        );
         let err = b.build().unwrap_err();
         assert!(matches!(err, ProgramError::ForwardDependency { .. }));
     }

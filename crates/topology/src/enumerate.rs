@@ -199,7 +199,11 @@ mod tests {
         // Figure 16). Our enumeration over NVLink-capacity isomorphism finds
         // the same order of magnitude; the exact count is recorded in
         // EXPERIMENTS.md.
-        assert!(classes.len() >= 10 && classes.len() <= 20, "got {}", classes.len());
+        assert!(
+            classes.len() >= 10 && classes.len() <= 20,
+            "got {}",
+            classes.len()
+        );
         // every allocation is covered exactly once
         let total: usize = classes.iter().map(|c| c.members.len()).sum();
         let expected: usize = (3..=8).map(|k| binomial(8, k)).sum();
@@ -211,7 +215,11 @@ mod tests {
         let t = dgx1v();
         let classes = unique_allocations(&t, 3..=8).unwrap();
         // The paper reports 46 unique settings on the DGX-1V (Figure 15).
-        assert!(classes.len() >= 40 && classes.len() <= 60, "got {}", classes.len());
+        assert!(
+            classes.len() >= 40 && classes.len() <= 60,
+            "got {}",
+            classes.len()
+        );
         let total: usize = classes.iter().map(|c| c.members.len()).sum();
         let expected: usize = (3..=8).map(|k| binomial(8, k)).sum();
         assert_eq!(total, expected);

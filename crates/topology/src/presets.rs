@@ -83,8 +83,14 @@ fn add_dgx1_pcie(topo: &mut Topology, base: usize) {
             } else {
                 PCIE_CROSS_COMPLEX_GBPS
             };
-            topo.add_duplex_with_bandwidth(GpuId(base + i), GpuId(base + j), LinkKind::Pcie, 1, gbps)
-                .expect("preset links reference existing GPUs");
+            topo.add_duplex_with_bandwidth(
+                GpuId(base + i),
+                GpuId(base + j),
+                LinkKind::Pcie,
+                1,
+                gbps,
+            )
+            .expect("preset links reference existing GPUs");
         }
     }
 }
@@ -301,10 +307,7 @@ mod tests {
         for g in t.gpu_ids() {
             assert_eq!(t.gpu_cap(g), Some(DGX2_GPU_INJECTION_GBPS));
             // complete graph: 15 NVSwitch neighbours
-            let nv_neighbors = t
-                .nvlink_only()
-                .neighbors(g)
-                .len();
+            let nv_neighbors = t.nvlink_only().neighbors(g).len();
             assert_eq!(nv_neighbors, 15);
         }
         t.validate().unwrap();

@@ -30,7 +30,10 @@ impl fmt::Display for TopologyError {
             TopologyError::DuplicateGpu(g) => write!(f, "GPU {g} added twice"),
             TopologyError::EmptyAllocation => write!(f, "allocation contains no GPUs"),
             TopologyError::DanglingLink { src, dst } => {
-                write!(f, "link {src} -> {dst} references a GPU not in the topology")
+                write!(
+                    f,
+                    "link {src} -> {dst} references a GPU not in the topology"
+                )
             }
         }
     }
@@ -125,7 +128,12 @@ impl Topology {
     ///
     /// # Errors
     /// Returns [`TopologyError::DuplicateGpu`] if the id is already present.
-    pub fn add_gpu(&mut self, id: GpuId, server: ServerId, local_index: usize) -> crate::Result<()> {
+    pub fn add_gpu(
+        &mut self,
+        id: GpuId,
+        server: ServerId,
+        local_index: usize,
+    ) -> crate::Result<()> {
         if self.contains(id) {
             return Err(TopologyError::DuplicateGpu(id));
         }
@@ -313,7 +321,11 @@ impl Topology {
         for g in self.gpus.iter().filter(|g| set.contains(&g.id)) {
             sub.gpus.push(*g);
         }
-        for l in self.links.iter().filter(|l| set.contains(&l.src) && set.contains(&l.dst)) {
+        for l in self
+            .links
+            .iter()
+            .filter(|l| set.contains(&l.src) && set.contains(&l.dst))
+        {
             sub.links.push(*l);
         }
         for (&g, &cap) in self.gpu_caps.iter().filter(|(g, _)| set.contains(g)) {
@@ -360,8 +372,7 @@ impl Topology {
     /// [`crate::enumerate`] and handy for debugging.
     pub fn capacity_matrix(&self) -> Vec<Vec<f64>> {
         let ids = self.gpu_ids();
-        let index: BTreeMap<GpuId, usize> =
-            ids.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let index: BTreeMap<GpuId, usize> = ids.iter().enumerate().map(|(i, &g)| (g, i)).collect();
         let n = ids.len();
         let mut m = vec![vec![0.0; n]; n];
         for l in &self.links {
@@ -412,8 +423,10 @@ mod tests {
         for i in 0..3 {
             t.add_gpu(GpuId(i), ServerId(0), i).unwrap();
         }
-        t.add_duplex(GpuId(0), GpuId(1), LinkKind::NvLinkGen2, 1).unwrap();
-        t.add_duplex(GpuId(1), GpuId(2), LinkKind::NvLinkGen2, 2).unwrap();
+        t.add_duplex(GpuId(0), GpuId(1), LinkKind::NvLinkGen2, 1)
+            .unwrap();
+        t.add_duplex(GpuId(1), GpuId(2), LinkKind::NvLinkGen2, 2)
+            .unwrap();
         t.add_duplex(GpuId(0), GpuId(2), LinkKind::Pcie, 1).unwrap();
         t
     }

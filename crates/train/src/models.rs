@@ -124,7 +124,10 @@ mod tests {
 
     #[test]
     fn paper_models_are_the_four_cnns() {
-        let names: Vec<String> = DnnModel::paper_models().into_iter().map(|m| m.name).collect();
+        let names: Vec<String> = DnnModel::paper_models()
+            .into_iter()
+            .map(|m| m.name)
+            .collect();
         assert_eq!(names, vec!["AlexNet", "ResNet18", "ResNet50", "VGG16"]);
     }
 }

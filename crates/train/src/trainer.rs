@@ -71,7 +71,12 @@ pub struct TrainingSimulator<'a, B: CollectiveBackend> {
 impl<'a, B: CollectiveBackend> TrainingSimulator<'a, B> {
     /// Creates a simulator for `model` over `num_gpus` GPUs using `backend`
     /// for gradient synchronisation.
-    pub fn new(model: DnnModel, num_gpus: usize, config: TrainerConfig, backend: &'a mut B) -> Self {
+    pub fn new(
+        model: DnnModel,
+        num_gpus: usize,
+        config: TrainerConfig,
+        backend: &'a mut B,
+    ) -> Self {
         TrainingSimulator {
             model,
             config,
@@ -157,7 +162,10 @@ mod tests {
             heavy_frac > light_frac,
             "VGG16 {heavy_frac} should out-communicate ResNet18 {light_frac}"
         );
-        assert!(heavy_frac > 0.2, "fragmented NCCL should be comm bound: {heavy_frac}");
+        assert!(
+            heavy_frac > 0.2,
+            "fragmented NCCL should be comm bound: {heavy_frac}"
+        );
     }
 
     #[test]
@@ -168,9 +176,13 @@ mod tests {
         let alloc: Vec<GpuId> = vec![GpuId(1), GpuId(4), GpuId(5), GpuId(6)];
         let model = DnnModel::vgg16();
         let mut nccl = NcclBackend::new(dgx1v(), &alloc);
-        let nccl_iter =
-            TrainingSimulator::new(model.clone(), alloc.len(), TrainerConfig::default(), &mut nccl)
-                .iteration();
+        let nccl_iter = TrainingSimulator::new(
+            model.clone(),
+            alloc.len(),
+            TrainerConfig::default(),
+            &mut nccl,
+        )
+        .iteration();
         let mut blink = BlinkBackend::new(dgx1v(), &alloc).unwrap();
         let blink_iter =
             TrainingSimulator::new(model, alloc.len(), TrainerConfig::default(), &mut blink)
@@ -213,7 +225,9 @@ mod tests {
             buckets.iter().sum::<u64>(),
             DnnModel::alexnet().gradient_bytes()
         );
-        assert!(buckets.iter().all(|&b| b <= TrainerConfig::default().bucket_bytes + 1));
+        assert!(buckets
+            .iter()
+            .all(|&b| b <= TrainerConfig::default().bucket_bytes + 1));
     }
 
     #[test]

@@ -39,11 +39,10 @@ fn main() {
 
     // 3. probe the induced topology and compare tree packing vs rings
     let machine = presets::dgx1v();
-    let probe = TopologyProber::new(machine.clone()).probe(&local).expect("valid slice");
-    println!(
-        "fully NVLink connected: {}",
-        probe.fully_nvlink_connected()
-    );
+    let probe = TopologyProber::new(machine.clone())
+        .probe(&local)
+        .expect("valid slice");
+    println!("fully NVLink connected: {}", probe.fully_nvlink_connected());
     let plan = TreeGen::new(probe.topology.clone(), TreeGenOptions::default())
         .plan(local[0])
         .expect("plans");

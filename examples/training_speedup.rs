@@ -6,9 +6,7 @@
 
 use blink::prelude::*;
 use blink_topology::presets::{multi_server, ServerKind};
-use blink_train::{
-    BlinkBackend, DnnModel, NcclBackend, TrainerConfig, TrainingSimulator,
-};
+use blink_train::{BlinkBackend, DnnModel, NcclBackend, TrainerConfig, TrainingSimulator};
 
 fn show(label: &str, machine: &Topology, allocation: &[GpuId]) {
     println!("== {label} ({} GPUs) ==", allocation.len());

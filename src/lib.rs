@@ -26,9 +26,7 @@ pub use blink_train as train;
 
 /// The most common entry points, re-exported flat for convenience.
 pub mod prelude {
-    pub use blink_core::{
-        CollectiveKind, CollectiveReport, Communicator, CommunicatorOptions,
-    };
+    pub use blink_core::{CollectiveKind, CollectiveReport, Communicator, CommunicatorOptions};
     pub use blink_topology::{presets, GpuId, LinkKind, ServerId, Topology};
 }
 
@@ -40,8 +38,7 @@ mod tests {
     fn facade_reexports_work() {
         let machine = presets::dgx1v();
         let alloc: Vec<GpuId> = (0..3).map(GpuId).collect();
-        let mut comm =
-            Communicator::new(machine, &alloc, CommunicatorOptions::default()).unwrap();
+        let mut comm = Communicator::new(machine, &alloc, CommunicatorOptions::default()).unwrap();
         let report = comm.all_reduce(16 << 20).unwrap();
         assert!(report.algorithmic_bandwidth_gbps > 1.0);
     }

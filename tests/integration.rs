@@ -102,7 +102,10 @@ fn multi_server_allreduce_end_to_end() {
     let report = comm.all_reduce(mb(100)).unwrap();
     assert!(report.strategy.contains("three-phase"));
     assert!(report.algorithmic_bandwidth_gbps > 0.5);
-    assert!(report.algorithmic_bandwidth_gbps < 5.5, "bounded by the 40 Gb/s NIC");
+    assert!(
+        report.algorithmic_bandwidth_gbps < 5.5,
+        "bounded by the 40 Gb/s NIC"
+    );
 }
 
 /// The communicator handles every collective kind on an arbitrary allocation.

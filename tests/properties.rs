@@ -7,9 +7,10 @@ use blink_core::codegen::{CodeGen, CodeGenOptions};
 use blink_core::treegen::{TreeGen, TreeGenOptions};
 use blink_core::CollectiveKind;
 use blink_graph::{
-    max_flow, optimal_broadcast_rate, pack_spanning_trees, DiGraph, PackingOptions, TreePacking,
+    max_flow, optimal_broadcast_rate, pack_spanning_trees, pack_spanning_trees_in, DiGraph,
+    PackingOptions, PackingScratch, TreePacking,
 };
-use blink_topology::presets::{dgx1p, dgx1v};
+use blink_topology::presets::{dgx1p, dgx1v, dgx2};
 use blink_topology::{GpuId, Topology};
 use proptest::prelude::*;
 
@@ -20,6 +21,58 @@ fn allocation_strategy() -> impl Strategy<Value = (Vec<usize>, usize)> {
         let root = seed % alloc.len();
         (alloc, root)
     })
+}
+
+/// Shared body of the `(1 - eps)` bound properties: packs the NVLink-induced
+/// subgraph with the fast path and asserts feasibility plus the certificate
+/// bound. Returns `None` when no spanning arborescence exists (vacuous case).
+fn check_epsilon_bound(machine: &Topology, alloc: &[usize], root_pos: usize) -> Option<String> {
+    let sub = induced(machine, alloc);
+    let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+    let root = GpuId(alloc[root_pos]);
+    let root_idx = g.node(root)?;
+    if !g.spans_from(root_idx) {
+        return None;
+    }
+    let opts = PackingOptions {
+        epsilon: 0.05,
+        ..Default::default()
+    };
+    let mut scratch = PackingScratch::new();
+    let (packing, stats) = pack_spanning_trees_in(&g, root, &opts, &mut scratch).unwrap();
+    let opt = optimal_broadcast_rate(&g, root_idx);
+    if stats.hit_iteration_cap {
+        return Some(format!("cap hit after {} iterations", stats.iterations));
+    }
+    if !packing.is_feasible(&g) {
+        return Some("packing is infeasible".to_string());
+    }
+    // a dual-threshold exit legitimately carries the weaker classical
+    // guarantee; only certificate terminations promise the (1 - eps) bound
+    if stats.termination != blink_graph::PackingTermination::Certificate {
+        return None;
+    }
+    if packing.rate() < (1.0 - opts.epsilon) * opt - 1e-9 {
+        return Some(format!(
+            "rate {} misses (1-eps) bound of certificate {}",
+            packing.rate(),
+            opt
+        ));
+    }
+    None
+}
+
+/// A random subset of 2..=16 GPUs of the 16-GPU DGX-2, plus a root index.
+fn dgx2_allocation_strategy() -> impl Strategy<Value = (Vec<usize>, usize)> {
+    (
+        proptest::collection::btree_set(0usize..16, 2..=16),
+        0usize..16,
+    )
+        .prop_map(|(set, seed)| {
+            let alloc: Vec<usize> = set.into_iter().collect();
+            let root = seed % alloc.len();
+            (alloc, root)
+        })
 }
 
 fn induced(machine: &Topology, ids: &[usize]) -> Topology {
@@ -51,6 +104,64 @@ proptest! {
         let expected: Vec<GpuId> = alloc.iter().map(|&i| GpuId(i)).collect();
         for wt in &packing.trees {
             prop_assert!(wt.tree.is_valid_over(&expected));
+        }
+    }
+
+    /// The certificate early exit guarantees the packed rate is within
+    /// `(1 − ε)` of the Edmonds/Lovász optimum on randomized DGX-1V induced
+    /// subgraphs — a strictly tighter bound than the legacy 0.85 check above.
+    #[test]
+    fn packed_rate_meets_the_epsilon_bound_dgx1v((alloc, root_pos) in allocation_strategy()) {
+        let violation = check_epsilon_bound(&dgx1v(), &alloc, root_pos);
+        prop_assert!(violation.is_none(), "{}", violation.unwrap_or_default());
+    }
+
+    /// The same `(1 − ε)` bound on randomized DGX-2 (16-GPU NVSwitch) induced
+    /// subgraphs and roots.
+    #[test]
+    fn packed_rate_meets_the_epsilon_bound_dgx2((alloc, root_pos) in dgx2_allocation_strategy()) {
+        let violation = check_epsilon_bound(&dgx2(), &alloc, root_pos);
+        prop_assert!(violation.is_none(), "{}", violation.unwrap_or_default());
+    }
+
+    /// Scratch reuse is pure buffer reuse: packing through a scratch dirtied
+    /// by an unrelated graph yields packings bit-identical to a fresh scratch,
+    /// and a TreeGen re-planning through its internal scratch reproduces its
+    /// own plan exactly.
+    #[test]
+    fn scratch_reuse_is_bit_identical((alloc, root_pos) in allocation_strategy()) {
+        let machine = dgx1v();
+        let sub = induced(&machine, &alloc);
+        let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+        let root = GpuId(alloc[root_pos]);
+        let Some(root_idx) = g.node(root) else { return Ok(()); };
+        if !g.spans_from(root_idx) {
+            return Ok(());
+        }
+        let opts = PackingOptions::default();
+        // dirty the scratch on a different graph first
+        let mut reused = PackingScratch::new();
+        let full = DiGraph::from_topology_filtered(&dgx1p(), |l| l.kind.is_nvlink());
+        pack_spanning_trees_in(&full, GpuId(0), &opts, &mut reused).unwrap();
+        let (a, a_stats) = pack_spanning_trees_in(&g, root, &opts, &mut reused).unwrap();
+        let (b, b_stats) = pack_spanning_trees_in(&g, root, &opts, &mut PackingScratch::new()).unwrap();
+        prop_assert_eq!(a_stats, b_stats);
+        prop_assert_eq!(a.trees.len(), b.trees.len());
+        for (x, y) in a.trees.iter().zip(&b.trees) {
+            prop_assert_eq!(&x.tree, &y.tree);
+            prop_assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+        }
+        // TreeGen level: two plans from the same TreeGen share the scratch and
+        // must agree bitwise
+        let tg = TreeGen::new(sub, TreeGenOptions::default());
+        let p1 = tg.plan(root).unwrap();
+        let p2 = tg.plan(root).unwrap();
+        prop_assert_eq!(p1.num_trees(), p2.num_trees());
+        prop_assert_eq!(p1.rate_gbps().to_bits(), p2.rate_gbps().to_bits());
+        prop_assert_eq!(p1.mwu, p2.mwu);
+        for (x, y) in p1.trees.iter().zip(&p2.trees) {
+            prop_assert_eq!(&x.tree, &y.tree);
+            prop_assert_eq!(x.weight.to_bits(), y.weight.to_bits());
         }
     }
 

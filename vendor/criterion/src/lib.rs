@@ -1,0 +1,175 @@
+//! Offline stand-in for [criterion](https://bheisler.github.io/criterion.rs):
+//! a wall-clock micro-benchmark harness exposing the API shape this workspace
+//! uses (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size` / `warm_up_time` / `measurement_time`, `bench_function`,
+//! `Bencher::iter`, `black_box`). No statistics beyond min/mean — the point is
+//! a runnable `cargo bench` with stable relative numbers, not confidence
+//! intervals.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("ungrouped").bench_function(id, f);
+        self
+    }
+}
+
+/// A named group sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement duration budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let (mean, min) = bencher.summary_ns();
+        println!(
+            "bench {}/{id}: mean {} min {} ({} samples)",
+            self.name,
+            format_ns(mean),
+            format_ns(min),
+            bencher.samples_ns.len()
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; printing is incremental).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, first warming up, then collecting timed samples. Each
+    /// sample batches enough iterations to be measurable.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up: run until the warm-up budget is spent (at least once)
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time || warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // batch so one sample takes ~ measurement_time / sample_size
+        let sample_budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples_ns.push(ns);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn summary_ns(&self) -> (f64, f64) {
+        if self.samples_ns.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        let min = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        (mean, min)
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

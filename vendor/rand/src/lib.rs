@@ -1,0 +1,202 @@
+//! Offline stand-in for [`rand`]: the small slice of the rand 0.9 API this
+//! workspace uses — a deterministic [`rngs::StdRng`] seeded with
+//! [`SeedableRng::seed_from_u64`], [`Rng::random`] for `f64`/`u64`/`bool`/
+//! `u32`/`usize`, and [`distr::weighted::WeightedIndex`] sampling.
+//!
+//! The generator is SplitMix64: tiny, fast and statistically fine for the
+//! simulator workloads here (which only need determinism given a seed).
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next pseudo-random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution (rand's `StandardUniform`).
+pub trait StandardSample {
+    /// Draws a value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution
+    /// (`[0, 1)` for floats, uniform for integers/bools).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform integer in `[0, bound)` via rejection-free Lemire-style scaling.
+    fn random_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64 here).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public domain, Vigna)
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Distributions.
+pub mod distr {
+    /// Weighted index sampling.
+    pub mod weighted {
+        use crate::{Rng, RngCore, StandardSample};
+
+        /// Error from building a [`WeightedIndex`].
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct WeightedError(pub &'static str);
+
+        impl std::fmt::Display for WeightedError {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(self.0)
+            }
+        }
+
+        impl std::error::Error for WeightedError {}
+
+        /// Samples indices proportionally to a weight vector.
+        #[derive(Debug, Clone)]
+        pub struct WeightedIndex<X> {
+            cumulative: Vec<X>,
+        }
+
+        impl WeightedIndex<f64> {
+            /// Builds the sampler from non-negative weights with a positive sum.
+            pub fn new<I: IntoIterator<Item = f64>>(weights: I) -> Result<Self, WeightedError> {
+                let mut cumulative = Vec::new();
+                let mut total = 0.0f64;
+                for w in weights {
+                    if w.is_nan() || w < 0.0 || !w.is_finite() {
+                        return Err(WeightedError("invalid weight"));
+                    }
+                    total += w;
+                    cumulative.push(total);
+                }
+                if cumulative.is_empty() || total <= 0.0 {
+                    return Err(WeightedError("weights must have a positive sum"));
+                }
+                Ok(WeightedIndex { cumulative })
+            }
+
+            /// Draws an index with probability proportional to its weight.
+            pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+                let total = *self.cumulative.last().expect("non-empty");
+                let x: f64 = rng.random::<f64>() * total;
+                match self
+                    .cumulative
+                    .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+                {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                }
+                .min(self.cumulative.len() - 1)
+            }
+        }
+
+        // keep StandardSample in scope for rng.random::<f64>() above
+        #[allow(unused_imports)]
+        use StandardSample as _;
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::distr::weighted::WeightedIndex;
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SeedableRng, StandardSample};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x: f64 = a.random();
+            let y: f64 = b.random();
+            assert_eq!(x, y);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let w = WeightedIndex::new(vec![0.0, 1.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(w.sample(&mut rng), 1);
+        }
+        assert!(WeightedIndex::new(vec![]).is_err());
+        assert!(WeightedIndex::new(vec![0.0]).is_err());
+        assert!(WeightedIndex::new(vec![-1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the small part of serde's surface the workspace actually uses: a JSON-like
+//! value tree ([`Value`]), [`Serialize`]/[`Deserialize`] traits that convert to
+//! and from that tree, and `#[derive(Serialize, Deserialize)]` macros
+//! (re-exported from the sibling `serde_derive` stand-in). The `serde_json`
+//! stand-in layers text parsing/printing on top.
+//!
+//! The data model intentionally mirrors serde_json's external conventions so
+//! round-trips look the same on the wire: structs become objects, newtype
+//! structs are transparent, unit enum variants become strings, and data-bearing
+//! variants become single-key objects (`{"Variant": ...}`). Map keys are
+//! stringified the way serde_json stringifies integer keys.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+pub use value::{Map, Number, Value};
+
+use std::fmt;
+
+/// Error produced by serialization or deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if (*self as i128) < 0 {
+                    Value::Number(Number::from_i64(*self as i64))
+                } else {
+                    Value::Number(Number::from_u64(*self as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i128()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| Error::custom(concat!("number out of range for ", stringify!($t)))),
+                    _ => Err(Error::custom(concat!("expected a number for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+macro_rules! impl_float {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_f64(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64().unwrap_or(f64::NAN) as $t),
+                    // serde_json writes non-finite floats as null; accept them back.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::custom(concat!("expected a number for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32 f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected a boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected a string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+// ---- containers ------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected an array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected an array")),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+) with $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::custom(concat!("expected an array of length ", $len))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0) with 1;
+    (A.0, B.1) with 2;
+    (A.0, B.1, C.2) with 3;
+    (A.0, B.1, C.2, D.3) with 4;
+}
+
+/// Converts a serialized key into the string serde_json would use for it
+/// (integer and string keys are supported, matching serde_json's behavior).
+fn key_to_string(v: &Value) -> Result<String, Error> {
+    match v {
+        Value::String(s) => Ok(s.clone()),
+        Value::Number(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        _ => Err(Error::custom("map keys must be strings or numbers")),
+    }
+}
+
+/// Reverses [`key_to_string`]: re-interprets a key string as the value it came
+/// from so typed keys (e.g. integer newtypes) can deserialize.
+fn key_from_string(s: &str) -> Value {
+    if let Ok(i) = s.parse::<i64>() {
+        if i < 0 {
+            return Value::Number(Number::from_i64(i));
+        }
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        return Value::Number(Number::from_u64(u));
+    }
+    Value::String(s.to_string())
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            let key = key_to_string(&k.to_value()).expect("map key serializes to string/number");
+            m.insert(key, v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&key_from_string(k))?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::custom("expected an object")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

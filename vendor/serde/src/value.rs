@@ -1,0 +1,256 @@
+//! The JSON-like value tree shared by the serde and serde_json stand-ins.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered string-keyed map (serde_json's `Map` with sorted keys).
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys.
+    Object(Map),
+}
+
+impl Value {
+    /// The contained object, if this is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The contained array, if this is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The contained string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as an `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The contained boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member access: `value.get("key")` on objects, `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// A JSON number: a signed integer, an unsigned integer or a float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A negative integer.
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+}
+
+impl Number {
+    /// Wraps a signed integer (normalized to `U64` when non-negative).
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number::U64(v as u64)
+        } else {
+            Number::I64(v)
+        }
+    }
+
+    /// Wraps an unsigned integer.
+    pub fn from_u64(v: u64) -> Self {
+        Number::U64(v)
+    }
+
+    /// Wraps a float.
+    pub fn from_f64(v: f64) -> Self {
+        Number::F64(v)
+    }
+
+    /// The number as `f64` (always possible; may lose precision).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::I64(v) => Some(v as f64),
+            Number::U64(v) => Some(v as f64),
+            Number::F64(v) => Some(v),
+        }
+    }
+
+    /// The number as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(v) => Some(v),
+            Number::I64(_) => None,
+            Number::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The number as `i128` if it is an integer (floats with zero fractional
+    /// part included, so `5.0` round-trips into integer types).
+    pub fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Number::I64(v) => Some(v as i128),
+            Number::U64(v) => Some(v as i128),
+            Number::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => Some(v as i128),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::I64(v) => write!(f, "{v}"),
+            Number::U64(v) => write!(f, "{v}"),
+            // serde_json refuses non-finite floats; print null like it would.
+            Number::F64(v) if !v.is_finite() => f.write_str("null"),
+            Number::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    /// Writes compact JSON into `out`.
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape_into(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Writes two-space-indented JSON into `out`.
+    pub fn write_pretty(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(m) if !m.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad_in);
+                    escape_into(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+/// `Display` prints compact JSON, matching `serde_json::Value`.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_compact(&mut s);
+        f.write_str(&s)
+    }
+}

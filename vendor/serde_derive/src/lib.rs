@@ -1,0 +1,400 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in.
+//!
+//! With no access to `syn`/`quote`, this crate walks the raw
+//! [`proc_macro::TokenStream`] of the deriving item and emits impls as
+//! formatted source strings. It supports exactly the shapes this workspace
+//! uses:
+//!
+//! * structs with named fields (honouring `#[serde(default)]` on fields),
+//! * tuple structs (newtypes are transparent; wider tuples become arrays),
+//! * enums with unit variants (serialized as strings), struct variants and
+//!   single-field tuple variants (serialized externally tagged, serde's
+//!   default).
+//!
+//! Generic types are not supported and fail with a compile-time panic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Parsed {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+/// Returns true if the attribute group tokens are `serde(... default ...)`.
+fn attr_is_serde_default(tokens: &[TokenTree]) -> bool {
+    let mut iter = tokens.iter();
+    match iter.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(ref i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes one attribute (`#` was already seen) and reports whether it was
+/// `#[serde(default)]`.
+fn take_attr(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+            let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+            attr_is_serde_default(&tokens)
+        }
+        other => panic!("expected [...] after # in attribute, got {other:?}"),
+    }
+}
+
+/// Skips `pub`, `pub(...)`, etc.
+fn skip_visibility(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named fields, tracking `#[serde(default)]`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let mut default = false;
+        // attributes (doc comments included)
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            default |= take_attr(&mut iter);
+        }
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{name}`, got {other:?}"),
+        }
+        // consume the type: everything until a comma at angle-bracket depth 0
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body `(A, B, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_token = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            take_attr(&mut iter);
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Parsed {
+    let mut iter = input.into_iter().peekable();
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        take_attr(&mut iter);
+    }
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the offline serde derive does not support generic type `{name}`");
+    }
+    let data = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Parsed { name, data }
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Data::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let pat: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut __m = ::serde::Map::new();\n");
+                        for f in fs {
+                            inner.push_str(&format!(
+                                "__m.insert(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => {{\n{inner}\nlet mut __outer = ::serde::Map::new();\n__outer.insert(::std::string::String::from(\"{v}\"), ::serde::Value::Object(__m));\n::serde::Value::Object(__outer)\n}},\n",
+                            pat = pat.join(", "),
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\nlet mut __outer = ::serde::Map::new();\n__outer.insert(::std::string::String::from(\"{v}\"), {payload});\n::serde::Value::Object(__outer)\n}},\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_named_constructor(path: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut s = format!("::std::result::Result::Ok({path} {{\n");
+    for f in fields {
+        if f.default {
+            s.push_str(&format!(
+                "{0}: match {map_expr}.get(\"{0}\") {{ ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, ::std::option::Option::None => ::std::default::Default::default() }},\n",
+                f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{0}: match {map_expr}.get(\"{0}\") {{ ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::custom(concat!(\"missing field `\", \"{0}\", \"`\"))) }},\n",
+                f.name
+            ));
+        }
+    }
+    s.push_str("})");
+    s
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let ctor = gen_named_constructor(name, fields, "__m");
+            format!(
+                "let __m = match __v {{ ::serde::Value::Object(__m) => __m, _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected object for {name}\")) }};\n{ctor}"
+            )
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = match __v {{ ::serde::Value::Array(__a) if __a.len() == {n} => __a, _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected array for {name}\")) }};\n::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let ctor = gen_named_constructor(&format!("{name}::{v}"), fs, "__m2");
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\nlet __m2 = match __inner {{ ::serde::Value::Object(__m2) => __m2, _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected object for variant {v}\")) }};\n{ctor}\n}},\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\nlet __items = match __inner {{ ::serde::Value::Array(__a) if __a.len() == {n} => __a, _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected array for variant {v}\")) }};\n::std::result::Result::Ok({name}::{v}({items}))\n}},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__m) => {{\n\
+                 let (__tag, __inner) = match __m.iter().next() {{ ::std::option::Option::Some(__kv) => __kv, ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::custom(\"empty object for {name}\")) }};\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string or object for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+/// Derives the offline `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the offline `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_item(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
