@@ -1,10 +1,13 @@
 //! Criterion benches for the TreeGen stage: MWU packing (fast path with and
 //! without scratch reuse, plus the preserved naive baseline), tree
 //! minimisation and the max-flow certificate on the DGX presets.
-use blink_graph::baseline::pack_spanning_trees_naive;
+use blink_graph::baseline::{
+    minimize_trees_naive, optimal_broadcast_rate_naive, pack_spanning_trees_naive,
+};
 use blink_graph::{
-    minimize_trees, optimal_broadcast_rate, pack_spanning_trees, pack_spanning_trees_in, DiGraph,
-    MinimizeOptions, PackingOptions, PackingScratch,
+    minimize_trees, minimize_trees_in, optimal_broadcast_rate, optimal_broadcast_rate_in,
+    pack_spanning_trees, pack_spanning_trees_in, DiGraph, MaxFlowScratch, MinimizeOptions,
+    MinimizeScratch, PackingOptions, PackingScratch,
 };
 use blink_topology::presets::{dgx1p, dgx1v};
 use blink_topology::GpuId;
@@ -44,8 +47,22 @@ fn bench_treegen(c: &mut Criterion) {
     group.bench_function("minimize_trees_dgx1v_8gpu", |b| {
         b.iter(|| minimize_trees(&g, &packing, &MinimizeOptions::default()))
     });
+    let mut min_scratch = MinimizeScratch::new();
+    group.bench_function("minimize_trees_dgx1v_8gpu_scratch_reuse", |b| {
+        b.iter(|| minimize_trees_in(&g, &packing, &MinimizeOptions::default(), &mut min_scratch))
+    });
+    group.bench_function("minimize_trees_dgx1v_8gpu_naive_baseline", |b| {
+        b.iter(|| minimize_trees_naive(&g, &packing, &MinimizeOptions::default()))
+    });
     group.bench_function("maxflow_certificate_dgx1v", |b| {
         b.iter(|| optimal_broadcast_rate(&g, 0))
+    });
+    let mut mf_scratch = MaxFlowScratch::new();
+    group.bench_function("maxflow_certificate_dgx1v_scratch_reuse", |b| {
+        b.iter(|| optimal_broadcast_rate_in(&g, 0, &mut mf_scratch))
+    });
+    group.bench_function("maxflow_certificate_dgx1v_naive_baseline", |b| {
+        b.iter(|| optimal_broadcast_rate_naive(&g, 0))
     });
     group.finish();
 }

@@ -1,17 +1,37 @@
-//! MWU tree-packing perf baseline: fast path vs the pre-optimisation path.
+//! TreeGen hot-path perf baseline: fast paths vs the pre-optimisation paths.
 //!
-//! Measures the zero-allocation scratch-reuse packing
-//! ([`blink_graph::pack_spanning_trees_in`]) against the preserved naive
-//! implementation ([`blink_graph::baseline::pack_spanning_trees_naive`]) on
-//! the 8-GPU DGX-1V NVLink graph at ε = 0.05 — the paper's headline broadcast
-//! configuration — and writes `BENCH_packing.json` so future PRs have a
-//! trajectory to compare against.
+//! Measures three stages on the 8-GPU DGX-1V NVLink graph at ε = 0.05 — the
+//! paper's headline broadcast configuration — against the seed-preserving
+//! baselines in [`blink_graph::baseline`], and writes `BENCH_packing.json` so
+//! future PRs have a trajectory to compare against:
+//!
+//! * **packing** — the zero-allocation scratch-reuse MWU packing
+//!   ([`blink_graph::pack_spanning_trees_in`]) vs the naive recursive-solver
+//!   loop;
+//! * **minimize** — the iterative arena branch-and-bound
+//!   ([`blink_graph::minimize_trees_in`]) vs the recursive clone-per-node
+//!   original, both reducing the same raw MWU packing;
+//! * **certificate** — the build-once/reset-per-sink Dinic
+//!   ([`blink_graph::optimal_broadcast_rate_in`]) vs the rebuild-per-sink
+//!   original.
 //!
 //! Run with `cargo run --release -p blink-bench --bin bench_packing`.
+//!
+//! `--check` runs a quick-mode measurement and exits non-zero if any stage
+//! regressed more than [`CHECK_TOLERANCE`]× against the recorded
+//! `BENCH_packing.json` (CI uses this to catch accidental re-allocation in
+//! the hot paths). The comparison uses each stage's fast-over-naive
+//! **speedup ratio** — both sides measured in the same process on the same
+//! machine — so the gate tracks code regressions, not the hardware ratio
+//! between the recording machine and the CI runner. It does not rewrite the
+//! JSON.
 
-use blink_graph::baseline::pack_spanning_trees_naive;
+use blink_graph::baseline::{
+    minimize_trees_naive, optimal_broadcast_rate_naive, pack_spanning_trees_naive,
+};
 use blink_graph::{
-    optimal_broadcast_rate, pack_spanning_trees_in, DiGraph, PackingOptions, PackingScratch,
+    minimize_trees_in, optimal_broadcast_rate, optimal_broadcast_rate_in, pack_spanning_trees_in,
+    DiGraph, MaxFlowScratch, MinimizeOptions, MinimizeScratch, PackingOptions, PackingScratch,
     TreePacking,
 };
 use blink_topology::presets::dgx1v;
@@ -21,8 +41,11 @@ use std::time::Instant;
 
 const EPSILON: f64 = 0.05;
 const ROOT: GpuId = GpuId(0);
+/// `--check` fails when a stage's fast-over-naive speedup ratio is more than
+/// this factor below the recorded trajectory.
+const CHECK_TOLERANCE: f64 = 5.0;
 
-/// Per-path measurements.
+/// Per-path measurements for the packing stage.
 #[derive(Debug, Serialize)]
 struct PathReport {
     /// Complete packings computed per second.
@@ -40,6 +63,24 @@ struct PathReport {
     rate_gbps: f64,
     /// Packed rate divided by the Edmonds/Lovász certificate.
     rate_over_optimal: f64,
+}
+
+/// Per-path measurements for the minimize / certificate stages.
+#[derive(Debug, Serialize)]
+struct StagePathReport {
+    /// Stage invocations per second.
+    per_sec: f64,
+    /// Mean wall-clock microseconds per invocation.
+    us_per_call: f64,
+}
+
+/// One naive-vs-fast stage.
+#[derive(Debug, Serialize)]
+struct StageReport {
+    naive: StagePathReport,
+    fast: StagePathReport,
+    /// `fast.per_sec / naive.per_sec`.
+    speedup: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -64,6 +105,10 @@ struct Report {
     naive: PathReport,
     fast: PathReport,
     speedup: Speedup,
+    /// Tree-count minimisation of the raw MWU packing (Section 3.2.1).
+    minimize: StageReport,
+    /// The Edmonds/Lovász broadcast-rate certificate (n − 1 max-flows).
+    certificate: StageReport,
 }
 
 fn report(
@@ -85,19 +130,40 @@ fn report(
     }
 }
 
-fn main() {
+/// Times `runs` invocations of `f` and reports the per-call rate.
+fn time_stage<F: FnMut()>(runs: usize, mut f: F) -> StagePathReport {
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    let per_call = t0.elapsed().as_secs_f64() / runs as f64;
+    StagePathReport {
+        per_sec: 1.0 / per_call,
+        us_per_call: per_call * 1e6,
+    }
+}
+
+fn measure(quick: bool) -> Report {
+    // Per-stage run counts sized so each stage's timing window is well above
+    // clock noise; `quick` (the CI `--check` mode) divides the slow ones.
+    let naive_runs = if quick { 1 } else { 3 };
+    let fast_runs = if quick { 50 } else { 200 };
+    let min_naive_runs = if quick { 5 } else { 20 };
+    let min_fast_runs = if quick { 100 } else { 500 };
+    let cert_naive_runs = if quick { 500 } else { 2000 };
+    let cert_fast_runs = if quick { 5000 } else { 20000 };
     let topo = dgx1v();
     let g = DiGraph::from_topology_filtered(&topo, |l| l.kind.is_nvlink());
-    let opt = optimal_broadcast_rate(&g, g.node(ROOT).expect("root exists"));
+    let root_idx = g.node(ROOT).expect("root exists");
+    let opt = optimal_broadcast_rate(&g, root_idx);
     let opts = PackingOptions {
         epsilon: EPSILON,
         ..Default::default()
     };
 
-    // ---- naive path (pre-optimisation reference, measured in-process) ----
+    // ---- packing: naive path (pre-optimisation reference, in-process) ----
     let (warm_packing, warm_iters) =
         pack_spanning_trees_naive(&g, ROOT, &opts).expect("dgx1v spans");
-    let naive_runs = 3usize;
     let t0 = Instant::now();
     for _ in 0..naive_runs {
         pack_spanning_trees_naive(&g, ROOT, &opts).expect("dgx1v spans");
@@ -110,11 +176,10 @@ fn main() {
         opt,
     );
 
-    // ---- fast path (iterative solver + reused PackingScratch) ----
+    // ---- packing: fast path (iterative solver + reused PackingScratch) ----
     let mut scratch = PackingScratch::new();
     let (fast_packing, fast_stats) =
         pack_spanning_trees_in(&g, ROOT, &opts, &mut scratch).expect("dgx1v spans");
-    let fast_runs = 200usize;
     let t0 = Instant::now();
     for _ in 0..fast_runs {
         pack_spanning_trees_in(&g, ROOT, &opts, &mut scratch).expect("dgx1v spans");
@@ -127,7 +192,28 @@ fn main() {
         opt,
     );
 
-    let out = Report {
+    // ---- minimize: both paths reduce the same raw MWU packing ----
+    let min_opts = MinimizeOptions::default();
+    let minimize_naive = time_stage(min_naive_runs, || {
+        minimize_trees_naive(&g, &fast_packing, &min_opts);
+    });
+    let mut min_scratch = MinimizeScratch::new();
+    minimize_trees_in(&g, &fast_packing, &min_opts, &mut min_scratch); // warm up
+    let minimize_fast = time_stage(min_fast_runs, || {
+        minimize_trees_in(&g, &fast_packing, &min_opts, &mut min_scratch);
+    });
+
+    // ---- certificate: n − 1 max-flows per call ----
+    let certificate_naive = time_stage(cert_naive_runs, || {
+        optimal_broadcast_rate_naive(&g, root_idx);
+    });
+    let mut mf_scratch = MaxFlowScratch::new();
+    optimal_broadcast_rate_in(&g, root_idx, &mut mf_scratch); // warm up
+    let certificate_fast = time_stage(cert_fast_runs, || {
+        optimal_broadcast_rate_in(&g, root_idx, &mut mf_scratch);
+    });
+
+    Report {
         config: Config {
             topology: "dgx1v".to_string(),
             gpus: 8,
@@ -140,14 +226,97 @@ fn main() {
             packings_per_sec: fast.packings_per_sec / naive.packings_per_sec,
             trees_per_sec: fast.trees_per_sec / naive.trees_per_sec,
         },
+        minimize: StageReport {
+            speedup: minimize_fast.per_sec / minimize_naive.per_sec,
+            naive: minimize_naive,
+            fast: minimize_fast,
+        },
+        certificate: StageReport {
+            speedup: certificate_fast.per_sec / certificate_naive.per_sec,
+            naive: certificate_naive,
+            fast: certificate_fast,
+        },
         naive,
         fast,
+    }
+}
+
+/// Compares a quick measurement's fast-over-naive speedup ratios against the
+/// recorded trajectory; returns the failures (stage name, recorded speedup,
+/// measured speedup). Ratios are machine-independent: both paths run in this
+/// process, so a slower or faster CI runner cancels out of the comparison.
+fn check_against_recorded(recorded: &serde::Value, report: &Report) -> Vec<(String, f64, f64)> {
+    let recorded_stage = |path: &[&str]| -> Option<f64> {
+        let mut v = recorded;
+        for key in path {
+            v = v.get(key)?;
+        }
+        v.as_f64()
     };
+    let stages: [(&str, &[&str], f64); 3] = [
+        (
+            "packing",
+            &["speedup", "packings_per_sec"],
+            report.speedup.packings_per_sec,
+        ),
+        (
+            "minimize",
+            &["minimize", "speedup"],
+            report.minimize.speedup,
+        ),
+        (
+            "certificate",
+            &["certificate", "speedup"],
+            report.certificate.speedup,
+        ),
+    ];
+    let mut failures = Vec::new();
+    for (name, path, measured) in stages {
+        let Some(rec) = recorded_stage(path) else {
+            continue; // stage not recorded yet — nothing to regress against
+        };
+        if measured < rec / CHECK_TOLERANCE {
+            failures.push((name.to_string(), rec, measured));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let out = measure(check_mode);
+
+    if check_mode {
+        let recorded = std::fs::read_to_string("BENCH_packing.json")
+            .expect("BENCH_packing.json exists for --check");
+        let recorded = serde_json::parse(&recorded).expect("BENCH_packing.json parses");
+        let failures = check_against_recorded(&recorded, &out);
+        eprintln!(
+            "quick check: packing {:.1}x, minimize {:.1}x, certificate {:.1}x over naive",
+            out.speedup.packings_per_sec, out.minimize.speedup, out.certificate.speedup
+        );
+        if failures.is_empty() {
+            eprintln!("all stage speedups within {CHECK_TOLERANCE}x of the recorded trajectory");
+            return;
+        }
+        for (name, rec, measured) in &failures {
+            eprintln!(
+                "REGRESSION: {name} fast path at {measured:.1}x over naive, more than \
+                 {CHECK_TOLERANCE}x below the recorded {rec:.1}x"
+            );
+        }
+        std::process::exit(1);
+    }
+
     let json = serde_json::to_string_pretty(&out).expect("serializable");
     std::fs::write("BENCH_packing.json", &json).expect("write BENCH_packing.json");
     println!("{json}");
     eprintln!(
-        "speedup: {:.1}x packings/sec, {:.1}x trees/sec (fast rate/optimal {:.3})",
-        out.speedup.packings_per_sec, out.speedup.trees_per_sec, out.fast.rate_over_optimal
+        "speedup: {:.1}x packings/sec, {:.1}x minimize/sec, {:.1}x certificate/sec \
+         (fast rate/optimal {:.3})",
+        out.speedup.packings_per_sec,
+        out.minimize.speedup,
+        out.certificate.speedup,
+        out.fast.rate_over_optimal
     );
 }

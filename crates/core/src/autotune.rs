@@ -19,21 +19,55 @@ use crate::treegen::{LinkSelection, SharedPackingScratch, TreeGen, TreeGenOption
 use crate::{new_shared_scratch, Result};
 use blink_topology::{GpuId, Topology};
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 
-/// Memoises [`TreePlan`]s per `(root, link class)` for one fixed allocation
-/// and option set, sharing a single [`SharedPackingScratch`] across misses.
+/// A 64-bit fingerprint of everything (besides the root and link class) a
+/// cached [`TreePlan`] depends on: the induced topology's GPUs, links and
+/// per-GPU fabric caps, plus the [`TreeGenOptions`] with the link class
+/// normalised away (it is part of the cache key instead).
+fn plan_fingerprint(induced: &Topology, options: &TreeGenOptions) -> u64 {
+    let mut h = DefaultHasher::new();
+    for g in induced.gpus() {
+        g.id.0.hash(&mut h);
+        g.server.0.hash(&mut h);
+        g.local_index.hash(&mut h);
+        induced.gpu_cap(g.id).map(f64::to_bits).hash(&mut h);
+    }
+    for l in induced.links() {
+        l.src.0.hash(&mut h);
+        l.dst.0.hash(&mut h);
+        l.kind.hash(&mut h);
+        l.lanes.hash(&mut h);
+        l.bandwidth_gbps.to_bits().hash(&mut h);
+    }
+    options.packing.epsilon.to_bits().hash(&mut h);
+    options.packing.max_iterations.hash(&mut h);
+    options.minimize.threshold.to_bits().hash(&mut h);
+    options.minimize.unit_gbps.map(f64::to_bits).hash(&mut h);
+    options.minimize.max_bb_nodes.hash(&mut h);
+    options.skip_minimize.hash(&mut h);
+    h.finish()
+}
+
+/// Memoises [`TreePlan`]s per `(root, link class)`, sharing a single
+/// [`SharedPackingScratch`] across misses.
 ///
-/// The cache does not hash the topology or the options: it belongs to a
-/// context that plans over one induced topology with fixed [`TreeGenOptions`]
-/// (e.g. a communicator). Call [`PlanCache::invalidate`] if either changes.
+/// Every lookup carries a fingerprint of the induced topology and the
+/// (link-class-normalised) options; when it differs from the fingerprint the
+/// memoised plans were built under, the cache transparently drops them and
+/// rebuilds. A caller that swaps the topology (link failure, elastic
+/// re-allocation) or retunes the options therefore gets a fresh plan, never a
+/// stale one — and never the fixed-options panic the old debug assertion
+/// raised. [`PlanCache::invalidate`] remains available for explicit flushes.
 #[derive(Debug, Clone, Default)]
 pub struct PlanCache {
     scratch: SharedPackingScratch,
     plans: BTreeMap<(GpuId, LinkSelection), TreePlan>,
-    /// First-seen options with the link class normalised away, used to
-    /// debug-assert the fixed-options contract.
-    seen_options: Option<TreeGenOptions>,
+    /// Fingerprint of the (topology, normalised options) the memoised plans
+    /// were built under; `None` while the cache is empty.
+    built_under: Option<u64>,
 }
 
 impl PlanCache {
@@ -47,7 +81,7 @@ impl PlanCache {
         PlanCache {
             scratch,
             plans: BTreeMap::new(),
-            seen_options: None,
+            built_under: None,
         }
     }
 
@@ -58,7 +92,9 @@ impl PlanCache {
     }
 
     /// Returns the cached plan for `(root, options.links)`, computing and
-    /// memoising it on first request.
+    /// memoising it on first request. A changed topology or option set (as
+    /// judged by their fingerprint) invalidates all memoised plans first, so
+    /// the caller always receives a plan consistent with its inputs.
     ///
     /// # Errors
     /// Propagates planning failures (unknown root, unspannable link class);
@@ -69,19 +105,10 @@ impl PlanCache {
         options: &TreeGenOptions,
         root: GpuId,
     ) -> Result<&TreePlan> {
-        // Entries are keyed by (root, links) only; everything else in the
-        // options must stay fixed for the cache's lifetime. Enforce the
-        // documented contract in debug builds.
-        let normalized = TreeGenOptions {
-            links: LinkSelection::NvLinkOnly,
-            ..*options
-        };
-        match &self.seen_options {
-            Some(prev) => debug_assert!(
-                *prev == normalized,
-                "PlanCache reused with different TreeGenOptions; call invalidate() first"
-            ),
-            None => self.seen_options = Some(normalized),
+        let fp = plan_fingerprint(induced, options);
+        if self.built_under != Some(fp) {
+            self.plans.clear();
+            self.built_under = Some(fp);
         }
         let key = (root, options.links);
         if !self.plans.contains_key(&key) {
@@ -107,11 +134,12 @@ impl PlanCache {
         self.plans.is_empty()
     }
 
-    /// Drops every memoised plan (keeps the scratch buffers). Call when the
-    /// underlying topology or planning options change.
+    /// Drops every memoised plan (keeps the scratch buffers). Rarely needed —
+    /// [`PlanCache::plan_for`] already rekeys on topology/options changes —
+    /// but useful to bound memory or force a rebuild.
     pub fn invalidate(&mut self) {
         self.plans.clear();
-        self.seen_options = None;
+        self.built_under = None;
     }
 }
 
@@ -242,6 +270,55 @@ mod tests {
         assert_eq!(cache.len(), 3);
         cache.invalidate();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn plan_cache_rekeys_on_changed_options_instead_of_panicking() {
+        let topo = dgx1v();
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let induced = topo.induced(&alloc).unwrap();
+        let mut cache = PlanCache::new();
+        let opts = TreeGenOptions::default();
+        cache.plan_for(&induced, &opts, GpuId(0)).unwrap();
+        assert_eq!(cache.len(), 1);
+        // same options, different link class: both entries coexist
+        let pcie = TreeGenOptions {
+            links: LinkSelection::PcieOnly,
+            ..opts
+        };
+        cache.plan_for(&induced, &pcie, GpuId(0)).unwrap();
+        assert_eq!(cache.len(), 2);
+        // materially different options: the cache rebuilds instead of
+        // debug-panicking or serving a plan computed under the old options
+        let retuned = TreeGenOptions {
+            skip_minimize: true,
+            ..opts
+        };
+        let raw = cache.plan_for(&induced, &retuned, GpuId(0)).unwrap();
+        assert!(raw.num_trees() > 6, "skip_minimize must take effect");
+        assert_eq!(cache.len(), 1, "old-option plans were dropped");
+    }
+
+    #[test]
+    fn plan_cache_rekeys_on_changed_topology() {
+        let topo = dgx1v();
+        let opts = TreeGenOptions::default();
+        let mut cache = PlanCache::new();
+        let full = topo
+            .induced(&(0..8).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let full_rate = cache.plan_for(&full, &opts, GpuId(0)).unwrap().rate_gbps();
+        // shrink the allocation: the cache must not serve the 8-GPU plan
+        let half = topo
+            .induced(&(0..4).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let half_plan = cache.plan_for(&half, &opts, GpuId(0)).unwrap();
+        assert_eq!(half_plan.gpus.len(), 4);
+        assert!(half_plan.rate_gbps() < full_rate);
+        assert_eq!(cache.len(), 1);
+        // and going back re-plans (correctness over reuse across epochs)
+        let again = cache.plan_for(&full, &opts, GpuId(0)).unwrap();
+        assert_eq!(again.rate_gbps().to_bits(), full_rate.to_bits());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::multiserver::three_phase_allreduce_with_scratch;
 use crate::onehop::{is_switch_fabric, one_hop_broadcast_tree, one_hop_trees};
 use crate::treegen::{LinkSelection, TreeGenOptions};
 use crate::{BlinkError, Result};
-use blink_graph::{optimal_broadcast_rate, DiGraph, WeightedTree};
+use blink_graph::{optimal_broadcast_rate_in, DiGraph, MaxFlowScratch, WeightedTree};
 use blink_sim::{Program, SimParams, Simulator};
 use blink_topology::{GpuId, Topology};
 use std::collections::BTreeMap;
@@ -58,9 +58,12 @@ pub struct Communicator {
     sim: Simulator,
     options: CommunicatorOptions,
     autotuners: BTreeMap<String, ChunkAutotuner>,
-    /// Memoised tree plans plus the shared MWU packing scratch: collectives
-    /// re-issued by the autotune loop skip the packing stage entirely, and
-    /// cache misses (including the hybrid planner's) reuse one buffer set.
+    /// Memoised tree plans plus the shared planning scratch (MWU packing,
+    /// minimisation and certificate buffers): collectives re-issued by the
+    /// autotune loop skip the packing stage entirely, and cache misses
+    /// (including the hybrid planner's) reuse one buffer set. The cache keys
+    /// its plans under a topology/options fingerprint, so it would rebuild
+    /// rather than serve stale plans if either ever changed.
     plans: PlanCache,
     /// Memoised [`Communicator::pick_root`] answer: the allocation and
     /// topology are fixed per communicator, so the best rootless-collective
@@ -246,12 +249,13 @@ impl Communicator {
         let g = DiGraph::from_topology_filtered(&self.induced, |l| l.kind.is_nvlink());
         let mut best = self.allocation[0];
         let mut best_rate = -1.0;
+        let mut scratch = MaxFlowScratch::new();
         for &cand in &self.allocation {
             if let Some(idx) = g.node(cand) {
                 if !g.spans_from(idx) {
                     continue;
                 }
-                let rate = optimal_broadcast_rate(&g, idx);
+                let rate = optimal_broadcast_rate_in(&g, idx, &mut scratch);
                 if rate > best_rate {
                     best_rate = rate;
                     best = cand;

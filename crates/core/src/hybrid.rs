@@ -92,10 +92,11 @@ impl HybridPlanner {
         Self::plan_with_scratch(induced, root, base, &new_shared_scratch())
     }
 
-    /// [`HybridPlanner::plan`] over caller-provided packing scratch buffers:
-    /// both the NVLink and the PCIe TreeGen pack through the same
-    /// [`SharedPackingScratch`], and callers planning repeatedly (several
-    /// roots, the communicator loop) amortise the buffers across all of it.
+    /// [`HybridPlanner::plan`] over caller-provided planning scratch buffers:
+    /// both the NVLink and the PCIe TreeGen pack, minimise and certify
+    /// through the same [`SharedPackingScratch`], and callers planning
+    /// repeatedly (several roots, the communicator loop) amortise the buffers
+    /// across all of it.
     pub fn plan_with_scratch(
         induced: &Topology,
         root: GpuId,

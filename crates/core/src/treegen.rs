@@ -1,10 +1,13 @@
 //! TreeGen: from a probed topology to a minimal set of weighted spanning
 //! trees (Sections 3.1–3.2 of the paper).
 //!
-//! Every [`TreeGen`] owns a [`SharedPackingScratch`] — the reusable MWU/solver
-//! buffers from [`blink_graph::PackingScratch`] — so repeated `plan` calls
-//! (per-root, as in the three-phase multi-server AllReduce) never re-allocate
-//! the packing state. Callers that build several TreeGens over the same job
+//! Every [`TreeGen`] owns a [`SharedPackingScratch`] — a [`PlannerScratch`]
+//! bundling the reusable MWU packing buffers
+//! ([`blink_graph::PackingScratch`]) with the minimisation/certificate arenas
+//! ([`blink_graph::MinimizeScratch`], whose embedded Dinic scratch also serves
+//! the Edmonds/Lovász threshold) — so repeated `plan` calls (per-root, as in
+//! the three-phase multi-server AllReduce) never re-allocate any planning
+//! state. Callers that build several TreeGens over the same job
 //! (per-link-class, the hybrid planner, the communicator's autotune loop) pass
 //! one shared scratch to [`TreeGen::with_scratch`] so all of them reuse a
 //! single set of buffers; [`crate::autotune::PlanCache`] builds on this to
@@ -12,21 +15,40 @@
 
 use crate::{BlinkError, Result};
 use blink_graph::{
-    minimize_trees, pack_spanning_trees_in, DiGraph, MinimizeOptions, PackingOptions,
-    PackingScratch, PackingStats, TreePacking, WeightedTree,
+    minimize_trees_in, pack_spanning_trees_in, DiGraph, MinimizeOptions, MinimizeScratch,
+    PackingOptions, PackingScratch, PackingStats, TreePacking, WeightedTree,
 };
 use blink_topology::{GpuId, LinkKind, Topology};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-/// The packing scratch handle TreeGens share: cloning the handle shares the
+/// The full set of reusable planning buffers one TreeGen pipeline needs: the
+/// MWU packing scratch and the tree-minimisation scratch (which embeds the
+/// Dinic certificate arena). Buffer reuse only — contents never affect
+/// results (see the bit-identical regression tests in `tests/properties.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct PlannerScratch {
+    /// MWU packing buffers (arborescence arena, lengths, tree accumulator).
+    pub packing: PackingScratch,
+    /// Minimisation buffers (branch-and-bound stack, greedy peel, Dinic).
+    pub minimize: MinimizeScratch,
+}
+
+impl PlannerScratch {
+    /// Creates an empty scratch. Buffers are sized lazily on first plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The planning scratch handle TreeGens share: cloning the handle shares the
 /// underlying buffers (planning is single-threaded by design).
-pub type SharedPackingScratch = Rc<RefCell<PackingScratch>>;
+pub type SharedPackingScratch = Rc<RefCell<PlannerScratch>>;
 
 /// Creates a fresh [`SharedPackingScratch`].
 pub fn new_shared_scratch() -> SharedPackingScratch {
-    Rc::new(RefCell::new(PackingScratch::new()))
+    Rc::new(RefCell::new(PlannerScratch::new()))
 }
 
 /// Which link class TreeGen packs trees over.
@@ -202,13 +224,11 @@ impl TreeGen {
                 mwu: PackingStats::trivial(),
             });
         }
-        let (packing, stats) = pack_spanning_trees_in(
-            &g,
-            root,
-            &self.options.packing,
-            &mut self.scratch.borrow_mut(),
-        )
-        .map_err(|e| BlinkError::Planning(e.to_string()))?;
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        let (packing, stats) =
+            pack_spanning_trees_in(&g, root, &self.options.packing, &mut scratch.packing)
+                .map_err(|e| BlinkError::Planning(e.to_string()))?;
         // The packing already computed the Edmonds/Lovász certificate for its
         // early exit; reuse it instead of re-running Dinic.
         let optimal = stats.certificate_gbps;
@@ -216,7 +236,7 @@ impl TreeGen {
         let final_packing = if self.options.skip_minimize {
             packing
         } else {
-            minimize_trees(&g, &packing, &self.options.minimize)
+            minimize_trees_in(&g, &packing, &self.options.minimize, &mut scratch.minimize)
         };
         Ok(TreePlan {
             root,

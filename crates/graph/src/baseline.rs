@@ -3,13 +3,16 @@
 //! This module preserves the original recursive clone-per-contraction
 //! Chu–Liu/Edmonds solver and the `BTreeMap`-keyed MWU accumulator exactly as
 //! they were before the zero-allocation rewrite in [`crate::arborescence`] and
-//! [`crate::packing`]. It exists for two reasons:
+//! [`crate::packing`], plus — since the minimisation/certificate arena rewrite
+//! — the per-sink-rebuild Dinic certificate
+//! ([`optimal_broadcast_rate_naive`]) and the recursive, clone-per-improvement
+//! tree minimisation ([`minimize_trees_naive`]). It exists for two reasons:
 //!
 //! 1. the perf harness (`blink-bench`'s `bench_packing` binary and the
-//!    `treegen` criterion bench) measures the fast path against this baseline
-//!    in the same process, so the reported speedup is apples-to-apples;
-//! 2. the regression test below cross-checks that the rewritten solver picks
-//!    exactly the baseline's arborescences (same edge ids) across DGX
+//!    `treegen` criterion bench) measures the fast paths against this baseline
+//!    in the same process, so the reported speedups are apples-to-apples;
+//! 2. regression tests cross-check that the rewritten solvers produce results
+//!    bit-identical to the baselines (same edge ids, same weights) across DGX
 //!    subsets, roots and randomized weight profiles.
 //!
 //! Nothing outside benches and tests should call into this module.
@@ -18,8 +21,9 @@
 // lints that would force edits defeat the purpose.
 #![allow(clippy::needless_range_loop)]
 
-use crate::arborescence::{arborescence_from_edges, Arborescence};
+use crate::arborescence::{arborescence_from_edges, min_arborescence, Arborescence};
 use crate::digraph::{DiGraph, EdgeIdx, NodeIdx};
+use crate::minimize::MinimizeOptions;
 use crate::packing::{PackingError, PackingOptions, TreePacking, WeightedTree};
 use blink_topology::GpuId;
 use std::collections::{BTreeMap, BTreeSet};
@@ -233,6 +237,376 @@ pub fn pack_spanning_trees_naive(
         .collect();
     let packing = TreePacking::new(root, trees).scaled_to_feasible(graph);
     Ok((packing, iterations))
+}
+
+// ---------------------------------------------------------------------------
+// Frozen max-flow certificate: Dinic over a per-call `Vec<Vec<FlowEdge>>`
+// residual graph, rebuilt from scratch for every (source, sink) pair.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct FlowEdge {
+    to: usize,
+    cap: f64,
+    rev: usize,
+}
+
+struct NaiveDinic {
+    graph: Vec<Vec<FlowEdge>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl NaiveDinic {
+    fn new(n: usize) -> Self {
+        NaiveDinic {
+            graph: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, cap: f64) {
+        let from_len = self.graph[from].len();
+        let to_len = self.graph[to].len();
+        self.graph[from].push(FlowEdge {
+            to,
+            cap,
+            rev: to_len,
+        });
+        self.graph[to].push(FlowEdge {
+            to: from,
+            cap: 0.0,
+            rev: from_len,
+        });
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for e in &self.graph[v] {
+                if e.cap > 1e-12 && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[v] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, f: f64) -> f64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v] < self.graph[v].len() {
+            let i = self.iter[v];
+            let e = self.graph[v][i];
+            if e.cap > 1e-12 && self.level[v] < self.level[e.to] {
+                let d = self.dfs(e.to, t, f.min(e.cap));
+                if d > 1e-12 {
+                    self.graph[v][i].cap -= d;
+                    let rev = e.rev;
+                    self.graph[e.to][rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0.0
+    }
+
+    fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        let mut flow = 0.0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY);
+                if f <= 1e-12 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+}
+
+/// The original per-pair max-flow: allocates and fills a fresh residual graph
+/// on every call.
+pub fn max_flow_naive(graph: &DiGraph, source: NodeIdx, sink: NodeIdx) -> f64 {
+    if source == sink {
+        return 0.0;
+    }
+    let mut dinic = NaiveDinic::new(graph.num_nodes());
+    for e in graph.edges() {
+        dinic.add_edge(e.src, e.dst, e.capacity);
+    }
+    dinic.max_flow(source, sink)
+}
+
+/// The original broadcast-rate certificate: one full residual-graph rebuild
+/// per sink (n − 1 rebuilds per call).
+pub fn optimal_broadcast_rate_naive(graph: &DiGraph, root: NodeIdx) -> f64 {
+    let mut rate = f64::INFINITY;
+    for v in 0..graph.num_nodes() {
+        if v == root {
+            continue;
+        }
+        rate = rate.min(max_flow_naive(graph, root, v));
+    }
+    rate
+}
+
+// ---------------------------------------------------------------------------
+// Frozen tree minimisation: recursive branch-and-bound that clones `chosen`
+// into `best` per improvement, `BTreeMap<Vec<(GpuId, GpuId)>, ()>` candidate
+// dedup, and a greedy peel that re-allocates its length/residual vectors per
+// round and post-checks saturated edges.
+// ---------------------------------------------------------------------------
+
+fn edge_index_of_naive(graph: &DiGraph, p: GpuId, c: GpuId) -> Option<usize> {
+    let (u, v) = (graph.node(p)?, graph.node(c)?);
+    graph.edge_between(u, v)
+}
+
+fn tree_edge_indices_naive(graph: &DiGraph, tree: &Arborescence) -> Option<Vec<usize>> {
+    tree.edges
+        .iter()
+        .map(|&(p, c)| edge_index_of_naive(graph, p, c))
+        .collect()
+}
+
+fn greedy_unit_trees_naive(
+    graph: &DiGraph,
+    root_idx: usize,
+    unit_caps: &[u32],
+) -> Vec<Arborescence> {
+    let mut residual: Vec<u32> = unit_caps.to_vec();
+    let mut out = Vec::new();
+    loop {
+        let lengths: Vec<f64> = residual
+            .iter()
+            .map(|&r| if r == 0 { 1e9 } else { 1.0 / r as f64 })
+            .collect();
+        let Some(edge_ids) = min_arborescence(graph, root_idx, &lengths) else {
+            break;
+        };
+        if edge_ids.iter().any(|&e| residual[e] == 0) {
+            break;
+        }
+        for &e in &edge_ids {
+            residual[e] -= 1;
+        }
+        out.push(arborescence_from_edges(graph, root_idx, &edge_ids));
+        if out.len() > 64 {
+            break; // safety valve; real topologies need at most a handful
+        }
+    }
+    out
+}
+
+fn branch_and_bound_naive(
+    candidates: &[Vec<usize>],
+    unit_caps: &[u32],
+    max_nodes: usize,
+) -> Vec<usize> {
+    // Greedy incumbent first.
+    let mut best: Vec<usize> = Vec::new();
+    {
+        let mut residual = unit_caps.to_vec();
+        for (i, edges) in candidates.iter().enumerate() {
+            if edges.iter().all(|&e| residual[e] > 0) {
+                for &e in edges {
+                    residual[e] -= 1;
+                }
+                best.push(i);
+            }
+        }
+    }
+    let mut explored = 0usize;
+    let mut residual = unit_caps.to_vec();
+    let mut chosen: Vec<usize> = Vec::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        i: usize,
+        candidates: &[Vec<usize>],
+        residual: &mut Vec<u32>,
+        chosen: &mut Vec<usize>,
+        best: &mut Vec<usize>,
+        explored: &mut usize,
+        max_nodes: usize,
+    ) {
+        *explored += 1;
+        if *explored > max_nodes {
+            return;
+        }
+        if chosen.len() > best.len() {
+            *best = chosen.clone();
+        }
+        if i >= candidates.len() {
+            return;
+        }
+        // bound: even taking every remaining candidate cannot beat the best
+        if chosen.len() + (candidates.len() - i) <= best.len() {
+            return;
+        }
+        // branch 1: take candidate i if it fits
+        if candidates[i].iter().all(|&e| residual[e] > 0) {
+            for &e in &candidates[i] {
+                residual[e] -= 1;
+            }
+            chosen.push(i);
+            dfs(
+                i + 1,
+                candidates,
+                residual,
+                chosen,
+                best,
+                explored,
+                max_nodes,
+            );
+            chosen.pop();
+            for &e in &candidates[i] {
+                residual[e] += 1;
+            }
+        }
+        // branch 2: skip candidate i
+        dfs(
+            i + 1,
+            candidates,
+            residual,
+            chosen,
+            best,
+            explored,
+            max_nodes,
+        );
+    }
+
+    dfs(
+        0,
+        candidates,
+        &mut residual,
+        &mut chosen,
+        &mut best,
+        &mut explored,
+        max_nodes,
+    );
+    best
+}
+
+/// The original [`crate::minimize::minimize_trees`]: allocates candidate
+/// vectors, dedup maps and branch-and-bound state per call.
+pub fn minimize_trees_naive(
+    graph: &DiGraph,
+    packing: &TreePacking,
+    opts: &MinimizeOptions,
+) -> TreePacking {
+    let Some(root_idx) = graph.node(packing.root) else {
+        return packing.clone();
+    };
+    if graph.num_nodes() <= 1 || packing.trees.is_empty() {
+        return packing.clone();
+    }
+    let optimum = optimal_broadcast_rate_naive(graph, root_idx);
+    if optimum <= 0.0 {
+        return packing.clone();
+    }
+    let unit = opts
+        .unit_gbps
+        .or_else(|| graph.min_capacity())
+        .unwrap_or(1.0)
+        .max(1e-9);
+    let unit_caps: Vec<u32> = graph
+        .edges()
+        .iter()
+        .map(|e| (e.capacity / unit + 1e-6).floor() as u32)
+        .collect();
+
+    // Candidate set: distinct MWU trees (heaviest first) plus greedily peeled
+    // unit trees.
+    let mut seen: BTreeMap<Vec<(GpuId, GpuId)>, ()> = BTreeMap::new();
+    let mut candidates: Vec<Arborescence> = Vec::new();
+    let mut sorted: Vec<&WeightedTree> = packing.trees.iter().collect();
+    sorted.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
+    for wt in sorted {
+        if seen.insert(wt.tree.edges.clone(), ()).is_none() {
+            candidates.push(wt.tree.clone());
+        }
+    }
+    for t in greedy_unit_trees_naive(graph, root_idx, &unit_caps) {
+        if seen.insert(t.edges.clone(), ()).is_none() {
+            candidates.push(t);
+        }
+    }
+    candidates.sort_by_key(|t| (t.depth(), t.edges.clone()));
+    let candidate_edges: Vec<Vec<usize>> = candidates
+        .iter()
+        .filter_map(|t| tree_edge_indices_naive(graph, t))
+        .collect();
+    if candidate_edges.len() != candidates.len() {
+        return packing.clone();
+    }
+
+    let selected = branch_and_bound_naive(&candidate_edges, &unit_caps, opts.max_bb_nodes);
+    let mut trees: Vec<WeightedTree> = selected
+        .iter()
+        .map(|&i| WeightedTree {
+            tree: candidates[i].clone(),
+            weight: unit,
+        })
+        .collect();
+    let mut rate: f64 = trees.iter().map(|t| t.weight).sum();
+
+    if rate < (1.0 - opts.threshold) * optimum {
+        let mut residual: Vec<f64> = graph.edges().iter().map(|e| e.capacity).collect();
+        for (i, edges) in candidate_edges.iter().enumerate() {
+            if selected.contains(&i) {
+                for &e in edges {
+                    residual[e] -= unit;
+                }
+            }
+        }
+        let mut progress = true;
+        while rate < (1.0 - opts.threshold) * optimum && progress {
+            progress = false;
+            for (i, edges) in candidate_edges.iter().enumerate() {
+                let headroom = edges
+                    .iter()
+                    .map(|&e| residual[e])
+                    .fold(f64::INFINITY, f64::min);
+                if headroom > 1e-6 {
+                    let need = (1.0 - opts.threshold) * optimum - rate;
+                    let w = headroom.min(need.max(0.0));
+                    if w <= 1e-9 {
+                        continue;
+                    }
+                    for &e in edges {
+                        residual[e] -= w;
+                    }
+                    trees.push(WeightedTree {
+                        tree: candidates[i].clone(),
+                        weight: w,
+                    });
+                    rate += w;
+                    progress = true;
+                    if rate >= (1.0 - opts.threshold) * optimum {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let minimized = TreePacking::new(packing.root, trees).scaled_to_feasible(graph);
+    if minimized.rate() + 1e-9 < packing.rate().min((1.0 - opts.threshold) * optimum) {
+        packing.clone()
+    } else {
+        minimized
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,13 @@
 //! lanes on a DGX-1V) are merged into one edge whose capacity is the sum of
 //! the individual link capacities — exactly the "directed edge with a
 //! bandwidth-proportional capacity" model of Section 3.1 of the paper.
+//!
+//! [`DiGraph::add_edge`] nevertheless permits parallel edges for hand-built
+//! graphs, and every capacity query agrees on their meaning: a node pair's
+//! capacity is the **sum** of its parallel edges ([`DiGraph::capacity_between`],
+//! [`crate::max_flow`], [`crate::packing::TreePacking::max_overuse`] all
+//! aggregate the pair). Only [`DiGraph::edge_between`] is first-edge-specific,
+//! and says so.
 
 use blink_topology::{GpuId, Link, Topology};
 use serde::{Deserialize, Serialize};
@@ -143,7 +150,10 @@ impl DiGraph {
         &self.in_adj[i]
     }
 
-    /// The (first) edge from `src` to `dst`, if any.
+    /// The **first** edge from `src` to `dst` (in insertion order), if any.
+    ///
+    /// With parallel edges this is the pair's canonical representative, *not*
+    /// the pair's capacity — use [`DiGraph::capacity_between`] for that.
     pub fn edge_between(&self, src: NodeIdx, dst: NodeIdx) -> Option<EdgeIdx> {
         self.out_adj[src]
             .iter()
@@ -151,11 +161,16 @@ impl DiGraph {
             .find(|&e| self.edges[e].dst == dst)
     }
 
-    /// Capacity from `src` to `dst` (0.0 when there is no edge).
+    /// Total capacity from `src` to `dst`: the sum over all parallel edges
+    /// (0.0 when there is no edge). Agrees with what [`crate::max_flow`] can
+    /// route across the pair and with how
+    /// [`crate::packing::TreePacking::max_overuse`] judges feasibility.
     pub fn capacity_between(&self, src: NodeIdx, dst: NodeIdx) -> f64 {
-        self.edge_between(src, dst)
-            .map(|e| self.edges[e].capacity)
-            .unwrap_or(0.0)
+        self.out_adj[src]
+            .iter()
+            .filter(|&&e| self.edges[e].dst == dst)
+            .map(|&e| self.edges[e].capacity)
+            .sum()
     }
 
     /// The set of node indices reachable from `root` following edge directions.
@@ -240,6 +255,20 @@ mod tests {
         assert!(g.spans_from(a));
         assert!(!g.spans_from(c));
         assert_eq!(g.reachable_from(b), vec![b, c]);
+    }
+
+    #[test]
+    fn parallel_edges_sum_in_capacity_between() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(GpuId(0));
+        let b = g.add_node(GpuId(1));
+        let e0 = g.add_edge(a, b, 10.0);
+        let e1 = g.add_edge(a, b, 7.0);
+        assert!((g.capacity_between(a, b) - 17.0).abs() < 1e-9);
+        assert_eq!(g.capacity_between(b, a), 0.0);
+        // edge_between stays first-edge: the pair's canonical representative
+        assert_eq!(g.edge_between(a, b), Some(e0));
+        assert_ne!(e0, e1);
     }
 
     #[test]

@@ -10,22 +10,47 @@
 //!   arborescence algorithm.
 //! * [`maxflow`] — Dinic max-flow and the Edmonds/Lovász optimal broadcast
 //!   rate certificate (`min_v maxflow(root → v)`), the value a correct packing
-//!   must approach.
+//!   must approach, over reusable [`MaxFlowScratch`] buffers.
 //! * [`packing`] — the multiplicative-weight-update (MWU) approximate
 //!   fractional packing of spanning arborescences (Section 3.2), engineered as
 //!   a zero-allocation hot loop over reusable [`PackingScratch`] buffers with
 //!   a min-cut-certificate early exit.
-//! * [`baseline`] — the pre-optimisation recursive solver and packing loop,
-//!   kept as the reference the perf harness measures against.
+//! * [`baseline`] — the pre-optimisation recursive solvers, packing loop,
+//!   per-sink-rebuild certificate and allocating minimisation, kept as the
+//!   references the perf harness measures against.
 //! * [`minimize`] — the tree-count minimisation step (Section 3.2.1): a 0/1
-//!   integer program solved by branch-and-bound over the MWU candidates, with
-//!   the paper's iterative relaxation back to fractional weights.
+//!   integer program solved by an iterative branch-and-bound over the MWU
+//!   candidates (reusable [`MinimizeScratch`] buffers), with the paper's
+//!   iterative relaxation back to fractional weights.
 //! * [`rings`] — lane-disjoint NVLink ring discovery, modelling NCCL's ring
 //!   construction, plus PCIe fallback detection.
 //! * [`dbtree`] — double binary trees as used by NCCL 2.4 for small messages
 //!   on the DGX-2.
 //!
 //! Everything in this crate is pure combinatorics: no simulator, no timing.
+//!
+//! ## The scratch-reuse contract
+//!
+//! Every hot-path algorithm comes in two flavours: a convenience wrapper
+//! (`min_arborescence`, `pack_spanning_trees`, `minimize_trees`, `max_flow`,
+//! `optimal_broadcast_rate`) that allocates its working state per call, and a
+//! `*_in` variant taking a caller-owned scratch ([`ArborescenceScratch`],
+//! [`PackingScratch`], [`MinimizeScratch`], [`MaxFlowScratch`]). Scratches
+//! obey three rules:
+//!
+//! 1. **Buffers, not state.** Scratch contents never influence results: any
+//!    call through a reused (arbitrarily dirty) scratch returns output
+//!    bit-identical to the same call through a fresh scratch. Regression
+//!    tests in `tests/properties.rs` and the per-module test suites pin this.
+//! 2. **High-water-mark allocation.** Buffers grow to the largest problem
+//!    seen and are cleared, never shrunk, so the steady state of a planning
+//!    loop performs no heap allocation inside the algorithms (only returned
+//!    results and first-seen dedup keys allocate).
+//! 3. **One scratch, any graphs.** A single scratch may be threaded through
+//!    solves over different graphs, roots and options in any order; it is
+//!    `Default`-constructible and `Clone` (cloning copies buffers, which is
+//!    only useful to seed another thread's scratch — the structs are not
+//!    `Sync` and planning is single-threaded by design).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -41,8 +66,10 @@ pub mod rings;
 
 pub use arborescence::{min_arborescence, min_arborescence_in, Arborescence, ArborescenceScratch};
 pub use digraph::{DiGraph, Edge, EdgeIdx, NodeIdx};
-pub use maxflow::{max_flow, optimal_broadcast_rate};
-pub use minimize::{minimize_trees, MinimizeOptions};
+pub use maxflow::{
+    max_flow, max_flow_in, optimal_broadcast_rate, optimal_broadcast_rate_in, MaxFlowScratch,
+};
+pub use minimize::{minimize_trees, minimize_trees_in, MinimizeOptions, MinimizeScratch};
 pub use packing::{
     pack_spanning_trees, pack_spanning_trees_in, pack_with_certificate, PackingError,
     PackingOptions, PackingScratch, PackingStats, PackingTermination, TreePacking, WeightedTree,

@@ -6,56 +6,141 @@
 //! vertices `v`, of the max-flow value from `r` to `v`. Blink uses this as the
 //! target rate that the MWU packing must reach; we use it both as a test
 //! oracle and to drive the tree-minimisation threshold.
+//!
+//! The certificate sits on every plan build and every plan-cache miss, so the
+//! solver here is engineered like the packing loop: a [`MaxFlowScratch`] holds
+//! a flat CSR residual graph that is built **once** per input graph and reused
+//! for all `n − 1` flows of [`optimal_broadcast_rate_in`] by resetting the
+//! residual capacities between sinks, instead of reconstructing a
+//! `Vec<Vec<FlowEdge>>` per (source, sink) pair. On the tiny graphs TreeGen
+//! actually plans over (≤ [`CUT_ENUMERATION_MAX_NODES`] vertices) the
+//! certificate skips flows entirely: by max-flow/min-cut it equals the
+//! minimum rooted cut, which a Gray-code subset walk enumerates exactly in
+//! `O(2^(n−1) · n)` straight-line updates. The pre-optimisation
+//! per-sink-rebuild path survives in [`crate::baseline`] for the perf harness.
 
 use crate::digraph::{DiGraph, NodeIdx};
 
-#[derive(Clone, Copy, Debug)]
-struct FlowEdge {
-    to: usize,
-    cap: f64,
-    rev: usize,
-}
-
-struct Dinic {
-    graph: Vec<Vec<FlowEdge>>,
+/// Reusable buffers for [`max_flow_in`] and [`optimal_broadcast_rate_in`]: a
+/// flat CSR residual graph (forward + reverse arcs), the pristine capacity
+/// snapshot used to reset it between flows, and the Dinic level/iterator
+/// queues.
+///
+/// One scratch serves any number of flows over graphs of any size — buffers
+/// grow to the high-water mark and stay allocated, so repeated certificate
+/// computations (TreeGen plans, packing early-exit targets, minimisation
+/// thresholds) share a single set of allocations. Scratch contents never
+/// affect results: a reused scratch produces flows bit-identical to a fresh
+/// one (see the regression tests in `tests/properties.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct MaxFlowScratch {
+    /// CSR offsets: arcs of node `v` live in `start[v]..start[v + 1]`.
+    start: Vec<u32>,
+    /// Next free slot per node while filling the CSR (build-time only).
+    fill: Vec<u32>,
+    /// Head of each arc.
+    to: Vec<u32>,
+    /// Absolute index of the paired reverse arc.
+    rev: Vec<u32>,
+    /// Residual capacity of each arc (mutated by the flow).
+    cap: Vec<f64>,
+    /// Pristine capacities; `reset()` copies them back over `cap`.
+    init_cap: Vec<f64>,
     level: Vec<i32>,
-    iter: Vec<usize>,
+    iter: Vec<u32>,
+    queue: Vec<u32>,
+    n: usize,
+    /// Pair-pooled capacity matrix (`n × n`, row-major) for the subset-cut
+    /// certificate on small graphs.
+    cut_cap: Vec<f64>,
+    /// Total out-capacity per vertex (row sums of `cut_cap`).
+    cut_row: Vec<f64>,
+    /// Symmetrised matrix `cap(u → w) + cap(w → u)`: flipping `u` in or out
+    /// of `S` changes the cut by `±(row[u] − Σ_{x ∈ S} sym[u][x])`, so one
+    /// array — not separate in/out sums — carries the whole walk.
+    cut_sym: Vec<f64>,
+    /// `Σ_{x ∈ S} sym[w][x]` per vertex `w`, maintained incrementally.
+    cut_symsum: Vec<f64>,
+    in_set: Vec<bool>,
 }
 
-impl Dinic {
-    fn new(n: usize) -> Self {
-        Dinic {
-            graph: vec![Vec::new(); n],
-            level: vec![0; n],
-            iter: vec![0; n],
-        }
+impl MaxFlowScratch {
+    /// Creates an empty scratch. Buffers are sized lazily on first flow.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    fn add_edge(&mut self, from: usize, to: usize, cap: f64) {
-        let from_len = self.graph[from].len();
-        let to_len = self.graph[to].len();
-        self.graph[from].push(FlowEdge {
-            to,
-            cap,
-            rev: to_len,
-        });
-        self.graph[to].push(FlowEdge {
-            to: from,
-            cap: 0.0,
-            rev: from_len,
-        });
+    /// (Re)builds the CSR residual graph for `graph`, preserving the arc order
+    /// the push-based reference construction produces: arcs of a node appear
+    /// in graph-edge iteration order, forward and reverse interleaved.
+    fn build(&mut self, graph: &DiGraph) {
+        let n = graph.num_nodes();
+        let m = graph.num_edges();
+        self.n = n;
+        self.start.clear();
+        self.start.resize(n + 1, 0);
+        for e in graph.edges() {
+            self.start[e.src + 1] += 1;
+            self.start[e.dst + 1] += 1;
+        }
+        for v in 0..n {
+            self.start[v + 1] += self.start[v];
+        }
+        self.fill.clear();
+        self.fill.extend_from_slice(&self.start[..n]);
+        let arcs = 2 * m;
+        self.to.clear();
+        self.to.resize(arcs, 0);
+        self.rev.clear();
+        self.rev.resize(arcs, 0);
+        self.init_cap.clear();
+        self.init_cap.resize(arcs, 0.0);
+        for e in graph.edges() {
+            let fwd = self.fill[e.src] as usize;
+            self.fill[e.src] += 1;
+            let bwd = self.fill[e.dst] as usize;
+            self.fill[e.dst] += 1;
+            self.to[fwd] = e.dst as u32;
+            self.rev[fwd] = bwd as u32;
+            self.init_cap[fwd] = e.capacity;
+            self.to[bwd] = e.src as u32;
+            self.rev[bwd] = fwd as u32;
+            self.init_cap[bwd] = 0.0;
+        }
+        self.cap.clear();
+        self.cap.extend_from_slice(&self.init_cap);
+        self.level.clear();
+        self.level.resize(n, 0);
+        self.iter.clear();
+        self.iter.resize(n, 0);
+    }
+
+    /// Restores the pristine capacities, readying the residual graph for the
+    /// next (source, sink) pair without rebuilding the adjacency structure.
+    fn reset(&mut self) {
+        self.cap.copy_from_slice(&self.init_cap);
     }
 
     fn bfs(&mut self, s: usize, t: usize) -> bool {
         self.level.iter_mut().for_each(|l| *l = -1);
-        let mut queue = std::collections::VecDeque::new();
+        self.queue.clear();
         self.level[s] = 0;
-        queue.push_back(s);
-        while let Some(v) = queue.pop_front() {
-            for e in &self.graph[v] {
-                if e.cap > 1e-12 && self.level[e.to] < 0 {
-                    self.level[e.to] = self.level[v] + 1;
-                    queue.push_back(e.to);
+        self.queue.push(s as u32);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head] as usize;
+            head += 1;
+            for a in self.start[v] as usize..self.start[v + 1] as usize {
+                let w = self.to[a] as usize;
+                if self.cap[a] > 1e-12 && self.level[w] < 0 {
+                    self.level[w] = self.level[v] + 1;
+                    if w == t {
+                        // BFS levels are non-decreasing, so every vertex that
+                        // can sit on a level-increasing path to `t` is already
+                        // labelled; later vertices would be dead ends.
+                        return true;
+                    }
+                    self.queue.push(w as u32);
                 }
             }
         }
@@ -66,15 +151,15 @@ impl Dinic {
         if v == t {
             return f;
         }
-        while self.iter[v] < self.graph[v].len() {
-            let i = self.iter[v];
-            let e = self.graph[v][i];
-            if e.cap > 1e-12 && self.level[v] < self.level[e.to] {
-                let d = self.dfs(e.to, t, f.min(e.cap));
+        while self.iter[v] < self.start[v + 1] {
+            let a = self.iter[v] as usize;
+            let w = self.to[a] as usize;
+            if self.cap[a] > 1e-12 && self.level[v] < self.level[w] {
+                let d = self.dfs(w, t, f.min(self.cap[a]));
                 if d > 1e-12 {
-                    self.graph[v][i].cap -= d;
-                    let rev = e.rev;
-                    self.graph[e.to][rev].cap += d;
+                    self.cap[a] -= d;
+                    let r = self.rev[a] as usize;
+                    self.cap[r] += d;
                     return d;
                 }
             }
@@ -83,34 +168,140 @@ impl Dinic {
         0.0
     }
 
-    fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+    fn run(&mut self, s: usize, t: usize) -> f64 {
+        self.run_bounded(s, t, f64::INFINITY)
+    }
+
+    /// Max-flow that may stop early once `target` is reached. The returned
+    /// value is either the exact max flow (the search exhausted all
+    /// augmenting paths) or some value `>= target` — callers taking a minimum
+    /// over sinks can pass their running minimum, since a sink whose flow
+    /// reaches it cannot lower it and needs no exact answer.
+    fn run_bounded(&mut self, s: usize, t: usize, target: f64) -> f64 {
         let mut flow = 0.0;
-        while self.bfs(s, t) {
-            self.iter.iter_mut().for_each(|i| *i = 0);
+        while flow < target && self.bfs(s, t) {
+            for v in 0..self.n {
+                self.iter[v] = self.start[v];
+            }
             loop {
                 let f = self.dfs(s, t, f64::INFINITY);
                 if f <= 1e-12 {
                     break;
                 }
                 flow += f;
+                if flow >= target {
+                    break;
+                }
             }
         }
         flow
     }
+
+    /// The minimum rooted cut `min over S ∋ root, S ≠ V of cap(S → V ∖ S)` by
+    /// Gray-code subset enumeration — by max-flow/min-cut this *is*
+    /// `min_v maxflow(root → v)`, computed without running a single flow.
+    ///
+    /// `O(2^(n−1) · n)` straight-line array updates: each Gray step flips one
+    /// vertex in or out of `S` and adjusts the running cut value plus the
+    /// per-vertex in-from-`S` / out-to-`S` sums. For the ≤ 10-vertex graphs
+    /// TreeGen plans over this beats `n − 1` Dinic runs by a wide margin;
+    /// [`optimal_broadcast_rate_in`] falls back to Dinic above
+    /// [`CUT_ENUMERATION_MAX_NODES`] vertices.
+    fn min_rooted_cut(&mut self, graph: &DiGraph, root: usize) -> f64 {
+        let n = graph.num_nodes();
+        self.cut_cap.clear();
+        self.cut_cap.resize(n * n, 0.0);
+        for e in graph.edges() {
+            if e.src != e.dst {
+                self.cut_cap[e.src * n + e.dst] += e.capacity;
+            }
+        }
+        self.cut_row.clear();
+        self.cut_row.extend(
+            self.cut_cap
+                .chunks_exact(n)
+                .map(|row| row.iter().sum::<f64>()),
+        );
+        self.cut_sym.clear();
+        self.cut_sym.resize(n * n, 0.0);
+        for u in 0..n {
+            for w in 0..n {
+                self.cut_sym[u * n + w] = self.cut_cap[u * n + w] + self.cut_cap[w * n + u];
+            }
+        }
+        self.in_set.clear();
+        self.in_set.resize(n, false);
+        self.in_set[root] = true;
+        // S = {root}: cut value is the root's row sum.
+        self.cut_symsum.clear();
+        self.cut_symsum
+            .extend_from_slice(&self.cut_sym[root * n..root * n + n]);
+        let mut cur = self.cut_row[root];
+        let mut best = cur;
+        let mut in_count = 1usize;
+        let full = 1u32 << (n - 1);
+        for g in 1..full {
+            // Gray-code walk: step g flips the j-th non-root vertex, where j
+            // is the number of trailing zeros of g.
+            let j = g.trailing_zeros() as usize;
+            let u = if j < root { j } else { j + 1 };
+            let sym_row = &self.cut_sym[u * n..u * n + n];
+            if !self.in_set[u] {
+                // add u to S
+                cur += self.cut_row[u] - self.cut_symsum[u];
+                self.in_set[u] = true;
+                in_count += 1;
+                for (s, &x) in self.cut_symsum.iter_mut().zip(sym_row) {
+                    *s += x;
+                }
+            } else {
+                // remove u from S
+                self.in_set[u] = false;
+                in_count -= 1;
+                for (s, &x) in self.cut_symsum.iter_mut().zip(sym_row) {
+                    *s -= x;
+                }
+                cur -= self.cut_row[u] - self.cut_symsum[u];
+            }
+            // S = V is not a cut (empty complement); every other S is.
+            if in_count < n && cur < best {
+                best = cur;
+            }
+        }
+        best
+    }
 }
 
-/// Maximum flow from `source` to `sink` respecting edge capacities.
+/// [`optimal_broadcast_rate_in`] switches from per-sink Dinic to the
+/// Gray-code minimum-rooted-cut enumeration at or below this vertex count
+/// (`2^(n−1) · n` update steps stay under ~5k there).
+const CUT_ENUMERATION_MAX_NODES: usize = 10;
+
+/// Maximum flow from `source` to `sink` respecting edge capacities. Parallel
+/// edges between the same node pair contribute the sum of their capacities,
+/// matching [`DiGraph::capacity_between`].
 ///
 /// Returns 0.0 when `source == sink`.
+///
+/// This wrapper allocates a fresh [`MaxFlowScratch`] per call; hot callers
+/// should hold a scratch and use [`max_flow_in`].
 pub fn max_flow(graph: &DiGraph, source: NodeIdx, sink: NodeIdx) -> f64 {
+    max_flow_in(graph, source, sink, &mut MaxFlowScratch::new())
+}
+
+/// [`max_flow`] over caller-owned scratch buffers: the residual graph is built
+/// into (reused) flat arrays and no per-call `Vec<Vec<_>>` is constructed.
+pub fn max_flow_in(
+    graph: &DiGraph,
+    source: NodeIdx,
+    sink: NodeIdx,
+    scratch: &mut MaxFlowScratch,
+) -> f64 {
     if source == sink {
         return 0.0;
     }
-    let mut dinic = Dinic::new(graph.num_nodes());
-    for e in graph.edges() {
-        dinic.add_edge(e.src, e.dst, e.capacity);
-    }
-    dinic.max_flow(source, sink)
+    scratch.build(graph);
+    scratch.run(source, sink)
 }
 
 /// The optimal one-to-all broadcast rate from `root`:
@@ -118,13 +309,52 @@ pub fn max_flow(graph: &DiGraph, source: NodeIdx, sink: NodeIdx) -> f64 {
 ///
 /// Returns `f64::INFINITY` for a single-vertex graph (nothing to send) and
 /// `0.0` when some vertex is unreachable.
+///
+/// This wrapper allocates a fresh [`MaxFlowScratch`] per call; hot callers
+/// should hold a scratch and use [`optimal_broadcast_rate_in`].
 pub fn optimal_broadcast_rate(graph: &DiGraph, root: NodeIdx) -> f64 {
+    optimal_broadcast_rate_in(graph, root, &mut MaxFlowScratch::new())
+}
+
+/// [`optimal_broadcast_rate`] over caller-owned scratch buffers.
+///
+/// Graphs of at most [`CUT_ENUMERATION_MAX_NODES`] vertices (every
+/// single-server allocation Blink plans over) use the Gray-code
+/// minimum-rooted-cut enumeration and never run a flow; larger graphs build
+/// the Dinic residual graph **once** and run all `n − 1` flows over it,
+/// resetting only the residual capacities between sinks.
+pub fn optimal_broadcast_rate_in(
+    graph: &DiGraph,
+    root: NodeIdx,
+    scratch: &mut MaxFlowScratch,
+) -> f64 {
+    let n = graph.num_nodes();
+    if n <= 1 {
+        return f64::INFINITY;
+    }
+    if n <= CUT_ENUMERATION_MAX_NODES {
+        return scratch.min_rooted_cut(graph, root);
+    }
     let mut rate = f64::INFINITY;
-    for v in 0..graph.num_nodes() {
+    let mut built = false;
+    for v in 0..n {
         if v == root {
             continue;
         }
-        rate = rate.min(max_flow(graph, root, v));
+        if built {
+            scratch.reset();
+        } else {
+            scratch.build(graph);
+            built = true;
+        }
+        // A sink whose flow reaches the running minimum cannot lower it, so
+        // its final no-augmenting-path BFS round is skipped; the sink that
+        // *attains* the minimum always runs to exhaustion, keeping the result
+        // exact.
+        rate = rate.min(scratch.run_bounded(root, v, rate));
+        if rate <= 0.0 {
+            break; // an unreachable vertex pins the certificate at zero
+        }
     }
     rate
 }
@@ -149,6 +379,18 @@ mod tests {
         g.add_edge(a, b, 1.0);
         assert!((max_flow(&g, s, t) - 5.0).abs() < 1e-9);
         assert!((max_flow(&g, s, s) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_edges_sum_like_capacity_between() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(GpuId(0));
+        let b = g.add_node(GpuId(1));
+        g.add_edge(a, b, 10.0);
+        g.add_edge(a, b, 7.0);
+        assert!((max_flow(&g, a, b) - 17.0).abs() < 1e-9);
+        assert!((g.capacity_between(a, b) - 17.0).abs() < 1e-9);
+        assert!((optimal_broadcast_rate(&g, a) - 17.0).abs() < 1e-9);
     }
 
     #[test]
@@ -196,5 +438,53 @@ mod tests {
         let root = g.node(GpuId(0)).unwrap();
         let rate = optimal_broadcast_rate(&g, root);
         assert!((rate - 19.0).abs() < 1e-6, "rate = {rate}");
+    }
+
+    #[test]
+    fn cut_enumeration_matches_dinic_per_sink_flows() {
+        // The small-graph certificate never runs a flow; pin it against the
+        // min-over-sinks of the Dinic path on DGX subsets and roots.
+        for topo in [dgx1v(), dgx1p()] {
+            for mask in [0xffu32, 0xb3, 0x5a, 0x2f, 0x07] {
+                let alloc: Vec<GpuId> = (0..8).filter(|i| mask >> i & 1 == 1).map(GpuId).collect();
+                let sub = topo.induced(&alloc).unwrap();
+                let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+                let mut scratch = MaxFlowScratch::new();
+                for root in 0..g.num_nodes() {
+                    let enumerated = optimal_broadcast_rate_in(&g, root, &mut scratch);
+                    let mut per_sink = f64::INFINITY;
+                    for v in 0..g.num_nodes() {
+                        if v != root {
+                            per_sink = per_sink.min(max_flow(&g, root, v));
+                        }
+                    }
+                    assert_eq!(
+                        enumerated.to_bits(),
+                        per_sink.to_bits(),
+                        "mask {mask:x} root {root}: cut {enumerated} vs flows {per_sink}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch_bitwise() {
+        let topo = dgx1v();
+        let g = DiGraph::from_topology_filtered(&topo, |l| l.kind.is_nvlink());
+        let gp = DiGraph::from_topology_filtered(&dgx1p(), |l| l.kind.is_nvlink());
+        let mut scratch = MaxFlowScratch::new();
+        // dirty the scratch on a different graph first
+        optimal_broadcast_rate_in(&gp, 0, &mut scratch);
+        for root in 0..g.num_nodes() {
+            let reused = optimal_broadcast_rate_in(&g, root, &mut scratch);
+            let fresh = optimal_broadcast_rate(&g, root);
+            assert_eq!(reused.to_bits(), fresh.to_bits(), "root {root}");
+            for v in 0..g.num_nodes() {
+                let a = max_flow_in(&g, root, v, &mut scratch);
+                let b = max_flow(&g, root, v);
+                assert_eq!(a.to_bits(), b.to_bits(), "{root} -> {v}");
+            }
+        }
     }
 }

@@ -33,7 +33,7 @@
 
 use crate::arborescence::{min_arborescence_in, Arborescence, ArborescenceScratch};
 use crate::digraph::DiGraph;
-use crate::maxflow::optimal_broadcast_rate;
+use crate::maxflow::{optimal_broadcast_rate_in, MaxFlowScratch};
 use blink_topology::GpuId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -135,8 +135,11 @@ impl TreePacking {
         usage
     }
 
-    /// Maximum over-subscription factor of any edge: `max_e usage_e / c_e`.
-    /// A feasible packing has a factor ≤ 1 (+ numerical slack).
+    /// Maximum over-subscription factor of any node pair:
+    /// `max_(p, c) usage_(p, c) / capacity_between(p, c)`. A feasible packing
+    /// has a factor ≤ 1 (+ numerical slack). Parallel edges between the same
+    /// pair pool their capacity, matching [`DiGraph::capacity_between`] and
+    /// [`crate::max_flow`].
     pub fn max_overuse(&self, graph: &DiGraph) -> f64 {
         let mut worst = 0.0f64;
         for ((p, c), usage) in self.edge_usage() {
@@ -254,9 +257,9 @@ pub struct PackingStats {
     /// How the run terminated.
     pub termination: PackingTermination,
     /// The Edmonds/Lovász min-cut certificate (GB/s) the run converged
-    /// against, computed on the pair-merged capacity view when the graph has
-    /// parallel edges (matching [`TreePacking::max_overuse`]'s accounting);
-    /// `0.0` for the trivial single-vertex case.
+    /// against; `0.0` for the trivial single-vertex case. Parallel edges pool
+    /// their capacity in the certificate exactly as they do in
+    /// [`TreePacking::max_overuse`], so no special-casing is needed.
     pub certificate_gbps: f64,
 }
 
@@ -285,14 +288,14 @@ impl PackingStats {
 #[derive(Debug, Clone, Default)]
 pub struct PackingScratch {
     arb: ArborescenceScratch,
+    maxflow: MaxFlowScratch,
     lengths: Vec<f64>,
     caps: Vec<f64>,
     /// Edge id → capacity-group index. [`TreePacking::max_overuse`] judges
-    /// feasibility per `(src, dst)` GPU pair (against the *first* edge's
-    /// capacity), so the in-loop feasibility estimate must aggregate the same
-    /// way or the certificate early exit could overstate the scaled rate on
-    /// graphs with parallel edges. Groups collapse to one-per-edge on the
-    /// merged graphs `DiGraph::from_topology*` builds.
+    /// feasibility per `(src, dst)` GPU pair against the pair's **summed**
+    /// capacity, so the in-loop feasibility estimate aggregates usage the same
+    /// way. Groups collapse to one-per-edge on the merged graphs
+    /// `DiGraph::from_topology*` builds.
     edge_group: Vec<u32>,
     group_cap: Vec<f64>,
     group_usage: Vec<f64>,
@@ -389,35 +392,20 @@ pub fn pack_spanning_trees_in(
         let next = scratch.group_cap.len() as u32;
         let g = *scratch.group_of_pair.entry(pair).or_insert(next);
         if g == next {
-            // first edge of the pair defines the group capacity, mirroring
-            // TreePacking::max_overuse / DiGraph::capacity_between
             scratch.group_cap.push(e.capacity);
+        } else {
+            // parallel edges pool their capacity, mirroring
+            // TreePacking::max_overuse / DiGraph::capacity_between / max_flow
+            scratch.group_cap[g as usize] += e.capacity;
         }
         scratch.edge_group.push(g);
     }
     scratch.group_usage.clear();
     scratch.group_usage.resize(scratch.group_cap.len(), 0.0);
     scratch.acc.clear();
-    // On a graph with parallel edges the certificate is computed on the
-    // pair-merged capacity view so it matches what `scaled_to_feasible` can
-    // actually certify; merged graphs (the normal case) use the graph as-is.
-    let certificate = if scratch.group_cap.len() == m {
-        optimal_broadcast_rate(graph, root_idx)
-    } else {
-        let mut merged = DiGraph::new();
-        for &gpu in graph.gpus() {
-            merged.add_node(gpu);
-        }
-        let mut group_seen = vec![false; scratch.group_cap.len()];
-        for (id, e) in graph.edges().iter().enumerate() {
-            let g = scratch.edge_group[id] as usize;
-            if !group_seen[g] {
-                group_seen[g] = true;
-                merged.add_edge(e.src, e.dst, scratch.group_cap[g]);
-            }
-        }
-        optimal_broadcast_rate(&merged, root_idx)
-    };
+    // Dinic sums parallel edges exactly like max_overuse does, so the
+    // certificate can be computed on the graph as-is — no pair-merged rebuild.
+    let certificate = optimal_broadcast_rate_in(graph, root_idx, &mut scratch.maxflow);
     let target = (1.0 - eps) * certificate;
 
     let mut total_raw = 0.0f64;
@@ -689,11 +677,11 @@ mod tests {
     }
 
     #[test]
-    fn parallel_edges_do_not_overstate_the_certificate_exit() {
+    fn parallel_edges_pool_capacity_in_the_certificate_exit() {
         // DiGraph::add_edge permits parallel edges (only from_topology* merges
-        // them); the in-loop feasibility estimate must aggregate them the way
-        // TreePacking::max_overuse does, or the Certificate termination would
-        // claim a bound the scaled packing misses.
+        // them); capacity_between, max_flow and max_overuse all treat a pair's
+        // parallel edges as pooled capacity, so the certificate must be their
+        // sum and the early exit must still honour its (1 − ε) bound.
         let mut g = DiGraph::new();
         let a = g.add_node(GpuId(0));
         let b = g.add_node(GpuId(1));
@@ -706,10 +694,9 @@ mod tests {
         let mut scratch = PackingScratch::new();
         let (packing, stats) = pack_spanning_trees_in(&g, GpuId(0), &opts, &mut scratch).unwrap();
         assert!(packing.is_feasible(&g));
-        // the certificate is judged on the pair-merged view (10, not 20), so
-        // the early exit fires and honours its bound
+        // both lanes count: the certificate is the pooled 20 GB/s
         assert_eq!(stats.termination, PackingTermination::Certificate);
-        assert!((stats.certificate_gbps - 10.0).abs() < 1e-9);
+        assert!((stats.certificate_gbps - 20.0).abs() < 1e-9);
         assert!(
             packing.rate() >= (1.0 - opts.epsilon) * stats.certificate_gbps - 1e-9,
             "Certificate termination must honour the bound: rate {} vs cert {}",
