@@ -14,6 +14,10 @@
 //! * **certificate** — the build-once/reset-per-sink Dinic
 //!   ([`blink_graph::optimal_broadcast_rate_in`]) vs the rebuild-per-sink
 //!   original.
+//! * **parallel_sweep** — the all-roots TreeGen sweep
+//!   ([`blink_core::TreeGen::plan_roots`], the multi-root planning loop of
+//!   the three-phase AllReduce) through a multi-worker
+//!   [`blink_core::ScratchPool`] vs the single-worker sequential path.
 //!
 //! Run with `cargo run --release -p blink-bench --bin bench_packing`.
 //!
@@ -23,9 +27,13 @@
 //! the hot paths). The comparison uses each stage's fast-over-naive
 //! **speedup ratio** — both sides measured in the same process on the same
 //! machine — so the gate tracks code regressions, not the hardware ratio
-//! between the recording machine and the CI runner. It does not rewrite the
-//! JSON.
+//! between the recording machine and the CI runner. On machines with more
+//! than one core, `--check` additionally fails outright if the parallel
+//! sweep is slower than the sequential sweep (on a single core the two paths
+//! are identical by construction, so the gate is vacuous there). It does not
+//! rewrite the JSON.
 
+use blink_core::{ScratchPool, TreeGen, TreeGenOptions};
 use blink_graph::baseline::{
     minimize_trees_naive, optimal_broadcast_rate_naive, pack_spanning_trees_naive,
 };
@@ -44,6 +52,12 @@ const ROOT: GpuId = GpuId(0);
 /// `--check` fails when a stage's fast-over-naive speedup ratio is more than
 /// this factor below the recorded trajectory.
 const CHECK_TOLERANCE: f64 = 5.0;
+/// `--check` fails when the multi-worker parallel sweep is slower than this
+/// fraction of the sequential sweep. Strictly "not slower" would be 1.0, but
+/// the quick-mode sweep window is tens of milliseconds — a shared CI runner
+/// needs a noise band so an unrelated PR is not failed by a background
+/// scheduler hiccup. A genuinely serialised pool shows up far below 0.9.
+const SWEEP_TOLERANCE: f64 = 0.9;
 
 /// Per-path measurements for the packing stage.
 #[derive(Debug, Serialize)]
@@ -99,6 +113,30 @@ struct Speedup {
     trees_per_sec: f64,
 }
 
+/// One path (sequential or parallel) of the multi-root sweep stage.
+#[derive(Debug, Serialize)]
+struct SweepPathReport {
+    /// Complete all-roots sweeps per second.
+    sweeps_per_sec: f64,
+    /// Mean wall-clock microseconds per sweep.
+    us_per_sweep: f64,
+}
+
+/// The multi-root planning sweep: all 8 DGX-1V roots planned through a
+/// single-worker pool (sequential) vs the machine-default multi-worker pool.
+#[derive(Debug, Serialize)]
+struct ParallelSweepReport {
+    /// Roots planned per sweep.
+    roots: usize,
+    /// Workers the parallel path used (1 on a single-core machine, in which
+    /// case both paths are the same code and the speedup is ≈ 1).
+    workers: usize,
+    sequential: SweepPathReport,
+    parallel: SweepPathReport,
+    /// `parallel.sweeps_per_sec / sequential.sweeps_per_sec`.
+    speedup: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     config: Config,
@@ -109,6 +147,8 @@ struct Report {
     minimize: StageReport,
     /// The Edmonds/Lovász broadcast-rate certificate (n − 1 max-flows).
     certificate: StageReport,
+    /// Multi-root sweep through the scratch pool: parallel vs sequential.
+    parallel_sweep: ParallelSweepReport,
 }
 
 fn report(
@@ -213,6 +253,39 @@ fn measure(quick: bool) -> Report {
         optimal_broadcast_rate_in(&g, root_idx, &mut mf_scratch);
     });
 
+    // ---- parallel_sweep: all 8 roots through the scratch pool ----
+    let sweep_runs = if quick { 10 } else { 50 };
+    let roots: Vec<GpuId> = (0..8).map(GpuId).collect();
+    let sequential_tg = TreeGen::with_scratch(
+        topo.clone(),
+        TreeGenOptions::default(),
+        ScratchPool::with_workers(1),
+    );
+    sequential_tg.plan_roots(&roots).expect("dgx1v spans"); // warm up
+    let sweep_sequential = time_stage(sweep_runs, || {
+        sequential_tg.plan_roots(&roots).expect("dgx1v spans");
+    });
+    let parallel_pool = ScratchPool::new();
+    let workers = parallel_pool.workers();
+    let parallel_tg = TreeGen::with_scratch(topo.clone(), TreeGenOptions::default(), parallel_pool);
+    parallel_tg.plan_roots(&roots).expect("dgx1v spans"); // warm up
+    let sweep_parallel = time_stage(sweep_runs, || {
+        parallel_tg.plan_roots(&roots).expect("dgx1v spans");
+    });
+    let parallel_sweep = ParallelSweepReport {
+        roots: roots.len(),
+        workers,
+        speedup: sweep_parallel.per_sec / sweep_sequential.per_sec,
+        sequential: SweepPathReport {
+            sweeps_per_sec: sweep_sequential.per_sec,
+            us_per_sweep: sweep_sequential.us_per_call,
+        },
+        parallel: SweepPathReport {
+            sweeps_per_sec: sweep_parallel.per_sec,
+            us_per_sweep: sweep_parallel.us_per_call,
+        },
+    };
+
     Report {
         config: Config {
             topology: "dgx1v".to_string(),
@@ -236,6 +309,7 @@ fn measure(quick: bool) -> Report {
             naive: certificate_naive,
             fast: certificate_fast,
         },
+        parallel_sweep,
         naive,
         fast,
     }
@@ -253,6 +327,11 @@ fn check_against_recorded(recorded: &serde::Value, report: &Report) -> Vec<(Stri
         }
         v.as_f64()
     };
+    // parallel_sweep is deliberately NOT in this list: its speedup scales
+    // with the runner's core count, which does not cancel out of a
+    // recorded-vs-measured ratio the way the fast-over-naive stages do (a
+    // 1-core runner would spuriously "regress" against a multi-core
+    // recording). The absolute workers>=2 gate in main() covers it instead.
     let stages: [(&str, &[&str], f64); 3] = [
         (
             "packing",
@@ -292,10 +371,29 @@ fn main() {
         let recorded = serde_json::parse(&recorded).expect("BENCH_packing.json parses");
         let failures = check_against_recorded(&recorded, &out);
         eprintln!(
-            "quick check: packing {:.1}x, minimize {:.1}x, certificate {:.1}x over naive",
-            out.speedup.packings_per_sec, out.minimize.speedup, out.certificate.speedup
+            "quick check: packing {:.1}x, minimize {:.1}x, certificate {:.1}x over naive; \
+             parallel sweep {:.2}x over sequential ({} workers)",
+            out.speedup.packings_per_sec,
+            out.minimize.speedup,
+            out.certificate.speedup,
+            out.parallel_sweep.speedup,
+            out.parallel_sweep.workers,
         );
-        if failures.is_empty() {
+        // Absolute gate: with real parallelism available, the parallel sweep
+        // must never lose to the sequential path (beyond measurement noise,
+        // see SWEEP_TOLERANCE). With one worker the two paths are the same
+        // code, so the comparison would only measure noise.
+        let sweep_regressed =
+            out.parallel_sweep.workers >= 2 && out.parallel_sweep.speedup < SWEEP_TOLERANCE;
+        if sweep_regressed {
+            eprintln!(
+                "REGRESSION: parallel sweep at {:.2}x over sequential with {} workers — \
+                 the parallel path must not be slower than sequential \
+                 (tolerance {SWEEP_TOLERANCE})",
+                out.parallel_sweep.speedup, out.parallel_sweep.workers
+            );
+        }
+        if failures.is_empty() && !sweep_regressed {
             eprintln!("all stage speedups within {CHECK_TOLERANCE}x of the recorded trajectory");
             return;
         }
@@ -312,11 +410,13 @@ fn main() {
     std::fs::write("BENCH_packing.json", &json).expect("write BENCH_packing.json");
     println!("{json}");
     eprintln!(
-        "speedup: {:.1}x packings/sec, {:.1}x minimize/sec, {:.1}x certificate/sec \
-         (fast rate/optimal {:.3})",
+        "speedup: {:.1}x packings/sec, {:.1}x minimize/sec, {:.1}x certificate/sec, \
+         {:.2}x parallel sweep @ {} workers (fast rate/optimal {:.3})",
         out.speedup.packings_per_sec,
         out.minimize.speedup,
         out.certificate.speedup,
+        out.parallel_sweep.speedup,
+        out.parallel_sweep.workers,
         out.fast.rate_over_optimal
     );
 }

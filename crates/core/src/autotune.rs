@@ -13,21 +13,40 @@
 //! chunk size changes — the tree set does not. [`PlanCache`] keeps the MWU
 //! packing out of that loop entirely: it memoises [`TreePlan`]s per
 //! `(root, link class)` and funnels every cache miss through one
-//! [`SharedPackingScratch`], so even misses reuse the packing buffers.
+//! [`SharedPackingScratch`] pool, so even misses reuse the packing buffers
+//! (and plan concurrently when several roots miss at once, see
+//! [`PlanCache::plan_many`]).
+//!
+//! [`SharedPlanCache`] extends the memoisation *across* communicators: the
+//! scheduler slices in `blink-sched` hand many jobs identical allocations,
+//! and every one of those communicators would otherwise re-pack the same
+//! trees. The shared cache keys whole plans under
+//! `(`[`plan_fingerprint`]`, root, link class)` — the fingerprint covers the
+//! induced topology and the link-class-normalised options, so equal job
+//! shapes hit and anything else misses.
 
-use crate::treegen::{LinkSelection, SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan};
+use crate::treegen::{
+    parallel_map, LinkSelection, SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan,
+};
 use crate::{new_shared_scratch, Result};
 use blink_topology::{GpuId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 /// A 64-bit fingerprint of everything (besides the root and link class) a
 /// cached [`TreePlan`] depends on: the induced topology's GPUs, links and
 /// per-GPU fabric caps, plus the [`TreeGenOptions`] with the link class
-/// normalised away (it is part of the cache key instead).
-fn plan_fingerprint(induced: &Topology, options: &TreeGenOptions) -> u64 {
+/// normalised away (it is part of the cache key instead, so option sets that
+/// differ only in link class — the hybrid planner's NVLink/PCIe pair — share
+/// one fingerprint).
+///
+/// Two communicators over topology-identical allocations with equivalent
+/// options therefore compute the same fingerprint, which is what lets
+/// [`SharedPlanCache`] hand one communicator's plans to the next.
+pub fn plan_fingerprint(induced: &Topology, options: &TreeGenOptions) -> u64 {
     let mut h = DefaultHasher::new();
     for g in induced.gpus() {
         g.id.0.hash(&mut h);
@@ -47,8 +66,109 @@ fn plan_fingerprint(induced: &Topology, options: &TreeGenOptions) -> u64 {
     options.minimize.threshold.to_bits().hash(&mut h);
     options.minimize.unit_gbps.map(f64::to_bits).hash(&mut h);
     options.minimize.max_bb_nodes.hash(&mut h);
+    options
+        .minimize
+        .known_optimum
+        .map(f64::to_bits)
+        .hash(&mut h);
     options.skip_minimize.hash(&mut h);
     h.finish()
+}
+
+/// A plan cache shared across communicators (and across the per-server
+/// TreeGens of the three-phase multi-server AllReduce): whole [`TreePlan`]s
+/// memoised under `(`[`plan_fingerprint`]`, root, link class)`.
+///
+/// Unlike [`PlanCache`], which keeps plans for exactly one fingerprint at a
+/// time (one communicator plans over one induced topology), the shared cache
+/// holds plans for any number of job shapes at once — that is what lets the
+/// many identical allocations a `blink-sched` workload produces reuse each
+/// other's packing work instead of re-running MWU per communicator.
+///
+/// Cloning the handle shares the cache. All methods are `&self` and
+/// thread-safe: concurrent workers of a parallel root sweep consult and fill
+/// the cache directly. Plans are stored behind [`Arc`], so a hit clones tree
+/// vectors only when the caller materialises the plan, never re-packs.
+#[derive(Debug, Clone, Default)]
+pub struct SharedPlanCache {
+    inner: Arc<Mutex<SharedPlanCacheInner>>,
+}
+
+#[derive(Debug, Default)]
+struct SharedPlanCacheInner {
+    plans: BTreeMap<(u64, GpuId, LinkSelection), Arc<TreePlan>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SharedPlanCache {
+    /// Creates an empty shared cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks a plan up, counting a hit or a miss.
+    pub fn get(
+        &self,
+        fingerprint: u64,
+        root: GpuId,
+        links: LinkSelection,
+    ) -> Option<Arc<TreePlan>> {
+        let mut inner = self.inner.lock().expect("shared plan cache poisoned");
+        match inner.plans.get(&(fingerprint, root, links)).cloned() {
+            Some(plan) => {
+                inner.hits += 1;
+                Some(plan)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly packed plan. Two workers racing to plan the same key
+    /// simply overwrite each other with bit-identical plans (planning is a
+    /// pure function of the fingerprinted inputs), so no coordination beyond
+    /// the lock is needed.
+    pub fn insert(&self, fingerprint: u64, root: GpuId, links: LinkSelection, plan: Arc<TreePlan>) {
+        self.inner
+            .lock()
+            .expect("shared plan cache poisoned")
+            .plans
+            .insert((fingerprint, root, links), plan);
+    }
+
+    /// Number of memoised plans (across all fingerprints).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("shared plan cache poisoned")
+            .plans
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters since creation (or the last
+    /// [`SharedPlanCache::invalidate`]).
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("shared plan cache poisoned");
+        (inner.hits, inner.misses)
+    }
+
+    /// Drops every memoised plan and resets the hit/miss counters. Bounded
+    /// memory is the caller's policy: a long-running scheduler should flush
+    /// when its workload mix turns over.
+    pub fn invalidate(&self) {
+        let mut inner = self.inner.lock().expect("shared plan cache poisoned");
+        inner.plans.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
 }
 
 /// Memoises [`TreePlan`]s per `(root, link class)`, sharing a single
@@ -68,6 +188,9 @@ pub struct PlanCache {
     /// Fingerprint of the (topology, normalised options) the memoised plans
     /// were built under; `None` while the cache is empty.
     built_under: Option<u64>,
+    /// Optional cross-communicator tier: local misses consult it before
+    /// packing and publish what they pack.
+    shared: Option<SharedPlanCache>,
 }
 
 impl PlanCache {
@@ -82,7 +205,21 @@ impl PlanCache {
             scratch,
             plans: BTreeMap::new(),
             built_under: None,
+            shared: None,
         }
+    }
+
+    /// Attaches a cross-communicator [`SharedPlanCache`]: local misses
+    /// consult it before packing, and freshly packed plans are published to
+    /// it. Returns `self` for builder-style chaining.
+    pub fn with_shared(mut self, shared: SharedPlanCache) -> Self {
+        self.shared = Some(shared);
+        self
+    }
+
+    /// The cross-communicator cache tier, if one is attached.
+    pub fn shared_cache(&self) -> Option<&SharedPlanCache> {
+        self.shared.as_ref()
     }
 
     /// The scratch handle cache misses pack with (clone it to share buffers
@@ -91,10 +228,22 @@ impl PlanCache {
         &self.scratch
     }
 
+    /// Rekeys the local tier to `fp`, dropping plans built under a different
+    /// fingerprint.
+    fn rekey(&mut self, fp: u64) {
+        if self.built_under != Some(fp) {
+            self.plans.clear();
+            self.built_under = Some(fp);
+        }
+    }
+
     /// Returns the cached plan for `(root, options.links)`, computing and
     /// memoising it on first request. A changed topology or option set (as
     /// judged by their fingerprint) invalidates all memoised plans first, so
-    /// the caller always receives a plan consistent with its inputs.
+    /// the caller always receives a plan consistent with its inputs. When a
+    /// [`SharedPlanCache`] is attached, local misses try it before packing —
+    /// a fingerprint hit from another communicator is cloned in instead of
+    /// re-packed — and local packs are published to it.
     ///
     /// # Errors
     /// Propagates planning failures (unknown root, unspannable link class);
@@ -106,17 +255,75 @@ impl PlanCache {
         root: GpuId,
     ) -> Result<&TreePlan> {
         let fp = plan_fingerprint(induced, options);
-        if self.built_under != Some(fp) {
-            self.plans.clear();
-            self.built_under = Some(fp);
-        }
+        self.rekey(fp);
         let key = (root, options.links);
         if !self.plans.contains_key(&key) {
-            let tg = TreeGen::with_scratch(induced.clone(), *options, self.scratch.clone());
-            let plan = tg.plan(root)?;
+            let shared_hit = self
+                .shared
+                .as_ref()
+                .and_then(|s| s.get(fp, root, options.links));
+            let plan = match shared_hit {
+                Some(plan) => (*plan).clone(),
+                None => {
+                    let tg = TreeGen::with_scratch(induced.clone(), *options, self.scratch.clone());
+                    let plan = tg.plan(root)?;
+                    if let Some(shared) = &self.shared {
+                        shared.insert(fp, root, options.links, Arc::new(plan.clone()));
+                    }
+                    plan
+                }
+            };
             self.plans.insert(key, plan);
         }
         Ok(&self.plans[&key])
+    }
+
+    /// Memoised plans for several roots at once: roots already cached (local
+    /// or shared tier) are served, and the remaining misses are packed
+    /// **concurrently** on the scratch pool's workers. Plans come back in
+    /// `roots` order, bit-identical to calling [`PlanCache::plan_for`] per
+    /// root sequentially.
+    ///
+    /// # Errors
+    /// The first failing root (in `roots` order) wins; nothing is cached for
+    /// failing roots.
+    pub fn plan_many(
+        &mut self,
+        induced: &Topology,
+        options: &TreeGenOptions,
+        roots: &[GpuId],
+    ) -> Result<Vec<&TreePlan>> {
+        let fp = plan_fingerprint(induced, options);
+        self.rekey(fp);
+        let links = options.links;
+        let mut missing: Vec<GpuId> = Vec::new();
+        for &root in roots {
+            if self.plans.contains_key(&(root, links)) || missing.contains(&root) {
+                continue;
+            }
+            if let Some(hit) = self.shared.as_ref().and_then(|s| s.get(fp, root, links)) {
+                self.plans.insert((root, links), (*hit).clone());
+            } else {
+                missing.push(root);
+            }
+        }
+        if !missing.is_empty() {
+            let tg = TreeGen::with_scratch(induced.clone(), *options, self.scratch.clone());
+            let planned = parallel_map(missing.clone(), self.scratch.workers(), |root| {
+                tg.plan(root)
+            });
+            for (root, plan) in missing.into_iter().zip(planned) {
+                let plan = plan?;
+                if let Some(shared) = &self.shared {
+                    shared.insert(fp, root, links, Arc::new(plan.clone()));
+                }
+                self.plans.insert((root, links), plan);
+            }
+        }
+        Ok(roots
+            .iter()
+            .map(|root| &self.plans[&(*root, links)])
+            .collect())
     }
 
     /// Whether a plan for `(root, links)` is already memoised.
@@ -134,7 +341,9 @@ impl PlanCache {
         self.plans.is_empty()
     }
 
-    /// Drops every memoised plan (keeps the scratch buffers). Rarely needed —
+    /// Drops every memoised plan in the local tier (keeps the scratch buffers
+    /// and leaves an attached [`SharedPlanCache`] untouched — flush that
+    /// explicitly with [`SharedPlanCache::invalidate`]). Rarely needed —
     /// [`PlanCache::plan_for`] already rekeys on topology/options changes —
     /// but useful to bound memory or force a rebuild.
     pub fn invalidate(&mut self) {
@@ -331,6 +540,149 @@ mod tests {
             .plan_for(&induced, &TreeGenOptions::default(), GpuId(1))
             .is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_normalises_the_link_class_away() {
+        let topo = dgx1v();
+        let induced = topo
+            .induced(&(0..4).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let nvlink = TreeGenOptions::default();
+        let pcie = TreeGenOptions {
+            links: LinkSelection::PcieOnly,
+            ..nvlink
+        };
+        // equivalent options (differing only in link class) share a
+        // fingerprint — the link class lives in the cache key instead
+        assert_eq!(
+            plan_fingerprint(&induced, &nvlink),
+            plan_fingerprint(&induced, &pcie)
+        );
+        // anything material diverges: options...
+        let retuned = TreeGenOptions {
+            skip_minimize: true,
+            ..nvlink
+        };
+        assert_ne!(
+            plan_fingerprint(&induced, &nvlink),
+            plan_fingerprint(&induced, &retuned)
+        );
+        // ...and topology
+        let half = topo
+            .induced(&(0..3).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        assert_ne!(
+            plan_fingerprint(&induced, &nvlink),
+            plan_fingerprint(&half, &nvlink)
+        );
+    }
+
+    #[test]
+    fn shared_cache_hands_plans_across_communicator_caches() {
+        let topo = dgx1v();
+        let induced = topo
+            .induced(&(0..8).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default();
+        let shared = SharedPlanCache::new();
+        // "communicator" A packs and publishes
+        let mut a = PlanCache::new().with_shared(shared.clone());
+        let plan_a = a.plan_for(&induced, &opts, GpuId(0)).unwrap().clone();
+        assert_eq!(shared.stats(), (0, 1), "first pack is a shared miss");
+        assert_eq!(shared.len(), 1);
+        // "communicator" B of the same job shape reuses A's plan bit-for-bit
+        let mut b = PlanCache::new().with_shared(shared.clone());
+        let plan_b = b.plan_for(&induced, &opts, GpuId(0)).unwrap().clone();
+        assert_eq!(shared.stats(), (1, 1), "same shape must hit");
+        assert!(plan_a.bit_eq(&plan_b), "shared plan must be bit-identical");
+        // a *local* repeat hit never touches the shared tier
+        b.plan_for(&induced, &opts, GpuId(0)).unwrap();
+        assert_eq!(shared.stats(), (1, 1));
+    }
+
+    #[test]
+    fn shared_cache_misses_on_changed_topology_or_options() {
+        let topo = dgx1v();
+        let full = topo
+            .induced(&(0..8).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default();
+        let shared = SharedPlanCache::new();
+        let mut a = PlanCache::new().with_shared(shared.clone());
+        a.plan_for(&full, &opts, GpuId(0)).unwrap();
+        // different allocation shape: miss, packed fresh
+        let half = topo
+            .induced(&(0..4).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let mut b = PlanCache::new().with_shared(shared.clone());
+        b.plan_for(&half, &opts, GpuId(0)).unwrap();
+        // different options on the original shape: miss again
+        let retuned = TreeGenOptions {
+            skip_minimize: true,
+            ..opts
+        };
+        let mut c = PlanCache::new().with_shared(shared.clone());
+        c.plan_for(&full, &retuned, GpuId(0)).unwrap();
+        let (hits, misses) = shared.stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 3);
+        // unlike the local tier, the shared tier keeps all three shapes
+        assert_eq!(shared.len(), 3);
+    }
+
+    #[test]
+    fn shared_cache_invalidation_forces_a_repack() {
+        let topo = dgx1v();
+        let induced = topo
+            .induced(&(0..4).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default();
+        let shared = SharedPlanCache::new();
+        let mut a = PlanCache::new().with_shared(shared.clone());
+        a.plan_for(&induced, &opts, GpuId(0)).unwrap();
+        assert_eq!(shared.len(), 1);
+        shared.invalidate();
+        assert!(shared.is_empty());
+        assert_eq!(shared.stats(), (0, 0), "counters reset too");
+        // a fresh communicator re-packs and re-publishes
+        let mut b = PlanCache::new().with_shared(shared.clone());
+        b.plan_for(&induced, &opts, GpuId(0)).unwrap();
+        assert_eq!(shared.stats(), (0, 1));
+        assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn plan_many_matches_per_root_plan_for_bitwise() {
+        let topo = dgx1v();
+        let induced = topo
+            .induced(&(0..8).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default();
+        let roots: Vec<GpuId> = (0..8).map(GpuId).collect();
+        // reference: sequential plan_for on a single-worker cache
+        let mut seq = PlanCache::with_scratch(crate::treegen::ScratchPool::with_workers(1));
+        let reference: Vec<TreePlan> = roots
+            .iter()
+            .map(|&r| seq.plan_for(&induced, &opts, r).unwrap().clone())
+            .collect();
+        // parallel misses through plan_many
+        let mut par = PlanCache::with_scratch(crate::treegen::ScratchPool::with_workers(4));
+        let plans = par.plan_many(&induced, &opts, &roots).unwrap();
+        assert_eq!(plans.len(), roots.len());
+        for (a, b) in reference.iter().zip(plans) {
+            assert!(a.bit_eq(b), "plan_many diverged for root {}", a.root);
+        }
+        assert_eq!(par.len(), 8);
+        // repeated and duplicate roots are served from the local tier
+        let again = par
+            .plan_many(&induced, &opts, &[GpuId(0), GpuId(0), GpuId(7)])
+            .unwrap();
+        assert_eq!(again.len(), 3);
+        assert_eq!(
+            again[0].rate_gbps().to_bits(),
+            again[1].rate_gbps().to_bits()
+        );
     }
 
     #[test]

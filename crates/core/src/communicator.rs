@@ -8,15 +8,15 @@
 //! the simulator, feeds the measured throughput back into the MIAD chunk
 //! tuner, and returns a [`CollectiveReport`].
 
-use crate::autotune::{ChunkAutotuner, PlanCache};
+use crate::autotune::{ChunkAutotuner, PlanCache, SharedPlanCache};
 use crate::codegen::{CodeGen, CodeGenOptions};
 use crate::collective::{CollectiveKind, CollectiveReport};
 use crate::hybrid::HybridPlanner;
-use crate::multiserver::three_phase_allreduce_with_scratch;
+use crate::multiserver::three_phase_allreduce_cached;
 use crate::onehop::{is_switch_fabric, one_hop_broadcast_tree, one_hop_trees};
-use crate::treegen::{LinkSelection, TreeGenOptions};
+use crate::treegen::{parallel_map, LinkSelection, TreeGenOptions};
 use crate::{BlinkError, Result};
-use blink_graph::{optimal_broadcast_rate_in, DiGraph, MaxFlowScratch, WeightedTree};
+use blink_graph::{optimal_broadcast_rate_in, DiGraph, WeightedTree};
 use blink_sim::{Program, SimParams, Simulator};
 use blink_topology::{GpuId, Topology};
 use std::collections::BTreeMap;
@@ -88,6 +88,38 @@ impl Communicator {
         allocation: &[GpuId],
         options: CommunicatorOptions,
     ) -> Result<Self> {
+        Self::with_plan_cache(machine, allocation, options, PlanCache::new())
+    }
+
+    /// Creates a communicator whose plans are shared with other communicators
+    /// through `shared`: identical job shapes (same induced topology, same
+    /// TreeGen options — e.g. the many equal slices a `blink-sched` workload
+    /// produces) reuse each other's packed trees instead of re-running MWU.
+    /// The three-phase multi-server planner consults the same cache, keyed
+    /// per server-local induced topology.
+    ///
+    /// # Errors
+    /// Same as [`Communicator::new`].
+    pub fn with_shared_plans(
+        machine: Topology,
+        allocation: &[GpuId],
+        options: CommunicatorOptions,
+        shared: SharedPlanCache,
+    ) -> Result<Self> {
+        Self::with_plan_cache(
+            machine,
+            allocation,
+            options,
+            PlanCache::new().with_shared(shared),
+        )
+    }
+
+    fn with_plan_cache(
+        machine: Topology,
+        allocation: &[GpuId],
+        options: CommunicatorOptions,
+        plans: PlanCache,
+    ) -> Result<Self> {
         let induced = machine
             .induced(allocation)
             .map_err(|e| BlinkError::Planning(e.to_string()))?;
@@ -99,7 +131,7 @@ impl Communicator {
             sim,
             options,
             autotuners: BTreeMap::new(),
-            plans: PlanCache::new(),
+            plans,
             picked_root: None,
             spannable: BTreeMap::new(),
             hybrids: BTreeMap::new(),
@@ -245,17 +277,31 @@ impl Communicator {
         root
     }
 
+    /// The per-candidate certificates are independent, so the sweep fans out
+    /// over the planning pool's workers (each checkout reuses a warm Dinic
+    /// scratch). Rates are bit-identical to the sequential sweep, and the
+    /// winner is selected in allocation order afterwards, so the picked root
+    /// never depends on the worker count.
     fn compute_pick_root(&self) -> GpuId {
         let g = DiGraph::from_topology_filtered(&self.induced, |l| l.kind.is_nvlink());
+        let pool = self.plans.scratch();
+        let g = &g;
+        let rates: Vec<Option<f64>> = parallel_map(
+            self.allocation.clone(),
+            pool.workers(),
+            |cand| -> Option<f64> {
+                let idx = g.node(cand)?;
+                if !g.spans_from(idx) {
+                    return None;
+                }
+                let mut scratch = pool.checkout();
+                Some(optimal_broadcast_rate_in(g, idx, &mut scratch.certificate))
+            },
+        );
         let mut best = self.allocation[0];
         let mut best_rate = -1.0;
-        let mut scratch = MaxFlowScratch::new();
-        for &cand in &self.allocation {
-            if let Some(idx) = g.node(cand) {
-                if !g.spans_from(idx) {
-                    continue;
-                }
-                let rate = optimal_broadcast_rate_in(&g, idx, &mut scratch);
+        for (&cand, rate) in self.allocation.iter().zip(rates) {
+            if let Some(rate) = rate {
                 if rate > best_rate {
                     best_rate = rate;
                     best = cand;
@@ -279,13 +325,15 @@ impl Communicator {
                 )));
             }
             let scratch = self.plans.scratch().clone();
-            let (program, info) = three_phase_allreduce_with_scratch(
+            let shared = self.plans.shared_cache().cloned();
+            let (program, info) = three_phase_allreduce_cached(
                 &self.machine,
                 &self.allocation,
                 bytes,
                 &self.options.treegen,
                 &self.codegen_options(chunk),
                 &scratch,
+                shared.as_ref(),
             )?;
             let strategy = format!(
                 "three-phase multi-server ({} servers, {} partitions)",
@@ -458,6 +506,70 @@ mod tests {
         assert!(report.algorithmic_bandwidth_gbps > 0.5);
         // other collectives are rejected across servers
         assert!(comm.broadcast(GpuId(0), mb(1)).is_err());
+    }
+
+    #[test]
+    fn communicators_share_plans_across_instances() {
+        let shared = SharedPlanCache::new();
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let mut a = Communicator::with_shared_plans(
+            dgx1v(),
+            &alloc,
+            CommunicatorOptions::default(),
+            shared.clone(),
+        )
+        .unwrap();
+        let ra = a.broadcast(GpuId(0), mb(100)).unwrap();
+        assert_eq!(shared.stats(), (0, 1), "first communicator packs");
+        // a second communicator of the same job shape reuses the plan
+        let mut b = Communicator::with_shared_plans(
+            dgx1v(),
+            &alloc,
+            CommunicatorOptions::default(),
+            shared.clone(),
+        )
+        .unwrap();
+        let rb = b.broadcast(GpuId(0), mb(100)).unwrap();
+        assert_eq!(shared.stats(), (1, 1), "second communicator hits");
+        assert_eq!(ra.num_trees, rb.num_trees);
+        assert_eq!(ra.elapsed_us.to_bits(), rb.elapsed_us.to_bits());
+        // a different shape misses instead of being served a stale plan
+        let mut c = Communicator::with_shared_plans(
+            dgx1v(),
+            &alloc[..4],
+            CommunicatorOptions::default(),
+            shared.clone(),
+        )
+        .unwrap();
+        c.broadcast(GpuId(0), mb(100)).unwrap();
+        assert_eq!(shared.stats(), (1, 2));
+    }
+
+    #[test]
+    fn multi_server_communicators_share_per_server_plans() {
+        let machine = multi_server(2, ServerKind::Dgx1V, 5.0);
+        let alloc: Vec<GpuId> = vec![GpuId(0), GpuId(1), GpuId(2), GpuId(8), GpuId(9), GpuId(10)];
+        let shared = SharedPlanCache::new();
+        let mut a = Communicator::with_shared_plans(
+            machine.clone(),
+            &alloc,
+            CommunicatorOptions::default(),
+            shared.clone(),
+        )
+        .unwrap();
+        let ra = a.all_reduce(mb(50)).unwrap();
+        // 2 servers x 3 partitions = 6 plans packed once
+        assert_eq!(shared.stats(), (0, 6));
+        let mut b = Communicator::with_shared_plans(
+            machine,
+            &alloc,
+            CommunicatorOptions::default(),
+            shared.clone(),
+        )
+        .unwrap();
+        let rb = b.all_reduce(mb(50)).unwrap();
+        assert_eq!(shared.stats(), (6, 6), "every per-server plan reused");
+        assert_eq!(ra.elapsed_us.to_bits(), rb.elapsed_us.to_bits());
     }
 
     #[test]

@@ -15,7 +15,8 @@ use crate::autotune::PlanCache;
 use crate::codegen::{CodeGen, CodeGenOptions};
 use crate::collective::CollectiveKind;
 use crate::treegen::{
-    new_shared_scratch, LinkSelection, SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan,
+    new_shared_scratch, parallel_map, LinkSelection, SharedPackingScratch, TreeGen, TreeGenOptions,
+    TreePlan,
 };
 use crate::{BlinkError, Result};
 use blink_graph::WeightedTree;
@@ -94,33 +95,33 @@ impl HybridPlanner {
 
     /// [`HybridPlanner::plan`] over caller-provided planning scratch buffers:
     /// both the NVLink and the PCIe TreeGen pack, minimise and certify
-    /// through the same [`SharedPackingScratch`], and callers planning
+    /// through the same [`SharedPackingScratch`] pool, and callers planning
     /// repeatedly (several roots, the communicator loop) amortise the buffers
-    /// across all of it.
+    /// across all of it. The two link classes are independent packings, so
+    /// they plan concurrently when the pool has more than one worker —
+    /// bit-identical to planning them back to back.
     pub fn plan_with_scratch(
         induced: &Topology,
         root: GpuId,
         base: &TreeGenOptions,
         scratch: &SharedPackingScratch,
     ) -> Result<Self> {
-        let nvlink = TreeGen::with_scratch(
-            induced.clone(),
-            TreeGenOptions {
-                links: LinkSelection::NvLinkOnly,
-                ..*base
+        let mut plans = parallel_map(
+            vec![LinkSelection::NvLinkOnly, LinkSelection::PcieOnly],
+            scratch.workers(),
+            |links| {
+                TreeGen::with_scratch(
+                    induced.clone(),
+                    TreeGenOptions { links, ..*base },
+                    scratch.clone(),
+                )
+                .plan(root)
             },
-            scratch.clone(),
         )
-        .plan(root)?;
-        let pcie = TreeGen::with_scratch(
-            induced.clone(),
-            TreeGenOptions {
-                links: LinkSelection::PcieOnly,
-                ..*base
-            },
-            scratch.clone(),
-        )
-        .plan(root)?;
+        .into_iter();
+        // surface the NVLink failure first, like the sequential path did
+        let nvlink = plans.next().expect("two plans")?;
+        let pcie = plans.next().expect("two plans")?;
         Ok(Self::from_plans(nvlink, pcie, induced.num_gpus() as u32))
     }
 

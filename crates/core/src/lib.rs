@@ -5,7 +5,9 @@
 //!
 //! * [`treegen`] — the TreeGen stage (Figure 9): probe the topology induced by
 //!   a job's GPU allocation, pack spanning trees with the MWU approximation
-//!   and minimise the number of trees (Sections 3.1–3.2).
+//!   and minimise the number of trees (Sections 3.1–3.2). Multi-root sweeps
+//!   plan concurrently over a [`ScratchPool`] of reusable planning buffers,
+//!   bit-identical to the sequential path at every worker count.
 //! * [`codegen`] — the CodeGen stage: lower a tree plan into a chunked,
 //!   pipelined transfer program with one stream per link per tree and stream
 //!   reuse for fair link sharing (Section 4).
@@ -46,12 +48,13 @@ pub mod multiserver;
 pub mod onehop;
 pub mod treegen;
 
-pub use autotune::{ChunkAutotuner, PlanCache};
+pub use autotune::{plan_fingerprint, ChunkAutotuner, PlanCache, SharedPlanCache};
 pub use codegen::{CodeGen, CodeGenOptions};
 pub use collective::{CollectiveKind, CollectiveReport};
 pub use communicator::{Communicator, CommunicatorOptions};
 pub use treegen::{
-    new_shared_scratch, LinkSelection, SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan,
+    new_shared_scratch, parallel_map, LinkSelection, PlannerScratch, ScratchGuard, ScratchPool,
+    SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan,
 };
 
 /// Errors surfaced by the Blink library.

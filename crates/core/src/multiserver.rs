@@ -13,14 +13,16 @@
 //! 3. **Local broadcast** — every server-local root broadcasts its fully
 //!    reduced partition over the local trees.
 
+use crate::autotune::{plan_fingerprint, SharedPlanCache};
 use crate::codegen::{chunk_sizes, CodeGen, CodeGenOptions};
 use crate::collective::CollectiveKind;
-use crate::treegen::{new_shared_scratch, TreeGen, TreeGenOptions, TreePlan};
+use crate::treegen::{new_shared_scratch, parallel_map, TreeGen, TreeGenOptions, TreePlan};
 use crate::{BlinkError, Result};
 use blink_sim::{LinkClass, OpId, Program, ProgramBuilder};
 use blink_topology::{GpuId, ServerId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Summary of the plan the three-phase protocol chose (useful for reports and
 /// the experiment harness).
@@ -82,6 +84,27 @@ pub fn three_phase_allreduce_with_scratch(
     cg_options: &CodeGenOptions,
     scratch: &crate::treegen::SharedPackingScratch,
 ) -> Result<(Program, ThreePhaseInfo)> {
+    three_phase_allreduce_cached(
+        machine, allocation, bytes, tg_options, cg_options, scratch, None,
+    )
+}
+
+/// [`three_phase_allreduce_with_scratch`] with an optional cross-communicator
+/// [`SharedPlanCache`]: every per-server, per-partition-root plan is looked up
+/// under its server-induced-topology fingerprint first, and fresh packs are
+/// published back. Cache misses across all servers and roots are
+/// embarrassingly parallel (PAPER.md §3.5) and plan concurrently on the
+/// scratch pool's workers; the resulting program is bit-identical to the
+/// sequential, uncached build at every worker count.
+pub fn three_phase_allreduce_cached(
+    machine: &Topology,
+    allocation: &[GpuId],
+    bytes: u64,
+    tg_options: &TreeGenOptions,
+    cg_options: &CodeGenOptions,
+    scratch: &crate::treegen::SharedPackingScratch,
+    shared: Option<&SharedPlanCache>,
+) -> Result<(Program, ThreePhaseInfo)> {
     // group by server, preserving allocation order
     let mut by_server: BTreeMap<ServerId, Vec<GpuId>> = BTreeMap::new();
     for &g in allocation {
@@ -104,22 +127,49 @@ pub fn three_phase_allreduce_with_scratch(
         .unwrap_or(1)
         .max(1);
 
-    // plan local trees for every (server, partition root); the shared scratch
-    // carries the MWU buffers across every server and root
+    // Plan local trees for every (server, partition root). The per-root
+    // packings are independent — one scratch checkout each — so they fan out
+    // over the pool's workers; plan order (and bit-for-bit content) matches
+    // the sequential sweep because planning is a pure function of
+    // (induced topology, root, options).
+    let mut tgs: Vec<(TreeGen, u64)> = Vec::with_capacity(servers.len());
+    let mut tasks: Vec<(usize, GpuId)> = Vec::with_capacity(servers.len() * partitions);
+    for (s, (_, gpus)) in servers.iter().enumerate() {
+        let induced = machine
+            .induced(gpus)
+            .map_err(|e| BlinkError::Planning(e.to_string()))?;
+        let fp = plan_fingerprint(&induced, tg_options);
+        tgs.push((
+            TreeGen::with_scratch(induced, *tg_options, scratch.clone()),
+            fp,
+        ));
+        for p in 0..partitions {
+            tasks.push((s, gpus[p % gpus.len()]));
+        }
+    }
+    let tgs = &tgs;
+    let planned = parallel_map(tasks, scratch.workers(), |(s, root)| -> Result<TreePlan> {
+        let (tg, fp) = &tgs[s];
+        if let Some(cache) = shared {
+            if let Some(hit) = cache.get(*fp, root, tg_options.links) {
+                return Ok((*hit).clone());
+            }
+            let plan = tg.plan(root)?;
+            cache.insert(*fp, root, tg_options.links, Arc::new(plan.clone()));
+            return Ok(plan);
+        }
+        tg.plan(root)
+    });
+    let mut planned = planned.into_iter();
     let mut plans: Vec<Vec<TreePlan>> = Vec::new();
     let mut roots: Vec<Vec<GpuId>> = Vec::new();
     let mut local_rates = Vec::new();
     for (_, gpus) in &servers {
-        let induced = machine
-            .induced(gpus)
-            .map_err(|e| BlinkError::Planning(e.to_string()))?;
-        let tg = TreeGen::with_scratch(induced, *tg_options, scratch.clone());
         let mut server_plans = Vec::new();
         let mut server_roots = Vec::new();
         for p in 0..partitions {
-            let root = gpus[p % gpus.len()];
-            server_plans.push(tg.plan(root)?);
-            server_roots.push(root);
+            server_plans.push(planned.next().expect("one plan per task")?);
+            server_roots.push(gpus[p % gpus.len()]);
         }
         local_rates
             .push(server_plans.iter().map(TreePlan::rate_gbps).sum::<f64>() / partitions as f64);
@@ -329,6 +379,79 @@ mod tests {
             network_bytes.abs_diff(expected) <= tolerance,
             "network {network_bytes} vs expected {expected}"
         );
+    }
+
+    #[test]
+    fn parallel_planning_builds_a_bit_identical_program() {
+        let (machine, alloc) = fragmented_allocation();
+        let bytes = mb(50);
+        let sequential = three_phase_allreduce_cached(
+            &machine,
+            &alloc,
+            bytes,
+            &TreeGenOptions::default(),
+            &CodeGenOptions::default(),
+            &crate::treegen::ScratchPool::with_workers(1),
+            None,
+        )
+        .unwrap();
+        for workers in [2, 4, 8] {
+            let parallel = three_phase_allreduce_cached(
+                &machine,
+                &alloc,
+                bytes,
+                &TreeGenOptions::default(),
+                &CodeGenOptions::default(),
+                &crate::treegen::ScratchPool::with_workers(workers),
+                None,
+            )
+            .unwrap();
+            assert_eq!(sequential.0, parallel.0, "workers = {workers}");
+            assert_eq!(sequential.1.roots, parallel.1.roots);
+            for (a, b) in sequential
+                .1
+                .local_rates_gbps
+                .iter()
+                .zip(&parallel.1.local_rates_gbps)
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_cache_skips_repacking_across_builds() {
+        let (machine, alloc) = fragmented_allocation();
+        let cache = SharedPlanCache::new();
+        let scratch = new_shared_scratch();
+        let first = three_phase_allreduce_cached(
+            &machine,
+            &alloc,
+            mb(50),
+            &TreeGenOptions::default(),
+            &CodeGenOptions::default(),
+            &scratch,
+            Some(&cache),
+        )
+        .unwrap();
+        // 2 servers x 3 partitions = 6 plans, all misses
+        let (hits0, misses0) = cache.stats();
+        assert_eq!((hits0, misses0), (0, 6));
+        assert_eq!(cache.len(), 6);
+        // a second communicator of the same shape replans nothing
+        let second = three_phase_allreduce_cached(
+            &machine,
+            &alloc,
+            mb(50),
+            &TreeGenOptions::default(),
+            &CodeGenOptions::default(),
+            &new_shared_scratch(),
+            Some(&cache),
+        )
+        .unwrap();
+        let (hits1, misses1) = cache.stats();
+        assert_eq!((hits1, misses1), (6, 6));
+        assert_eq!(first.0, second.0, "cached plans rebuild the same program");
     }
 
     #[test]

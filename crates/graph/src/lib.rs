@@ -48,9 +48,16 @@
 //!    results and first-seen dedup keys allocate).
 //! 3. **One scratch, any graphs.** A single scratch may be threaded through
 //!    solves over different graphs, roots and options in any order; it is
-//!    `Default`-constructible and `Clone` (cloning copies buffers, which is
-//!    only useful to seed another thread's scratch — the structs are not
-//!    `Sync` and planning is single-threaded by design).
+//!    `Default`-constructible and `Clone`.
+//! 4. **One scratch per worker.** Every scratch struct is `Send` (asserted at
+//!    compile time below): a scratch may be checked out of a pool, carried
+//!    into a worker thread, used for any number of solves and returned. The
+//!    structs are deliberately *not* shared mutably across threads — callers
+//!    hand each concurrent solve its own scratch (see `blink-core`'s
+//!    `ScratchPool`, which implements the checkout/return protocol). Because
+//!    of rule 1 (buffers, not state) the results of a multi-worker sweep are
+//!    bit-identical to running the same solves sequentially through one
+//!    scratch, regardless of which worker ran which solve.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -75,3 +82,15 @@ pub use packing::{
     PackingOptions, PackingScratch, PackingStats, PackingTermination, TreePacking, WeightedTree,
 };
 pub use rings::{find_rings, Ring, RingSearch};
+
+// Rule 4 of the scratch-reuse contract: every scratch is `Send` so per-worker
+// pools can move them across threads. A scratch silently losing `Send` (e.g.
+// by gaining an `Rc` field) would break `blink-core`'s parallel planning at a
+// distance, so pin it here.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ArborescenceScratch>();
+    assert_send::<PackingScratch>();
+    assert_send::<MinimizeScratch>();
+    assert_send::<MaxFlowScratch>();
+};

@@ -35,7 +35,10 @@
 //!   [`min_arborescence_in`] solve is burned just to discover that every
 //!   arborescence must cross a saturated edge;
 //! * the rate threshold comes from [`optimal_broadcast_rate_in`] over the
-//!   scratch's embedded [`MaxFlowScratch`].
+//!   scratch's embedded [`MaxFlowScratch`] — unless the caller already ran the
+//!   certificate (the MWU packing does, for its early exit) and forwards it
+//!   via [`MinimizeOptions::known_optimum`], in which case no flow is solved
+//!   here at all.
 //!
 //! The pre-optimisation path survives in
 //! [`crate::baseline::minimize_trees_naive`] for the perf harness; a
@@ -65,6 +68,15 @@ pub struct MinimizeOptions {
     /// Cap on branch-and-bound nodes explored before falling back to the best
     /// incumbent found so far.
     pub max_bb_nodes: usize,
+    /// The Edmonds/Lovász optimal broadcast rate (GB/s) for the packing's
+    /// graph and root, when the caller has already computed it — the MWU
+    /// packing reports it in `PackingStats::certificate_gbps` and TreeGen
+    /// threads it through so each plan build runs the certificate once, not
+    /// twice. Must be exactly the value [`optimal_broadcast_rate_in`] would
+    /// return for the same graph and root (the Dinic solver is deterministic,
+    /// so forwarding the packing's stat is bit-identical to recomputing);
+    /// `None` recomputes it here.
+    pub known_optimum: Option<f64>,
 }
 
 impl Default for MinimizeOptions {
@@ -73,6 +85,7 @@ impl Default for MinimizeOptions {
             threshold: 0.05,
             unit_gbps: None,
             max_bb_nodes: 200_000,
+            known_optimum: None,
         }
     }
 }
@@ -392,7 +405,10 @@ pub fn minimize_trees_in(
     if graph.num_nodes() <= 1 || packing.trees.is_empty() {
         return packing.clone();
     }
-    let optimum = optimal_broadcast_rate_in(graph, root_idx, &mut scratch.maxflow);
+    let optimum = match opts.known_optimum {
+        Some(cert) => cert,
+        None => optimal_broadcast_rate_in(graph, root_idx, &mut scratch.maxflow),
+    };
     if optimum <= 0.0 {
         return packing.clone();
     }
@@ -748,6 +764,46 @@ mod tests {
                 minimized.rate()
             );
             assert!(minimized.num_trees() <= packing.num_trees().max(1));
+        }
+    }
+
+    #[test]
+    fn forwarded_certificate_is_bit_identical_to_recomputing() {
+        // Threading the packing's certificate through `known_optimum` must not
+        // change a single bit of the minimised packing: the forwarded value is
+        // exactly what the embedded Dinic would have recomputed.
+        let mut scratch = MinimizeScratch::new();
+        for (topo, alloc) in [
+            (dgx1v(), vec![0usize, 1, 2, 3, 4, 5, 6, 7]),
+            (dgx1v(), vec![0, 1, 3]),
+            (dgx1p(), vec![0, 1, 3, 4, 5, 7]),
+        ] {
+            let ids: Vec<GpuId> = alloc.iter().map(|&i| GpuId(i)).collect();
+            let g = nvlink_graph(&topo, &ids);
+            let root = ids[0];
+            let mut pack_scratch = crate::packing::PackingScratch::new();
+            let (packing, stats) = crate::packing::pack_spanning_trees_in(
+                &g,
+                root,
+                &PackingOptions::default(),
+                &mut pack_scratch,
+            )
+            .unwrap();
+            let recomputed = minimize_trees(&g, &packing, &MinimizeOptions::default());
+            let forwarded = minimize_trees_in(
+                &g,
+                &packing,
+                &MinimizeOptions {
+                    known_optimum: Some(stats.certificate_gbps),
+                    ..Default::default()
+                },
+                &mut scratch,
+            );
+            assert_eq!(recomputed.trees.len(), forwarded.trees.len());
+            for (a, b) in recomputed.trees.iter().zip(&forwarded.trees) {
+                assert_eq!(a.tree, b.tree);
+                assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+            }
         }
     }
 

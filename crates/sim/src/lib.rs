@@ -24,10 +24,15 @@
 //! * [`patterns`] — builders for the paper's micro-benchmark traffic patterns
 //!   (chain forward / reduce+forward / reduce-broadcast, fan-in/out, MIMO,
 //!   MCA) used to reproduce Figures 7, 8, 24 and 26.
+//! * [`semantics`] — a data-flow checker that replays an executed program
+//!   along the engine's schedule and verifies every GPU ended with the
+//!   correct reduced value ([`semantics::check_allreduce`]), closing the loop
+//!   between "the program finished fast" and "the program computed the right
+//!   thing".
 //!
-//! The simulator deliberately knows nothing about collectives: Blink and the
-//! NCCL baseline lower their schedules to programs, and correctness of the
-//! *data flow* is checked at that layer, not here.
+//! The simulator's engine deliberately knows nothing about collectives: Blink
+//! and the NCCL baseline lower their schedules to programs; [`semantics`]
+//! checks the lowered data flow after the fact.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,7 +41,9 @@ pub mod engine;
 pub mod params;
 pub mod patterns;
 pub mod program;
+pub mod semantics;
 
 pub use engine::{RunReport, Simulator};
 pub use params::SimParams;
 pub use program::{LinkClass, Op, OpId, OpKind, Program, ProgramBuilder, StreamId};
+pub use semantics::{check_allreduce, ContributionCheck, MissingContribution};

@@ -86,7 +86,7 @@ pub enum OpKind {
 }
 
 /// An operation plus its scheduling metadata.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Op {
     /// The operation's id (its index in the program).
     pub id: OpId,
@@ -140,7 +140,7 @@ impl fmt::Display for ProgramError {
 impl std::error::Error for ProgramError {}
 
 /// A complete schedule: ops in issue order.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Program {
     ops: Vec<Op>,
 }

@@ -1,0 +1,409 @@
+//! Data-flow semantics for executed programs: did the collective actually
+//! compute the right value?
+//!
+//! The engine ([`crate::engine`]) answers *when* a program finishes; this
+//! module answers *what* each GPU holds when it does. Ops carry no buffer
+//! offsets, so the checker tracks values at the granularity the protocol
+//! moves them: every GPU's buffer is modelled as the **set of peer
+//! contributions** folded into it (reduction operators are commutative and
+//! associative, so a buffer's value is exactly the set of inputs it
+//! incorporates — duplicates excepted, see the caveat below).
+//!
+//! The replay follows the engine's schedule: a copy *snapshots* the source
+//! buffer when the engine starts it and *delivers* the snapshot when it ends,
+//! so a dependency bug that lets the engine launch a broadcast before the
+//! reduction finished shows up as a stale snapshot — exactly like a data race
+//! on real hardware — and some GPU ends the run missing contributions.
+//!
+//! Delivered data sits in a staging area until a `Reduce` on the destination
+//! folds it into the resident buffer (reduce-and-forward trees); a GPU whose
+//! staged arrivals are never reduced ends the run holding its **last**
+//! arrival verbatim (broadcast semantics: an un-reduced copy overwrites the
+//! region, it does not merge, so a leaf's own contribution does not mask a
+//! partial broadcast).
+//!
+//! Programs that interleave several independent flows (the three-phase
+//! multi-server AllReduce partitions its buffer and emits one op-DAG per
+//! partition) are split into **components** — connected pieces of the
+//! dependency-plus-stream graph — and each component is checked on its own:
+//! every component that moves data must, by itself, deliver every
+//! participant's contribution to every participant. Without the split, one
+//! partition's complete flow would mask another partition's missing one.
+//!
+//! Caveat: sets cannot see a contribution folded in *twice* (the collective
+//! would be numerically wrong, the set model still says "present"), and they
+//! cannot distinguish byte sub-ranges within one component. The checker is
+//! therefore a necessary-condition oracle: a failure is always a real bug; a
+//! pass means every contribution reached every GPU with reduce-before-
+//! broadcast ordering enforced by the schedule the engine actually ran.
+
+use crate::program::{OpKind, Program};
+use blink_topology::GpuId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One GPU of one component that did not end with the full contribution set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingContribution {
+    /// Index of the offending component (densely numbered over components
+    /// that contain at least one copy, in first-op order).
+    pub component: usize,
+    /// The GPU whose final value is incomplete.
+    pub gpu: GpuId,
+    /// The participants whose contributions never made it into `gpu`'s final
+    /// value through this component's flow.
+    pub missing: Vec<GpuId>,
+}
+
+impl fmt::Display for MissingContribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "component {}: {} is missing contributions from {:?}",
+            self.component, self.gpu, self.missing
+        )
+    }
+}
+
+/// The verdict of [`check_allreduce`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContributionCheck {
+    /// Number of independent data-moving components the program decomposed
+    /// into (the three-phase AllReduce yields one per non-empty partition).
+    pub components: usize,
+    /// Every (component, GPU) whose final value misses contributions; empty
+    /// means the AllReduce delivered the correct reduced value everywhere.
+    pub missing: Vec<MissingContribution>,
+}
+
+impl ContributionCheck {
+    /// Whether every GPU ended every component with the fully reduced value.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+}
+
+/// Union-find over op indices.
+struct Dsu(Vec<usize>);
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu((0..n).collect())
+    }
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.0[root] != root {
+            root = self.0[root];
+        }
+        let mut cur = x;
+        while self.0[cur] != root {
+            let next = self.0[cur];
+            self.0[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (a, b) = (self.find(a), self.find(b));
+        if a != b {
+            self.0[a] = b;
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    // delivery before reduce before snapshot at equal timestamps: a reduce
+    // whose dependencies end at time t must see their deliveries, and a copy
+    // starting at t must see everything that completed at t
+    Deliver = 0,
+    Fold = 1,
+    Snapshot = 2,
+}
+
+/// Replays `program` along the engine's schedule (`op_spans`, as returned by
+/// [`crate::engine::RunReport`]) and checks that every GPU of `participants`
+/// ends every data-moving component holding every participant's contribution
+/// — i.e. that the program implements a correct AllReduce over commutative
+/// reduction.
+///
+/// # Panics
+/// Panics if `op_spans` is shorter than the program (pass the spans of the
+/// same program you executed).
+pub fn check_allreduce(
+    program: &Program,
+    op_spans: &[(f64, f64)],
+    participants: &[GpuId],
+) -> ContributionCheck {
+    let ops = program.ops();
+    assert!(
+        op_spans.len() >= ops.len(),
+        "op_spans must cover every op of the program"
+    );
+
+    // ---- split the program into dependency/stream components ----
+    let mut dsu = Dsu::new(ops.len());
+    let mut last_in_stream: BTreeMap<_, usize> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        for &d in &op.deps {
+            dsu.union(i, d.0);
+        }
+        if let Some(&prev) = last_in_stream.get(&op.stream) {
+            dsu.union(i, prev);
+        }
+        last_in_stream.insert(op.stream, i);
+    }
+    // densely number the components that move data, in first-op order
+    let mut component_of_root: BTreeMap<usize, usize> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        if matches!(op.kind, OpKind::Copy { .. }) {
+            let root = dsu.find(i);
+            let next = component_of_root.len();
+            component_of_root.entry(root).or_insert(next);
+        }
+    }
+
+    // ---- event-driven replay along the engine's schedule ----
+    // buffers[(component, gpu)]: the contribution set resident in the GPU's
+    // buffer; staged[(component, gpu)]: delivered but not yet reduced
+    // arrivals, in delivery order
+    let full: BTreeSet<GpuId> = participants.iter().copied().collect();
+    let mut resident: BTreeMap<(usize, GpuId), BTreeSet<GpuId>> = BTreeMap::new();
+    let mut staged: BTreeMap<(usize, GpuId), Vec<BTreeSet<GpuId>>> = BTreeMap::new();
+    let mut pending: Vec<Option<BTreeSet<GpuId>>> = vec![None; ops.len()];
+
+    let mut events: Vec<(f64, EventKind, usize)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let (start, end) = op_spans[i];
+        match op.kind {
+            OpKind::Copy { .. } => {
+                events.push((start, EventKind::Snapshot, i));
+                events.push((end, EventKind::Deliver, i));
+            }
+            OpKind::Reduce { .. } => events.push((end, EventKind::Fold, i)),
+            OpKind::Compute { .. } | OpKind::TogglePeerAccess { .. } => {}
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    let own = |resident: &mut BTreeMap<(usize, GpuId), BTreeSet<GpuId>>, c: usize, g: GpuId| {
+        resident
+            .entry((c, g))
+            .or_insert_with(|| BTreeSet::from([g]))
+            .clone()
+    };
+    for (_, kind, i) in events {
+        // a Reduce in a component with no copies moves no data anywhere —
+        // nothing to track (copies always have a component entry)
+        let Some(&c) = component_of_root.get(&dsu.find(i)) else {
+            continue;
+        };
+        match (kind, ops[i].kind) {
+            (EventKind::Snapshot, OpKind::Copy { src, .. }) => {
+                // what a GPU sends is its reduced buffer plus anything it has
+                // received and is forwarding
+                let mut value = own(&mut resident, c, src);
+                for arrival in staged.get(&(c, src)).into_iter().flatten() {
+                    value.extend(arrival.iter().copied());
+                }
+                pending[i] = Some(value);
+            }
+            (EventKind::Deliver, OpKind::Copy { dst, .. }) => {
+                let value = pending[i].take().expect("snapshot precedes delivery");
+                staged.entry((c, dst)).or_default().push(value);
+            }
+            (EventKind::Fold, OpKind::Reduce { gpu, .. }) => {
+                let mut value = own(&mut resident, c, gpu);
+                for arrival in staged.remove(&(c, gpu)).into_iter().flatten() {
+                    value.extend(arrival);
+                }
+                resident.insert((c, gpu), value);
+            }
+            _ => unreachable!("event kinds match their op kinds"),
+        }
+    }
+
+    // ---- final value per (component, GPU) ----
+    let components = component_of_root.len();
+    let mut missing = Vec::new();
+    for c in 0..components {
+        for &gpu in participants {
+            // un-reduced arrivals overwrite the region: the last one *is* the
+            // GPU's final value there (broadcast leaves); otherwise the
+            // reduced resident buffer is
+            let final_value = match staged.get(&(c, gpu)).and_then(|a| a.last()) {
+                Some(last) => last.clone(),
+                None => own(&mut resident, c, gpu),
+            };
+            let absent: Vec<GpuId> = full.difference(&final_value).copied().collect();
+            if !absent.is_empty() {
+                missing.push(MissingContribution {
+                    component: c,
+                    gpu,
+                    missing: absent,
+                });
+            }
+        }
+    }
+    ContributionCheck {
+        components,
+        missing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::program::{LinkClass, ProgramBuilder};
+    use blink_topology::presets::dgx2;
+
+    fn mb(n: u64) -> u64 {
+        n * 1024 * 1024
+    }
+
+    /// A correct 3-GPU AllReduce over a chain: reduce 2→1→0, broadcast
+    /// 0→1→2, every copy gated on the value it forwards existing.
+    fn chain_allreduce(skip_gate: bool) -> crate::program::Program {
+        let g = |i: usize| GpuId(i);
+        let mut b = ProgramBuilder::new();
+        let up = [b.new_stream(), b.new_stream()];
+        let down = [b.new_stream(), b.new_stream()];
+        let bytes = mb(8);
+        let a2 = b.copy(
+            g(2),
+            g(1),
+            bytes,
+            LinkClass::NvLink,
+            up[1],
+            vec![],
+            "up 2->1",
+        );
+        let r1 = b.reduce(g(1), bytes, up[0], vec![a2], "red @1");
+        let a1 = b.copy(
+            g(1),
+            g(0),
+            bytes,
+            LinkClass::NvLink,
+            up[0],
+            vec![r1],
+            "up 1->0",
+        );
+        // the reduce lives in the *up* stream: only the explicit `gate`
+        // dependency orders the broadcast behind it
+        let r0 = b.reduce(g(0), bytes, up[0], vec![a1], "red @0");
+        // the broadcast must wait for the final reduction — dropping the
+        // dependency is the bug the checker has to catch
+        let gate = if skip_gate { vec![] } else { vec![r0] };
+        let d0 = b.copy(
+            g(0),
+            g(1),
+            bytes,
+            LinkClass::NvLink,
+            down[0],
+            gate,
+            "down 0->1",
+        );
+        b.copy(
+            g(1),
+            g(2),
+            bytes,
+            LinkClass::NvLink,
+            down[1],
+            vec![d0],
+            "down 1->2",
+        );
+        b.build().unwrap()
+    }
+
+    fn run_and_check(program: &crate::program::Program) -> ContributionCheck {
+        let report = Simulator::with_defaults(dgx2()).run(program).unwrap();
+        let participants: Vec<GpuId> = (0..3).map(GpuId).collect();
+        check_allreduce(program, &report.op_spans, &participants)
+    }
+
+    #[test]
+    fn correct_chain_allreduce_passes() {
+        let check = run_and_check(&chain_allreduce(false));
+        assert_eq!(check.components, 1);
+        assert!(check.is_complete(), "missing: {:?}", check.missing);
+    }
+
+    #[test]
+    fn broadcast_racing_the_reduce_is_caught() {
+        // without the r0 gate the engine launches the broadcast immediately,
+        // so GPUs 1 and 2 receive the root's *unreduced* buffer
+        let check = run_and_check(&chain_allreduce(true));
+        assert!(!check.is_complete(), "the data race must be flagged");
+        let flagged: Vec<GpuId> = check.missing.iter().map(|m| m.gpu).collect();
+        assert!(flagged.contains(&GpuId(2)), "the leaf got a stale value");
+    }
+
+    #[test]
+    fn a_missing_flow_is_caught_per_component() {
+        // two independent "partitions"; the second one forgets to broadcast
+        // back, so GPU 1 never sees GPU 0's contribution in that component —
+        // even though component 0 delivered everything to everyone
+        let g = |i: usize| GpuId(i);
+        let bytes = mb(4);
+        let mut b = ProgramBuilder::new();
+        for complete in [true, false] {
+            let s0 = b.new_stream();
+            let s1 = b.new_stream();
+            let arr = b.copy(g(1), g(0), bytes, LinkClass::NvLink, s0, vec![], "up");
+            let red = b.reduce(g(0), bytes, s0, vec![arr], "red");
+            if complete {
+                b.copy(g(0), g(1), bytes, LinkClass::NvLink, s1, vec![red], "down");
+            }
+        }
+        let program = b.build().unwrap();
+        let report = Simulator::with_defaults(dgx2()).run(&program).unwrap();
+        let participants = [g(0), g(1)];
+        let check = check_allreduce(&program, &report.op_spans, &participants);
+        assert_eq!(check.components, 2);
+        assert_eq!(
+            check.missing,
+            vec![MissingContribution {
+                component: 1,
+                gpu: g(1),
+                missing: vec![g(0)],
+            }]
+        );
+    }
+
+    #[test]
+    fn a_reduce_with_no_copies_is_ignored_not_a_panic() {
+        let g = |i: usize| GpuId(i);
+        let mut b = ProgramBuilder::new();
+        let lone = b.new_stream();
+        // a degenerate lowering: a reduction that no copy feeds or follows
+        b.reduce(g(0), mb(1), lone, vec![], "orphan red");
+        let s = b.new_stream();
+        let arr = b.copy(g(1), g(0), mb(1), LinkClass::NvLink, s, vec![], "up");
+        let red = b.reduce(g(0), mb(1), s, vec![arr], "red");
+        b.copy(g(0), g(1), mb(1), LinkClass::NvLink, s, vec![red], "down");
+        let program = b.build().unwrap();
+        let report = Simulator::with_defaults(dgx2()).run(&program).unwrap();
+        let check = check_allreduce(&program, &report.op_spans, &[g(0), g(1)]);
+        assert_eq!(check.components, 1, "the orphan reduce moves no data");
+        assert!(check.is_complete());
+    }
+
+    #[test]
+    fn a_gpu_left_out_of_the_broadcast_is_caught() {
+        let g = |i: usize| GpuId(i);
+        let bytes = mb(4);
+        let mut b = ProgramBuilder::new();
+        let s = b.new_stream();
+        // 1 and 2 contribute to 0, but only 1 gets the result back
+        let a1 = b.copy(g(1), g(0), bytes, LinkClass::NvLink, s, vec![], "up 1");
+        let a2 = b.copy(g(2), g(0), bytes, LinkClass::NvLink, s, vec![], "up 2");
+        let red = b.reduce(g(0), bytes, s, vec![a1, a2], "red");
+        b.copy(g(0), g(1), bytes, LinkClass::NvLink, s, vec![red], "down 1");
+        let program = b.build().unwrap();
+        let report = Simulator::with_defaults(dgx2()).run(&program).unwrap();
+        let check = check_allreduce(&program, &report.op_spans, &[g(0), g(1), g(2)]);
+        assert!(!check.is_complete());
+        assert!(check.missing.iter().any(|m| m.gpu == g(2)));
+    }
+}

@@ -26,7 +26,9 @@ pub use blink_train as train;
 
 /// The most common entry points, re-exported flat for convenience.
 pub mod prelude {
-    pub use blink_core::{CollectiveKind, CollectiveReport, Communicator, CommunicatorOptions};
+    pub use blink_core::{
+        CollectiveKind, CollectiveReport, Communicator, CommunicatorOptions, SharedPlanCache,
+    };
     pub use blink_topology::{presets, GpuId, LinkKind, ServerId, Topology};
 }
 

@@ -4,7 +4,9 @@
 
 use blink::prelude::*;
 use blink_bench::measure::{blink_collective, mb, nccl_collective};
-use blink_core::CollectiveKind;
+use blink_core::multiserver::three_phase_allreduce;
+use blink_core::{CodeGenOptions, CollectiveKind, SharedPlanCache, TreeGenOptions};
+use blink_sim::{check_allreduce, Simulator};
 use blink_topology::enumerate::unique_allocations;
 use blink_topology::presets::{dgx1p, dgx1v, dgx2, multi_server, ServerKind};
 
@@ -106,6 +108,94 @@ fn multi_server_allreduce_end_to_end() {
         report.algorithmic_bandwidth_gbps < 5.5,
         "bounded by the 40 Gb/s NIC"
     );
+}
+
+/// The three-phase multi-server AllReduce, executed on the simulator's
+/// engine, leaves every GPU holding the correct reduced value: the data-flow
+/// checker replays the program along the engine's actual schedule and
+/// verifies every partition delivered every GPU's contribution to every GPU,
+/// with reduce-before-broadcast ordering intact. This closes the previously
+/// untested `multiserver` → `sim` seam: the timing tests above would not
+/// notice a program that finished quickly but computed garbage.
+#[test]
+fn multi_server_allreduce_computes_the_correct_value() {
+    // the paper's fragmented scenario (3 + 5 GPUs over two DGX-1Vs) plus an
+    // asymmetric three-server slice, at byte counts that exercise multi-chunk
+    // pipelines and the zero-remainder edge of the partition split
+    let cases: Vec<(Topology, Vec<GpuId>)> = vec![
+        (
+            multi_server(2, ServerKind::Dgx1V, 5.0),
+            vec![0usize, 1, 2, 8, 9, 10, 11, 12]
+                .into_iter()
+                .map(GpuId)
+                .collect(),
+        ),
+        (
+            multi_server(3, ServerKind::Dgx1V, 12.5),
+            vec![0usize, 1, 8, 9, 10, 16, 17]
+                .into_iter()
+                .map(GpuId)
+                .collect(),
+        ),
+    ];
+    for (machine, alloc) in cases {
+        for bytes in [mb(30), 3 * 1024 * 1024 + 17] {
+            let (program, info) = three_phase_allreduce(
+                &machine,
+                &alloc,
+                bytes,
+                &TreeGenOptions::default(),
+                &CodeGenOptions::default(),
+            )
+            .unwrap();
+            let report = Simulator::with_defaults(machine.clone())
+                .run(&program)
+                .unwrap();
+            let check = check_allreduce(&program, &report.op_spans, &alloc);
+            assert_eq!(
+                check.components, info.partitions,
+                "one independent data flow per partition"
+            );
+            assert!(
+                check.is_complete(),
+                "every GPU must end with the fully reduced value; missing: {:?}",
+                check.missing
+            );
+        }
+    }
+}
+
+/// Cross-communicator plan sharing end to end: a stream of identical
+/// scheduler slices plans once and reuses everywhere, and the shared plans
+/// change nothing about the simulated outcome.
+#[test]
+fn identical_job_shapes_reuse_plans_across_communicators() {
+    let shared = SharedPlanCache::new();
+    let machine = dgx1v();
+    let alloc: Vec<GpuId> = vec![GpuId(0), GpuId(1), GpuId(2), GpuId(3)];
+    let baseline = {
+        let mut comm =
+            Communicator::new(machine.clone(), &alloc, CommunicatorOptions::default()).unwrap();
+        comm.all_reduce(mb(64)).unwrap()
+    };
+    for i in 0..4 {
+        let mut comm = Communicator::with_shared_plans(
+            machine.clone(),
+            &alloc,
+            CommunicatorOptions::default(),
+            shared.clone(),
+        )
+        .unwrap();
+        let report = comm.all_reduce(mb(64)).unwrap();
+        assert_eq!(
+            report.elapsed_us.to_bits(),
+            baseline.elapsed_us.to_bits(),
+            "shared plans must not change the outcome (job {i})"
+        );
+    }
+    let (hits, misses) = shared.stats();
+    assert_eq!(misses, 1, "the tree set is packed exactly once");
+    assert_eq!(hits, 3, "every later communicator reuses it");
 }
 
 /// The communicator handles every collective kind on an arbitrary allocation.

@@ -4,8 +4,8 @@
 //! allocations of the real DGX topologies.
 
 use blink_core::codegen::{CodeGen, CodeGenOptions};
-use blink_core::treegen::{TreeGen, TreeGenOptions};
-use blink_core::CollectiveKind;
+use blink_core::treegen::{ScratchPool, TreeGen, TreeGenOptions};
+use blink_core::{CollectiveKind, PlanCache, SharedPlanCache};
 use blink_graph::baseline::{minimize_trees_naive, optimal_broadcast_rate_naive};
 use blink_graph::{
     max_flow, minimize_trees_in, optimal_broadcast_rate, optimal_broadcast_rate_in,
@@ -82,6 +82,45 @@ fn induced(machine: &Topology, ids: &[usize]) -> Topology {
     machine.induced(&alloc).unwrap()
 }
 
+/// Shared body of the parallel-determinism properties: sweeps every spannable
+/// root of the induced subgraph sequentially (one worker), then re-sweeps at
+/// 2, 4 and 8 workers and asserts every [`TreePlan`] field is bit-identical.
+fn check_parallel_sweep_determinism(machine: &Topology, alloc: &[usize]) -> Result<(), String> {
+    let sub = induced(machine, alloc);
+    let probe = TreeGen::with_scratch(
+        sub.clone(),
+        TreeGenOptions::default(),
+        ScratchPool::with_workers(1),
+    );
+    let roots: Vec<GpuId> = alloc
+        .iter()
+        .map(|&i| GpuId(i))
+        .filter(|&r| probe.can_span(r))
+        .collect();
+    if roots.is_empty() {
+        return Ok(());
+    }
+    let sequential = probe.plan_roots(&roots).map_err(|e| e.to_string())?;
+    for workers in [2usize, 4, 8] {
+        let parallel = TreeGen::with_scratch(
+            sub.clone(),
+            TreeGenOptions::default(),
+            ScratchPool::with_workers(workers),
+        )
+        .plan_roots(&roots)
+        .map_err(|e| e.to_string())?;
+        for (a, b) in sequential.iter().zip(&parallel) {
+            if !a.bit_eq(b) {
+                return Err(format!(
+                    "plan for root {} diverged at {workers} workers",
+                    a.root
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -124,6 +163,58 @@ proptest! {
     fn packed_rate_meets_the_epsilon_bound_dgx2((alloc, root_pos) in dgx2_allocation_strategy()) {
         let violation = check_epsilon_bound(&dgx2(), &alloc, root_pos);
         prop_assert!(violation.is_none(), "{}", violation.unwrap_or_default());
+    }
+
+    /// Parallel root sweeps are invisible in the output: planning every
+    /// spannable root of a random DGX-1V/DGX-1P induced subgraph with 2, 4
+    /// and 8 scoped workers produces `TreePlan`s bit-identical to the
+    /// sequential single-scratch sweep.
+    #[test]
+    fn parallel_sweep_is_bit_identical_dgx1((alloc, _) in allocation_strategy(), v100 in any::<bool>()) {
+        let machine = if v100 { dgx1v() } else { dgx1p() };
+        let violation = check_parallel_sweep_determinism(&machine, &alloc);
+        prop_assert!(violation.is_ok(), "{}", violation.unwrap_err());
+    }
+
+    /// The same parallel-determinism pinning on random DGX-2 (16-GPU
+    /// NVSwitch) induced subgraphs, which exercises the Dinic certificate
+    /// fallback inside concurrently planning workers.
+    #[test]
+    fn parallel_sweep_is_bit_identical_dgx2((alloc, _) in dgx2_allocation_strategy()) {
+        let violation = check_parallel_sweep_determinism(&dgx2(), &alloc);
+        prop_assert!(violation.is_ok(), "{}", violation.unwrap_err());
+    }
+
+    /// Cross-communicator plan sharing over random induced subgraphs: a
+    /// second plan cache of the same job shape always hits the shared tier
+    /// and receives a bit-identical plan; perturbing the packing options
+    /// (or the topology, via a different random subgraph next case) misses.
+    #[test]
+    fn shared_plan_cache_hits_equal_shapes_and_misses_changed_ones((alloc, root_pos) in allocation_strategy()) {
+        let machine = dgx1v();
+        let sub = induced(&machine, &alloc);
+        let root = GpuId(alloc[root_pos]);
+        let opts = TreeGenOptions::default();
+        let probe = TreeGen::new(sub.clone(), opts);
+        if !probe.can_span(root) {
+            return Ok(());
+        }
+        let shared = SharedPlanCache::new();
+        let mut a = PlanCache::new().with_shared(shared.clone());
+        let plan_a = a.plan_for(&sub, &opts, root).unwrap().clone();
+        let mut b = PlanCache::new().with_shared(shared.clone());
+        let plan_b = b.plan_for(&sub, &opts, root).unwrap().clone();
+        prop_assert_eq!(shared.stats(), (1, 1), "same shape must hit the shared tier");
+        prop_assert!(plan_a.bit_eq(&plan_b), "shared plan must be bit-identical");
+        // a perturbed option set fingerprints differently and misses
+        let retuned = TreeGenOptions {
+            packing: PackingOptions { epsilon: 0.04, ..Default::default() },
+            ..opts
+        };
+        let mut c = PlanCache::new().with_shared(shared.clone());
+        c.plan_for(&sub, &retuned, root).unwrap();
+        prop_assert_eq!(shared.stats(), (1, 2), "changed options must miss");
+        prop_assert_eq!(shared.len(), 2);
     }
 
     /// Scratch reuse is pure buffer reuse: packing through a scratch dirtied
