@@ -382,7 +382,20 @@ fn main() {
         // Absolute gate: with real parallelism available, the parallel sweep
         // must never lose to the sequential path (beyond measurement noise,
         // see SWEEP_TOLERANCE). With one worker the two paths are the same
-        // code, so the comparison would only measure noise.
+        // code, so the comparison would only measure noise — skip loudly so a
+        // single-core runner is never mistaken for a passing gate.
+        if out.parallel_sweep.workers < 2 {
+            eprintln!(
+                "=================================================================\n\
+                 SKIPPED: parallel-sweep gate NOT enforced — this runner exposes \n\
+                 only {} worker(s) (std::thread::available_parallelism), so the \n\
+                 parallel and sequential sweeps are the same code path and the \n\
+                 {:.2}x \"speedup\" above is two timings of identical work. Run \n\
+                 --check on a machine with >= 2 cores to arm this gate.\n\
+                 =================================================================",
+                out.parallel_sweep.workers, out.parallel_sweep.speedup
+            );
+        }
         let sweep_regressed =
             out.parallel_sweep.workers >= 2 && out.parallel_sweep.speedup < SWEEP_TOLERANCE;
         if sweep_regressed {

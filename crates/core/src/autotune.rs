@@ -169,6 +169,24 @@ impl SharedPlanCache {
         inner.hits = 0;
         inner.misses = 0;
     }
+
+    /// Drops every plan memoised under `fingerprint`, leaving other job
+    /// shapes (and the hit/miss counters) untouched. [`PlanCache`] calls this
+    /// automatically when a communicator's topology/options fingerprint
+    /// *changes* — a changed fingerprint usually means that shape's hardware
+    /// no longer exists as recorded (link failure, elastic re-allocation),
+    /// so its plans are dead weight.
+    ///
+    /// The flush is process-wide and deliberately conservative: if *other*
+    /// communicators still run the old shape, their next miss simply
+    /// re-packs and re-publishes — correctness is never at stake (lookups
+    /// are always keyed by the caller's current fingerprint), this only
+    /// trades a possible re-pack against unbounded retention of plans for
+    /// shapes that may never recur.
+    pub fn invalidate_fingerprint(&self, fingerprint: u64) {
+        let mut inner = self.inner.lock().expect("shared plan cache poisoned");
+        inner.plans.retain(|&(fp, _, _), _| fp != fingerprint);
+    }
 }
 
 /// Memoises [`TreePlan`]s per `(root, link class)`, sharing a single
@@ -229,10 +247,18 @@ impl PlanCache {
     }
 
     /// Rekeys the local tier to `fp`, dropping plans built under a different
-    /// fingerprint.
+    /// fingerprint. When the fingerprint *changes* (as opposed to being set
+    /// for the first time), the old shape's plans in an attached
+    /// [`SharedPlanCache`] are flushed too: the communicator just observed
+    /// that the shape they were built for no longer exists (topology mutation,
+    /// retuned options), so serving them to a later communicator would hand
+    /// out plans for dead hardware.
     fn rekey(&mut self, fp: u64) {
         if self.built_under != Some(fp) {
             self.plans.clear();
+            if let (Some(old), Some(shared)) = (self.built_under, &self.shared) {
+                shared.invalidate_fingerprint(old);
+            }
             self.built_under = Some(fp);
         }
     }
@@ -629,6 +655,43 @@ mod tests {
         assert_eq!(misses, 3);
         // unlike the local tier, the shared tier keeps all three shapes
         assert_eq!(shared.len(), 3);
+    }
+
+    #[test]
+    fn a_changed_topology_fingerprint_auto_invalidates_the_shared_tier() {
+        let topo = dgx1v();
+        let full = topo
+            .induced(&(0..8).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let half = topo
+            .induced(&(0..4).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default();
+        let shared = SharedPlanCache::new();
+        // a second communicator keeps the full-shape plan alive in the
+        // shared tier
+        let mut other = PlanCache::new().with_shared(shared.clone());
+        other.plan_for(&full, &opts, GpuId(0)).unwrap();
+        assert_eq!(shared.len(), 1);
+        // communicator A observes its topology change full -> half: the
+        // full-shape plans are dropped from the shared tier automatically
+        // (the hardware they were built for no longer exists as recorded)
+        let mut a = PlanCache::new().with_shared(shared.clone());
+        a.plan_for(&full, &opts, GpuId(0)).unwrap();
+        a.plan_for(&half, &opts, GpuId(0)).unwrap();
+        assert_eq!(
+            shared.len(),
+            1,
+            "only the half-shape plan survives the fingerprint change"
+        );
+        let fp_half = plan_fingerprint(&half, &opts);
+        assert!(
+            shared.get(fp_half, GpuId(0), opts.links).is_some(),
+            "the new shape's plan is the survivor"
+        );
+        // explicit per-fingerprint invalidation is also available directly
+        shared.invalidate_fingerprint(fp_half);
+        assert_eq!(shared.len(), 0);
     }
 
     #[test]

@@ -13,6 +13,16 @@
 //! * reductions are issued into the stream of the outgoing copy, which is what
 //!   makes reduce-and-forward cost a little more than pure forwarding (the
 //!   effect measured in Figure 7).
+//!
+//! Every emitted `Copy`/`Reduce` carries its exact **logical byte range** into
+//! the collective's address space (see `blink_sim::semantics` for the
+//! per-collective definition): reducing collectives address the buffer
+//! `[0, total)` directly, and the gathering collectives address the
+//! concatenated slot space `[rank · total, (rank + 1) · total)` with ranks
+//! assigned in ascending [`GpuId`] order over the tree's vertex set. A tree's
+//! share is a contiguous sub-range of `[0, total)`, each chunk a sub-range of
+//! its tree's share — so the value-level oracle can replay the program and
+//! prove every byte landed exactly once where the contract says it must.
 
 use crate::collective::CollectiveKind;
 use crate::{BlinkError, Result};
@@ -135,7 +145,17 @@ struct TreeChunk<'a> {
     tree_idx: usize,
     tree: &'a Arborescence,
     chunk_idx: usize,
+    /// Length of this chunk's logical range.
     bytes: u64,
+    /// Absolute start of this chunk's range within the collective's
+    /// per-participant buffer `[0, total)`.
+    offset: u64,
+    /// The collective's full per-participant buffer size — the slot stride of
+    /// the gathering collectives' concatenated address space.
+    total: u64,
+    /// Participants in slot-rank order (ascending [`GpuId`] over the tree's
+    /// vertex set, matching the oracle's rank assignment).
+    participants: &'a [GpuId],
     class: LinkClass,
     /// Ops that must complete before any op of this chunk with no other
     /// dependency may start (e.g. a peer-access toggle for PCIe trees).
@@ -149,6 +169,31 @@ impl TreeChunk<'_> {
         } else {
             deps
         }
+    }
+
+    /// Slot base of `gpu` in the gathering collectives' concatenated address
+    /// space: `rank · total`, ranks in ascending [`GpuId`] order.
+    fn slot_base(&self, gpu: GpuId) -> u64 {
+        let rank = self
+            .participants
+            .binary_search(&gpu)
+            .expect("every tree vertex is a participant");
+        rank as u64 * self.total
+    }
+
+    /// The part of `gpu`'s canonical ReduceScatter shard this chunk carries:
+    /// rank `i` of `n` owns `[⌊i·total/n⌋, ⌊(i+1)·total/n⌋)` of the whole
+    /// buffer (the oracle's contract), and each chunk delivers its
+    /// intersection with that shard. May be empty.
+    fn shard_of(&self, gpu: GpuId) -> (u64, u64) {
+        let n = self.participants.len().max(1) as u64;
+        let i = self
+            .participants
+            .binary_search(&gpu)
+            .expect("every tree vertex is a participant") as u64;
+        let start = (i * self.total / n).max(self.offset);
+        let end = ((i + 1) * self.total / n).min(self.offset + self.bytes);
+        (start, end.saturating_sub(start))
     }
 }
 
@@ -195,6 +240,27 @@ impl CodeGen {
         bytes: u64,
         gate: &[OpId],
     ) -> Result<()> {
+        self.emit_range_into(builder, trees, kind, bytes, 0, bytes, gate)
+    }
+
+    /// Like [`CodeGen::emit_into`], but the trees carry only the sub-range
+    /// `[base, base + share)` of the collective's `total`-byte buffer. The
+    /// hybrid planner splits `[0, total)` between its NVLink and PCIe tree
+    /// sets this way, and the three-phase multi-server protocol assigns each
+    /// partition its own disjoint sub-range — both end up emitting
+    /// byte-exact ranges the value-level oracle can verify against the whole
+    /// collective's contract.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_range_into(
+        &self,
+        builder: &mut ProgramBuilder,
+        trees: &[WeightedTree],
+        kind: CollectiveKind,
+        total: u64,
+        base: u64,
+        share: u64,
+        gate: &[OpId],
+    ) -> Result<()> {
         if let Some(root) = kind.root() {
             if trees.iter().any(|t| t.tree.root != root) {
                 return Err(BlinkError::CodeGen(format!(
@@ -202,24 +268,50 @@ impl CodeGen {
                 )));
             }
         }
-        let num_gpus = trees
+        if base + share > total {
+            return Err(BlinkError::CodeGen(format!(
+                "range [{base}, {}) exceeds the {total}-byte buffer",
+                base + share
+            )));
+        }
+        // slot ranks are assigned in ascending GpuId order over the tree's
+        // vertex set, matching blink_sim::semantics::check_collective
+        let participants: Vec<GpuId> = trees
             .first()
-            .map(|t| t.tree.num_vertices())
-            .unwrap_or(1)
-            .max(1);
-        let shares = split_by_weight(trees, bytes);
+            .map(|t| {
+                let mut v = t.tree.bfs_order();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default();
+        let shares = split_by_weight(trees, share);
         let mut streams = StreamAllocator::new(self.options.stream_reuse);
 
-        // per-tree chunk lists
-        let chunk_lists: Vec<Vec<u64>> = shares
+        // per-tree chunk ranges: tree `t` owns the contiguous sub-range of
+        // `[base, base + share)` after the shares of trees 0..t, and its
+        // chunks tile that sub-range in order
+        let mut tree_base = base;
+        let chunk_lists: Vec<Vec<(u64, u64)>> = shares
             .iter()
-            .map(|&share| chunk_sizes(share, self.options.chunk_bytes))
+            .map(|&tree_share| {
+                let mut off = tree_base;
+                tree_base += tree_share;
+                chunk_sizes(tree_share, self.options.chunk_bytes)
+                    .into_iter()
+                    .map(|len| {
+                        let range = (off, len);
+                        off += len;
+                        range
+                    })
+                    .collect()
+            })
             .collect();
         let max_chunks = chunk_lists.iter().map(Vec::len).max().unwrap_or(0);
 
         for chunk_idx in 0..max_chunks {
             for (tree_idx, wt) in trees.iter().enumerate() {
-                let Some(&chunk_bytes) = chunk_lists[tree_idx].get(chunk_idx) else {
+                let Some(&(chunk_offset, chunk_bytes)) = chunk_lists[tree_idx].get(chunk_idx)
+                else {
                     continue;
                 };
                 if chunk_bytes == 0 {
@@ -230,12 +322,15 @@ impl CodeGen {
                     tree: &wt.tree,
                     chunk_idx,
                     bytes: chunk_bytes,
+                    offset: chunk_offset,
+                    total,
+                    participants: &participants,
                     class: self.options.link_class,
                     gate,
                 };
                 match kind {
                     CollectiveKind::Broadcast { .. } => {
-                        emit_broadcast(builder, &mut streams, &ctx, Vec::new());
+                        emit_broadcast(builder, &mut streams, &ctx, Vec::new(), &[ctx.offset]);
                     }
                     CollectiveKind::Gather { .. } => {
                         emit_gather(builder, &mut streams, &ctx);
@@ -250,21 +345,22 @@ impl CodeGen {
                             &mut streams,
                             &ctx,
                             root_reduce.map(|d| vec![d]).unwrap_or_default(),
+                            &[ctx.offset],
                         );
                     }
                     CollectiveKind::AllGather => {
                         let root_arrivals = emit_gather(builder, &mut streams, &ctx);
-                        // after gathering, the root redistributes the
-                        // concatenation of all contributions
-                        let full = TreeChunk {
-                            bytes: ctx.bytes * num_gpus as u64,
-                            ..ctx
-                        };
-                        emit_broadcast(builder, &mut streams, &full, root_arrivals);
+                        // after gathering, the root redistributes every
+                        // participant's slot sub-range for this chunk
+                        let slots: Vec<u64> = participants
+                            .iter()
+                            .map(|&g| ctx.slot_base(g) + ctx.offset)
+                            .collect();
+                        emit_broadcast(builder, &mut streams, &ctx, root_arrivals, &slots);
                     }
                     CollectiveKind::ReduceScatter => {
                         let root_reduce = emit_reduce(builder, &mut streams, &ctx);
-                        emit_scatter(builder, &mut streams, &ctx, root_reduce, num_gpus);
+                        emit_scatter(builder, &mut streams, &ctx, root_reduce);
                     }
                 }
             }
@@ -275,37 +371,49 @@ impl CodeGen {
 
 /// Broadcast one chunk down a tree; `root_deps` (if non-empty) gate the root's
 /// sends (used by AllReduce, where the reduced value must exist first).
+///
+/// `bases` are the absolute range starts the payload covers — one copy of
+/// `ctx.bytes` per base on every edge. Plain Broadcast passes the chunk's own
+/// offset; the AllGather redistribution passes every participant's slot
+/// sub-range for this chunk.
 fn emit_broadcast(
     b: &mut ProgramBuilder,
     streams: &mut StreamAllocator,
     ctx: &TreeChunk<'_>,
     root_deps: Vec<OpId>,
+    bases: &[u64],
 ) {
     let tree = ctx.tree;
-    let mut arrival: BTreeMap<GpuId, OpId> = BTreeMap::new();
+    let mut arrival: BTreeMap<GpuId, Vec<OpId>> = BTreeMap::new();
     for (parent, child) in tree.edges_bfs() {
         let depth = tree.depth_of(parent).unwrap_or(0);
         let stream = streams.stream(b, ctx.tree_idx, parent, child, depth);
         let deps = if parent == tree.root {
             ctx.gated(root_deps.clone())
         } else {
-            ctx.gated(arrival.get(&parent).map(|&a| vec![a]).unwrap_or_default())
+            ctx.gated(arrival.get(&parent).cloned().unwrap_or_default())
         };
-        let id = b.copy(
-            parent,
-            child,
-            ctx.bytes,
-            ctx.class,
-            stream,
-            deps,
-            format!("blink bcast t{} c{}", ctx.tree_idx, ctx.chunk_idx),
-        );
-        arrival.insert(child, id);
+        let mut ids = Vec::with_capacity(bases.len());
+        for &base in bases {
+            ids.push(b.copy_range(
+                parent,
+                child,
+                base,
+                ctx.bytes,
+                ctx.class,
+                stream,
+                deps.clone(),
+                format!("blink bcast t{} c{}", ctx.tree_idx, ctx.chunk_idx),
+            ));
+        }
+        arrival.insert(child, ids);
     }
 }
 
-/// Gather one chunk up a tree (no reduction). Returns the copies that arrive
-/// at the root (the deps a follow-up redistribution phase must wait for).
+/// Gather one chunk up a tree (no reduction): every vertex forwards its own
+/// slot sub-range and the slot sub-ranges its subtree delivered, one copy per
+/// slot so each carries an exact range. Returns the copies that arrive at the
+/// root (the deps a follow-up redistribution phase must wait for).
 fn emit_gather(
     b: &mut ProgramBuilder,
     streams: &mut StreamAllocator,
@@ -314,33 +422,36 @@ fn emit_gather(
     let tree = ctx.tree;
     let mut order = tree.bfs_order();
     order.reverse();
-    let mut sent: BTreeMap<GpuId, OpId> = BTreeMap::new();
+    let mut sent: BTreeMap<GpuId, Vec<OpId>> = BTreeMap::new();
     let mut root_arrivals = Vec::new();
     for &v in &order {
         let Some(parent) = tree.parent(v) else {
             continue;
         };
-        let subtree = subtree_size(tree, v);
         let deps: Vec<OpId> = tree
             .children(v)
             .iter()
-            .filter_map(|c| sent.get(c).copied())
+            .flat_map(|c| sent.get(c).cloned().unwrap_or_default())
             .collect();
         let depth = tree.depth_of(v).unwrap_or(0);
         let stream = streams.stream(b, ctx.tree_idx, v, parent, depth);
-        let id = b.copy(
-            v,
-            parent,
-            ctx.bytes * subtree as u64,
-            ctx.class,
-            stream,
-            ctx.gated(deps),
-            format!("blink gather t{} c{}", ctx.tree_idx, ctx.chunk_idx),
-        );
-        sent.insert(v, id);
-        if parent == tree.root {
-            root_arrivals.push(id);
+        let mut ids = Vec::new();
+        for m in subtree_members(tree, v) {
+            ids.push(b.copy_range(
+                v,
+                parent,
+                ctx.slot_base(m) + ctx.offset,
+                ctx.bytes,
+                ctx.class,
+                stream,
+                ctx.gated(deps.clone()),
+                format!("blink gather t{} c{}", ctx.tree_idx, ctx.chunk_idx),
+            ));
         }
+        if parent == tree.root {
+            root_arrivals.extend(ids.iter().copied());
+        }
+        sent.insert(v, ids);
     }
     root_arrivals
 }
@@ -373,8 +484,9 @@ fn emit_reduce(
                 Some(p) => streams.stream(b, ctx.tree_idx, v, p, depth),
                 None => streams.stream(b, ctx.tree_idx, v, children[0], depth),
             };
-            let red = b.reduce(
+            let red = b.reduce_range(
                 v,
+                ctx.offset,
                 ctx.bytes,
                 stream,
                 ctx.gated(deps.clone()),
@@ -387,9 +499,10 @@ fn emit_reduce(
         }
         if let Some(p) = parent {
             let stream = streams.stream(b, ctx.tree_idx, v, p, depth);
-            let id = b.copy(
+            let id = b.copy_range(
                 v,
                 p,
+                ctx.offset,
                 ctx.bytes,
                 ctx.class,
                 stream,
@@ -403,52 +516,62 @@ fn emit_reduce(
 }
 
 /// Scatter shards from the root down a tree: the edge into a child carries the
-/// shards of every GPU in that child's subtree.
+/// (chunk-relative) shard of every GPU in that child's subtree, one exact-range
+/// copy per shard. Shards with no bytes (chunk smaller than the participant
+/// count) emit nothing.
 fn emit_scatter(
     b: &mut ProgramBuilder,
     streams: &mut StreamAllocator,
     ctx: &TreeChunk<'_>,
     root_dep: Option<OpId>,
-    num_gpus: usize,
 ) {
     let tree = ctx.tree;
-    let shard = (ctx.bytes / num_gpus.max(1) as u64).max(1);
-    let mut arrival: BTreeMap<GpuId, OpId> = BTreeMap::new();
+    let mut arrival: BTreeMap<GpuId, Vec<OpId>> = BTreeMap::new();
     for (parent, child) in tree.edges_bfs() {
         let depth = tree.depth_of(parent).unwrap_or(0);
         let stream = streams.stream(b, ctx.tree_idx, parent, child, depth);
         let deps = if parent == tree.root {
             ctx.gated(root_dep.map(|d| vec![d]).unwrap_or_default())
         } else {
-            ctx.gated(arrival.get(&parent).map(|&a| vec![a]).unwrap_or_default())
+            ctx.gated(arrival.get(&parent).cloned().unwrap_or_default())
         };
-        let bytes = shard * subtree_size(tree, child) as u64;
-        let id = b.copy(
-            parent,
-            child,
-            bytes,
-            ctx.class,
-            stream,
-            deps,
-            format!("blink scatter t{} c{}", ctx.tree_idx, ctx.chunk_idx),
-        );
-        arrival.insert(child, id);
+        let mut ids = Vec::new();
+        for m in subtree_members(tree, child) {
+            let (start, len) = ctx.shard_of(m);
+            if len == 0 {
+                continue;
+            }
+            ids.push(b.copy_range(
+                parent,
+                child,
+                start,
+                len,
+                ctx.class,
+                stream,
+                deps.clone(),
+                format!("blink scatter t{} c{}", ctx.tree_idx, ctx.chunk_idx),
+            ));
+        }
+        arrival.insert(child, ids);
     }
 }
 
-fn subtree_size(tree: &Arborescence, v: GpuId) -> usize {
-    1 + tree
-        .children(v)
-        .iter()
-        .map(|&c| subtree_size(tree, c))
-        .sum::<usize>()
+/// The vertices of `v`'s subtree (including `v`), in DFS order.
+fn subtree_members(tree: &Arborescence, v: GpuId) -> Vec<GpuId> {
+    let mut out = vec![v];
+    let mut i = 0;
+    while i < out.len() {
+        out.extend(tree.children(out[i]));
+        i += 1;
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::treegen::{TreeGen, TreeGenOptions};
-    use blink_sim::Simulator;
+    use blink_sim::{OpKind, Simulator};
     use blink_topology::presets::dgx1v;
     use blink_topology::Topology;
 
@@ -622,6 +745,118 @@ mod tests {
             let _ = op;
             assert!(report.op_spans[i].0 >= gate_end - 1e-9);
         }
+    }
+
+    /// Sorts `ranges` and asserts they tile `[start, end)` exactly (no gap,
+    /// no overlap).
+    fn assert_tiles(mut ranges: Vec<(u64, u64)>, start: u64, end: u64, what: &str) {
+        ranges.sort_unstable();
+        let mut cur = start;
+        for (s, e) in ranges {
+            assert_eq!(s, cur, "{what}: gap or overlap at {s}");
+            cur = e;
+        }
+        assert_eq!(cur, end, "{what}: ranges stop short of {end}");
+    }
+
+    #[test]
+    fn emitted_ranges_are_chunk_exact() {
+        let (_, trees) = plan_for(&[0, 1, 2, 3], 0);
+        let bytes = mb(10) + 3;
+        let cg = CodeGen::default();
+
+        // Broadcast: the copies into each non-root GPU tile [0, bytes)
+        let prog = cg
+            .build(&trees, CollectiveKind::Broadcast { root: GpuId(0) }, bytes)
+            .unwrap();
+        for dst in 1..4 {
+            let ranges: Vec<(u64, u64)> = prog
+                .ops()
+                .iter()
+                .filter_map(|o| match o.kind {
+                    OpKind::Copy {
+                        dst: d,
+                        bytes: b,
+                        offset,
+                        ..
+                    } if d == GpuId(dst) => Some((offset, offset + b)),
+                    _ => None,
+                })
+                .collect();
+            assert_tiles(ranges, 0, bytes, "broadcast delivery");
+        }
+
+        // ReduceScatter: each rank's received shards plus the root's resident
+        // shard tile its canonical shard exactly
+        let prog = cg
+            .build(&trees, CollectiveKind::ReduceScatter, bytes)
+            .unwrap();
+        for rank in 1u64..4 {
+            let (shard_s, shard_e) = (rank * bytes / 4, (rank + 1) * bytes / 4);
+            let ranges: Vec<(u64, u64)> = prog
+                .ops()
+                .iter()
+                .filter_map(|o| match o.kind {
+                    OpKind::Copy {
+                        dst: d,
+                        bytes: b,
+                        offset,
+                        ..
+                    } if d == GpuId(rank as usize)
+                        && o.tag.starts_with("blink scatter")
+                        && offset >= shard_s
+                        && offset + b <= shard_e =>
+                    {
+                        Some((offset, offset + b))
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_tiles(ranges, shard_s, shard_e, "scatter shard");
+        }
+
+        // emit_range_into: a sub-range emission never addresses outside its
+        // share for the reducing collectives, and reductions match copies
+        let mut b = ProgramBuilder::new();
+        let (base, share, total) = (mb(3), mb(4) + 1, mb(10) + 3);
+        cg.emit_range_into(
+            &mut b,
+            &trees,
+            CollectiveKind::AllReduce,
+            total,
+            base,
+            share,
+            &[],
+        )
+        .unwrap();
+        let prog = b.build().unwrap();
+        for op in prog.ops() {
+            let (o, len) = match op.kind {
+                OpKind::Copy { bytes, offset, .. } | OpKind::Reduce { bytes, offset, .. } => {
+                    (offset, bytes)
+                }
+                _ => continue,
+            };
+            assert!(
+                o >= base && o + len <= base + share,
+                "op range [{o}, {}) escapes the share [{base}, {})",
+                o + len,
+                base + share
+            );
+        }
+        // an out-of-bounds share is rejected outright
+        let mut b = ProgramBuilder::new();
+        assert!(cg
+            .emit_range_into(
+                &mut b,
+                &trees,
+                CollectiveKind::AllReduce,
+                total,
+                total - 1,
+                2,
+                &[],
+            )
+            .is_err());
     }
 
     #[test]

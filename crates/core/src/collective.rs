@@ -57,6 +57,20 @@ impl CollectiveKind {
                 | CollectiveKind::ReduceScatter
         )
     }
+
+    /// The value-level contract this collective promises, in the form the
+    /// oracle ([`blink_sim::semantics::check_collective`]) checks.
+    pub fn spec(&self) -> blink_sim::CollectiveSpec {
+        use blink_sim::CollectiveSpec;
+        match *self {
+            CollectiveKind::Broadcast { root } => CollectiveSpec::Broadcast { root },
+            CollectiveKind::Gather { root } => CollectiveSpec::Gather { root },
+            CollectiveKind::Reduce { root } => CollectiveSpec::Reduce { root },
+            CollectiveKind::AllReduce => CollectiveSpec::AllReduce,
+            CollectiveKind::AllGather => CollectiveSpec::AllGather,
+            CollectiveKind::ReduceScatter => CollectiveSpec::ReduceScatter,
+        }
+    }
 }
 
 impl fmt::Display for CollectiveKind {

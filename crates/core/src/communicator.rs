@@ -17,7 +17,7 @@ use crate::onehop::{is_switch_fabric, one_hop_broadcast_tree, one_hop_trees};
 use crate::treegen::{parallel_map, LinkSelection, TreeGenOptions};
 use crate::{BlinkError, Result};
 use blink_graph::{optimal_broadcast_rate_in, DiGraph, WeightedTree};
-use blink_sim::{Program, SimParams, Simulator};
+use blink_sim::{check_collective, Program, SimParams, Simulator, ValueCheck};
 use blink_topology::{GpuId, Topology};
 use std::collections::BTreeMap;
 
@@ -47,6 +47,10 @@ impl Default for CommunicatorOptions {
         }
     }
 }
+
+/// A collective's timing report plus the artifacts the value-level oracle
+/// replays: the lowered program and the engine's per-op `(start, end)` spans.
+pub type TracedRun = (CollectiveReport, Program, Vec<(f64, f64)>);
 
 /// A Blink communicator bound to one GPU allocation on one machine (or
 /// cluster slice).
@@ -185,8 +189,16 @@ impl Communicator {
 
     /// Runs an arbitrary collective.
     pub fn run(&mut self, kind: CollectiveKind, bytes: u64) -> Result<CollectiveReport> {
+        self.run_traced(kind, bytes).map(|(report, _, _)| report)
+    }
+
+    /// Runs a collective and also returns the lowered program plus the
+    /// engine's per-op `(start, end)` spans — exactly the inputs the
+    /// value-level oracle needs. Trivial calls (single GPU, empty buffer)
+    /// return an empty program and no spans.
+    pub fn run_traced(&mut self, kind: CollectiveKind, bytes: u64) -> Result<TracedRun> {
         if self.allocation.len() < 2 || bytes == 0 {
-            return Ok(CollectiveReport {
+            let report = CollectiveReport {
                 kind,
                 bytes,
                 elapsed_us: 0.0,
@@ -194,7 +206,8 @@ impl Communicator {
                 num_trees: 0,
                 chunk_bytes: 0,
                 strategy: "trivial (single GPU or empty buffer)".to_string(),
-            });
+            };
+            return Ok((report, Program::default(), Vec::new()));
         }
         for &g in &self.allocation {
             if !self.machine.contains(g) {
@@ -209,7 +222,7 @@ impl Communicator {
             .map_err(|e| BlinkError::Simulation(e.to_string()))?;
         let gbps = report.algorithmic_bandwidth_gbps(bytes);
         self.observe_chunk(kind, bytes, gbps);
-        Ok(CollectiveReport {
+        let collective_report = CollectiveReport {
             kind,
             bytes,
             elapsed_us: report.total_us,
@@ -217,7 +230,26 @@ impl Communicator {
             num_trees,
             chunk_bytes: chunk,
             strategy,
-        })
+        };
+        Ok((collective_report, program, report.op_spans))
+    }
+
+    /// Runs a collective end to end and replays the executed program through
+    /// the value-level oracle ([`blink_sim::check_collective`]): the returned
+    /// [`ValueCheck`] proves (or refutes, with pinpointed byte ranges) that
+    /// every participant ended holding exactly the bytes the collective's
+    /// contract requires. This is the conformance entry point CI drives for
+    /// every strategy — packed trees, one-hop switch trees, hybrid, PCIe
+    /// fallback and the three-phase multi-server protocol all lower through
+    /// range-carrying ops, so the same oracle covers them all.
+    pub fn run_checked(
+        &mut self,
+        kind: CollectiveKind,
+        bytes: u64,
+    ) -> Result<(CollectiveReport, ValueCheck)> {
+        let (report, program, spans) = self.run_traced(kind, bytes)?;
+        let check = check_collective(kind.spec(), &program, &spans, &self.allocation, bytes);
+        Ok((report, check))
     }
 
     /// The chunk size the next call with this signature would use (exposed for

@@ -236,9 +236,9 @@ impl HybridPlanner {
     /// the slow path negligible).
     const PCIE_CHUNK: u64 = 1 << 20;
 
-    /// Builds the combined program: NVLink trees carry their share
-    /// immediately; PCIe trees wait for the peer-access toggle and carry the
-    /// rest.
+    /// Builds the combined program: NVLink trees carry the leading
+    /// `[0, nvlink_bytes)` of the buffer immediately; PCIe trees wait for the
+    /// peer-access toggle and carry the trailing `[nvlink_bytes, bytes)`.
     pub fn build(
         &self,
         kind: CollectiveKind,
@@ -252,10 +252,12 @@ impl HybridPlanner {
             link_class: LinkClass::NvLink,
             ..*options
         });
-        nv_cg.emit_into(
+        nv_cg.emit_range_into(
             &mut builder,
             &self.nvlink_plan.trees,
             kind,
+            bytes,
+            0,
             split.nvlink_bytes,
             &[],
         )?;
@@ -267,10 +269,12 @@ impl HybridPlanner {
                 chunk_bytes: options.chunk_bytes.min(Self::PCIE_CHUNK),
                 ..*options
             });
-            pcie_cg.emit_into(
+            pcie_cg.emit_range_into(
                 &mut builder,
                 &self.pcie_plan.trees,
                 kind,
+                bytes,
+                split.nvlink_bytes,
                 split.pcie_bytes,
                 &[toggle],
             )?;

@@ -10,7 +10,16 @@
 //!   bit-identical to the sequential path at every worker count.
 //! * [`codegen`] — the CodeGen stage: lower a tree plan into a chunked,
 //!   pipelined transfer program with one stream per link per tree and stream
-//!   reuse for fair link sharing (Section 4).
+//!   reuse for fair link sharing (Section 4). Every emitted op carries its
+//!   exact logical byte range — a tree's share is a contiguous sub-range of
+//!   the buffer, each chunk a sub-range of its share, gathered slots live at
+//!   `rank · bytes`, ReduceScatter shards follow the canonical
+//!   `⌊i·bytes/n⌋` split — which is what makes the lowering *checkable*:
+//!   `blink_sim::semantics::check_collective` replays any executed program
+//!   and proves every byte landed exactly once where the collective's
+//!   contract requires ([`Communicator::run_checked`] wires this up
+//!   end-to-end, and the CI `conformance` job drives it over the full
+//!   strategy × collective × topology matrix).
 //! * [`collective`] — the collective operations Blink exposes (Broadcast,
 //!   Gather, Reduce, AllGather, ReduceScatter, AllReduce) and their reports.
 //! * [`autotune`] — the multiplicative-increase / additive-decrease automatic

@@ -182,19 +182,27 @@ pub fn three_phase_allreduce_cached(
     let partition_bytes = split_even(bytes, partitions);
     let n_servers = servers.len();
 
+    // partition p owns the contiguous range [partition_base[p], .. + pb) of
+    // the collective's [0, bytes) buffer; every op below carries its exact
+    // sub-range of it so the value-level oracle can replay the protocol
+    let mut partition_base = 0u64;
     for p in 0..partitions {
         let pb = partition_bytes[p];
         if pb == 0 {
             continue;
         }
+        let pbase = partition_base;
+        partition_base += pb;
         // ---- phase 1: local reduce toward each server's partition root ----
         let mut phase1_barriers: Vec<OpId> = Vec::with_capacity(n_servers);
         for s in 0..n_servers {
             let start = builder.len();
-            cg.emit_into(
+            cg.emit_range_into(
                 &mut builder,
                 &plans[s][p].trees,
                 CollectiveKind::Reduce { root: roots[s][p] },
+                bytes,
+                pbase,
                 pb,
                 &[],
             )?;
@@ -214,26 +222,33 @@ pub fn three_phase_allreduce_cached(
         // server q's root
         let slices = split_even(pb, n_servers);
         let mut phase2_barriers: Vec<Vec<OpId>> = vec![Vec::new(); n_servers];
+        let mut slice_base = pbase;
         for q in 0..n_servers {
             let slice = slices[q];
             if slice == 0 {
                 continue;
             }
+            let sbase = slice_base;
+            slice_base += slice;
             let owner = roots[q][p];
             let owner_stream = builder.new_stream();
+            let mut chunk_off = sbase;
             for (c_idx, &sz) in chunk_sizes(slice, cg_options.chunk_bytes)
                 .iter()
                 .enumerate()
             {
+                let off = chunk_off;
+                chunk_off += sz;
                 let mut arrivals = Vec::new();
                 for s in 0..n_servers {
                     if s == q {
                         continue;
                     }
                     let stream = builder.new_stream();
-                    arrivals.push(builder.copy(
+                    arrivals.push(builder.copy_range(
                         roots[s][p],
                         owner,
+                        off,
                         sz,
                         LinkClass::Network,
                         stream,
@@ -243,8 +258,9 @@ pub fn three_phase_allreduce_cached(
                 }
                 let mut red_deps = arrivals;
                 red_deps.push(phase1_barriers[q]);
-                let red = builder.reduce(
+                let red = builder.reduce_range(
                     owner,
+                    off,
                     sz,
                     owner_stream,
                     red_deps,
@@ -256,9 +272,10 @@ pub fn three_phase_allreduce_cached(
                         continue;
                     }
                     let stream = builder.new_stream();
-                    let back = builder.copy(
+                    let back = builder.copy_range(
                         owner,
                         roots[s][p],
+                        off,
                         sz,
                         LinkClass::Network,
                         stream,
@@ -279,10 +296,12 @@ pub fn three_phase_allreduce_cached(
                 phase2_barriers[s].clone(),
                 format!("phase3 gate p{p} s{s}"),
             );
-            cg.emit_into(
+            cg.emit_range_into(
                 &mut builder,
                 &plans[s][p].trees,
                 CollectiveKind::Broadcast { root: roots[s][p] },
+                bytes,
+                pbase,
                 pb,
                 &[gate],
             )?;

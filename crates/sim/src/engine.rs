@@ -158,6 +158,7 @@ impl Simulator {
                 dst,
                 bytes,
                 class,
+                ..
             } => {
                 let bw = self.link_capacity(src, dst, class);
                 if bw <= 0.0 {
@@ -357,6 +358,7 @@ impl Simulator {
                 dst,
                 bytes,
                 class,
+                ..
             } = op.kind
             {
                 *link_busy.entry((src, dst, class)).or_insert(0.0) += duration;

@@ -24,11 +24,12 @@
 //! * [`patterns`] — builders for the paper's micro-benchmark traffic patterns
 //!   (chain forward / reduce+forward / reduce-broadcast, fan-in/out, MIMO,
 //!   MCA) used to reproduce Figures 7, 8, 24 and 26.
-//! * [`semantics`] — a data-flow checker that replays an executed program
-//!   along the engine's schedule and verifies every GPU ended with the
-//!   correct reduced value ([`semantics::check_allreduce`]), closing the loop
-//!   between "the program finished fast" and "the program computed the right
-//!   thing".
+//! * [`semantics`] — a value-level oracle that replays an executed program
+//!   along the engine's schedule at byte-range granularity and verifies every
+//!   GPU ended with exactly the bytes the collective's contract names
+//!   ([`semantics::check_collective`], covering all five collectives with
+//!   contribution *multisets*), closing the loop between "the program
+//!   finished fast" and "the program computed the right thing".
 //!
 //! The simulator's engine deliberately knows nothing about collectives: Blink
 //! and the NCCL baseline lower their schedules to programs; [`semantics`]
@@ -46,4 +47,4 @@ pub mod semantics;
 pub use engine::{RunReport, Simulator};
 pub use params::SimParams;
 pub use program::{LinkClass, Op, OpId, OpKind, Program, ProgramBuilder, StreamId};
-pub use semantics::{check_allreduce, ContributionCheck, MissingContribution};
+pub use semantics::{check_collective, CollectiveSpec, Contributions, ValueCheck, Violation};

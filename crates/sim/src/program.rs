@@ -47,6 +47,15 @@ impl fmt::Display for LinkClass {
 }
 
 /// One simulated operation.
+///
+/// Data-moving ops ([`OpKind::Copy`], [`OpKind::Reduce`]) carry a **logical
+/// byte range** `[offset, offset + bytes)` into the collective's address
+/// space (see [`crate::semantics`] for the per-collective definition of that
+/// space). The engine only times `bytes`; the offset exists so the value-level
+/// oracle can check exactly *which* bytes moved. Programs built by the legacy
+/// helpers ([`ProgramBuilder::copy`], [`ProgramBuilder::reduce`]) place every
+/// op at offset 0, which is correct whenever each op carries the whole
+/// logical buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum OpKind {
     /// A peer-to-peer copy of `bytes` from `src` to `dst` over `class`.
@@ -59,6 +68,9 @@ pub enum OpKind {
         bytes: u64,
         /// Link class used.
         class: LinkClass,
+        /// Start of the logical byte range this copy moves.
+        #[serde(default)]
+        offset: u64,
     },
     /// A local reduction kernel on `gpu` combining `bytes` of received data
     /// with resident data.
@@ -67,6 +79,9 @@ pub enum OpKind {
         gpu: GpuId,
         /// Bytes reduced.
         bytes: u64,
+        /// Start of the logical byte range this reduction folds.
+        #[serde(default)]
+        offset: u64,
     },
     /// A compute kernel (used by the training simulator for forward/backward
     /// passes) of a fixed duration.
@@ -207,6 +222,7 @@ impl Program {
                 dst,
                 bytes,
                 class,
+                ..
             } = o.kind
             {
                 *out.entry((src, dst, class)).or_insert(0) += bytes;
@@ -266,12 +282,29 @@ impl ProgramBuilder {
         id
     }
 
-    /// Adds a copy op.
+    /// Adds a copy op at logical offset 0 (a whole-buffer transfer).
     #[allow(clippy::too_many_arguments)]
     pub fn copy(
         &mut self,
         src: GpuId,
         dst: GpuId,
+        bytes: u64,
+        class: LinkClass,
+        stream: StreamId,
+        deps: Vec<OpId>,
+        tag: impl Into<String>,
+    ) -> OpId {
+        self.copy_range(src, dst, 0, bytes, class, stream, deps, tag)
+    }
+
+    /// Adds a copy op carrying the logical byte range
+    /// `[offset, offset + bytes)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_range(
+        &mut self,
+        src: GpuId,
+        dst: GpuId,
+        offset: u64,
         bytes: u64,
         class: LinkClass,
         stream: StreamId,
@@ -284,6 +317,7 @@ impl ProgramBuilder {
                 dst,
                 bytes,
                 class,
+                offset,
             },
             stream,
             deps,
@@ -291,7 +325,7 @@ impl ProgramBuilder {
         )
     }
 
-    /// Adds a reduction op.
+    /// Adds a reduction op at logical offset 0 (a whole-buffer fold).
     pub fn reduce(
         &mut self,
         gpu: GpuId,
@@ -300,7 +334,21 @@ impl ProgramBuilder {
         deps: Vec<OpId>,
         tag: impl Into<String>,
     ) -> OpId {
-        self.push(OpKind::Reduce { gpu, bytes }, stream, deps, tag)
+        self.reduce_range(gpu, 0, bytes, stream, deps, tag)
+    }
+
+    /// Adds a reduction op folding the logical byte range
+    /// `[offset, offset + bytes)`.
+    pub fn reduce_range(
+        &mut self,
+        gpu: GpuId,
+        offset: u64,
+        bytes: u64,
+        stream: StreamId,
+        deps: Vec<OpId>,
+        tag: impl Into<String>,
+    ) -> OpId {
+        self.push(OpKind::Reduce { gpu, bytes, offset }, stream, deps, tag)
     }
 
     /// Adds a compute op.

@@ -1,0 +1,440 @@
+//! The CI conformance gate: every strategy the communicator can pick —
+//! packed spanning trees, one-hop switch trees, hybrid NVLink+PCIe, the PCIe
+//! fallback and the three-phase multi-server protocol — is executed on the
+//! engine and replayed through the value-level oracle
+//! (`blink_sim::semantics::check_collective`) over a matrix of collectives,
+//! topologies and randomly fragmented allocations. A passing run proves every
+//! byte of every collective landed exactly once where the contract requires.
+//!
+//! The second half is mutation-based negative coverage: for each collective
+//! kind a correct generated program is seeded with one defect — a dropped op,
+//! a halved `bytes`, a shifted offset, or a duplicated fold — and the oracle
+//! must reject it with a violation that pinpoints the damage. This is what
+//! keeps the gate honest: an oracle that accepts everything would pass the
+//! positive matrix too.
+
+use blink_core::{
+    CodeGen, CodeGenOptions, CollectiveKind, Communicator, CommunicatorOptions, TreeGen,
+    TreeGenOptions,
+};
+use blink_sim::{check_collective, OpId, OpKind, Program, ProgramBuilder, Simulator};
+use blink_topology::presets::{dgx1p, dgx1v, dgx2, multi_server, ServerKind};
+use blink_topology::{GpuId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn mb(n: u64) -> u64 {
+    n * 1024 * 1024
+}
+
+/// All six collective kinds, rooted ones at `root`.
+fn all_kinds(root: GpuId) -> [CollectiveKind; 6] {
+    [
+        CollectiveKind::Broadcast { root },
+        CollectiveKind::Gather { root },
+        CollectiveKind::Reduce { root },
+        CollectiveKind::AllReduce,
+        CollectiveKind::AllGather,
+        CollectiveKind::ReduceScatter,
+    ]
+}
+
+/// A random fragmented allocation of `k` GPUs out of `pool`.
+fn random_allocation(rng: &mut StdRng, pool: &[GpuId], k: usize) -> Vec<GpuId> {
+    let mut pool = pool.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let i = rng.random_below(pool.len() as u64) as usize;
+        out.push(pool.swap_remove(i));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Runs every collective kind on `alloc` through the communicator and asserts
+/// the oracle accepts each one.
+fn assert_conformant(machine: &Topology, alloc: &[GpuId], bytes: u64, label: &str) {
+    let mut comm =
+        Communicator::new(machine.clone(), alloc, CommunicatorOptions::default()).unwrap();
+    for kind in all_kinds(alloc[0]) {
+        let (report, check) = comm.run_checked(kind, bytes).unwrap();
+        assert!(
+            check.is_correct(),
+            "{label} alloc {alloc:?} {kind} via '{}' must be byte-exact:\n{check}",
+            report.strategy
+        );
+    }
+}
+
+/// Packed spanning trees over random fragmented DGX-1V and DGX-1P
+/// allocations: all six collectives are byte-exact, at an intentionally
+/// unaligned byte count so share/chunk remainders are exercised.
+#[test]
+fn packed_trees_conform_on_random_fragmented_allocations() {
+    let mut rng = StdRng::seed_from_u64(0xb11c);
+    let pool: Vec<GpuId> = (0..8).map(GpuId).collect();
+    for machine in [dgx1v(), dgx1p()] {
+        for _ in 0..3 {
+            let k = 3 + rng.random_below(6) as usize; // 3..=8
+            let alloc = random_allocation(&mut rng, &pool, k);
+            // NVLink may not span a fragmented DGX-1P allocation from every
+            // root; the communicator transparently falls back to PCIe trees,
+            // which the oracle checks all the same.
+            assert_conformant(&machine, &alloc, mb(8) + 13, "packed trees");
+        }
+    }
+}
+
+/// One-hop switch trees on the DGX-2, full and partial allocations.
+#[test]
+fn one_hop_switch_trees_conform_on_dgx2() {
+    let mut rng = StdRng::seed_from_u64(0xd6c2);
+    let machine = dgx2();
+    let pool: Vec<GpuId> = (0..16).map(GpuId).collect();
+    let full: Vec<GpuId> = pool.clone();
+    assert_conformant(&machine, &full, mb(8) + 13, "one-hop full");
+    for _ in 0..2 {
+        let k = 2 + rng.random_below(14) as usize; // 2..=15
+        let alloc = random_allocation(&mut rng, &pool, k);
+        assert_conformant(&machine, &alloc, mb(8) + 13, "one-hop partial");
+    }
+}
+
+/// Hybrid NVLink+PCIe transfers: both tree sets carry disjoint sub-ranges of
+/// the buffer and the union must still satisfy every collective's contract.
+#[test]
+fn hybrid_transfers_conform() {
+    let machine = dgx1v();
+    let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+    let mut comm = Communicator::new(
+        machine,
+        &alloc,
+        CommunicatorOptions {
+            use_hybrid: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // large enough that Equation 8 assigns the PCIe trees a non-zero share
+    let bytes = mb(200) + 7;
+    let mut saw_pcie_share = false;
+    for kind in all_kinds(GpuId(0)) {
+        let (report, check) = comm.run_checked(kind, bytes).unwrap();
+        assert!(
+            report.strategy.contains("hybrid"),
+            "expected the hybrid strategy, got '{}'",
+            report.strategy
+        );
+        saw_pcie_share |= !report.strategy.contains("(0 B over PCIe)");
+        assert!(check.is_correct(), "hybrid {kind}:\n{check}");
+    }
+    assert!(
+        saw_pcie_share,
+        "at least one hybrid collective must move bytes over PCIe for the \
+         range split to be exercised"
+    );
+}
+
+/// The PCIe fallback (NVLink cannot span the allocation at all).
+#[test]
+fn pcie_fallback_conforms() {
+    let machine = dgx1p();
+    let alloc = [GpuId(1), GpuId(4)]; // no NVLink between them on a DGX-1P
+    let mut comm = Communicator::new(machine, &alloc, CommunicatorOptions::default()).unwrap();
+    for kind in all_kinds(GpuId(1)) {
+        let (report, check) = comm.run_checked(kind, mb(4) + 5).unwrap();
+        assert!(
+            report.strategy.contains("PCIe fallback"),
+            "{}",
+            report.strategy
+        );
+        assert!(check.is_correct(), "pcie fallback {kind}:\n{check}");
+    }
+}
+
+/// The three-phase multi-server AllReduce over random fragmented 2- and
+/// 3-server slices: partitions, per-server slices and network chunks all
+/// carry exact ranges, and every GPU must end with every contribution exactly
+/// once.
+#[test]
+fn three_phase_multi_server_conforms_on_random_slices() {
+    let mut rng = StdRng::seed_from_u64(0x3f45e);
+    for n_servers in [2usize, 3] {
+        let machine = multi_server(n_servers, ServerKind::Dgx1V, 5.0);
+        let mut verified = 0;
+        // a random server-local fragment is not always NVLink-spannable from
+        // every partition root; keep sampling until two slices plan
+        for _attempt in 0..12 {
+            if verified >= 2 {
+                break;
+            }
+            // at least one GPU per server so the slice actually spans servers
+            let mut alloc = Vec::new();
+            for s in 0..n_servers {
+                let pool: Vec<GpuId> = (0..8).map(|i| GpuId(s * 8 + i)).collect();
+                let k = 1 + rng.random_below(4) as usize; // 1..=4 per server
+                alloc.extend(random_allocation(&mut rng, &pool, k));
+            }
+            alloc.sort_unstable();
+            let mut comm =
+                Communicator::new(machine.clone(), &alloc, CommunicatorOptions::default()).unwrap();
+            let mut ok = true;
+            for bytes in [mb(8) + 13, 3 * 1024 * 1024 + 17] {
+                match comm.run_checked(CollectiveKind::AllReduce, bytes) {
+                    Ok((report, check)) => {
+                        assert!(
+                            report.strategy.contains("three-phase"),
+                            "{}",
+                            report.strategy
+                        );
+                        assert!(
+                            check.is_correct(),
+                            "{n_servers}-server alloc {alloc:?} @ {bytes} B:\n{check}"
+                        );
+                    }
+                    // unspannable server-local fragment: resample
+                    Err(blink_core::BlinkError::Planning(_)) => {
+                        ok = false;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected failure: {e}"),
+                }
+            }
+            if ok {
+                verified += 1;
+            }
+        }
+        assert!(
+            verified >= 2,
+            "{n_servers}-server sampling must verify at least two random slices"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation-based negative coverage: seed one defect, expect a pinpointed
+// rejection.
+// ---------------------------------------------------------------------------
+
+/// A correct packed-tree program for `kind` on a 4-GPU DGX-1V slice, plus the
+/// machine it runs on.
+fn generated_program(kind: CollectiveKind, bytes: u64) -> (Topology, Vec<GpuId>, Program) {
+    let machine = dgx1v();
+    let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+    let induced = machine.induced(&alloc).unwrap();
+    let plan = TreeGen::new(induced, TreeGenOptions::default())
+        .plan(GpuId(0))
+        .unwrap();
+    let cg = CodeGen::new(CodeGenOptions {
+        chunk_bytes: 1 << 20,
+        ..Default::default()
+    });
+    let program = cg.build(&plan.trees, kind, bytes).unwrap();
+    (machine, alloc, program)
+}
+
+/// Rebuilds `program` with `mutate` applied to each op's kind (same streams,
+/// same dependencies).
+fn rebuild_with(program: &Program, mutate: impl Fn(usize, OpKind) -> OpKind) -> Program {
+    let mut b = ProgramBuilder::new();
+    for (i, op) in program.ops().iter().enumerate() {
+        b.push(
+            mutate(i, op.kind),
+            op.stream,
+            op.deps.clone(),
+            op.tag.clone(),
+        );
+    }
+    b.build()
+        .expect("mutations keep the program structurally valid")
+}
+
+/// Index of the last copy op (a delivery near the collective's business end).
+fn last_copy(program: &Program) -> usize {
+    program
+        .ops()
+        .iter()
+        .rposition(|o| matches!(o.kind, OpKind::Copy { .. }))
+        .expect("generated programs move data")
+}
+
+fn run_and_check(
+    machine: &Topology,
+    alloc: &[GpuId],
+    kind: CollectiveKind,
+    bytes: u64,
+    program: &Program,
+) -> blink_sim::ValueCheck {
+    let report = Simulator::with_defaults(machine.clone())
+        .run(program)
+        .unwrap();
+    check_collective(kind.spec(), program, &report.op_spans, alloc, bytes)
+}
+
+/// For every collective kind: dropping a data-moving op, halving a copy's
+/// `bytes`, and shifting a copy's offset must each be rejected, and the
+/// violation must name a participant and byte range (the pinpointing
+/// contract). The unmutated program must pass — otherwise the rejections
+/// prove nothing.
+#[test]
+fn mutations_are_rejected_for_every_collective_kind() {
+    let bytes = mb(3) + 11;
+    for kind in all_kinds(GpuId(0)) {
+        let (machine, alloc, program) = generated_program(kind, bytes);
+        let baseline = run_and_check(&machine, &alloc, kind, bytes, &program);
+        assert!(baseline.is_correct(), "{kind} baseline:\n{baseline}");
+        let target = last_copy(&program);
+
+        // ---- defect 1: dropped op (the copy becomes a no-op kernel) ----
+        let dropped = rebuild_with(&program, |i, k| {
+            if i == target {
+                OpKind::Compute {
+                    gpu: GpuId(0),
+                    duration_us: 0.0,
+                }
+            } else {
+                k
+            }
+        });
+        let check = run_and_check(&machine, &alloc, kind, bytes, &dropped);
+        assert!(!check.is_correct(), "{kind}: dropped op must be rejected");
+        assert!(!check.violations.is_empty());
+
+        // ---- defect 2: halved bytes ----
+        let halved = rebuild_with(&program, |i, k| match k {
+            OpKind::Copy {
+                src,
+                dst,
+                bytes,
+                class,
+                offset,
+            } if i == target => OpKind::Copy {
+                src,
+                dst,
+                bytes: bytes / 2,
+                class,
+                offset,
+            },
+            other => other,
+        });
+        let check = run_and_check(&machine, &alloc, kind, bytes, &halved);
+        assert!(!check.is_correct(), "{kind}: halved bytes must be rejected");
+
+        // ---- defect 3: shifted offset ----
+        let shifted = rebuild_with(&program, |i, k| match k {
+            OpKind::Copy {
+                src,
+                dst,
+                bytes,
+                class,
+                offset,
+            } if i == target => OpKind::Copy {
+                src,
+                dst,
+                bytes,
+                class,
+                offset: offset + (bytes / 2).max(1),
+            },
+            other => other,
+        });
+        let check = run_and_check(&machine, &alloc, kind, bytes, &shifted);
+        assert!(
+            !check.is_correct(),
+            "{kind}: shifted offset must be rejected"
+        );
+        // pinpointing: some violation names a GPU of the allocation and a
+        // range inside the collective's address space
+        let space = check.space;
+        assert!(check.violations.iter().any(|v| match v {
+            blink_sim::Violation::WrongValue {
+                gpu, offset, len, ..
+            } => alloc.contains(gpu) && offset + len <= space,
+            blink_sim::Violation::AmbiguousOverwrite { gpu, .. } => alloc.contains(gpu),
+        }));
+    }
+}
+
+/// The double-fold defect (NCCL-style "chunk folded in twice"): for each
+/// reducing collective, duplicate the copy feeding a reduction and wire the
+/// duplicate into the fold — the oracle must report a contribution with
+/// multiplicity 2, which the old set-based checker could not see.
+#[test]
+fn a_duplicated_fold_is_rejected_with_the_exact_multiplicity() {
+    let bytes = mb(3) + 11;
+    for kind in [
+        CollectiveKind::Reduce { root: GpuId(0) },
+        CollectiveKind::AllReduce,
+        CollectiveKind::ReduceScatter,
+    ] {
+        let (machine, alloc, program) = generated_program(kind, bytes);
+        // the last reduce and the copy it folds
+        let red_idx = program
+            .ops()
+            .iter()
+            .rposition(|o| matches!(o.kind, OpKind::Reduce { .. }))
+            .expect("reducing collectives reduce");
+        let fed_by = program.ops()[red_idx]
+            .deps
+            .iter()
+            .copied()
+            .find(|d| matches!(program.ops()[d.0].kind, OpKind::Copy { .. }))
+            .expect("the reduce folds an arrival");
+
+        // rebuild with the copy duplicated right after itself; ops after the
+        // insertion shift by one, and the reduce gains the duplicate as a dep
+        let mut b = ProgramBuilder::new();
+        let remap = |d: OpId| {
+            if d.0 > fed_by.0 {
+                OpId(d.0 + 1)
+            } else {
+                d
+            }
+        };
+        for op in program.ops() {
+            let mut deps: Vec<OpId> = op.deps.iter().copied().map(remap).collect();
+            if op.id.0 == red_idx {
+                deps.push(OpId(fed_by.0 + 1));
+            }
+            b.push(op.kind, op.stream, deps, op.tag.clone());
+            if op.id.0 == fed_by.0 {
+                b.push(op.kind, op.stream, vec![op.id], format!("{} (dup)", op.tag));
+            }
+        }
+        let mutated = b.build().unwrap();
+        let check = run_and_check(&machine, &alloc, kind, bytes, &mutated);
+        assert!(!check.is_correct(), "{kind}: double fold must be rejected");
+        let doubled = check.violations.iter().any(|v| match v {
+            blink_sim::Violation::WrongValue { found, .. } => {
+                alloc.iter().any(|&g| found.count(g) >= 2)
+            }
+            _ => false,
+        });
+        assert!(
+            doubled,
+            "{kind}: the violation must expose the multiplicity:\n{check}"
+        );
+    }
+}
+
+/// Sanity for the matrix driver itself: `run_checked` on a trivial case
+/// (single GPU / zero bytes) is correct, and the reported address space
+/// matches the collective family.
+#[test]
+fn run_checked_trivial_cases_and_address_spaces() {
+    let machine = dgx1v();
+    let mut comm =
+        Communicator::new(machine.clone(), &[GpuId(0)], CommunicatorOptions::default()).unwrap();
+    let (_, check) = comm.run_checked(CollectiveKind::AllReduce, mb(1)).unwrap();
+    assert!(
+        check.is_correct(),
+        "single participant is trivially reduced"
+    );
+
+    let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+    let mut comm = Communicator::new(machine, &alloc, CommunicatorOptions::default()).unwrap();
+    let (_, check) = comm.run_checked(CollectiveKind::AllGather, mb(2)).unwrap();
+    assert!(check.is_correct());
+    assert_eq!(check.space, 4 * mb(2), "gathering space is n · bytes");
+    let (_, check) = comm.run_checked(CollectiveKind::AllReduce, mb(2)).unwrap();
+    assert_eq!(check.space, mb(2), "reducing space is the buffer itself");
+}

@@ -6,7 +6,7 @@ use blink::prelude::*;
 use blink_bench::measure::{blink_collective, mb, nccl_collective};
 use blink_core::multiserver::three_phase_allreduce;
 use blink_core::{CodeGenOptions, CollectiveKind, SharedPlanCache, TreeGenOptions};
-use blink_sim::{check_allreduce, Simulator};
+use blink_sim::{check_collective, CollectiveSpec, Simulator};
 use blink_topology::enumerate::unique_allocations;
 use blink_topology::presets::{dgx1p, dgx1v, dgx2, multi_server, ServerKind};
 
@@ -111,12 +111,14 @@ fn multi_server_allreduce_end_to_end() {
 }
 
 /// The three-phase multi-server AllReduce, executed on the simulator's
-/// engine, leaves every GPU holding the correct reduced value: the data-flow
-/// checker replays the program along the engine's actual schedule and
-/// verifies every partition delivered every GPU's contribution to every GPU,
-/// with reduce-before-broadcast ordering intact. This closes the previously
+/// engine, leaves every GPU holding *exactly* the fully reduced value: the
+/// value-level oracle replays the program along the engine's actual schedule
+/// at byte-range granularity and verifies every byte of every partition was
+/// folded exactly once per contributor and redistributed to every GPU, with
+/// reduce-before-broadcast ordering intact. This closes the previously
 /// untested `multiserver` → `sim` seam: the timing tests above would not
-/// notice a program that finished quickly but computed garbage.
+/// notice a program that finished quickly but computed garbage (or one that
+/// double-folded a chunk — invisible to the old set-based checker).
 #[test]
 fn multi_server_allreduce_computes_the_correct_value() {
     // the paper's fragmented scenario (3 + 5 GPUs over two DGX-1Vs) plus an
@@ -148,18 +150,20 @@ fn multi_server_allreduce_computes_the_correct_value() {
                 &CodeGenOptions::default(),
             )
             .unwrap();
+            assert!(info.partitions >= 2, "multi-root partitioning in effect");
             let report = Simulator::with_defaults(machine.clone())
                 .run(&program)
                 .unwrap();
-            let check = check_allreduce(&program, &report.op_spans, &alloc);
-            assert_eq!(
-                check.components, info.partitions,
-                "one independent data flow per partition"
+            let check = check_collective(
+                CollectiveSpec::AllReduce,
+                &program,
+                &report.op_spans,
+                &alloc,
+                bytes,
             );
             assert!(
-                check.is_complete(),
-                "every GPU must end with the fully reduced value; missing: {:?}",
-                check.missing
+                check.is_correct(),
+                "every byte must be exactly reduced everywhere: {check}"
             );
         }
     }
