@@ -1,0 +1,258 @@
+//! Simulator hot-path perf baseline: the segmented-payload programs on the
+//! interned-resource engine vs the pre-PR per-slot/allocating path.
+//!
+//! Two stages, each measured in-process on this machine and written to
+//! `BENCH_sim.json` so future PRs have a trajectory to compare against:
+//!
+//! * **allgather_dgx2** — the 16-GPU DGX-2 one-hop AllGather, the scenario
+//!   whose op count exploded under exact ranges (one copy per slot per edge).
+//!   The fast side runs the segmented program (one op per edge per chunk)
+//!   through [`blink_sim::Simulator::run_with_scratch`]; the naive side runs
+//!   the same program expanded back to one op per segment
+//!   ([`blink_sim::Program::split_segments`], the pre-aggregation emission
+//!   shape) through the allocating reference scheduler
+//!   ([`blink_sim::Simulator::run_reference`]).
+//! * **multiserver_allreduce** — the three-phase AllReduce over a fragmented
+//!   2×DGX-1V allocation; its ops are single-segment, so the stage isolates
+//!   the engine's interned fast path from the payload aggregation.
+//!
+//! Run with `cargo run --release -p blink-bench --bin bench_sim`.
+//!
+//! `--check` runs a quick-mode measurement and exits non-zero if either
+//! stage's fast-over-naive speedup regressed more than [`CHECK_TOLERANCE`]×
+//! against the recorded `BENCH_sim.json`, or if the `allgather_dgx2` stage
+//! falls below [`ALLGATHER_FLOOR`]× outright (the segmented-payload +
+//! interned-engine win this PR exists to deliver). Both sides of each ratio
+//! run in this process, so runner hardware cancels out. It does not rewrite
+//! the JSON.
+
+use blink_core::multiserver::three_phase_allreduce;
+use blink_core::{
+    CodeGenOptions, CollectiveKind, Communicator, CommunicatorOptions, TreeGenOptions,
+};
+use blink_sim::{EngineScratch, Program, Simulator};
+use blink_topology::presets::{dgx2, multi_server, ServerKind};
+use blink_topology::{GpuId, Topology};
+use serde::Serialize;
+use std::time::Instant;
+
+/// `--check` fails when a stage's fast-over-naive speedup ratio is more than
+/// this factor below the recorded trajectory.
+const CHECK_TOLERANCE: f64 = 5.0;
+/// `--check` fails outright when the segmented/interned AllGather path is
+/// not at least this many times faster than the per-slot/allocating path.
+const ALLGATHER_FLOOR: f64 = 5.0;
+
+fn mb(n: u64) -> u64 {
+    n * 1024 * 1024
+}
+
+/// One engine path's measurements over a fixed program.
+#[derive(Debug, Serialize)]
+struct EnginePathReport {
+    /// Ops in the program this path executes.
+    ops: usize,
+    /// Complete program simulations per second.
+    programs_per_sec: f64,
+    /// Scheduled ops per second (`ops * programs_per_sec`).
+    ops_per_sec: f64,
+    /// Mean wall-clock microseconds per simulation.
+    us_per_program: f64,
+}
+
+/// One fast-vs-naive stage.
+#[derive(Debug, Serialize)]
+struct SimStageReport {
+    /// What the stage simulates.
+    scenario: String,
+    /// Simulated wall-clock of the fast path's program (sanity: the
+    /// segmented program must not be slower *in simulated time* either).
+    fast_total_us: f64,
+    naive: EnginePathReport,
+    fast: EnginePathReport,
+    /// `fast.programs_per_sec / naive.programs_per_sec`.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Config {
+    fast_runs: usize,
+    naive_runs: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    config: Config,
+    /// DGX-2 one-hop AllGather: segmented + interned vs per-slot + allocating.
+    allgather_dgx2: SimStageReport,
+    /// Three-phase multi-server AllReduce: interned vs allocating scheduler
+    /// on the identical (single-segment) program.
+    multiserver_allreduce: SimStageReport,
+}
+
+/// Times `runs` runs of `f` and reports the per-run rate over `ops` ops.
+fn time_path<F: FnMut()>(ops: usize, runs: usize, mut f: F) -> EnginePathReport {
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    let per_run = t0.elapsed().as_secs_f64() / runs as f64;
+    EnginePathReport {
+        ops,
+        programs_per_sec: 1.0 / per_run,
+        ops_per_sec: ops as f64 / per_run,
+        us_per_program: per_run * 1e6,
+    }
+}
+
+/// Measures fast (segmented program, interned engine) vs naive (split
+/// program, reference engine) on one scenario.
+fn measure_stage(
+    scenario: &str,
+    machine: &Topology,
+    program: &Program,
+    fast_runs: usize,
+    naive_runs: usize,
+) -> SimStageReport {
+    let sim = Simulator::with_defaults(machine.clone());
+    let split = program.split_segments();
+    let mut scratch = EngineScratch::new();
+    let fast_total_us = sim
+        .run_with_scratch(program, &mut scratch)
+        .unwrap()
+        .total_us;
+    sim.run_reference(&split).unwrap(); // warm up
+    let naive = time_path(split.len(), naive_runs, || {
+        sim.run_reference(&split).unwrap();
+    });
+    let fast = time_path(program.len(), fast_runs, || {
+        sim.run_with_scratch(program, &mut scratch).unwrap();
+    });
+    SimStageReport {
+        scenario: scenario.to_string(),
+        fast_total_us,
+        speedup: fast.programs_per_sec / naive.programs_per_sec,
+        naive,
+        fast,
+    }
+}
+
+fn measure(quick: bool) -> Report {
+    let fast_runs = if quick { 200 } else { 1000 };
+    let naive_runs = if quick { 20 } else { 100 };
+
+    // ---- DGX-2 one-hop AllGather (the per-slot op-count blow-up case) ----
+    let machine = dgx2();
+    let alloc: Vec<GpuId> = (0..16).map(GpuId).collect();
+    let mut comm = Communicator::new(machine.clone(), &alloc, CommunicatorOptions::default())
+        .expect("full DGX-2 allocation");
+    let (_, allgather_prog, _) = comm
+        .run_traced(CollectiveKind::AllGather, mb(64))
+        .expect("one-hop AllGather lowers");
+    let allgather_dgx2 = measure_stage(
+        "dgx2 one-hop allgather, 16 GPUs, 64 MiB",
+        &machine,
+        &allgather_prog,
+        fast_runs,
+        naive_runs,
+    );
+
+    // ---- three-phase multi-server AllReduce ----
+    let machine = multi_server(2, ServerKind::Dgx1V, 5.0);
+    let alloc = vec![
+        GpuId(0),
+        GpuId(1),
+        GpuId(2),
+        GpuId(8),
+        GpuId(9),
+        GpuId(10),
+        GpuId(11),
+        GpuId(12),
+    ];
+    let (ms_prog, _) = three_phase_allreduce(
+        &machine,
+        &alloc,
+        mb(32),
+        &TreeGenOptions::default(),
+        &CodeGenOptions::default(),
+    )
+    .expect("fragmented 2-server slice plans");
+    let multiserver_allreduce = measure_stage(
+        "three-phase allreduce, 3+5 GPUs over 2 servers, 32 MiB",
+        &machine,
+        &ms_prog,
+        fast_runs,
+        naive_runs,
+    );
+
+    Report {
+        config: Config {
+            fast_runs,
+            naive_runs,
+        },
+        allgather_dgx2,
+        multiserver_allreduce,
+    }
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let out = measure(check_mode);
+
+    if check_mode {
+        let recorded =
+            std::fs::read_to_string("BENCH_sim.json").expect("BENCH_sim.json exists for --check");
+        let recorded = serde_json::parse(&recorded).expect("BENCH_sim.json parses");
+        let recorded_speedup =
+            |stage: &str| -> Option<f64> { recorded.get(stage)?.get("speedup")?.as_f64() };
+        eprintln!(
+            "quick check: allgather {:.1}x ({} -> {} ops), multiserver {:.1}x over the \
+             per-slot/allocating path",
+            out.allgather_dgx2.speedup,
+            out.allgather_dgx2.naive.ops,
+            out.allgather_dgx2.fast.ops,
+            out.multiserver_allreduce.speedup,
+        );
+        let mut failed = false;
+        if out.allgather_dgx2.speedup < ALLGATHER_FLOOR {
+            failed = true;
+            eprintln!(
+                "REGRESSION: the segmented one-hop AllGather path is only {:.1}x over the \
+                 per-slot/allocating path (floor {ALLGATHER_FLOOR}x)",
+                out.allgather_dgx2.speedup
+            );
+        }
+        for (name, measured) in [
+            ("allgather_dgx2", out.allgather_dgx2.speedup),
+            ("multiserver_allreduce", out.multiserver_allreduce.speedup),
+        ] {
+            let Some(rec) = recorded_speedup(name) else {
+                continue; // stage not recorded yet — nothing to regress against
+            };
+            if measured < rec / CHECK_TOLERANCE {
+                failed = true;
+                eprintln!(
+                    "REGRESSION: {name} fast path at {measured:.1}x over naive, more than \
+                     {CHECK_TOLERANCE}x below the recorded {rec:.1}x"
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("all engine speedups within {CHECK_TOLERANCE}x of the recorded trajectory");
+        return;
+    }
+
+    let json = serde_json::to_string_pretty(&out).expect("serializable");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("{json}");
+    eprintln!(
+        "speedup: {:.1}x one-hop allgather ({} ops vs {} per-slot ops), \
+         {:.1}x three-phase allreduce",
+        out.allgather_dgx2.speedup,
+        out.allgather_dgx2.fast.ops,
+        out.allgather_dgx2.naive.ops,
+        out.multiserver_allreduce.speedup,
+    );
+}

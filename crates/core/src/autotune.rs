@@ -89,25 +89,81 @@ pub fn plan_fingerprint(induced: &Topology, options: &TreeGenOptions) -> u64 {
 /// thread-safe: concurrent workers of a parallel root sweep consult and fill
 /// the cache directly. Plans are stored behind [`Arc`], so a hit clones tree
 /// vectors only when the caller materialises the plan, never re-packs.
+///
+/// The cache is **bounded**: it holds at most `capacity` plans (default
+/// [`SharedPlanCache::DEFAULT_CAPACITY`]) and evicts the least-recently-used
+/// entry when an insert would exceed the cap — a long-running scheduler whose
+/// workload mix turns over no longer grows one entry per job shape forever.
+/// A hit refreshes an entry's recency. Eviction only ever costs a re-pack:
+/// lookups are keyed by the caller's current fingerprint, so correctness is
+/// never at stake.
 #[derive(Debug, Clone, Default)]
 pub struct SharedPlanCache {
     inner: Arc<Mutex<SharedPlanCacheInner>>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct SharedPlanCacheInner {
-    plans: BTreeMap<(u64, GpuId, LinkSelection), Arc<TreePlan>>,
+    /// Key -> (plan, last-touched tick). The tick drives LRU eviction.
+    plans: BTreeMap<(u64, GpuId, LinkSelection), (Arc<TreePlan>, u64)>,
+    /// Monotonic access counter feeding the recency ticks.
+    tick: u64,
+    capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for SharedPlanCacheInner {
+    fn default() -> Self {
+        SharedPlanCacheInner {
+            plans: BTreeMap::new(),
+            tick: 0,
+            capacity: SharedPlanCache::DEFAULT_CAPACITY,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
 }
 
 impl SharedPlanCache {
-    /// Creates an empty shared cache.
+    /// Default maximum number of memoised plans. Sized for a scheduler fleet:
+    /// a job shape costs one entry per (root, link class) it plans, so this
+    /// comfortably holds hundreds of distinct shapes while bounding a
+    /// pathological churn workload to a few thousand small tree sets.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates an empty shared cache with [`SharedPlanCache::DEFAULT_CAPACITY`].
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Looks a plan up, counting a hit or a miss.
+    /// Creates an empty shared cache bounded to `capacity` plans (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cache = Self::default();
+        cache.set_capacity(capacity);
+        cache
+    }
+
+    /// Changes the LRU bound, evicting the least-recently-used entries
+    /// immediately if the cache currently exceeds it.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock().expect("shared plan cache poisoned");
+        inner.capacity = capacity.max(1);
+        inner.evict_to_capacity();
+    }
+
+    /// The current LRU bound.
+    pub fn capacity(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("shared plan cache poisoned")
+            .capacity
+    }
+
+    /// Looks a plan up, counting a hit or a miss. A hit refreshes the
+    /// entry's LRU recency.
     pub fn get(
         &self,
         fingerprint: u64,
@@ -115,8 +171,12 @@ impl SharedPlanCache {
         links: LinkSelection,
     ) -> Option<Arc<TreePlan>> {
         let mut inner = self.inner.lock().expect("shared plan cache poisoned");
-        match inner.plans.get(&(fingerprint, root, links)).cloned() {
-            Some(plan) => {
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.plans.get_mut(&(fingerprint, root, links)) {
+            Some((plan, last_used)) => {
+                *last_used = tick;
+                let plan = plan.clone();
                 inner.hits += 1;
                 Some(plan)
             }
@@ -127,16 +187,17 @@ impl SharedPlanCache {
         }
     }
 
-    /// Stores a freshly packed plan. Two workers racing to plan the same key
+    /// Stores a freshly packed plan, evicting the least-recently-used entry
+    /// if the cache is at capacity. Two workers racing to plan the same key
     /// simply overwrite each other with bit-identical plans (planning is a
     /// pure function of the fingerprinted inputs), so no coordination beyond
     /// the lock is needed.
     pub fn insert(&self, fingerprint: u64, root: GpuId, links: LinkSelection, plan: Arc<TreePlan>) {
-        self.inner
-            .lock()
-            .expect("shared plan cache poisoned")
-            .plans
-            .insert((fingerprint, root, links), plan);
+        let mut inner = self.inner.lock().expect("shared plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.plans.insert((fingerprint, root, links), (plan, tick));
+        inner.evict_to_capacity();
     }
 
     /// Number of memoised plans (across all fingerprints).
@@ -160,14 +221,25 @@ impl SharedPlanCache {
         (inner.hits, inner.misses)
     }
 
-    /// Drops every memoised plan and resets the hit/miss counters. Bounded
-    /// memory is the caller's policy: a long-running scheduler should flush
-    /// when its workload mix turns over.
+    /// How many plans the LRU bound has evicted since creation (or the last
+    /// [`SharedPlanCache::invalidate`]). Explicit invalidation does not
+    /// count: evictions measure capacity pressure, not policy flushes.
+    pub fn evictions(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("shared plan cache poisoned")
+            .evictions
+    }
+
+    /// Drops every memoised plan and resets the hit/miss/eviction counters
+    /// (the capacity is kept). Useful to force a flush when a scheduler's
+    /// workload mix turns over faster than LRU pressure would notice.
     pub fn invalidate(&self) {
         let mut inner = self.inner.lock().expect("shared plan cache poisoned");
         inner.plans.clear();
         inner.hits = 0;
         inner.misses = 0;
+        inner.evictions = 0;
     }
 
     /// Drops every plan memoised under `fingerprint`, leaving other job
@@ -186,6 +258,25 @@ impl SharedPlanCache {
     pub fn invalidate_fingerprint(&self, fingerprint: u64) {
         let mut inner = self.inner.lock().expect("shared plan cache poisoned");
         inner.plans.retain(|&(fp, _, _), _| fp != fingerprint);
+    }
+}
+
+impl SharedPlanCacheInner {
+    /// Evicts least-recently-used entries until the cache fits its capacity.
+    /// An O(n) scan per eviction is deliberate: capacities are small (plans
+    /// are megabyte-scale, not millions of entries) and eviction only
+    /// happens on inserts past the cap.
+    fn evict_to_capacity(&mut self) {
+        while self.plans.len() > self.capacity {
+            let oldest = self
+                .plans
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(&k, _)| k)
+                .expect("non-empty cache over capacity");
+            self.plans.remove(&oldest);
+            self.evictions += 1;
+        }
     }
 }
 
@@ -713,6 +804,66 @@ mod tests {
         b.plan_for(&induced, &opts, GpuId(0)).unwrap();
         assert_eq!(shared.stats(), (0, 1));
         assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn shared_cache_evicts_least_recently_used_past_capacity() {
+        let topo = dgx1v();
+        let induced = topo
+            .induced(&(0..8).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default();
+        let fp = plan_fingerprint(&induced, &opts);
+        let shared = SharedPlanCache::with_capacity(2);
+        assert_eq!(shared.capacity(), 2);
+        let plan = {
+            let mut c = PlanCache::new();
+            Arc::new(c.plan_for(&induced, &opts, GpuId(0)).unwrap().clone())
+        };
+        // fill to capacity: roots 0 and 1
+        shared.insert(fp, GpuId(0), opts.links, plan.clone());
+        shared.insert(fp, GpuId(1), opts.links, plan.clone());
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.evictions(), 0);
+        // touch root 0 so root 1 becomes the LRU entry
+        assert!(shared.get(fp, GpuId(0), opts.links).is_some());
+        // a third insert evicts root 1, not root 0
+        shared.insert(fp, GpuId(2), opts.links, plan.clone());
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.evictions(), 1);
+        assert!(shared.get(fp, GpuId(0), opts.links).is_some());
+        assert!(shared.get(fp, GpuId(2), opts.links).is_some());
+        assert!(
+            shared.get(fp, GpuId(1), opts.links).is_none(),
+            "the least-recently-used entry must be the one evicted"
+        );
+        // shrinking the capacity evicts immediately
+        shared.set_capacity(1);
+        assert_eq!(shared.len(), 1);
+        assert_eq!(shared.evictions(), 2);
+        // an evicted shape simply re-packs on its next miss — correctness
+        // is untouched, only the memoisation is
+        let mut c = PlanCache::new().with_shared(shared.clone());
+        let replanned = c.plan_for(&induced, &opts, GpuId(1)).unwrap().clone();
+        let fresh = PlanCache::new()
+            .plan_for(&induced, &opts, GpuId(1))
+            .unwrap()
+            .clone();
+        assert!(replanned.bit_eq(&fresh), "re-pack is bit-identical");
+        // invalidate resets the eviction counter with the others
+        shared.invalidate();
+        assert_eq!(shared.evictions(), 0);
+    }
+
+    #[test]
+    fn default_capacity_is_effectively_unbounded_for_tests() {
+        // the default cap must be far above anything the existing suites
+        // create, so bounding the cache changed no observable behaviour
+        const { assert!(SharedPlanCache::DEFAULT_CAPACITY >= 1024) };
+        assert_eq!(
+            SharedPlanCache::new().capacity(),
+            SharedPlanCache::DEFAULT_CAPACITY
+        );
     }
 
     #[test]

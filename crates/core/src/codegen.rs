@@ -14,8 +14,8 @@
 //!   makes reduce-and-forward cost a little more than pure forwarding (the
 //!   effect measured in Figure 7).
 //!
-//! Every emitted `Copy`/`Reduce` carries its exact **logical byte range** into
-//! the collective's address space (see `blink_sim::semantics` for the
+//! Every emitted `Copy`/`Reduce` carries its exact **logical byte ranges**
+//! into the collective's address space (see `blink_sim::semantics` for the
 //! per-collective definition): reducing collectives address the buffer
 //! `[0, total)` directly, and the gathering collectives address the
 //! concatenated slot space `[rank · total, (rank + 1) · total)` with ranks
@@ -23,11 +23,18 @@
 //! share is a contiguous sub-range of `[0, total)`, each chunk a sub-range of
 //! its tree's share — so the value-level oracle can replay the program and
 //! prove every byte landed exactly once where the contract says it must.
+//!
+//! Payloads that are non-contiguous in the logical space — a gather edge
+//! forwarding its whole subtree's slots, the AllGather redistribution, a
+//! scatter edge carrying several shards — are emitted as **one op per edge
+//! per chunk** whose [`Segment`] list names every sub-range exactly. One op
+//! models one (batched) CUDA call, so per-op launch overhead no longer
+//! scales with subtree size while the oracle still sees byte-exact ranges.
 
 use crate::collective::CollectiveKind;
 use crate::{BlinkError, Result};
 use blink_graph::{Arborescence, WeightedTree};
-use blink_sim::{LinkClass, OpId, Program, ProgramBuilder, StreamId};
+use blink_sim::{LinkClass, OpId, Program, ProgramBuilder, Segment, StreamId};
 use blink_topology::GpuId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -372,10 +379,12 @@ impl CodeGen {
 /// Broadcast one chunk down a tree; `root_deps` (if non-empty) gate the root's
 /// sends (used by AllReduce, where the reduced value must exist first).
 ///
-/// `bases` are the absolute range starts the payload covers — one copy of
-/// `ctx.bytes` per base on every edge. Plain Broadcast passes the chunk's own
-/// offset; the AllGather redistribution passes every participant's slot
-/// sub-range for this chunk.
+/// `bases` are the absolute range starts the payload covers; every edge
+/// carries **one** copy whose segment list holds `ctx.bytes` at each base.
+/// Plain Broadcast passes the chunk's own offset (a one-segment payload); the
+/// AllGather redistribution passes every participant's slot sub-range for
+/// this chunk, which is non-contiguous in slot space but still one op per
+/// edge.
 fn emit_broadcast(
     b: &mut ProgramBuilder,
     streams: &mut StreamAllocator,
@@ -384,36 +393,38 @@ fn emit_broadcast(
     bases: &[u64],
 ) {
     let tree = ctx.tree;
-    let mut arrival: BTreeMap<GpuId, Vec<OpId>> = BTreeMap::new();
+    let mut arrival: BTreeMap<GpuId, OpId> = BTreeMap::new();
     for (parent, child) in tree.edges_bfs() {
         let depth = tree.depth_of(parent).unwrap_or(0);
         let stream = streams.stream(b, ctx.tree_idx, parent, child, depth);
         let deps = if parent == tree.root {
             ctx.gated(root_deps.clone())
         } else {
-            ctx.gated(arrival.get(&parent).cloned().unwrap_or_default())
+            ctx.gated(arrival.get(&parent).map(|&a| vec![a]).unwrap_or_default())
         };
-        let mut ids = Vec::with_capacity(bases.len());
-        for &base in bases {
-            ids.push(b.copy_range(
-                parent,
-                child,
-                base,
-                ctx.bytes,
-                ctx.class,
-                stream,
-                deps.clone(),
-                format!("blink bcast t{} c{}", ctx.tree_idx, ctx.chunk_idx),
-            ));
-        }
-        arrival.insert(child, ids);
+        let segs: Vec<Segment> = bases
+            .iter()
+            .map(|&base| Segment::new(base, ctx.bytes))
+            .collect();
+        let id = b.copy_segs(
+            parent,
+            child,
+            segs,
+            ctx.class,
+            stream,
+            deps,
+            format!("blink bcast t{} c{}", ctx.tree_idx, ctx.chunk_idx),
+        );
+        arrival.insert(child, id);
     }
 }
 
 /// Gather one chunk up a tree (no reduction): every vertex forwards its own
-/// slot sub-range and the slot sub-ranges its subtree delivered, one copy per
-/// slot so each carries an exact range. Returns the copies that arrive at the
-/// root (the deps a follow-up redistribution phase must wait for).
+/// slot sub-range and the slot sub-ranges its subtree delivered as **one**
+/// copy per edge whose segment list names every slot exactly — op counts stay
+/// one per edge per chunk no matter how deep the subtree, without giving up
+/// range exactness. Returns the copies that arrive at the root (the deps a
+/// follow-up redistribution phase must wait for).
 fn emit_gather(
     b: &mut ProgramBuilder,
     streams: &mut StreamAllocator,
@@ -422,7 +433,7 @@ fn emit_gather(
     let tree = ctx.tree;
     let mut order = tree.bfs_order();
     order.reverse();
-    let mut sent: BTreeMap<GpuId, Vec<OpId>> = BTreeMap::new();
+    let mut sent: BTreeMap<GpuId, OpId> = BTreeMap::new();
     let mut root_arrivals = Vec::new();
     for &v in &order {
         let Some(parent) = tree.parent(v) else {
@@ -431,27 +442,27 @@ fn emit_gather(
         let deps: Vec<OpId> = tree
             .children(v)
             .iter()
-            .flat_map(|c| sent.get(c).cloned().unwrap_or_default())
+            .filter_map(|c| sent.get(c).copied())
             .collect();
         let depth = tree.depth_of(v).unwrap_or(0);
         let stream = streams.stream(b, ctx.tree_idx, v, parent, depth);
-        let mut ids = Vec::new();
-        for m in subtree_members(tree, v) {
-            ids.push(b.copy_range(
-                v,
-                parent,
-                ctx.slot_base(m) + ctx.offset,
-                ctx.bytes,
-                ctx.class,
-                stream,
-                ctx.gated(deps.clone()),
-                format!("blink gather t{} c{}", ctx.tree_idx, ctx.chunk_idx),
-            ));
-        }
+        let segs: Vec<Segment> = subtree_members(tree, v)
+            .into_iter()
+            .map(|m| Segment::new(ctx.slot_base(m) + ctx.offset, ctx.bytes))
+            .collect();
+        let id = b.copy_segs(
+            v,
+            parent,
+            segs,
+            ctx.class,
+            stream,
+            ctx.gated(deps),
+            format!("blink gather t{} c{}", ctx.tree_idx, ctx.chunk_idx),
+        );
         if parent == tree.root {
-            root_arrivals.extend(ids.iter().copied());
+            root_arrivals.push(id);
         }
-        sent.insert(v, ids);
+        sent.insert(v, id);
     }
     root_arrivals
 }
@@ -515,10 +526,10 @@ fn emit_reduce(
     root_reduce
 }
 
-/// Scatter shards from the root down a tree: the edge into a child carries the
-/// (chunk-relative) shard of every GPU in that child's subtree, one exact-range
-/// copy per shard. Shards with no bytes (chunk smaller than the participant
-/// count) emit nothing.
+/// Scatter shards from the root down a tree: the edge into a child carries
+/// the (chunk-relative) shard of every GPU in that child's subtree as one
+/// exact-range copy whose segments are the non-empty shards. An edge whose
+/// subtree has no shard bytes in this chunk emits nothing.
 fn emit_scatter(
     b: &mut ProgramBuilder,
     streams: &mut StreamAllocator,
@@ -526,33 +537,35 @@ fn emit_scatter(
     root_dep: Option<OpId>,
 ) {
     let tree = ctx.tree;
-    let mut arrival: BTreeMap<GpuId, Vec<OpId>> = BTreeMap::new();
+    let mut arrival: BTreeMap<GpuId, OpId> = BTreeMap::new();
     for (parent, child) in tree.edges_bfs() {
+        let segs: Vec<Segment> = subtree_members(tree, child)
+            .into_iter()
+            .filter_map(|m| {
+                let (start, len) = ctx.shard_of(m);
+                (len > 0).then(|| Segment::new(start, len))
+            })
+            .collect();
+        if segs.is_empty() {
+            continue;
+        }
         let depth = tree.depth_of(parent).unwrap_or(0);
         let stream = streams.stream(b, ctx.tree_idx, parent, child, depth);
         let deps = if parent == tree.root {
             ctx.gated(root_dep.map(|d| vec![d]).unwrap_or_default())
         } else {
-            ctx.gated(arrival.get(&parent).cloned().unwrap_or_default())
+            ctx.gated(arrival.get(&parent).map(|&a| vec![a]).unwrap_or_default())
         };
-        let mut ids = Vec::new();
-        for m in subtree_members(tree, child) {
-            let (start, len) = ctx.shard_of(m);
-            if len == 0 {
-                continue;
-            }
-            ids.push(b.copy_range(
-                parent,
-                child,
-                start,
-                len,
-                ctx.class,
-                stream,
-                deps.clone(),
-                format!("blink scatter t{} c{}", ctx.tree_idx, ctx.chunk_idx),
-            ));
-        }
-        arrival.insert(child, ids);
+        let id = b.copy_segs(
+            parent,
+            child,
+            segs,
+            ctx.class,
+            stream,
+            deps,
+            format!("blink scatter t{} c{}", ctx.tree_idx, ctx.chunk_idx),
+        );
+        arrival.insert(child, id);
     }
 }
 
@@ -773,15 +786,8 @@ mod tests {
             let ranges: Vec<(u64, u64)> = prog
                 .ops()
                 .iter()
-                .filter_map(|o| match o.kind {
-                    OpKind::Copy {
-                        dst: d,
-                        bytes: b,
-                        offset,
-                        ..
-                    } if d == GpuId(dst) => Some((offset, offset + b)),
-                    _ => None,
-                })
+                .filter(|o| matches!(o.kind, OpKind::Copy { dst: d, .. } if d == GpuId(dst)))
+                .flat_map(|o| o.kind.segments().iter().map(|s| (s.offset, s.end())))
                 .collect();
             assert_tiles(ranges, 0, bytes, "broadcast delivery");
         }
@@ -796,21 +802,12 @@ mod tests {
             let ranges: Vec<(u64, u64)> = prog
                 .ops()
                 .iter()
-                .filter_map(|o| match o.kind {
-                    OpKind::Copy {
-                        dst: d,
-                        bytes: b,
-                        offset,
-                        ..
-                    } if d == GpuId(rank as usize)
+                .filter(|o| {
+                    matches!(o.kind, OpKind::Copy { dst: d, .. } if d == GpuId(rank as usize))
                         && o.tag.starts_with("blink scatter")
-                        && offset >= shard_s
-                        && offset + b <= shard_e =>
-                    {
-                        Some((offset, offset + b))
-                    }
-                    _ => None,
                 })
+                .flat_map(|o| o.kind.segments().iter().map(|s| (s.offset, s.end())))
+                .filter(|&(s, e)| s >= shard_s && e <= shard_e)
                 .collect();
             assert_tiles(ranges, shard_s, shard_e, "scatter shard");
         }
@@ -831,18 +828,15 @@ mod tests {
         .unwrap();
         let prog = b.build().unwrap();
         for op in prog.ops() {
-            let (o, len) = match op.kind {
-                OpKind::Copy { bytes, offset, .. } | OpKind::Reduce { bytes, offset, .. } => {
-                    (offset, bytes)
-                }
-                _ => continue,
-            };
-            assert!(
-                o >= base && o + len <= base + share,
-                "op range [{o}, {}) escapes the share [{base}, {})",
-                o + len,
-                base + share
-            );
+            for seg in op.kind.segments() {
+                assert!(
+                    seg.offset >= base && seg.end() <= base + share,
+                    "op range [{}, {}) escapes the share [{base}, {})",
+                    seg.offset,
+                    seg.end(),
+                    base + share
+                );
+            }
         }
         // an out-of-bounds share is rejected outright
         let mut b = ProgramBuilder::new();
@@ -857,6 +851,93 @@ mod tests {
                 &[],
             )
             .is_err());
+    }
+
+    /// Expected data-moving op counts: one op per edge per chunk, whatever
+    /// the subtree sizes — the pre-exact-range op counts, restored by
+    /// segmented payloads.
+    fn edges_times_chunks(trees: &[WeightedTree], bytes: u64, chunk: u64) -> usize {
+        let shares = split_by_weight(trees, bytes);
+        trees
+            .iter()
+            .zip(shares)
+            .map(|(t, s)| t.tree.edges.len() * chunk_sizes(s, chunk).len())
+            .sum()
+    }
+
+    #[test]
+    fn gather_family_emits_one_op_per_edge_per_chunk_on_dgx1v() {
+        let (_, trees) = plan_for(&[0, 1, 2, 3, 4, 5, 6, 7], 0);
+        let bytes = mb(12) + 7;
+        let chunk = 1 << 20;
+        let cg = CodeGen::new(CodeGenOptions {
+            chunk_bytes: chunk,
+            ..Default::default()
+        });
+        let expect = edges_times_chunks(&trees, bytes, chunk);
+
+        // Gather: exactly one copy per edge per chunk, nothing else
+        let prog = cg
+            .build(&trees, CollectiveKind::Gather { root: GpuId(0) }, bytes)
+            .unwrap();
+        assert_eq!(prog.len(), expect, "gather is one op per edge per chunk");
+        assert!(prog
+            .ops()
+            .iter()
+            .all(|o| matches!(o.kind, OpKind::Copy { .. })));
+
+        // AllGather: the gather plus the slot redistribution — two copies
+        // per edge per chunk (the redistribution carries every slot as one
+        // segmented op, not one op per slot)
+        let prog = cg.build(&trees, CollectiveKind::AllGather, bytes).unwrap();
+        assert_eq!(
+            prog.len(),
+            2 * expect,
+            "allgather is two ops per edge per chunk"
+        );
+
+        // ReduceScatter: the scatter phase never issues two copies for the
+        // same (edge, chunk) — shards travel as segments of one op
+        let prog = cg
+            .build(&trees, CollectiveKind::ReduceScatter, bytes)
+            .unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for o in prog.ops() {
+            if !o.tag.starts_with("blink scatter") {
+                continue;
+            }
+            if let OpKind::Copy { src, dst, .. } = o.kind {
+                assert!(
+                    seen.insert((src, dst, o.tag.clone())),
+                    "duplicate scatter op for {src}->{dst} {}",
+                    o.tag
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_hop_allgather_op_count_is_pinned_on_dgx2() {
+        // 16 one-hop trees x 15 edges x 1 chunk x (gather + redistribute)
+        let alloc: Vec<GpuId> = (0..16).map(GpuId).collect();
+        let trees = crate::onehop::one_hop_trees(&alloc, 138.0 / 16.0);
+        let bytes = mb(16); // 1 MB per tree share, one chunk each
+        let cg = CodeGen::default();
+        let prog = cg.build(&trees, CollectiveKind::AllGather, bytes).unwrap();
+        assert_eq!(prog.len(), 16 * 15 * 2, "one op per edge per chunk");
+        // the redistribution ops each carry all 16 slot segments; the gather
+        // ops exactly one (a one-hop subtree is a single leaf)
+        for o in prog.ops() {
+            let n_segs = o.kind.segments().len();
+            if o.tag.starts_with("blink bcast") {
+                assert_eq!(n_segs, 16, "{}", o.tag);
+            } else {
+                assert_eq!(n_segs, 1, "{}", o.tag);
+            }
+        }
+        // volume is unchanged by aggregation: every edge gathers one 1 MB
+        // slot chunk up and redistributes all 16 down
+        assert_eq!(prog.total_copy_bytes(), 16 * 15 * mb(1) * (1 + 16));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::onehop::{is_switch_fabric, one_hop_broadcast_tree, one_hop_trees};
 use crate::treegen::{parallel_map, LinkSelection, TreeGenOptions};
 use crate::{BlinkError, Result};
 use blink_graph::{optimal_broadcast_rate_in, DiGraph, WeightedTree};
-use blink_sim::{check_collective, Program, SimParams, Simulator, ValueCheck};
+use blink_sim::{check_collective, EngineScratch, Program, SimParams, Simulator, ValueCheck};
 use blink_topology::{GpuId, Topology};
 use std::collections::BTreeMap;
 
@@ -80,6 +80,11 @@ pub struct Communicator {
     /// Memoised assembled hybrid planners per root, so hybrid-mode cache hits
     /// clone no tree plans at all.
     hybrids: BTreeMap<GpuId, HybridPlanner>,
+    /// Reusable engine buffers: the autotune loop executes one program per
+    /// collective call, and the interned-resource scheduler's prepass tables
+    /// amortise across all of them (see `blink_sim::engine`'s scratch-reuse
+    /// contract).
+    engine_scratch: EngineScratch,
 }
 
 impl Communicator {
@@ -139,6 +144,7 @@ impl Communicator {
             picked_root: None,
             spannable: BTreeMap::new(),
             hybrids: BTreeMap::new(),
+            engine_scratch: EngineScratch::new(),
         })
     }
 
@@ -218,7 +224,7 @@ impl Communicator {
         let (program, num_trees, strategy) = self.build_program(kind, bytes, chunk)?;
         let report = self
             .sim
-            .run(&program)
+            .run_with_scratch(&program, &mut self.engine_scratch)
             .map_err(|e| BlinkError::Simulation(e.to_string()))?;
         let gbps = report.algorithmic_bandwidth_gbps(bytes);
         self.observe_chunk(kind, bytes, gbps);

@@ -239,6 +239,9 @@ impl HybridPlanner {
     /// Builds the combined program: NVLink trees carry the leading
     /// `[0, nvlink_bytes)` of the buffer immediately; PCIe trees wait for the
     /// peer-access toggle and carry the trailing `[nvlink_bytes, bytes)`.
+    /// Both halves lower through [`CodeGen::emit_range_into`], so the
+    /// gathering collectives emit segmented payloads (one op per edge per
+    /// chunk) on both link classes.
     pub fn build(
         &self,
         kind: CollectiveKind,

@@ -184,7 +184,10 @@ pub fn three_phase_allreduce_cached(
 
     // partition p owns the contiguous range [partition_base[p], .. + pb) of
     // the collective's [0, bytes) buffer; every op below carries its exact
-    // sub-range of it so the value-level oracle can replay the protocol
+    // sub-range of it so the value-level oracle can replay the protocol.
+    // The local reduce/broadcast phases lower through CodeGen and therefore
+    // inherit its segmented one-op-per-edge-per-chunk emission; the phase-2
+    // network ops are single contiguous slices by construction.
     let mut partition_base = 0u64;
     for p in 0..partitions {
         let pb = partition_bytes[p];

@@ -9,11 +9,24 @@
 //! * Double-binary-tree AllReduce: each tree carries half the buffer; chunks
 //!   are reduced up the tree and broadcast back down.
 //! * The PCIe fallback uses the same ring schedules over [`LinkClass::Pcie`].
+//!
+//! Every emitted op carries its **exact logical byte range**: each channel /
+//! tree owns a contiguous sub-range of `[0, bytes)`, ring segments and
+//! chunks are sub-ranges of their channel's share, and reductions fold
+//! exactly the ranges their arrivals delivered. That makes the baseline
+//! lowering checkable by the same value-level oracle
+//! ([`blink_sim::check_collective`]) that gates Blink's own CodeGen — ring
+//! chunking off-by-one bugs (the classic NCCL failure class) show up as
+//! pinpointed byte-range violations instead of silently-passing timings.
+//! [`run_checked`] bundles the build + engine run + oracle replay.
 
 use crate::planner::{DoubleBinaryTreePlan, NcclAlgorithm, NcclPlan};
 use blink_graph::Arborescence;
 use blink_graph::Ring;
-use blink_sim::{LinkClass, OpId, Program, ProgramBuilder, StreamId};
+use blink_sim::{
+    check_collective, CollectiveSpec, LinkClass, OpId, Program, ProgramBuilder, RunReport,
+    Simulator, StreamId, ValueCheck,
+};
 use blink_topology::GpuId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -44,6 +57,17 @@ pub enum NcclCollective {
     },
     /// All-to-all reduction (every GPU ends with the full sum).
     AllReduce,
+}
+
+impl NcclCollective {
+    /// The value-level contract this collective must satisfy (the oracle's
+    /// spec).
+    pub fn spec(&self) -> CollectiveSpec {
+        match *self {
+            NcclCollective::Broadcast { root } => CollectiveSpec::Broadcast { root },
+            NcclCollective::AllReduce => CollectiveSpec::AllReduce,
+        }
+    }
 }
 
 /// Errors from schedule generation.
@@ -108,42 +132,80 @@ pub fn build_program(
         (NcclAlgorithm::NvLinkRings(search), NcclCollective::Broadcast { root }) => {
             let channels = directed_rings(&search.rings);
             let shares = split_even(bytes, channels.len());
+            let mut base = 0u64;
             for (ring, share) in channels.iter().zip(shares) {
-                ring_broadcast(&mut b, ring, root, share, LinkClass::NvLink, opts)?;
+                ring_broadcast(&mut b, ring, root, base, share, LinkClass::NvLink, opts)?;
+                base += share;
             }
         }
         (NcclAlgorithm::NvLinkRings(search), NcclCollective::AllReduce) => {
             let channels = directed_rings(&search.rings);
             let shares = split_even(bytes, channels.len());
+            let mut base = 0u64;
             for (ring, share) in channels.iter().zip(shares) {
-                ring_allreduce(&mut b, ring, share, LinkClass::NvLink, opts);
+                ring_allreduce(&mut b, ring, base, share, LinkClass::NvLink, opts);
+                base += share;
             }
         }
         (NcclAlgorithm::PcieRing(ring), NcclCollective::Broadcast { root }) => {
-            ring_broadcast(&mut b, ring, root, bytes, LinkClass::Pcie, opts)?;
+            ring_broadcast(&mut b, ring, root, 0, bytes, LinkClass::Pcie, opts)?;
         }
         (NcclAlgorithm::PcieRing(ring), NcclCollective::AllReduce) => {
-            ring_allreduce(&mut b, ring, bytes, LinkClass::Pcie, opts);
+            ring_allreduce(&mut b, ring, 0, bytes, LinkClass::Pcie, opts);
         }
         (NcclAlgorithm::DoubleBinaryTrees(dbt), NcclCollective::AllReduce) => {
             let shares = split_even(bytes, 2);
-            tree_allreduce(&mut b, &tree_a(dbt), shares[0], opts);
-            tree_allreduce(&mut b, &tree_b(dbt), shares[1], opts);
+            tree_allreduce(&mut b, &tree_a(dbt), 0, shares[0], opts);
+            tree_allreduce(&mut b, &tree_b(dbt), shares[0], shares[1], opts);
         }
         (NcclAlgorithm::DoubleBinaryTrees(dbt), NcclCollective::Broadcast { root }) => {
-            // NCCL broadcasts small messages over a tree rooted at the caller;
-            // reuse tree A re-rooted by walking from the requested root.
+            // NCCL broadcasts small messages over a tree rooted at the
+            // caller: each double binary tree is re-rooted by walking its
+            // (undirected) edges outward from the requested root, so the
+            // data really originates at `root` — the oracle caught the old
+            // lowering broadcasting from the tree's own root instead.
             let tree = tree_a(dbt);
             if !tree.vertices().contains(&root) {
                 return Err(ScheduleError::RootNotInPlan(root));
             }
             let shares = split_even(bytes, 2);
-            tree_broadcast(&mut b, &tree_a(dbt), shares[0], opts);
-            tree_broadcast(&mut b, &tree_b(dbt), shares[1], opts);
+            tree_broadcast(&mut b, &tree_a(dbt), root, 0, shares[0], opts);
+            tree_broadcast(&mut b, &tree_b(dbt), root, shares[0], shares[1], opts);
         }
     }
     b.build()
         .map_err(|e| ScheduleError::Internal(e.to_string()))
+}
+
+/// Builds the program for `collective`, executes it on `sim`, and replays it
+/// through the value-level oracle against the collective's contract over the
+/// plan's GPUs — the baseline equivalent of
+/// `blink_core::Communicator::run_checked`, so CI can conformance-check the
+/// NCCL lowering with the same machinery that gates Blink's.
+///
+/// # Errors
+/// Fails if the program cannot be built ([`build_program`]'s conditions) or
+/// the engine rejects it (e.g. a ring hop without a link of the scheduled
+/// class).
+pub fn run_checked(
+    sim: &Simulator,
+    plan: &NcclPlan,
+    collective: NcclCollective,
+    bytes: u64,
+    opts: &ScheduleOptions,
+) -> Result<(RunReport, ValueCheck), ScheduleError> {
+    let program = build_program(plan, collective, bytes, opts)?;
+    let report = sim
+        .run(&program)
+        .map_err(|e| ScheduleError::Internal(e.to_string()))?;
+    let check = check_collective(
+        collective.spec(),
+        &program,
+        &report.op_spans,
+        &plan.gpus,
+        bytes,
+    );
+    Ok((report, check))
 }
 
 fn tree_a(plan: &DoubleBinaryTreePlan) -> Arborescence {
@@ -164,11 +226,14 @@ fn directed_rings(rings: &[Ring]) -> Vec<Ring> {
     out
 }
 
+/// Broadcasts this channel's share `[base, base + share)` from `root` around
+/// the ring; every hop of every chunk carries its exact sub-range.
 fn ring_broadcast(
     b: &mut ProgramBuilder,
     ring: &Ring,
     root: GpuId,
-    bytes: u64,
+    base: u64,
+    share: u64,
     class: LinkClass,
     opts: &ScheduleOptions,
 ) -> Result<(), ScheduleError> {
@@ -176,17 +241,19 @@ fn ring_broadcast(
         .rooted_at(root)
         .ok_or(ScheduleError::RootNotInPlan(root))?;
     let order = &rooted.order;
-    if order.len() < 2 || bytes == 0 {
+    if order.len() < 2 || share == 0 {
         return Ok(());
     }
     let streams: Vec<StreamId> = (0..order.len() - 1).map(|_| b.new_stream()).collect();
-    for (c, &sz) in chunk_sizes(bytes, opts.chunk_bytes).iter().enumerate() {
+    let mut off = base;
+    for (c, &sz) in chunk_sizes(share, opts.chunk_bytes).iter().enumerate() {
         let mut arrival: Option<OpId> = None;
         for hop in 0..order.len() - 1 {
             let deps = arrival.map(|a| vec![a]).unwrap_or_default();
-            arrival = Some(b.copy(
+            arrival = Some(b.copy_range(
                 order[hop],
                 order[hop + 1],
+                off,
                 sz,
                 class,
                 streams[hop],
@@ -194,20 +261,26 @@ fn ring_broadcast(
                 format!("nccl-bcast c{c} h{hop}"),
             ));
         }
+        off += sz;
     }
     Ok(())
 }
 
+/// The RS+AG ring AllReduce over this channel's share `[base, base + share)`.
+/// Segment `s` of the share is owned by `order[s]`; every copy and reduction
+/// carries the exact piece of the segment it moves in this pass, so the
+/// oracle can verify no piece is shifted, dropped or double-folded.
 fn ring_allreduce(
     b: &mut ProgramBuilder,
     ring: &Ring,
-    bytes: u64,
+    base: u64,
+    share: u64,
     class: LinkClass,
     opts: &ScheduleOptions,
 ) {
     let order = &ring.order;
     let n = order.len();
-    if n < 2 || bytes == 0 {
+    if n < 2 || share == 0 {
         return;
     }
     // one stream per directed link of this channel
@@ -222,13 +295,23 @@ fn ring_allreduce(
     // then the next hop) so that per-stream issue order matches readiness —
     // this mirrors how NCCL's kernels step through the ring and avoids
     // head-of-line blocking in the FIFO streams.
-    let segments = split_even(bytes, n);
+    let segments = split_even(share, n);
     let max_segment = segments.iter().copied().max().unwrap_or(0);
     let passes = max_segment.div_ceil(opts.chunk_bytes.max(1)).max(1) as usize;
     let pieces: Vec<Vec<u64>> = segments
         .iter()
         .map(|&seg| split_even(seg, passes))
         .collect();
+    // piece_off[s] = absolute offset of segment s's pass-`pass` piece,
+    // starting at the segment's base and advancing by one piece per pass
+    let mut piece_off: Vec<u64> = Vec::with_capacity(n);
+    {
+        let mut off = base;
+        for &seg in &segments {
+            piece_off.push(off);
+            off += seg;
+        }
+    }
 
     #[allow(clippy::needless_range_loop)]
     for pass in 0..passes {
@@ -240,14 +323,16 @@ fn ring_allreduce(
                 if sz == 0 {
                     continue;
                 }
+                let off = piece_off[s];
                 let src = order[(s + 1 + j) % n];
                 let dst = order[(s + 2 + j) % n];
                 let stream = streams[&(src, dst)];
                 let mut deps = last[s].map(|a| vec![a]).unwrap_or_default();
                 if j > 0 {
                     // the partial sum must be produced before it is forwarded
-                    let red = b.reduce(
+                    let red = b.reduce_range(
                         src,
+                        off,
                         sz,
                         stream,
                         deps.clone(),
@@ -255,9 +340,10 @@ fn ring_allreduce(
                     );
                     deps = vec![red];
                 }
-                last[s] = Some(b.copy(
+                last[s] = Some(b.copy_range(
                     src,
                     dst,
+                    off,
                     sz,
                     class,
                     stream,
@@ -274,8 +360,9 @@ fn ring_allreduce(
             }
             let owner = order[s];
             let owner_stream = streams[&(owner, order[(s + 1) % n])];
-            last[s] = Some(b.reduce(
+            last[s] = Some(b.reduce_range(
                 owner,
+                piece_off[s],
                 sz,
                 owner_stream,
                 last[s].map(|a| vec![a]).unwrap_or_default(),
@@ -292,9 +379,10 @@ fn ring_allreduce(
                 let src = order[(s + j) % n];
                 let dst = order[(s + 1 + j) % n];
                 let stream = streams[&(src, dst)];
-                last[s] = Some(b.copy(
+                last[s] = Some(b.copy_range(
                     src,
                     dst,
+                    piece_off[s],
                     sz,
                     class,
                     stream,
@@ -303,24 +391,58 @@ fn ring_allreduce(
                 ));
             }
         }
+        // advance every segment to its next pass piece
+        for s in 0..n {
+            piece_off[s] += pieces[s][pass];
+        }
     }
 }
 
-fn tree_broadcast(b: &mut ProgramBuilder, tree: &Arborescence, bytes: u64, opts: &ScheduleOptions) {
-    if bytes == 0 || tree.num_vertices() < 2 {
+/// Broadcasts `[base, base + share)` from `root` over the tree's links,
+/// re-orienting the (undirected) tree edges outward from `root` — NCCL's
+/// small-message broadcast reuses the AllReduce trees but the data must
+/// originate at the caller's root, not the tree's.
+fn tree_broadcast(
+    b: &mut ProgramBuilder,
+    tree: &Arborescence,
+    root: GpuId,
+    base: u64,
+    share: u64,
+    opts: &ScheduleOptions,
+) {
+    if share == 0 || tree.num_vertices() < 2 {
         return;
     }
-    let mut streams: BTreeMap<(GpuId, GpuId), StreamId> = BTreeMap::new();
+    // undirected adjacency of the tree's edges, BFS-oriented away from root
+    let mut adj: BTreeMap<GpuId, Vec<GpuId>> = BTreeMap::new();
     for &(p, c) in &tree.edges {
+        adj.entry(p).or_default().push(c);
+        adj.entry(c).or_default().push(p);
+    }
+    let mut oriented: Vec<(GpuId, GpuId)> = Vec::with_capacity(tree.edges.len());
+    let mut queue = std::collections::VecDeque::from([root]);
+    let mut seen = std::collections::BTreeSet::from([root]);
+    while let Some(v) = queue.pop_front() {
+        for &w in adj.get(&v).into_iter().flatten() {
+            if seen.insert(w) {
+                oriented.push((v, w));
+                queue.push_back(w);
+            }
+        }
+    }
+    let mut streams: BTreeMap<(GpuId, GpuId), StreamId> = BTreeMap::new();
+    for &(p, c) in &oriented {
         streams.insert((p, c), b.new_stream());
     }
-    for (c_idx, &sz) in chunk_sizes(bytes, opts.chunk_bytes).iter().enumerate() {
+    let mut off = base;
+    for (c_idx, &sz) in chunk_sizes(share, opts.chunk_bytes).iter().enumerate() {
         let mut arrival: BTreeMap<GpuId, OpId> = BTreeMap::new();
-        for (p, child) in tree.edges_bfs() {
+        for &(p, child) in &oriented {
             let deps = arrival.get(&p).map(|&a| vec![a]).unwrap_or_default();
-            let id = b.copy(
+            let id = b.copy_range(
                 p,
                 child,
+                off,
                 sz,
                 LinkClass::NvLink,
                 streams[&(p, child)],
@@ -329,11 +451,20 @@ fn tree_broadcast(b: &mut ProgramBuilder, tree: &Arborescence, bytes: u64, opts:
             );
             arrival.insert(child, id);
         }
+        off += sz;
     }
 }
 
-fn tree_allreduce(b: &mut ProgramBuilder, tree: &Arborescence, bytes: u64, opts: &ScheduleOptions) {
-    if bytes == 0 || tree.num_vertices() < 2 {
+/// Reduce-then-broadcast of `[base, base + share)` over one double binary
+/// tree; every chunk's copies and reductions carry their exact sub-range.
+fn tree_allreduce(
+    b: &mut ProgramBuilder,
+    tree: &Arborescence,
+    base: u64,
+    share: u64,
+    opts: &ScheduleOptions,
+) {
+    if share == 0 || tree.num_vertices() < 2 {
         return;
     }
     let mut up_streams: BTreeMap<(GpuId, GpuId), StreamId> = BTreeMap::new();
@@ -345,7 +476,8 @@ fn tree_allreduce(b: &mut ProgramBuilder, tree: &Arborescence, bytes: u64, opts:
     // reverse BFS: children before parents
     let mut order = tree.bfs_order();
     order.reverse();
-    for (c_idx, &sz) in chunk_sizes(bytes, opts.chunk_bytes).iter().enumerate() {
+    let mut off = base;
+    for (c_idx, &sz) in chunk_sizes(share, opts.chunk_bytes).iter().enumerate() {
         // reduce phase: every vertex sends its (reduced) value to its parent
         let mut uploaded: BTreeMap<GpuId, OpId> = BTreeMap::new();
         let mut reduced_at: BTreeMap<GpuId, OpId> = BTreeMap::new();
@@ -364,8 +496,9 @@ fn tree_allreduce(b: &mut ProgramBuilder, tree: &Arborescence, bytes: u64, opts:
                     // downlink so the broadcast can chain off it
                     down_streams[&(v, children[0])]
                 };
-                let red = b.reduce(
+                let red = b.reduce_range(
                     v,
+                    off,
                     sz,
                     stream,
                     deps.clone(),
@@ -375,9 +508,10 @@ fn tree_allreduce(b: &mut ProgramBuilder, tree: &Arborescence, bytes: u64, opts:
                 deps = vec![red];
             }
             if let Some(parent) = tree.parent(v) {
-                let id = b.copy(
+                let id = b.copy_range(
                     v,
                     parent,
+                    off,
                     sz,
                     LinkClass::NvLink,
                     up_streams[&(v, parent)],
@@ -396,9 +530,10 @@ fn tree_allreduce(b: &mut ProgramBuilder, tree: &Arborescence, bytes: u64, opts:
             } else {
                 arrival.get(&p).map(|&a| vec![a]).unwrap_or_default()
             };
-            let id = b.copy(
+            let id = b.copy_range(
                 p,
                 child,
+                off,
                 sz,
                 LinkClass::NvLink,
                 down_streams[&(p, child)],
@@ -407,6 +542,7 @@ fn tree_allreduce(b: &mut ProgramBuilder, tree: &Arborescence, bytes: u64, opts:
             );
             arrival.insert(child, id);
         }
+        off += sz;
     }
 }
 
@@ -562,6 +698,120 @@ mod tests {
             moved.abs_diff(expected) <= tolerance,
             "moved {moved}, expected ~{expected}"
         );
+    }
+
+    /// Every NCCL lowering must satisfy the value-level oracle: ring
+    /// broadcast and RS+AG AllReduce on the DGX-1V (full machine and a
+    /// partial allocation), the PCIe fallback ring, and the double-binary
+    /// trees on the DGX-2 — at an unaligned byte count so channel shares,
+    /// ring segments and pass pieces all leave remainders.
+    #[test]
+    fn nccl_lowerings_are_byte_exact() {
+        let bytes = mb(8) + 13;
+        let cases: Vec<(blink_topology::Topology, Vec<GpuId>)> = vec![
+            (dgx1v(), (0..8).map(GpuId).collect()),
+            (dgx1v(), (0..4).map(GpuId).collect()),
+            (dgx1p(), vec![GpuId(0), GpuId(1), GpuId(4)]), // PCIe fallback
+        ];
+        for (topo, alloc) in cases {
+            let planner = NcclPlanner::with_defaults(topo.clone());
+            let plan = planner.plan(&alloc, bytes).unwrap();
+            let sim = Simulator::with_defaults(topo);
+            for collective in [
+                NcclCollective::Broadcast { root: alloc[0] },
+                NcclCollective::AllReduce,
+            ] {
+                let (_, check) =
+                    run_checked(&sim, &plan, collective, bytes, &ScheduleOptions::default())
+                        .unwrap();
+                assert!(
+                    check.is_correct(),
+                    "alloc {alloc:?} {collective:?}:\n{check}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_binary_trees_are_byte_exact_from_any_root() {
+        // small message on the DGX-2 selects the double-binary trees; the
+        // broadcast must originate at the *requested* root even when it is
+        // not a tree root (the re-rooting the oracle originally caught
+        // missing)
+        let topo = dgx2();
+        let planner = NcclPlanner::with_defaults(topo.clone());
+        let alloc: Vec<GpuId> = (0..16).map(GpuId).collect();
+        let bytes = 8 * 1024 + 5;
+        let plan = planner.plan(&alloc, bytes).unwrap();
+        assert!(matches!(
+            plan.algorithm,
+            crate::planner::NcclAlgorithm::DoubleBinaryTrees(_)
+        ));
+        let sim = Simulator::with_defaults(topo);
+        for root in [GpuId(0), GpuId(7), GpuId(15)] {
+            let (_, check) = run_checked(
+                &sim,
+                &plan,
+                NcclCollective::Broadcast { root },
+                bytes,
+                &ScheduleOptions::default(),
+            )
+            .unwrap();
+            assert!(check.is_correct(), "root {root}:\n{check}");
+        }
+        let (_, check) = run_checked(
+            &sim,
+            &plan,
+            NcclCollective::AllReduce,
+            bytes,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
+        assert!(check.is_correct(), "dbt allreduce:\n{check}");
+    }
+
+    #[test]
+    fn a_shifted_ring_chunk_is_rejected_by_the_oracle() {
+        // corrupt one AG copy's offset: the classic ring-chunking bug class
+        use blink_sim::{OpKind, ProgramBuilder};
+        let topo = dgx1v();
+        let planner = NcclPlanner::with_defaults(topo.clone());
+        let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let bytes = mb(2) + 3;
+        let plan = planner.plan(&alloc, bytes).unwrap();
+        let program = build_program(
+            &plan,
+            NcclCollective::AllReduce,
+            bytes,
+            &ScheduleOptions::default(),
+        )
+        .unwrap();
+        let target = program
+            .ops()
+            .iter()
+            .rposition(|o| o.tag.starts_with("nccl-ar ag"))
+            .expect("the RS+AG schedule all-gathers");
+        let mut b = ProgramBuilder::new();
+        for (i, op) in program.ops().iter().enumerate() {
+            let mut kind = op.kind.clone();
+            if i == target {
+                if let OpKind::Copy { segs, .. } = &mut kind {
+                    segs[0].offset += 1;
+                }
+            }
+            b.push(kind, op.stream, op.deps.clone(), op.tag.clone());
+        }
+        let mutated = b.build().unwrap();
+        let sim = Simulator::with_defaults(topo);
+        let report = sim.run(&mutated).unwrap();
+        let check = blink_sim::check_collective(
+            NcclCollective::AllReduce.spec(),
+            &mutated,
+            &report.op_spans,
+            &alloc,
+            bytes,
+        );
+        assert!(!check.is_correct(), "the shifted chunk must be flagged");
     }
 
     #[test]

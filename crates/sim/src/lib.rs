@@ -13,11 +13,28 @@
 //! * [`program`] — a [`Program`](program::Program) is a DAG of operations
 //!   (peer-to-peer copies, local reductions, compute kernels, peer-access
 //!   toggles) organised into streams, the unit of FIFO ordering, mirroring the
-//!   CUDA-stream schedules Blink's CodeGen emits.
+//!   CUDA-stream schedules Blink's CodeGen emits. Data-moving ops carry
+//!   **segmented payloads** ([`Segment`](program::Segment) lists of logical
+//!   byte ranges): one op models one batched CUDA call, so a gather edge can
+//!   move a whole subtree's non-contiguous slot payload with a single launch
+//!   overhead while the oracle still sees every byte range exactly. The
+//!   single-range builders (`copy_range`/`reduce_range` and the offset-0
+//!   legacy helpers) are the one-segment case;
+//!   [`Program::split_segments`](program::Program::split_segments) expands a
+//!   program back to the one-op-per-segment shape for comparison.
 //! * [`engine`] — the [`Simulator`](engine::Simulator) executes a program
 //!   against a [`blink_topology::Topology`] using list scheduling over link,
 //!   port, NIC and compute resources and reports per-op timings, total elapsed
-//!   time and per-link utilisation.
+//!   time and per-link utilisation. The scheduler runs an **interned-resource
+//!   fast path**: a prepass interns every resource to a dense id and lays
+//!   per-op resource lists and dependency children out as flat CSR buffers in
+//!   a reusable [`EngineScratch`](engine::EngineScratch), so the candidate
+//!   scan allocates nothing per iteration; timings are bit-identical to the
+//!   preserved reference scheduler
+//!   ([`Simulator::run_reference`](engine::Simulator::run_reference)). The
+//!   scratch obeys the same buffers-not-state / high-water-mark / `Send`
+//!   contract as `blink-graph`'s planning scratches (see [`engine`]'s module
+//!   docs).
 //! * [`params`] — calibration constants ([`SimParams`](params::SimParams)),
 //!   documented against the paper's own micro-benchmarks (Section 2.2 and
 //!   Appendix A).
@@ -44,7 +61,7 @@ pub mod patterns;
 pub mod program;
 pub mod semantics;
 
-pub use engine::{RunReport, Simulator};
+pub use engine::{EngineScratch, RunReport, Simulator};
 pub use params::SimParams;
-pub use program::{LinkClass, Op, OpId, OpKind, Program, ProgramBuilder, StreamId};
+pub use program::{LinkClass, Op, OpId, OpKind, Program, ProgramBuilder, Segment, StreamId};
 pub use semantics::{check_collective, CollectiveSpec, Contributions, ValueCheck, Violation};

@@ -46,42 +46,64 @@ impl fmt::Display for LinkClass {
     }
 }
 
+/// One logical byte range `[offset, offset + bytes)` of a data-moving op's
+/// payload, addressed into the collective's logical address space (see
+/// [`crate::semantics`] for the per-collective definition of that space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start of the range.
+    pub offset: u64,
+    /// Length of the range in bytes.
+    pub bytes: u64,
+}
+
+impl Segment {
+    /// A segment covering `[offset, offset + bytes)`.
+    pub fn new(offset: u64, bytes: u64) -> Self {
+        Segment { offset, bytes }
+    }
+
+    /// One past the last byte of the range.
+    pub fn end(&self) -> u64 {
+        self.offset + self.bytes
+    }
+}
+
 /// One simulated operation.
 ///
-/// Data-moving ops ([`OpKind::Copy`], [`OpKind::Reduce`]) carry a **logical
-/// byte range** `[offset, offset + bytes)` into the collective's address
-/// space (see [`crate::semantics`] for the per-collective definition of that
-/// space). The engine only times `bytes`; the offset exists so the value-level
-/// oracle can check exactly *which* bytes moved. Programs built by the legacy
-/// helpers ([`ProgramBuilder::copy`], [`ProgramBuilder::reduce`]) place every
-/// op at offset 0, which is correct whenever each op carries the whole
-/// logical buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Data-moving ops ([`OpKind::Copy`], [`OpKind::Reduce`]) carry a **segmented
+/// payload**: a list of logical byte ranges ([`Segment`]s) into the
+/// collective's address space. One op models one CUDA call, so the engine
+/// charges a single launch overhead and times the *summed* segment bytes,
+/// while the value-level oracle folds each segment into its interval maps
+/// individually — this is what lets the gathering collectives carry a whole
+/// subtree's (non-contiguous) slot payload over an edge as one op instead of
+/// one op per slot. Most ops carry exactly one segment; the builders
+/// ([`ProgramBuilder::copy_range`], [`ProgramBuilder::reduce_range`] and the
+/// offset-0 legacy helpers) cover that case, with
+/// [`ProgramBuilder::copy_segs`]/[`ProgramBuilder::reduce_segs`] for
+/// multi-segment payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum OpKind {
-    /// A peer-to-peer copy of `bytes` from `src` to `dst` over `class`.
+    /// A peer-to-peer copy of the `segs` payload from `src` to `dst` over
+    /// `class`.
     Copy {
         /// Source GPU.
         src: GpuId,
         /// Destination GPU.
         dst: GpuId,
-        /// Payload size in bytes.
-        bytes: u64,
         /// Link class used.
         class: LinkClass,
-        /// Start of the logical byte range this copy moves.
-        #[serde(default)]
-        offset: u64,
+        /// The logical byte ranges the copy moves.
+        segs: Vec<Segment>,
     },
-    /// A local reduction kernel on `gpu` combining `bytes` of received data
-    /// with resident data.
+    /// A local reduction kernel on `gpu` folding the received data of the
+    /// `segs` ranges into resident data.
     Reduce {
         /// GPU running the reduction.
         gpu: GpuId,
-        /// Bytes reduced.
-        bytes: u64,
-        /// Start of the logical byte range this reduction folds.
-        #[serde(default)]
-        offset: u64,
+        /// The logical byte ranges the reduction folds.
+        segs: Vec<Segment>,
     },
     /// A compute kernel (used by the training simulator for forward/backward
     /// passes) of a fixed duration.
@@ -98,6 +120,28 @@ pub enum OpKind {
         /// Number of GPUs whose peer mappings are being changed.
         gpus: u32,
     },
+}
+
+impl OpKind {
+    /// Total payload bytes of a data-moving op (the sum over its segments);
+    /// zero for compute kernels and peer-access toggles. This is the value
+    /// the engine converts to transfer/reduction time.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            OpKind::Copy { segs, .. } | OpKind::Reduce { segs, .. } => {
+                segs.iter().map(|s| s.bytes).sum()
+            }
+            OpKind::Compute { .. } | OpKind::TogglePeerAccess { .. } => 0,
+        }
+    }
+
+    /// The payload segments of a data-moving op (empty for other kinds).
+    pub fn segments(&self) -> &[Segment] {
+        match self {
+            OpKind::Copy { segs, .. } | OpKind::Reduce { segs, .. } => segs,
+            OpKind::Compute { .. } | OpKind::TogglePeerAccess { .. } => &[],
+        }
+    }
 }
 
 /// An operation plus its scheduling metadata.
@@ -134,6 +178,12 @@ pub enum ProgramError {
         /// The dependency that comes later in the program.
         dep: OpId,
     },
+    /// A data-moving op carries no payload segments (an emitter bug; the
+    /// emitter should skip the op instead, like CodeGen's scatter does).
+    EmptyPayload {
+        /// The op with the empty segment list.
+        op: OpId,
+    },
     /// The dependency graph contains a cycle.
     Cycle,
 }
@@ -146,6 +196,9 @@ impl fmt::Display for ProgramError {
             }
             ProgramError::ForwardDependency { op, dep } => {
                 write!(f, "op {} depends on later op {}", op.0, dep.0)
+            }
+            ProgramError::EmptyPayload { op } => {
+                write!(f, "data-moving op {} carries no payload segments", op.0)
             }
             ProgramError::Cycle => write!(f, "dependency cycle"),
         }
@@ -176,12 +229,13 @@ impl Program {
         self.ops.is_empty()
     }
 
-    /// Total bytes moved by copy ops (all link classes).
+    /// Total bytes moved by copy ops (all link classes, summed over payload
+    /// segments).
     pub fn total_copy_bytes(&self) -> u64 {
         self.ops
             .iter()
             .map(|o| match o.kind {
-                OpKind::Copy { bytes, .. } => bytes,
+                OpKind::Copy { .. } => o.kind.payload_bytes(),
                 _ => 0,
             })
             .sum()
@@ -196,9 +250,11 @@ impl Program {
         set.len()
     }
 
-    /// Checks structural validity (dependencies exist, point backwards, and —
-    /// together with stream ordering — form a DAG, which backward-only
-    /// dependencies guarantee).
+    /// Checks structural validity: dependencies exist and point backwards
+    /// (which, together with stream ordering, guarantees a DAG), and every
+    /// data-moving op carries at least one payload segment — an empty
+    /// segment list is always an emitter bug (a copy that moves nothing
+    /// would still be charged a launch overhead and skew timings).
     pub fn validate(&self) -> Result<(), ProgramError> {
         for op in &self.ops {
             for &dep in &op.deps {
@@ -209,6 +265,11 @@ impl Program {
                     return Err(ProgramError::ForwardDependency { op: op.id, dep });
                 }
             }
+            if matches!(op.kind, OpKind::Copy { .. } | OpKind::Reduce { .. })
+                && op.kind.segments().is_empty()
+            {
+                return Err(ProgramError::EmptyPayload { op: op.id });
+            }
         }
         Ok(())
     }
@@ -218,17 +279,63 @@ impl Program {
         let mut out = BTreeMap::new();
         for o in &self.ops {
             if let OpKind::Copy {
-                src,
-                dst,
-                bytes,
-                class,
-                ..
+                src, dst, class, ..
             } = o.kind
             {
-                *out.entry((src, dst, class)).or_insert(0) += bytes;
+                *out.entry((src, dst, class)).or_insert(0) += o.kind.payload_bytes();
             }
         }
         out
+    }
+
+    /// Rewrites the program with every multi-segment data-moving op expanded
+    /// into one single-segment op per segment — the pre-aggregation emission
+    /// shape, where a gathering collective issued one copy per slot sub-range
+    /// per edge. Each piece inherits the original op's stream, tag and
+    /// dependencies, and every dependant of the original depends on all of
+    /// its pieces, so the expanded program moves exactly the same bytes under
+    /// exactly the same ordering constraints; only the per-op launch
+    /// accounting differs. The perf harness uses this to measure what
+    /// segmented payloads buy, and tests use it to cross-check the oracle on
+    /// both shapes.
+    pub fn split_segments(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        // old op id -> the new ids of its pieces
+        let mut pieces: Vec<Vec<OpId>> = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let deps: Vec<OpId> = op
+                .deps
+                .iter()
+                .flat_map(|d| pieces[d.0].iter().copied())
+                .collect();
+            let segs = op.kind.segments();
+            let ids = if segs.len() > 1 {
+                segs.iter()
+                    .map(|&seg| {
+                        let kind = match &op.kind {
+                            OpKind::Copy {
+                                src, dst, class, ..
+                            } => OpKind::Copy {
+                                src: *src,
+                                dst: *dst,
+                                class: *class,
+                                segs: vec![seg],
+                            },
+                            OpKind::Reduce { gpu, .. } => OpKind::Reduce {
+                                gpu: *gpu,
+                                segs: vec![seg],
+                            },
+                            _ => unreachable!("only data-moving ops have segments"),
+                        };
+                        b.push(kind, op.stream, deps.clone(), op.tag.clone())
+                    })
+                    .collect()
+            } else {
+                vec![b.push(op.kind.clone(), op.stream, deps, op.tag.clone())]
+            };
+            pieces.push(ids);
+        }
+        b.build().expect("splitting preserves structural validity")
     }
 }
 
@@ -298,7 +405,8 @@ impl ProgramBuilder {
     }
 
     /// Adds a copy op carrying the logical byte range
-    /// `[offset, offset + bytes)`.
+    /// `[offset, offset + bytes)` (the one-segment case of
+    /// [`ProgramBuilder::copy_segs`]).
     #[allow(clippy::too_many_arguments)]
     pub fn copy_range(
         &mut self,
@@ -311,13 +419,36 @@ impl ProgramBuilder {
         deps: Vec<OpId>,
         tag: impl Into<String>,
     ) -> OpId {
+        self.copy_segs(
+            src,
+            dst,
+            vec![Segment::new(offset, bytes)],
+            class,
+            stream,
+            deps,
+            tag,
+        )
+    }
+
+    /// Adds a copy op carrying an arbitrary list of logical byte ranges as
+    /// one operation (one launch overhead, summed transfer time).
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_segs(
+        &mut self,
+        src: GpuId,
+        dst: GpuId,
+        segs: Vec<Segment>,
+        class: LinkClass,
+        stream: StreamId,
+        deps: Vec<OpId>,
+        tag: impl Into<String>,
+    ) -> OpId {
         self.push(
             OpKind::Copy {
                 src,
                 dst,
-                bytes,
                 class,
-                offset,
+                segs,
             },
             stream,
             deps,
@@ -338,7 +469,8 @@ impl ProgramBuilder {
     }
 
     /// Adds a reduction op folding the logical byte range
-    /// `[offset, offset + bytes)`.
+    /// `[offset, offset + bytes)` (the one-segment case of
+    /// [`ProgramBuilder::reduce_segs`]).
     pub fn reduce_range(
         &mut self,
         gpu: GpuId,
@@ -348,7 +480,20 @@ impl ProgramBuilder {
         deps: Vec<OpId>,
         tag: impl Into<String>,
     ) -> OpId {
-        self.push(OpKind::Reduce { gpu, bytes, offset }, stream, deps, tag)
+        self.reduce_segs(gpu, vec![Segment::new(offset, bytes)], stream, deps, tag)
+    }
+
+    /// Adds a reduction op folding an arbitrary list of logical byte ranges
+    /// as one kernel.
+    pub fn reduce_segs(
+        &mut self,
+        gpu: GpuId,
+        segs: Vec<Segment>,
+        stream: StreamId,
+        deps: Vec<OpId>,
+        tag: impl Into<String>,
+    ) -> OpId {
+        self.push(OpKind::Reduce { gpu, segs }, stream, deps, tag)
     }
 
     /// Adds a compute op.
@@ -463,5 +608,82 @@ mod tests {
         assert_eq!(LinkClass::NvLink.to_string(), "nvlink");
         assert_eq!(LinkClass::Pcie.to_string(), "pcie");
         assert_eq!(LinkClass::Network.to_string(), "net");
+    }
+
+    #[test]
+    fn segmented_payloads_sum_and_split() {
+        let mut b = ProgramBuilder::new();
+        let s0 = b.new_stream();
+        let s1 = b.new_stream();
+        let first = b.copy_segs(
+            GpuId(0),
+            GpuId(1),
+            vec![
+                Segment::new(0, 10),
+                Segment::new(100, 20),
+                Segment::new(300, 30),
+            ],
+            LinkClass::NvLink,
+            s0,
+            vec![],
+            "multi",
+        );
+        let red = b.reduce_segs(
+            GpuId(1),
+            vec![Segment::new(0, 10), Segment::new(100, 20)],
+            s0,
+            vec![first],
+            "fold",
+        );
+        b.copy_range(
+            GpuId(1),
+            GpuId(2),
+            5,
+            7,
+            LinkClass::Pcie,
+            s1,
+            vec![red],
+            "tail",
+        );
+        let p = b.build().unwrap();
+        assert_eq!(p.ops()[0].kind.payload_bytes(), 60);
+        assert_eq!(p.ops()[0].kind.segments().len(), 3);
+        assert_eq!(p.ops()[1].kind.payload_bytes(), 30);
+        assert_eq!(p.total_copy_bytes(), 67);
+        assert_eq!(Segment::new(100, 20).end(), 120);
+
+        // split_segments: one op per segment, deps rewired to every piece
+        let split = p.split_segments();
+        assert_eq!(split.len(), 3 + 2 + 1);
+        assert_eq!(split.total_copy_bytes(), p.total_copy_bytes());
+        // the reduce pieces (ids 3 and 4) must depend on all three copy pieces
+        for i in [3usize, 4] {
+            let deps: Vec<usize> = split.ops()[i].deps.iter().map(|d| d.0).collect();
+            assert_eq!(deps, vec![0, 1, 2], "piece {i}");
+        }
+        // the tail copy depends on both reduce pieces
+        let tail_deps: Vec<usize> = split.ops()[5].deps.iter().map(|d| d.0).collect();
+        assert_eq!(tail_deps, vec![3, 4]);
+        // every split op carries exactly one segment
+        assert!(split.ops().iter().all(|o| o.kind.segments().len() == 1));
+
+        // an empty segment list is rejected at build time
+        let mut b = ProgramBuilder::new();
+        let s = b.new_stream();
+        b.copy_segs(
+            GpuId(0),
+            GpuId(1),
+            Vec::new(),
+            LinkClass::NvLink,
+            s,
+            vec![],
+            "nothing",
+        );
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, ProgramError::EmptyPayload { op } if op == OpId(0)));
+        // streams and tags survive
+        assert_eq!(split.ops()[0].stream, s0);
+        assert_eq!(split.ops()[5].tag, "tail");
+        assert_eq!(split.num_streams(), 2);
     }
 }

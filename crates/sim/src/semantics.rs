@@ -11,8 +11,10 @@
 //! # The chunk space
 //!
 //! Every collective defines a **logical address space** of byte offsets that
-//! ops address through the `(offset, bytes)` range on [`OpKind::Copy`] and
-//! [`OpKind::Reduce`]:
+//! ops address through the [`crate::program::Segment`] lists on
+//! [`OpKind::Copy`] and [`OpKind::Reduce`] (one op may carry several
+//! disjoint ranges — e.g. a gather edge moving a whole subtree's slot
+//! payload; each segment is replayed individually):
 //!
 //! * Broadcast, Reduce, AllReduce, ReduceScatter — `[0, bytes)`, the
 //!   collective's buffer. Every participant's contribution to offset `x` is
@@ -485,63 +487,57 @@ pub fn check_collective(
 
     let mut pending: Vec<Option<Vec<(u64, u64, Contributions)>>> = vec![None; ops.len()];
     for (time, kind, i) in events {
-        match (kind, ops[i].kind) {
-            (
-                EventKind::Snapshot,
-                OpKind::Copy {
-                    src,
-                    bytes: len,
-                    offset,
-                    ..
-                },
-            ) => {
-                let st = state.entry(src).or_default();
-                pending[i] = Some(st.visible(offset, offset + len));
+        match (kind, &ops[i].kind) {
+            (EventKind::Snapshot, OpKind::Copy { src, segs, .. }) => {
+                let st = state.entry(*src).or_default();
+                let mut snapshot = Vec::new();
+                for seg in segs {
+                    snapshot.extend(st.visible(seg.offset, seg.end()));
+                }
+                pending[i] = Some(snapshot);
             }
             (EventKind::Deliver, OpKind::Copy { dst, .. }) => {
                 let segs = pending[i].take().expect("snapshot precedes delivery");
                 state
-                    .entry(dst)
+                    .entry(*dst)
                     .or_default()
                     .staged
                     .push(Arrival { time, segs });
             }
-            (
-                EventKind::Fold,
-                OpKind::Reduce {
-                    gpu,
-                    bytes: len,
-                    offset,
-                },
-            ) => {
-                let st = state.entry(gpu).or_default();
-                let (start, end) = (offset, offset + len);
-                let mut kept: Vec<Arrival> = Vec::with_capacity(st.staged.len());
-                for mut arr in std::mem::take(&mut st.staged) {
-                    let mut outside = Vec::new();
-                    for (s, e, v) in arr.segs.drain(..) {
-                        let (is, ie) = (s.max(start), e.min(end));
-                        if is < ie {
-                            // the overlapping part is folded and consumed;
-                            // the flanks (if any) stay staged untouched
-                            st.resident.fold(is, ie, &v);
-                            if s < is {
-                                outside.push((s, is, v.clone()));
+            (EventKind::Fold, OpKind::Reduce { gpu, segs }) => {
+                let st = state.entry(*gpu).or_default();
+                // each payload segment folds independently (the ranges a
+                // well-formed reduce carries are disjoint, so the order
+                // cannot matter)
+                for seg in segs {
+                    let (start, end) = (seg.offset, seg.end());
+                    let mut kept: Vec<Arrival> = Vec::with_capacity(st.staged.len());
+                    for mut arr in std::mem::take(&mut st.staged) {
+                        let mut outside = Vec::new();
+                        for (s, e, v) in arr.segs.drain(..) {
+                            let (is, ie) = (s.max(start), e.min(end));
+                            if is < ie {
+                                // the overlapping part is folded and consumed;
+                                // the flanks (if any) stay staged untouched
+                                st.resident.fold(is, ie, &v);
+                                if s < is {
+                                    outside.push((s, is, v.clone()));
+                                }
+                                if ie < e {
+                                    outside.push((ie, e, v));
+                                }
+                            } else {
+                                // disjoint from the fold range: keep verbatim
+                                outside.push((s, e, v));
                             }
-                            if ie < e {
-                                outside.push((ie, e, v));
-                            }
-                        } else {
-                            // disjoint from the fold range: keep verbatim
-                            outside.push((s, e, v));
+                        }
+                        if !outside.is_empty() {
+                            arr.segs = outside;
+                            kept.push(arr);
                         }
                     }
-                    if !outside.is_empty() {
-                        arr.segs = outside;
-                        kept.push(arr);
-                    }
+                    st.staged = kept;
                 }
-                st.staged = kept;
             }
             _ => unreachable!("event kinds match their op kinds"),
         }
@@ -651,26 +647,69 @@ fn expect_slots(
 
 /// Flags pairs of unfolded arrivals that overlap with different values at
 /// indistinguishable delivery times.
+///
+/// Implemented as an endpoint-sorted interval sweep: every staged segment is
+/// sorted by start offset and compared only against the segments still
+/// *active* (i.e. spatially overlapping) when it opens, so the cost is
+/// `O(m log m + overlapping pairs)` in the total staged-segment count `m` —
+/// not the all-pairs compare of arrivals the old checker ran, which went
+/// quadratic on large conformance matrices even when nothing overlapped.
+/// Value comparison still happens only for temporally-close pairs, exactly
+/// like the pairwise definition.
 fn race_check(state: &BTreeMap<GpuId, GpuState>, violations: &mut Vec<Violation>) {
+    struct SweepSeg<'a> {
+        start: u64,
+        end: u64,
+        time: f64,
+        arrival: usize,
+        value: &'a Contributions,
+    }
     for (&gpu, st) in state {
+        let mut segs: Vec<SweepSeg<'_>> = Vec::new();
         for (ai, a) in st.staged.iter().enumerate() {
-            for b in &st.staged[ai + 1..] {
-                if (a.time - b.time).abs() > TIE_EPS {
-                    continue;
-                }
-                for (as_, ae, av) in &a.segs {
-                    for (bs, be, bv) in &b.segs {
-                        let (s, e) = (*as_.max(bs), *ae.min(be));
-                        if s < e && av != bv {
-                            violations.push(Violation::AmbiguousOverwrite {
-                                gpu,
-                                offset: s,
-                                len: e - s,
-                            });
-                        }
-                    }
+            for (s, e, v) in &a.segs {
+                if s < e {
+                    segs.push(SweepSeg {
+                        start: *s,
+                        end: *e,
+                        time: a.time,
+                        arrival: ai,
+                        value: v,
+                    });
                 }
             }
+        }
+        segs.sort_by(|a, b| {
+            a.start
+                .cmp(&b.start)
+                .then(a.end.cmp(&b.end))
+                .then(a.arrival.cmp(&b.arrival))
+        });
+        // indices into `segs` whose ranges are still open at the sweep line
+        let mut active: Vec<usize> = Vec::new();
+        for i in 0..segs.len() {
+            let cur = &segs[i];
+            active.retain(|&j| segs[j].end > cur.start);
+            for &j in &active {
+                let other = &segs[j];
+                if other.arrival == cur.arrival {
+                    continue; // one arrival never races itself
+                }
+                if (other.time - cur.time).abs() > TIE_EPS {
+                    continue;
+                }
+                if other.value != cur.value {
+                    // overlap is guaranteed: `other` is still active at
+                    // `cur.start`
+                    let (s, e) = (other.start.max(cur.start), other.end.min(cur.end));
+                    violations.push(Violation::AmbiguousOverwrite {
+                        gpu,
+                        offset: s,
+                        len: e - s,
+                    });
+                }
+            }
+            active.push(i);
         }
     }
 }

@@ -239,7 +239,7 @@ fn rebuild_with(program: &Program, mutate: impl Fn(usize, OpKind) -> OpKind) -> 
     let mut b = ProgramBuilder::new();
     for (i, op) in program.ops().iter().enumerate() {
         b.push(
-            mutate(i, op.kind),
+            mutate(i, op.kind.clone()),
             op.stream,
             op.deps.clone(),
             op.tag.clone(),
@@ -301,41 +301,25 @@ fn mutations_are_rejected_for_every_collective_kind() {
         assert!(!check.violations.is_empty());
 
         // ---- defect 2: halved bytes ----
-        let halved = rebuild_with(&program, |i, k| match k {
-            OpKind::Copy {
-                src,
-                dst,
-                bytes,
-                class,
-                offset,
-            } if i == target => OpKind::Copy {
-                src,
-                dst,
-                bytes: bytes / 2,
-                class,
-                offset,
-            },
-            other => other,
+        let halved = rebuild_with(&program, |i, mut k| {
+            if i == target {
+                if let OpKind::Copy { segs, .. } = &mut k {
+                    segs[0].bytes /= 2;
+                }
+            }
+            k
         });
         let check = run_and_check(&machine, &alloc, kind, bytes, &halved);
         assert!(!check.is_correct(), "{kind}: halved bytes must be rejected");
 
         // ---- defect 3: shifted offset ----
-        let shifted = rebuild_with(&program, |i, k| match k {
-            OpKind::Copy {
-                src,
-                dst,
-                bytes,
-                class,
-                offset,
-            } if i == target => OpKind::Copy {
-                src,
-                dst,
-                bytes,
-                class,
-                offset: offset + (bytes / 2).max(1),
-            },
-            other => other,
+        let shifted = rebuild_with(&program, |i, mut k| {
+            if i == target {
+                if let OpKind::Copy { segs, .. } = &mut k {
+                    segs[0].offset += (segs[0].bytes / 2).max(1);
+                }
+            }
+            k
         });
         let check = run_and_check(&machine, &alloc, kind, bytes, &shifted);
         assert!(
@@ -395,9 +379,14 @@ fn a_duplicated_fold_is_rejected_with_the_exact_multiplicity() {
             if op.id.0 == red_idx {
                 deps.push(OpId(fed_by.0 + 1));
             }
-            b.push(op.kind, op.stream, deps, op.tag.clone());
+            b.push(op.kind.clone(), op.stream, deps, op.tag.clone());
             if op.id.0 == fed_by.0 {
-                b.push(op.kind, op.stream, vec![op.id], format!("{} (dup)", op.tag));
+                b.push(
+                    op.kind.clone(),
+                    op.stream,
+                    vec![op.id],
+                    format!("{} (dup)", op.tag),
+                );
             }
         }
         let mutated = b.build().unwrap();
@@ -413,6 +402,115 @@ fn a_duplicated_fold_is_rejected_with_the_exact_multiplicity() {
             doubled,
             "{kind}: the violation must expose the multiplicity:\n{check}"
         );
+    }
+}
+
+/// Segment-level mutations: the gathering collectives now carry multi-range
+/// payloads on single ops, so the oracle must also catch a defect confined to
+/// ONE segment of a multi-segment op — a shifted slot and a dropped slot.
+#[test]
+fn a_corrupted_single_segment_is_rejected() {
+    let bytes = mb(2) + 9;
+    for kind in [
+        CollectiveKind::AllGather,
+        CollectiveKind::Gather { root: GpuId(0) },
+        CollectiveKind::ReduceScatter,
+    ] {
+        let (machine, alloc, program) = generated_program(kind, bytes);
+        let baseline = run_and_check(&machine, &alloc, kind, bytes, &program);
+        assert!(baseline.is_correct(), "{kind} baseline:\n{baseline}");
+        let Some(target) = program
+            .ops()
+            .iter()
+            .rposition(|o| matches!(o.kind, OpKind::Copy { .. }) && o.kind.segments().len() >= 2)
+        else {
+            // a scatter chunk may happen to intersect only one shard per
+            // subtree on this slice; the gathering collectives must always
+            // produce multi-segment ops
+            assert_eq!(kind, CollectiveKind::ReduceScatter, "{kind}");
+            continue;
+        };
+        let n_segs = program.ops()[target].kind.segments().len();
+
+        // ---- shift the last segment of the op ----
+        let shifted = rebuild_with(&program, |i, mut k| {
+            if i == target {
+                if let OpKind::Copy { segs, .. } = &mut k {
+                    let last = segs.len() - 1;
+                    segs[last].offset += (segs[last].bytes / 2).max(1);
+                }
+            }
+            k
+        });
+        let check = run_and_check(&machine, &alloc, kind, bytes, &shifted);
+        assert!(
+            !check.is_correct(),
+            "{kind}: a single shifted segment must be rejected"
+        );
+
+        // ---- drop one segment of the op ----
+        let dropped = rebuild_with(&program, |i, mut k| {
+            if i == target {
+                if let OpKind::Copy { segs, .. } = &mut k {
+                    segs.pop();
+                }
+            }
+            k
+        });
+        assert_eq!(dropped.ops()[target].kind.segments().len(), n_segs - 1);
+        let check = run_and_check(&machine, &alloc, kind, bytes, &dropped);
+        assert!(
+            !check.is_correct(),
+            "{kind}: a dropped segment must be rejected"
+        );
+    }
+}
+
+/// The segmented and the expanded (one op per segment) emission shapes are
+/// value-equivalent: splitting every multi-segment op back into per-slot
+/// copies still satisfies the oracle, under the engine schedule of the
+/// expanded program.
+#[test]
+fn split_segment_programs_stay_conformant() {
+    let bytes = mb(3) + 11;
+    for kind in all_kinds(GpuId(0)) {
+        let (machine, alloc, program) = generated_program(kind, bytes);
+        let split = program.split_segments();
+        assert!(split.len() >= program.len());
+        let check = run_and_check(&machine, &alloc, kind, bytes, &split);
+        assert!(check.is_correct(), "{kind} split emission:\n{check}");
+    }
+}
+
+/// The NCCL baseline lowering is held to the same oracle as Blink's CodeGen:
+/// ring broadcast / RS+AG AllReduce over NVLink, the PCIe fallback, and the
+/// DGX-2 double-binary trees must all be byte-exact (the open ROADMAP item
+/// from PR 4).
+#[test]
+fn nccl_baseline_conforms() {
+    use blink_nccl::planner::NcclPlanner;
+    use blink_nccl::schedule::{run_checked, NcclCollective, ScheduleOptions};
+    let bytes = mb(8) + 13;
+    let cases: Vec<(Topology, Vec<GpuId>, u64)> = vec![
+        (dgx1v(), (0..8).map(GpuId).collect(), bytes),
+        (dgx1p(), vec![GpuId(0), GpuId(1), GpuId(4)], bytes), // PCIe fallback
+        (dgx2(), (0..16).map(GpuId).collect(), 8 * 1024 + 5), // double binary trees
+    ];
+    for (machine, alloc, bytes) in cases {
+        let planner = NcclPlanner::with_defaults(machine.clone());
+        let plan = planner.plan(&alloc, bytes).unwrap();
+        let sim = Simulator::with_defaults(machine);
+        for collective in [
+            NcclCollective::Broadcast { root: alloc[1] },
+            NcclCollective::AllReduce,
+        ] {
+            let (_, check) =
+                run_checked(&sim, &plan, collective, bytes, &ScheduleOptions::default()).unwrap();
+            assert!(
+                check.is_correct(),
+                "nccl {collective:?} on {alloc:?}:\n{check}"
+            );
+        }
     }
 }
 
