@@ -24,17 +24,33 @@
 //! `(`[`plan_fingerprint`]`, root, link class)` — the fingerprint covers the
 //! induced topology and the link-class-normalised options, so equal job
 //! shapes hit and anything else misses.
+//!
+//! # Delta invalidation and warm seeds
+//!
+//! When the hardware churns (a flaky NVLink disabled, a GPU cordoned off, a
+//! job grown by a server), [`PlanCache::note_delta`] takes the
+//! [`TopologyDelta`] and, instead of flushing wholesale, demotes exactly the
+//! plans the delta can touch: a cached plan survives a pure removal intact
+//! when none of its trees' edges and none of its link class's capacity
+//! groups intersect the removed links/GPUs, while any intersecting (or
+//! additively changed) plan is demoted to a *warm seed*. The next
+//! [`PlanCache::plan_for`]/[`PlanCache::plan_many`] miss for that key hands
+//! the seed to [`TreeGen::plan_warm`], whose repair-and-seed pass
+//! (`blink-graph`'s warm-start contract) typically reaches the packing
+//! certificate with zero MWU iterations. The cache never serves a demoted
+//! plan directly — warm seeds only ever enter through the packer, so every
+//! plan handed out has been re-certified against the current topology.
 
 use crate::treegen::{
     parallel_map, LinkSelection, SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan,
 };
 use crate::{new_shared_scratch, Result};
-use blink_topology::{GpuId, Topology};
+use blink_topology::{GpuId, Topology, TopologyDelta};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A 64-bit fingerprint of everything (besides the root and link class) a
 /// cached [`TreePlan`] depends on: the induced topology's GPUs, links and
@@ -259,6 +275,91 @@ impl SharedPlanCache {
         let mut inner = self.inner.lock().expect("shared plan cache poisoned");
         inner.plans.retain(|&(fp, _, _), _| fp != fingerprint);
     }
+
+    /// Applies a topology-change event to the plans memoised under
+    /// `old_fingerprint` — the shared-tier half of [`PlanCache::note_delta`].
+    ///
+    /// Under a pure-removal delta ([`TopologyDelta::is_pure_removal`]) a plan
+    /// whose trees avoid every removed link and GPU is still *exact* for the
+    /// post-event topology: removing capacity can only lower the broadcast
+    /// min-cut, so a plan within `(1 − ε)` of the old certificate is within
+    /// `(1 − ε)` of the new one, and its trees remain feasible. Those
+    /// survivors are re-keyed to `new_fingerprint` so lookups over the
+    /// post-event shape keep hitting. Every other plan — touched by the
+    /// delta, or any plan when the delta *adds* hardware (the certificate
+    /// may rise, voiding the near-optimality guarantee) — is dropped; the
+    /// observing communicator's local tier keeps its own copies as
+    /// warm-start seeds instead.
+    pub fn apply_delta(&self, old_fingerprint: u64, new_fingerprint: u64, delta: &TopologyDelta) {
+        if old_fingerprint == new_fingerprint {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("shared plan cache poisoned");
+        let stale: Vec<(u64, GpuId, LinkSelection)> = inner
+            .plans
+            .keys()
+            .filter(|(fp, _, _)| *fp == old_fingerprint)
+            .copied()
+            .collect();
+        for key in stale {
+            let (plan, tick) = inner.plans.remove(&key).expect("key just enumerated");
+            if plan_survives_delta(&plan, delta) {
+                inner
+                    .plans
+                    .insert((new_fingerprint, key.1, key.2), (plan, tick));
+            }
+        }
+    }
+}
+
+/// Whether `plan` is still *exact* after `delta` — feasible and within the
+/// same `(1 − ε)`-of-certificate bound it was packed to — judged per the
+/// plan's own link class:
+///
+/// * added GPUs, or added links of the plan's class, can raise the
+///   certificate → not exact;
+/// * a removed GPU the plan spans, or a removed link of the plan's class on
+///   a GPU pair some tree routes over (even one lane of several — the
+///   pair's capacity shrank under the plan's rate), breaks feasibility;
+/// * anything else (dead links of *other* classes, dead links the trees
+///   avoid) leaves the plan's rate intact while the certificate can only
+///   fall — the plan survives.
+fn plan_survives_delta(plan: &TreePlan, delta: &TopologyDelta) -> bool {
+    if !delta.added_gpus.is_empty() {
+        return false;
+    }
+    if delta.added_links.iter().any(|l| plan.links.matches(l)) {
+        return false;
+    }
+    if delta.removed_gpus.iter().any(|g| plan.gpus.contains(g)) {
+        return false;
+    }
+    let dead: BTreeSet<(GpuId, GpuId)> = delta
+        .removed_links
+        .iter()
+        .filter(|l| plan.links.matches(l))
+        .map(|l| (l.src, l.dst))
+        .collect();
+    dead.is_empty()
+        || plan
+            .trees
+            .iter()
+            .all(|t| t.tree.edges.iter().all(|e| !dead.contains(e)))
+}
+
+/// The process-wide [`SharedPlanCache`] that [`crate::Communicator`]s attach
+/// to by default, so identically shaped jobs in one process reuse each
+/// other's plans with no opt-in plumbing. Communicators that need isolation
+/// (e.g. a benchmark measuring cold packing) opt out via
+/// [`crate::CommunicatorOptions::isolated_plan_cache`]; callers wanting a
+/// *different* shared tier still pass one explicitly through
+/// [`crate::Communicator::with_shared_plans`].
+///
+/// The handle is cloned out of a process-global [`OnceLock`]; all clones
+/// share the same LRU store.
+pub fn global_plan_cache() -> SharedPlanCache {
+    static GLOBAL: OnceLock<SharedPlanCache> = OnceLock::new();
+    GLOBAL.get_or_init(SharedPlanCache::new).clone()
 }
 
 impl SharedPlanCacheInner {
@@ -294,6 +395,10 @@ impl SharedPlanCacheInner {
 pub struct PlanCache {
     scratch: SharedPackingScratch,
     plans: BTreeMap<(GpuId, LinkSelection), TreePlan>,
+    /// Warm-start seeds: stale plans demoted by [`PlanCache::note_delta`],
+    /// each consumed by the next miss on its key to drive
+    /// [`TreeGen::plan_warm`] instead of a cold pack.
+    seeds: BTreeMap<(GpuId, LinkSelection), TreePlan>,
     /// Fingerprint of the (topology, normalised options) the memoised plans
     /// were built under; `None` while the cache is empty.
     built_under: Option<u64>,
@@ -313,6 +418,7 @@ impl PlanCache {
         PlanCache {
             scratch,
             plans: BTreeMap::new(),
+            seeds: BTreeMap::new(),
             built_under: None,
             shared: None,
         }
@@ -347,11 +453,50 @@ impl PlanCache {
     fn rekey(&mut self, fp: u64) {
         if self.built_under != Some(fp) {
             self.plans.clear();
+            // an *unannounced* fingerprint change (no note_delta) means the
+            // topology mutated in an unknown way — seeds from it could be
+            // arbitrarily wrong as warm starts, so drop them too
+            self.seeds.clear();
             if let (Some(old), Some(shared)) = (self.built_under, &self.shared) {
                 shared.invalidate_fingerprint(old);
             }
             self.built_under = Some(fp);
         }
+    }
+
+    /// Applies a topology-change event (delta invalidation): re-keys the
+    /// cache to the post-event fingerprint, keeps plans the delta provably
+    /// did not touch (pure removals only — see
+    /// [`SharedPlanCache::apply_delta`] for the argument), and demotes every
+    /// other plan to a *warm-start seed*: the next miss on that key packs
+    /// via [`TreeGen::plan_warm`], seeded from the stale plan, instead of
+    /// cold. An attached [`SharedPlanCache`] is re-keyed the same way.
+    ///
+    /// `induced` and `options` must describe the **post-event** planning
+    /// inputs — the same values the next [`PlanCache::plan_for`] /
+    /// [`PlanCache::plan_many`] call will pass; a later call with different
+    /// inputs simply rekeys again (dropping the seeds).
+    pub fn note_delta(
+        &mut self,
+        induced: &Topology,
+        options: &TreeGenOptions,
+        delta: &TopologyDelta,
+    ) {
+        let new_fp = plan_fingerprint(induced, options);
+        if self.built_under == Some(new_fp) {
+            return;
+        }
+        for (key, plan) in std::mem::take(&mut self.plans) {
+            if plan_survives_delta(&plan, delta) {
+                self.plans.insert(key, plan);
+            } else {
+                self.seeds.insert(key, plan);
+            }
+        }
+        if let (Some(old), Some(shared)) = (self.built_under, &self.shared) {
+            shared.apply_delta(old, new_fp, delta);
+        }
+        self.built_under = Some(new_fp);
     }
 
     /// Returns the cached plan for `(root, options.links)`, computing and
@@ -383,7 +528,10 @@ impl PlanCache {
                 Some(plan) => (*plan).clone(),
                 None => {
                     let tg = TreeGen::with_scratch(induced.clone(), *options, self.scratch.clone());
-                    let plan = tg.plan(root)?;
+                    let plan = match self.seeds.remove(&key) {
+                        Some(seed) => tg.plan_warm(root, &seed)?,
+                        None => tg.plan(root)?,
+                    };
                     if let Some(shared) = &self.shared {
                         shared.insert(fp, root, options.links, Arc::new(plan.clone()));
                     }
@@ -426,8 +574,13 @@ impl PlanCache {
         }
         if !missing.is_empty() {
             let tg = TreeGen::with_scratch(induced.clone(), *options, self.scratch.clone());
-            let planned = parallel_map(missing.clone(), self.scratch.workers(), |root| {
-                tg.plan(root)
+            let tasks: Vec<(GpuId, Option<TreePlan>)> = missing
+                .iter()
+                .map(|&root| (root, self.seeds.remove(&(root, links))))
+                .collect();
+            let planned = parallel_map(tasks, self.scratch.workers(), |(root, seed)| match seed {
+                Some(seed) => tg.plan_warm(root, &seed),
+                None => tg.plan(root),
             });
             for (root, plan) in missing.into_iter().zip(planned) {
                 let plan = plan?;
@@ -448,6 +601,12 @@ impl PlanCache {
         self.plans.contains_key(&(root, links))
     }
 
+    /// Number of warm-start seeds awaiting consumption (stale plans demoted
+    /// by [`PlanCache::note_delta`], not yet re-planned).
+    pub fn seeded(&self) -> usize {
+        self.seeds.len()
+    }
+
     /// Number of memoised plans.
     pub fn len(&self) -> usize {
         self.plans.len()
@@ -465,6 +624,7 @@ impl PlanCache {
     /// but useful to bound memory or force a rebuild.
     pub fn invalidate(&mut self) {
         self.plans.clear();
+        self.seeds.clear();
         self.built_under = None;
     }
 }
@@ -897,6 +1057,132 @@ mod tests {
             again[0].rate_gbps().to_bits(),
             again[1].rate_gbps().to_bits()
         );
+    }
+
+    #[test]
+    fn note_delta_demotes_touched_plans_to_seeds_and_replans_warm() {
+        use blink_topology::TopologyDelta;
+        let topo = dgx1v();
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let induced = topo.induced(&alloc).unwrap();
+        let opts = TreeGenOptions::default();
+        let mut cache = PlanCache::new();
+        cache.plan_many(&induced, &opts, &alloc).unwrap();
+        assert_eq!(cache.len(), 8);
+        // a physical NVLink connection dies
+        let delta = TopologyDelta::kill_link(&induced, GpuId(0), GpuId(1));
+        let after = induced.apply_delta(&delta).unwrap();
+        cache.note_delta(&after, &opts, &delta);
+        // every plan either survived (untouched by the dead pair) or became
+        // a warm-start seed — none were thrown away
+        assert_eq!(cache.len() + cache.seeded(), 8);
+        assert!(cache.seeded() >= 1, "some plan used the killed link");
+        // replanning consumes the seeds and yields plans that avoid the
+        // dead pair and are never worse than a cold re-plan
+        let dead = delta.removed_pairs();
+        let warm: Vec<TreePlan> = cache
+            .plan_many(&after, &opts, &alloc)
+            .unwrap()
+            .into_iter()
+            .cloned()
+            .collect();
+        assert_eq!(cache.seeded(), 0, "seeds are consumed on use");
+        let mut cold_cache = PlanCache::new();
+        for (plan, &root) in warm.iter().zip(&alloc) {
+            assert!(plan
+                .trees
+                .iter()
+                .all(|t| t.tree.edges.iter().all(|e| !dead.contains(e))));
+            let cold = cold_cache.plan_for(&after, &opts, root).unwrap();
+            assert!(
+                plan.rate_gbps() >= cold.rate_gbps() - 1e-9,
+                "warm replan for root {root} must not be worse than cold"
+            );
+        }
+    }
+
+    #[test]
+    fn pure_removal_delta_keeps_unaffected_plans_live_across_tiers() {
+        use blink_topology::{LinkKind, TopologyDelta};
+        let topo = dgx1v();
+        let induced = topo
+            .induced(&(0..4).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default(); // NvLinkOnly
+        let shared = SharedPlanCache::new();
+        let mut cache = PlanCache::new().with_shared(shared.clone());
+        let before = cache.plan_for(&induced, &opts, GpuId(0)).unwrap().clone();
+        // a PCIe link dies; the NVLink plan never touched it
+        let pcie = *induced
+            .links()
+            .iter()
+            .find(|l| l.kind == LinkKind::Pcie)
+            .unwrap();
+        let delta = TopologyDelta {
+            removed_links: vec![pcie],
+            ..Default::default()
+        };
+        let after = induced.apply_delta(&delta).unwrap();
+        cache.note_delta(&after, &opts, &delta);
+        assert_eq!(cache.len(), 1, "untouched plan stays live locally");
+        assert_eq!(cache.seeded(), 0);
+        // the shared tier re-keyed the survivor to the new fingerprint
+        let fp_after = plan_fingerprint(&after, &opts);
+        assert!(shared.get(fp_after, GpuId(0), opts.links).is_some());
+        // and the next lookup serves it bit-identically without re-packing
+        let again = cache.plan_for(&after, &opts, GpuId(0)).unwrap();
+        assert!(before.bit_eq(again));
+    }
+
+    #[test]
+    fn growth_delta_demotes_every_plan_to_a_seed() {
+        use blink_topology::TopologyDelta;
+        let topo = dgx1v();
+        let small = topo
+            .induced(&(0..4).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let big = topo
+            .induced(&(0..8).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default();
+        let mut cache = PlanCache::new();
+        cache.plan_for(&small, &opts, GpuId(0)).unwrap();
+        let delta = TopologyDelta::between(&small, &big);
+        assert!(!delta.is_pure_removal());
+        cache.note_delta(&big, &opts, &delta);
+        // added capacity can raise the certificate: nothing stays live
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.seeded(), 1);
+        let grown = cache.plan_for(&big, &opts, GpuId(0)).unwrap().clone();
+        assert_eq!(grown.gpus.len(), 8);
+        // growth replans carry the same near-optimality guarantee as cold
+        // plans (the pointwise warm ≥ cold bound is only promised for pure
+        // removals — added capacity reshapes the whole MWU trajectory)
+        assert!(grown.rate_gbps() >= (1.0 - opts.packing.epsilon) * grown.optimal_rate_gbps - 1e-9);
+    }
+
+    #[test]
+    fn global_plan_cache_is_one_process_wide_store() {
+        let a = global_plan_cache();
+        let b = global_plan_cache();
+        let topo = dgx1v();
+        let induced = topo
+            .induced(&(0..2).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default();
+        let plan = Arc::new(
+            PlanCache::new()
+                .plan_for(&induced, &opts, GpuId(0))
+                .unwrap()
+                .clone(),
+        );
+        // a synthetic fingerprint no real communicator can collide with
+        let fp = u64::MAX - 12345;
+        a.insert(fp, GpuId(999), opts.links, plan.clone());
+        let via_b = b.get(fp, GpuId(999), opts.links).unwrap();
+        assert!(via_b.bit_eq(&plan));
+        b.invalidate_fingerprint(fp);
+        assert!(a.get(fp, GpuId(999), opts.links).is_none());
     }
 
     #[test]

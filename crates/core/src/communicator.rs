@@ -7,18 +7,31 @@
 //! lowers it to a transfer program with the current chunk size, executes it on
 //! the simulator, feeds the measured throughput back into the MIAD chunk
 //! tuner, and returns a [`CollectiveReport`].
+//!
+//! When the fabric changes underneath a live job, [`Communicator::replan`]
+//! takes a [`TopologyDelta`] and recovers in place: the plan cache demotes
+//! only the plans the delta touches (everything else is kept verbatim), the
+//! demoted plans re-enter the packer as warm seeds via
+//! `TreeGen::plan_warm` — repairing damaged trees around dead links instead
+//! of re-packing from scratch — and the resulting plan is re-certified by
+//! the same MWU certificate a cold plan gets. Warm replans are therefore
+//! bit-identical-or-better in rate and roughly an order of magnitude faster
+//! than cold replans on single-link and single-GPU failures (see
+//! `bench_replan`); [`Communicator::run_checked`] then proves the recovered
+//! program byte-exact on the post-churn hardware.
 
-use crate::autotune::{ChunkAutotuner, PlanCache, SharedPlanCache};
+use crate::autotune::{global_plan_cache, ChunkAutotuner, PlanCache, SharedPlanCache};
 use crate::codegen::{CodeGen, CodeGenOptions};
 use crate::collective::{CollectiveKind, CollectiveReport};
 use crate::hybrid::HybridPlanner;
 use crate::multiserver::three_phase_allreduce_cached;
 use crate::onehop::{is_switch_fabric, one_hop_broadcast_tree, one_hop_trees};
-use crate::treegen::{parallel_map, LinkSelection, TreeGenOptions};
+use crate::treegen::{LinkSelection, TreeGenOptions};
 use crate::{BlinkError, Result};
-use blink_graph::{optimal_broadcast_rate_in, DiGraph, WeightedTree};
+use blink_graph::{DiGraph, WeightedTree};
 use blink_sim::{check_collective, EngineScratch, Program, SimParams, Simulator, ValueCheck};
-use blink_topology::{GpuId, Topology};
+use blink_topology::{GpuId, Topology, TopologyDelta};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Options for [`Communicator::new`].
@@ -34,6 +47,13 @@ pub struct CommunicatorOptions {
     pub use_hybrid: bool,
     /// Reuse streams across trees (Section 4.2.2).
     pub stream_reuse: bool,
+    /// Opt out of the process-wide plan-sharing tier. By default every
+    /// communicator attaches to [`global_plan_cache`], so identically shaped
+    /// jobs in one process reuse each other's packed trees with no plumbing;
+    /// set this for strict isolation (e.g. benchmarks measuring cold packing
+    /// cost). Passing an explicit cache through
+    /// [`Communicator::with_shared_plans`] overrides both behaviours.
+    pub isolated_plan_cache: bool,
 }
 
 impl Default for CommunicatorOptions {
@@ -44,8 +64,32 @@ impl Default for CommunicatorOptions {
             chunk_bytes: Some(4 << 20),
             use_hybrid: false,
             stream_reuse: false,
+            isolated_plan_cache: false,
         }
     }
+}
+
+/// What a [`Communicator::replan`] call did — cache survivorship, warm-start
+/// evidence and the re-picked root, for observability and the replan
+/// benchmarks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplanReport {
+    /// Plans that survived delta invalidation untouched (still exact for the
+    /// post-event topology).
+    pub plans_kept: usize,
+    /// Stale plans the delta demoted to warm-start seeds.
+    pub seeds_demoted: usize,
+    /// Trees re-seeded into the MWU state across the warm re-plans (0 when
+    /// every re-plan went cold or no packing strategy applies).
+    pub warm_seeded_trees: usize,
+    /// The root the re-planned sweep picked for rootless collectives.
+    pub root: GpuId,
+    /// The picked root's packing rate (GB/s); 0 when the communicator's
+    /// strategy does not use packed trees (switch fabric, multi-server,
+    /// single GPU).
+    pub rate_gbps: f64,
+    /// GPUs in the allocation after the delta.
+    pub num_gpus: usize,
 }
 
 /// A collective's timing report plus the artifacts the value-level oracle
@@ -97,7 +141,12 @@ impl Communicator {
         allocation: &[GpuId],
         options: CommunicatorOptions,
     ) -> Result<Self> {
-        Self::with_plan_cache(machine, allocation, options, PlanCache::new())
+        let plans = if options.isolated_plan_cache {
+            PlanCache::new()
+        } else {
+            PlanCache::new().with_shared(global_plan_cache())
+        };
+        Self::with_plan_cache(machine, allocation, options, plans)
     }
 
     /// Creates a communicator whose plans are shared with other communicators
@@ -304,49 +353,162 @@ impl Communicator {
 
     /// Picks the root that maximises the achievable packing rate for
     /// all-to-all collectives (any root works; a well-connected one packs
-    /// more trees). Memoised: the allocation never changes, so the Dinic
-    /// sweep runs once per communicator, not once per collective.
+    /// more trees). Memoised: the allocation only changes through
+    /// [`Communicator::replan`], which re-runs the sweep itself.
     fn pick_root(&mut self) -> GpuId {
         if let Some(root) = self.picked_root {
             return root;
         }
-        let root = self.compute_pick_root();
+        let (root, _, _) = self.root_sweep();
         self.picked_root = Some(root);
         root
     }
 
-    /// The per-candidate certificates are independent, so the sweep fans out
-    /// over the planning pool's workers (each checkout reuses a warm Dinic
-    /// scratch). Rates are bit-identical to the sequential sweep, and the
-    /// winner is selected in allocation order afterwards, so the picked root
-    /// never depends on the worker count.
-    fn compute_pick_root(&self) -> GpuId {
-        let g = DiGraph::from_topology_filtered(&self.induced, |l| l.kind.is_nvlink());
-        let pool = self.plans.scratch();
-        let g = &g;
-        let rates: Vec<Option<f64>> = parallel_map(
-            self.allocation.clone(),
-            pool.workers(),
-            |cand| -> Option<f64> {
-                let idx = g.node(cand)?;
-                if !g.spans_from(idx) {
-                    return None;
+    /// Plans every spannable candidate root through the plan cache
+    /// ([`PlanCache::plan_many`] fans misses out over the scratch pool's
+    /// workers, consuming any warm-start seeds a delta left behind) and picks
+    /// the best *plan* rate. The winning root's plan — and every runner-up's —
+    /// lands in the cache, so the sweep is the planning, not a separate Dinic
+    /// certificate pass. Plans are bit-identical at every worker count and
+    /// ties resolve in allocation order, so the picked root is deterministic.
+    ///
+    /// Returns `(root, rate, warm_seeded_trees)`; the fallback
+    /// `(allocation[0], 0.0, 0)` when no candidate spans the selected link
+    /// class (the later per-root planning surfaces the real error).
+    fn root_sweep(&mut self) -> (GpuId, f64, usize) {
+        let links = self.options.treegen.links;
+        let g = DiGraph::from_topology_filtered(&self.induced, |l| links.matches(l));
+        let candidates: Vec<GpuId> = self
+            .allocation
+            .iter()
+            .copied()
+            .filter(|&cand| {
+                let spans = g.node(cand).map(|i| g.spans_from(i)).unwrap_or(false);
+                self.spannable.insert((cand, links), spans);
+                spans
+            })
+            .collect();
+        if candidates.is_empty() {
+            return (self.allocation[0], 0.0, 0);
+        }
+        let treegen = self.options.treegen;
+        match self.plans.plan_many(&self.induced, &treegen, &candidates) {
+            Ok(plans) => {
+                let mut best = candidates[0];
+                let mut best_rate = -1.0;
+                let mut warm_total = 0;
+                for (plan, &cand) in plans.iter().zip(&candidates) {
+                    warm_total += plan.mwu.warm_seeded;
+                    if plan.rate_gbps() > best_rate {
+                        best_rate = plan.rate_gbps();
+                        best = cand;
+                    }
                 }
-                let mut scratch = pool.checkout();
-                Some(optimal_broadcast_rate_in(g, idx, &mut scratch.certificate))
-            },
-        );
-        let mut best = self.allocation[0];
-        let mut best_rate = -1.0;
-        for (&cand, rate) in self.allocation.iter().zip(rates) {
-            if let Some(rate) = rate {
-                if rate > best_rate {
-                    best_rate = rate;
-                    best = cand;
-                }
+                (best, best_rate, warm_total)
+            }
+            Err(_) => (self.allocation[0], 0.0, 0),
+        }
+    }
+
+    /// Reacts to a topology-change event without rebuilding the communicator:
+    /// applies `delta` to the machine model, re-induces the (possibly
+    /// shrunken or grown) allocation, delta-invalidates the plan cache
+    /// ([`PlanCache::note_delta`] keeps plans the event provably did not
+    /// touch and demotes the rest to warm-start seeds), then re-runs the
+    /// root sweep — every stale root re-plans **warm**, seeded from its old
+    /// trees, and re-certifies against the post-event min-cut. Collectives
+    /// issued afterwards use the recovered plans directly.
+    ///
+    /// Removed GPUs leave the allocation; GPUs added by the delta join it.
+    /// Chunk autotuners reset (the hardware their throughput feedback
+    /// calibrated against no longer exists); the engine scratch is kept —
+    /// scratch contents never affect results.
+    ///
+    /// # Errors
+    /// Fails if the delta empties the allocation, is inconsistent with the
+    /// machine model ([`Topology::apply_delta`]), or leaves the allocation
+    /// unspannable in a way planning cannot recover from.
+    pub fn replan(&mut self, delta: &TopologyDelta) -> Result<ReplanReport> {
+        // The machine model may already know hardware the delta "adds" — a
+        // job growing onto GPUs the scheduler had merely not allocated to it.
+        // Apply only what the model is actually missing (and drop only what
+        // it actually has), so allocation-level growth and hardware-level
+        // churn both replay cleanly.
+        let machine_delta = TopologyDelta {
+            removed_links: delta.removed_links.clone(),
+            added_links: delta
+                .added_links
+                .iter()
+                .filter(|l| !self.machine.links().contains(l))
+                .copied()
+                .collect(),
+            removed_gpus: delta
+                .removed_gpus
+                .iter()
+                .filter(|&&g| self.machine.contains(g))
+                .copied()
+                .collect(),
+            added_gpus: delta
+                .added_gpus
+                .iter()
+                .filter(|g| !self.machine.contains(g.id))
+                .copied()
+                .collect(),
+            added_gpu_caps: delta.added_gpu_caps.clone(),
+            added_server_nics: delta.added_server_nics.clone(),
+        };
+        let machine = self
+            .machine
+            .apply_delta(&machine_delta)
+            .map_err(|e| BlinkError::Planning(e.to_string()))?;
+        let mut allocation: Vec<GpuId> = self
+            .allocation
+            .iter()
+            .copied()
+            .filter(|g| !delta.removed_gpus.contains(g))
+            .collect();
+        for g in &delta.added_gpus {
+            if !allocation.contains(&g.id) {
+                allocation.push(g.id);
             }
         }
-        best
+        if allocation.is_empty() {
+            return Err(BlinkError::Planning(
+                "replan delta removed every GPU in the allocation".to_string(),
+            ));
+        }
+        let induced = machine
+            .induced(&allocation)
+            .map_err(|e| BlinkError::Planning(e.to_string()))?;
+        self.machine = machine;
+        self.allocation = allocation;
+        self.induced = induced;
+        self.sim = Simulator::new(self.machine.clone(), self.options.sim_params);
+        self.picked_root = None;
+        self.spannable.clear();
+        self.hybrids.clear();
+        self.autotuners.clear();
+        self.plans
+            .note_delta(&self.induced, &self.options.treegen, delta);
+        let plans_kept = self.plans.len();
+        let seeds_demoted = self.plans.seeded();
+        let (root, rate_gbps, warm_seeded_trees) = if self.allocation.len() < 2
+            || self.is_multi_server()
+            || is_switch_fabric(&self.induced, &self.allocation)
+        {
+            (self.allocation[0], 0.0, 0)
+        } else {
+            self.root_sweep()
+        };
+        self.picked_root = Some(root);
+        Ok(ReplanReport {
+            plans_kept,
+            seeds_demoted,
+            warm_seeded_trees,
+            root,
+            rate_gbps,
+            num_gpus: self.allocation.len(),
+        })
     }
 
     fn build_program(
@@ -608,6 +770,62 @@ mod tests {
         let rb = b.all_reduce(mb(50)).unwrap();
         assert_eq!(shared.stats(), (6, 6), "every per-server plan reused");
         assert_eq!(ra.elapsed_us.to_bits(), rb.elapsed_us.to_bits());
+    }
+
+    #[test]
+    fn replan_recovers_from_a_killed_link_warm() {
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let mut comm = Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        let before = comm.all_reduce(mb(100)).unwrap();
+        assert!(before.algorithmic_bandwidth_gbps > 30.0);
+        // one NVLink duplex dies
+        let delta = TopologyDelta::kill_link(comm.induced_topology(), GpuId(0), GpuId(1));
+        let report = comm.replan(&delta).unwrap();
+        assert_eq!(report.num_gpus, 8);
+        assert!(
+            report.warm_seeded_trees > 0,
+            "stale plans must warm-start the re-plan: {report:?}"
+        );
+        assert!(report.rate_gbps > 0.0);
+        // the recovered communicator still runs correct collectives
+        let (after, check) = comm
+            .run_checked(CollectiveKind::AllReduce, mb(100))
+            .unwrap();
+        assert!(check.is_correct(), "{check:?}");
+        assert!(after.algorithmic_bandwidth_gbps > 0.0);
+        assert!(after.algorithmic_bandwidth_gbps <= before.algorithmic_bandwidth_gbps + 1e-6);
+    }
+
+    #[test]
+    fn replan_drops_a_gpu_and_grows_back() {
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let machine = dgx1v();
+        let mut comm =
+            Communicator::new(machine.clone(), &alloc, CommunicatorOptions::default()).unwrap();
+        comm.all_reduce(mb(50)).unwrap();
+        // GPU 7 drops out of the job
+        let report = comm.replan(&TopologyDelta::drop_gpu(GpuId(7))).unwrap();
+        assert_eq!(report.num_gpus, 7);
+        assert_eq!(comm.allocation().len(), 7);
+        assert!(!comm.allocation().contains(&GpuId(7)));
+        let (_, check) = comm.run_checked(CollectiveKind::AllReduce, mb(50)).unwrap();
+        assert!(check.is_correct(), "{check:?}");
+        // ...and the job grows back: the delta carries the GPU and its links
+        let shrunk = comm.induced_topology().clone();
+        let full = machine.induced(&alloc).unwrap();
+        let grow = TopologyDelta::between(&shrunk, &full);
+        assert!(!grow.is_pure_removal());
+        let report = comm.replan(&grow).unwrap();
+        assert_eq!(report.num_gpus, 8);
+        let (_, check) = comm.run_checked(CollectiveKind::AllReduce, mb(50)).unwrap();
+        assert!(check.is_correct(), "{check:?}");
+    }
+
+    #[test]
+    fn replan_rejects_an_emptied_allocation() {
+        let mut comm =
+            Communicator::new(dgx1v(), &[GpuId(3)], CommunicatorOptions::default()).unwrap();
+        assert!(comm.replan(&TopologyDelta::drop_gpu(GpuId(3))).is_err());
     }
 
     #[test]

@@ -32,7 +32,10 @@
 //!   Figure 10, Figure 22).
 //! * [`communicator`] — the NCCL-flavoured front door: create a communicator
 //!   for an allocation, call collectives, get timing reports back from the
-//!   simulator.
+//!   simulator. [`Communicator::replan`] absorbs topology churn (failures
+//!   and elasticity) by delta-invalidating the plan cache and warm-starting
+//!   the packer from the surviving trees, an order of magnitude faster than
+//!   planning cold (`bench_replan` records the trajectory).
 //!
 //! ```
 //! use blink_core::{Communicator, CommunicatorOptions};
@@ -57,10 +60,12 @@ pub mod multiserver;
 pub mod onehop;
 pub mod treegen;
 
-pub use autotune::{plan_fingerprint, ChunkAutotuner, PlanCache, SharedPlanCache};
+pub use autotune::{
+    global_plan_cache, plan_fingerprint, ChunkAutotuner, PlanCache, SharedPlanCache,
+};
 pub use codegen::{CodeGen, CodeGenOptions};
 pub use collective::{CollectiveKind, CollectiveReport};
-pub use communicator::{Communicator, CommunicatorOptions};
+pub use communicator::{Communicator, CommunicatorOptions, ReplanReport};
 pub use treegen::{
     new_shared_scratch, parallel_map, LinkSelection, PlannerScratch, ScratchGuard, ScratchPool,
     SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan,

@@ -76,10 +76,13 @@ pub use digraph::{DiGraph, Edge, EdgeIdx, NodeIdx};
 pub use maxflow::{
     max_flow, max_flow_in, optimal_broadcast_rate, optimal_broadcast_rate_in, MaxFlowScratch,
 };
-pub use minimize::{minimize_trees, minimize_trees_in, MinimizeOptions, MinimizeScratch};
+pub use minimize::{
+    minimize_trees, minimize_trees_in, minimize_trees_warm_in, MinimizeOptions, MinimizeScratch,
+};
 pub use packing::{
-    pack_spanning_trees, pack_spanning_trees_in, pack_with_certificate, PackingError,
-    PackingOptions, PackingScratch, PackingStats, PackingTermination, TreePacking, WeightedTree,
+    pack_spanning_trees, pack_spanning_trees_in, pack_spanning_trees_warm_in,
+    pack_with_certificate, PackingError, PackingOptions, PackingScratch, PackingStats,
+    PackingTermination, TreePacking, WeightedTree,
 };
 pub use rings::{find_rings, Ring, RingSearch};
 

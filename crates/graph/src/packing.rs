@@ -30,6 +30,35 @@
 //!
 //! The pre-optimisation path survives in [`crate::baseline`] for the perf
 //! harness and regression tests.
+//!
+//! # Warm-start replanning
+//!
+//! [`pack_spanning_trees_warm_in`] seeds the MWU state from a previous
+//! packing before the first iteration, for incremental replanning after a
+//! topology delta (a link died, a GPU dropped, a job grew). The contract:
+//!
+//! * Warm trees whose edges all survive in the new graph keep their
+//!   accumulated rates in full.
+//! * Warm trees touching a dead link or vertex are *repaired*
+//!   deterministically: surviving edges are kept, uncovered vertices are
+//!   re-attached by grafting the highest-residual-capacity edge from the
+//!   covered set (ties break on the lowest edge id), and the repaired tree
+//!   is re-seeded at its full old weight — over-subscription is what the
+//!   running `total / max_overuse` feasibility ratio exists to absorb, and
+//!   the final packing is scaled to feasibility either way. Only a tree that
+//!   cannot be repaired at all (the new graph no longer reaches some vertex
+//!   from the covered set) is dropped.
+//! * Seeded state is indistinguishable from having routed those trees in
+//!   ordinary MWU iterations: lengths inflate multiplicatively, the dual and
+//!   the running feasibility estimate account for the seeds, and the
+//!   certificate early-exit is consulted *before* the first iteration — on an
+//!   unchanged or purely-degraded topology the loop typically runs zero
+//!   iterations.
+//! * If the warm packing's root is not the requested root the seeds are
+//!   ignored and the run degenerates to a cold pack; callers that cannot map
+//!   an old plan onto the new topology at all should simply call the cold
+//!   entrypoint. Cold runs are bit-identical whether or not the warm entry
+//!   exists ([`pack_spanning_trees_in`] delegates with no seeds).
 
 use crate::arborescence::{min_arborescence_in, Arborescence, ArborescenceScratch};
 use crate::digraph::DiGraph;
@@ -261,6 +290,15 @@ pub struct PackingStats {
     /// their capacity in the certificate exactly as they do in
     /// [`TreePacking::max_overuse`], so no special-casing is needed.
     pub certificate_gbps: f64,
+    /// Number of warm-start trees seeded into the MWU state before the first
+    /// iteration (after repair); `0` on cold runs.
+    #[serde(default)]
+    pub warm_seeded: usize,
+    /// Number of warm-start trees dropped (negligible previous weight, a
+    /// mismatched root, or the new graph no longer admits a spanning
+    /// repair); `0` on cold runs.
+    #[serde(default)]
+    pub warm_dropped: usize,
 }
 
 impl PackingStats {
@@ -273,6 +311,8 @@ impl PackingStats {
             hit_iteration_cap: false,
             termination: PackingTermination::Trivial,
             certificate_gbps: 0.0,
+            warm_seeded: 0,
+            warm_dropped: 0,
         }
     }
 }
@@ -302,6 +342,14 @@ pub struct PackingScratch {
     group_of_pair: HashMap<(u32, u32), u32>,
     key: Vec<u32>,
     acc: HashMap<Box<[u32]>, f64>,
+    /// Warm-start repair state: representative edge id per `(src, dst)` node
+    /// pair, parent-edge assignment and coverage marks per node.
+    pair_edge: HashMap<(u32, u32), u32>,
+    warm_parent: Vec<u32>,
+    covered: Vec<bool>,
+    /// Capacity (per group) that not-yet-seeded warm trees still need for
+    /// their kept edges; grafted reroutes must not consume it.
+    group_reserved: Vec<f64>,
 }
 
 impl PackingScratch {
@@ -351,6 +399,40 @@ pub fn pack_spanning_trees_in(
     root: GpuId,
     opts: &PackingOptions,
     scratch: &mut PackingScratch,
+) -> Result<(TreePacking, PackingStats), PackingError> {
+    pack_impl(graph, root, opts, scratch, None)
+}
+
+/// [`pack_spanning_trees_in`] with warm-start seeding from a previous packing
+/// — the incremental-replanning fast path (see the module docs for the exact
+/// warm-start contract).
+///
+/// Surviving warm trees are replayed into the MWU state (lengths, dual,
+/// usage, accumulated rates) as if each had been routed in one iteration;
+/// trees touching edges or vertices absent from `graph` are deterministically
+/// repaired first. The certificate early-exit is checked before the first
+/// iteration, so replanning after a small topology delta typically runs zero
+/// MWU iterations. If `warm.root != root` the seeds are ignored and the run
+/// is an ordinary cold pack.
+///
+/// # Errors
+/// Same as [`pack_spanning_trees`].
+pub fn pack_spanning_trees_warm_in(
+    graph: &DiGraph,
+    root: GpuId,
+    opts: &PackingOptions,
+    scratch: &mut PackingScratch,
+    warm: &TreePacking,
+) -> Result<(TreePacking, PackingStats), PackingError> {
+    pack_impl(graph, root, opts, scratch, Some(warm))
+}
+
+fn pack_impl(
+    graph: &DiGraph,
+    root: GpuId,
+    opts: &PackingOptions,
+    scratch: &mut PackingScratch,
+    warm: Option<&TreePacking>,
 ) -> Result<(TreePacking, PackingStats), PackingError> {
     if graph.num_nodes() == 0 {
         return Err(PackingError::EmptyGraph);
@@ -410,9 +492,36 @@ pub fn pack_spanning_trees_in(
 
     let mut total_raw = 0.0f64;
     let mut max_overuse = 0.0f64;
+    let mut warm_seeded = 0usize;
+    let mut warm_dropped = 0usize;
+    if let Some(prev) = warm {
+        if prev.root == root && !prev.trees.is_empty() {
+            seed_warm_trees(
+                graph,
+                root_idx,
+                eps,
+                prev,
+                scratch,
+                &mut total_raw,
+                &mut max_overuse,
+                &mut dual,
+                &mut warm_seeded,
+                &mut warm_dropped,
+            );
+        } else {
+            warm_dropped = prev.trees.len();
+        }
+    }
+
     let mut iterations = 0usize;
     let mut termination = PackingTermination::IterationCap;
-    while iterations < opts.max_iterations {
+    // Warm seeds may already satisfy the certificate exit (the usual case on
+    // an unchanged or purely-degraded topology): check before iterating. Cold
+    // runs (no seeds) never take this branch, keeping them bit-identical.
+    if warm_seeded > 0 && certificate.is_finite() && total_raw / max_overuse.max(1.0) >= target {
+        termination = PackingTermination::Certificate;
+    }
+    while termination == PackingTermination::IterationCap && iterations < opts.max_iterations {
         iterations += 1;
         let tree = min_arborescence_in(graph, root_idx, &scratch.lengths, &mut scratch.arb)
             .expect("spanning arborescence exists: graph spans from root");
@@ -486,9 +595,271 @@ pub fn pack_spanning_trees_in(
         hit_iteration_cap: termination == PackingTermination::IterationCap,
         termination,
         certificate_gbps: certificate,
+        warm_seeded,
+        warm_dropped,
     };
     let packing = TreePacking::new(root, trees).scaled_to_feasible(graph);
     Ok((packing, stats))
+}
+
+/// Replays a previous packing's trees into freshly-initialised MWU state.
+///
+/// Each warm tree is mapped onto the new graph (edges whose GPU pair
+/// survives are kept), repaired if it no longer spans — uncovered vertices
+/// are grafted back through the highest-residual edge leaving the covered
+/// set, deterministically (ties break on the lowest edge id) — and seeded at
+/// its full old weight (the feasibility-scaled rate absorbs any resulting
+/// over-subscription, exactly as it does for ordinary iterations). Seeding
+/// mutates exactly the state one MWU iteration would: the accumulator, the
+/// raw total, the per-pair usage / running overuse, the edge lengths and the
+/// dual.
+/// Repair passes per damaged warm tree: each pass reroutes what is left of
+/// the tree's old weight through the current highest-residual edges, so the
+/// cap bounds how finely one tree's weight may be split across the surviving
+/// capacity (the remainder past the last pass is simply not seeded — MWU
+/// iterations recover it).
+const MAX_REPAIR_PASSES: usize = 8;
+/// Weight below which a repair pass (or remainder) is not worth seeding.
+const SPLIT_EPS: f64 = 1e-9;
+
+#[allow(clippy::too_many_arguments)]
+fn seed_warm_trees(
+    graph: &DiGraph,
+    root_idx: usize,
+    eps: f64,
+    warm: &TreePacking,
+    scratch: &mut PackingScratch,
+    total_raw: &mut f64,
+    max_overuse: &mut f64,
+    dual: &mut f64,
+    warm_seeded: &mut usize,
+    warm_dropped: &mut usize,
+) {
+    let n = graph.num_nodes();
+    scratch.pair_edge.clear();
+    for (i, e) in graph.edges().iter().enumerate() {
+        scratch
+            .pair_edge
+            .entry((e.src as u32, e.dst as u32))
+            .or_insert(i as u32);
+    }
+    // Seed intact trees before damaged ones: an old packing was feasible as a
+    // whole, so replaying its untouched trees first reproduces exactly the
+    // usage they had before, and the repairs that follow see the true
+    // remaining residuals.
+    let mut order: Vec<(bool, usize)> = warm
+        .trees
+        .iter()
+        .enumerate()
+        .filter(|(_, wt)| wt.weight > 1e-12)
+        .map(|(i, wt)| {
+            let intact = wt
+                .tree
+                .edges
+                .iter()
+                .all(|&(p, c)| match (graph.node(p), graph.node(c)) {
+                    (Some(u), Some(v)) => {
+                        v == root_idx || scratch.pair_edge.contains_key(&(u as u32, v as u32))
+                    }
+                    _ => false,
+                });
+            (!intact, i)
+        })
+        .collect();
+    order.sort_unstable();
+    // Reserve every pending tree's kept-edge demand up front. A graft that
+    // reroutes one damaged tree through capacity a later tree's surviving
+    // edges still need would starve that tree down to nothing; keeping
+    // reroutes out of reserved capacity lets the whole warm set seed at
+    // (close to) its old collective rate instead of first-come-first-served.
+    scratch.group_reserved.clear();
+    scratch.group_reserved.resize(scratch.group_cap.len(), 0.0);
+    for &(_, i) in &order {
+        let wt = &warm.trees[i];
+        for &(p, c) in &wt.tree.edges {
+            let (Some(u), Some(v)) = (graph.node(p), graph.node(c)) else {
+                continue;
+            };
+            if v == root_idx {
+                continue;
+            }
+            if let Some(&e) = scratch.pair_edge.get(&(u as u32, v as u32)) {
+                scratch.group_reserved[scratch.edge_group[e as usize] as usize] += wt.weight;
+            }
+        }
+    }
+    for (_, i) in order {
+        let wt = &warm.trees[i];
+        // This tree is being seeded now: its kept-edge demand turns into real
+        // usage (or is forfeited), either way it is no longer "reserved".
+        for &(p, c) in &wt.tree.edges {
+            let (Some(u), Some(v)) = (graph.node(p), graph.node(c)) else {
+                continue;
+            };
+            if v == root_idx {
+                continue;
+            }
+            if let Some(&e) = scratch.pair_edge.get(&(u as u32, v as u32)) {
+                scratch.group_reserved[scratch.edge_group[e as usize] as usize] -= wt.weight;
+            }
+        }
+        // A damaged tree's old weight may not fit through any single
+        // replacement edge of an (almost saturated) surviving graph, but a
+        // *flow* of that value usually exists across several. Repair
+        // therefore runs in passes: each pass grafts the uncovered vertices
+        // through the highest-residual edges, seeds a variant clamped to the
+        // bottleneck residual, and re-routes the remainder — the grafts of
+        // the next pass see the updated usage and pick different edges,
+        // splitting the old weight across the surviving capacity the way a
+        // fractional reroute would.
+        let mut remaining = wt.weight;
+        let mut seeded_any = false;
+        for _pass in 0..MAX_REPAIR_PASSES {
+            // Keep surviving edges as parent assignments (one in-edge per
+            // node), rebuilt fresh each pass.
+            scratch.warm_parent.clear();
+            scratch.warm_parent.resize(n, u32::MAX);
+            for &(p, c) in &wt.tree.edges {
+                let (Some(u), Some(v)) = (graph.node(p), graph.node(c)) else {
+                    continue;
+                };
+                if v == root_idx {
+                    continue;
+                }
+                if let Some(&e) = scratch.pair_edge.get(&(u as u32, v as u32)) {
+                    scratch.warm_parent[v] = e;
+                }
+            }
+            // Cover everything reachable from the root through kept edges.
+            scratch.covered.clear();
+            scratch.covered.resize(n, false);
+            scratch.covered[root_idx] = true;
+            let mut num_covered = 1usize;
+            loop {
+                let mut progress = false;
+                for v in 0..n {
+                    if !scratch.covered[v] && scratch.warm_parent[v] != u32::MAX {
+                        let pe = &graph.edges()[scratch.warm_parent[v] as usize];
+                        if scratch.covered[pe.src] {
+                            scratch.covered[v] = true;
+                            num_covered += 1;
+                            progress = true;
+                        }
+                    }
+                }
+                if !progress {
+                    break;
+                }
+            }
+            let intact = num_covered == n;
+            // Graft uncovered vertices back, preferring capacity that is
+            // neither used nor reserved by still-pending warm trees.
+            let mut repair_failed = false;
+            let mut grafts: Vec<u32> = Vec::new();
+            while num_covered < n {
+                let mut best: Option<(f64, u32)> = None;
+                for (i, e) in graph.edges().iter().enumerate() {
+                    if scratch.covered[e.src] && !scratch.covered[e.dst] {
+                        let g = scratch.edge_group[i] as usize;
+                        let resid = scratch.group_cap[g]
+                            - scratch.group_usage[g]
+                            - scratch.group_reserved[g];
+                        let better = match best {
+                            None => true,
+                            Some((br, bi)) => resid > br || (resid == br && (i as u32) < bi),
+                        };
+                        if better {
+                            best = Some((resid, i as u32));
+                        }
+                    }
+                }
+                let Some((_, ei)) = best else {
+                    repair_failed = true;
+                    break;
+                };
+                let v = graph.edges()[ei as usize].dst;
+                // Grafting replaces any kept in-edge of `v`, in-degree stays 1.
+                scratch.warm_parent[v] = ei;
+                grafts.push(ei);
+                scratch.covered[v] = true;
+                num_covered += 1;
+                // Re-cover any orphan subtree now reattached through kept edges.
+                loop {
+                    let mut progress = false;
+                    for w in 0..n {
+                        if !scratch.covered[w] && scratch.warm_parent[w] != u32::MAX {
+                            let pe = &graph.edges()[scratch.warm_parent[w] as usize];
+                            if scratch.covered[pe.src] {
+                                scratch.covered[w] = true;
+                                num_covered += 1;
+                                progress = true;
+                            }
+                        }
+                    }
+                    if !progress {
+                        break;
+                    }
+                }
+            }
+            if repair_failed {
+                break;
+            }
+            // Seed weight: what remains of the old rate, clamped to the
+            // bottleneck residual so the replayed packing stays feasible.
+            // Grafted edges additionally respect pending reservations; kept
+            // edges consume exactly the capacity this tree reserved.
+            scratch.key.clear();
+            for v in 0..n {
+                if v != root_idx {
+                    debug_assert_ne!(scratch.warm_parent[v], u32::MAX);
+                    scratch.key.push(scratch.warm_parent[v]);
+                }
+            }
+            scratch.key.sort_unstable();
+            let mut weight = remaining;
+            for &e in &scratch.key {
+                let g = scratch.edge_group[e as usize] as usize;
+                let mut avail = scratch.group_cap[g] - scratch.group_usage[g];
+                if grafts.contains(&e) {
+                    avail -= scratch.group_reserved[g].max(0.0);
+                }
+                weight = weight.min(avail);
+            }
+            if weight <= SPLIT_EPS {
+                break;
+            }
+            if let Some(w) = scratch.acc.get_mut(scratch.key.as_slice()) {
+                *w += weight;
+            } else {
+                scratch.acc.insert(scratch.key.as_slice().into(), weight);
+            }
+            *total_raw += weight;
+            for &e in &scratch.key {
+                let e = e as usize;
+                let g = scratch.edge_group[e] as usize;
+                scratch.group_usage[g] += weight;
+                let overuse = scratch.group_usage[g] / scratch.group_cap[g];
+                if overuse > *max_overuse {
+                    *max_overuse = overuse;
+                }
+                let old_len = scratch.lengths[e];
+                scratch.lengths[e] = old_len * (1.0 + eps * weight / scratch.caps[e]);
+                *dual += (scratch.lengths[e] - old_len) * scratch.caps[e];
+            }
+            seeded_any = true;
+            remaining -= weight;
+            // An intact tree reroutes nothing: its clamp can only have been a
+            // parallel-lane loss, which further passes cannot recover.
+            if intact || remaining <= SPLIT_EPS {
+                break;
+            }
+        }
+        if seeded_any {
+            *warm_seeded += 1;
+        } else {
+            *warm_dropped += 1;
+        }
+    }
 }
 
 /// Convenience wrapper: packs trees and reports how close the rate is to the
@@ -703,6 +1074,91 @@ mod tests {
             packing.rate(),
             stats.certificate_gbps
         );
+    }
+
+    #[test]
+    fn warm_start_on_unchanged_topology_runs_zero_iterations() {
+        let topo = dgx1v();
+        let g = DiGraph::from_topology_filtered(&topo, |l| l.kind.is_nvlink());
+        let opts = PackingOptions::default();
+        let mut scratch = PackingScratch::new();
+        let (cold, cold_stats) = pack_spanning_trees_in(&g, GpuId(0), &opts, &mut scratch).unwrap();
+        let (warm, warm_stats) =
+            pack_spanning_trees_warm_in(&g, GpuId(0), &opts, &mut scratch, &cold).unwrap();
+        assert_eq!(warm_stats.iterations, 0, "seeds should satisfy the target");
+        assert_eq!(warm_stats.termination, PackingTermination::Certificate);
+        assert_eq!(warm_stats.warm_seeded, cold.trees.len());
+        assert_eq!(warm_stats.warm_dropped, 0);
+        assert!(warm.is_feasible(&g));
+        assert!(warm.rate() >= (1.0 - opts.epsilon) * cold_stats.certificate_gbps - 1e-9);
+    }
+
+    #[test]
+    fn warm_start_survives_killed_link() {
+        let topo = dgx1v();
+        let g = DiGraph::from_topology_filtered(&topo, |l| l.kind.is_nvlink());
+        let opts = PackingOptions::default();
+        let mut scratch = PackingScratch::new();
+        let (cold, cold_stats) = pack_spanning_trees_in(&g, GpuId(0), &opts, &mut scratch).unwrap();
+        // Kill the 0→1 / 1→0 NVLink pair entirely.
+        let degraded = topo.filter_links(|l| {
+            !(l.kind.is_nvlink()
+                && ((l.src == GpuId(0) && l.dst == GpuId(1))
+                    || (l.src == GpuId(1) && l.dst == GpuId(0))))
+        });
+        let g2 = DiGraph::from_topology_filtered(&degraded, |l| l.kind.is_nvlink());
+        let (warm, warm_stats) =
+            pack_spanning_trees_warm_in(&g2, GpuId(0), &opts, &mut scratch, &cold).unwrap();
+        assert!(warm_stats.certificate_gbps < cold_stats.certificate_gbps);
+        assert_eq!(warm_stats.termination, PackingTermination::Certificate);
+        assert!(warm.is_feasible(&g2));
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        for wt in &warm.trees {
+            assert!(wt.tree.is_valid_over(&alloc));
+            assert!(!wt.tree.edges.contains(&(GpuId(0), GpuId(1))));
+            assert!(!wt.tree.edges.contains(&(GpuId(1), GpuId(0))));
+        }
+        assert!(warm.rate() >= (1.0 - opts.epsilon) * warm_stats.certificate_gbps - 1e-9);
+    }
+
+    #[test]
+    fn warm_start_repairs_dropped_gpu() {
+        let topo = dgx1v();
+        let g = DiGraph::from_topology_filtered(&topo, |l| l.kind.is_nvlink());
+        let opts = PackingOptions::default();
+        let mut scratch = PackingScratch::new();
+        let (cold, _) = pack_spanning_trees_in(&g, GpuId(0), &opts, &mut scratch).unwrap();
+        let survivors: Vec<GpuId> = (0..7).map(GpuId).collect();
+        let sub = topo.induced(&survivors).unwrap();
+        let g2 = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+        let (warm, warm_stats) =
+            pack_spanning_trees_warm_in(&g2, GpuId(0), &opts, &mut scratch, &cold).unwrap();
+        assert!(warm_stats.warm_seeded > 0);
+        assert!(warm.is_feasible(&g2));
+        for wt in &warm.trees {
+            assert!(wt.tree.is_valid_over(&survivors));
+        }
+        assert!(warm.rate() >= (1.0 - opts.epsilon) * warm_stats.certificate_gbps - 1e-9);
+    }
+
+    #[test]
+    fn warm_start_with_mismatched_root_matches_cold_bitwise() {
+        let topo = dgx1p();
+        let g = DiGraph::from_topology_filtered(&topo, |l| l.kind.is_nvlink());
+        let opts = PackingOptions::default();
+        let mut scratch = PackingScratch::new();
+        let (prev, _) = pack_spanning_trees_in(&g, GpuId(3), &opts, &mut scratch).unwrap();
+        let (cold, cold_stats) = pack_spanning_trees_in(&g, GpuId(0), &opts, &mut scratch).unwrap();
+        let (warm, warm_stats) =
+            pack_spanning_trees_warm_in(&g, GpuId(0), &opts, &mut scratch, &prev).unwrap();
+        assert_eq!(warm_stats.iterations, cold_stats.iterations);
+        assert_eq!(warm_stats.warm_seeded, 0);
+        assert_eq!(warm_stats.warm_dropped, prev.trees.len());
+        assert_eq!(warm.trees.len(), cold.trees.len());
+        for (a, b) in warm.trees.iter().zip(&cold.trees) {
+            assert_eq!(a.tree, b.tree);
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Topology-change events for incremental replanning.
+//!
+//! Real fleets churn: NVLink lanes fail, GPUs drop out of a job, jobs grow by
+//! a server. Blink's planner stack reacts to such an event through a
+//! [`TopologyDelta`] — a self-contained description of the links and GPUs
+//! that appeared or disappeared — rather than re-probing and re-planning the
+//! world from scratch. Deltas are derived by diffing two probed topologies
+//! ([`TopologyDelta::between`], or [`crate::probe::TopologyProber::probe_delta`]
+//! at the discovery layer) and can be re-applied to a topology
+//! ([`Topology::apply_delta`]) so that planners, caches and simulators all
+//! agree on the post-churn world.
+//!
+//! The delta carries *full* link and GPU descriptions (not just ids) so that
+//! it can be applied to any copy of the pre-churn topology — the communicator
+//! holds its own machine model and must be able to replay the event locally.
+
+use crate::topology::{GpuInfo, Topology};
+use crate::{GpuId, Link, ServerId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A topology-change event: links/GPUs removed from and added to a topology.
+///
+/// `removed_links` and `added_links` are directed (a dead physical duplex
+/// connection appears as two removed directed links, exactly as
+/// [`Topology::add_duplex`] added them). `added_gpu_caps` / `added_server_nics`
+/// carry the per-GPU fabric caps and per-server NIC bandwidths that arrive
+/// with grown hardware, so applying a delta reproduces the new topology
+/// faithfully on switch fabrics and multi-server slices too.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TopologyDelta {
+    /// Directed links present before but not after the event.
+    pub removed_links: Vec<Link>,
+    /// Directed links present after but not before the event.
+    pub added_links: Vec<Link>,
+    /// GPUs that disappeared (their incident links are implicitly removed).
+    pub removed_gpus: Vec<GpuId>,
+    /// GPUs that appeared, with their placement metadata.
+    pub added_gpus: Vec<GpuInfo>,
+    /// Injection/ejection caps for GPUs that appeared (switch fabrics).
+    pub added_gpu_caps: BTreeMap<GpuId, f64>,
+    /// NIC bandwidths for servers that appeared with the added GPUs.
+    pub added_server_nics: BTreeMap<ServerId, f64>,
+}
+
+impl TopologyDelta {
+    /// Derives the delta that turns `old` into `new`.
+    ///
+    /// Links are matched by exact equality (source, destination, kind, lanes,
+    /// bandwidth) as a multiset; GPUs by id. Links incident to a removed GPU
+    /// are *not* listed in `removed_links` — removing the GPU already implies
+    /// them — so a pure drop-a-GPU event has an empty link list.
+    pub fn between(old: &Topology, new: &Topology) -> Self {
+        let old_ids: BTreeSet<GpuId> = old.gpus().iter().map(|g| g.id).collect();
+        let new_ids: BTreeSet<GpuId> = new.gpus().iter().map(|g| g.id).collect();
+        let removed_gpus: Vec<GpuId> = old_ids.difference(&new_ids).copied().collect();
+        let added_gpus: Vec<GpuInfo> = new
+            .gpus()
+            .iter()
+            .filter(|g| !old_ids.contains(&g.id))
+            .copied()
+            .collect();
+
+        // multiset diff over links, ignoring links implied by GPU changes
+        let implied_old = |l: &Link| removed_gpus.contains(&l.src) || removed_gpus.contains(&l.dst);
+        let implied_new = |l: &Link| !old_ids.contains(&l.src) || !old_ids.contains(&l.dst);
+        let mut new_links: Vec<(&Link, bool)> = new
+            .links()
+            .iter()
+            .filter(|l| !implied_new(l))
+            .map(|l| (l, false))
+            .collect();
+        let mut removed_links = Vec::new();
+        for l in old.links().iter().filter(|l| !implied_old(l)) {
+            if let Some(slot) = new_links.iter_mut().find(|(n, used)| !used && *n == l) {
+                slot.1 = true;
+            } else {
+                removed_links.push(*l);
+            }
+        }
+        let added_links: Vec<Link> = new
+            .links()
+            .iter()
+            .filter(|l| implied_new(l))
+            .copied()
+            .chain(new_links.iter().filter(|(_, used)| !used).map(|(l, _)| **l))
+            .collect();
+
+        let added_gpu_caps = added_gpus
+            .iter()
+            .filter_map(|g| new.gpu_cap(g.id).map(|c| (g.id, c)))
+            .collect();
+        let old_servers: BTreeSet<ServerId> = old.gpus().iter().map(|g| g.server).collect();
+        let added_server_nics = added_gpus
+            .iter()
+            .filter(|g| !old_servers.contains(&g.server))
+            .filter_map(|g| new.server_nic(g.server).map(|n| (g.server, n)))
+            .collect();
+
+        TopologyDelta {
+            removed_links,
+            added_links,
+            removed_gpus,
+            added_gpus,
+            added_gpu_caps,
+            added_server_nics,
+        }
+    }
+
+    /// The delta that kills every directed link between `a` and `b` (both
+    /// directions, all classes) on `topo` — the "a physical connection died"
+    /// failure event.
+    pub fn kill_link(topo: &Topology, a: GpuId, b: GpuId) -> Self {
+        TopologyDelta {
+            removed_links: topo
+                .links()
+                .iter()
+                .filter(|l| (l.src == a && l.dst == b) || (l.src == b && l.dst == a))
+                .copied()
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    /// The delta that drops one GPU (its incident links follow implicitly).
+    pub fn drop_gpu(id: GpuId) -> Self {
+        TopologyDelta {
+            removed_gpus: vec![id],
+            ..Default::default()
+        }
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.removed_links.is_empty()
+            && self.added_links.is_empty()
+            && self.removed_gpus.is_empty()
+            && self.added_gpus.is_empty()
+    }
+
+    /// Whether the delta only removes capacity (no new links or GPUs). Under
+    /// a pure removal the broadcast min-cut of any surviving subgraph can
+    /// only decrease, which is what lets plan caches keep untouched plans
+    /// alive instead of demoting them to warm seeds.
+    pub fn is_pure_removal(&self) -> bool {
+        self.added_links.is_empty() && self.added_gpus.is_empty()
+    }
+
+    /// The directed GPU pairs losing at least one link, including every pair
+    /// incident to a removed GPU as far as the delta can tell (pairs of
+    /// removed GPUs are representable only by the GPU id itself — callers
+    /// should also consult [`TopologyDelta::removed_gpus`]).
+    pub fn removed_pairs(&self) -> BTreeSet<(GpuId, GpuId)> {
+        self.removed_links.iter().map(|l| (l.src, l.dst)).collect()
+    }
+}
+
+impl Topology {
+    /// Applies a [`TopologyDelta`], returning the post-event topology.
+    ///
+    /// Removed GPUs take their incident links and fabric caps with them;
+    /// removed links are matched by exact equality, one occurrence per listed
+    /// link. Added GPUs and links must be consistent (no duplicate GPU ids,
+    /// no dangling link endpoints) or the corresponding
+    /// [`crate::TopologyError`] is returned.
+    ///
+    /// # Errors
+    /// Propagates [`crate::TopologyError::DuplicateGpu`] /
+    /// [`crate::TopologyError::DanglingLink`] from the additions.
+    pub fn apply_delta(&self, delta: &TopologyDelta) -> crate::Result<Topology> {
+        let mut out = Topology::new(self.name().to_string());
+        for g in self.gpus() {
+            if delta.removed_gpus.contains(&g.id) {
+                continue;
+            }
+            out.add_gpu(g.id, g.server, g.local_index)?;
+        }
+        for g in &delta.added_gpus {
+            out.add_gpu(g.id, g.server, g.local_index)?;
+        }
+        let mut pending: Vec<&Link> = delta.removed_links.iter().collect();
+        for l in self.links() {
+            if delta.removed_gpus.contains(&l.src) || delta.removed_gpus.contains(&l.dst) {
+                continue;
+            }
+            if let Some(pos) = pending.iter().position(|r| *r == l) {
+                pending.swap_remove(pos);
+                continue;
+            }
+            out.add_link(*l)?;
+        }
+        for l in &delta.added_links {
+            out.add_link(*l)?;
+        }
+        for g in out.gpu_ids() {
+            if let Some(cap) = delta
+                .added_gpu_caps
+                .get(&g)
+                .copied()
+                .or_else(|| self.gpu_cap(g))
+            {
+                out.set_gpu_cap(g, cap)?;
+            }
+        }
+        for s in out.servers() {
+            if let Some(nic) = delta
+                .added_server_nics
+                .get(&s)
+                .copied()
+                .or_else(|| self.server_nic(s))
+            {
+                out.set_server_nic(s, nic);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: the topology with every link between `a` and `b` removed.
+    pub fn without_link(&self, a: GpuId, b: GpuId) -> Topology {
+        self.filter_links(|l| !((l.src == a && l.dst == b) || (l.src == b && l.dst == a)))
+    }
+
+    /// Convenience: the topology without `id` and its incident links.
+    pub fn without_gpu(&self, id: GpuId) -> Topology {
+        self.apply_delta(&TopologyDelta::drop_gpu(id))
+            .expect("removals cannot introduce inconsistencies")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{dgx1v, dgx2, multi_server, ServerKind};
+
+    #[test]
+    fn between_is_inverse_of_apply() {
+        let old = dgx1v();
+        let new = old.without_link(GpuId(0), GpuId(1)).without_gpu(GpuId(7));
+        let delta = TopologyDelta::between(&old, &new);
+        assert!(delta.is_pure_removal());
+        assert!(!delta.is_empty());
+        assert_eq!(delta.removed_gpus, vec![GpuId(7)]);
+        // only the 0↔1 links are listed; GPU 7's incident links are implied
+        assert!(delta
+            .removed_links
+            .iter()
+            .all(|l| (l.src, l.dst) == (GpuId(0), GpuId(1))
+                || (l.src, l.dst) == (GpuId(1), GpuId(0))));
+        let replayed = old.apply_delta(&delta).unwrap();
+        assert_eq!(replayed.gpu_ids(), new.gpu_ids());
+        assert_eq!(replayed.links().len(), new.links().len());
+        assert!(TopologyDelta::between(&replayed, &new).is_empty());
+    }
+
+    #[test]
+    fn grow_delta_carries_caps_and_nics() {
+        let cluster = multi_server(2, ServerKind::Dgx1V, 5.0);
+        let half: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let all: Vec<GpuId> = (0..16).map(GpuId).collect();
+        let old = cluster.induced(&half).unwrap();
+        let new = cluster.induced(&all).unwrap();
+        let delta = TopologyDelta::between(&old, &new);
+        assert!(!delta.is_pure_removal());
+        assert_eq!(delta.added_gpus.len(), 8);
+        assert!(delta.removed_links.is_empty() && delta.removed_gpus.is_empty());
+        // the second server's NIC arrives with its GPUs
+        assert_eq!(delta.added_server_nics.len(), 1);
+        let replayed = old.apply_delta(&delta).unwrap();
+        assert_eq!(replayed.gpu_ids(), new.gpu_ids());
+        assert_eq!(replayed.links().len(), new.links().len());
+        for s in new.servers() {
+            assert_eq!(replayed.server_nic(s), new.server_nic(s));
+        }
+    }
+
+    #[test]
+    fn dgx2_gpu_caps_survive_deltas() {
+        let topo = dgx2();
+        let new = topo.without_gpu(GpuId(3));
+        let delta = TopologyDelta::between(&topo, &new);
+        let replayed = topo.apply_delta(&delta).unwrap();
+        for g in replayed.gpu_ids() {
+            assert_eq!(replayed.gpu_cap(g), topo.gpu_cap(g));
+        }
+        assert!(!replayed.contains(GpuId(3)));
+    }
+
+    #[test]
+    fn kill_link_delta_matches_without_link() {
+        let topo = dgx1v();
+        let delta = TopologyDelta::kill_link(&topo, GpuId(2), GpuId(3));
+        let applied = topo.apply_delta(&delta).unwrap();
+        let direct = topo.without_link(GpuId(2), GpuId(3));
+        assert!(TopologyDelta::between(&applied, &direct).is_empty());
+        assert_eq!(
+            delta.removed_pairs(),
+            [(GpuId(2), GpuId(3)), (GpuId(3), GpuId(2))].into()
+        );
+    }
+}

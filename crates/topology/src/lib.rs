@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod delta;
 mod ids;
 mod link;
 mod topology;
@@ -37,6 +38,7 @@ pub mod enumerate;
 pub mod presets;
 pub mod probe;
 
+pub use delta::TopologyDelta;
 pub use ids::{GpuId, ServerId};
 pub use link::{Link, LinkKind};
 pub use topology::{GpuInfo, Topology, TopologyError};

@@ -6,7 +6,7 @@
 //! `nvmlDeviceGetNvLinkRemotePciInfo` / `cudaDeviceCanAccessPeer`; here the
 //! [`TopologyProber`] plays that role against a modelled machine.
 
-use crate::{GpuId, LinkKind, Topology};
+use crate::{GpuId, LinkKind, Topology, TopologyDelta};
 use serde::{Deserialize, Serialize};
 
 /// Result of probing a machine for one job's GPU allocation.
@@ -76,6 +76,26 @@ impl TopologyProber {
         })
     }
 
+    /// Re-probes after a suspected topology change and derives the
+    /// [`TopologyDelta`] between what the job saw before (`previous`) and
+    /// what `allocation` sees now — the discovery-layer half of incremental
+    /// replanning. The prober's machine model should already reflect the
+    /// churn (e.g. rebuilt via [`crate::Topology::apply_delta`] or a fresh
+    /// hardware scan); `allocation` may itself have changed (dropped or
+    /// grown GPUs).
+    ///
+    /// # Errors
+    /// Propagates probing errors (unknown GPUs in `allocation`).
+    pub fn probe_delta(
+        &self,
+        previous: &ProbeReport,
+        allocation: &[GpuId],
+    ) -> crate::Result<(ProbeReport, TopologyDelta)> {
+        let report = self.probe(allocation)?;
+        let delta = TopologyDelta::between(&previous.topology, &report.topology);
+        Ok((report, delta))
+    }
+
     /// Probes only a particular class of links (e.g. PCIe for the hybrid
     /// planner, after `cudaDeviceDisablePeerAccess` has turned NVLink off).
     pub fn probe_kind(&self, allocation: &[GpuId], kind: LinkKind) -> crate::Result<Topology> {
@@ -118,5 +138,31 @@ mod tests {
     fn probe_rejects_unknown_gpu() {
         let prober = TopologyProber::new(dgx1p());
         assert!(prober.probe(&[GpuId(42)]).is_err());
+    }
+
+    #[test]
+    fn probe_delta_reports_churn() {
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let prober = TopologyProber::new(dgx1v());
+        let before = prober.probe(&alloc).unwrap();
+        // a physical duplex connection dies
+        let degraded = TopologyProber::new(prober.machine().without_link(GpuId(0), GpuId(3)));
+        let (after, delta) = degraded.probe_delta(&before, &alloc).unwrap();
+        // both directions die, across every link class the pair had
+        assert!(delta.removed_links.len() >= 2);
+        assert!(delta
+            .removed_links
+            .iter()
+            .all(|l| (l.src, l.dst) == (GpuId(0), GpuId(3))
+                || (l.src, l.dst) == (GpuId(3), GpuId(0))));
+        assert!(delta.is_pure_removal());
+        assert!(!after.topology.has_nvlink(GpuId(0), GpuId(3)));
+        // a GPU drops out of the allocation: the delta sees it as removed
+        let survivors: Vec<GpuId> = (0..7).map(GpuId).collect();
+        let (_, delta) = prober.probe_delta(&before, &survivors).unwrap();
+        assert_eq!(delta.removed_gpus, vec![GpuId(7)]);
+        // no change → empty delta
+        let (_, delta) = prober.probe_delta(&before, &alloc).unwrap();
+        assert!(delta.is_empty());
     }
 }

@@ -536,3 +536,162 @@ fn run_checked_trivial_cases_and_address_spaces() {
     let (_, check) = comm.run_checked(CollectiveKind::AllReduce, mb(2)).unwrap();
     assert_eq!(check.space, mb(2), "reducing space is the buffer itself");
 }
+
+/// Replanned communicators: every failure/elasticity scenario — a killed
+/// link, a dropped GPU — on each single-server topology class lands on
+/// `run_checked`, proving the warm-started recovery plans move every byte
+/// exactly where the contract requires on the *post-churn* hardware.
+#[test]
+fn replanned_communicators_conform_across_failure_scenarios() {
+    use blink_topology::TopologyDelta;
+    let eight: Vec<GpuId> = (0..8).map(GpuId).collect();
+    let sixteen: Vec<GpuId> = (0..16).map(GpuId).collect();
+    let v = dgx1v();
+    let p = dgx1p();
+    let scenarios: Vec<(&str, Topology, Vec<GpuId>, TopologyDelta)> = vec![
+        (
+            "dgx1v kill-link",
+            v.clone(),
+            eight.clone(),
+            TopologyDelta::kill_link(&v, GpuId(0), GpuId(3)),
+        ),
+        (
+            "dgx1v drop-gpu",
+            v,
+            eight.clone(),
+            TopologyDelta::drop_gpu(GpuId(6)),
+        ),
+        (
+            "dgx1p kill-link",
+            p.clone(),
+            eight.clone(),
+            TopologyDelta::kill_link(&p, GpuId(0), GpuId(1)),
+        ),
+        (
+            "dgx1p drop-gpu",
+            p,
+            eight,
+            TopologyDelta::drop_gpu(GpuId(7)),
+        ),
+        (
+            "dgx2 drop-gpu",
+            dgx2(),
+            sixteen,
+            TopologyDelta::drop_gpu(GpuId(15)),
+        ),
+    ];
+    for (label, machine, alloc, delta) in scenarios {
+        let mut comm = Communicator::new(machine, &alloc, CommunicatorOptions::default()).unwrap();
+        // Plan and run once pre-failure, exactly as a live job would.
+        comm.all_reduce(mb(1)).unwrap();
+        comm.replan(&delta).unwrap();
+        for kind in all_kinds(GpuId(0)) {
+            let (report, check) = comm.run_checked(kind, mb(4) + 13).unwrap();
+            assert!(
+                check.is_correct(),
+                "{label} {kind} via '{}' after replan must be byte-exact:\n{check}",
+                report.strategy
+            );
+        }
+    }
+}
+
+/// Elasticity the other way: a job grown by a whole server replans onto the
+/// cross-machine protocol and stays byte-exact.
+#[test]
+fn a_job_grown_by_a_server_replans_and_conforms() {
+    use blink_topology::TopologyDelta;
+    let machine = multi_server(2, ServerKind::Dgx1V, 5.0);
+    let half: Vec<GpuId> = (0..8).map(GpuId).collect();
+    let all: Vec<GpuId> = (0..16).map(GpuId).collect();
+    let mut comm =
+        Communicator::new(machine.clone(), &half, CommunicatorOptions::default()).unwrap();
+    comm.all_reduce(mb(1)).unwrap();
+    let delta = TopologyDelta::between(
+        &machine.induced(&half).unwrap(),
+        &machine.induced(&all).unwrap(),
+    );
+    let report = comm.replan(&delta).unwrap();
+    assert_eq!(report.num_gpus, 16, "the job now spans both servers");
+    let (report, check) = comm
+        .run_checked(CollectiveKind::AllReduce, mb(8) + 13)
+        .unwrap();
+    assert!(
+        check.is_correct(),
+        "grown-by-a-server AllReduce via '{}' must be byte-exact:\n{check}",
+        report.strategy
+    );
+}
+
+/// Mutation negative for warm-start replanning: a warm start that illegally
+/// kept a tree routed over a dead link must not survive the gate. The stale
+/// plan is caught twice — the packing-level feasibility certificate rejects
+/// it (a dead pair has no capacity) and the engine refuses to execute its
+/// lowered program on the degraded machine — while the *legal* warm path
+/// (repair) provably avoids the dead pair and stays byte-exact end to end.
+#[test]
+fn a_stale_plan_kept_over_a_dead_link_is_caught() {
+    use blink_graph::{DiGraph, TreePacking};
+    use blink_sim::SimParams;
+
+    let machine = dgx1v();
+    let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+    let induced = machine.induced(&alloc).unwrap();
+    let stale = TreeGen::new(induced, TreeGenOptions::default())
+        .plan(GpuId(0))
+        .unwrap();
+    let dead = (GpuId(0), GpuId(1));
+    assert!(
+        stale
+            .trees
+            .iter()
+            .any(|wt| wt.tree.edges.contains(&dead) || wt.tree.edges.contains(&(dead.1, dead.0))),
+        "precondition: the full-topology plan routes over the doomed pair"
+    );
+
+    let degraded = machine.without_link(dead.0, dead.1);
+    // Certificate-level catch: the stale packing over-subscribes the dead
+    // pair's (now zero) capacity, so it is infeasible on the degraded graph.
+    let g2 = DiGraph::from_topology_filtered(&degraded, |l| l.kind.is_nvlink());
+    let stale_packing = TreePacking::new(GpuId(0), stale.trees.clone());
+    assert!(
+        !stale_packing.is_feasible(&g2),
+        "feasibility must reject a packing using a dead link"
+    );
+
+    // Engine-level catch: the lowered stale program references the missing
+    // link and the simulator refuses to execute it.
+    let cg = CodeGen::new(CodeGenOptions::default());
+    let program = cg
+        .build(
+            &stale.trees,
+            CollectiveKind::Broadcast { root: GpuId(0) },
+            mb(4),
+        )
+        .unwrap();
+    let sim = Simulator::new(degraded.clone(), SimParams::default());
+    assert!(
+        sim.run(&program).is_err(),
+        "the engine must refuse a program that copies over a dead link"
+    );
+
+    // The legal warm path repairs instead: no repaired tree touches the dead
+    // pair, and the replanned collective is byte-exact on the new hardware.
+    let warm = TreeGen::new(degraded.induced(&alloc).unwrap(), TreeGenOptions::default())
+        .plan_warm(GpuId(0), &stale)
+        .unwrap();
+    for wt in &warm.trees {
+        assert!(
+            !wt.tree.edges.contains(&dead) && !wt.tree.edges.contains(&(dead.1, dead.0)),
+            "repair must route around the dead pair"
+        );
+    }
+    let program = cg
+        .build(
+            &warm.trees,
+            CollectiveKind::Broadcast { root: GpuId(0) },
+            mb(4),
+        )
+        .unwrap();
+    sim.run(&program).expect("the repaired program executes");
+}
