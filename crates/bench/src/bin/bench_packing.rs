@@ -1,46 +1,54 @@
-//! TreeGen hot-path perf baseline: fast paths vs the pre-optimisation paths.
+//! TreeGen hot-path perf baseline: absolute fast-path throughput plus
+//! deterministic quality gates.
 //!
-//! Measures three stages on the 8-GPU DGX-1V NVLink graph at ε = 0.05 — the
-//! paper's headline broadcast configuration — against the seed-preserving
-//! baselines in [`blink_graph::baseline`], and writes `BENCH_packing.json` so
-//! future PRs have a trajectory to compare against:
+//! Measures four stages on the 8-GPU DGX-1V NVLink graph at ε = 0.05 — the
+//! paper's headline broadcast configuration — and writes `BENCH_packing.json`
+//! so future PRs have a trajectory to compare against:
 //!
 //! * **packing** — the zero-allocation scratch-reuse MWU packing
-//!   ([`blink_graph::pack_spanning_trees_in`]) vs the naive recursive-solver
-//!   loop;
+//!   ([`blink_graph::pack_spanning_trees_in`]);
 //! * **minimize** — the iterative arena branch-and-bound
-//!   ([`blink_graph::minimize_trees_in`]) vs the recursive clone-per-node
-//!   original, both reducing the same raw MWU packing;
+//!   ([`blink_graph::minimize_trees_in`]) reducing the raw MWU packing;
 //! * **certificate** — the build-once/reset-per-sink Dinic
-//!   ([`blink_graph::optimal_broadcast_rate_in`]) vs the rebuild-per-sink
-//!   original.
+//!   ([`blink_graph::optimal_broadcast_rate_in`]);
 //! * **parallel_sweep** — the all-roots TreeGen sweep
 //!   ([`blink_core::TreeGen::plan_roots`], the multi-root planning loop of
 //!   the three-phase AllReduce) through a multi-worker
 //!   [`blink_core::ScratchPool`] vs the single-worker sequential path.
 //!
+//! The pre-optimisation in-process baselines ([`blink_graph::baseline`]) are
+//! retired from this benchmark's measurement path: three PRs of recorded
+//! trajectory exist, so the naive solvers survive only where they earn their
+//! keep — as the bit-identity/quality oracles the graph crate's unit tests
+//! and the workspace property tests pin the fast paths against (and in the
+//! opt-in criterion harness). The recorded throughput here is consequently
+//! **absolute** and machine-dependent; it is written for trajectory context,
+//! not gated.
+//!
 //! Run with `cargo run --release -p blink-bench --bin bench_packing`.
 //!
-//! `--check` runs a quick-mode measurement and exits non-zero if any stage
-//! regressed more than [`CHECK_TOLERANCE`]× against the recorded
-//! `BENCH_packing.json` (CI uses this to catch accidental re-allocation in
-//! the hot paths). The comparison uses each stage's fast-over-naive
-//! **speedup ratio** — both sides measured in the same process on the same
-//! machine — so the gate tracks code regressions, not the hardware ratio
-//! between the recording machine and the CI runner. On machines with more
-//! than one core, `--check` additionally fails outright if the parallel
-//! sweep is slower than the sequential sweep (on a single core the two paths
-//! are identical by construction, so the gate is vacuous there). It does not
-//! rewrite the JSON.
+//! `--check` runs a quick-mode measurement and gates only on properties that
+//! do not depend on runner hardware:
+//!
+//! * the packed rate must meet the MWU approximation guarantee
+//!   (`rate_over_optimal >= 1 - ε`) and must not drift below the recorded
+//!   ratio by more than [`QUALITY_TOLERANCE`];
+//! * the MWU iteration count must not inflate past [`WORK_TOLERANCE`]× the
+//!   recording (work blow-up with unchanged output quality is still a
+//!   regression);
+//! * the minimised packing must not use more trees than recorded;
+//! * the broadcast-rate certificate must reproduce the recorded value
+//!   exactly (it is a deterministic function of the topology);
+//! * on machines with more than one core, the parallel sweep must not be
+//!   slower than the sequential sweep (on a single core the two paths are
+//!   identical by construction, so that gate is vacuous there).
+//!
+//! It does not rewrite the JSON.
 
 use blink_core::{ScratchPool, TreeGen, TreeGenOptions};
-use blink_graph::baseline::{
-    minimize_trees_naive, optimal_broadcast_rate_naive, pack_spanning_trees_naive,
-};
 use blink_graph::{
     minimize_trees_in, optimal_broadcast_rate, optimal_broadcast_rate_in, pack_spanning_trees_in,
     DiGraph, MaxFlowScratch, MinimizeOptions, MinimizeScratch, PackingOptions, PackingScratch,
-    TreePacking,
 };
 use blink_topology::presets::dgx1v;
 use blink_topology::GpuId;
@@ -49,9 +57,14 @@ use std::time::Instant;
 
 const EPSILON: f64 = 0.05;
 const ROOT: GpuId = GpuId(0);
-/// `--check` fails when a stage's fast-over-naive speedup ratio is more than
-/// this factor below the recorded trajectory.
-const CHECK_TOLERANCE: f64 = 5.0;
+/// `--check` fails when `rate_over_optimal` drifts more than this far below
+/// the recorded value. The packing is deterministic, so the band only
+/// absorbs intentional recalibrations, not runner hardware.
+const QUALITY_TOLERANCE: f64 = 0.01;
+/// `--check` fails when the MWU iteration count exceeds this factor of the
+/// recorded count: producing the same packing with twice the solves is a
+/// hot-path regression even though the output is unchanged.
+const WORK_TOLERANCE: f64 = 2.0;
 /// `--check` fails when the multi-worker parallel sweep is slower than this
 /// fraction of the sequential sweep. Strictly "not slower" would be 1.0, but
 /// the quick-mode sweep window is tens of milliseconds — a shared CI runner
@@ -59,10 +72,10 @@ const CHECK_TOLERANCE: f64 = 5.0;
 /// scheduler hiccup. A genuinely serialised pool shows up far below 0.9.
 const SWEEP_TOLERANCE: f64 = 0.9;
 
-/// Per-path measurements for the packing stage.
+/// Throughput and quality of the MWU packing fast path.
 #[derive(Debug, Serialize)]
-struct PathReport {
-    /// Complete packings computed per second.
+struct PackingReport {
+    /// Complete packings computed per second (absolute, machine-dependent).
     packings_per_sec: f64,
     /// Packed trees produced per second (trees in the final packing divided
     /// by the time one packing takes).
@@ -79,22 +92,28 @@ struct PathReport {
     rate_over_optimal: f64,
 }
 
-/// Per-path measurements for the minimize / certificate stages.
+/// Throughput and quality of the tree-count minimisation fast path.
 #[derive(Debug, Serialize)]
-struct StagePathReport {
-    /// Stage invocations per second.
+struct MinimizeReport {
+    /// Minimisations per second (absolute, machine-dependent).
     per_sec: f64,
     /// Mean wall-clock microseconds per invocation.
     us_per_call: f64,
+    /// Trees in the minimised packing (deterministic; gated).
+    num_trees: usize,
+    /// Minimised rate divided by the certificate.
+    rate_over_optimal: f64,
 }
 
-/// One naive-vs-fast stage.
+/// Throughput and value of the broadcast-rate certificate fast path.
 #[derive(Debug, Serialize)]
-struct StageReport {
-    naive: StagePathReport,
-    fast: StagePathReport,
-    /// `fast.per_sec / naive.per_sec`.
-    speedup: f64,
+struct CertificateReport {
+    /// Certificates per second (absolute, machine-dependent).
+    per_sec: f64,
+    /// Mean wall-clock microseconds per invocation (n − 1 max-flows).
+    us_per_call: f64,
+    /// The certificate value in GB/s (deterministic; gated exactly).
+    rate_gbps: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -103,14 +122,7 @@ struct Config {
     gpus: usize,
     epsilon: f64,
     root: usize,
-    naive_runs: usize,
     fast_runs: usize,
-}
-
-#[derive(Debug, Serialize)]
-struct Speedup {
-    packings_per_sec: f64,
-    trees_per_sec: f64,
 }
 
 /// One path (sequential or parallel) of the multi-root sweep stage.
@@ -140,57 +152,30 @@ struct ParallelSweepReport {
 #[derive(Debug, Serialize)]
 struct Report {
     config: Config,
-    naive: PathReport,
-    fast: PathReport,
-    speedup: Speedup,
+    /// The MWU packing fast path (Section 3.1).
+    packing: PackingReport,
     /// Tree-count minimisation of the raw MWU packing (Section 3.2.1).
-    minimize: StageReport,
+    minimize: MinimizeReport,
     /// The Edmonds/Lovász broadcast-rate certificate (n − 1 max-flows).
-    certificate: StageReport,
+    certificate: CertificateReport,
     /// Multi-root sweep through the scratch pool: parallel vs sequential.
     parallel_sweep: ParallelSweepReport,
 }
 
-fn report(
-    packing: &TreePacking,
-    iterations: usize,
-    runs: usize,
-    elapsed_s: f64,
-    opt: f64,
-) -> PathReport {
-    let per_packing = elapsed_s / runs as f64;
-    PathReport {
-        packings_per_sec: 1.0 / per_packing,
-        trees_per_sec: packing.num_trees() as f64 / per_packing,
-        us_per_packing: per_packing * 1e6,
-        mwu_iterations: iterations,
-        num_trees: packing.num_trees(),
-        rate_gbps: packing.rate(),
-        rate_over_optimal: packing.rate() / opt,
-    }
-}
-
-/// Times `runs` invocations of `f` and reports the per-call rate.
-fn time_stage<F: FnMut()>(runs: usize, mut f: F) -> StagePathReport {
+/// Times `runs` invocations of `f` and returns mean seconds per call.
+fn time_calls<F: FnMut()>(runs: usize, mut f: F) -> f64 {
     let t0 = Instant::now();
     for _ in 0..runs {
         f();
     }
-    let per_call = t0.elapsed().as_secs_f64() / runs as f64;
-    StagePathReport {
-        per_sec: 1.0 / per_call,
-        us_per_call: per_call * 1e6,
-    }
+    t0.elapsed().as_secs_f64() / runs as f64
 }
 
 fn measure(quick: bool) -> Report {
     // Per-stage run counts sized so each stage's timing window is well above
     // clock noise; `quick` (the CI `--check` mode) divides the slow ones.
-    let naive_runs = if quick { 1 } else { 3 };
     let fast_runs = if quick { 50 } else { 200 };
-    let min_naive_runs = if quick { 5 } else { 20 };
     let min_fast_runs = if quick { 100 } else { 500 };
-    let cert_naive_runs = if quick { 500 } else { 2000 };
     let cert_fast_runs = if quick { 5000 } else { 20000 };
     let topo = dgx1v();
     let g = DiGraph::from_topology_filtered(&topo, |l| l.kind.is_nvlink());
@@ -201,57 +186,48 @@ fn measure(quick: bool) -> Report {
         ..Default::default()
     };
 
-    // ---- packing: naive path (pre-optimisation reference, in-process) ----
-    let (warm_packing, warm_iters) =
-        pack_spanning_trees_naive(&g, ROOT, &opts).expect("dgx1v spans");
-    let t0 = Instant::now();
-    for _ in 0..naive_runs {
-        pack_spanning_trees_naive(&g, ROOT, &opts).expect("dgx1v spans");
-    }
-    let naive = report(
-        &warm_packing,
-        warm_iters,
-        naive_runs,
-        t0.elapsed().as_secs_f64(),
-        opt,
-    );
-
-    // ---- packing: fast path (iterative solver + reused PackingScratch) ----
+    // ---- packing: iterative solver + reused PackingScratch ----
     let mut scratch = PackingScratch::new();
     let (fast_packing, fast_stats) =
         pack_spanning_trees_in(&g, ROOT, &opts, &mut scratch).expect("dgx1v spans");
-    let t0 = Instant::now();
-    for _ in 0..fast_runs {
+    let per_packing = time_calls(fast_runs, || {
         pack_spanning_trees_in(&g, ROOT, &opts, &mut scratch).expect("dgx1v spans");
-    }
-    let fast = report(
-        &fast_packing,
-        fast_stats.iterations,
-        fast_runs,
-        t0.elapsed().as_secs_f64(),
-        opt,
-    );
-
-    // ---- minimize: both paths reduce the same raw MWU packing ----
-    let min_opts = MinimizeOptions::default();
-    let minimize_naive = time_stage(min_naive_runs, || {
-        minimize_trees_naive(&g, &fast_packing, &min_opts);
     });
+    let packing = PackingReport {
+        packings_per_sec: 1.0 / per_packing,
+        trees_per_sec: fast_packing.num_trees() as f64 / per_packing,
+        us_per_packing: per_packing * 1e6,
+        mwu_iterations: fast_stats.iterations,
+        num_trees: fast_packing.num_trees(),
+        rate_gbps: fast_packing.rate(),
+        rate_over_optimal: fast_packing.rate() / opt,
+    };
+
+    // ---- minimize: arena branch-and-bound over the raw MWU packing ----
+    let min_opts = MinimizeOptions::default();
     let mut min_scratch = MinimizeScratch::new();
-    minimize_trees_in(&g, &fast_packing, &min_opts, &mut min_scratch); // warm up
-    let minimize_fast = time_stage(min_fast_runs, || {
+    let minimized = minimize_trees_in(&g, &fast_packing, &min_opts, &mut min_scratch); // warm up
+    let per_minimize = time_calls(min_fast_runs, || {
         minimize_trees_in(&g, &fast_packing, &min_opts, &mut min_scratch);
     });
+    let minimize = MinimizeReport {
+        per_sec: 1.0 / per_minimize,
+        us_per_call: per_minimize * 1e6,
+        num_trees: minimized.num_trees(),
+        rate_over_optimal: minimized.rate() / opt,
+    };
 
     // ---- certificate: n − 1 max-flows per call ----
-    let certificate_naive = time_stage(cert_naive_runs, || {
-        optimal_broadcast_rate_naive(&g, root_idx);
-    });
     let mut mf_scratch = MaxFlowScratch::new();
-    optimal_broadcast_rate_in(&g, root_idx, &mut mf_scratch); // warm up
-    let certificate_fast = time_stage(cert_fast_runs, || {
+    let cert_value = optimal_broadcast_rate_in(&g, root_idx, &mut mf_scratch); // warm up
+    let per_cert = time_calls(cert_fast_runs, || {
         optimal_broadcast_rate_in(&g, root_idx, &mut mf_scratch);
     });
+    let certificate = CertificateReport {
+        per_sec: 1.0 / per_cert,
+        us_per_call: per_cert * 1e6,
+        rate_gbps: cert_value,
+    };
 
     // ---- parallel_sweep: all 8 roots through the scratch pool ----
     let sweep_runs = if quick { 10 } else { 50 };
@@ -262,27 +238,27 @@ fn measure(quick: bool) -> Report {
         ScratchPool::with_workers(1),
     );
     sequential_tg.plan_roots(&roots).expect("dgx1v spans"); // warm up
-    let sweep_sequential = time_stage(sweep_runs, || {
+    let per_seq_sweep = time_calls(sweep_runs, || {
         sequential_tg.plan_roots(&roots).expect("dgx1v spans");
     });
     let parallel_pool = ScratchPool::new();
     let workers = parallel_pool.workers();
     let parallel_tg = TreeGen::with_scratch(topo.clone(), TreeGenOptions::default(), parallel_pool);
     parallel_tg.plan_roots(&roots).expect("dgx1v spans"); // warm up
-    let sweep_parallel = time_stage(sweep_runs, || {
+    let per_par_sweep = time_calls(sweep_runs, || {
         parallel_tg.plan_roots(&roots).expect("dgx1v spans");
     });
     let parallel_sweep = ParallelSweepReport {
         roots: roots.len(),
         workers,
-        speedup: sweep_parallel.per_sec / sweep_sequential.per_sec,
+        speedup: per_seq_sweep / per_par_sweep,
         sequential: SweepPathReport {
-            sweeps_per_sec: sweep_sequential.per_sec,
-            us_per_sweep: sweep_sequential.us_per_call,
+            sweeps_per_sec: 1.0 / per_seq_sweep,
+            us_per_sweep: per_seq_sweep * 1e6,
         },
         parallel: SweepPathReport {
-            sweeps_per_sec: sweep_parallel.per_sec,
-            us_per_sweep: sweep_parallel.us_per_call,
+            sweeps_per_sec: 1.0 / per_par_sweep,
+            us_per_sweep: per_par_sweep * 1e6,
         },
     };
 
@@ -292,70 +268,68 @@ fn measure(quick: bool) -> Report {
             gpus: 8,
             epsilon: EPSILON,
             root: ROOT.0,
-            naive_runs,
             fast_runs,
         },
-        speedup: Speedup {
-            packings_per_sec: fast.packings_per_sec / naive.packings_per_sec,
-            trees_per_sec: fast.trees_per_sec / naive.trees_per_sec,
-        },
-        minimize: StageReport {
-            speedup: minimize_fast.per_sec / minimize_naive.per_sec,
-            naive: minimize_naive,
-            fast: minimize_fast,
-        },
-        certificate: StageReport {
-            speedup: certificate_fast.per_sec / certificate_naive.per_sec,
-            naive: certificate_naive,
-            fast: certificate_fast,
-        },
+        packing,
+        minimize,
+        certificate,
         parallel_sweep,
-        naive,
-        fast,
     }
 }
 
-/// Compares a quick measurement's fast-over-naive speedup ratios against the
-/// recorded trajectory; returns the failures (stage name, recorded speedup,
-/// measured speedup). Ratios are machine-independent: both paths run in this
-/// process, so a slower or faster CI runner cancels out of the comparison.
-fn check_against_recorded(recorded: &serde::Value, report: &Report) -> Vec<(String, f64, f64)> {
-    let recorded_stage = |path: &[&str]| -> Option<f64> {
+/// Compares the deterministic quality metrics against the recorded
+/// trajectory; returns human-readable failure descriptions. Wall-clock
+/// throughput is deliberately not compared — without an in-process naive
+/// side there is no ratio for runner hardware to cancel out of.
+fn check_against_recorded(recorded: &serde::Value, report: &Report) -> Vec<String> {
+    let recorded_f64 = |path: &[&str]| -> Option<f64> {
         let mut v = recorded;
         for key in path {
             v = v.get(key)?;
         }
         v.as_f64()
     };
-    // parallel_sweep is deliberately NOT in this list: its speedup scales
-    // with the runner's core count, which does not cancel out of a
-    // recorded-vs-measured ratio the way the fast-over-naive stages do (a
-    // 1-core runner would spuriously "regress" against a multi-core
-    // recording). The absolute workers>=2 gate in main() covers it instead.
-    let stages: [(&str, &[&str], f64); 3] = [
-        (
-            "packing",
-            &["speedup", "packings_per_sec"],
-            report.speedup.packings_per_sec,
-        ),
-        (
-            "minimize",
-            &["minimize", "speedup"],
-            report.minimize.speedup,
-        ),
-        (
-            "certificate",
-            &["certificate", "speedup"],
-            report.certificate.speedup,
-        ),
-    ];
     let mut failures = Vec::new();
-    for (name, path, measured) in stages {
-        let Some(rec) = recorded_stage(path) else {
-            continue; // stage not recorded yet — nothing to regress against
-        };
-        if measured < rec / CHECK_TOLERANCE {
-            failures.push((name.to_string(), rec, measured));
+    if report.packing.rate_over_optimal < 1.0 - EPSILON {
+        failures.push(format!(
+            "packing rate is {:.4} of the certificate, below the MWU guarantee of 1 - ε = {:.4}",
+            report.packing.rate_over_optimal,
+            1.0 - EPSILON
+        ));
+    }
+    if let Some(rec) = recorded_f64(&["packing", "rate_over_optimal"]) {
+        if report.packing.rate_over_optimal < rec - QUALITY_TOLERANCE {
+            failures.push(format!(
+                "packing rate_over_optimal {:.4} drifted more than {QUALITY_TOLERANCE} below \
+                 the recorded {rec:.4}",
+                report.packing.rate_over_optimal
+            ));
+        }
+    }
+    if let Some(rec) = recorded_f64(&["packing", "mwu_iterations"]) {
+        if report.packing.mwu_iterations as f64 > rec * WORK_TOLERANCE {
+            failures.push(format!(
+                "packing runs {} MWU iterations, more than {WORK_TOLERANCE}x the recorded {rec}",
+                report.packing.mwu_iterations
+            ));
+        }
+    }
+    if let Some(rec) = recorded_f64(&["minimize", "num_trees"]) {
+        if report.minimize.num_trees as f64 > rec {
+            failures.push(format!(
+                "minimised packing uses {} trees, more than the recorded {rec} \
+                 (re-record BENCH_packing.json if this is an intentional trade)",
+                report.minimize.num_trees
+            ));
+        }
+    }
+    if let Some(rec) = recorded_f64(&["certificate", "rate_gbps"]) {
+        if (report.certificate.rate_gbps - rec).abs() > 1e-6 * rec.max(1.0) {
+            failures.push(format!(
+                "broadcast-rate certificate is {:.6} GB/s but the recording says {rec:.6} — \
+                 the certificate is a deterministic function of the topology",
+                report.certificate.rate_gbps
+            ));
         }
     }
     failures
@@ -371,11 +345,15 @@ fn main() {
         let recorded = serde_json::parse(&recorded).expect("BENCH_packing.json parses");
         let failures = check_against_recorded(&recorded, &out);
         eprintln!(
-            "quick check: packing {:.1}x, minimize {:.1}x, certificate {:.1}x over naive; \
-             parallel sweep {:.2}x over sequential ({} workers)",
-            out.speedup.packings_per_sec,
-            out.minimize.speedup,
-            out.certificate.speedup,
+            "quick check: packing {:.1} us ({} trees, rate/optimal {:.3}), minimize {:.1} us \
+             ({} trees), certificate {:.1} us; parallel sweep {:.2}x over sequential \
+             ({} workers)",
+            out.packing.us_per_packing,
+            out.packing.num_trees,
+            out.packing.rate_over_optimal,
+            out.minimize.us_per_call,
+            out.minimize.num_trees,
+            out.certificate.us_per_call,
             out.parallel_sweep.speedup,
             out.parallel_sweep.workers,
         );
@@ -407,14 +385,11 @@ fn main() {
             );
         }
         if failures.is_empty() && !sweep_regressed {
-            eprintln!("all stage speedups within {CHECK_TOLERANCE}x of the recorded trajectory");
+            eprintln!("all packing quality gates hold against the recorded trajectory");
             return;
         }
-        for (name, rec, measured) in &failures {
-            eprintln!(
-                "REGRESSION: {name} fast path at {measured:.1}x over naive, more than \
-                 {CHECK_TOLERANCE}x below the recorded {rec:.1}x"
-            );
+        for f in &failures {
+            eprintln!("REGRESSION: {f}");
         }
         std::process::exit(1);
     }
@@ -423,13 +398,15 @@ fn main() {
     std::fs::write("BENCH_packing.json", &json).expect("write BENCH_packing.json");
     println!("{json}");
     eprintln!(
-        "speedup: {:.1}x packings/sec, {:.1}x minimize/sec, {:.1}x certificate/sec, \
-         {:.2}x parallel sweep @ {} workers (fast rate/optimal {:.3})",
-        out.speedup.packings_per_sec,
-        out.minimize.speedup,
-        out.certificate.speedup,
+        "packing {:.1} us/call ({} trees, rate/optimal {:.3}), minimize {:.1} us/call \
+         ({} trees), certificate {:.1} us/call, {:.2}x parallel sweep @ {} workers",
+        out.packing.us_per_packing,
+        out.packing.num_trees,
+        out.packing.rate_over_optimal,
+        out.minimize.us_per_call,
+        out.minimize.num_trees,
+        out.certificate.us_per_call,
         out.parallel_sweep.speedup,
         out.parallel_sweep.workers,
-        out.fast.rate_over_optimal
     );
 }

@@ -1,5 +1,5 @@
-//! Simulator hot-path perf baseline: the segmented-payload programs on the
-//! interned-resource engine vs the pre-PR per-slot/allocating path.
+//! Simulator hot-path perf baseline: segmented-payload programs vs the
+//! per-slot emission shape, both on the interned-resource engine.
 //!
 //! Two stages, each measured in-process on this machine and written to
 //! `BENCH_sim.json` so future PRs have a trajectory to compare against:
@@ -10,38 +10,55 @@
 //!   through [`blink_sim::Simulator::run_with_scratch`]; the naive side runs
 //!   the same program expanded back to one op per segment
 //!   ([`blink_sim::Program::split_segments`], the pre-aggregation emission
-//!   shape) through the allocating reference scheduler
-//!   ([`blink_sim::Simulator::run_reference`]).
+//!   shape) through the **same** interned engine — the ratio isolates what
+//!   payload aggregation buys at equal scheduling machinery.
 //! * **multiserver_allreduce** — the three-phase AllReduce over a fragmented
-//!   2×DGX-1V allocation; its ops are single-segment, so the stage isolates
-//!   the engine's interned fast path from the payload aggregation.
+//!   2×DGX-1V allocation; its ops are mostly single-segment, so its ratio is
+//!   expected near 1x and recorded as a guard that splitting never *helps*.
+//!
+//! The allocating reference scheduler (`Simulator::run_reference`) is
+//! retired from this benchmark's measurement path: it survives only as the
+//! bit-identity oracle the sim crate's regression tests pin the fast engine
+//! against, so the recorded trajectory no longer pays for (or depends on)
+//! scheduling the naive side twice.
+//!
+//! Both stages simulate under a calibration with a non-zero
+//! [`SimParams::per_segment_overhead_us`]: a batched multi-range copy pays
+//! the driver's per-extra-range cost explicitly, so the segmented program's
+//! *simulated* time is honest about batching (and still beats the split
+//! shape, which pays a full per-op launch overhead per range instead).
 //!
 //! Run with `cargo run --release -p blink-bench --bin bench_sim`.
 //!
 //! `--check` runs a quick-mode measurement and exits non-zero if either
-//! stage's fast-over-naive speedup regressed more than [`CHECK_TOLERANCE`]×
-//! against the recorded `BENCH_sim.json`, or if the `allgather_dgx2` stage
-//! falls below [`ALLGATHER_FLOOR`]× outright (the segmented-payload +
-//! interned-engine win this PR exists to deliver). Both sides of each ratio
-//! run in this process, so runner hardware cancels out. It does not rewrite
-//! the JSON.
+//! stage's segmented-over-split speedup regressed more than
+//! [`CHECK_TOLERANCE`]× against the recorded `BENCH_sim.json`, or if the
+//! `allgather_dgx2` stage falls below [`ALLGATHER_FLOOR`]× outright, or if
+//! the segmented program's simulated time stops beating the split shape's.
+//! Both sides of each ratio run in this process, so runner hardware cancels
+//! out. It does not rewrite the JSON.
 
 use blink_core::multiserver::three_phase_allreduce;
 use blink_core::{
     CodeGenOptions, CollectiveKind, Communicator, CommunicatorOptions, TreeGenOptions,
 };
-use blink_sim::{EngineScratch, Program, Simulator};
+use blink_sim::{EngineScratch, Program, SimParams, Simulator};
 use blink_topology::presets::{dgx2, multi_server, ServerKind};
 use blink_topology::{GpuId, Topology};
 use serde::Serialize;
 use std::time::Instant;
 
-/// `--check` fails when a stage's fast-over-naive speedup ratio is more than
-/// this factor below the recorded trajectory.
+/// `--check` fails when a stage's segmented-over-split speedup ratio is more
+/// than this factor below the recorded trajectory.
 const CHECK_TOLERANCE: f64 = 5.0;
-/// `--check` fails outright when the segmented/interned AllGather path is
-/// not at least this many times faster than the per-slot/allocating path.
-const ALLGATHER_FLOOR: f64 = 5.0;
+/// `--check` fails outright when the segmented AllGather path is not at
+/// least this many times faster than the per-slot shape on the same engine.
+const ALLGATHER_FLOOR: f64 = 3.0;
+/// Calibrated per-extra-range cost of a batched multi-segment transfer
+/// (µs). Small next to [`SimParams::op_launch_overhead_us`] — batching a
+/// range is cheap, launching an op is not — which is exactly the asymmetry
+/// that makes segment aggregation worthwhile.
+const PER_SEGMENT_OVERHEAD_US: f64 = 0.2;
 
 fn mb(n: u64) -> u64 {
     n * 1024 * 1024
@@ -60,14 +77,17 @@ struct EnginePathReport {
     us_per_program: f64,
 }
 
-/// One fast-vs-naive stage.
+/// One segmented-vs-split stage.
 #[derive(Debug, Serialize)]
 struct SimStageReport {
     /// What the stage simulates.
     scenario: String,
-    /// Simulated wall-clock of the fast path's program (sanity: the
-    /// segmented program must not be slower *in simulated time* either).
+    /// Simulated wall-clock of the segmented program under the calibrated
+    /// params (pays `per_segment_overhead_us` per extra range).
     fast_total_us: f64,
+    /// Simulated wall-clock of the split shape (pays a full launch overhead
+    /// per range); must stay >= `fast_total_us`.
+    naive_total_us: f64,
     naive: EnginePathReport,
     fast: EnginePathReport,
     /// `fast.programs_per_sec / naive.programs_per_sec`.
@@ -105,8 +125,8 @@ fn time_path<F: FnMut()>(ops: usize, runs: usize, mut f: F) -> EnginePathReport 
     }
 }
 
-/// Measures fast (segmented program, interned engine) vs naive (split
-/// program, reference engine) on one scenario.
+/// Measures segmented vs split emission shapes of the same program, both on
+/// the interned engine under the calibrated per-segment overhead.
 fn measure_stage(
     scenario: &str,
     machine: &Topology,
@@ -114,16 +134,24 @@ fn measure_stage(
     fast_runs: usize,
     naive_runs: usize,
 ) -> SimStageReport {
-    let sim = Simulator::with_defaults(machine.clone());
+    let params = SimParams {
+        per_segment_overhead_us: PER_SEGMENT_OVERHEAD_US,
+        ..SimParams::default()
+    };
+    let sim = Simulator::new(machine.clone(), params);
     let split = program.split_segments();
     let mut scratch = EngineScratch::new();
+    let mut split_scratch = EngineScratch::new();
     let fast_total_us = sim
         .run_with_scratch(program, &mut scratch)
         .unwrap()
         .total_us;
-    sim.run_reference(&split).unwrap(); // warm up
+    let naive_total_us = sim
+        .run_with_scratch(&split, &mut split_scratch)
+        .unwrap()
+        .total_us;
     let naive = time_path(split.len(), naive_runs, || {
-        sim.run_reference(&split).unwrap();
+        sim.run_with_scratch(&split, &mut split_scratch).unwrap();
     });
     let fast = time_path(program.len(), fast_runs, || {
         sim.run_with_scratch(program, &mut scratch).unwrap();
@@ -131,6 +159,7 @@ fn measure_stage(
     SimStageReport {
         scenario: scenario.to_string(),
         fast_total_us,
+        naive_total_us,
         speedup: fast.programs_per_sec / naive.programs_per_sec,
         naive,
         fast,
@@ -207,7 +236,7 @@ fn main() {
             |stage: &str| -> Option<f64> { recorded.get(stage)?.get("speedup")?.as_f64() };
         eprintln!(
             "quick check: allgather {:.1}x ({} -> {} ops), multiserver {:.1}x over the \
-             per-slot/allocating path",
+             per-slot shape on the same engine",
             out.allgather_dgx2.speedup,
             out.allgather_dgx2.naive.ops,
             out.allgather_dgx2.fast.ops,
@@ -218,9 +247,19 @@ fn main() {
             failed = true;
             eprintln!(
                 "REGRESSION: the segmented one-hop AllGather path is only {:.1}x over the \
-                 per-slot/allocating path (floor {ALLGATHER_FLOOR}x)",
+                 per-slot shape (floor {ALLGATHER_FLOOR}x)",
                 out.allgather_dgx2.speedup
             );
+        }
+        for stage in [&out.allgather_dgx2, &out.multiserver_allreduce] {
+            if stage.fast_total_us > stage.naive_total_us {
+                failed = true;
+                eprintln!(
+                    "REGRESSION: {}: segmented program simulates slower ({:.1} us) than the \
+                     split shape ({:.1} us) under the calibrated per-segment overhead",
+                    stage.scenario, stage.fast_total_us, stage.naive_total_us
+                );
+            }
         }
         for (name, measured) in [
             ("allgather_dgx2", out.allgather_dgx2.speedup),
@@ -248,8 +287,8 @@ fn main() {
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!("{json}");
     eprintln!(
-        "speedup: {:.1}x one-hop allgather ({} ops vs {} per-slot ops), \
-         {:.1}x three-phase allreduce",
+        "speedup: {:.1}x one-hop allgather ({} ops vs {} per-slot ops, both on the \
+         interned engine), {:.1}x three-phase allreduce",
         out.allgather_dgx2.speedup,
         out.allgather_dgx2.fast.ops,
         out.allgather_dgx2.naive.ops,

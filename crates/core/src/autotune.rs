@@ -279,19 +279,29 @@ impl SharedPlanCache {
     /// Applies a topology-change event to the plans memoised under
     /// `old_fingerprint` — the shared-tier half of [`PlanCache::note_delta`].
     ///
+    /// Under a pure-growth delta ([`TopologyDelta::is_pure_growth`]) nothing
+    /// is touched at all: the pre-event shape persists verbatim as a subgraph
+    /// of the grown machine, so every plan memoised under `old_fingerprint`
+    /// still describes live hardware exactly and every certificate proved
+    /// against that shape still holds. Lookups keyed by the old shape keep
+    /// hitting — in particular, when a job grows by a server, the three-phase
+    /// planner's per-server lookups for the *original* servers re-hit the
+    /// plans published before the growth (their server-induced fingerprints
+    /// are unchanged).
+    ///
     /// Under a pure-removal delta ([`TopologyDelta::is_pure_removal`]) a plan
     /// whose trees avoid every removed link and GPU is still *exact* for the
     /// post-event topology: removing capacity can only lower the broadcast
     /// min-cut, so a plan within `(1 − ε)` of the old certificate is within
     /// `(1 − ε)` of the new one, and its trees remain feasible. Those
     /// survivors are re-keyed to `new_fingerprint` so lookups over the
-    /// post-event shape keep hitting. Every other plan — touched by the
-    /// delta, or any plan when the delta *adds* hardware (the certificate
-    /// may rise, voiding the near-optimality guarantee) — is dropped; the
-    /// observing communicator's local tier keeps its own copies as
-    /// warm-start seeds instead.
+    /// post-event shape keep hitting. Every other plan — touched by a
+    /// removal, or any plan under a mixed add+remove delta that also adds
+    /// GPUs (the old shape is gone *and* the plan no longer spans the new
+    /// one) — is dropped; the observing communicator's local tier keeps its
+    /// own copies as warm-start seeds instead.
     pub fn apply_delta(&self, old_fingerprint: u64, new_fingerprint: u64, delta: &TopologyDelta) {
-        if old_fingerprint == new_fingerprint {
+        if old_fingerprint == new_fingerprint || delta.is_pure_growth() {
             return;
         }
         let mut inner = self.inner.lock().expect("shared plan cache poisoned");
@@ -312,23 +322,33 @@ impl SharedPlanCache {
     }
 }
 
-/// Whether `plan` is still *exact* after `delta` — feasible and within the
-/// same `(1 − ε)`-of-certificate bound it was packed to — judged per the
-/// plan's own link class:
+/// Whether `plan` still *serves its cache key* after `delta` — feasible over
+/// the post-event topology and still spanning the job's allocation — judged
+/// per the plan's own link class:
 ///
-/// * added GPUs, or added links of the plan's class, can raise the
-///   certificate → not exact;
+/// * **additions never invalidate a certificate.** The pre-event topology
+///   persists as a subgraph of the grown one, so the plan's trees stay
+///   feasible at their packed rates and the packed-rate-vs-certificate bound
+///   (proved against the old shape) still holds. Added links of the plan's
+///   class can raise the *grown* shape's broadcast min-cut, so the plan may
+///   no longer be near-optimal for the new hardware — it is kept live
+///   anyway, because exactness of what was proved is not voided and only a
+///   re-pack can chase the larger cut;
+/// * added GPUs do stop a plan serving a *grown allocation* — it no longer
+///   spans the job — so it cannot answer lookups under the post-event
+///   fingerprint. [`PlanCache::note_delta`] demotes it to a warm-start seed
+///   for the lookup shape that replaced it, while an attached
+///   [`SharedPlanCache`] keeps it published under the old shape's
+///   fingerprint, where it remains exact
+///   ([`SharedPlanCache::apply_delta`]);
 /// * a removed GPU the plan spans, or a removed link of the plan's class on
 ///   a GPU pair some tree routes over (even one lane of several — the
 ///   pair's capacity shrank under the plan's rate), breaks feasibility;
 /// * anything else (dead links of *other* classes, dead links the trees
-///   avoid) leaves the plan's rate intact while the certificate can only
-///   fall — the plan survives.
+///   avoid, added links of any class) leaves the plan's rate intact — the
+///   plan survives.
 fn plan_survives_delta(plan: &TreePlan, delta: &TopologyDelta) -> bool {
     if !delta.added_gpus.is_empty() {
-        return false;
-    }
-    if delta.added_links.iter().any(|l| plan.links.matches(l)) {
         return false;
     }
     if delta.removed_gpus.iter().any(|g| plan.gpus.contains(g)) {
@@ -466,11 +486,15 @@ impl PlanCache {
 
     /// Applies a topology-change event (delta invalidation): re-keys the
     /// cache to the post-event fingerprint, keeps plans the delta provably
-    /// did not touch (pure removals only — see
-    /// [`SharedPlanCache::apply_delta`] for the argument), and demotes every
-    /// other plan to a *warm-start seed*: the next miss on that key packs
-    /// via [`TreeGen::plan_warm`], seeded from the stale plan, instead of
-    /// cold. An attached [`SharedPlanCache`] is re-keyed the same way.
+    /// did not touch — untouched by removals, or any addition short of new
+    /// GPUs; additions never invalidate a certificate (see
+    /// [`plan_survives_delta`]) — and demotes every other plan to a
+    /// *warm-start seed*: the next miss on that key packs via
+    /// [`TreeGen::plan_warm`], seeded from the stale plan, instead of cold.
+    /// An attached [`SharedPlanCache`] is re-keyed the same way, except that
+    /// pure-growth deltas leave it entirely untouched — the old shape still
+    /// exists as a subgraph, so its entries keep serving lookups under the
+    /// old fingerprint ([`SharedPlanCache::apply_delta`]).
     ///
     /// `induced` and `options` must describe the **post-event** planning
     /// inputs — the same values the next [`PlanCache::plan_for`] /
@@ -1150,7 +1174,9 @@ mod tests {
         let delta = TopologyDelta::between(&small, &big);
         assert!(!delta.is_pure_removal());
         cache.note_delta(&big, &opts, &delta);
-        // added capacity can raise the certificate: nothing stays live
+        // the 4-GPU plan no longer spans the grown 8-GPU allocation, so it
+        // cannot serve lookups over the new shape — but its certificate was
+        // never voided, so it is demoted to a warm seed, not dropped
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.seeded(), 1);
         let grown = cache.plan_for(&big, &opts, GpuId(0)).unwrap().clone();
@@ -1159,6 +1185,98 @@ mod tests {
         // plans (the pointwise warm ≥ cold bound is only promised for pure
         // removals — added capacity reshapes the whole MWU trajectory)
         assert!(grown.rate_gbps() >= (1.0 - opts.packing.epsilon) * grown.optimal_rate_gbps - 1e-9);
+    }
+
+    #[test]
+    fn an_added_link_never_demotes_a_plan() {
+        use blink_topology::{Link, LinkKind, TopologyDelta};
+        let topo = dgx1v();
+        let induced = topo
+            .induced(&(0..4).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default();
+        let shared = SharedPlanCache::new();
+        let mut cache = PlanCache::new().with_shared(shared.clone());
+        let before = cache.plan_for(&induced, &opts, GpuId(0)).unwrap().clone();
+        let fp_before = plan_fingerprint(&induced, &opts);
+        // a fresh NVLink lane appears between GPUs 0 and 3: pure growth
+        let delta = TopologyDelta {
+            added_links: vec![
+                Link::new(GpuId(0), GpuId(3), LinkKind::NvLinkGen2),
+                Link::new(GpuId(3), GpuId(0), LinkKind::NvLinkGen2),
+            ],
+            ..Default::default()
+        };
+        assert!(delta.is_pure_growth() && !delta.is_pure_removal());
+        let after = induced.apply_delta(&delta).unwrap();
+        cache.note_delta(&after, &opts, &delta);
+        // the plan's trees are untouched and its certificate still holds:
+        // it stays live locally (near-optimality against the *grown* cut may
+        // lapse until a re-pack — that is a quality gap, not an exactness one)
+        assert_eq!(cache.len(), 1, "an added link must not demote the plan");
+        assert_eq!(cache.seeded(), 0);
+        let again = cache.plan_for(&after, &opts, GpuId(0)).unwrap();
+        assert!(
+            before.bit_eq(again),
+            "retained plan is served bit-identical"
+        );
+        // the shared tier keeps the old shape's entry: that shape persists as
+        // a subgraph of the grown one, so its fingerprint is still meaningful
+        assert!(shared.get(fp_before, GpuId(0), opts.links).is_some());
+    }
+
+    #[test]
+    fn growing_by_a_server_retains_shared_plans_for_the_old_shape() {
+        use blink_topology::presets::{multi_server, ServerKind};
+        use blink_topology::TopologyDelta;
+        let machine = multi_server(2, ServerKind::Dgx1V, 5.0);
+        let small_alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let induced8 = machine.induced(&small_alloc).unwrap();
+        let opts = TreeGenOptions::default();
+        let shared = SharedPlanCache::new();
+        let mut cache = PlanCache::new().with_shared(shared.clone());
+        // a single-server 8-GPU job plans all roots and publishes them under
+        // the server-induced fingerprint
+        cache.plan_many(&induced8, &opts, &small_alloc).unwrap();
+        let f0 = plan_fingerprint(&induced8, &opts);
+        assert!(shared.get(f0, GpuId(0), opts.links).is_some());
+
+        // the job grows by a server: a pure-growth delta over its induced
+        // topology (new GPUs, their links, the second server's NIC)
+        let big_alloc: Vec<GpuId> = (0..16).map(GpuId).collect();
+        let induced16 = machine.induced(&big_alloc).unwrap();
+        let delta = TopologyDelta::between(&induced8, &induced16);
+        assert!(delta.is_pure_growth() && !delta.is_pure_removal());
+        cache.note_delta(&induced16, &opts, &delta);
+        // locally the old plans no longer span the grown job — seeds now —
+        // but the shared tier keeps the old shape's plans published verbatim
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.seeded(), 8);
+        assert!(
+            shared.get(f0, GpuId(0), opts.links).is_some(),
+            "growth must not flush the old shape from the shared tier"
+        );
+
+        // and the three-phase planner's per-server lookups for server 0
+        // (whose induced shape IS the old job shape) re-hit those plans
+        let (hits_before, _) = shared.stats();
+        let scratch = new_shared_scratch();
+        let (program, _info) = crate::multiserver::three_phase_allreduce_cached(
+            &machine,
+            &big_alloc,
+            8 << 20,
+            &opts,
+            &crate::CodeGenOptions::default(),
+            &scratch,
+            Some(&shared),
+        )
+        .unwrap();
+        let (hits_after, _) = shared.stats();
+        assert!(
+            hits_after > hits_before,
+            "per-server lookups must reuse the retained plans"
+        );
+        assert!(!program.ops().is_empty());
     }
 
     #[test]

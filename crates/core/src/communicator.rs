@@ -23,6 +23,7 @@
 use crate::autotune::{global_plan_cache, ChunkAutotuner, PlanCache, SharedPlanCache};
 use crate::codegen::{CodeGen, CodeGenOptions};
 use crate::collective::{CollectiveKind, CollectiveReport};
+use crate::fusion::{fuse_requests, fusible, restrict_to_window, FusedGroup};
 use crate::hybrid::HybridPlanner;
 use crate::multiserver::three_phase_allreduce_cached;
 use crate::onehop::{is_switch_fabric, one_hop_broadcast_tree, one_hop_trees};
@@ -54,6 +55,13 @@ pub struct CommunicatorOptions {
     /// cost). Passing an explicit cache through
     /// [`Communicator::with_shared_plans`] overrides both behaviours.
     pub isolated_plan_cache: bool,
+    /// Size threshold for the fusion pass applied by
+    /// [`Communicator::run_streamed`]: concurrent same-kind requests smaller
+    /// than this batch into one segmented program (see [`crate::fusion`]).
+    /// 0 disables fusion. The default (4 MiB, one default chunk) batches the
+    /// small per-layer gradient buckets whose launch overheads dominate
+    /// while leaving bandwidth-bound transfers unfused.
+    pub fusion_threshold_bytes: u64,
 }
 
 impl Default for CommunicatorOptions {
@@ -65,6 +73,7 @@ impl Default for CommunicatorOptions {
             use_hybrid: false,
             stream_reuse: false,
             isolated_plan_cache: false,
+            fusion_threshold_bytes: 4 << 20,
         }
     }
 }
@@ -95,6 +104,45 @@ pub struct ReplanReport {
 /// A collective's timing report plus the artifacts the value-level oracle
 /// replays: the lowered program and the engine's per-op `(start, end)` spans.
 pub type TracedRun = (CollectiveReport, Program, Vec<(f64, f64)>);
+
+/// One program of a [`StreamedRun`]: a fused batch (or unfused single
+/// request) with its issue time, completion time and the oracle-replayable
+/// trace.
+#[derive(Debug, Clone)]
+pub struct StreamedGroup {
+    /// Which requests the program carries and where each one's window lives
+    /// in the fused logical space.
+    pub group: FusedGroup,
+    /// When the program was admitted into the session (the latest ready
+    /// time of its member requests).
+    pub issue_us: f64,
+    /// When the program's last op finished, on the session clock.
+    pub end_us: f64,
+    /// The lowered (possibly fused) program.
+    pub program: Program,
+    /// The engine's per-op `(start, end)` spans for this program.
+    pub op_spans: Vec<(f64, f64)>,
+    /// Human-readable strategy tag of the lowering.
+    pub strategy: String,
+}
+
+/// Result of [`Communicator::run_streamed`]: every admitted program's trace
+/// plus the end-to-end finish time on the shared session clock.
+#[derive(Debug, Clone)]
+pub struct StreamedRun {
+    /// When the last program finished (µs from the session origin `t = 0`;
+    /// request ready times are on the same clock).
+    pub finish_us: f64,
+    /// One entry per admitted program, in issue order.
+    pub groups: Vec<StreamedGroup>,
+}
+
+impl StreamedRun {
+    /// How many programs actually batched more than one request.
+    pub fn fused_programs(&self) -> usize {
+        self.groups.iter().filter(|g| g.group.is_fused()).count()
+    }
+}
 
 /// A Blink communicator bound to one GPU allocation on one machine (or
 /// cluster slice).
@@ -305,6 +353,130 @@ impl Communicator {
         let (report, program, spans) = self.run_traced(kind, bytes)?;
         let check = check_collective(kind.spec(), &program, &spans, &self.allocation, bytes);
         Ok((report, check))
+    }
+
+    /// Streams several concurrent same-kind collectives through one
+    /// simulator [`Session`](blink_sim::Session): the multi-program trace of
+    /// the streaming executor.
+    ///
+    /// `requests` is a list of `(bytes, ready_us)` pairs in ready order —
+    /// request `i` may not start before `ready_us[i]` (e.g. when its
+    /// gradient bucket finishes backprop). When `kind` is fusible (see
+    /// [`crate::fusion::fusible`]) the fusion pass first batches consecutive
+    /// requests under [`CommunicatorOptions::fusion_threshold_bytes`] into
+    /// single segmented programs; each resulting program is lowered once,
+    /// admitted at the latest ready time of its members, and all programs
+    /// contend for links inside one session. Zero-byte requests complete at
+    /// their ready time and appear in no group.
+    ///
+    /// The MIAD chunk tuner is *not* fed from streamed runs: per-group
+    /// bandwidth under cross-program contention would mislead it.
+    ///
+    /// # Errors
+    /// Same conditions as [`Communicator::run`] on any member program.
+    pub fn run_streamed(
+        &mut self,
+        kind: CollectiveKind,
+        requests: &[(u64, f64)],
+    ) -> Result<StreamedRun> {
+        let ready_floor = requests.iter().map(|r| r.1).fold(0.0f64, f64::max);
+        if self.allocation.len() < 2 || requests.iter().all(|r| r.0 == 0) {
+            // trivial: nothing moves; every request completes when ready
+            return Ok(StreamedRun {
+                finish_us: ready_floor,
+                groups: Vec::new(),
+            });
+        }
+        let sizes: Vec<u64> = requests.iter().map(|r| r.0).collect();
+        let threshold = if fusible(kind) {
+            self.options.fusion_threshold_bytes
+        } else {
+            0
+        };
+        let groups = fuse_requests(&sizes, threshold);
+        // lower every group first (planning borrows the communicator
+        // mutably), then admit the programs into one shared session
+        let mut lowered = Vec::with_capacity(groups.len());
+        for group in groups {
+            let bytes = group.total_bytes;
+            let chunk = self.current_chunk(kind, bytes);
+            let (program, _, strategy) = self.build_program(kind, bytes, chunk)?;
+            let issue_us = group
+                .members
+                .iter()
+                .map(|&i| requests[i].1)
+                .fold(0.0f64, f64::max);
+            lowered.push((group, issue_us, program, strategy));
+        }
+        let mut session = self.sim.session();
+        for (_, issue_us, program, _) in &lowered {
+            session.admit(program.clone(), *issue_us);
+        }
+        let report = session
+            .run_with_scratch(&mut self.engine_scratch)
+            .map_err(|e| BlinkError::Simulation(e.to_string()))?;
+        let mut out = Vec::with_capacity(lowered.len());
+        for (idx, (group, issue_us, program, strategy)) in lowered.into_iter().enumerate() {
+            let span = &report.programs[idx];
+            out.push(StreamedGroup {
+                group,
+                issue_us,
+                end_us: span.end_us,
+                program,
+                op_spans: span.op_spans.clone(),
+                strategy,
+            });
+        }
+        Ok(StreamedRun {
+            finish_us: report.total_us.max(ready_floor),
+            groups: out,
+        })
+    }
+
+    /// [`Communicator::run_streamed`] plus the full oracle battery: for
+    /// every admitted program the fused execution is replayed through
+    /// [`blink_sim::check_collective`] over its whole (concatenated) space,
+    /// and then once more *per constituent* — the program restricted to the
+    /// member's window ([`crate::fusion::restrict_to_window`]) must deliver
+    /// that member's collective exactly. Interleaved programs are checked
+    /// along their own spans from the shared session, so the oracle proves
+    /// no contribution is lost even under cross-program contention.
+    ///
+    /// Returns the run plus every check (group checks first for each
+    /// program, then its per-member checks).
+    ///
+    /// # Errors
+    /// Same conditions as [`Communicator::run_streamed`].
+    pub fn run_streamed_checked(
+        &mut self,
+        kind: CollectiveKind,
+        requests: &[(u64, f64)],
+    ) -> Result<(StreamedRun, Vec<ValueCheck>)> {
+        let run = self.run_streamed(kind, requests)?;
+        let mut checks = Vec::new();
+        for g in &run.groups {
+            checks.push(check_collective(
+                kind.spec(),
+                &g.program,
+                &g.op_spans,
+                &self.allocation,
+                g.group.total_bytes,
+            ));
+            if g.group.is_fused() {
+                for k in 0..g.group.members.len() {
+                    let window = g.group.window(k);
+                    let restricted = restrict_to_window(&g.program, window);
+                    checks.push(check_collective(
+                        kind.spec(),
+                        &restricted,
+                        &g.op_spans,
+                        &self.allocation,
+                        window.bytes,
+                    ));
+                }
+            }
+        }
+        Ok((run, checks))
     }
 
     /// The chunk size the next call with this signature would use (exposed for
@@ -890,5 +1062,90 @@ mod tests {
             assert!(report.elapsed_us > 0.0, "{report}");
             assert!(report.algorithmic_bandwidth_gbps > 1.0, "{report}");
         }
+    }
+
+    #[test]
+    fn streamed_allreduces_fuse_small_requests_and_pass_the_oracle() {
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let mut comm = Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        // four sub-threshold buckets and one large one, in ready order
+        let requests = [
+            (mb(1), 0.0),
+            (mb(1), 10.0),
+            (mb(1), 20.0),
+            (mb(1), 30.0),
+            (mb(32), 40.0),
+        ];
+        let (run, checks) = comm
+            .run_streamed_checked(CollectiveKind::AllReduce, &requests)
+            .unwrap();
+        assert!(
+            run.fused_programs() >= 1,
+            "small buckets must batch: {:?}",
+            run.groups.iter().map(|g| &g.group).collect::<Vec<_>>()
+        );
+        assert!(run.groups.len() < requests.len());
+        for check in &checks {
+            assert!(check.is_correct(), "{check:?}");
+        }
+        // fused groups carry every member's bytes as one program
+        let fused = run.groups.iter().find(|g| g.group.is_fused()).unwrap();
+        assert_eq!(fused.group.total_bytes, 4 * mb(1));
+        // no program starts before its members are ready
+        for g in &run.groups {
+            for &(start, _) in &g.op_spans {
+                assert!(start + 1e-9 >= g.issue_us);
+            }
+        }
+        assert!(run.finish_us >= 40.0);
+    }
+
+    #[test]
+    fn streamed_requests_contend_inside_one_session() {
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let mut comm = Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        let alone = comm.all_reduce(mb(32)).unwrap().elapsed_us;
+        // two full-size allreduces issued together share every link, so the
+        // session cannot finish in one collective's time...
+        let run = comm
+            .run_streamed(CollectiveKind::AllReduce, &[(mb(32), 0.0), (mb(32), 0.0)])
+            .unwrap();
+        assert_eq!(run.groups.len(), 2);
+        assert!(
+            run.finish_us > 1.5 * alone,
+            "contention must serialise shared links: {} vs {alone}",
+            run.finish_us
+        );
+        // ...but FIFO sharing wastes nothing catastrophic either
+        assert!(run.finish_us < 3.0 * alone);
+    }
+
+    #[test]
+    fn gathering_collectives_never_fuse() {
+        let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let mut comm = Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        let run = comm
+            .run_streamed(CollectiveKind::AllGather, &[(mb(1), 0.0), (mb(1), 0.0)])
+            .unwrap();
+        assert_eq!(run.groups.len(), 2);
+        assert!(run.groups.iter().all(|g| !g.group.is_fused()));
+    }
+
+    #[test]
+    fn trivial_streamed_runs_complete_at_their_ready_times() {
+        let mut comm =
+            Communicator::new(dgx1v(), &[GpuId(2)], CommunicatorOptions::default()).unwrap();
+        let run = comm
+            .run_streamed(CollectiveKind::AllReduce, &[(mb(1), 12.5)])
+            .unwrap();
+        assert_eq!(run.finish_us, 12.5);
+        assert!(run.groups.is_empty());
+        let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let mut comm = Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        let run = comm
+            .run_streamed(CollectiveKind::AllReduce, &[(0, 3.0), (0, 9.0)])
+            .unwrap();
+        assert_eq!(run.finish_us, 9.0);
+        assert!(run.groups.is_empty());
     }
 }

@@ -24,6 +24,14 @@
 //!   Gather, Reduce, AllGather, ReduceScatter, AllReduce) and their reports.
 //! * [`autotune`] — the multiplicative-increase / additive-decrease automatic
 //!   chunk-size selection (Section 4.2.1, Figure 12).
+//! * [`fusion`] — batching of small concurrent same-kind collectives into one
+//!   segmented program over their concatenated logical space (the SparCML
+//!   observation applied to per-layer gradient buckets), with a window
+//!   restriction that lets the value-level oracle prove a fused run
+//!   contribution-equivalent to its unfused constituents.
+//!   [`Communicator::run_streamed`] applies the pass under a size threshold
+//!   and executes the resulting programs concurrently on a
+//!   `blink_sim` streaming [`Session`](blink_sim::Session).
 //! * [`hybrid`] — balanced hybrid PCIe + NVLink transfers (Section 3.4,
 //!   Equation 8, Figure 21).
 //! * [`onehop`] — the DGX-2 / NVSwitch planner: `m` one-hop trees, one rooted
@@ -55,6 +63,7 @@ pub mod autotune;
 pub mod codegen;
 pub mod collective;
 pub mod communicator;
+pub mod fusion;
 pub mod hybrid;
 pub mod multiserver;
 pub mod onehop;
@@ -65,7 +74,10 @@ pub use autotune::{
 };
 pub use codegen::{CodeGen, CodeGenOptions};
 pub use collective::{CollectiveKind, CollectiveReport};
-pub use communicator::{Communicator, CommunicatorOptions, ReplanReport};
+pub use communicator::{
+    Communicator, CommunicatorOptions, ReplanReport, StreamedGroup, StreamedRun,
+};
+pub use fusion::{fuse_requests, fusible, restrict_to_window, FusedGroup};
 pub use treegen::{
     new_shared_scratch, parallel_map, LinkSelection, PlannerScratch, ScratchGuard, ScratchPool,
     SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan,

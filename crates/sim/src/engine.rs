@@ -25,10 +25,41 @@
 //! live in an [`EngineScratch`] that callers reuse across runs.
 //!
 //! The flat-path schedule is **bit-identical** to the direct implementation
-//! ([`Simulator::run_reference`], kept as the allocating reference the perf
-//! harness and the regression tests compare against): interning only changes
-//! how a resource's free time is looked up, never which resources an op
-//! occupies, how long it runs, or how ties are broken.
+//! ([`Simulator::run_reference`], kept as the allocating reference the
+//! regression tests compare against): interning only changes how a resource's
+//! free time is looked up, never which resources an op occupies, how long it
+//! runs, or how ties are broken.
+//!
+//! # Streaming sessions: the admission / contention / determinism contract
+//!
+//! A [`Session`] generalises single-program execution to a *streaming
+//! executor*: several in-flight programs share one simulated machine.
+//!
+//! * **Admission.** [`Session::admit`] queues a program with an *issue
+//!   timestamp* (µs). No op of the program may start before its issue time;
+//!   ops become ready at `max(issue, dependency completion)` exactly as in
+//!   the single-program scheduler. Issue timestamps are how callers express
+//!   cross-program ordering (e.g. "this bucket's gradient is ready at t"):
+//!   programs themselves stay independent DAGs.
+//! * **Link sharing.** All admitted programs are scheduled over **one**
+//!   interned resource table, so contending ops FIFO-serialise on every
+//!   shared resource — directed links, switch ports, NICs, compute engines —
+//!   at op (chunk) granularity. At that granularity interleaved
+//!   serialisation is the engine's stand-in for fair time-sharing of a link,
+//!   identical to how two streams of one program already contend.
+//!   Streams are namespaced per program: stream 3 of program A and stream 3
+//!   of program B never serialise against each other.
+//! * **Determinism.** The schedule is a pure function of the admitted
+//!   (program, issue) pairs and their admission order. Ties between
+//!   equally-ready ops are broken by global issue index (admission order
+//!   first, then op id within a program), so re-running a session — or
+//!   replaying it through a dirty scratch — reproduces every span bit for
+//!   bit.
+//! * **Single-program identity.** A session holding exactly one program
+//!   admitted at `t = 0` produces spans bit-identical to
+//!   [`Simulator::run_with_scratch`] on that program; the single-program
+//!   entry points are in fact thin wrappers over the session core, and the
+//!   regression tests pin the equivalence.
 //!
 //! # The scratch-reuse contract
 //!
@@ -120,6 +151,51 @@ impl RunReport {
     pub fn links_used(&self) -> usize {
         self.link_bytes.len()
     }
+}
+
+/// Timing of one admitted program inside a [`SessionReport`].
+#[derive(Debug, Clone)]
+pub struct ProgramSpan {
+    /// The issue timestamp the program was admitted with.
+    pub issue_us: f64,
+    /// When the program's first op actually started (equals `issue_us` for an
+    /// empty program).
+    pub start_us: f64,
+    /// When the program's last op finished (equals `issue_us` for an empty
+    /// program).
+    pub end_us: f64,
+    /// Per-op `(start, end)` times, indexed by the program's own op ids.
+    pub op_spans: Vec<(f64, f64)>,
+}
+
+impl ProgramSpan {
+    /// Time from admission to completion (includes any queueing delay spent
+    /// waiting on contended resources).
+    pub fn elapsed_us(&self) -> f64 {
+        self.end_us - self.issue_us
+    }
+
+    /// Time the program's first op spent waiting behind other traffic after
+    /// its issue timestamp.
+    pub fn queue_delay_us(&self) -> f64 {
+        self.start_us - self.issue_us
+    }
+}
+
+/// Result of executing a [`Session`]: per-program spans plus session-wide
+/// link accounting (the per-link maps aggregate traffic from *all* admitted
+/// programs).
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// End-to-end makespan of the session in microseconds, measured from
+    /// `t = 0`: the latest program completion time.
+    pub total_us: f64,
+    /// One entry per admitted program, in admission order.
+    pub programs: Vec<ProgramSpan>,
+    /// Busy time per directed link actually used, in microseconds.
+    pub link_busy_us: BTreeMap<(GpuId, GpuId, LinkClass), f64>,
+    /// Bytes moved per directed link actually used.
+    pub link_bytes: BTreeMap<(GpuId, GpuId, LinkClass), u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -280,9 +356,14 @@ impl Simulator {
                     LinkClass::Network => p.network_latency_us,
                     _ => p.link_latency_us,
                 };
-                p.op_launch_overhead_us + latency + SimParams::transfer_us(kind.payload_bytes(), bw)
+                p.op_launch_overhead_us
+                    + latency
+                    + SimParams::transfer_us(kind.payload_bytes(), bw)
+                    + p.segment_overhead_us(kind.segments().len())
             }
-            OpKind::Reduce { .. } => p.reduce_us(kind.payload_bytes()),
+            OpKind::Reduce { .. } => {
+                p.reduce_us(kind.payload_bytes()) + p.segment_overhead_us(kind.segments().len())
+            }
             OpKind::Compute { duration_us, .. } => p.op_launch_overhead_us + duration_us,
             OpKind::TogglePeerAccess { gpus } => f64::from(gpus) * p.dpa_per_gpu_us,
         })
@@ -375,6 +456,10 @@ impl Simulator {
     /// The returned report is bit-identical to [`Simulator::run_reference`]
     /// on the same program (pinned by regression tests).
     ///
+    /// This is a thin wrapper over the session core: a one-program session
+    /// admitted at `t = 0` (see the module docs for the contract that makes
+    /// the wrapper exact).
+    ///
     /// # Errors
     /// Same conditions as [`Simulator::run`].
     pub fn run_with_scratch(
@@ -382,14 +467,46 @@ impl Simulator {
         program: &Program,
         scratch: &mut EngineScratch,
     ) -> Result<RunReport, SimError> {
-        program
-            .validate()
-            .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
-        let ops = program.ops();
-        let n = ops.len();
+        let mut session = self.run_entries(&[(program, 0.0)], scratch)?;
+        let prog = session
+            .programs
+            .pop()
+            .expect("exactly one admitted program");
+        Ok(RunReport {
+            total_us: session.total_us,
+            op_spans: prog.op_spans,
+            link_busy_us: session.link_busy_us,
+            link_bytes: session.link_bytes,
+        })
+    }
+
+    /// The session core: schedules every op of every `(program, issue_us)`
+    /// entry over one shared interned resource table. Single-program
+    /// execution is the `entries.len() == 1`, `issue_us == 0.0` special case.
+    fn run_entries(
+        &self,
+        entries: &[(&Program, f64)],
+        scratch: &mut EngineScratch,
+    ) -> Result<SessionReport, SimError> {
+        for (program, issue) in entries {
+            program
+                .validate()
+                .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
+            if !issue.is_finite() || *issue < 0.0 {
+                return Err(SimError::InvalidProgram(format!(
+                    "issue timestamp {issue} must be finite and non-negative"
+                )));
+            }
+        }
+        let n: usize = entries.iter().map(|(p, _)| p.len()).sum();
+        // Global op id = op_base[program index] + local op id; the scan's
+        // tie-break on global id is what makes admission order part of the
+        // determinism contract.
+        let mut op_base: Vec<usize> = Vec::with_capacity(entries.len() + 1);
         let s = scratch;
 
-        // ---- prepass: durations, interned per-op resource lists (CSR) ----
+        // ---- prepass: durations, interned per-op resource lists (CSR),
+        //      per-program stream namespacing, same-stream FIFO deps ----
         s.res_ids.clear();
         s.link_ids.clear();
         s.links.clear();
@@ -398,58 +515,71 @@ impl Simulator {
         s.durations.clear();
         s.op_link.clear();
         s.op_bytes.clear();
-        for op in ops {
-            s.op_res_start.push(s.op_res.len() as u32);
-            s.durations.push(self.op_duration(&op.kind)?);
-            let res_ids = &mut s.res_ids;
-            let op_res = &mut s.op_res;
-            self.for_each_resource(&op.kind, op.stream, |r| {
-                let next = res_ids.len() as u32;
-                let id = *res_ids.entry(r).or_insert(next);
-                op_res.push(id);
-            })?;
-            if let OpKind::Copy {
-                src, dst, class, ..
-            } = op.kind
-            {
-                let next = s.links.len() as u32;
-                let id = *s.link_ids.entry((src, dst, class)).or_insert(next);
-                if id == next {
-                    s.links.push((src, dst, class));
-                }
-                s.op_link.push(id);
-                s.op_bytes.push(op.kind.payload_bytes());
-            } else {
-                s.op_link.push(NO_LINK);
-                s.op_bytes.push(0);
-            }
-        }
-        s.op_res_start.push(s.op_res.len() as u32);
-
-        // ---- implicit same-stream FIFO dependencies ----
         s.extra_dep.clear();
         s.extra_dep.resize(n, u32::MAX);
         s.last_in_stream.clear();
-        for (i, op) in ops.iter().enumerate() {
-            if let Some(&prev) = s.last_in_stream.get(&op.stream) {
-                s.extra_dep[i] = prev;
+        let mut stream_base = 0usize;
+        let mut g = 0usize;
+        for (program, _) in entries {
+            op_base.push(g);
+            let mut max_stream: Option<usize> = None;
+            for op in program.ops() {
+                s.op_res_start.push(s.op_res.len() as u32);
+                s.durations.push(self.op_duration(&op.kind)?);
+                // Namespace streams per program so two programs' stream 0
+                // never FIFO-serialise against each other.
+                let stream = StreamId(stream_base + op.stream.0);
+                max_stream = Some(max_stream.map_or(op.stream.0, |m| m.max(op.stream.0)));
+                let res_ids = &mut s.res_ids;
+                let op_res = &mut s.op_res;
+                self.for_each_resource(&op.kind, stream, |r| {
+                    let next = res_ids.len() as u32;
+                    let id = *res_ids.entry(r).or_insert(next);
+                    op_res.push(id);
+                })?;
+                if let OpKind::Copy {
+                    src, dst, class, ..
+                } = op.kind
+                {
+                    let next = s.links.len() as u32;
+                    let id = *s.link_ids.entry((src, dst, class)).or_insert(next);
+                    if id == next {
+                        s.links.push((src, dst, class));
+                    }
+                    s.op_link.push(id);
+                    s.op_bytes.push(op.kind.payload_bytes());
+                } else {
+                    s.op_link.push(NO_LINK);
+                    s.op_bytes.push(0);
+                }
+                if let Some(&prev) = s.last_in_stream.get(&stream) {
+                    s.extra_dep[g] = prev;
+                }
+                s.last_in_stream.insert(stream, g as u32);
+                g += 1;
             }
-            s.last_in_stream.insert(op.stream, i as u32);
+            stream_base += max_stream.map_or(0, |m| m + 1);
         }
+        op_base.push(g);
+        s.op_res_start.push(s.op_res.len() as u32);
 
         // ---- dependency bookkeeping: in-degrees + children CSR ----
         s.indeg.clear();
         s.indeg.resize(n, 0);
         s.child_start.clear();
         s.child_start.resize(n + 1, 0);
-        for (i, op) in ops.iter().enumerate() {
-            for &d in &op.deps {
-                s.indeg[i] += 1;
-                s.child_start[d.0 + 1] += 1;
-            }
-            if s.extra_dep[i] != u32::MAX {
-                s.indeg[i] += 1;
-                s.child_start[s.extra_dep[i] as usize + 1] += 1;
+        for (p_idx, (program, _)) in entries.iter().enumerate() {
+            let base = op_base[p_idx];
+            for (i, op) in program.ops().iter().enumerate() {
+                let gi = base + i;
+                for &d in &op.deps {
+                    s.indeg[gi] += 1;
+                    s.child_start[base + d.0 + 1] += 1;
+                }
+                if s.extra_dep[gi] != u32::MAX {
+                    s.indeg[gi] += 1;
+                    s.child_start[s.extra_dep[gi] as usize + 1] += 1;
+                }
             }
         }
         for k in 1..=n {
@@ -459,16 +589,20 @@ impl Simulator {
         s.children.resize(s.child_start[n] as usize, 0);
         s.child_cursor.clear();
         s.child_cursor.extend_from_slice(&s.child_start[..n]);
-        for (i, op) in ops.iter().enumerate() {
-            for &d in &op.deps {
-                let c = &mut s.child_cursor[d.0];
-                s.children[*c as usize] = i as u32;
-                *c += 1;
-            }
-            if s.extra_dep[i] != u32::MAX {
-                let c = &mut s.child_cursor[s.extra_dep[i] as usize];
-                s.children[*c as usize] = i as u32;
-                *c += 1;
+        for (p_idx, (program, _)) in entries.iter().enumerate() {
+            let base = op_base[p_idx];
+            for (i, op) in program.ops().iter().enumerate() {
+                let gi = base + i;
+                for &d in &op.deps {
+                    let c = &mut s.child_cursor[base + d.0];
+                    s.children[*c as usize] = gi as u32;
+                    *c += 1;
+                }
+                if s.extra_dep[gi] != u32::MAX {
+                    let c = &mut s.child_cursor[s.extra_dep[gi] as usize];
+                    s.children[*c as usize] = gi as u32;
+                    *c += 1;
+                }
             }
         }
 
@@ -482,9 +616,16 @@ impl Simulator {
         s.ready_time.clear();
         s.ready_time.resize(n, 0.0);
         s.heap.clear();
-        for (i, &deg) in s.indeg.iter().enumerate() {
-            if deg == 0 {
-                s.heap.push(Ready { time: 0.0, id: i });
+        for (p_idx, (_, issue)) in entries.iter().enumerate() {
+            // Roots become ready at their program's issue timestamp; every
+            // other op inherits `>= issue` transitively through its deps.
+            for gi in op_base[p_idx]..op_base[p_idx + 1] {
+                if s.indeg[gi] == 0 {
+                    s.heap.push(Ready {
+                        time: *issue,
+                        id: gi,
+                    });
+                }
             }
         }
 
@@ -568,19 +709,48 @@ impl Simulator {
             link_busy.insert(key, s.link_busy[i]);
             link_bytes.insert(key, s.link_bytes[i]);
         }
-        Ok(RunReport {
+        let mut programs = Vec::with_capacity(entries.len());
+        for (p_idx, (_, issue)) in entries.iter().enumerate() {
+            let (lo, hi) = (op_base[p_idx], op_base[p_idx + 1]);
+            let spans = op_spans[lo..hi].to_vec();
+            let (mut start, mut end) = (*issue, *issue);
+            for (k, &(st, en)) in spans.iter().enumerate() {
+                start = if k == 0 { st } else { start.min(st) };
+                end = end.max(en);
+            }
+            total = total.max(end);
+            programs.push(ProgramSpan {
+                issue_us: *issue,
+                start_us: start,
+                end_us: end,
+                op_spans: spans,
+            });
+        }
+        Ok(SessionReport {
             total_us: total,
-            op_spans,
+            programs,
             link_busy_us: link_busy,
             link_bytes,
         })
     }
 
+    /// Creates an empty streaming [`Session`] over this simulator. Admit
+    /// programs with [`Session::admit`], then execute them all with
+    /// [`Session::run`]; see the module docs for the
+    /// admission/contention/determinism contract.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            sim: self,
+            entries: Vec::new(),
+        }
+    }
+
     /// The pre-interning scheduler, preserved verbatim: identical list
     /// scheduling over ordered maps with per-candidate resource-list
-    /// allocation. It is the baseline `bench_sim` measures
-    /// [`Simulator::run_with_scratch`] against, and the regression tests pin
-    /// the two bit-identical on every program.
+    /// allocation. Retired from `bench_sim`'s default measurement path (the
+    /// recorded BENCH trajectory now carries that comparison); it stays
+    /// compiled as the oracle the regression tests pin
+    /// [`Simulator::run_with_scratch`] bit-identical against.
     ///
     /// # Errors
     /// Same conditions as [`Simulator::run`].
@@ -704,6 +874,69 @@ impl Simulator {
             link_busy_us: link_busy,
             link_bytes,
         })
+    }
+}
+
+/// A streaming execution session: multiple in-flight programs sharing one
+/// simulated machine.
+///
+/// Admit each program with its issue timestamp, then [`Session::run`] (or
+/// [`Session::run_with_scratch`] in hot loops) schedules every op of every
+/// program over one shared interned resource table, so concurrent programs
+/// contend for links, ports, NICs and compute engines exactly like the
+/// streams of a single program do. The module docs spell out the full
+/// admission / link-sharing / determinism contract; the headline guarantees
+/// are FIFO serialisation at op granularity on shared resources and spans
+/// that are a pure function of the admitted `(program, issue)` pairs and
+/// their admission order.
+#[derive(Debug, Clone)]
+pub struct Session<'a> {
+    sim: &'a Simulator,
+    entries: Vec<(Program, f64)>,
+}
+
+impl Session<'_> {
+    /// Admits `program` into the session with issue timestamp `issue_us`
+    /// (microseconds; must be finite and non-negative) and returns the
+    /// program's index into [`SessionReport::programs`].
+    pub fn admit(&mut self, program: Program, issue_us: f64) -> usize {
+        self.entries.push((program, issue_us));
+        self.entries.len() - 1
+    }
+
+    /// Number of admitted programs.
+    pub fn num_programs(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no program has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The admitted `(program, issue_us)` entries, in admission order.
+    pub fn programs(&self) -> &[(Program, f64)] {
+        &self.entries
+    }
+
+    /// Executes every admitted program, allocating a fresh scratch. Loops
+    /// that run many sessions should hold an [`EngineScratch`] and call
+    /// [`Session::run_with_scratch`].
+    ///
+    /// # Errors
+    /// Fails under the same conditions as [`Simulator::run`] on any admitted
+    /// program, or if an issue timestamp is negative, NaN or infinite.
+    pub fn run(&self) -> Result<SessionReport, SimError> {
+        self.run_with_scratch(&mut EngineScratch::new())
+    }
+
+    /// Executes every admitted program over reusable `scratch` buffers.
+    ///
+    /// # Errors
+    /// Same conditions as [`Session::run`].
+    pub fn run_with_scratch(&self, scratch: &mut EngineScratch) -> Result<SessionReport, SimError> {
+        let refs: Vec<(&Program, f64)> = self.entries.iter().map(|(p, t)| (p, *t)).collect();
+        self.sim.run_entries(&refs, scratch)
     }
 }
 
@@ -1101,6 +1334,179 @@ mod tests {
         let reference = sim.run_reference(&program).unwrap();
         let fast = sim.run(&program).unwrap();
         assert_reports_bit_identical(&reference, &fast);
+    }
+
+    #[test]
+    fn a_segmented_copy_charges_per_segment_overhead_when_calibrated() {
+        let params = SimParams {
+            per_segment_overhead_us: 0.5,
+            ..SimParams::default()
+        };
+        let sim = Simulator::new(dgx1v(), params);
+        let mut b = ProgramBuilder::new();
+        let s = b.new_stream();
+        b.copy_segs(
+            GpuId(0),
+            GpuId(3),
+            vec![
+                Segment::new(0, mb(10)),
+                Segment::new(mb(30), mb(10)),
+                Segment::new(mb(90), mb(10)),
+            ],
+            LinkClass::NvLink,
+            s,
+            vec![],
+            "seg",
+        );
+        let prog = b.build().unwrap();
+        let segged = sim.run(&prog).unwrap().total_us;
+        let mut b = ProgramBuilder::new();
+        let s = b.new_stream();
+        b.copy(GpuId(0), GpuId(3), mb(30), LinkClass::NvLink, s, vec![], "");
+        let contiguous = sim.run(&b.build().unwrap()).unwrap().total_us;
+        // three ranges = two extra descriptors beyond the first
+        assert!(
+            (segged - (contiguous + 1.0)).abs() < 1e-9,
+            "segged {segged} vs contiguous {contiguous}"
+        );
+        // the reference scheduler charges the identical duration
+        let reference = sim.run_reference(&prog).unwrap().total_us;
+        assert_eq!(segged.to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn a_single_program_session_is_bit_identical_to_the_single_program_path() {
+        let (topo, program) = mixed_program();
+        let sim = Simulator::with_defaults(topo);
+        let single = sim.run(&program).unwrap();
+        let mut session = sim.session();
+        session.admit(program, 0.0);
+        let report = session.run().unwrap();
+        assert_eq!(report.programs.len(), 1);
+        let prog = &report.programs[0];
+        assert_eq!(report.total_us.to_bits(), single.total_us.to_bits());
+        assert_eq!(prog.op_spans.len(), single.op_spans.len());
+        for (i, (x, y)) in prog.op_spans.iter().zip(&single.op_spans).enumerate() {
+            assert_eq!(x.0.to_bits(), y.0.to_bits(), "op {i} start");
+            assert_eq!(x.1.to_bits(), y.1.to_bits(), "op {i} end");
+        }
+        assert_eq!(report.link_bytes, single.link_bytes);
+        assert_eq!(prog.issue_us, 0.0);
+        assert_eq!(prog.end_us.to_bits(), single.total_us.to_bits());
+    }
+
+    #[test]
+    fn concurrent_programs_fifo_serialize_on_a_shared_link() {
+        let sim = Simulator::with_defaults(dgx1v());
+        let one_copy = || {
+            let mut b = ProgramBuilder::new();
+            let s = b.new_stream();
+            b.copy(GpuId(0), GpuId(1), mb(50), LinkClass::NvLink, s, vec![], "");
+            b.build().unwrap()
+        };
+        let alone = sim.run(&one_copy()).unwrap().total_us;
+        let mut session = sim.session();
+        session.admit(one_copy(), 0.0);
+        session.admit(one_copy(), 0.0);
+        let report = session.run().unwrap();
+        // same directed link: the second program queues behind the first
+        // (admission order breaks the tie), so the session takes ~2x
+        assert!(
+            report.total_us > 1.9 * alone,
+            "total {} vs alone {alone}",
+            report.total_us
+        );
+        let (a, b) = (&report.programs[0], &report.programs[1]);
+        assert!(a.end_us <= b.start_us + 1e-9, "admission order broke");
+        assert_eq!(a.queue_delay_us(), 0.0);
+        assert!(b.queue_delay_us() > 0.9 * alone);
+        // both programs' traffic lands on the one shared link
+        assert_eq!(
+            report.link_bytes[&(GpuId(0), GpuId(1), LinkClass::NvLink)],
+            2 * mb(50)
+        );
+    }
+
+    #[test]
+    fn concurrent_programs_on_disjoint_links_overlap() {
+        let sim = Simulator::with_defaults(dgx1v());
+        let copy_between = |src: usize, dst: usize| {
+            let mut b = ProgramBuilder::new();
+            let s = b.new_stream();
+            b.copy(
+                GpuId(src),
+                GpuId(dst),
+                mb(50),
+                LinkClass::NvLink,
+                s,
+                vec![],
+                "",
+            );
+            b.build().unwrap()
+        };
+        let alone = sim.run(&copy_between(0, 1)).unwrap().total_us;
+        let mut session = sim.session();
+        session.admit(copy_between(0, 1), 0.0);
+        session.admit(copy_between(5, 7), 0.0);
+        let report = session.run().unwrap();
+        assert!(
+            report.total_us < 1.2 * alone,
+            "disjoint programs must overlap: {} vs {alone}",
+            report.total_us
+        );
+    }
+
+    #[test]
+    fn issue_timestamps_floor_program_starts() {
+        let sim = Simulator::with_defaults(dgx1v());
+        let mut b = ProgramBuilder::new();
+        let s = b.new_stream();
+        b.copy(GpuId(0), GpuId(1), mb(10), LinkClass::NvLink, s, vec![], "");
+        let prog = b.build().unwrap();
+        let alone = sim.run(&prog).unwrap().total_us;
+        let mut session = sim.session();
+        session.admit(prog, 1000.0);
+        let report = session.run().unwrap();
+        let p = &report.programs[0];
+        assert_eq!(p.start_us, 1000.0);
+        assert!((p.elapsed_us() - alone).abs() < 1e-9);
+        assert!((report.total_us - (1000.0 + alone)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_issue_timestamps_are_rejected() {
+        let sim = Simulator::with_defaults(dgx1v());
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let mut session = sim.session();
+            session.admit(ProgramBuilder::new().build().unwrap(), bad);
+            assert!(matches!(
+                session.run().unwrap_err(),
+                SimError::InvalidProgram(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn a_dirty_scratch_changes_nothing_for_sessions() {
+        let (topo, multi_prog) = mixed_program();
+        let sim = Simulator::with_defaults(topo);
+        let mut scratch = EngineScratch::new();
+        // dirty the scratch with single-program runs first
+        sim.run_with_scratch(&multi_prog, &mut scratch).unwrap();
+        let mut session = sim.session();
+        session.admit(multi_prog.clone(), 0.0);
+        session.admit(multi_prog, 7.5);
+        let dirty = session.run_with_scratch(&mut scratch).unwrap();
+        let fresh = session.run().unwrap();
+        assert_eq!(dirty.total_us.to_bits(), fresh.total_us.to_bits());
+        for (a, b) in dirty.programs.iter().zip(&fresh.programs) {
+            assert_eq!(a.start_us.to_bits(), b.start_us.to_bits());
+            assert_eq!(a.end_us.to_bits(), b.end_us.to_bits());
+            for (x, y) in a.op_spans.iter().zip(&b.op_spans) {
+                assert_eq!(x.0.to_bits(), y.0.to_bits());
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -34,7 +34,14 @@
 //!   ([`Simulator::run_reference`](engine::Simulator::run_reference)). The
 //!   scratch obeys the same buffers-not-state / high-water-mark / `Send`
 //!   contract as `blink-graph`'s planning scratches (see [`engine`]'s module
-//!   docs).
+//!   docs). The engine is also a **streaming executor**: a
+//!   [`Session`](engine::Session) admits multiple in-flight programs with
+//!   issue timestamps and schedules them over one shared resource table, so
+//!   concurrent collectives contend for links (FIFO serialisation at op
+//!   granularity) while a [`SessionReport`](engine::SessionReport) breaks out
+//!   per-program and end-to-end spans; the session contract — admission,
+//!   link sharing, determinism, bit-identity to the single-program path when
+//!   one program is in flight — is specified in [`engine`]'s module docs.
 //! * [`params`] — calibration constants ([`SimParams`](params::SimParams)),
 //!   documented against the paper's own micro-benchmarks (Section 2.2 and
 //!   Appendix A).
@@ -61,7 +68,7 @@ pub mod patterns;
 pub mod program;
 pub mod semantics;
 
-pub use engine::{EngineScratch, RunReport, Simulator};
+pub use engine::{EngineScratch, ProgramSpan, RunReport, Session, SessionReport, Simulator};
 pub use params::SimParams;
 pub use program::{LinkClass, Op, OpId, OpKind, Program, ProgramBuilder, Segment, StreamId};
 pub use semantics::{check_collective, CollectiveSpec, Contributions, ValueCheck, Violation};

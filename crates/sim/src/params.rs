@@ -41,6 +41,18 @@ pub struct SimParams {
     /// Per-message latency of a cross-server network transfer in microseconds
     /// (NIC + switch traversal), applied on top of the launch overhead.
     pub network_latency_us: f64,
+    /// Extra cost per payload segment *beyond the first* of a data-moving op,
+    /// in microseconds.
+    ///
+    /// A multi-segment op models one batched CUDA call (one launch overhead,
+    /// summed transfer time), but a real driver still walks one descriptor per
+    /// non-contiguous range, so calibration may want to distinguish the
+    /// batched-copy regime from the per-range regime. The default is 0.0 —
+    /// segment layout does not change the timing of equal volume — which keeps
+    /// the engine bit-identical to the pre-existing model; `bench_sim`'s
+    /// calibration defaults thread a non-zero value through to surface the
+    /// term.
+    pub per_segment_overhead_us: f64,
 }
 
 impl Default for SimParams {
@@ -51,6 +63,7 @@ impl Default for SimParams {
             dpa_per_gpu_us: 270.0,
             link_latency_us: 1.0,
             network_latency_us: 15.0,
+            per_segment_overhead_us: 0.0,
         }
     }
 }
@@ -68,6 +81,13 @@ impl SimParams {
     /// Duration of a local reduction over `bytes`.
     pub fn reduce_us(&self, bytes: u64) -> f64 {
         self.op_launch_overhead_us + Self::transfer_us(bytes, self.reduce_bandwidth_gbps)
+    }
+
+    /// Extra descriptor-walk cost of a data-moving op carrying `segments`
+    /// payload ranges: the first range rides on the launch overhead, each
+    /// further range costs [`SimParams::per_segment_overhead_us`].
+    pub fn segment_overhead_us(&self, segments: usize) -> f64 {
+        self.per_segment_overhead_us * segments.saturating_sub(1) as f64
     }
 }
 
@@ -97,5 +117,18 @@ mod tests {
         let t = p.reduce_us(1 << 20);
         assert!(t > p.op_launch_overhead_us);
         assert!(t < 20.0 + p.op_launch_overhead_us);
+    }
+
+    #[test]
+    fn segment_overhead_defaults_to_zero_and_charges_extra_ranges_only() {
+        let p = SimParams::default();
+        assert_eq!(p.segment_overhead_us(3), 0.0);
+        let p = SimParams {
+            per_segment_overhead_us: 0.5,
+            ..SimParams::default()
+        };
+        assert_eq!(p.segment_overhead_us(0), 0.0);
+        assert_eq!(p.segment_overhead_us(1), 0.0);
+        assert_eq!(p.segment_overhead_us(4), 1.5);
     }
 }

@@ -146,6 +146,17 @@ impl TopologyDelta {
         self.added_links.is_empty() && self.added_gpus.is_empty()
     }
 
+    /// Whether the delta only adds capacity (no removed links or GPUs). Under
+    /// a pure growth the pre-event topology persists verbatim as a subgraph
+    /// of the post-event one, so every certificate proved against it is still
+    /// a true statement about live hardware — plan caches keep entries for
+    /// the old shape alive under their old fingerprint instead of dropping
+    /// them (a job that grows by a server keeps re-hitting the original
+    /// servers' plans).
+    pub fn is_pure_growth(&self) -> bool {
+        self.removed_links.is_empty() && self.removed_gpus.is_empty()
+    }
+
     /// The directed GPU pairs losing at least one link, including every pair
     /// incident to a removed GPU as far as the delta can tell (pairs of
     /// removed GPUs are representable only by the GPU id itself — callers
@@ -261,6 +272,7 @@ mod tests {
         let new = cluster.induced(&all).unwrap();
         let delta = TopologyDelta::between(&old, &new);
         assert!(!delta.is_pure_removal());
+        assert!(delta.is_pure_growth());
         assert_eq!(delta.added_gpus.len(), 8);
         assert!(delta.removed_links.is_empty() && delta.removed_gpus.is_empty());
         // the second server's NIC arrives with its GPUs

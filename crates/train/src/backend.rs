@@ -3,12 +3,35 @@
 //! Both backends run against the same [`blink_sim`] hardware model, which is
 //! what makes the Blink-vs-NCCL end-to-end comparison apples-to-apples.
 
-use blink_core::{Communicator, CommunicatorOptions};
+use blink_core::{CollectiveKind, Communicator, CommunicatorOptions};
 use blink_nccl::schedule::{build_program, NcclCollective, ScheduleOptions};
 use blink_nccl::{NcclPlan, NcclPlanner, PlannerOptions};
 use blink_sim::{EngineScratch, SimParams, Simulator};
 use blink_topology::{GpuId, Topology};
 use std::collections::BTreeMap;
+
+/// One gradient bucket of a training step: `bytes` of gradients that become
+/// ready for synchronisation `ready_us` into the iteration (wait-free
+/// backprop issues buckets as backward computes them, in reverse layer
+/// order — see `TrainingSimulator::bucket_issue`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketIssue {
+    /// Gradient bytes in this bucket.
+    pub bytes: u64,
+    /// When the bucket's last gradient is produced, µs from iteration start.
+    pub ready_us: f64,
+}
+
+/// Timing of one step's gradient synchronisation as executed by
+/// [`CollectiveBackend::step_allreduce`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepComm {
+    /// When the last bucket's AllReduce completes, µs from iteration start.
+    pub finish_us: f64,
+    /// How many fused (multi-bucket) programs the backend batched, if it
+    /// fuses at all (0 for blocking backends).
+    pub fused_programs: usize,
+}
 
 /// Something that can execute an AllReduce over a fixed GPU allocation and
 /// report how long it took.
@@ -24,6 +47,25 @@ pub trait CollectiveBackend {
             0.0
         } else {
             bytes as f64 / (us * 1000.0)
+        }
+    }
+    /// Executes one training step's gradient AllReduces, where bucket `i`
+    /// only exists from `buckets[i].ready_us` onwards.
+    ///
+    /// The default implementation is the blocking baseline every backend
+    /// gets for free: one AllReduce per bucket, issued in order, each
+    /// waiting for its bucket to be ready and for the previous AllReduce to
+    /// drain. Streaming backends override it to keep several collectives in
+    /// flight (and to fuse small ones), which is where the overlap win in
+    /// `BENCH_overlap.json` comes from.
+    fn step_allreduce(&mut self, buckets: &[BucketIssue]) -> StepComm {
+        let mut t = 0.0f64;
+        for b in buckets {
+            t = t.max(b.ready_us) + self.allreduce_us(b.bytes);
+        }
+        StepComm {
+            finish_us: t,
+            fused_programs: 0,
         }
     }
 }
@@ -68,6 +110,26 @@ impl CollectiveBackend for BlinkBackend {
             .unwrap_or(f64::INFINITY);
         self.cache.insert(bytes, t);
         t
+    }
+
+    /// Streaming override: buckets are handed to
+    /// [`Communicator::run_streamed`] with their ready times as issue
+    /// timestamps, so every AllReduce starts the moment its gradients exist,
+    /// concurrent collectives contend on the simulated links instead of
+    /// serialising behind each other, and sub-threshold buckets fuse into
+    /// one segmented program.
+    fn step_allreduce(&mut self, buckets: &[BucketIssue]) -> StepComm {
+        let requests: Vec<(u64, f64)> = buckets.iter().map(|b| (b.bytes, b.ready_us)).collect();
+        match self.comm.run_streamed(CollectiveKind::AllReduce, &requests) {
+            Ok(run) => StepComm {
+                finish_us: run.finish_us,
+                fused_programs: run.fused_programs(),
+            },
+            Err(_) => StepComm {
+                finish_us: f64::INFINITY,
+                fused_programs: 0,
+            },
+        }
     }
 }
 
@@ -239,6 +301,33 @@ mod tests {
         // crossing the tree threshold may add the second (and last) entry
         tiered.allreduce_us(1024);
         assert!(tiered.plan_tier.len() <= 2);
+    }
+
+    #[test]
+    fn streamed_step_never_loses_to_blocking_buckets() {
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let buckets: Vec<BucketIssue> = (0..8)
+            .map(|i| BucketIssue {
+                bytes: mb(25),
+                ready_us: 2000.0 * i as f64,
+            })
+            .collect();
+        // the trait-default blocking schedule, measured on its own backend
+        let mut blocking = BlinkBackend::new(dgx1v(), &alloc).unwrap();
+        let mut t = 0.0f64;
+        for b in &buckets {
+            t = t.max(b.ready_us) + blocking.allreduce_us(b.bytes);
+        }
+        let mut streamed = BlinkBackend::new(dgx1v(), &alloc).unwrap();
+        let step = streamed.step_allreduce(&buckets);
+        assert!(step.finish_us.is_finite());
+        assert!(
+            step.finish_us <= t * 1.001,
+            "streamed {} vs blocking {t}",
+            step.finish_us
+        );
+        // every bucket's AllReduce still starts no earlier than its gradients
+        assert!(step.finish_us >= buckets.last().unwrap().ready_us);
     }
 
     #[test]

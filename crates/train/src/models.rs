@@ -28,12 +28,40 @@ pub struct DnnModel {
     /// Forward+backward time per iteration per GPU on a V100, in
     /// milliseconds.
     pub compute_ms_v100: f64,
+    /// Number of trainable layers (drives the per-layer gradient profile
+    /// bucketed wait-free backprop issues from).
+    pub layers: u32,
 }
 
 impl DnnModel {
     /// Gradient bytes exchanged per iteration (fp32 parameters).
     pub fn gradient_bytes(&self) -> u64 {
         (self.params_millions * 1e6 * 4.0) as u64
+    }
+
+    /// Per-layer gradient sizes in forward order (input layer first), summing
+    /// exactly to [`DnnModel::gradient_bytes`].
+    ///
+    /// The profile is synthetic but shaped like the real CNNs: parameter mass
+    /// grows toward the output (the classifier end holds most of AlexNet's
+    /// and VGG's weights), with layer `i` of `L` weighted `i + 1`. It is a
+    /// pure function of the model, so bucket schedules derived from it are
+    /// deterministic. Sizes are assigned by cumulative rounding, which makes
+    /// the sum exact without a remainder fudge term.
+    pub fn layer_bytes(&self) -> Vec<u64> {
+        let total = self.gradient_bytes();
+        let l = u64::from(self.layers.max(1));
+        let weight_sum = l * (l + 1) / 2;
+        let mut out = Vec::with_capacity(l as usize);
+        let mut cum = 0u64;
+        let mut prev = 0u64;
+        for i in 0..l {
+            cum += i + 1;
+            let next = total * cum / weight_sum;
+            out.push(next - prev);
+            prev = next;
+        }
+        out
     }
 
     /// Compute time per iteration on the given generation, in microseconds.
@@ -52,6 +80,7 @@ impl DnnModel {
             batch_per_gpu: 128,
             compute_ms_p100: 60.0,
             compute_ms_v100: 34.0,
+            layers: 8,
         }
     }
 
@@ -63,6 +92,7 @@ impl DnnModel {
             batch_per_gpu: 128,
             compute_ms_p100: 95.0,
             compute_ms_v100: 52.0,
+            layers: 18,
         }
     }
 
@@ -74,6 +104,7 @@ impl DnnModel {
             batch_per_gpu: 64,
             compute_ms_p100: 185.0,
             compute_ms_v100: 98.0,
+            layers: 50,
         }
     }
 
@@ -85,6 +116,7 @@ impl DnnModel {
             batch_per_gpu: 32,
             compute_ms_p100: 210.0,
             compute_ms_v100: 115.0,
+            layers: 16,
         }
     }
 
@@ -119,6 +151,18 @@ mod tests {
             assert!(m.compute_us(GpuGeneration::V100) < m.compute_us(GpuGeneration::P100));
             assert!(m.compute_us(GpuGeneration::V100) > 0.0);
             assert!(m.batch_per_gpu > 0);
+        }
+    }
+
+    #[test]
+    fn layer_profile_sums_exactly_and_grows_toward_the_output() {
+        for m in DnnModel::paper_models() {
+            let layers = m.layer_bytes();
+            assert_eq!(layers.len(), m.layers as usize);
+            assert_eq!(layers.iter().sum::<u64>(), m.gradient_bytes());
+            // monotone non-decreasing: the classifier end is the heavy end
+            assert!(layers.windows(2).all(|w| w[0] <= w[1]), "{}", m.name);
+            assert!(layers.iter().all(|&b| b > 0), "{}", m.name);
         }
     }
 

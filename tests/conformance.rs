@@ -3,21 +3,24 @@
 //! fallback and the three-phase multi-server protocol — is executed on the
 //! engine and replayed through the value-level oracle
 //! (`blink_sim::semantics::check_collective`) over a matrix of collectives,
-//! topologies and randomly fragmented allocations. A passing run proves every
-//! byte of every collective landed exactly once where the contract requires.
+//! topologies and randomly fragmented allocations, including the streaming
+//! executor's fused batches (a fused segmented program must be
+//! contribution-equivalent to its unfused constituents). A passing run proves
+//! every byte of every collective landed exactly once where the contract
+//! requires.
 //!
 //! The second half is mutation-based negative coverage: for each collective
 //! kind a correct generated program is seeded with one defect — a dropped op,
-//! a halved `bytes`, a shifted offset, or a duplicated fold — and the oracle
-//! must reject it with a violation that pinpoints the damage. This is what
-//! keeps the gate honest: an oracle that accepts everything would pass the
-//! positive matrix too.
+//! a halved `bytes`, a shifted offset, a duplicated fold, or a dropped fused
+//! constituent — and the oracle must reject it with a violation that
+//! pinpoints the damage. This is what keeps the gate honest: an oracle that
+//! accepts everything would pass the positive matrix too.
 
 use blink_core::{
-    CodeGen, CodeGenOptions, CollectiveKind, Communicator, CommunicatorOptions, TreeGen,
-    TreeGenOptions,
+    restrict_to_window, CodeGen, CodeGenOptions, CollectiveKind, Communicator, CommunicatorOptions,
+    TreeGen, TreeGenOptions,
 };
-use blink_sim::{check_collective, OpId, OpKind, Program, ProgramBuilder, Simulator};
+use blink_sim::{check_collective, OpId, OpKind, Program, ProgramBuilder, Segment, Simulator};
 use blink_topology::presets::{dgx1p, dgx1v, dgx2, multi_server, ServerKind};
 use blink_topology::{GpuId, Topology};
 use rand::rngs::StdRng;
@@ -621,6 +624,202 @@ fn a_job_grown_by_a_server_replans_and_conforms() {
         "grown-by-a-server AllReduce via '{}' must be byte-exact:\n{check}",
         report.strategy
     );
+}
+
+/// Fusion matrix: for every fusible collective kind, a batch of small
+/// concurrent requests fuses into one segmented program, and that program is
+/// contribution-equivalent to its unfused constituents — the whole fused
+/// collective passes the oracle over the concatenated space, every
+/// constituent's window of it passes the *same* spec at the constituent's
+/// own byte count (via [`restrict_to_window`] along the fused run's spans),
+/// and a standalone unfused run of each constituent size passes that spec
+/// too. Fused and unfused sides meeting one contract is what licenses the
+/// trainer to substitute one for the other.
+#[test]
+fn fused_streamed_programs_match_their_unfused_constituents() {
+    let machine = dgx1v();
+    let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+    // four sub-threshold requests (default threshold 4 MiB) at staggered
+    // ready times, with deliberately unaligned byte counts
+    let requests: Vec<(u64, f64)> = [mb(1) + 3, mb(1) + 7, mb(1) + 11, mb(1) / 2]
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b, i as f64 * 25.0))
+        .collect();
+    for kind in [
+        CollectiveKind::AllReduce,
+        CollectiveKind::Broadcast { root: GpuId(0) },
+        CollectiveKind::Reduce { root: GpuId(0) },
+    ] {
+        let mut comm =
+            Communicator::new(machine.clone(), &alloc, CommunicatorOptions::default()).unwrap();
+        let (run, checks) = comm.run_streamed_checked(kind, &requests).unwrap();
+        assert!(
+            run.fused_programs() >= 1,
+            "{kind}: sub-threshold requests must fuse"
+        );
+        // one whole-program check per group, plus one window check per
+        // member of every fused group — and all of them byte-exact
+        let expected: usize = run
+            .groups
+            .iter()
+            .map(|g| {
+                1 + if g.group.is_fused() {
+                    g.group.members.len()
+                } else {
+                    0
+                }
+            })
+            .sum();
+        assert_eq!(checks.len(), expected, "{kind}: the matrix must be full");
+        for check in &checks {
+            assert!(check.is_correct(), "{kind} fused matrix:\n{check}");
+        }
+        for g in run.groups.iter().filter(|g| g.group.is_fused()) {
+            // the member windows tile the fused space in request order
+            let mut next = 0u64;
+            for (k, &m) in g.group.members.iter().enumerate() {
+                let w = g.group.window(k);
+                assert_eq!(w.offset, next, "{kind}: windows must be consecutive");
+                assert_eq!(w.bytes, requests[m].0);
+                next = w.end();
+            }
+            assert_eq!(next, g.group.total_bytes);
+            // the unfused side of the equivalence: each constituent run
+            // standalone satisfies the identical spec at the same byte count
+            for (k, &m) in g.group.members.iter().enumerate() {
+                let mut solo =
+                    Communicator::new(machine.clone(), &alloc, CommunicatorOptions::default())
+                        .unwrap();
+                let (_, solo_check) = solo.run_checked(kind, requests[m].0).unwrap();
+                assert!(
+                    solo_check.is_correct(),
+                    "{kind} unfused constituent {k}:\n{solo_check}"
+                );
+            }
+        }
+    }
+}
+
+/// The parts of `s` outside `w`, in the same (fused) address space.
+fn subtract_window(s: Segment, w: Segment) -> Vec<Segment> {
+    let mut out = Vec::new();
+    if s.offset < w.offset {
+        let hi = s.end().min(w.offset);
+        out.push(Segment::new(s.offset, hi - s.offset));
+    }
+    if s.end() > w.end() {
+        let lo = s.offset.max(w.end());
+        out.push(Segment::new(lo, s.end() - lo));
+    }
+    out
+}
+
+/// Mutation negative for fusion: excising one constituent's window from a
+/// fused program's payloads (every copy and fold loses exactly that window's
+/// byte ranges — a "dropped fused segment") must be rejected by the oracle,
+/// both on the whole fused space and on the dropped constituent's window,
+/// while the surviving constituents' windows still pass — the damage is
+/// pinpointed to the member that lost its data, not smeared over the batch.
+#[test]
+fn a_dropped_fused_constituent_is_caught_and_pinpointed() {
+    let machine = dgx1v();
+    let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+    let requests: Vec<(u64, f64)> = (0..4).map(|i| (mb(1) + 5, i as f64 * 25.0)).collect();
+    let mut comm =
+        Communicator::new(machine.clone(), &alloc, CommunicatorOptions::default()).unwrap();
+    let kind = CollectiveKind::AllReduce;
+    let run = comm.run_streamed(kind, &requests).unwrap();
+    let g = run
+        .groups
+        .iter()
+        .find(|g| g.group.is_fused())
+        .expect("sub-threshold requests fuse");
+    let baseline = check_collective(
+        kind.spec(),
+        &g.program,
+        &g.op_spans,
+        &alloc,
+        g.group.total_bytes,
+    );
+    assert!(baseline.is_correct(), "fused baseline:\n{baseline}");
+
+    let dropped_k = 1;
+    let window = g.group.window(dropped_k);
+    let mutated = rebuild_with(&g.program, |_, k| match k {
+        OpKind::Copy {
+            src,
+            dst,
+            class,
+            segs,
+        } => {
+            let segs: Vec<Segment> = segs
+                .iter()
+                .flat_map(|&s| subtract_window(s, window))
+                .collect();
+            if segs.is_empty() {
+                OpKind::Compute {
+                    gpu: src,
+                    duration_us: 0.0,
+                }
+            } else {
+                OpKind::Copy {
+                    src,
+                    dst,
+                    class,
+                    segs,
+                }
+            }
+        }
+        OpKind::Reduce { gpu, segs } => {
+            let segs: Vec<Segment> = segs
+                .iter()
+                .flat_map(|&s| subtract_window(s, window))
+                .collect();
+            if segs.is_empty() {
+                OpKind::Compute {
+                    gpu,
+                    duration_us: 0.0,
+                }
+            } else {
+                OpKind::Reduce { gpu, segs }
+            }
+        }
+        other => other,
+    });
+
+    // the whole fused collective is no longer delivered ...
+    let full = check_collective(
+        kind.spec(),
+        &mutated,
+        &g.op_spans,
+        &alloc,
+        g.group.total_bytes,
+    );
+    assert!(
+        !full.is_correct(),
+        "a fused program missing one constituent's ranges must be rejected"
+    );
+    // ... and the dropped constituent's own window check pinpoints it ...
+    let restricted = restrict_to_window(&mutated, window);
+    let check = check_collective(kind.spec(), &restricted, &g.op_spans, &alloc, window.bytes);
+    assert!(
+        !check.is_correct(),
+        "the dropped constituent's window must fail its contract"
+    );
+    // ... while every surviving constituent's window is still byte-exact
+    for (k, _) in g.group.members.iter().enumerate() {
+        if k == dropped_k {
+            continue;
+        }
+        let w = g.group.window(k);
+        let restricted = restrict_to_window(&mutated, w);
+        let check = check_collective(kind.spec(), &restricted, &g.op_spans, &alloc, w.bytes);
+        assert!(
+            check.is_correct(),
+            "surviving constituent {k} must stay byte-exact:\n{check}"
+        );
+    }
 }
 
 /// Mutation negative for warm-start replanning: a warm start that illegally
