@@ -45,6 +45,7 @@ use crate::treegen::{
     parallel_map, LinkSelection, SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan,
 };
 use crate::{new_shared_scratch, Result};
+use blink_graph::{optimal_broadcast_rate, DiGraph};
 use blink_topology::{GpuId, Topology, TopologyDelta};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
@@ -331,9 +332,12 @@ impl SharedPlanCache {
 ///   feasible at their packed rates and the packed-rate-vs-certificate bound
 ///   (proved against the old shape) still holds. Added links of the plan's
 ///   class can raise the *grown* shape's broadcast min-cut, so the plan may
-///   no longer be near-optimal for the new hardware — it is kept live
-///   anyway, because exactness of what was proved is not voided and only a
-///   re-pack can chase the larger cut;
+///   no longer be near-optimal for the new hardware — this function still
+///   reports it as surviving (exactness of what was proved is not voided),
+///   and [`PlanCache::note_delta`] separately *re-certifies* survivors
+///   against the grown cut, demoting to a warm seed any plan whose rate no
+///   longer meets the `(1 − ε)` guarantee so the next lookup re-packs
+///   through the new capacity;
 /// * added GPUs do stop a plan serving a *grown allocation* — it no longer
 ///   spans the job — so it cannot answer lookups under the post-event
 ///   fingerprint. [`PlanCache::note_delta`] demotes it to a warm-start seed
@@ -496,6 +500,16 @@ impl PlanCache {
     /// exists as a subgraph, so its entries keep serving lookups under the
     /// old fingerprint ([`SharedPlanCache::apply_delta`]).
     ///
+    /// **Opportunistic re-pack on growth:** a plan that survives an additive
+    /// delta never *uses* the added links, so when the delta adds links of a
+    /// surviving plan's class, the plan is re-certified against the grown
+    /// topology's broadcast min-cut. If the certificate rose past the plan's
+    /// packed rate (the `(1 − ε)`-of-certificate guarantee no longer holds
+    /// on the new hardware), the plan is demoted to a warm seed like any
+    /// stale plan — the next lookup re-packs through the added capacity and
+    /// recovers the rate growth left on the table. Growth that does not
+    /// raise the relevant cut keeps plans live and bit-identical.
+    ///
     /// `induced` and `options` must describe the **post-event** planning
     /// inputs — the same values the next [`PlanCache::plan_for`] /
     /// [`PlanCache::plan_many`] call will pass; a later call with different
@@ -510,8 +524,28 @@ impl PlanCache {
         if self.built_under == Some(new_fp) {
             return;
         }
+        // Lazily built per link class: one graph + one Dinic certificate per
+        // re-certified root, only on deltas that actually add links.
+        let mut cert_graphs: BTreeMap<LinkSelection, DiGraph> = BTreeMap::new();
         for (key, plan) in std::mem::take(&mut self.plans) {
-            if plan_survives_delta(&plan, delta) {
+            let survives = plan_survives_delta(&plan, delta);
+            let outgrown = survives
+                && plan.gpus.len() >= 2
+                && delta.added_links.iter().any(|l| plan.links.matches(l))
+                && {
+                    let links = plan.links;
+                    let g = cert_graphs.entry(links).or_insert_with(|| {
+                        DiGraph::from_topology_filtered(induced, |l| links.matches(l))
+                    });
+                    match g.node(plan.root) {
+                        Some(root) => {
+                            let cert = optimal_broadcast_rate(g, root);
+                            plan.rate_gbps() + 1e-9 < (1.0 - options.packing.epsilon) * cert
+                        }
+                        None => false,
+                    }
+                };
+            if survives && !outgrown {
                 self.plans.insert(key, plan);
             } else {
                 self.seeds.insert(key, plan);
@@ -1188,7 +1222,7 @@ mod tests {
     }
 
     #[test]
-    fn an_added_link_never_demotes_a_plan() {
+    fn growth_below_the_certificate_keeps_a_plan_live() {
         use blink_topology::{Link, LinkKind, TopologyDelta};
         let topo = dgx1v();
         let induced = topo
@@ -1199,7 +1233,10 @@ mod tests {
         let mut cache = PlanCache::new().with_shared(shared.clone());
         let before = cache.plan_for(&induced, &opts, GpuId(0)).unwrap().clone();
         let fp_before = plan_fingerprint(&induced, &opts);
-        // a fresh NVLink lane appears between GPUs 0 and 3: pure growth
+        // a fresh NVLink lane appears between GPUs 0 and 3: pure growth. On
+        // this quad the broadcast min-cut from root 0 is pinned by the
+        // capacity *into* GPU 1, which the new lane does not touch — the
+        // certificate does not rise, so re-certification keeps the plan.
         let delta = TopologyDelta {
             added_links: vec![
                 Link::new(GpuId(0), GpuId(3), LinkKind::NvLinkGen2),
@@ -1210,10 +1247,11 @@ mod tests {
         assert!(delta.is_pure_growth() && !delta.is_pure_removal());
         let after = induced.apply_delta(&delta).unwrap();
         cache.note_delta(&after, &opts, &delta);
-        // the plan's trees are untouched and its certificate still holds:
-        // it stays live locally (near-optimality against the *grown* cut may
-        // lapse until a re-pack — that is a quality gap, not an exactness one)
-        assert_eq!(cache.len(), 1, "an added link must not demote the plan");
+        assert_eq!(
+            cache.len(),
+            1,
+            "growth that leaves the certificate must not demote the plan"
+        );
         assert_eq!(cache.seeded(), 0);
         let again = cache.plan_for(&after, &opts, GpuId(0)).unwrap();
         assert!(
@@ -1223,6 +1261,79 @@ mod tests {
         // the shared tier keeps the old shape's entry: that shape persists as
         // a subgraph of the grown one, so its fingerprint is still meaningful
         assert!(shared.get(fp_before, GpuId(0), opts.links).is_some());
+    }
+
+    #[test]
+    fn growth_of_another_link_class_never_triggers_recertification() {
+        use blink_topology::{Link, LinkKind, TopologyDelta};
+        let topo = dgx1v();
+        let induced = topo
+            .induced(&(0..4).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default(); // NvLinkOnly
+        let mut cache = PlanCache::new();
+        let before = cache.plan_for(&induced, &opts, GpuId(0)).unwrap().clone();
+        // extra PCIe capacity appears: invisible to an NVLink plan
+        let delta = TopologyDelta {
+            added_links: vec![
+                Link::new(GpuId(0), GpuId(1), LinkKind::Pcie).with_bandwidth(5.0),
+                Link::new(GpuId(1), GpuId(0), LinkKind::Pcie).with_bandwidth(5.0),
+            ],
+            ..Default::default()
+        };
+        let after = induced.apply_delta(&delta).unwrap();
+        cache.note_delta(&after, &opts, &delta);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.seeded(), 0);
+        let again = cache.plan_for(&after, &opts, GpuId(0)).unwrap();
+        assert!(before.bit_eq(again));
+    }
+
+    #[test]
+    fn growth_that_raises_the_certificate_repacks_and_recovers_the_rate() {
+        use blink_topology::TopologyDelta;
+        let topo = dgx1v();
+        let full = topo
+            .induced(&(0..4).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default();
+        // plan over a damaged quad (the 0-1 NVLink pair is down)...
+        let kill = TopologyDelta::kill_link(&full, GpuId(0), GpuId(1));
+        let damaged = full.apply_delta(&kill).unwrap();
+        let mut cache = PlanCache::new();
+        let degraded = cache.plan_for(&damaged, &opts, GpuId(0)).unwrap().clone();
+        // ...then the link comes back: a pure-growth delta that raises the
+        // broadcast min-cut from root 0
+        let grow = TopologyDelta::between(&damaged, &full);
+        assert!(grow.is_pure_growth() && !grow.added_links.is_empty());
+        cache.note_delta(&full, &opts, &grow);
+        assert_eq!(
+            cache.len(),
+            0,
+            "certificate rose: the surviving plan must be demoted for re-pack"
+        );
+        assert_eq!(cache.seeded(), 1);
+        // the re-pack consumes the seed and recovers the full-topology rate
+        let recovered = cache.plan_for(&full, &opts, GpuId(0)).unwrap().clone();
+        assert_eq!(cache.seeded(), 0, "warm seed consumed");
+        let mut cold_cache = PlanCache::new();
+        let cold = cold_cache.plan_for(&full, &opts, GpuId(0)).unwrap().clone();
+        assert!(
+            recovered.rate_gbps() >= cold.rate_gbps() - 1e-9,
+            "re-packed rate {} must recover the cold full-topology rate {}",
+            recovered.rate_gbps(),
+            cold.rate_gbps()
+        );
+        assert!(
+            recovered.rate_gbps() > degraded.rate_gbps() + 1e-9,
+            "re-pack must actually use the restored link ({} vs degraded {})",
+            recovered.rate_gbps(),
+            degraded.rate_gbps()
+        );
+        assert!(
+            recovered.rate_gbps()
+                >= (1.0 - opts.packing.epsilon) * recovered.optimal_rate_gbps - 1e-9
+        );
     }
 
     #[test]

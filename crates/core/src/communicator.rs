@@ -31,6 +31,7 @@ use crate::treegen::{LinkSelection, TreeGenOptions};
 use crate::{BlinkError, Result};
 use blink_graph::{DiGraph, WeightedTree};
 use blink_sim::{check_collective, EngineScratch, Program, SimParams, Simulator, ValueCheck};
+use blink_topology::presets::{placement_topology, ServerKind};
 use blink_topology::{GpuId, Topology, TopologyDelta};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -218,6 +219,50 @@ impl Communicator {
             options,
             PlanCache::new().with_shared(shared),
         )
+    }
+
+    /// Creates a communicator directly from a scheduler placement: the
+    /// per-server slices a `blink-sched` `Cluster` handed one job, in its
+    /// `(server index, global GPU ids)` convention. The machine model is the
+    /// placement-induced slice topology
+    /// ([`blink_topology::presets::placement_topology`]) — identical, link
+    /// order and all, to inducing on the full cluster, so plans cached here
+    /// are shared with communicators built either way. Uses the
+    /// process-default [`global_plan_cache`] unless
+    /// [`CommunicatorOptions::isolated_plan_cache`] opts out.
+    ///
+    /// # Errors
+    /// Rejects malformed placements (empty, duplicated GPUs, ids inconsistent
+    /// with their server) and empty allocations.
+    pub fn for_placement(
+        kind: ServerKind,
+        nic_gbps: f64,
+        slices: &[(usize, Vec<GpuId>)],
+        options: CommunicatorOptions,
+    ) -> Result<Self> {
+        let machine = placement_topology(kind, nic_gbps, slices)
+            .map_err(|e| BlinkError::Planning(e.to_string()))?;
+        let allocation = machine.gpu_ids();
+        Self::new(machine, &allocation, options)
+    }
+
+    /// [`Communicator::for_placement`] with an explicit [`SharedPlanCache`]
+    /// (the fleet pipeline passes its own tier so hit-rate accounting stays
+    /// per-fleet rather than process-global).
+    ///
+    /// # Errors
+    /// Same as [`Communicator::for_placement`].
+    pub fn for_placement_shared(
+        kind: ServerKind,
+        nic_gbps: f64,
+        slices: &[(usize, Vec<GpuId>)],
+        options: CommunicatorOptions,
+        shared: SharedPlanCache,
+    ) -> Result<Self> {
+        let machine = placement_topology(kind, nic_gbps, slices)
+            .map_err(|e| BlinkError::Planning(e.to_string()))?;
+        let allocation = machine.gpu_ids();
+        Self::with_shared_plans(machine, &allocation, options, shared)
     }
 
     fn with_plan_cache(
@@ -698,7 +743,7 @@ impl Communicator {
             }
             let scratch = self.plans.scratch().clone();
             let shared = self.plans.shared_cache().cloned();
-            let (program, info) = three_phase_allreduce_cached(
+            let attempt = three_phase_allreduce_cached(
                 &self.machine,
                 &self.allocation,
                 bytes,
@@ -706,10 +751,40 @@ impl Communicator {
                 &self.codegen_options(chunk),
                 &scratch,
                 shared.as_ref(),
-            )?;
+            );
+            // A fragmented per-server slice may not be NVLink-spannable (e.g.
+            // GPUs {1, 4} on a DGX-1V share no NVLink); retry the whole local
+            // phase over the always-complete PCIe mesh, mirroring the
+            // single-server fallback below.
+            let (program, info, fell_back) = match attempt {
+                Ok((program, info)) => (program, info, false),
+                Err(_) if self.options.treegen.links == LinkSelection::NvLinkOnly => {
+                    let pcie_tg = TreeGenOptions {
+                        links: LinkSelection::PcieOnly,
+                        ..self.options.treegen
+                    };
+                    let pcie_cg = CodeGenOptions {
+                        link_class: blink_sim::LinkClass::Pcie,
+                        ..self.codegen_options(chunk)
+                    };
+                    let (program, info) = three_phase_allreduce_cached(
+                        &self.machine,
+                        &self.allocation,
+                        bytes,
+                        &pcie_tg,
+                        &pcie_cg,
+                        &scratch,
+                        shared.as_ref(),
+                    )?;
+                    (program, info, true)
+                }
+                Err(e) => return Err(e),
+            };
             let strategy = format!(
-                "three-phase multi-server ({} servers, {} partitions)",
-                info.servers, info.partitions
+                "three-phase multi-server ({} servers, {} partitions{})",
+                info.servers,
+                info.partitions,
+                if fell_back { "; PCIe fallback" } else { "" }
             );
             return Ok((program, info.partitions, strategy));
         }
@@ -878,6 +953,79 @@ mod tests {
         assert!(report.algorithmic_bandwidth_gbps > 0.5);
         // other collectives are rejected across servers
         assert!(comm.broadcast(GpuId(0), mb(1)).is_err());
+    }
+
+    #[test]
+    fn unspannable_fragment_rides_the_three_phase_pcie_fallback() {
+        // Server 0's slice {1, 4} shares no NVLink on a DGX-1V, so the
+        // default NvLinkOnly local phase cannot plan — the communicator must
+        // fall back to the PCIe mesh and still produce a byte-exact program.
+        let slices = vec![
+            (0usize, vec![GpuId(1), GpuId(4)]),
+            (1usize, vec![GpuId(8), GpuId(9)]),
+        ];
+        let mut comm =
+            Communicator::for_placement(ServerKind::Dgx1V, 5.0, &slices, Default::default())
+                .unwrap();
+        assert!(comm.is_multi_server());
+        let (report, check) = comm.run_checked(CollectiveKind::AllReduce, mb(16)).unwrap();
+        assert!(
+            report.strategy.contains("three-phase"),
+            "{}",
+            report.strategy
+        );
+        assert!(
+            report.strategy.contains("PCIe fallback"),
+            "{}",
+            report.strategy
+        );
+        assert!(check.is_correct(), "{check}");
+        assert!(report.algorithmic_bandwidth_gbps > 0.1);
+    }
+
+    #[test]
+    fn placement_communicators_share_plans_with_cluster_built_ones() {
+        // The same fragmented job shape, built once from the placement
+        // slices and once from the full cluster model: identical per-server
+        // fingerprints, so the second communicator's three-phase planning
+        // hits the first one's shared-cache entries.
+        let shared = SharedPlanCache::new();
+        let slices = vec![
+            (0usize, (0..4).map(GpuId).collect::<Vec<_>>()),
+            (1usize, (8..12).map(GpuId).collect::<Vec<_>>()),
+        ];
+        let mut a = Communicator::for_placement_shared(
+            ServerKind::Dgx1V,
+            5.0,
+            &slices,
+            Default::default(),
+            shared.clone(),
+        )
+        .unwrap();
+        let ra = a.all_reduce(mb(64)).unwrap();
+        let (hits_before, misses_before) = shared.stats();
+        assert!(misses_before > 0, "first communicator packs fresh plans");
+
+        let machine = multi_server(2, ServerKind::Dgx1V, 5.0);
+        let flat: Vec<GpuId> = slices.iter().flat_map(|(_, g)| g.clone()).collect();
+        let mut b =
+            Communicator::with_shared_plans(machine, &flat, Default::default(), shared.clone())
+                .unwrap();
+        let rb = b.all_reduce(mb(64)).unwrap();
+        let (hits_after, misses_after) = shared.stats();
+        assert!(
+            hits_after > hits_before,
+            "cluster-built communicator must hit the placement-built plans"
+        );
+        assert_eq!(
+            misses_after, misses_before,
+            "no re-packing for an identical job shape"
+        );
+        assert_eq!(
+            ra.algorithmic_bandwidth_gbps.to_bits(),
+            rb.algorithmic_bandwidth_gbps.to_bits(),
+            "cached plans reproduce the same simulated collective bit-for-bit"
+        );
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub struct Cluster {
     completions: BinaryHeap<Completion>,
     running: Vec<(u64, ServerAllocation)>,
     histogram: AllocationHistogram,
-    rejected: u64,
+    rejected_capacity: u64,
+    rejected_contention: u64,
 }
 
 impl Cluster {
@@ -77,13 +78,24 @@ impl Cluster {
             completions: BinaryHeap::new(),
             running: Vec::new(),
             histogram: AllocationHistogram::new(gpus_per_server),
-            rejected: 0,
+            rejected_capacity: 0,
+            rejected_contention: 0,
         }
     }
 
     /// Number of servers.
     pub fn num_servers(&self) -> usize {
         self.free.len()
+    }
+
+    /// GPUs per server.
+    pub fn gpus_per_server(&self) -> usize {
+        self.gpus_per_server
+    }
+
+    /// Total number of GPUs in the cluster (free or busy).
+    pub fn total_gpus(&self) -> usize {
+        self.free.len() * self.gpus_per_server
     }
 
     /// Number of currently free GPUs.
@@ -94,9 +106,23 @@ impl Cluster {
             .sum()
     }
 
-    /// Jobs that could not be placed even after waiting for completions.
+    /// Jobs rejected for either reason — the sum of
+    /// [`Cluster::rejected_capacity`] and [`Cluster::rejected_contention`].
     pub fn rejected(&self) -> u64 {
-        self.rejected
+        self.rejected_capacity + self.rejected_contention
+    }
+
+    /// Jobs the cluster could never hold: they request more GPUs than the
+    /// cluster has in total.
+    pub fn rejected_capacity(&self) -> u64 {
+        self.rejected_capacity
+    }
+
+    /// Jobs that fit the cluster but found too few free GPUs at their arrival
+    /// time (transient contention — queueing would have placed them, but
+    /// queueing does not change the fragmentation statistics we are after).
+    pub fn rejected_contention(&self) -> u64 {
+        self.rejected_contention
     }
 
     /// The per-server allocation-size histogram accumulated so far.
@@ -104,7 +130,13 @@ impl Cluster {
         &self.histogram
     }
 
-    fn release_until(&mut self, time: f64) {
+    /// Releases every job whose completion time is `<= time` and returns the
+    /// departed job ids, in completion order (ties broken by ascending job
+    /// id). [`Cluster::submit`] calls this implicitly at each arrival; the
+    /// fleet pipeline calls it explicitly so departures can drive plan-cache
+    /// invalidation and consolidation before the next placement.
+    pub fn release_until(&mut self, time: f64) -> Vec<u64> {
+        let mut departed = Vec::new();
         while let Some(c) = self.completions.peek() {
             if c.time > time {
                 break;
@@ -117,33 +149,54 @@ impl Cluster {
                         self.free[server][g] = true;
                     }
                 }
+                departed.push(c.job_id);
             }
         }
+        departed
     }
 
-    /// Offers a job to the cluster at its arrival time. Returns the placement,
-    /// or `None` if the cluster cannot hold the job at all (it is then counted
-    /// as rejected rather than queued — queueing does not change the
-    /// fragmentation statistics we are after).
+    /// Offers a job to the cluster at its arrival time. Returns the
+    /// placement, or `None` if the job cannot be placed *right now*: either
+    /// it is larger than the whole cluster (counted in
+    /// [`Cluster::rejected_capacity`]) or too few GPUs are free at its
+    /// arrival (counted in [`Cluster::rejected_contention`]). Rejected jobs
+    /// are not queued — queueing does not change the fragmentation
+    /// statistics we are after.
     pub fn submit(&mut self, job: &Job) -> Option<Placement> {
         self.release_until(job.arrival);
+        if (job.gpus as usize) > self.total_gpus() {
+            self.rejected_capacity += 1;
+            return None;
+        }
         if (job.gpus as usize) > self.free_gpus() {
-            self.rejected += 1;
+            self.rejected_contention += 1;
             return None;
         }
         let mut remaining = job.gpus as usize;
         let mut slices: Vec<(usize, Vec<usize>)> = Vec::new();
-        // Best-fit pass: prefer a server that can hold the
-        // whole remainder, to mimic schedulers that try to keep jobs local.
+        // Best-fit pass: among servers that can hold the whole remainder,
+        // take the *tightest* (fewest free GPUs — keeps large free blocks
+        // intact for later jobs); if none can, take the largest free block
+        // to minimise the number of fragments. Ties break to the
+        // lowest-index server in both cases.
         while remaining > 0 {
-            let target = self
+            let counts: Vec<(usize, usize)> = self
                 .free
                 .iter()
                 .enumerate()
                 .map(|(s, gpus)| (s, gpus.iter().filter(|&&f| f).count()))
                 .filter(|&(_, free)| free > 0)
-                .max_by_key(|&(s, free)| (free.min(remaining), std::cmp::Reverse(s)))
-                .map(|(s, _)| s);
+                .collect();
+            let target = counts
+                .iter()
+                .filter(|&&(_, free)| free >= remaining)
+                .min_by_key(|&&(s, free)| (free, s))
+                .or_else(|| {
+                    counts
+                        .iter()
+                        .max_by_key(|&&(s, free)| (free, std::cmp::Reverse(s)))
+                })
+                .map(|&(s, _)| s);
             let Some(server) = target else { break };
             let mut taken = Vec::new();
             for g in 0..self.gpus_per_server {
@@ -186,6 +239,83 @@ impl Cluster {
     /// Runs an entire job stream and returns the placements that succeeded.
     pub fn run_workload(&mut self, jobs: &[Job]) -> Vec<Placement> {
         jobs.iter().filter_map(|j| self.submit(j)).collect()
+    }
+
+    /// Tries to move a *fragmented* running job onto a single server, using
+    /// GPUs freed by departures. Picks the server where the job already holds
+    /// the most GPUs (moving the fewest), breaking ties toward the tightest
+    /// feasible server and then the lowest index; the job keeps its GPUs on
+    /// the chosen server and its remote fragments are released. Returns the
+    /// new single-server placement, or `None` if the job is unknown, already
+    /// consolidated, or no server can absorb it.
+    ///
+    /// The arrival-time allocation histogram is deliberately not rewritten —
+    /// it records what the scheduler handed out (the paper's Figure 3
+    /// statistic), not where jobs later migrated.
+    pub fn try_consolidate(&mut self, job_id: u64) -> Option<Placement> {
+        let pos = self.running.iter().position(|(id, _)| *id == job_id)?;
+        if self.running[pos].1.len() <= 1 {
+            return None;
+        }
+        let total: usize = self.running[pos].1.iter().map(|(_, g)| g.len()).sum();
+        let own_on = |slices: &ServerAllocation, s: usize| -> usize {
+            slices
+                .iter()
+                .find(|(server, _)| *server == s)
+                .map(|(_, g)| g.len())
+                .unwrap_or(0)
+        };
+        let mut best: Option<(usize, usize, usize)> = None; // (server, own, free)
+        for s in 0..self.free.len() {
+            let free = self.free[s].iter().filter(|&&f| f).count();
+            let own = own_on(&self.running[pos].1, s);
+            if own + free < total {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bs, bown, bfree)) => {
+                    (own, std::cmp::Reverse(free), std::cmp::Reverse(s))
+                        > (bown, std::cmp::Reverse(bfree), std::cmp::Reverse(bs))
+                }
+            };
+            if better {
+                best = Some((s, own, free));
+            }
+        }
+        let (target, _, _) = best?;
+        let old_slices = std::mem::take(&mut self.running[pos].1);
+        let mut gpus: Vec<usize> = Vec::with_capacity(total);
+        for (server, locals) in &old_slices {
+            if *server == target {
+                gpus.extend(locals.iter().copied());
+            } else {
+                for &g in locals {
+                    self.free[*server][g] = true;
+                }
+            }
+        }
+        for g in 0..self.gpus_per_server {
+            if gpus.len() == total {
+                break;
+            }
+            if self.free[target][g] {
+                self.free[target][g] = false;
+                gpus.push(g);
+            }
+        }
+        debug_assert_eq!(gpus.len(), total, "feasibility was checked above");
+        gpus.sort_unstable();
+        self.running[pos].1 = vec![(target, gpus.clone())];
+        Some(Placement {
+            job_id,
+            slices: vec![(
+                target,
+                gpus.into_iter()
+                    .map(|g| GpuId(target * self.gpus_per_server + g))
+                    .collect(),
+            )],
+        })
     }
 }
 
@@ -231,7 +361,135 @@ mod tests {
         assert!(cluster.submit(&job_a).is_some());
         assert!(cluster.submit(&job_b).is_none()); // cluster full at t=5
         assert_eq!(cluster.rejected(), 1);
+        assert_eq!(cluster.rejected_contention(), 1, "the cluster fits job B");
+        assert_eq!(cluster.rejected_capacity(), 0);
         assert!(cluster.submit(&job_c).is_some()); // job A finished at t=10
+    }
+
+    #[test]
+    fn best_fit_prefers_the_tightest_server() {
+        let mut cluster = Cluster::new(2, 8);
+        // a 5-GPU job leaves server 0 with 3 free GPUs; server 1 keeps 8
+        let filler = Job {
+            id: 0,
+            gpus: 5,
+            arrival: 0.0,
+            duration: 100.0,
+        };
+        let p = cluster.submit(&filler).unwrap();
+        assert_eq!(p.slices, vec![(0, (0..5).map(GpuId).collect::<Vec<_>>())]);
+        // the 3-GPU job must land on the 3-free server, not the 8-free one —
+        // the tightest fit keeps server 1's full block intact
+        let job = Job {
+            id: 1,
+            gpus: 3,
+            arrival: 1.0,
+            duration: 100.0,
+        };
+        let p = cluster.submit(&job).unwrap();
+        assert_eq!(
+            p.slices,
+            vec![(0, vec![GpuId(5), GpuId(6), GpuId(7)])],
+            "tightest-fit placement broke up the empty server instead"
+        );
+        // and the preserved 8-GPU block still takes a full-server job whole
+        let big = Job {
+            id: 2,
+            gpus: 8,
+            arrival: 2.0,
+            duration: 100.0,
+        };
+        let p = cluster.submit(&big).unwrap();
+        assert!(!p.is_fragmented());
+        assert_eq!(p.slices[0].0, 1);
+    }
+
+    #[test]
+    fn capacity_and_contention_rejections_are_counted_apart() {
+        let mut cluster = Cluster::new(1, 8);
+        // larger than the whole cluster: a capacity rejection, always
+        let whale = Job {
+            id: 0,
+            gpus: 16,
+            arrival: 0.0,
+            duration: 1.0,
+        };
+        assert!(cluster.submit(&whale).is_none());
+        assert_eq!(cluster.rejected_capacity(), 1);
+        assert_eq!(cluster.rejected_contention(), 0);
+        // fits the cluster, but arrives while it is busy: contention
+        let tenant = Job {
+            id: 1,
+            gpus: 8,
+            arrival: 0.0,
+            duration: 10.0,
+        };
+        let blocked = Job {
+            id: 2,
+            gpus: 8,
+            arrival: 1.0,
+            duration: 1.0,
+        };
+        assert!(cluster.submit(&tenant).is_some());
+        assert!(cluster.submit(&blocked).is_none());
+        assert_eq!(cluster.rejected_capacity(), 1);
+        assert_eq!(cluster.rejected_contention(), 1);
+        assert_eq!(cluster.rejected(), 2);
+    }
+
+    #[test]
+    fn release_until_reports_departures_in_completion_order() {
+        let mut cluster = Cluster::new(2, 8);
+        for (id, dur) in [(0u64, 5.0), (1, 3.0), (2, 9.0)] {
+            let job = Job {
+                id,
+                gpus: 4,
+                arrival: 0.0,
+                duration: dur,
+            };
+            assert!(cluster.submit(&job).is_some());
+        }
+        assert_eq!(cluster.release_until(6.0), vec![1, 0]);
+        assert_eq!(cluster.free_gpus(), 2 * 8 - 4);
+        assert_eq!(cluster.release_until(6.0), Vec::<u64>::new());
+        assert_eq!(cluster.release_until(9.0), vec![2]);
+        assert_eq!(cluster.free_gpus(), 16);
+    }
+
+    #[test]
+    fn consolidation_moves_a_fragmented_job_onto_one_server() {
+        let mut cluster = Cluster::new(2, 8);
+        let job = |id, gpus, arrival| Job {
+            id,
+            gpus,
+            arrival,
+            duration: if id == 0 { 10.0 } else { 100.0 },
+        };
+        assert!(!cluster.submit(&job(0, 6, 0.0)).unwrap().is_fragmented());
+        assert!(!cluster.submit(&job(1, 6, 0.0)).unwrap().is_fragmented());
+        // 4 GPUs with only 2+2 free: fragments across both servers
+        let frag = cluster.submit(&job(2, 4, 1.0)).unwrap();
+        assert!(frag.is_fragmented());
+        assert_eq!(frag.per_server_sizes(), vec![2, 2]);
+        // nothing to consolidate into while both servers are tight
+        assert!(cluster.try_consolidate(2).is_none());
+        // job 0 departs, freeing 6 GPUs on server 0
+        assert_eq!(cluster.release_until(10.0), vec![0]);
+        let packed = cluster.try_consolidate(2).unwrap();
+        assert_eq!(packed.job_id, 2);
+        assert!(!packed.is_fragmented());
+        assert_eq!(
+            packed.slices,
+            vec![(0, vec![GpuId(0), GpuId(1), GpuId(6), GpuId(7)])],
+            "job keeps its server-0 slice and backfills the freed block"
+        );
+        // the remote fragment was released, nothing double-freed
+        assert_eq!(cluster.free_gpus(), 16 - 6 - 4);
+        // consolidating an already-local job is a no-op
+        assert!(cluster.try_consolidate(2).is_none());
+        // when job 2 finally completes, exactly its 4 GPUs come back
+        assert_eq!(cluster.release_until(200.0), vec![1, 2]);
+        assert_eq!(cluster.free_gpus(), 16);
     }
 
     #[test]

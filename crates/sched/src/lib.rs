@@ -12,12 +12,43 @@
 //! simple first-fit cluster simulator: jobs arrive with power-of-two sizes,
 //! run for a random duration, and may be split across servers when no single
 //! server can hold them.
+//!
+//! ## The fleet pipeline
+//!
+//! [`pipeline::FleetPipeline`] closes the loop from that scheduler to the
+//! planner: **submit → place → plan → run**. Each stage is instrumented with
+//! begin/end events on an [`events::EventMonitor`], and the stream obeys a
+//! fixed contract:
+//!
+//! 1. At every arrival, departures up to the arrival time are drained first —
+//!    one `Depart` event per finished job, in completion order (ties by
+//!    ascending job id). If departures freed room and consolidation is
+//!    enabled, fragmented survivors are re-packed next (`Consolidate`
+//!    events, in ascending job-id order); each move is replayed into the
+//!    job's live communicator as a [`blink_topology::TopologyDelta`], so the
+//!    plan cache invalidates incrementally instead of replanning cold.
+//! 2. The arrival is then placed (`Place` span on success, an instantaneous
+//!    `Reject` otherwise), its communicator built over the placement-induced
+//!    slice topology (`Plan` span) with a fleet-wide shared plan cache, and
+//!    its first AllReduce executed on the simulator (`FirstCollective`
+//!    span).
+//!
+//! Given one workload seed and one configuration, the *sequence* of
+//! `(job id, stage)` events, every placement, every simulated collective
+//! rate, and all cache and rejection counters are deterministic — only the
+//! wall-clock timestamps inside the records vary between runs. `bench_fleet`
+//! leans on exactly this split: latency percentiles come from the
+//! timestamps, conformance gates from the deterministic part.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+pub mod events;
+pub mod pipeline;
 pub mod workload;
 
 pub use cluster::{Cluster, Placement};
+pub use events::{EventMonitor, EventRecord, PendingEvent, Stage};
+pub use pipeline::{FleetConfig, FleetPipeline, FleetReport, JobOutcome};
 pub use workload::{AllocationHistogram, Job, WorkloadConfig, WorkloadGenerator};

@@ -1,0 +1,566 @@
+//! The fleet-service planning loop: submit → place → plan → run.
+//!
+//! [`FleetPipeline`] connects the cluster simulator to the planner. Each
+//! arriving [`Job`] is placed by the [`Cluster`] (best-fit, possibly
+//! fragmenting across servers), the placement is converted into its induced
+//! slice topology
+//! ([`blink_topology::presets::placement_topology`]), a
+//! [`Communicator`] is spun up for the slice with a fleet-wide
+//! [`SharedPlanCache`], and the job's first AllReduce runs on the simulator.
+//! Departures are drained before every arrival; each one releases GPUs,
+//! and — when [`FleetConfig::consolidate`] is on — fragmented survivors are
+//! opportunistically re-packed onto a single server, with the move replayed
+//! into their live communicator as a [`TopologyDelta`] (exercising the plan
+//! cache's delta invalidation rather than rebuilding from scratch).
+//!
+//! Every stage is instrumented with begin/end events on an
+//! [`EventMonitor`]; see the crate docs for the exact event-ordering and
+//! determinism contract.
+
+use crate::cluster::{Cluster, Placement};
+use crate::events::{EventMonitor, Stage};
+use crate::workload::{Job, WorkloadConfig, WorkloadGenerator};
+use blink_core::{BlinkError, CollectiveKind, Communicator, CommunicatorOptions, SharedPlanCache};
+use blink_topology::presets::{gpus_per_server, placement_topology, ServerKind};
+use blink_topology::TopologyDelta;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Configuration of a [`FleetPipeline`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of servers in the cluster.
+    pub servers: usize,
+    /// Hardware model of every server.
+    pub server_kind: ServerKind,
+    /// Per-server NIC bandwidth (GB/s) for cross-server phases.
+    pub nic_gbps: f64,
+    /// The synthetic job stream (deterministic given its seed).
+    pub workload: WorkloadConfig,
+    /// How many jobs [`FleetPipeline::run`] draws from the workload.
+    pub jobs: usize,
+    /// Bytes of each job's first AllReduce.
+    pub collective_bytes: u64,
+    /// Replay every `check_every`-th placed job's first collective through
+    /// the value-level oracle (`Communicator::run_checked`); 0 disables
+    /// sampling.
+    pub check_every: usize,
+    /// Re-pack fragmented jobs onto a single server when departures free
+    /// room, replanning their communicators through the topology delta.
+    pub consolidate: bool,
+    /// Options for every job communicator. The pipeline always passes its
+    /// own shared plan cache explicitly, so `isolated_plan_cache` has no
+    /// effect here.
+    pub comm_options: CommunicatorOptions,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            servers: 8,
+            server_kind: ServerKind::Dgx1V,
+            nic_gbps: 5.0,
+            workload: WorkloadConfig {
+                mean_interarrival: 0.5,
+                mean_duration: 50.0,
+                ..Default::default()
+            },
+            jobs: 2_000,
+            collective_bytes: 16 << 20,
+            check_every: 0,
+            consolidate: true,
+            comm_options: CommunicatorOptions::default(),
+        }
+    }
+}
+
+/// What happened to one *placed* job: its placement shape, per-stage wall
+/// time, and its first collective's simulated outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobOutcome {
+    /// The job's id.
+    pub job_id: u64,
+    /// GPUs the job received.
+    pub gpus: usize,
+    /// Whether the placement spans more than one server.
+    pub fragmented: bool,
+    /// Number of servers in the placement.
+    pub servers: usize,
+    /// Wall-clock time-to-first-collective: from the start of placement to
+    /// the end of the first simulated collective (µs).
+    pub ttfc_us: f64,
+    /// Wall-clock placement time (µs).
+    pub place_us: f64,
+    /// Wall-clock communicator-construction time (µs). Tree packing is
+    /// lazy, so planning cost lands in `first_collective_us`.
+    pub plan_us: f64,
+    /// Wall-clock time of the first collective, planning included (µs).
+    pub first_collective_us: f64,
+    /// The first collective's simulated algorithmic bandwidth (GB/s);
+    /// deterministic given the workload seed.
+    pub rate_gbps: f64,
+    /// The lowering strategy the communicator chose.
+    pub strategy: String,
+    /// Whether this job's first collective was replayed through the
+    /// value-level oracle.
+    pub checked: bool,
+}
+
+/// Lifetime totals of a [`FleetPipeline`] plus the per-job outcomes of the
+/// jobs placed so far. Returned by [`FleetPipeline::run_jobs`]; counters
+/// accumulate across calls on the same pipeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    /// Jobs offered to the cluster.
+    pub submitted: usize,
+    /// Jobs that received a placement (and ran a first collective).
+    pub placed: usize,
+    /// Jobs larger than the whole cluster.
+    pub rejected_capacity: u64,
+    /// Jobs that fit the cluster but found too few free GPUs.
+    pub rejected_contention: u64,
+    /// Departures drained so far.
+    pub departures: usize,
+    /// Fragmented jobs re-packed onto a single server.
+    pub consolidations: usize,
+    /// Consolidations whose post-move collective beat the job's previous
+    /// rate.
+    pub consolidations_improved: usize,
+    /// Shared-plan-cache hits across every communicator in the fleet.
+    pub shared_hits: u64,
+    /// Shared-plan-cache misses (fresh MWU packings).
+    pub shared_misses: u64,
+    /// First collectives replayed through the value-level oracle.
+    pub checks_run: usize,
+    /// Oracle replays that found a conformance violation (must stay 0).
+    pub checks_failed: usize,
+    /// One entry per placed job, in placement order.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+impl FleetReport {
+    /// Shared-cache hit rate in `[0, 1]` (0 when nothing was planned).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.shared_hits + self.shared_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One running job's live state: its communicator (kept so topology deltas
+/// can replan it in place), its current placement, and its last measured
+/// collective rate.
+#[derive(Debug)]
+struct RunningJob {
+    comm: Communicator,
+    placement: Placement,
+    rate_gbps: f64,
+}
+
+/// The submit→place→plan→run loop over a whole job stream. See the module
+/// docs for the stage-by-stage contract.
+#[derive(Debug)]
+pub struct FleetPipeline {
+    config: FleetConfig,
+    cluster: Cluster,
+    shared: SharedPlanCache,
+    monitor: EventMonitor,
+    running: BTreeMap<u64, RunningJob>,
+    outcomes: Vec<JobOutcome>,
+    submitted: usize,
+    departures: usize,
+    consolidations: usize,
+    consolidations_improved: usize,
+    checks_run: usize,
+    checks_failed: usize,
+}
+
+impl FleetPipeline {
+    /// Creates a pipeline with its own fleet-local [`SharedPlanCache`], so
+    /// hit-rate accounting is clean even when other communicators exist in
+    /// the process.
+    pub fn new(config: FleetConfig) -> Self {
+        Self::with_shared_cache(config, SharedPlanCache::new())
+    }
+
+    /// Creates a pipeline planning through an explicit shared cache (e.g.
+    /// [`blink_core::global_plan_cache`] to pool plans with communicators
+    /// created elsewhere in the process).
+    pub fn with_shared_cache(config: FleetConfig, shared: SharedPlanCache) -> Self {
+        let cluster = Cluster::new(config.servers, gpus_per_server(config.server_kind));
+        FleetPipeline {
+            config,
+            cluster,
+            shared,
+            monitor: EventMonitor::new(),
+            running: BTreeMap::new(),
+            outcomes: Vec::new(),
+            submitted: 0,
+            departures: 0,
+            consolidations: 0,
+            consolidations_improved: 0,
+            checks_run: 0,
+            checks_failed: 0,
+        }
+    }
+
+    /// The event stream recorded so far.
+    pub fn monitor(&self) -> &EventMonitor {
+        &self.monitor
+    }
+
+    /// The fleet's shared plan cache.
+    pub fn shared_cache(&self) -> &SharedPlanCache {
+        &self.shared
+    }
+
+    /// The underlying cluster simulator.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Draws [`FleetConfig::jobs`] jobs from the configured workload and runs
+    /// them through [`FleetPipeline::run_jobs`].
+    ///
+    /// # Errors
+    /// Same as [`FleetPipeline::run_jobs`].
+    pub fn run(&mut self) -> blink_core::Result<FleetReport> {
+        let jobs = WorkloadGenerator::new(self.config.workload.clone()).take(self.config.jobs);
+        self.run_jobs(&jobs)
+    }
+
+    /// Runs a job stream through the full loop: drain departures (and
+    /// consolidate), place, build the communicator, run the first
+    /// collective. Jobs still running when the stream ends stay resident —
+    /// a later call continues from the same cluster state.
+    ///
+    /// # Errors
+    /// Propagates planning or simulation failures from any job's
+    /// communicator; the scheduler itself cannot fail (unplaceable jobs are
+    /// counted as rejections, not errors).
+    pub fn run_jobs(&mut self, jobs: &[Job]) -> blink_core::Result<FleetReport> {
+        for job in jobs {
+            self.submitted += 1;
+            self.absorb_departures(job.arrival)?;
+            let place = self.monitor.begin(job.id, Stage::Place);
+            let Some(placement) = self.cluster.submit(job) else {
+                let _ = place; // span abandoned: the job never entered the fleet
+                self.monitor.instant(job.id, Stage::Reject);
+                continue;
+            };
+            let place = self.monitor.commit(place);
+
+            let plan = self.monitor.begin(job.id, Stage::Plan);
+            let mut comm = Communicator::for_placement_shared(
+                self.config.server_kind,
+                self.config.nic_gbps,
+                &placement.slices,
+                self.config.comm_options,
+                self.shared.clone(),
+            )?;
+            let plan = self.monitor.commit(plan);
+
+            let check_due = self.config.check_every > 0
+                && self.outcomes.len().is_multiple_of(self.config.check_every);
+            let first = self.monitor.begin(job.id, Stage::FirstCollective);
+            let (report, checked) = if check_due {
+                let (report, check) =
+                    comm.run_checked(CollectiveKind::AllReduce, self.config.collective_bytes)?;
+                self.checks_run += 1;
+                if !check.is_correct() {
+                    self.checks_failed += 1;
+                }
+                (report, true)
+            } else {
+                (
+                    comm.run(CollectiveKind::AllReduce, self.config.collective_bytes)?,
+                    false,
+                )
+            };
+            let first = self.monitor.commit(first);
+
+            self.outcomes.push(JobOutcome {
+                job_id: job.id,
+                gpus: placement.total_gpus(),
+                fragmented: placement.is_fragmented(),
+                servers: placement.slices.len(),
+                ttfc_us: first.end_us - place.begin_us,
+                place_us: place.duration_us(),
+                plan_us: plan.duration_us(),
+                first_collective_us: first.duration_us(),
+                rate_gbps: report.algorithmic_bandwidth_gbps,
+                strategy: report.strategy.clone(),
+                checked,
+            });
+            self.running.insert(
+                job.id,
+                RunningJob {
+                    comm,
+                    placement,
+                    rate_gbps: report.algorithmic_bandwidth_gbps,
+                },
+            );
+        }
+        Ok(self.report())
+    }
+
+    /// The lifetime report as of now (the same value [`FleetPipeline::run_jobs`]
+    /// returns).
+    pub fn report(&self) -> FleetReport {
+        let (shared_hits, shared_misses) = self.shared.stats();
+        FleetReport {
+            submitted: self.submitted,
+            placed: self.outcomes.len(),
+            rejected_capacity: self.cluster.rejected_capacity(),
+            rejected_contention: self.cluster.rejected_contention(),
+            departures: self.departures,
+            consolidations: self.consolidations,
+            consolidations_improved: self.consolidations_improved,
+            shared_hits,
+            shared_misses,
+            checks_run: self.checks_run,
+            checks_failed: self.checks_failed,
+            outcomes: self.outcomes.clone(),
+        }
+    }
+
+    /// Releases every job completed by `time`, records the departures, and —
+    /// when enabled — re-packs fragmented survivors into the freed room,
+    /// replaying each move into the job's communicator as a topology delta.
+    fn absorb_departures(&mut self, time: f64) -> blink_core::Result<()> {
+        let departed = self.cluster.release_until(time);
+        if departed.is_empty() {
+            return Ok(());
+        }
+        for id in departed {
+            self.monitor.instant(id, Stage::Depart);
+            self.running.remove(&id);
+            self.departures += 1;
+        }
+        if !self.config.consolidate {
+            return Ok(());
+        }
+        let candidates: Vec<u64> = self
+            .running
+            .iter()
+            .filter(|(_, j)| j.placement.is_fragmented())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in candidates {
+            let Some(new_placement) = self.cluster.try_consolidate(id) else {
+                continue;
+            };
+            let span = self.monitor.begin(id, Stage::Consolidate);
+            let job = self.running.get_mut(&id).expect("candidate is running");
+            let target = placement_topology(
+                self.config.server_kind,
+                self.config.nic_gbps,
+                &new_placement.slices,
+            )
+            .map_err(|e| BlinkError::Planning(e.to_string()))?;
+            let delta = TopologyDelta::between(job.comm.induced_topology(), &target);
+            job.comm.replan(&delta)?;
+            let report = job
+                .comm
+                .run(CollectiveKind::AllReduce, self.config.collective_bytes)?;
+            self.consolidations += 1;
+            if report.algorithmic_bandwidth_gbps > job.rate_gbps + 1e-9 {
+                self.consolidations_improved += 1;
+            }
+            job.rate_gbps = report.algorithmic_bandwidth_gbps;
+            job.placement = new_placement;
+            self.monitor.commit(span);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            servers: 4,
+            jobs: 150,
+            // near-capacity offered load for a 32-GPU cluster: enough churn
+            // for departures, contention and fragmented placements
+            workload: WorkloadConfig {
+                mean_interarrival: 3.0,
+                mean_duration: 20.0,
+                ..Default::default()
+            },
+            collective_bytes: 1 << 20,
+            check_every: 13,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn the_loop_places_plans_and_runs_a_contended_stream() {
+        let mut pipeline = FleetPipeline::new(small_config());
+        let report = pipeline.run().unwrap();
+        assert_eq!(report.submitted, 150);
+        assert!(report.placed > 80, "placed only {}", report.placed);
+        assert_eq!(report.rejected_capacity, 0, "16-GPU jobs fit 2 servers");
+        assert!(report.rejected_contention > 0, "stream must contend");
+        assert_eq!(
+            report.placed + report.rejected_contention as usize,
+            report.submitted
+        );
+        assert!(report.departures > 0);
+        // every placed job ran a real or trivial first collective
+        assert_eq!(report.outcomes.len(), report.placed);
+        for o in &report.outcomes {
+            assert!(o.ttfc_us >= o.first_collective_us);
+            assert!(o.gpus >= 1);
+            if o.gpus > 1 {
+                assert!(
+                    o.rate_gbps > 0.0,
+                    "job {} ran nothing: {}",
+                    o.job_id,
+                    o.strategy
+                );
+            }
+        }
+        // fragmented placements exist and plan through the three-phase path
+        assert!(report
+            .outcomes
+            .iter()
+            .any(|o| o.fragmented && o.strategy.contains("three-phase")));
+        // identical job shapes reuse each other's plans
+        assert!(report.shared_hits > 0, "{report:?}");
+        assert!(report.hit_rate() > 0.0);
+        // the sampled oracle replays all passed
+        assert!(report.checks_run > 0);
+        assert_eq!(report.checks_failed, 0);
+        // the event stream covers every stage of every job
+        let monitor = pipeline.monitor();
+        assert_eq!(monitor.count(Stage::Place), report.placed);
+        assert_eq!(monitor.count(Stage::Plan), report.placed);
+        assert_eq!(monitor.count(Stage::FirstCollective), report.placed);
+        assert_eq!(
+            monitor.count(Stage::Reject),
+            report.rejected_contention as usize
+        );
+        assert_eq!(monitor.count(Stage::Depart), report.departures);
+    }
+
+    #[test]
+    fn two_runs_with_one_seed_are_identical() {
+        let run = |config: FleetConfig| {
+            let mut pipeline = FleetPipeline::new(config);
+            let report = pipeline.run().unwrap();
+            (pipeline.monitor().order(), report)
+        };
+        let (order_a, a) = run(small_config());
+        let (order_b, b) = run(small_config());
+        assert_eq!(
+            order_a, order_b,
+            "event order must be a pure function of the seed"
+        );
+        assert_eq!(a.placed, b.placed);
+        assert_eq!(a.departures, b.departures);
+        assert_eq!(a.consolidations, b.consolidations);
+        assert_eq!(
+            (a.shared_hits, a.shared_misses),
+            (b.shared_hits, b.shared_misses)
+        );
+        for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(oa.job_id, ob.job_id);
+            assert_eq!(oa.rate_gbps.to_bits(), ob.rate_gbps.to_bits());
+            assert_eq!(oa.strategy, ob.strategy);
+        }
+        // ...and a different seed produces a different stream
+        let (order_c, _) = run(FleetConfig {
+            workload: WorkloadConfig {
+                seed: 7,
+                mean_interarrival: 0.5,
+                mean_duration: 50.0,
+                ..Default::default()
+            },
+            ..small_config()
+        });
+        assert_ne!(order_a, order_c);
+    }
+
+    #[test]
+    fn consolidation_replans_a_fragmented_job_and_recovers_its_rate() {
+        let mut pipeline = FleetPipeline::new(FleetConfig {
+            servers: 2,
+            collective_bytes: 4 << 20,
+            ..Default::default()
+        });
+        let job = |id, gpus, arrival: f64, duration: f64| Job {
+            id,
+            gpus,
+            arrival,
+            duration,
+        };
+        let jobs = [
+            job(0, 4, 0.0, 10.0),
+            job(1, 6, 0.0, 100.0),
+            // 6 GPUs with only 4+2 free: fragments across both servers and
+            // pays the three-phase NIC price for its first collective
+            job(2, 6, 1.0, 100.0),
+            // arrives after job 0 departs: triggers the consolidation sweep
+            job(3, 1, 20.0, 1.0),
+        ];
+        let report = pipeline.run_jobs(&jobs).unwrap();
+        assert_eq!(report.placed, 4);
+        let frag = &report.outcomes[2];
+        assert!(frag.fragmented);
+        assert!(frag.strategy.contains("three-phase"), "{}", frag.strategy);
+        assert_eq!(report.departures, 1);
+        assert_eq!(report.consolidations, 1);
+        assert_eq!(
+            report.consolidations_improved, 1,
+            "a single-server re-pack must beat the NIC-bound three-phase rate"
+        );
+        // the consolidation happened between job 0's departure and job 3's
+        // placement, on job 2's communicator
+        let order = pipeline.monitor().order();
+        let depart = order
+            .iter()
+            .position(|&e| e == (0, Stage::Depart))
+            .expect("departure recorded");
+        let consolidate = order
+            .iter()
+            .position(|&e| e == (2, Stage::Consolidate))
+            .expect("consolidation recorded");
+        let placed = order
+            .iter()
+            .position(|&e| e == (3, Stage::Place))
+            .expect("trigger job placed");
+        assert!(depart < consolidate && consolidate < placed);
+    }
+
+    #[test]
+    fn disabling_consolidation_leaves_fragments_in_place() {
+        let mut pipeline = FleetPipeline::new(FleetConfig {
+            servers: 2,
+            consolidate: false,
+            collective_bytes: 1 << 20,
+            ..Default::default()
+        });
+        let job = |id, gpus, arrival: f64, duration: f64| Job {
+            id,
+            gpus,
+            arrival,
+            duration,
+        };
+        let jobs = [
+            job(0, 6, 0.0, 10.0),
+            job(1, 6, 0.0, 100.0),
+            job(2, 4, 1.0, 100.0),
+            job(3, 1, 20.0, 1.0),
+        ];
+        let report = pipeline.run_jobs(&jobs).unwrap();
+        assert_eq!(report.departures, 1);
+        assert_eq!(report.consolidations, 0);
+        assert_eq!(pipeline.monitor().count(Stage::Consolidate), 0);
+    }
+}

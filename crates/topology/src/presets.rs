@@ -19,7 +19,8 @@
 //! PCIe 3.0 x16 numbers, because the switch hierarchy and host bridges are
 //! shared.
 
-use crate::{GpuId, LinkKind, ServerId, Topology};
+use crate::{GpuId, LinkKind, ServerId, Topology, TopologyError};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Effective GPU-to-GPU PCIe bandwidth within one PCIe root complex (GB/s).
 pub const PCIE_SAME_COMPLEX_GBPS: f64 = 5.0;
@@ -137,34 +138,57 @@ pub fn dgx1v() -> Topology {
 /// GPUs 0–7 and 8–15 on the two root complexes.
 pub fn dgx2() -> Topology {
     let mut t = Topology::new("dgx-2");
+    add_dgx2_gpus(&mut t, ServerId(0), 0);
+    add_dgx2_fabric(&mut t, 0);
+    add_dgx2_caps(&mut t, 0);
+    t
+}
+
+fn add_dgx2_gpus(topo: &mut Topology, server: ServerId, base: usize) {
     for i in 0..16 {
-        t.add_gpu(GpuId(i), ServerId(0), i).expect("unique ids");
+        topo.add_gpu(GpuId(base + i), server, i)
+            .expect("preset GPU ids are unique");
     }
+}
+
+fn add_dgx2_fabric(topo: &mut Topology, base: usize) {
     for i in 0..16 {
         for j in (i + 1)..16 {
-            t.add_duplex_with_bandwidth(
-                GpuId(i),
-                GpuId(j),
+            topo.add_duplex_with_bandwidth(
+                GpuId(base + i),
+                GpuId(base + j),
                 LinkKind::NvSwitch,
                 1,
                 DGX2_GPU_INJECTION_GBPS,
             )
             .expect("valid preset link");
-            let same_complex = (i < 8) == (j < 8);
-            let gbps = if same_complex {
-                PCIE_SAME_COMPLEX_GBPS
-            } else {
-                PCIE_CROSS_COMPLEX_GBPS
-            };
-            t.add_duplex_with_bandwidth(GpuId(i), GpuId(j), LinkKind::Pcie, 1, gbps)
-                .expect("valid preset link");
+            topo.add_duplex_with_bandwidth(
+                GpuId(base + i),
+                GpuId(base + j),
+                LinkKind::Pcie,
+                1,
+                dgx_pcie_gbps(i, j, 8),
+            )
+            .expect("valid preset link");
         }
     }
+}
+
+fn add_dgx2_caps(topo: &mut Topology, base: usize) {
     for i in 0..16 {
-        t.set_gpu_cap(GpuId(i), DGX2_GPU_INJECTION_GBPS)
+        topo.set_gpu_cap(GpuId(base + i), DGX2_GPU_INJECTION_GBPS)
             .expect("gpu exists");
     }
-    t
+}
+
+/// Effective PCIe bandwidth between local GPUs `i` and `j` on a server whose
+/// root complexes each hold `complex_size` GPUs.
+fn dgx_pcie_gbps(i: usize, j: usize, complex_size: usize) -> f64 {
+    if (i < complex_size) == (j < complex_size) {
+        PCIE_SAME_COMPLEX_GBPS
+    } else {
+        PCIE_CROSS_COMPLEX_GBPS
+    }
 }
 
 /// Kind of server replicated by [`multi_server`].
@@ -174,44 +198,75 @@ pub enum ServerKind {
     Dgx1P,
     /// DGX-1 with V100 GPUs.
     Dgx1V,
+    /// DGX-2 (16 V100s on an NVSwitch fabric).
+    Dgx2,
 }
 
-/// A cluster of `n_servers` identical DGX-1 servers connected by a network.
+/// Number of GPUs on one server of the given [`ServerKind`].
+pub fn gpus_per_server(kind: ServerKind) -> usize {
+    match kind {
+        ServerKind::Dgx1P | ServerKind::Dgx1V => 8,
+        ServerKind::Dgx2 => 16,
+    }
+}
+
+fn kind_name(kind: ServerKind) -> &'static str {
+    match kind {
+        ServerKind::Dgx1P => "dgx-1p",
+        ServerKind::Dgx1V => "dgx-1v",
+        ServerKind::Dgx2 => "dgx-2",
+    }
+}
+
+/// Adds one server's GPUs, intra-server links, fabric caps and NIC to `t`,
+/// with GPU ids based at `gpus_per_server(kind) * s`. Shared by
+/// [`multi_server`] (whole cluster) and [`placement_topology`] (only the
+/// allocated slice — via the membership-filtered link loops below).
+fn add_server(t: &mut Topology, kind: ServerKind, s: usize, nic_gbps: f64) {
+    let base = gpus_per_server(kind) * s;
+    match kind {
+        ServerKind::Dgx1P => {
+            add_dgx1_gpus(t, ServerId(s), base);
+            add_dgx1_nvlinks(t, base, LinkKind::NvLinkGen1, false);
+            add_dgx1_pcie(t, base);
+        }
+        ServerKind::Dgx1V => {
+            add_dgx1_gpus(t, ServerId(s), base);
+            add_dgx1_nvlinks(t, base, LinkKind::NvLinkGen2, true);
+            add_dgx1_pcie(t, base);
+        }
+        ServerKind::Dgx2 => {
+            add_dgx2_gpus(t, ServerId(s), base);
+            add_dgx2_fabric(t, base);
+            add_dgx2_caps(t, base);
+        }
+    }
+    t.set_server_nic(ServerId(s), nic_gbps);
+}
+
+/// A cluster of `n_servers` identical servers connected by a network.
 ///
 /// GPU ids are globally contiguous: server `s` hosts GPUs
-/// `8*s .. 8*s + 8`. Every cross-server GPU pair is connected by a pair of
-/// [`LinkKind::Network`] edges with per-direction bandwidth `nic_gbps`; the
-/// per-server NIC capacity (also `nic_gbps`) is recorded via
-/// [`Topology::set_server_nic`] so that the simulator can model the NIC as a
-/// shared resource rather than a per-pair pipe.
+/// `g*s .. g*s + g` where `g = `[`gpus_per_server`]`(kind)`. Every
+/// cross-server GPU pair is connected by a pair of [`LinkKind::Network`]
+/// edges with per-direction bandwidth `nic_gbps`; the per-server NIC capacity
+/// (also `nic_gbps`) is recorded via [`Topology::set_server_nic`] so that the
+/// simulator can model the NIC as a shared resource rather than a per-pair
+/// pipe.
 pub fn multi_server(n_servers: usize, kind: ServerKind, nic_gbps: f64) -> Topology {
-    let name = format!(
-        "{}x{}-{}gbps",
-        n_servers,
-        match kind {
-            ServerKind::Dgx1P => "dgx-1p",
-            ServerKind::Dgx1V => "dgx-1v",
-        },
-        nic_gbps
-    );
+    let name = format!("{}x{}-{}gbps", n_servers, kind_name(kind), nic_gbps);
+    let gps = gpus_per_server(kind);
     let mut t = Topology::new(name);
     for s in 0..n_servers {
-        let base = 8 * s;
-        add_dgx1_gpus(&mut t, ServerId(s), base);
-        match kind {
-            ServerKind::Dgx1P => add_dgx1_nvlinks(&mut t, base, LinkKind::NvLinkGen1, false),
-            ServerKind::Dgx1V => add_dgx1_nvlinks(&mut t, base, LinkKind::NvLinkGen2, true),
-        }
-        add_dgx1_pcie(&mut t, base);
-        t.set_server_nic(ServerId(s), nic_gbps);
+        add_server(&mut t, kind, s, nic_gbps);
     }
     for s1 in 0..n_servers {
         for s2 in (s1 + 1)..n_servers {
-            for i in 0..8 {
-                for j in 0..8 {
+            for i in 0..gps {
+                for j in 0..gps {
                     t.add_duplex_with_bandwidth(
-                        GpuId(8 * s1 + i),
-                        GpuId(8 * s2 + j),
+                        GpuId(gps * s1 + i),
+                        GpuId(gps * s2 + j),
                         LinkKind::Network,
                         1,
                         nic_gbps,
@@ -222,6 +277,155 @@ pub fn multi_server(n_servers: usize, kind: ServerKind, nic_gbps: f64) -> Topolo
         }
     }
     t
+}
+
+/// Builds the topology *induced by a scheduler placement* directly from its
+/// per-server slices, without materialising the whole cluster: only the
+/// allocated GPUs, the intra-server links between co-located allocated GPUs,
+/// the cross-server [`LinkKind::Network`] mesh between the slices, the DGX-2
+/// fabric caps and the involved servers' NICs.
+///
+/// `slices` uses the `blink-sched` placement convention: `(server index,
+/// global GPU ids on that server)`, with GPU `g` of server `s` carrying the
+/// global id `gpus_per_server(kind) * s + g`. The result is **identical**
+/// (same GPU order, same link order, same caps — hence the same plan
+/// fingerprint) to `multi_server(n, kind, nic_gbps).induced(&flat_ids)`, so
+/// plans cached under either construction path serve the other; a test pins
+/// this equivalence.
+///
+/// # Errors
+/// Rejects empty placements ([`TopologyError::EmptyAllocation`]), GPU ids
+/// inconsistent with their slice's server index
+/// ([`TopologyError::UnknownGpu`]), and GPUs listed twice
+/// ([`TopologyError::DuplicateGpu`]).
+pub fn placement_topology(
+    kind: ServerKind,
+    nic_gbps: f64,
+    slices: &[(usize, Vec<GpuId>)],
+) -> crate::Result<Topology> {
+    let gps = gpus_per_server(kind);
+    let mut by_server: BTreeMap<usize, BTreeSet<GpuId>> = BTreeMap::new();
+    for (server, gpus) in slices {
+        let set = by_server.entry(*server).or_default();
+        for &g in gpus {
+            if !set.insert(g) {
+                return Err(TopologyError::DuplicateGpu(g));
+            }
+        }
+    }
+    by_server.retain(|_, gpus| !gpus.is_empty());
+    if by_server.is_empty() {
+        return Err(TopologyError::EmptyAllocation);
+    }
+    let all_ids: Vec<String> = by_server
+        .values()
+        .flatten()
+        .map(|g| g.0.to_string())
+        .collect();
+    let mut t = Topology::new(format!(
+        "placement-{}[{}]",
+        kind_name(kind),
+        all_ids.join(",")
+    ));
+    for (&server, gpus) in &by_server {
+        let base = server * gps;
+        for &g in gpus {
+            let local = g
+                .index()
+                .checked_sub(base)
+                .filter(|&l| l < gps)
+                .ok_or(TopologyError::UnknownGpu(g))?;
+            t.add_gpu(g, ServerId(server), local)?;
+        }
+    }
+    // Intra-server links in preset enumeration order, restricted to the
+    // allocated local indices (this mirrors what `Topology::induced` keeps).
+    for (&server, gpus) in &by_server {
+        let base = server * gps;
+        let here = |i: usize| gpus.contains(&GpuId(base + i));
+        match kind {
+            ServerKind::Dgx1P | ServerKind::Dgx1V => {
+                let (link_kind, doubled) = match kind {
+                    ServerKind::Dgx1P => (LinkKind::NvLinkGen1, false),
+                    _ => (LinkKind::NvLinkGen2, true),
+                };
+                for &(a, b) in &DGX1_NVLINK_PAIRS {
+                    if !(here(a) && here(b)) {
+                        continue;
+                    }
+                    let lanes = if doubled && DGX1V_DOUBLE_PAIRS.contains(&(a, b)) {
+                        2
+                    } else {
+                        1
+                    };
+                    t.add_duplex(GpuId(base + a), GpuId(base + b), link_kind, lanes)?;
+                }
+                for i in 0..8 {
+                    for j in (i + 1)..8 {
+                        if here(i) && here(j) {
+                            t.add_duplex_with_bandwidth(
+                                GpuId(base + i),
+                                GpuId(base + j),
+                                LinkKind::Pcie,
+                                1,
+                                dgx_pcie_gbps(i, j, 4),
+                            )?;
+                        }
+                    }
+                }
+            }
+            ServerKind::Dgx2 => {
+                for i in 0..16 {
+                    for j in (i + 1)..16 {
+                        if !(here(i) && here(j)) {
+                            continue;
+                        }
+                        t.add_duplex_with_bandwidth(
+                            GpuId(base + i),
+                            GpuId(base + j),
+                            LinkKind::NvSwitch,
+                            1,
+                            DGX2_GPU_INJECTION_GBPS,
+                        )?;
+                        t.add_duplex_with_bandwidth(
+                            GpuId(base + i),
+                            GpuId(base + j),
+                            LinkKind::Pcie,
+                            1,
+                            dgx_pcie_gbps(i, j, 8),
+                        )?;
+                    }
+                }
+                for &g in gpus {
+                    t.set_gpu_cap(g, DGX2_GPU_INJECTION_GBPS)?;
+                }
+            }
+        }
+        t.set_server_nic(ServerId(server), nic_gbps);
+    }
+    let servers: Vec<usize> = by_server.keys().copied().collect();
+    for (a, &s1) in servers.iter().enumerate() {
+        for &s2 in &servers[a + 1..] {
+            for i in 0..gps {
+                if !by_server[&s1].contains(&GpuId(gps * s1 + i)) {
+                    continue;
+                }
+                for j in 0..gps {
+                    if !by_server[&s2].contains(&GpuId(gps * s2 + j)) {
+                        continue;
+                    }
+                    t.add_duplex_with_bandwidth(
+                        GpuId(gps * s1 + i),
+                        GpuId(gps * s2 + j),
+                        LinkKind::Network,
+                        1,
+                        nic_gbps,
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -343,6 +547,100 @@ mod tests {
             .filter(|l| l.src.index() < 8 && l.dst.index() < 8)
             .count();
         assert_eq!(per_server_links, single.links().len());
+    }
+
+    #[test]
+    fn multi_server_supports_dgx2() {
+        let t = multi_server(2, ServerKind::Dgx2, DEFAULT_NIC_GBPS);
+        assert_eq!(t.num_gpus(), 32);
+        assert_eq!(t.servers().len(), 2);
+        assert_eq!(t.gpus_on_server(ServerId(1)).len(), 16);
+        for g in t.gpu_ids() {
+            assert_eq!(t.gpu_cap(g), Some(DGX2_GPU_INJECTION_GBPS));
+            // 15 NVSwitch neighbours on the same server
+            let nv = t
+                .nvlink_only()
+                .neighbors(g)
+                .iter()
+                .filter(|&&n| (n.index() < 16) == (g.index() < 16))
+                .count();
+            assert_eq!(nv, 15);
+        }
+        // cross-server pairs ride the network: 16*16 pairs * 2 directions
+        let net = t.filter_links(|l| l.kind == LinkKind::Network);
+        assert_eq!(net.links().len(), 512);
+        t.validate().unwrap();
+    }
+
+    /// The placement-induced builder must be *identical* to materialising the
+    /// whole cluster and inducing on the flattened allocation — same GPU
+    /// order, same link order, same caps/NICs — because plan fingerprints
+    /// hash GPUs and links in listed order, and the fleet pipeline relies on
+    /// cache hits between the two construction paths.
+    #[test]
+    fn placement_topology_matches_cluster_induced_subgraph() {
+        use crate::TopologyDelta;
+        type Slices = Vec<(usize, Vec<usize>)>;
+        let cases: Vec<(ServerKind, Slices)> = vec![
+            (
+                ServerKind::Dgx1V,
+                vec![(0, vec![1, 4, 5]), (2, vec![0, 1, 2, 3, 6])],
+            ),
+            (ServerKind::Dgx1V, vec![(1, vec![0, 1, 2])]),
+            (ServerKind::Dgx1P, vec![(0, vec![0, 7]), (1, vec![3])]),
+            (
+                ServerKind::Dgx2,
+                vec![(0, vec![1, 2, 9]), (2, vec![0, 5, 10, 15])],
+            ),
+        ];
+        for (kind, local_slices) in cases {
+            let gps = gpus_per_server(kind);
+            let slices: Vec<(usize, Vec<GpuId>)> = local_slices
+                .iter()
+                .map(|(s, locals)| (*s, locals.iter().map(|g| GpuId(s * gps + g)).collect()))
+                .collect();
+            let flat: Vec<GpuId> = slices.iter().flat_map(|(_, g)| g.clone()).collect();
+            let n_servers = slices.iter().map(|(s, _)| s + 1).max().unwrap();
+            let full = multi_server(n_servers, kind, DEFAULT_NIC_GBPS);
+            let induced = full.induced(&flat).unwrap();
+            let direct = placement_topology(kind, DEFAULT_NIC_GBPS, &slices).unwrap();
+            assert_eq!(direct.gpus(), induced.gpus(), "{kind:?} GPU order");
+            assert_eq!(direct.links(), induced.links(), "{kind:?} link order");
+            for &g in &flat {
+                assert_eq!(direct.gpu_cap(g), induced.gpu_cap(g), "{kind:?} cap {g}");
+            }
+            for (s, _) in &slices {
+                assert_eq!(
+                    direct.server_nic(ServerId(*s)),
+                    induced.server_nic(ServerId(*s)),
+                    "{kind:?} NIC server {s}"
+                );
+            }
+            let delta = TopologyDelta::between(&induced, &direct);
+            assert!(delta.is_empty(), "{kind:?}: non-empty delta {delta:?}");
+            direct.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn placement_topology_rejects_bad_placements() {
+        // GPU id inconsistent with its slice's server index
+        let bad = vec![(1usize, vec![GpuId(3)])];
+        assert_eq!(
+            placement_topology(ServerKind::Dgx1V, 5.0, &bad).unwrap_err(),
+            TopologyError::UnknownGpu(GpuId(3))
+        );
+        // duplicate GPU across slices of the same server
+        let dup = vec![(0usize, vec![GpuId(1)]), (0, vec![GpuId(1)])];
+        assert_eq!(
+            placement_topology(ServerKind::Dgx1V, 5.0, &dup).unwrap_err(),
+            TopologyError::DuplicateGpu(GpuId(1))
+        );
+        // empty placement
+        assert_eq!(
+            placement_topology(ServerKind::Dgx1V, 5.0, &[]).unwrap_err(),
+            TopologyError::EmptyAllocation
+        );
     }
 
     #[test]

@@ -473,3 +473,93 @@ proptest! {
         }
     }
 }
+
+// ---- fleet placements: slice topologies and end-to-end planning ----
+
+use blink_core::{Communicator, CommunicatorOptions};
+use blink_topology::presets::{gpus_per_server, multi_server, placement_topology, ServerKind};
+use blink_topology::TopologyDelta;
+
+/// A random contended placement on a 3-server cluster: at least two GPUs
+/// drawn as `(server, local gpu)` pairs, grouped into per-server slices —
+/// fragmented, odd-sized (down to single-GPU) fragments included, exactly
+/// the shapes the Figure 3 scheduler produces under churn.
+fn placement_strategy(gps: usize) -> impl Strategy<Value = Vec<(usize, Vec<usize>)>> {
+    proptest::collection::btree_set((0usize..3, 0usize..gps), 2..=(gps + 4)).prop_map(|pairs| {
+        let mut by_server: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (s, g) in pairs {
+            by_server.entry(s).or_default().push(g);
+        }
+        by_server.into_iter().collect()
+    })
+}
+
+/// Shared body: the slice topology must match inducing on the full cluster
+/// exactly, and the placement must plan and run a byte-exact AllReduce
+/// through `Communicator` with the same global GPU ids the scheduler handed
+/// out.
+fn check_contended_placement(
+    kind: ServerKind,
+    slices_local: &[(usize, Vec<usize>)],
+) -> Result<(), String> {
+    let gps = gpus_per_server(kind);
+    let slices: Vec<(usize, Vec<GpuId>)> = slices_local
+        .iter()
+        .map(|(s, locals)| (*s, locals.iter().map(|&g| GpuId(s * gps + g)).collect()))
+        .collect();
+    let flat: Vec<GpuId> = slices.iter().flat_map(|(_, g)| g.clone()).collect();
+
+    let direct = placement_topology(kind, 5.0, &slices).map_err(|e| e.to_string())?;
+    let cluster = multi_server(3, kind, 5.0);
+    let induced = cluster.induced(&flat).map_err(|e| e.to_string())?;
+    if !TopologyDelta::between(&direct, &induced).is_empty() {
+        return Err("slice topology differs from the cluster-induced subgraph".to_string());
+    }
+
+    let options = CommunicatorOptions {
+        isolated_plan_cache: true,
+        ..Default::default()
+    };
+    let mut comm =
+        Communicator::for_placement(kind, 5.0, &slices, options).map_err(|e| e.to_string())?;
+    if comm.allocation() != flat {
+        return Err(format!(
+            "allocation {:?} disagrees with the scheduler's GPU ids {:?}",
+            comm.allocation(),
+            flat
+        ));
+    }
+    let (report, check) = comm
+        .run_checked(CollectiveKind::AllReduce, 4 << 20)
+        .map_err(|e| e.to_string())?;
+    if !check.is_correct() {
+        return Err(format!("AllReduce not conformant: {check}"));
+    }
+    if report.algorithmic_bandwidth_gbps <= 0.0 {
+        return Err(format!("zero-rate collective: {report}"));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every contended DGX-1V placement — fragmented, odd-sized, even
+    /// single-GPU slices — induces a plannable slice topology and completes
+    /// a byte-exact AllReduce end to end.
+    #[test]
+    fn contended_dgx1v_placements_plan_and_run(slices in placement_strategy(8)) {
+        if let Err(e) = check_contended_placement(ServerKind::Dgx1V, &slices) {
+            return Err(TestCaseError::fail(format!("{slices:?}: {e}")));
+        }
+    }
+
+    /// The same property on the switch-fabric DGX-2 cluster.
+    #[test]
+    fn contended_dgx2_placements_plan_and_run(slices in placement_strategy(16)) {
+        if let Err(e) = check_contended_placement(ServerKind::Dgx2, &slices) {
+            return Err(TestCaseError::fail(format!("{slices:?}: {e}")));
+        }
+    }
+}
