@@ -45,7 +45,8 @@ use crate::treegen::{
     parallel_map, LinkSelection, SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan,
 };
 use crate::{new_shared_scratch, Result};
-use blink_graph::{optimal_broadcast_rate, DiGraph};
+use blink_graph::{optimal_broadcast_rate, Arborescence, DiGraph, WeightedTree};
+use blink_topology::enumerate::canonical_labeling;
 use blink_topology::{GpuId, Topology, TopologyDelta};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
@@ -92,6 +93,66 @@ pub fn plan_fingerprint(induced: &Topology, options: &TreeGenOptions) -> u64 {
     h.finish()
 }
 
+/// Largest allocation the canonical plan-sharing tier will label. The
+/// canonical form is computed by brute force over all `n!` labellings
+/// (`blink_topology::enumerate::canonical_form`), which is instantaneous up
+/// to one server's 8 GPUs and infeasible at a DGX-2's 16 — larger
+/// allocations simply skip the canonical tier and rely on exact
+/// fingerprints.
+pub const CANONICAL_MAX_GPUS: usize = 8;
+
+/// A 64-bit fingerprint of the [`TreeGenOptions`] alone (link class
+/// normalised away, exactly as in [`plan_fingerprint`]). The canonical tier
+/// keys on `(canonical form, options fingerprint, canonical root)` — the
+/// canonical form already captures the topology, so only the options need
+/// hashing separately.
+fn options_fingerprint(options: &TreeGenOptions) -> u64 {
+    let mut h = DefaultHasher::new();
+    options.packing.epsilon.to_bits().hash(&mut h);
+    options.packing.max_iterations.hash(&mut h);
+    options.minimize.threshold.to_bits().hash(&mut h);
+    options.minimize.unit_gbps.map(f64::to_bits).hash(&mut h);
+    options.minimize.max_bb_nodes.hash(&mut h);
+    options
+        .minimize
+        .known_optimum
+        .map(f64::to_bits)
+        .hash(&mut h);
+    options.skip_minimize.hash(&mut h);
+    h.finish()
+}
+
+/// Rewrites every GPU id in `plan` through `map` (a bijection over the
+/// plan's GPUs). Weights, rates and diagnostics are untouched: a relabelled
+/// plan packs the isomorphic image of the original trees at identical rates,
+/// which is exactly why canonical-tier hits are valid for any allocation
+/// that realises the canonical shape.
+fn relabel_plan(plan: &TreePlan, map: &BTreeMap<GpuId, GpuId>) -> TreePlan {
+    let m = |g: GpuId| map[&g];
+    let mut gpus: Vec<GpuId> = plan.gpus.iter().map(|&g| m(g)).collect();
+    gpus.sort();
+    let trees = plan
+        .trees
+        .iter()
+        .map(|t| WeightedTree {
+            tree: Arborescence::new(
+                m(t.tree.root),
+                t.tree.edges.iter().map(|&(a, b)| (m(a), m(b))).collect(),
+            ),
+            weight: t.weight,
+        })
+        .collect();
+    TreePlan {
+        root: m(plan.root),
+        gpus,
+        trees,
+        optimal_rate_gbps: plan.optimal_rate_gbps,
+        trees_before_minimize: plan.trees_before_minimize,
+        links: plan.links,
+        mwu: plan.mwu,
+    }
+}
+
 /// A plan cache shared across communicators (and across the per-server
 /// TreeGens of the three-phase multi-server AllReduce): whole [`TreePlan`]s
 /// memoised under `(`[`plan_fingerprint`]`, root, link class)`.
@@ -114,6 +175,33 @@ pub fn plan_fingerprint(induced: &Topology, options: &TreeGenOptions) -> u64 {
 /// A hit refreshes an entry's recency. Eviction only ever costs a re-pack:
 /// lookups are keyed by the caller's current fingerprint, so correctness is
 /// never at stake.
+///
+/// # The canonical tier
+///
+/// Besides the exact tier above, the cache carries a second, **opt-in**
+/// tier keyed by `(`[`canonical form`]`, options fingerprint, canonical
+/// root)`. Where the exact tier only serves topology-*identical*
+/// allocations, the canonical tier serves topology-*isomorphic* ones: the
+/// mirror halves of a DGX-1V, every 3-GPU clique of an NVSwitch fabric, the
+/// stride subgroups of a process-group split. Plans are stored relabelled
+/// into canonical ids `0..n` and relabelled back through the looking-up
+/// allocation's [`canonical_labeling`] witness on a hit, so a hit is an
+/// isomorphic image of the published plan — same weights, same certified
+/// rate, valid for the new allocation, but *not* bit-identical to what a
+/// cold pack on that allocation would produce (the MWU trajectory depends
+/// on labels).
+///
+/// The tier is restricted to NVLink-only plans of at most
+/// [`CANONICAL_MAX_GPUS`] GPUs: the canonical form covers exactly the
+/// NVLink capacity matrix (NVLink packing reads nothing else), and the
+/// brute-force labelling is infeasible past one server. Canonical entries
+/// are shape-intrinsic — a looking-up communicator just *recomputed* the
+/// canonical form from its live induced topology, proving its hardware
+/// realises the shape — so unlike the exact tier they are never flushed by
+/// fingerprint invalidation or deltas. [`PlanCache`]s opt in via
+/// [`PlanCache::with_canonical_sharing`].
+///
+/// [`canonical form`]: blink_topology::enumerate::canonical_form
 #[derive(Debug, Clone, Default)]
 pub struct SharedPlanCache {
     inner: Arc<Mutex<SharedPlanCacheInner>>,
@@ -123,11 +211,17 @@ pub struct SharedPlanCache {
 struct SharedPlanCacheInner {
     /// Key -> (plan, last-touched tick). The tick drives LRU eviction.
     plans: BTreeMap<(u64, GpuId, LinkSelection), (Arc<TreePlan>, u64)>,
+    /// The canonical tier: `(canonical form, options fingerprint, canonical
+    /// root index)` -> (plan relabelled into canonical ids, tick). Bounded
+    /// by the same `capacity`, evicted LRU independently of the exact tier.
+    canonical: BTreeMap<(String, u64, usize), (Arc<TreePlan>, u64)>,
     /// Monotonic access counter feeding the recency ticks.
     tick: u64,
     capacity: usize,
     hits: u64,
     misses: u64,
+    canonical_hits: u64,
+    canonical_misses: u64,
     evictions: u64,
 }
 
@@ -135,10 +229,13 @@ impl Default for SharedPlanCacheInner {
     fn default() -> Self {
         SharedPlanCacheInner {
             plans: BTreeMap::new(),
+            canonical: BTreeMap::new(),
             tick: 0,
             capacity: SharedPlanCache::DEFAULT_CAPACITY,
             hits: 0,
             misses: 0,
+            canonical_hits: 0,
+            canonical_misses: 0,
             evictions: 0,
         }
     }
@@ -217,6 +314,74 @@ impl SharedPlanCache {
         inner.evict_to_capacity();
     }
 
+    /// Looks up the canonical tier: a plan published for any allocation
+    /// isomorphic to the one `canon` describes, rooted at the GPU playing
+    /// canonical role `root_index`. Counts a canonical hit or miss and
+    /// refreshes LRU recency. The returned plan is labelled in canonical ids
+    /// `0..n` — callers relabel it through their own
+    /// [`canonical_labeling`] witness.
+    pub fn get_canonical(
+        &self,
+        canon: &str,
+        options_fp: u64,
+        root_index: usize,
+    ) -> Option<Arc<TreePlan>> {
+        let mut inner = self.inner.lock().expect("shared plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner
+            .canonical
+            .get_mut(&(canon.to_string(), options_fp, root_index))
+        {
+            Some((plan, last_used)) => {
+                *last_used = tick;
+                let plan = plan.clone();
+                inner.canonical_hits += 1;
+                Some(plan)
+            }
+            None => {
+                inner.canonical_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Publishes a plan to the canonical tier. `plan` must already be
+    /// relabelled into canonical ids `0..n` (role `i` of `canon` is
+    /// `GpuId(i)`), rooted at `GpuId(root_index)`. Racing writers overwrite
+    /// each other with equivalent plans, exactly as in the exact tier.
+    pub fn insert_canonical(
+        &self,
+        canon: String,
+        options_fp: u64,
+        root_index: usize,
+        plan: Arc<TreePlan>,
+    ) {
+        let mut inner = self.inner.lock().expect("shared plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner
+            .canonical
+            .insert((canon, options_fp, root_index), (plan, tick));
+        inner.evict_to_capacity();
+    }
+
+    /// `(hits, misses)` counters of the canonical tier since creation (or
+    /// the last [`SharedPlanCache::invalidate`]).
+    pub fn canonical_stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("shared plan cache poisoned");
+        (inner.canonical_hits, inner.canonical_misses)
+    }
+
+    /// Number of plans memoised in the canonical tier.
+    pub fn canonical_len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("shared plan cache poisoned")
+            .canonical
+            .len()
+    }
+
     /// Number of memoised plans (across all fingerprints).
     pub fn len(&self) -> usize {
         self.inner
@@ -254,8 +419,11 @@ impl SharedPlanCache {
     pub fn invalidate(&self) {
         let mut inner = self.inner.lock().expect("shared plan cache poisoned");
         inner.plans.clear();
+        inner.canonical.clear();
         inner.hits = 0;
         inner.misses = 0;
+        inner.canonical_hits = 0;
+        inner.canonical_misses = 0;
         inner.evictions = 0;
     }
 
@@ -387,10 +555,11 @@ pub fn global_plan_cache() -> SharedPlanCache {
 }
 
 impl SharedPlanCacheInner {
-    /// Evicts least-recently-used entries until the cache fits its capacity.
+    /// Evicts least-recently-used entries until each tier fits the capacity.
     /// An O(n) scan per eviction is deliberate: capacities are small (plans
     /// are megabyte-scale, not millions of entries) and eviction only
-    /// happens on inserts past the cap.
+    /// happens on inserts past the cap. The tiers are bounded independently
+    /// so canonical churn cannot evict exact-tier plans or vice versa.
     fn evict_to_capacity(&mut self) {
         while self.plans.len() > self.capacity {
             let oldest = self
@@ -400,6 +569,16 @@ impl SharedPlanCacheInner {
                 .map(|(&k, _)| k)
                 .expect("non-empty cache over capacity");
             self.plans.remove(&oldest);
+            self.evictions += 1;
+        }
+        while self.canonical.len() > self.capacity {
+            let oldest = self
+                .canonical
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty canonical tier over capacity");
+            self.canonical.remove(&oldest);
             self.evictions += 1;
         }
     }
@@ -429,6 +608,14 @@ pub struct PlanCache {
     /// Optional cross-communicator tier: local misses consult it before
     /// packing and publish what they pack.
     shared: Option<SharedPlanCache>,
+    /// Whether misses may also consult/feed the shared tier's *canonical*
+    /// map (isomorphism-level sharing). Opt-in: canonical hits are valid
+    /// relabelled plans but not bit-identical to a cold pack.
+    canonical: bool,
+    /// Memoised canonical labelling of the current induced topology, keyed
+    /// by the fingerprint it was computed under (the labelling is a pure
+    /// function of the topology, and brute-force labelling costs `n!`).
+    canon: Option<(u64, String, Vec<GpuId>)>,
 }
 
 impl PlanCache {
@@ -445,6 +632,8 @@ impl PlanCache {
             seeds: BTreeMap::new(),
             built_under: None,
             shared: None,
+            canonical: false,
+            canon: None,
         }
     }
 
@@ -454,6 +643,25 @@ impl PlanCache {
     pub fn with_shared(mut self, shared: SharedPlanCache) -> Self {
         self.shared = Some(shared);
         self
+    }
+
+    /// Additionally opts in to the attached shared tier's **canonical** map:
+    /// when an exact-fingerprint lookup misses, NVLink-only plans over at
+    /// most [`CANONICAL_MAX_GPUS`] GPUs are looked up (and published) under
+    /// the allocation's canonical form, so topology-*isomorphic* allocations
+    /// — mirror halves, NVSwitch cliques, process-group subgroups — reuse
+    /// each other's packing work. A canonical hit is relabelled through this
+    /// allocation's [`canonical_labeling`] witness: same weights and
+    /// certified rate, but not bit-identical to a cold pack. No-op without
+    /// an attached shared cache.
+    pub fn with_canonical_sharing(mut self) -> Self {
+        self.canonical = true;
+        self
+    }
+
+    /// Whether the canonical tier is consulted on misses.
+    pub fn canonical_sharing_enabled(&self) -> bool {
+        self.canonical
     }
 
     /// The cross-communicator cache tier, if one is attached.
@@ -485,6 +693,89 @@ impl PlanCache {
                 shared.invalidate_fingerprint(old);
             }
             self.built_under = Some(fp);
+        }
+    }
+
+    /// Whether this lookup shape may use the canonical tier: opted in, a
+    /// shared cache attached, NVLink-only (the canonical form covers exactly
+    /// the NVLink capacity matrix — and NVLink packing reads nothing else)
+    /// and small enough to label.
+    fn canonical_eligible(&self, induced: &Topology, options: &TreeGenOptions) -> bool {
+        self.canonical
+            && self.shared.is_some()
+            && options.links == LinkSelection::NvLinkOnly
+            && (2..=CANONICAL_MAX_GPUS).contains(&induced.gpus().len())
+    }
+
+    /// The memoised canonical labelling of `induced`, recomputed when the
+    /// fingerprint changed since it was cached.
+    fn ensure_canon(&mut self, induced: &Topology, fp: u64) -> Option<(String, Vec<GpuId>)> {
+        if self.canon.as_ref().map(|(f, _, _)| *f) != Some(fp) {
+            let ids = induced.gpu_ids();
+            let (canon, order) = canonical_labeling(induced, &ids).ok()?;
+            self.canon = Some((fp, canon, order));
+        }
+        self.canon.as_ref().map(|(_, c, o)| (c.clone(), o.clone()))
+    }
+
+    /// Tries the canonical tier for `root`, relabelling a hit through this
+    /// allocation's labelling witness (`GpuId(i) → order[i]`).
+    fn canonical_hit(
+        &mut self,
+        induced: &Topology,
+        options: &TreeGenOptions,
+        root: GpuId,
+        fp: u64,
+    ) -> Option<TreePlan> {
+        if !self.canonical_eligible(induced, options) {
+            return None;
+        }
+        let (canon, order) = self.ensure_canon(induced, fp)?;
+        let root_index = order.iter().position(|&g| g == root)?;
+        let hit = self.shared.as_ref()?.get_canonical(
+            &canon,
+            options_fingerprint(options),
+            root_index,
+        )?;
+        let map: BTreeMap<GpuId, GpuId> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (GpuId(i), g))
+            .collect();
+        Some(relabel_plan(&hit, &map))
+    }
+
+    /// Publishes a freshly packed plan to the canonical tier, relabelled
+    /// into canonical ids (`order[i] → GpuId(i)`).
+    fn publish_canonical(
+        &mut self,
+        induced: &Topology,
+        options: &TreeGenOptions,
+        root: GpuId,
+        fp: u64,
+        plan: &TreePlan,
+    ) {
+        if !self.canonical_eligible(induced, options) {
+            return;
+        }
+        let Some((canon, order)) = self.ensure_canon(induced, fp) else {
+            return;
+        };
+        let Some(root_index) = order.iter().position(|&g| g == root) else {
+            return;
+        };
+        let map: BTreeMap<GpuId, GpuId> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, GpuId(i)))
+            .collect();
+        if let Some(shared) = &self.shared {
+            shared.insert_canonical(
+                canon,
+                options_fingerprint(options),
+                root_index,
+                Arc::new(relabel_plan(plan, &map)),
+            );
         }
     }
 
@@ -584,17 +875,22 @@ impl PlanCache {
                 .and_then(|s| s.get(fp, root, options.links));
             let plan = match shared_hit {
                 Some(plan) => (*plan).clone(),
-                None => {
-                    let tg = TreeGen::with_scratch(induced.clone(), *options, self.scratch.clone());
-                    let plan = match self.seeds.remove(&key) {
-                        Some(seed) => tg.plan_warm(root, &seed)?,
-                        None => tg.plan(root)?,
-                    };
-                    if let Some(shared) = &self.shared {
-                        shared.insert(fp, root, options.links, Arc::new(plan.clone()));
+                None => match self.canonical_hit(induced, options, root, fp) {
+                    Some(plan) => plan,
+                    None => {
+                        let tg =
+                            TreeGen::with_scratch(induced.clone(), *options, self.scratch.clone());
+                        let plan = match self.seeds.remove(&key) {
+                            Some(seed) => tg.plan_warm(root, &seed)?,
+                            None => tg.plan(root)?,
+                        };
+                        if let Some(shared) = &self.shared {
+                            shared.insert(fp, root, options.links, Arc::new(plan.clone()));
+                        }
+                        self.publish_canonical(induced, options, root, fp, &plan);
+                        plan
                     }
-                    plan
-                }
+                },
             };
             self.plans.insert(key, plan);
         }
@@ -626,6 +922,8 @@ impl PlanCache {
             }
             if let Some(hit) = self.shared.as_ref().and_then(|s| s.get(fp, root, links)) {
                 self.plans.insert((root, links), (*hit).clone());
+            } else if let Some(plan) = self.canonical_hit(induced, options, root, fp) {
+                self.plans.insert((root, links), plan);
             } else {
                 missing.push(root);
             }
@@ -645,6 +943,7 @@ impl PlanCache {
                 if let Some(shared) = &self.shared {
                     shared.insert(fp, root, links, Arc::new(plan.clone()));
                 }
+                self.publish_canonical(induced, options, root, fp, &plan);
                 self.plans.insert((root, links), plan);
             }
         }
@@ -684,6 +983,7 @@ impl PlanCache {
         self.plans.clear();
         self.seeds.clear();
         self.built_under = None;
+        self.canon = None;
     }
 }
 
@@ -1412,6 +1712,160 @@ mod tests {
         assert!(via_b.bit_eq(&plan));
         b.invalidate_fingerprint(fp);
         assert!(a.get(fp, GpuId(999), opts.links).is_none());
+    }
+
+    #[test]
+    fn canonical_tier_shares_plans_across_isomorphic_allocations() {
+        let topo = dgx1v();
+        let quad_a: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let quad_b: Vec<GpuId> = (4..8).map(GpuId).collect();
+        let ind_a = topo.induced(&quad_a).unwrap();
+        let ind_b = topo.induced(&quad_b).unwrap();
+        let opts = TreeGenOptions::default(); // NvLinkOnly
+        let shared = SharedPlanCache::new();
+        // communicator A packs every root of its quad and publishes both the
+        // exact entries and the canonical images
+        let mut a = PlanCache::new()
+            .with_shared(shared.clone())
+            .with_canonical_sharing();
+        let plans_a: Vec<TreePlan> = a
+            .plan_many(&ind_a, &opts, &quad_a)
+            .unwrap()
+            .into_iter()
+            .cloned()
+            .collect();
+        assert_eq!(shared.canonical_stats(), (0, 4), "4 cold packs, all missed");
+        assert_eq!(shared.canonical_len(), 4, "every canonical role published");
+        // communicator B holds the *mirror* quad: exact fingerprints differ,
+        // so the exact tier can never serve it — the canonical tier does,
+        // for every root
+        let mut b = PlanCache::new()
+            .with_shared(shared.clone())
+            .with_canonical_sharing();
+        let plans_b: Vec<TreePlan> = b
+            .plan_many(&ind_b, &opts, &quad_b)
+            .unwrap()
+            .into_iter()
+            .cloned()
+            .collect();
+        assert_eq!(
+            shared.canonical_stats(),
+            (4, 4),
+            "all of B's roots reuse A's packing work"
+        );
+        let (exact_hits, _) = shared.stats();
+        assert_eq!(exact_hits, 0, "the exact tier never fired across quads");
+        // the relabelled plans are real plans for B's GPUs: right root, right
+        // span, edges inside the allocation, certified near-optimal rate
+        for (plan, &root) in plans_b.iter().zip(&quad_b) {
+            assert_eq!(plan.root, root);
+            assert_eq!(plan.gpus, quad_b);
+            assert!(plan.trees.iter().all(|t| {
+                t.tree.root == root
+                    && t.tree
+                        .edges
+                        .iter()
+                        .all(|&(p, c)| quad_b.contains(&p) && quad_b.contains(&c))
+            }));
+            assert!(
+                plan.rate_gbps() >= (1.0 - opts.packing.epsilon) * plan.optimal_rate_gbps - 1e-9
+            );
+        }
+        // isomorphic images carry the original rates exactly (weights are
+        // copied, only labels move) — compare the sorted rate multisets
+        let mut rates_a: Vec<u64> = plans_a.iter().map(|p| p.rate_gbps().to_bits()).collect();
+        let mut rates_b: Vec<u64> = plans_b.iter().map(|p| p.rate_gbps().to_bits()).collect();
+        rates_a.sort_unstable();
+        rates_b.sort_unstable();
+        assert_eq!(rates_a, rates_b);
+        // plan_for goes through the same tier
+        let mut c = PlanCache::new()
+            .with_shared(shared.clone())
+            .with_canonical_sharing();
+        c.plan_for(&ind_b, &opts, GpuId(5)).unwrap();
+        assert_eq!(shared.canonical_stats(), (5, 4));
+        // invalidate flushes the canonical tier with everything else
+        shared.invalidate();
+        assert_eq!(shared.canonical_len(), 0);
+        assert_eq!(shared.canonical_stats(), (0, 0));
+    }
+
+    #[test]
+    fn canonical_tier_is_strictly_opt_in_and_gated() {
+        let topo = dgx1v();
+        let induced = topo
+            .induced(&(0..4).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let opts = TreeGenOptions::default();
+        let shared = SharedPlanCache::new();
+        // no opt-in: the canonical tier is never touched
+        let mut plain = PlanCache::new().with_shared(shared.clone());
+        plain.plan_for(&induced, &opts, GpuId(0)).unwrap();
+        assert_eq!(shared.canonical_stats(), (0, 0));
+        assert_eq!(shared.canonical_len(), 0);
+        // opted in but PCIe-only: the canonical form only covers NVLink
+        // capacities, so non-NVLink plans bypass the tier
+        let pcie = TreeGenOptions {
+            links: LinkSelection::PcieOnly,
+            ..opts
+        };
+        let mut p = PlanCache::new()
+            .with_shared(shared.clone())
+            .with_canonical_sharing();
+        p.plan_for(&induced, &pcie, GpuId(0)).unwrap();
+        assert_eq!(shared.canonical_stats(), (0, 0));
+        // opted in but past the labelling bound: a 9-GPU NVSwitch clique
+        // skips the tier (9! labellings would be fine, 16! would not — the
+        // gate is the documented constant, not luck)
+        let dgx2 = blink_topology::presets::dgx2();
+        let big = dgx2
+            .induced(&(0..(CANONICAL_MAX_GPUS + 1)).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let mut q = PlanCache::new()
+            .with_shared(shared.clone())
+            .with_canonical_sharing();
+        q.plan_for(&big, &opts, GpuId(0)).unwrap();
+        assert_eq!(shared.canonical_stats(), (0, 0));
+        // at the bound the tier engages
+        let eight = dgx2
+            .induced(&(0..CANONICAL_MAX_GPUS).map(GpuId).collect::<Vec<_>>())
+            .unwrap();
+        let mut r = PlanCache::new()
+            .with_shared(shared.clone())
+            .with_canonical_sharing();
+        r.plan_for(&eight, &opts, GpuId(0)).unwrap();
+        assert_eq!(shared.canonical_stats(), (0, 1));
+        assert_eq!(shared.canonical_len(), 1);
+        // exact-tier stats were never polluted by canonical traffic: the
+        // counters above saw exactly the four packs' exact misses
+        assert_eq!(shared.stats().0, 0);
+    }
+
+    #[test]
+    fn canonical_hits_on_nvswitch_cliques_of_equal_size() {
+        // on a DGX-2 every m-subset induces the same complete graph, so one
+        // pack serves *any* same-size allocation — the partial-allocation
+        // scenario of Figure 3 at its most extreme
+        let dgx2 = blink_topology::presets::dgx2();
+        let opts = TreeGenOptions::default();
+        let shared = SharedPlanCache::new();
+        let tri_a: Vec<GpuId> = vec![GpuId(0), GpuId(1), GpuId(2)];
+        let tri_b: Vec<GpuId> = vec![GpuId(5), GpuId(9), GpuId(14)];
+        let mut a = PlanCache::new()
+            .with_shared(shared.clone())
+            .with_canonical_sharing();
+        let rate_a = {
+            let ind = dgx2.induced(&tri_a).unwrap();
+            a.plan_for(&ind, &opts, GpuId(0)).unwrap().rate_gbps()
+        };
+        let mut b = PlanCache::new()
+            .with_shared(shared.clone())
+            .with_canonical_sharing();
+        let ind_b = dgx2.induced(&tri_b).unwrap();
+        let plan_b = b.plan_for(&ind_b, &opts, GpuId(5)).unwrap().clone();
+        assert_eq!(shared.canonical_stats(), (1, 1));
+        assert_eq!(plan_b.rate_gbps().to_bits(), rate_a.to_bits());
+        assert_eq!(plan_b.gpus, tri_b);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::{BlinkError, Result};
 use blink_graph::{DiGraph, WeightedTree};
 use blink_sim::{check_collective, EngineScratch, Program, SimParams, Simulator, ValueCheck};
 use blink_topology::presets::{placement_topology, ServerKind};
-use blink_topology::{GpuId, Topology, TopologyDelta};
+use blink_topology::{GpuId, GroupSplit, Topology, TopologyDelta};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -63,6 +63,14 @@ pub struct CommunicatorOptions {
     /// small per-layer gradient buckets whose launch overheads dominate
     /// while leaving bandwidth-bound transfers unfused.
     pub fusion_threshold_bytes: u64,
+    /// Also share plans at *isomorphism* level: NVLink-only plans over small
+    /// allocations are additionally keyed by the induced topology's canonical
+    /// form in the shared tier, so topology-isomorphic allocations (mirror
+    /// halves, NVSwitch cliques, process-group subgroups) reuse each other's
+    /// packing work. Canonical hits are relabelled plans — identical weights
+    /// and certified rate, but not bit-identical to a cold pack — hence the
+    /// opt-in. [`Communicator::split`] enables this for subgroup children.
+    pub canonical_plan_sharing: bool,
 }
 
 impl Default for CommunicatorOptions {
@@ -75,8 +83,20 @@ impl Default for CommunicatorOptions {
             stream_reuse: false,
             isolated_plan_cache: false,
             fusion_threshold_bytes: 4 << 20,
+            canonical_plan_sharing: false,
         }
     }
+}
+
+/// Which lowering won the strategy competition for one collective signature
+/// on an all-to-all switch fabric (see
+/// [`Communicator::build_switch_program`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SwitchChoice {
+    /// Star/one-hop trees through the switch (the paper's DGX-2 strategy).
+    OneHop,
+    /// MWU-packed spanning trees over the induced switch graph.
+    Packed,
 }
 
 /// What a [`Communicator::replan`] call did — cache survivorship, warm-start
@@ -173,6 +193,9 @@ pub struct Communicator {
     /// Memoised assembled hybrid planners per root, so hybrid-mode cache hits
     /// clone no tree plans at all.
     hybrids: BTreeMap<GpuId, HybridPlanner>,
+    /// Memoised winner of the one-hop-vs-packed simulate-off per collective
+    /// signature on switch fabrics; cleared by [`Communicator::replan`].
+    switch_strategy: BTreeMap<String, SwitchChoice>,
     /// Reusable engine buffers: the autotune loop executes one program per
     /// collective call, and the interned-resource scheduler's prepass tables
     /// amortise across all of them (see `blink_sim::engine`'s scratch-reuse
@@ -181,7 +204,18 @@ pub struct Communicator {
 }
 
 impl Communicator {
+    /// Starts a [`CommunicatorBuilder`] over `machine` — the one construction
+    /// path every configuration funnels through. By default the builder
+    /// spans the whole machine, uses default options and attaches to the
+    /// process-wide [`global_plan_cache`].
+    pub fn builder(machine: Topology) -> CommunicatorBuilder {
+        CommunicatorBuilder::on_machine(machine)
+    }
+
     /// Creates a communicator for `allocation` on `machine`.
+    ///
+    /// Equivalent to
+    /// `Communicator::builder(machine).allocation(allocation).options(options).build()`.
     ///
     /// # Errors
     /// Fails if the allocation is empty or references unknown GPUs.
@@ -190,12 +224,10 @@ impl Communicator {
         allocation: &[GpuId],
         options: CommunicatorOptions,
     ) -> Result<Self> {
-        let plans = if options.isolated_plan_cache {
-            PlanCache::new()
-        } else {
-            PlanCache::new().with_shared(global_plan_cache())
-        };
-        Self::with_plan_cache(machine, allocation, options, plans)
+        CommunicatorBuilder::on_machine(machine)
+            .allocation(allocation)
+            .options(options)
+            .build()
     }
 
     /// Creates a communicator whose plans are shared with other communicators
@@ -205,6 +237,9 @@ impl Communicator {
     /// The three-phase multi-server planner consults the same cache, keyed
     /// per server-local induced topology.
     ///
+    /// Equivalent to the builder path with
+    /// [`CommunicatorBuilder::shared_plans`].
+    ///
     /// # Errors
     /// Same as [`Communicator::new`].
     pub fn with_shared_plans(
@@ -213,12 +248,11 @@ impl Communicator {
         options: CommunicatorOptions,
         shared: SharedPlanCache,
     ) -> Result<Self> {
-        Self::with_plan_cache(
-            machine,
-            allocation,
-            options,
-            PlanCache::new().with_shared(shared),
-        )
+        CommunicatorBuilder::on_machine(machine)
+            .allocation(allocation)
+            .options(options)
+            .shared_plans(shared)
+            .build()
     }
 
     /// Creates a communicator directly from a scheduler placement: the
@@ -231,6 +265,9 @@ impl Communicator {
     /// process-default [`global_plan_cache`] unless
     /// [`CommunicatorOptions::isolated_plan_cache`] opts out.
     ///
+    /// Equivalent to the builder path with
+    /// [`CommunicatorBuilder::from_placement`].
+    ///
     /// # Errors
     /// Rejects malformed placements (empty, duplicated GPUs, ids inconsistent
     /// with their server) and empty allocations.
@@ -240,10 +277,9 @@ impl Communicator {
         slices: &[(usize, Vec<GpuId>)],
         options: CommunicatorOptions,
     ) -> Result<Self> {
-        let machine = placement_topology(kind, nic_gbps, slices)
-            .map_err(|e| BlinkError::Planning(e.to_string()))?;
-        let allocation = machine.gpu_ids();
-        Self::new(machine, &allocation, options)
+        CommunicatorBuilder::from_placement(kind, nic_gbps, slices)
+            .options(options)
+            .build()
     }
 
     /// [`Communicator::for_placement`] with an explicit [`SharedPlanCache`]
@@ -259,10 +295,10 @@ impl Communicator {
         options: CommunicatorOptions,
         shared: SharedPlanCache,
     ) -> Result<Self> {
-        let machine = placement_topology(kind, nic_gbps, slices)
-            .map_err(|e| BlinkError::Planning(e.to_string()))?;
-        let allocation = machine.gpu_ids();
-        Self::with_shared_plans(machine, &allocation, options, shared)
+        CommunicatorBuilder::from_placement(kind, nic_gbps, slices)
+            .options(options)
+            .shared_plans(shared)
+            .build()
     }
 
     fn with_plan_cache(
@@ -271,6 +307,11 @@ impl Communicator {
         options: CommunicatorOptions,
         plans: PlanCache,
     ) -> Result<Self> {
+        let plans = if options.canonical_plan_sharing && !plans.canonical_sharing_enabled() {
+            plans.with_canonical_sharing()
+        } else {
+            plans
+        };
         let induced = machine
             .induced(allocation)
             .map_err(|e| BlinkError::Planning(e.to_string()))?;
@@ -286,6 +327,7 @@ impl Communicator {
             picked_root: None,
             spannable: BTreeMap::new(),
             hybrids: BTreeMap::new(),
+            switch_strategy: BTreeMap::new(),
             engine_scratch: EngineScratch::new(),
         })
     }
@@ -300,9 +342,43 @@ impl Communicator {
         &self.induced
     }
 
+    /// The full machine model the communicator was created over (a superset
+    /// of [`Communicator::induced_topology`] when the allocation is partial).
+    pub fn machine_topology(&self) -> &Topology {
+        &self.machine
+    }
+
+    /// The options the communicator was built with.
+    pub fn options(&self) -> &CommunicatorOptions {
+        &self.options
+    }
+
+    /// The cross-communicator plan-sharing tier this communicator's plan
+    /// cache publishes to, if any.
+    pub(crate) fn plan_shared_cache(&self) -> Option<SharedPlanCache> {
+        self.plans.shared_cache().cloned()
+    }
+
     /// Whether the allocation spans more than one server.
     pub fn is_multi_server(&self) -> bool {
         self.induced.servers().len() > 1
+    }
+
+    /// Splits this communicator into nested process-group subgroups (one
+    /// child communicator per part of `split`), whose induced topologies
+    /// share this machine's links. Children plan independently — through the
+    /// same shared plan tier as the parent, with canonical (isomorphism-
+    /// level) sharing enabled so same-shape subgroups reuse one packing —
+    /// and [`crate::ProcessGroups::run_concurrent`] executes one collective
+    /// per subgroup inside a single simulator session, contending for the
+    /// shared links. The parent communicator is not consumed and remains
+    /// usable.
+    ///
+    /// # Errors
+    /// Propagates invalid splits ([`GroupSplit::partition`]) and child
+    /// construction failures.
+    pub fn split(&self, split: &GroupSplit) -> Result<crate::group::ProcessGroups> {
+        crate::group::ProcessGroups::split_from(self, split)
     }
 
     /// One-to-all broadcast from `root`.
@@ -704,6 +780,7 @@ impl Communicator {
         self.picked_root = None;
         self.spannable.clear();
         self.hybrids.clear();
+        self.switch_strategy.clear();
         self.autotuners.clear();
         self.plans
             .note_delta(&self.induced, &self.options.treegen, delta);
@@ -728,7 +805,7 @@ impl Communicator {
         })
     }
 
-    fn build_program(
+    pub(crate) fn build_program(
         &mut self,
         kind: CollectiveKind,
         bytes: u64,
@@ -791,19 +868,9 @@ impl Communicator {
 
         let cg = CodeGen::new(self.codegen_options(chunk));
 
-        // ---- switch fabrics (DGX-2): one-hop trees ----
+        // ---- switch fabrics (DGX-2): one-hop vs packed competition ----
         if is_switch_fabric(&self.induced, &self.allocation) {
-            let cap = self
-                .induced
-                .gpu_cap(self.allocation[0])
-                .unwrap_or(23.0 * 6.0);
-            let trees: Vec<WeightedTree> = match kind.root() {
-                Some(root) => vec![one_hop_broadcast_tree(&self.allocation, root, cap)],
-                None => one_hop_trees(&self.allocation, cap / self.allocation.len() as f64),
-            };
-            let n = trees.len();
-            let program = cg.build(&trees, kind, bytes)?;
-            return Ok((program, n, "one-hop switch trees".to_string()));
+            return self.build_switch_program(kind, bytes, chunk);
         }
 
         // ---- single DGX-1-style server: packed spanning trees ----
@@ -874,6 +941,233 @@ impl Communicator {
         };
         Ok((program, n, strategy))
     }
+
+    /// Lowers a collective on an all-to-all switch fabric (NVSwitch): one-hop
+    /// trees and MWU-packed spanning trees over the induced switch graph are
+    /// *both* candidate strategies, and the first call per collective
+    /// signature simulates both programs once and memoises the faster one.
+    /// One-hop is no longer a forced short-circuit — partial DGX-2
+    /// allocations plan packed trees exactly like any other induced subgraph
+    /// and win whenever their realised rate is higher (rooted collectives on
+    /// fragments, where a one-hop root re-injects the payload once per leaf
+    /// against its injection cap). If packed planning fails, one-hop wins by
+    /// default.
+    ///
+    /// The memoised winner is keyed by the collective signature (kind and
+    /// root), decided at the first call's byte size, and cleared by
+    /// [`Communicator::replan`].
+    fn build_switch_program(
+        &mut self,
+        kind: CollectiveKind,
+        bytes: u64,
+        chunk: u64,
+    ) -> Result<(Program, usize, String)> {
+        let key = format!("{kind}");
+        if let Some(&choice) = self.switch_strategy.get(&key) {
+            return self.switch_candidate(choice, kind, bytes, chunk);
+        }
+        let one_hop = self.switch_candidate(SwitchChoice::OneHop, kind, bytes, chunk)?;
+        let (choice, winner) = match self.switch_candidate(SwitchChoice::Packed, kind, bytes, chunk)
+        {
+            Ok(packed) => {
+                let one_hop_us = self.simulate_total_us(&one_hop.0)?;
+                let packed_us = self.simulate_total_us(&packed.0)?;
+                if packed_us + 1e-9 < one_hop_us {
+                    (SwitchChoice::Packed, packed)
+                } else {
+                    (SwitchChoice::OneHop, one_hop)
+                }
+            }
+            Err(_) => (SwitchChoice::OneHop, one_hop),
+        };
+        self.switch_strategy.insert(key, choice);
+        Ok(winner)
+    }
+
+    /// Builds one switch-fabric candidate lowering.
+    fn switch_candidate(
+        &mut self,
+        choice: SwitchChoice,
+        kind: CollectiveKind,
+        bytes: u64,
+        chunk: u64,
+    ) -> Result<(Program, usize, String)> {
+        let cg = CodeGen::new(self.codegen_options(chunk));
+        match choice {
+            SwitchChoice::OneHop => {
+                let cap = self
+                    .induced
+                    .gpu_cap(self.allocation[0])
+                    .unwrap_or(23.0 * 6.0);
+                let trees: Vec<WeightedTree> = match kind.root() {
+                    Some(root) => vec![one_hop_broadcast_tree(&self.allocation, root, cap)],
+                    None => one_hop_trees(&self.allocation, cap / self.allocation.len() as f64),
+                };
+                let n = trees.len();
+                let program = cg.build(&trees, kind, bytes)?;
+                Ok((program, n, "one-hop switch trees".to_string()))
+            }
+            SwitchChoice::Packed => {
+                // Any root spans a switch fabric and the graph is symmetric,
+                // so rootless collectives skip the root sweep.
+                let root = kind.root().unwrap_or(self.allocation[0]);
+                let treegen_opts = self.options.treegen;
+                let plan = self.plans.plan_for(&self.induced, &treegen_opts, root)?;
+                let n = plan.num_trees();
+                let program = cg.build(&plan.trees, kind, bytes)?;
+                Ok((
+                    program,
+                    n,
+                    "packed spanning trees (NVLink switch fabric)".to_string(),
+                ))
+            }
+        }
+    }
+
+    /// Simulates a candidate program once (strategy-competition probe).
+    fn simulate_total_us(&mut self, program: &Program) -> Result<f64> {
+        Ok(self
+            .sim
+            .run_with_scratch(program, &mut self.engine_scratch)
+            .map_err(|e| BlinkError::Simulation(e.to_string()))?
+            .total_us)
+    }
+}
+
+/// Where a [`CommunicatorBuilder`] takes its machine model from.
+#[derive(Debug, Clone)]
+enum BuilderSource {
+    /// An explicit machine topology (optionally restricted to an allocation).
+    Machine(Topology),
+    /// A scheduler placement: per-server slices materialised through
+    /// [`placement_topology`].
+    Placement {
+        kind: ServerKind,
+        nic_gbps: f64,
+        slices: Vec<(usize, Vec<GpuId>)>,
+    },
+}
+
+/// The single construction path for [`Communicator`]s.
+///
+/// Every legacy constructor ([`Communicator::new`],
+/// [`Communicator::with_shared_plans`], [`Communicator::for_placement`],
+/// [`Communicator::for_placement_shared`]) is a thin wrapper over this
+/// builder; new call sites should use it directly:
+///
+/// ```
+/// use blink_core::{Communicator, CommunicatorOptions};
+/// use blink_topology::presets::dgx2;
+/// use blink_topology::GpuId;
+///
+/// // a partially-allocated DGX-2 communicator with default plan sharing
+/// let alloc: Vec<GpuId> = vec![GpuId(1), GpuId(4), GpuId(9), GpuId(12)];
+/// let mut comm = Communicator::builder(dgx2())
+///     .allocation(&alloc)
+///     .build()
+///     .unwrap();
+/// let report = comm.broadcast(GpuId(1), 64 << 20).unwrap();
+/// assert!(report.algorithmic_bandwidth_gbps > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommunicatorBuilder {
+    source: BuilderSource,
+    allocation: Option<Vec<GpuId>>,
+    options: CommunicatorOptions,
+    shared: Option<SharedPlanCache>,
+}
+
+impl CommunicatorBuilder {
+    /// Builds communicators over an explicit machine topology. Defaults:
+    /// whole-machine allocation, default options, process-wide
+    /// [`global_plan_cache`] plan sharing.
+    pub fn on_machine(machine: Topology) -> Self {
+        CommunicatorBuilder {
+            source: BuilderSource::Machine(machine),
+            allocation: None,
+            options: CommunicatorOptions::default(),
+            shared: None,
+        }
+    }
+
+    /// Builds communicators from a scheduler placement (`(server index,
+    /// global GPU ids)` slices), materialised through
+    /// [`placement_topology`] at [`CommunicatorBuilder::build`] time. The
+    /// allocation is the whole slice topology.
+    pub fn from_placement(kind: ServerKind, nic_gbps: f64, slices: &[(usize, Vec<GpuId>)]) -> Self {
+        CommunicatorBuilder {
+            source: BuilderSource::Placement {
+                kind,
+                nic_gbps,
+                slices: slices.to_vec(),
+            },
+            allocation: None,
+            options: CommunicatorOptions::default(),
+            shared: None,
+        }
+    }
+
+    /// Restricts the communicator to `allocation` (any induced subgraph —
+    /// fragmented DGX-1 quads and partial DGX-2 allocations plan the same
+    /// way). Without this the communicator spans every GPU of the machine.
+    pub fn allocation(mut self, allocation: &[GpuId]) -> Self {
+        self.allocation = Some(allocation.to_vec());
+        self
+    }
+
+    /// Replaces the whole option set.
+    pub fn options(mut self, options: CommunicatorOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attaches an explicit cross-communicator plan-sharing tier instead of
+    /// the process-wide [`global_plan_cache`].
+    pub fn shared_plans(mut self, shared: SharedPlanCache) -> Self {
+        self.shared = Some(shared);
+        self
+    }
+
+    /// Opts out of plan sharing entirely (shorthand for setting
+    /// [`CommunicatorOptions::isolated_plan_cache`]); an explicit
+    /// [`CommunicatorBuilder::shared_plans`] tier still wins.
+    pub fn isolated_plans(mut self) -> Self {
+        self.options.isolated_plan_cache = true;
+        self
+    }
+
+    /// Enables isomorphism-level plan sharing (shorthand for setting
+    /// [`CommunicatorOptions::canonical_plan_sharing`]).
+    pub fn canonical_plan_sharing(mut self) -> Self {
+        self.options.canonical_plan_sharing = true;
+        self
+    }
+
+    /// Builds the communicator.
+    ///
+    /// # Errors
+    /// Empty or unknown allocations, malformed placements.
+    pub fn build(self) -> Result<Communicator> {
+        let machine = match self.source {
+            BuilderSource::Machine(machine) => machine,
+            BuilderSource::Placement {
+                kind,
+                nic_gbps,
+                slices,
+            } => placement_topology(kind, nic_gbps, &slices)
+                .map_err(|e| BlinkError::Planning(e.to_string()))?,
+        };
+        let allocation = match self.allocation {
+            Some(allocation) => allocation,
+            None => machine.gpu_ids(),
+        };
+        let plans = match self.shared {
+            Some(shared) => PlanCache::new().with_shared(shared),
+            None if self.options.isolated_plan_cache => PlanCache::new(),
+            None => PlanCache::new().with_shared(global_plan_cache()),
+        };
+        Communicator::with_plan_cache(machine, &allocation, self.options, plans)
+    }
 }
 
 #[cfg(test)]
@@ -931,6 +1225,70 @@ mod tests {
         // small messages are latency bound but still fast in absolute terms
         let small = comm.all_reduce(64 * 1024).unwrap();
         assert!(small.elapsed_us < 300.0, "{small}");
+    }
+
+    #[test]
+    fn partial_dgx2_strategy_competition_picks_the_faster_lowering() {
+        // A fragmented 5-GPU NVSwitch allocation. Broadcast under one-hop
+        // re-injects (m−1)× the payload through the root's single port, so
+        // packed spanning trees (aggregate (m−1)·b) must win; AllReduce
+        // spreads one-hop roots over every member and keeps its edge.
+        let alloc: Vec<GpuId> = [1, 4, 9, 12, 14].into_iter().map(GpuId).collect();
+        let mut comm = Communicator::builder(dgx2())
+            .allocation(&alloc)
+            .isolated_plans()
+            .build()
+            .unwrap();
+        let bcast = comm.broadcast(GpuId(4), mb(256)).unwrap();
+        assert!(
+            bcast
+                .strategy
+                .contains("packed spanning trees (NVLink switch fabric)"),
+            "{bcast}"
+        );
+        let ar = comm.all_reduce(mb(256)).unwrap();
+        assert!(ar.strategy.contains("one-hop switch trees"), "{ar}");
+        // the verdict is memoised per kind: repeat calls keep the strategy
+        let again = comm.broadcast(GpuId(4), mb(64)).unwrap();
+        assert!(again.strategy.contains("packed"), "{again}");
+        // both lowerings stay value-correct on the fragment
+        let (_, check) = comm
+            .run_checked(CollectiveKind::Broadcast { root: GpuId(4) }, mb(16))
+            .unwrap();
+        assert!(check.is_correct(), "{check}");
+    }
+
+    #[test]
+    fn builder_is_the_single_construction_path() {
+        // the legacy constructors are thin wrappers: same allocation, same
+        // options, same plan-sharing behaviour, bit-identical execution
+        let alloc: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let mut legacy =
+            Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        let mut built = Communicator::builder(dgx1v())
+            .allocation(&alloc)
+            .build()
+            .unwrap();
+        let a = legacy.broadcast(GpuId(0), mb(64)).unwrap();
+        let b = built.broadcast(GpuId(0), mb(64)).unwrap();
+        assert_eq!(a.strategy, b.strategy);
+        assert_eq!(a.elapsed_us.to_bits(), b.elapsed_us.to_bits());
+        // omitting .allocation() spans the whole machine
+        let whole = Communicator::builder(dgx1v()).build().unwrap();
+        assert_eq!(whole.allocation().len(), 8);
+        // builder-level opt-outs mirror the options flags
+        let isolated = Communicator::builder(dgx1v())
+            .allocation(&alloc)
+            .isolated_plans()
+            .build()
+            .unwrap();
+        assert!(isolated.plan_shared_cache().is_none());
+        let canonical = Communicator::builder(dgx1v())
+            .allocation(&alloc)
+            .canonical_plan_sharing()
+            .build()
+            .unwrap();
+        assert!(canonical.options().canonical_plan_sharing);
     }
 
     #[test]

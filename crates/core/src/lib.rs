@@ -44,6 +44,33 @@
 //!   and elasticity) by delta-invalidating the plan cache and warm-starting
 //!   the packer from the surviving trees, an order of magnitude faster than
 //!   planning cold (`bench_replan` records the trajectory).
+//! * [`group`] — hierarchical process groups: [`Communicator::split`] turns
+//!   one communicator into nested subgroups whose induced topologies share
+//!   the parent's links, executed concurrently through one simulator session
+//!   and value-checked per subgroup.
+//!
+//! # Process groups and strategy selection
+//!
+//! Communicators are built through one path, [`CommunicatorBuilder`]
+//! ([`Communicator::builder`]); the historical constructors delegate to it.
+//! A communicator spans any induced subgraph of its machine — fragmented
+//! DGX-1 quads and *partially allocated* DGX-2 NVSwitch fabrics plan the
+//! same way. On all-to-all switch fabrics there is no hard-wired strategy:
+//! the first collective of each kind lowers **both** candidates — the
+//! paper's one-hop broadcast trees and MWU-packed spanning trees over the
+//! induced switch graph — simulates each once, and memoises whichever
+//! finishes first (the packed certificate `(m−1)·b` beats one-hop's `b`
+//! on fragments where the root's re-injection is the bottleneck, while
+//! one-hop keeps its latency edge where aggregate rates tie). The verdict
+//! is per collective kind and is dropped on [`Communicator::replan`].
+//!
+//! [`Communicator::split`] partitions an allocation with a
+//! [`blink_topology::GroupSplit`] (by server / by stride / explicit sets)
+//! into child communicators that run concurrently over the links they share
+//! ([`ProcessGroups::run_concurrent`]); children enable canonical plan
+//! sharing, so topology-isomorphic subgroups reuse one packed plan via the
+//! [`SharedPlanCache`] keyed by
+//! [`blink_topology::enumerate::canonical_form`].
 //!
 //! ```
 //! use blink_core::{Communicator, CommunicatorOptions};
@@ -64,6 +91,7 @@ pub mod codegen;
 pub mod collective;
 pub mod communicator;
 pub mod fusion;
+pub mod group;
 pub mod hybrid;
 pub mod multiserver;
 pub mod onehop;
@@ -71,13 +99,16 @@ pub mod treegen;
 
 pub use autotune::{
     global_plan_cache, plan_fingerprint, ChunkAutotuner, PlanCache, SharedPlanCache,
+    CANONICAL_MAX_GPUS,
 };
 pub use codegen::{CodeGen, CodeGenOptions};
 pub use collective::{CollectiveKind, CollectiveReport};
 pub use communicator::{
-    Communicator, CommunicatorOptions, ReplanReport, StreamedGroup, StreamedRun,
+    Communicator, CommunicatorBuilder, CommunicatorOptions, ReplanReport, StreamedGroup,
+    StreamedRun,
 };
 pub use fusion::{fuse_requests, fusible, restrict_to_window, FusedGroup};
+pub use group::{GroupCollective, GroupRun, ProcessGroups};
 pub use treegen::{
     new_shared_scratch, parallel_map, LinkSelection, PlannerScratch, ScratchGuard, ScratchPool,
     SharedPackingScratch, TreeGen, TreeGenOptions, TreePlan,

@@ -74,7 +74,8 @@ pub mod rings;
 pub use arborescence::{min_arborescence, min_arborescence_in, Arborescence, ArborescenceScratch};
 pub use digraph::{DiGraph, Edge, EdgeIdx, NodeIdx};
 pub use maxflow::{
-    max_flow, max_flow_in, optimal_broadcast_rate, optimal_broadcast_rate_in, MaxFlowScratch,
+    broadcast_rate_all_sinks_in, broadcast_rate_per_sink_dinic_in, max_flow, max_flow_in,
+    optimal_broadcast_rate, optimal_broadcast_rate_in, MaxFlowScratch, CUT_ENUMERATION_MAX_NODES,
 };
 pub use minimize::{
     minimize_trees, minimize_trees_in, minimize_trees_warm_in, MinimizeOptions, MinimizeScratch,

@@ -10,14 +10,30 @@
 //! The certificate sits on every plan build and every plan-cache miss, so the
 //! solver here is engineered like the packing loop: a [`MaxFlowScratch`] holds
 //! a flat CSR residual graph that is built **once** per input graph and reused
-//! for all `n − 1` flows of [`optimal_broadcast_rate_in`] by resetting the
-//! residual capacities between sinks, instead of reconstructing a
-//! `Vec<Vec<FlowEdge>>` per (source, sink) pair. On the tiny graphs TreeGen
-//! actually plans over (≤ [`CUT_ENUMERATION_MAX_NODES`] vertices) the
-//! certificate skips flows entirely: by max-flow/min-cut it equals the
-//! minimum rooted cut, which a Gray-code subset walk enumerates exactly in
-//! `O(2^(n−1) · n)` straight-line updates. The pre-optimisation
-//! per-sink-rebuild path survives in [`crate::baseline`] for the perf harness.
+//! across flows by resetting the residual capacities, instead of
+//! reconstructing a `Vec<Vec<FlowEdge>>` per (source, sink) pair.
+//!
+//! Three certificate paths share that scratch, and
+//! [`optimal_broadcast_rate_in`] picks between them by vertex count:
+//!
+//! 1. **Gray-code rooted-cut enumeration** (≤ [`CUT_ENUMERATION_MAX_NODES`]
+//!    vertices — every single-server allocation Blink plans over). By
+//!    max-flow/min-cut the certificate equals the minimum rooted cut, which a
+//!    Gray-code subset walk enumerates exactly in `O(2^(n−1) · n)`
+//!    straight-line updates, never running a flow.
+//! 2. **Hao–Orlin all-sinks min-cut** (larger graphs — multi-server slices
+//!    and NVSwitch fabrics). One preflow-push pass with a rotating sink
+//!    computes `min over v of mincut(root → v)` directly
+//!    ([`broadcast_rate_all_sinks_in`]), replacing `n − 1` independent flows.
+//! 3. **Per-sink Dinic** ([`broadcast_rate_per_sink_dinic_in`]) — the
+//!    pre-Hao–Orlin fallback, kept as a named entry point so tests and the
+//!    `bench_packing certificate_allsinks` stage can pin the all-sinks pass
+//!    against it. All three paths agree bit-identically in rate on the DGX
+//!    conformance graphs (their capacities are exactly representable, so every
+//!    cut value is an exact f64 sum); the unit tests below pin that.
+//!
+//! The pre-optimisation per-sink-rebuild path survives in [`crate::baseline`]
+//! for the perf harness.
 
 use crate::digraph::{DiGraph, NodeIdx};
 
@@ -62,7 +78,23 @@ pub struct MaxFlowScratch {
     /// `Σ_{x ∈ S} sym[w][x]` per vertex `w`, maintained incrementally.
     cut_symsum: Vec<f64>,
     in_set: Vec<bool>,
+    /// Hao–Orlin: per-node preflow excess.
+    ho_excess: Vec<f64>,
+    /// Hao–Orlin: per-node distance labels.
+    ho_dist: Vec<u32>,
+    /// Hao–Orlin: number of *awake* nodes per distance label.
+    ho_count: Vec<u32>,
+    /// Hao–Orlin: node state — `HO_IN_S` (contracted into the source set),
+    /// `HO_AWAKE`, or the index of the dormant set holding the node.
+    ho_state: Vec<i32>,
+    /// Hao–Orlin: stack of active (awake, excess > 0, non-sink) nodes.
+    ho_active: Vec<u32>,
 }
+
+/// Node state markers for the Hao–Orlin pass (values ≥ 0 are dormant-set
+/// indices).
+const HO_IN_S: i32 = -2;
+const HO_AWAKE: i32 = -1;
 
 impl MaxFlowScratch {
     /// Creates an empty scratch. Buffers are sized lazily on first flow.
@@ -270,12 +302,213 @@ impl MaxFlowScratch {
         }
         best
     }
+
+    /// One Hao–Orlin pass: `min over v ≠ root of mincut(root → v)` by
+    /// preflow-push with a rotating sink, instead of `n − 1` independent
+    /// max-flows.
+    ///
+    /// The classic construction (Hao & Orlin 1994): a contracted source set
+    /// `S` starts as `{root}` and absorbs the current sink at the end of every
+    /// phase; nodes outside `S` are either *awake* or parked in a stack of
+    /// *dormant* sets. A phase discharges awake excess toward the sink with
+    /// the usual push/relabel rules, except that (a) pushes only target awake
+    /// nodes, (b) a node that is the only awake holder of its label drags the
+    /// whole label tail into a new dormant set (the gap rule), and (c) a node
+    /// with no residual arc into the awake set sleeps alone. When no active
+    /// node remains, the sink's excess is the capacity of a cut separating `S`
+    /// from the sink; the minimum over all `n − 1` phases is the minimum
+    /// rooted cut. Dormant sets are woken (most recent first) whenever the
+    /// awake set empties, and the next sink is the awake node with the
+    /// smallest label.
+    ///
+    /// All arithmetic is push/saturate sums of edge capacities, so on graphs
+    /// whose capacities are exactly representable (every DGX preset) the
+    /// result is bit-identical to the per-sink Dinic minimum.
+    fn hao_orlin_all_sinks(&mut self, graph: &DiGraph, root: usize) -> f64 {
+        self.build(graph);
+        let n = self.n;
+        debug_assert!(n >= 2);
+        self.ho_excess.clear();
+        self.ho_excess.resize(n, 0.0);
+        self.ho_dist.clear();
+        self.ho_dist.resize(n, 1);
+        // Labels obey the standard preflow bound d(v) ≤ 2n − 1 (an excess
+        // node always has a residual path back to S, whose label is n).
+        self.ho_count.clear();
+        self.ho_count.resize(2 * n + 2, 0);
+        self.ho_state.clear();
+        self.ho_state.resize(n, HO_AWAKE);
+        self.ho_active.clear();
+
+        self.ho_state[root] = HO_IN_S;
+        self.ho_dist[root] = n as u32;
+        let mut sink = usize::from(root == 0);
+        self.ho_dist[sink] = 0;
+        for v in 0..n {
+            if self.ho_state[v] == HO_AWAKE {
+                self.ho_count[self.ho_dist[v] as usize] += 1;
+            }
+        }
+        let mut awake = n - 1;
+        let mut in_s = 1usize;
+        let mut dormant_top: i32 = -1;
+        // Saturate every arc out of the (initial) source set.
+        for a in self.start[root] as usize..self.start[root + 1] as usize {
+            let w = self.to[a] as usize;
+            let c = self.cap[a];
+            if c > 1e-12 && self.ho_state[w] != HO_IN_S {
+                self.cap[a] = 0.0;
+                let r = self.rev[a] as usize;
+                self.cap[r] += c;
+                self.ho_excess[w] += c;
+            }
+        }
+        let mut best = f64::INFINITY;
+        loop {
+            // Phase: discharge active awake nodes until only the sink holds
+            // excess among awake nodes. Current-arc pointers reset per phase
+            // because sink contraction and wake-ups create residual arcs
+            // behind them.
+            self.ho_active.clear();
+            for v in 0..n {
+                self.iter[v] = self.start[v];
+                if self.ho_state[v] == HO_AWAKE && v != sink && self.ho_excess[v] > 1e-12 {
+                    self.ho_active.push(v as u32);
+                }
+            }
+            'active: while let Some(v) = self.ho_active.pop() {
+                let v = v as usize;
+                if self.ho_state[v] != HO_AWAKE || self.ho_excess[v] <= 1e-12 {
+                    continue;
+                }
+                loop {
+                    while (self.iter[v] as usize) < self.start[v + 1] as usize {
+                        let a = self.iter[v] as usize;
+                        let w = self.to[a] as usize;
+                        if self.cap[a] > 1e-12
+                            && self.ho_state[w] == HO_AWAKE
+                            && self.ho_dist[v] == self.ho_dist[w] + 1
+                        {
+                            let delta = self.ho_excess[v].min(self.cap[a]);
+                            self.cap[a] -= delta;
+                            let r = self.rev[a] as usize;
+                            self.cap[r] += delta;
+                            self.ho_excess[v] -= delta;
+                            let was_idle = self.ho_excess[w] <= 1e-12;
+                            self.ho_excess[w] += delta;
+                            if was_idle && w != sink {
+                                self.ho_active.push(w as u32);
+                            }
+                            if self.ho_excess[v] <= 1e-12 {
+                                continue 'active;
+                            }
+                        } else {
+                            self.iter[v] += 1;
+                        }
+                    }
+                    // Out of admissible arcs: relabel or retire v.
+                    let dv = self.ho_dist[v] as usize;
+                    if self.ho_count[dv] == 1 {
+                        // Gap rule: v is the only awake node at its label, so
+                        // relabelling it would disconnect every awake node at
+                        // a higher label too — the whole tail sleeps as one
+                        // dormant set. (The sink holds the minimum awake
+                        // label, so it is never swept into the tail.)
+                        dormant_top += 1;
+                        for w in 0..n {
+                            if self.ho_state[w] == HO_AWAKE && self.ho_dist[w] >= dv as u32 {
+                                self.ho_state[w] = dormant_top;
+                                self.ho_count[self.ho_dist[w] as usize] -= 1;
+                                awake -= 1;
+                            }
+                        }
+                        continue 'active;
+                    }
+                    let mut dmin = u32::MAX;
+                    for a in self.start[v] as usize..self.start[v + 1] as usize {
+                        let w = self.to[a] as usize;
+                        if self.cap[a] > 1e-12 && self.ho_state[w] == HO_AWAKE {
+                            dmin = dmin.min(self.ho_dist[w] + 1);
+                        }
+                    }
+                    if dmin == u32::MAX {
+                        // No residual arc into the awake set: v sleeps alone.
+                        dormant_top += 1;
+                        self.ho_state[v] = dormant_top;
+                        self.ho_count[dv] -= 1;
+                        awake -= 1;
+                        continue 'active;
+                    }
+                    self.ho_count[dv] -= 1;
+                    self.ho_dist[v] = dmin;
+                    self.ho_count[dmin as usize] += 1;
+                    self.iter[v] = self.start[v];
+                }
+            }
+            // Phase end: every awake non-sink node has zero excess, so the
+            // sink's excess is the capacity of a cut separating S from it.
+            if self.ho_excess[sink] < best {
+                best = self.ho_excess[sink];
+            }
+            // Contract the sink into S.
+            self.ho_count[self.ho_dist[sink] as usize] -= 1;
+            awake -= 1;
+            self.ho_state[sink] = HO_IN_S;
+            in_s += 1;
+            if in_s == n || best <= 0.0 {
+                break;
+            }
+            for a in self.start[sink] as usize..self.start[sink + 1] as usize {
+                let w = self.to[a] as usize;
+                let c = self.cap[a];
+                if c > 1e-12 && self.ho_state[w] != HO_IN_S {
+                    self.cap[a] = 0.0;
+                    let r = self.rev[a] as usize;
+                    self.cap[r] += c;
+                    self.ho_excess[w] += c;
+                }
+            }
+            if awake == 0 {
+                // Wake the most recently formed dormant set (they are
+                // non-empty by construction, so the awake set refills).
+                debug_assert!(dormant_top >= 0);
+                for w in 0..n {
+                    if self.ho_state[w] == dormant_top {
+                        self.ho_state[w] = HO_AWAKE;
+                        self.ho_count[self.ho_dist[w] as usize] += 1;
+                        awake += 1;
+                    }
+                }
+                dormant_top -= 1;
+            }
+            // Next sink: the awake node with the smallest label (ties broken
+            // by node index, keeping the pass deterministic).
+            let mut next = usize::MAX;
+            let mut next_d = u32::MAX;
+            for v in 0..n {
+                if self.ho_state[v] == HO_AWAKE && self.ho_dist[v] < next_d {
+                    next_d = self.ho_dist[v];
+                    next = v;
+                }
+            }
+            debug_assert!(next != usize::MAX);
+            sink = next;
+        }
+        best
+    }
 }
 
-/// [`optimal_broadcast_rate_in`] switches from per-sink Dinic to the
+/// The certificate fallback seam: [`optimal_broadcast_rate_in`] uses the
 /// Gray-code minimum-rooted-cut enumeration at or below this vertex count
-/// (`2^(n−1) · n` update steps stay under ~5k there).
-const CUT_ENUMERATION_MAX_NODES: usize = 10;
+/// (`2^(n−1) · n` update steps stay under ~5k there) and the Hao–Orlin
+/// all-sinks pass ([`broadcast_rate_all_sinks_in`]) above it.
+///
+/// The seam is *rate-invisible*: all certificate paths agree bit-identically
+/// on the DGX conformance graphs (see
+/// `certificate_paths_agree_on_random_dgx_subgraphs` below), so moving the
+/// threshold changes performance only. It is public so benches and tests can
+/// pin which side of the seam a given graph exercises.
+pub const CUT_ENUMERATION_MAX_NODES: usize = 10;
 
 /// Maximum flow from `source` to `sink` respecting edge capacities. Parallel
 /// edges between the same node pair contribute the sum of their capacities,
@@ -320,9 +553,10 @@ pub fn optimal_broadcast_rate(graph: &DiGraph, root: NodeIdx) -> f64 {
 ///
 /// Graphs of at most [`CUT_ENUMERATION_MAX_NODES`] vertices (every
 /// single-server allocation Blink plans over) use the Gray-code
-/// minimum-rooted-cut enumeration and never run a flow; larger graphs build
-/// the Dinic residual graph **once** and run all `n − 1` flows over it,
-/// resetting only the residual capacities between sinks.
+/// minimum-rooted-cut enumeration and never run a flow; larger graphs run the
+/// Hao–Orlin all-sinks pass ([`broadcast_rate_all_sinks_in`]), which computes
+/// the minimum over all sinks in **one** preflow-push sweep instead of `n − 1`
+/// Dinic flows.
 pub fn optimal_broadcast_rate_in(
     graph: &DiGraph,
     root: NodeIdx,
@@ -334,6 +568,45 @@ pub fn optimal_broadcast_rate_in(
     }
     if n <= CUT_ENUMERATION_MAX_NODES {
         return scratch.min_rooted_cut(graph, root);
+    }
+    scratch.hao_orlin_all_sinks(graph, root)
+}
+
+/// The broadcast-rate certificate by a single Hao–Orlin all-sinks min-cut
+/// pass: `min over v ≠ root of mincut(root → v)` from one preflow-push sweep
+/// with a rotating sink, valid at any vertex count.
+///
+/// This is what [`optimal_broadcast_rate_in`] runs above
+/// [`CUT_ENUMERATION_MAX_NODES`] vertices; it is public so the certificate
+/// bench and the path-agreement tests can drive it directly. Returns
+/// `f64::INFINITY` for a single-vertex graph and `0.0` when some vertex is
+/// unreachable.
+pub fn broadcast_rate_all_sinks_in(
+    graph: &DiGraph,
+    root: NodeIdx,
+    scratch: &mut MaxFlowScratch,
+) -> f64 {
+    if graph.num_nodes() <= 1 {
+        return f64::INFINITY;
+    }
+    scratch.hao_orlin_all_sinks(graph, root)
+}
+
+/// The broadcast-rate certificate by `n − 1` per-sink Dinic flows over a
+/// build-once residual graph — the pre-Hao–Orlin fallback, kept as a named
+/// entry point so benches and tests can pin the all-sinks pass against it.
+///
+/// Each sink passes the running minimum as an early-exit bound (a flow that
+/// reaches it cannot lower the minimum and needs no exact answer; the sink
+/// that attains the minimum runs to exhaustion, keeping the result exact).
+pub fn broadcast_rate_per_sink_dinic_in(
+    graph: &DiGraph,
+    root: NodeIdx,
+    scratch: &mut MaxFlowScratch,
+) -> f64 {
+    let n = graph.num_nodes();
+    if n <= 1 {
+        return f64::INFINITY;
     }
     let mut rate = f64::INFINITY;
     let mut built = false;
@@ -347,10 +620,6 @@ pub fn optimal_broadcast_rate_in(
             scratch.build(graph);
             built = true;
         }
-        // A sink whose flow reaches the running minimum cannot lower it, so
-        // its final no-augmenting-path BFS round is skipped; the sink that
-        // *attains* the minimum always runs to exhaustion, keeping the result
-        // exact.
         rate = rate.min(scratch.run_bounded(root, v, rate));
         if rate <= 0.0 {
             break; // an unreachable vertex pins the certificate at zero
@@ -362,8 +631,17 @@ pub fn optimal_broadcast_rate_in(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blink_topology::presets::{dgx1p, dgx1v};
+    use blink_topology::presets::{dgx1p, dgx1v, dgx2};
     use blink_topology::GpuId;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
 
     #[test]
     fn max_flow_on_a_diamond() {
@@ -466,6 +744,71 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn certificate_paths_agree_on_random_dgx_subgraphs() {
+        // The fallback seam at CUT_ENUMERATION_MAX_NODES must be
+        // rate-invisible: Gray-code enumeration (small side), Hao–Orlin
+        // all-sinks (large side) and per-sink Dinic (reference) agree
+        // bit-identically on random DGX-1V / DGX-2 induced subgraphs, on
+        // both sides of the seam.
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        for (topo, pool) in [(dgx1v(), 8usize), (dgx2(), 16)] {
+            for k in 2..=pool {
+                for draw in 0..3 {
+                    let mut ids: Vec<usize> = (0..pool).collect();
+                    for i in (1..ids.len()).rev() {
+                        let j = (xorshift(&mut seed) % (i as u64 + 1)) as usize;
+                        ids.swap(i, j);
+                    }
+                    let mut alloc: Vec<GpuId> = ids[..k].iter().map(|&i| GpuId(i)).collect();
+                    alloc.sort();
+                    let sub = topo.induced(&alloc).unwrap();
+                    let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+                    let mut scratch = MaxFlowScratch::new();
+                    let root = (xorshift(&mut seed) % g.num_nodes() as u64) as usize;
+                    let dinic = broadcast_rate_per_sink_dinic_in(&g, root, &mut scratch);
+                    let all_sinks = broadcast_rate_all_sinks_in(&g, root, &mut scratch);
+                    assert_eq!(
+                        all_sinks.to_bits(),
+                        dinic.to_bits(),
+                        "k={k} draw={draw} root={root}: hao-orlin {all_sinks} vs dinic {dinic}"
+                    );
+                    if g.num_nodes() <= CUT_ENUMERATION_MAX_NODES {
+                        let gray = scratch.min_rooted_cut(&g, root);
+                        assert_eq!(
+                            gray.to_bits(),
+                            dinic.to_bits(),
+                            "k={k} draw={draw} root={root}: gray {gray} vs dinic {dinic}"
+                        );
+                    }
+                    let routed = optimal_broadcast_rate_in(&g, root, &mut scratch);
+                    assert_eq!(routed.to_bits(), dinic.to_bits(), "routed path disagrees");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hao_orlin_handles_chains_unreachable_and_parallel_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(GpuId(0));
+        let b = g.add_node(GpuId(1));
+        let c = g.add_node(GpuId(2));
+        g.add_edge(a, b, 10.0);
+        g.add_edge(b, c, 4.0);
+        let mut scratch = MaxFlowScratch::new();
+        assert_eq!(broadcast_rate_all_sinks_in(&g, a, &mut scratch), 4.0);
+        // c cannot reach anyone: certificate pins to zero
+        assert_eq!(broadcast_rate_all_sinks_in(&g, c, &mut scratch), 0.0);
+
+        let mut p = DiGraph::new();
+        let x = p.add_node(GpuId(0));
+        let y = p.add_node(GpuId(1));
+        p.add_edge(x, y, 10.0);
+        p.add_edge(x, y, 7.0);
+        assert_eq!(broadcast_rate_all_sinks_in(&p, x, &mut scratch), 17.0);
     }
 
     #[test]

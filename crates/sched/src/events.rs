@@ -29,6 +29,10 @@ pub enum Stage {
     /// A departure-triggered consolidation: re-placing a fragmented job onto
     /// one server and replanning its communicator via the topology delta.
     Consolidate,
+    /// A sampled subgroup lift: splitting a placed job's communicator into
+    /// per-server process groups and replaying concurrent subgroup
+    /// collectives through the value-level oracle.
+    SubgroupLift,
     /// A job left the cluster and its GPUs were released (instantaneous).
     Depart,
     /// A job could not be placed (instantaneous; capacity or contention).
@@ -43,6 +47,7 @@ impl Stage {
             Stage::Plan => "plan",
             Stage::FirstCollective => "first_collective",
             Stage::Consolidate => "consolidate",
+            Stage::SubgroupLift => "subgroup_lift",
             Stage::Depart => "depart",
             Stage::Reject => "reject",
         }

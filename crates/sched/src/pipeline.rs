@@ -22,7 +22,7 @@ use crate::events::{EventMonitor, Stage};
 use crate::workload::{Job, WorkloadConfig, WorkloadGenerator};
 use blink_core::{BlinkError, CollectiveKind, Communicator, CommunicatorOptions, SharedPlanCache};
 use blink_topology::presets::{gpus_per_server, placement_topology, ServerKind};
-use blink_topology::TopologyDelta;
+use blink_topology::{GroupSplit, TopologyDelta};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -48,6 +48,13 @@ pub struct FleetConfig {
     /// Re-pack fragmented jobs onto a single server when departures free
     /// room, replanning their communicators through the topology delta.
     pub consolidate: bool,
+    /// Lift every `subgroup_lift_every`-th placed multi-GPU job into
+    /// per-server process groups ([`Communicator::split`] with
+    /// [`GroupSplit::ByServer`]) and replay one concurrent AllReduce per
+    /// subgroup through the value-level oracle on a shared simulator
+    /// session; 0 disables the sampling. Subgroups of isomorphic shape reuse
+    /// one packed plan through the fleet cache's canonical tier.
+    pub subgroup_lift_every: usize,
     /// Options for every job communicator. The pipeline always passes its
     /// own shared plan cache explicitly, so `isolated_plan_cache` has no
     /// effect here.
@@ -69,6 +76,7 @@ impl Default for FleetConfig {
             collective_bytes: 16 << 20,
             check_every: 0,
             consolidate: true,
+            subgroup_lift_every: 0,
             comm_options: CommunicatorOptions::default(),
         }
     }
@@ -134,6 +142,14 @@ pub struct FleetReport {
     pub checks_run: usize,
     /// Oracle replays that found a conformance violation (must stay 0).
     pub checks_failed: usize,
+    /// Placed jobs lifted into per-server process groups for a concurrent
+    /// subgroup replay.
+    pub subgroup_lifts: usize,
+    /// Individual subgroup collectives value-checked across those lifts.
+    pub subgroup_checks_run: usize,
+    /// Subgroup replays that violated their collective contract (must stay
+    /// 0).
+    pub subgroup_checks_failed: usize,
     /// One entry per placed job, in placement order.
     pub outcomes: Vec<JobOutcome>,
 }
@@ -176,6 +192,9 @@ pub struct FleetPipeline {
     consolidations_improved: usize,
     checks_run: usize,
     checks_failed: usize,
+    subgroup_lifts: usize,
+    subgroup_checks_run: usize,
+    subgroup_checks_failed: usize,
 }
 
 impl FleetPipeline {
@@ -204,6 +223,9 @@ impl FleetPipeline {
             consolidations_improved: 0,
             checks_run: 0,
             checks_failed: 0,
+            subgroup_lifts: 0,
+            subgroup_checks_run: 0,
+            subgroup_checks_failed: 0,
         }
     }
 
@@ -282,6 +304,16 @@ impl FleetPipeline {
             };
             let first = self.monitor.commit(first);
 
+            let lift_due = self.config.subgroup_lift_every > 0
+                && placement.total_gpus() > 1
+                && self
+                    .outcomes
+                    .len()
+                    .is_multiple_of(self.config.subgroup_lift_every);
+            if lift_due {
+                self.lift_subgroups(job.id, &comm)?;
+            }
+
             self.outcomes.push(JobOutcome {
                 job_id: job.id,
                 gpus: placement.total_gpus(),
@@ -323,8 +355,29 @@ impl FleetPipeline {
             shared_misses,
             checks_run: self.checks_run,
             checks_failed: self.checks_failed,
+            subgroup_lifts: self.subgroup_lifts,
+            subgroup_checks_run: self.subgroup_checks_run,
+            subgroup_checks_failed: self.subgroup_checks_failed,
             outcomes: self.outcomes.clone(),
         }
+    }
+
+    /// Splits a placed job's communicator into per-server process groups and
+    /// replays one concurrent AllReduce per subgroup through the value-level
+    /// oracle on a shared session — the hierarchical-job conformance probe.
+    /// Subgroup communicators publish into the fleet cache's canonical tier,
+    /// so isomorphic per-server slices across jobs pack once.
+    fn lift_subgroups(&mut self, job_id: u64, comm: &Communicator) -> blink_core::Result<()> {
+        let span = self.monitor.begin(job_id, Stage::SubgroupLift);
+        let mut groups = comm.split(&GroupSplit::ByServer)?;
+        let requests: Vec<(CollectiveKind, u64)> =
+            vec![(CollectiveKind::AllReduce, self.config.collective_bytes); groups.len()];
+        let (_, checks) = groups.run_concurrent_checked(&requests)?;
+        self.subgroup_lifts += 1;
+        self.subgroup_checks_run += checks.len();
+        self.subgroup_checks_failed += checks.iter().filter(|c| !c.is_correct()).count();
+        self.monitor.commit(span);
+        Ok(())
     }
 
     /// Releases every job completed by `time`, records the departures, and —
@@ -536,6 +589,37 @@ mod tests {
             .position(|&e| e == (3, Stage::Place))
             .expect("trigger job placed");
         assert!(depart < consolidate && consolidate < placed);
+    }
+
+    #[test]
+    fn subgroup_lifts_replay_conformant_concurrent_subgroups() {
+        let mut pipeline = FleetPipeline::new(FleetConfig {
+            subgroup_lift_every: 5,
+            // fleet-wide isomorphism-level sharing: slices of the same shape
+            // on *different* servers (different GPU ids, so the exact tier
+            // misses) reuse one packed plan through the canonical tier
+            comm_options: CommunicatorOptions {
+                canonical_plan_sharing: true,
+                ..Default::default()
+            },
+            ..small_config()
+        });
+        let report = pipeline.run().unwrap();
+        assert!(report.subgroup_lifts > 0, "{report:?}");
+        assert!(report.subgroup_checks_run >= report.subgroup_lifts);
+        assert_eq!(
+            report.subgroup_checks_failed, 0,
+            "a concurrent subgroup replay violated its collective contract"
+        );
+        assert_eq!(
+            pipeline.monitor().count(Stage::SubgroupLift),
+            report.subgroup_lifts
+        );
+        // isomorphic per-server slices across lifted jobs pack once: the
+        // fleet cache's canonical tier must see real traffic and real reuse
+        let (canon_hits, canon_misses) = pipeline.shared_cache().canonical_stats();
+        assert!(canon_misses > 0, "no job ever reached the canonical tier");
+        assert!(canon_hits > 0, "no isomorphic plan reuse across servers");
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Process-group splits: partitioning one job's GPU allocation into nested
+//! subgroups (tensor-/data-parallel style), each of which plans collectives
+//! over its own induced topology while sharing the parent's link capacity.
+//!
+//! A [`GroupSplit`] is a pure description of *how* to partition — by server,
+//! by stride over the allocation order, or by explicit GPU sets. It produces
+//! plain `Vec<GpuId>` subgroup allocations; `blink-core` turns each into a
+//! child communicator over the same machine model, so concurrent subgroup
+//! collectives contend for the very links they share (the simulator's
+//! session arbitration models exactly that).
+
+use crate::{GpuId, ServerId, Topology, TopologyError};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How to partition an allocation into process-group subgroups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupSplit {
+    /// One subgroup per server, in server order, each holding the allocated
+    /// GPUs of that server in allocation order — the natural data-parallel /
+    /// local-reduction split for multi-server jobs.
+    ByServer,
+    /// Round-robin over the allocation order: GPU `allocation[i]` joins
+    /// subgroup `i % stride`. `ByStride(2)` over 8 GPUs yields the classic
+    /// two-way tensor-parallel split `{0,2,4,6}` / `{1,3,5,7}` (in allocation
+    /// positions). Subgroups beyond the allocation size are dropped.
+    ByStride(usize),
+    /// Explicit subgroup memberships. Groups must be non-empty, disjoint and
+    /// drawn from the allocation; they need not cover it.
+    Explicit(Vec<Vec<GpuId>>),
+}
+
+impl GroupSplit {
+    /// Materialises the subgroup allocations for `allocation` on `topo`.
+    ///
+    /// Every returned subgroup is non-empty and disjoint from the others;
+    /// GPUs keep their allocation-order within each subgroup.
+    ///
+    /// # Errors
+    /// * [`TopologyError::EmptyAllocation`] — empty allocation, zero stride,
+    ///   or an explicit split with no groups / an empty group.
+    /// * [`TopologyError::UnknownGpu`] — an explicit group references a GPU
+    ///   outside the allocation (or the allocation references one outside
+    ///   `topo`).
+    /// * [`TopologyError::DuplicateGpu`] — an explicit group lists a GPU
+    ///   twice, or two explicit groups overlap.
+    pub fn partition(
+        &self,
+        topo: &Topology,
+        allocation: &[GpuId],
+    ) -> crate::Result<Vec<Vec<GpuId>>> {
+        if allocation.is_empty() {
+            return Err(TopologyError::EmptyAllocation);
+        }
+        for &g in allocation {
+            if !topo.contains(g) {
+                return Err(TopologyError::UnknownGpu(g));
+            }
+        }
+        match self {
+            GroupSplit::ByServer => {
+                let mut by_server: BTreeMap<ServerId, Vec<GpuId>> = BTreeMap::new();
+                for &g in allocation {
+                    let server = topo.gpu(g)?.server;
+                    by_server.entry(server).or_default().push(g);
+                }
+                Ok(by_server.into_values().collect())
+            }
+            GroupSplit::ByStride(stride) => {
+                if *stride == 0 {
+                    return Err(TopologyError::EmptyAllocation);
+                }
+                let mut groups: Vec<Vec<GpuId>> = vec![Vec::new(); *stride];
+                for (i, &g) in allocation.iter().enumerate() {
+                    groups[i % stride].push(g);
+                }
+                groups.retain(|g| !g.is_empty());
+                Ok(groups)
+            }
+            GroupSplit::Explicit(groups) => {
+                if groups.is_empty() {
+                    return Err(TopologyError::EmptyAllocation);
+                }
+                let member: BTreeSet<GpuId> = allocation.iter().copied().collect();
+                let mut seen: BTreeSet<GpuId> = BTreeSet::new();
+                for group in groups {
+                    if group.is_empty() {
+                        return Err(TopologyError::EmptyAllocation);
+                    }
+                    for &g in group {
+                        if !member.contains(&g) {
+                            return Err(TopologyError::UnknownGpu(g));
+                        }
+                        if !seen.insert(g) {
+                            return Err(TopologyError::DuplicateGpu(g));
+                        }
+                    }
+                }
+                Ok(groups.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{dgx1v, multi_server, ServerKind};
+
+    fn ids(v: &[usize]) -> Vec<GpuId> {
+        v.iter().map(|&i| GpuId(i)).collect()
+    }
+
+    #[test]
+    fn by_server_groups_follow_server_membership() {
+        let t = multi_server(2, ServerKind::Dgx1V, 5.0);
+        let alloc = ids(&[0, 9, 1, 8, 3]);
+        let groups = GroupSplit::ByServer.partition(&t, &alloc).unwrap();
+        assert_eq!(groups, vec![ids(&[0, 1, 3]), ids(&[9, 8])]);
+    }
+
+    #[test]
+    fn by_stride_round_robins_the_allocation_order() {
+        let t = dgx1v();
+        let alloc = ids(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let groups = GroupSplit::ByStride(2).partition(&t, &alloc).unwrap();
+        assert_eq!(groups, vec![ids(&[0, 2, 4, 6]), ids(&[1, 3, 5, 7])]);
+        // more subgroups than GPUs: the empties are dropped
+        let tight = GroupSplit::ByStride(4)
+            .partition(&t, &ids(&[0, 1, 2]))
+            .unwrap();
+        assert_eq!(tight.len(), 3);
+        assert!(GroupSplit::ByStride(0).partition(&t, &alloc).is_err());
+    }
+
+    #[test]
+    fn explicit_groups_validate_membership_and_disjointness() {
+        let t = dgx1v();
+        let alloc = ids(&[0, 1, 2, 3]);
+        let ok = GroupSplit::Explicit(vec![ids(&[0, 3]), ids(&[1])]);
+        assert_eq!(ok.partition(&t, &alloc).unwrap().len(), 2);
+        let outside = GroupSplit::Explicit(vec![ids(&[0, 7])]);
+        assert_eq!(
+            outside.partition(&t, &alloc).unwrap_err(),
+            TopologyError::UnknownGpu(GpuId(7))
+        );
+        let overlap = GroupSplit::Explicit(vec![ids(&[0, 1]), ids(&[1, 2])]);
+        assert_eq!(
+            overlap.partition(&t, &alloc).unwrap_err(),
+            TopologyError::DuplicateGpu(GpuId(1))
+        );
+        let empty = GroupSplit::Explicit(vec![ids(&[0]), vec![]]);
+        assert!(empty.partition(&t, &alloc).is_err());
+    }
+
+    #[test]
+    fn empty_allocation_is_rejected() {
+        let t = dgx1v();
+        assert!(GroupSplit::ByServer.partition(&t, &[]).is_err());
+    }
+}

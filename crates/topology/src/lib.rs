@@ -16,13 +16,39 @@
 //!   [`presets::dgx1v`], [`presets::dgx2`], [`presets::multi_server`]),
 //! * enumeration of *unique* allocation-induced topologies up to isomorphism
 //!   ([`enumerate::unique_allocations`]), reproducing the paper's "46 unique
-//!   settings on DGX-1V, 14 on DGX-1P" analysis, and
+//!   settings on DGX-1V, 14 on DGX-1P" analysis,
+//! * process-group splits ([`GroupSplit`]) that partition one job's
+//!   allocation into nested subgroups (by server, by stride, or explicit GPU
+//!   sets) whose induced topologies share the parent's links, and
 //! * a runtime [`probe::TopologyProber`] that mimics Blink's `LD_PRELOAD`-time
 //!   discovery of the links available to the GPUs a scheduler allocated.
 //!
 //! Real hardware is not required anywhere: the presets encode the wiring shown
 //! in Figure 1 of the paper and the bandwidths it reports (NVLink Gen1
 //! 18–20 GB/s, Gen2 22–25 GB/s, PCIe 8–12 GB/s).
+//!
+//! # Enumerating unique allocation topologies
+//!
+//! [`enumerate`] is product surface, not a test helper: schedulers bin job
+//! shapes by [`enumerate::canonical_form`] — the cross-communicator plan-cache
+//! key — and report classes by their stable [`enumerate::AllocationClass::label`]
+//! format (comma-joined ascending GPU ids of the representative):
+//!
+//! ```
+//! use blink_topology::enumerate::{canonical_form, unique_allocations};
+//! use blink_topology::presets::dgx1v;
+//!
+//! let machine = dgx1v();
+//! let classes = unique_allocations(&machine, 3..=4).unwrap();
+//! let labels: Vec<String> = classes.iter().map(|c| c.label()).collect();
+//! assert!(labels.contains(&"0,1,2".to_string()));
+//! // every member of a class shares the representative's canonical form —
+//! // plans cached under it serve all of them
+//! let class = &classes[0];
+//! for member in &class.members {
+//!     assert_eq!(canonical_form(&machine, member).unwrap(), class.canonical);
+//! }
+//! ```
 //!
 //! [Wang et al., MLSYS 2020]: https://arxiv.org/abs/1910.04940
 
@@ -35,10 +61,12 @@ mod link;
 mod topology;
 
 pub mod enumerate;
+pub mod group;
 pub mod presets;
 pub mod probe;
 
 pub use delta::TopologyDelta;
+pub use group::GroupSplit;
 pub use ids::{GpuId, ServerId};
 pub use link::{Link, LinkKind};
 pub use topology::{GpuInfo, Topology, TopologyError};

@@ -214,6 +214,66 @@ fn three_phase_multi_server_conforms_on_random_slices() {
     }
 }
 
+/// Hierarchical process groups: splits of random fragmented allocations on
+/// both DGX-1 generations and the DGX-2 switch fabric run concurrent
+/// subgroup collectives through one shared simulator session, and every
+/// subgroup's program must be byte-exact under the shared-link schedule.
+/// Rooted and rootless kinds are mixed across subgroups, so the oracle sees
+/// the contention-shifted spans of each strategy the children pick (packed
+/// trees, one-hop, PCIe fallback, trivial singletons).
+#[test]
+fn process_group_splits_conform_concurrently() {
+    use blink_topology::GroupSplit;
+    let mut rng = StdRng::seed_from_u64(0x96f0);
+    let cases: Vec<(&str, Topology, usize)> = vec![
+        ("dgx1v", dgx1v(), 8),
+        ("dgx1p", dgx1p(), 8),
+        ("dgx2", dgx2(), 16),
+    ];
+    for (label, machine, total) in cases {
+        let pool: Vec<GpuId> = (0..total).map(GpuId).collect();
+        for round in 0..2 {
+            let k = 4 + rng.random_below((total - 3) as u64) as usize; // 4..=total
+            let alloc = random_allocation(&mut rng, &pool, k);
+            let parent =
+                Communicator::new(machine.clone(), &alloc, CommunicatorOptions::default()).unwrap();
+            let split = if round == 0 {
+                GroupSplit::ByStride(2)
+            } else {
+                GroupSplit::ByStride(3)
+            };
+            let mut groups = parent.split(&split).unwrap();
+            // one collective per subgroup, alternating rooted and rootless,
+            // each rooted at its own subgroup's first member
+            let requests: Vec<(CollectiveKind, u64)> = groups
+                .groups()
+                .iter()
+                .enumerate()
+                .map(|(i, child)| {
+                    let root = child.allocation()[0];
+                    let kind = match i % 3 {
+                        0 => CollectiveKind::AllReduce,
+                        1 => CollectiveKind::Broadcast { root },
+                        _ => CollectiveKind::ReduceScatter,
+                    };
+                    (kind, mb(4) + 13)
+                })
+                .collect();
+            let (run, checks) = groups.run_concurrent_checked(&requests).unwrap();
+            assert_eq!(checks.len(), groups.len());
+            for ((g, check), child) in run.groups.iter().zip(&checks).zip(groups.groups()) {
+                assert!(
+                    check.is_correct(),
+                    "{label} alloc {alloc:?} split {split:?} subgroup {:?} {} via '{}':\n{check}",
+                    child.allocation(),
+                    g.kind,
+                    g.strategy
+                );
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Mutation-based negative coverage: seed one defect, expect a pinpointed
 // rejection.

@@ -451,6 +451,36 @@ proptest! {
         }
     }
 
+    /// On a partially-allocated DGX-2 switch fabric, packed spanning trees
+    /// are never worse than the paper's one-hop strategy in *certified* rate:
+    /// the Edmonds/Lovász min-cut of the induced subgraph is at least the
+    /// one-hop aggregate (the root's injection capacity, which bounds the
+    /// star of one-hop trees), and strictly above it on every fragment of
+    /// three or more GPUs — the root re-injects `(m−1)×` the payload under
+    /// one-hop, while the packed certificate grows as `(m−1)·b`.
+    #[test]
+    fn packed_certificate_dominates_one_hop_on_partial_dgx2(
+        (alloc, root_pos) in dgx2_allocation_strategy(),
+    ) {
+        let machine = dgx2();
+        let sub = induced(&machine, &alloc);
+        let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+        let root = GpuId(alloc[root_pos]);
+        let Some(root_idx) = g.node(root) else { return Ok(()); };
+        let one_hop = machine.gpu_cap(root).expect("DGX-2 GPUs carry an injection cap");
+        let packed = optimal_broadcast_rate(&g, root_idx);
+        prop_assert!(
+            packed >= one_hop - 1e-9,
+            "packed certificate {packed} below one-hop aggregate {one_hop} on {alloc:?}"
+        );
+        if alloc.len() >= 3 {
+            prop_assert!(
+                packed > one_hop + 1e-9,
+                "packed certificate {packed} must strictly beat one-hop {one_hop} on {alloc:?}"
+            );
+        }
+    }
+
     /// Max-flow is monotone: adding the PCIe links never lowers the broadcast
     /// certificate.
     #[test]
@@ -472,6 +502,31 @@ proptest! {
             }
         }
     }
+}
+
+/// The pinned witness for the DGX-2 strategy competition: on a fragmented
+/// 5-GPU NVSwitch allocation the packed-tree certificate is exactly the
+/// `(m−1) · b` aggregate of the induced complete subgraph — 4 × 138 GB/s —
+/// a strict 4× improvement over the 138 GB/s one-hop bound the forced
+/// short-circuit used to settle for.
+#[test]
+fn packed_certificate_is_4x_one_hop_on_a_pinned_dgx2_fragment() {
+    let machine = dgx2();
+    let alloc = [1usize, 4, 9, 12, 14];
+    let sub = induced(&machine, &alloc);
+    let g = DiGraph::from_topology_filtered(&sub, |l| l.kind.is_nvlink());
+    let root = GpuId(1);
+    let root_idx = g.node(root).unwrap();
+    let one_hop = machine.gpu_cap(root).unwrap();
+    let packed = optimal_broadcast_rate(&g, root_idx);
+    assert!(
+        (one_hop - 138.0).abs() < 1e-9,
+        "one-hop aggregate {one_hop}"
+    );
+    assert!(
+        (packed - 4.0 * 138.0).abs() < 1e-6,
+        "packed certificate {packed} must be (m−1)·b = 552"
+    );
 }
 
 // ---- fleet placements: slice topologies and end-to-end planning ----
