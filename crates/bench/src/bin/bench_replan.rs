@@ -135,6 +135,13 @@ struct ScenarioReport {
     plans_kept: usize,
     seeds_demoted: usize,
     warm_seeded_trees: usize,
+    /// Corrective MWU iterations the warm replan needed on top of its seeds;
+    /// must be 0 on every pure-removal scenario (the unconditional
+    /// zero-iteration warm-repair guarantee).
+    warm_iterations: usize,
+    /// Which repair path the warm replan took (`"reroute"` / `"iterated"` /
+    /// `"cold"`).
+    repair_path: String,
     warm_rate_gbps: f64,
     cold_rate_gbps: f64,
     /// Warm packing rate matched or beat cold (bit-identical-or-better).
@@ -242,6 +249,8 @@ fn run_scenario(s: &Scenario, warm_runs: usize, cold_runs: usize) -> ScenarioRep
         plans_kept: warm_rep.plans_kept,
         seeds_demoted: warm_rep.seeds_demoted,
         warm_seeded_trees: warm_rep.warm_seeded_trees,
+        warm_iterations: warm_rep.warm_iterations,
+        repair_path: warm_rep.repair_path.to_string(),
         warm_rate_gbps: warm_rep.rate_gbps,
         cold_rate_gbps: cold_rep.rate_gbps,
         rate_not_worse: warm_rep.rate_gbps >= cold_rep.rate_gbps - 1e-9,
@@ -337,6 +346,26 @@ fn main() {
                      pure-removal delta (warm must be bit-identical-or-better)",
                     sc.name, sc.warm_rate_gbps, sc.cold_rate_gbps
                 ));
+            }
+            // Zero-iteration warm repair: whenever a pure-removal delta
+            // consumed warm seeds, the min-cost reroute must have reached the
+            // (1-ε)·certificate exit without a single corrective MWU
+            // iteration.
+            if sc.rate_gated && sc.warm_seeded_trees > 0 {
+                if sc.warm_iterations != 0 {
+                    hard_failures.push(format!(
+                        "{}: warm replan needed {} MWU iterations on a \
+                         pure-removal delta (zero-iteration guarantee broken)",
+                        sc.name, sc.warm_iterations
+                    ));
+                }
+                if sc.repair_path != "reroute" {
+                    hard_failures.push(format!(
+                        "{}: warm repair took the '{}' path on a pure-removal \
+                         delta, expected 'reroute'",
+                        sc.name, sc.repair_path
+                    ));
+                }
             }
         }
 

@@ -99,9 +99,105 @@ enum SwitchChoice {
     Packed,
 }
 
+/// What one [`Communicator::root_sweep`] observed: the winning root and
+/// rate, whether any candidate spans the selected link class, and the
+/// warm-repair evidence summed over warm-rebuilt roots only.
+#[derive(Debug, Clone, Copy)]
+struct SweepOutcome {
+    root: GpuId,
+    rate_gbps: f64,
+    /// At least one candidate root spans the selected link class.
+    spannable: bool,
+    warm_seeded: usize,
+    warm_iterations: usize,
+    warm_repaired: usize,
+    warm_topup: usize,
+}
+
+impl SweepOutcome {
+    fn fallback(root: GpuId) -> Self {
+        SweepOutcome {
+            root,
+            rate_gbps: 0.0,
+            spannable: false,
+            warm_seeded: 0,
+            warm_iterations: 0,
+            warm_repaired: 0,
+            warm_topup: 0,
+        }
+    }
+}
+
+/// Which rung of the graceful-degradation ladder a [`Communicator::replan`]
+/// call landed on. Rungs are ordered from "as fast as before" to "alive but
+/// smaller"; every rung still produces value-correct collectives (the
+/// conformance matrix drives each rung through `run_checked`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DegradationLevel {
+    /// Every plan the delta touched was repaired warm — seeds consumed, zero
+    /// MWU iterations — or survived invalidation untouched. Collectives run
+    /// at the re-certified packed rate with no cold planning work.
+    FullWarmRepair,
+    /// The survivor graph was re-planned by ordinary packing (cold, or warm
+    /// with corrective MWU iterations). Also the neutral classification for
+    /// strategies that do not pack per-root trees (switch fabrics,
+    /// multi-server three-phase, single-GPU allocations).
+    #[default]
+    PackedReplan,
+    /// The surviving NVLink graph can no longer span the allocation from any
+    /// candidate root; collectives fall back to PCIe trees (or one-hop on
+    /// switch fabrics) until a heal event restores spannability.
+    PcieFallback,
+    /// The survivor graph was disconnected outright; the allocation shrank in
+    /// place to its largest connected component so the job stays alive on
+    /// the GPUs that can still reach each other.
+    ShrunkSubgroup,
+}
+
+impl std::fmt::Display for DegradationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DegradationLevel::FullWarmRepair => "full-warm-repair",
+            DegradationLevel::PackedReplan => "packed-replan",
+            DegradationLevel::PcieFallback => "pcie-fallback",
+            DegradationLevel::ShrunkSubgroup => "shrunk-subgroup",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How the packing layer recovered the stale plans during a
+/// [`Communicator::replan`] — the evidence behind the unconditional
+/// zero-iteration warm-repair claim.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairPath {
+    /// Warm seeds were consumed and the min-cost reroute (plus residual
+    /// top-up) reached the (1−ε)·certificate exit in **zero** MWU
+    /// iterations across every warm-rebuilt root.
+    Reroute,
+    /// Warm seeds were consumed but at least one root needed corrective MWU
+    /// iterations on top of the seeded state.
+    Iterated,
+    /// No warm seeds were consumed: every re-plan went cold (empty cache,
+    /// non-packing strategy, or the delta kept all plans exact).
+    #[default]
+    Cold,
+}
+
+impl std::fmt::Display for RepairPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RepairPath::Reroute => "reroute",
+            RepairPath::Iterated => "iterated",
+            RepairPath::Cold => "cold",
+        };
+        f.write_str(s)
+    }
+}
+
 /// What a [`Communicator::replan`] call did — cache survivorship, warm-start
-/// evidence and the re-picked root, for observability and the replan
-/// benchmarks.
+/// evidence, the re-picked root, and where on the degradation ladder the
+/// recovery landed, for observability and the replan/chaos benchmarks.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReplanReport {
     /// Plans that survived delta invalidation untouched (still exact for the
@@ -112,6 +208,31 @@ pub struct ReplanReport {
     /// Trees re-seeded into the MWU state across the warm re-plans (0 when
     /// every re-plan went cold or no packing strategy applies).
     pub warm_seeded_trees: usize,
+    /// MWU iterations spent by warm-rebuilt roots (plans whose packing
+    /// consumed seeds). 0 is the repaired-in-place guarantee; kept plans'
+    /// original cold-pack iterations are *not* counted here.
+    #[serde(default)]
+    pub warm_iterations: usize,
+    /// Damaged warm trees recovered by the min-cost reroute (subset of
+    /// `warm_seeded_trees`; the rest were intact and re-seeded directly).
+    #[serde(default)]
+    pub warm_repaired_trees: usize,
+    /// Fresh arborescences added by the residual top-up stage during warm
+    /// repair.
+    #[serde(default)]
+    pub warm_topup_trees: usize,
+    /// How the packing layer recovered stale plans (reroute / iterated /
+    /// cold).
+    #[serde(default)]
+    pub repair_path: RepairPath,
+    /// Which rung of the graceful-degradation ladder this replan landed on.
+    #[serde(default)]
+    pub degradation: DegradationLevel,
+    /// GPUs dropped from the allocation beyond what the delta removed,
+    /// because the survivor graph was disconnected (only non-empty on
+    /// [`DegradationLevel::ShrunkSubgroup`]).
+    #[serde(default)]
+    pub shed_gpus: Vec<GpuId>,
     /// The root the re-planned sweep picked for rootless collectives.
     pub root: GpuId,
     /// The picked root's packing rate (GB/s); 0 when the communicator's
@@ -652,7 +773,7 @@ impl Communicator {
         if let Some(root) = self.picked_root {
             return root;
         }
-        let (root, _, _) = self.root_sweep();
+        let root = self.root_sweep().root;
         self.picked_root = Some(root);
         root
     }
@@ -665,10 +786,10 @@ impl Communicator {
     /// certificate pass. Plans are bit-identical at every worker count and
     /// ties resolve in allocation order, so the picked root is deterministic.
     ///
-    /// Returns `(root, rate, warm_seeded_trees)`; the fallback
-    /// `(allocation[0], 0.0, 0)` when no candidate spans the selected link
+    /// Returns a [`SweepOutcome`]; the fallback outcome (`allocation[0]`,
+    /// rate 0, `spannable: false`) when no candidate spans the selected link
     /// class (the later per-root planning surfaces the real error).
-    fn root_sweep(&mut self) -> (GpuId, f64, usize) {
+    fn root_sweep(&mut self) -> SweepOutcome {
         let links = self.options.treegen.links;
         let g = DiGraph::from_topology_filtered(&self.induced, |l| links.matches(l));
         let candidates: Vec<GpuId> = self
@@ -682,24 +803,35 @@ impl Communicator {
             })
             .collect();
         if candidates.is_empty() {
-            return (self.allocation[0], 0.0, 0);
+            return SweepOutcome::fallback(self.allocation[0]);
         }
         let treegen = self.options.treegen;
         match self.plans.plan_many(&self.induced, &treegen, &candidates) {
             Ok(plans) => {
-                let mut best = candidates[0];
-                let mut best_rate = -1.0;
-                let mut warm_total = 0;
+                let mut out = SweepOutcome {
+                    root: candidates[0],
+                    rate_gbps: -1.0,
+                    spannable: true,
+                    ..SweepOutcome::fallback(candidates[0])
+                };
                 for (plan, &cand) in plans.iter().zip(&candidates) {
-                    warm_total += plan.mwu.warm_seeded;
-                    if plan.rate_gbps() > best_rate {
-                        best_rate = plan.rate_gbps();
-                        best = cand;
+                    // Only warm-rebuilt roots contribute repair evidence:
+                    // kept plans carry their original cold-pack iteration
+                    // counts, which would drown the zero-iteration signal.
+                    if plan.mwu.warm_seeded > 0 {
+                        out.warm_seeded += plan.mwu.warm_seeded;
+                        out.warm_iterations += plan.mwu.iterations;
+                        out.warm_repaired += plan.mwu.warm_repaired;
+                        out.warm_topup += plan.mwu.warm_topup;
+                    }
+                    if plan.rate_gbps() > out.rate_gbps {
+                        out.rate_gbps = plan.rate_gbps();
+                        out.root = cand;
                     }
                 }
-                (best, best_rate, warm_total)
+                out
             }
-            Err(_) => (self.allocation[0], 0.0, 0),
+            Err(_) => SweepOutcome::fallback(self.allocation[0]),
         }
     }
 
@@ -717,10 +849,31 @@ impl Communicator {
     /// calibrated against no longer exists); the engine scratch is kept —
     /// scratch contents never affect results.
     ///
+    /// # Graceful-degradation ladder
+    ///
+    /// Recovery walks a four-rung ladder, and the rung taken is reported in
+    /// [`ReplanReport::degradation`]:
+    ///
+    /// 1. **[`DegradationLevel::FullWarmRepair`]** — every touched plan was
+    ///    repaired from its warm seeds in zero MWU iterations (or survived
+    ///    invalidation untouched): as fast as before, no cold planning.
+    /// 2. **[`DegradationLevel::PackedReplan`]** — ordinary packing re-ran on
+    ///    the survivor graph (cold, or warm plus corrective iterations).
+    /// 3. **[`DegradationLevel::PcieFallback`]** — no candidate root spans
+    ///    the surviving NVLink graph; collectives lower over PCIe trees (or
+    ///    one-hop on switch fabrics) until a heal restores spannability.
+    /// 4. **[`DegradationLevel::ShrunkSubgroup`]** — the survivor graph is
+    ///    disconnected; the allocation shrinks in place to its largest
+    ///    connected component (shed GPUs listed in
+    ///    [`ReplanReport::shed_gpus`]) so the job stays alive, smaller.
+    ///
+    /// Every rung still produces value-correct collectives — the conformance
+    /// suite drives each rung through `run_checked`.
+    ///
     /// # Errors
-    /// Fails if the delta empties the allocation, is inconsistent with the
-    /// machine model ([`Topology::apply_delta`]), or leaves the allocation
-    /// unspannable in a way planning cannot recover from.
+    /// Fails if the delta empties the allocation or is inconsistent with the
+    /// machine model ([`Topology::apply_delta`]). A disconnected survivor
+    /// graph is *not* an error — that is the shrink rung.
     pub fn replan(&mut self, delta: &TopologyDelta) -> Result<ReplanReport> {
         // The machine model may already know hardware the delta "adds" — a
         // job growing onto GPUs the scheduler had merely not allocated to it.
@@ -749,6 +902,7 @@ impl Communicator {
                 .collect(),
             added_gpu_caps: delta.added_gpu_caps.clone(),
             added_server_nics: delta.added_server_nics.clone(),
+            changed_server_nics: delta.changed_server_nics.clone(),
         };
         let machine = self
             .machine
@@ -770,9 +924,26 @@ impl Communicator {
                 "replan delta removed every GPU in the allocation".to_string(),
             ));
         }
-        let induced = machine
+        let mut induced = machine
             .induced(&allocation)
             .map_err(|e| BlinkError::Planning(e.to_string()))?;
+        // Ladder rung 4 (ShrunkSubgroup): if the survivors no longer form one
+        // connected component over *any* link class, no strategy can span
+        // them — shed the smaller components and keep the job alive on the
+        // largest one (ties go to the component holding the earliest
+        // allocation GPU, so the shrink is deterministic).
+        let survivors = largest_connected_component(&induced, &allocation);
+        let shed_gpus: Vec<GpuId> = allocation
+            .iter()
+            .copied()
+            .filter(|g| !survivors.contains(g))
+            .collect();
+        if !shed_gpus.is_empty() {
+            induced = machine
+                .induced(&survivors)
+                .map_err(|e| BlinkError::Planning(e.to_string()))?;
+            allocation = survivors;
+        }
         self.machine = machine;
         self.allocation = allocation;
         self.induced = induced;
@@ -786,21 +957,45 @@ impl Communicator {
             .note_delta(&self.induced, &self.options.treegen, delta);
         let plans_kept = self.plans.len();
         let seeds_demoted = self.plans.seeded();
-        let (root, rate_gbps, warm_seeded_trees) = if self.allocation.len() < 2
-            || self.is_multi_server()
-            || is_switch_fabric(&self.induced, &self.allocation)
-        {
-            (self.allocation[0], 0.0, 0)
-        } else {
+        let packed_path = self.allocation.len() >= 2
+            && !self.is_multi_server()
+            && !is_switch_fabric(&self.induced, &self.allocation);
+        let sweep = if packed_path {
             self.root_sweep()
+        } else {
+            SweepOutcome::fallback(self.allocation[0])
         };
-        self.picked_root = Some(root);
+        self.picked_root = Some(sweep.root);
+        let repair_path = if sweep.warm_seeded > 0 && sweep.warm_iterations == 0 {
+            RepairPath::Reroute
+        } else if sweep.warm_seeded > 0 {
+            RepairPath::Iterated
+        } else {
+            RepairPath::Cold
+        };
+        let degradation = if !shed_gpus.is_empty() {
+            DegradationLevel::ShrunkSubgroup
+        } else if packed_path && !sweep.spannable {
+            DegradationLevel::PcieFallback
+        } else if packed_path
+            && (repair_path == RepairPath::Reroute || (seeds_demoted == 0 && plans_kept > 0))
+        {
+            DegradationLevel::FullWarmRepair
+        } else {
+            DegradationLevel::PackedReplan
+        };
         Ok(ReplanReport {
             plans_kept,
             seeds_demoted,
-            warm_seeded_trees,
-            root,
-            rate_gbps,
+            warm_seeded_trees: sweep.warm_seeded,
+            warm_iterations: sweep.warm_iterations,
+            warm_repaired_trees: sweep.warm_repaired,
+            warm_topup_trees: sweep.warm_topup,
+            repair_path,
+            degradation,
+            shed_gpus,
+            root: sweep.root,
+            rate_gbps: sweep.rate_gbps,
             num_gpus: self.allocation.len(),
         })
     }
@@ -1170,6 +1365,47 @@ impl CommunicatorBuilder {
     }
 }
 
+/// The largest connected component of `allocation` over `induced`'s links
+/// (any class, treated as undirected), in allocation order. Ties between
+/// equal-sized components go to the one discovered first — i.e. the one
+/// containing the earliest allocation GPU — so the shrink rung of the
+/// degradation ladder is deterministic.
+fn largest_connected_component(induced: &Topology, allocation: &[GpuId]) -> Vec<GpuId> {
+    use std::collections::{BTreeSet, VecDeque};
+    let mut adj: BTreeMap<GpuId, BTreeSet<GpuId>> = BTreeMap::new();
+    for l in induced.links() {
+        adj.entry(l.src).or_default().insert(l.dst);
+        adj.entry(l.dst).or_default().insert(l.src);
+    }
+    let mut seen: BTreeSet<GpuId> = BTreeSet::new();
+    let mut best: BTreeSet<GpuId> = BTreeSet::new();
+    for &start in allocation {
+        if !seen.insert(start) {
+            continue;
+        }
+        let mut component = BTreeSet::from([start]);
+        let mut queue = VecDeque::from([start]);
+        while let Some(g) = queue.pop_front() {
+            if let Some(neighbours) = adj.get(&g) {
+                for &n in neighbours {
+                    if seen.insert(n) {
+                        component.insert(n);
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        if component.len() > best.len() {
+            best = component;
+        }
+    }
+    allocation
+        .iter()
+        .copied()
+        .filter(|g| best.contains(g))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1504,6 +1740,93 @@ mod tests {
         let mut comm =
             Communicator::new(dgx1v(), &[GpuId(3)], CommunicatorOptions::default()).unwrap();
         assert!(comm.replan(&TopologyDelta::drop_gpu(GpuId(3))).is_err());
+    }
+
+    /// Ladder rung 1: a compound delta (two simultaneous NVLink duplex
+    /// failures) repairs warm with zero MWU iterations and is reported as
+    /// [`DegradationLevel::FullWarmRepair`] via [`RepairPath::Reroute`].
+    #[test]
+    fn replan_compound_delta_reports_full_warm_repair() {
+        use blink_topology::LinkKind;
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let mut comm = Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        comm.all_reduce(mb(100)).unwrap();
+        let before = comm.induced_topology().clone();
+        let dead = |l: &blink_topology::Link, a: usize, b: usize| {
+            (l.src == GpuId(a) && l.dst == GpuId(b)) || (l.src == GpuId(b) && l.dst == GpuId(a))
+        };
+        let after =
+            before.filter_links(|l| l.kind == LinkKind::Pcie || !(dead(l, 0, 1) || dead(l, 2, 3)));
+        let delta = TopologyDelta::between(&before, &after);
+        assert!(delta.removed_links.len() >= 4, "{delta:?}");
+        let report = comm.replan(&delta).unwrap();
+        assert_eq!(
+            report.degradation,
+            DegradationLevel::FullWarmRepair,
+            "{report:?}"
+        );
+        assert_eq!(report.repair_path, RepairPath::Reroute, "{report:?}");
+        assert_eq!(report.warm_iterations, 0, "{report:?}");
+        assert!(report.warm_seeded_trees > 0);
+        assert!(report.warm_repaired_trees > 0, "{report:?}");
+        assert!(report.shed_gpus.is_empty());
+        let (_, check) = comm.run_checked(CollectiveKind::AllReduce, mb(50)).unwrap();
+        assert!(check.is_correct(), "{check:?}");
+    }
+
+    /// Ladder rung 3: every NVLink into GPU 7 dies but the PCIe mesh still
+    /// connects the allocation — collectives fall back to PCIe trees and the
+    /// report says so.
+    #[test]
+    fn replan_nvlink_partition_reports_pcie_fallback() {
+        use blink_topology::LinkKind;
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let mut comm = Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        comm.all_reduce(mb(50)).unwrap();
+        let before = comm.induced_topology().clone();
+        let after = before
+            .filter_links(|l| l.kind == LinkKind::Pcie || (l.src != GpuId(7) && l.dst != GpuId(7)));
+        let delta = TopologyDelta::between(&before, &after);
+        let report = comm.replan(&delta).unwrap();
+        assert_eq!(
+            report.degradation,
+            DegradationLevel::PcieFallback,
+            "{report:?}"
+        );
+        assert_eq!(report.num_gpus, 8);
+        assert!(report.shed_gpus.is_empty());
+        let (after_run, check) = comm.run_checked(CollectiveKind::AllReduce, mb(50)).unwrap();
+        assert!(check.is_correct(), "{check:?}");
+        assert!(
+            after_run.strategy.contains("PCIe fallback"),
+            "{}",
+            after_run.strategy
+        );
+    }
+
+    /// Ladder rung 4: a whole GPU loses *every* link (all classes) — the
+    /// survivor graph is disconnected, so the allocation shrinks in place to
+    /// the largest connected component instead of failing the job.
+    #[test]
+    fn replan_disconnected_survivors_shrink_to_largest_component() {
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let mut comm = Communicator::new(dgx1v(), &alloc, CommunicatorOptions::default()).unwrap();
+        comm.all_reduce(mb(50)).unwrap();
+        let before = comm.induced_topology().clone();
+        let after = before.filter_links(|l| l.src != GpuId(5) && l.dst != GpuId(5));
+        let delta = TopologyDelta::between(&before, &after);
+        assert!(delta.is_pure_removal());
+        let report = comm.replan(&delta).unwrap();
+        assert_eq!(
+            report.degradation,
+            DegradationLevel::ShrunkSubgroup,
+            "{report:?}"
+        );
+        assert_eq!(report.shed_gpus, vec![GpuId(5)]);
+        assert_eq!(report.num_gpus, 7);
+        assert!(!comm.allocation().contains(&GpuId(5)));
+        let (_, check) = comm.run_checked(CollectiveKind::AllReduce, mb(50)).unwrap();
+        assert!(check.is_correct(), "{check:?}");
     }
 
     #[test]

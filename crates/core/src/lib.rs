@@ -72,6 +72,36 @@
 //! [`SharedPlanCache`] keyed by
 //! [`blink_topology::enumerate::canonical_form`].
 //!
+//! # The graceful-degradation ladder
+//!
+//! Failure recovery never has a cliff: [`Communicator::replan`] walks a
+//! four-rung ladder and reports the rung taken in
+//! [`ReplanReport::degradation`] so callers can distinguish "as fast as
+//! before" from "alive but slower" from "alive but smaller":
+//!
+//! 1. [`DegradationLevel::FullWarmRepair`] — the delta's damage was repaired
+//!    entirely from warm seeds (min-cost reroute over the packing residual,
+//!    zero MWU iterations) or did not touch the cached plans at all. This is
+//!    the common rung for link flaps and single/compound GPU drops, and the
+//!    one `bench_replan`/`bench_chaos` pin with
+//!    [`ReplanReport::warm_iterations`]` == 0` and
+//!    [`ReplanReport::repair_path`]` == `[`RepairPath::Reroute`].
+//! 2. [`DegradationLevel::PackedReplan`] — ordinary (cold or iterated-warm)
+//!    packing on the survivor graph; rate re-certified against the
+//!    post-event min-cut.
+//! 3. [`DegradationLevel::PcieFallback`] — the surviving NVLink graph spans
+//!    from no candidate root; collectives lower over the always-complete
+//!    PCIe mesh (or one-hop on switch fabrics) until a heal event restores
+//!    spannability.
+//! 4. [`DegradationLevel::ShrunkSubgroup`] — the survivor graph is
+//!    disconnected outright; the allocation shrinks in place to its largest
+//!    connected component ([`ReplanReport::shed_gpus`] lists the casualties)
+//!    rather than failing the job.
+//!
+//! Every rung produces value-correct collectives: the conformance matrix
+//! drives compound-failure scenarios through each rung and replays the
+//! resulting programs byte-exactly with [`Communicator::run_checked`].
+//!
 //! ```
 //! use blink_core::{Communicator, CommunicatorOptions};
 //! use blink_topology::{presets, GpuId};
@@ -104,8 +134,8 @@ pub use autotune::{
 pub use codegen::{CodeGen, CodeGenOptions};
 pub use collective::{CollectiveKind, CollectiveReport};
 pub use communicator::{
-    Communicator, CommunicatorBuilder, CommunicatorOptions, ReplanReport, StreamedGroup,
-    StreamedRun,
+    Communicator, CommunicatorBuilder, CommunicatorOptions, DegradationLevel, RepairPath,
+    ReplanReport, StreamedGroup, StreamedRun,
 };
 pub use fusion::{fuse_requests, fusible, restrict_to_window, FusedGroup};
 pub use group::{GroupCollective, GroupRun, ProcessGroups};

@@ -39,15 +39,23 @@
 //!
 //! * Warm trees whose edges all survive in the new graph keep their
 //!   accumulated rates in full.
-//! * Warm trees touching a dead link or vertex are *repaired*
-//!   deterministically: surviving edges are kept, uncovered vertices are
-//!   re-attached by grafting the highest-residual-capacity edge from the
-//!   covered set (ties break on the lowest edge id), and the repaired tree
-//!   is re-seeded at its full old weight — over-subscription is what the
-//!   running `total / max_overuse` feasibility ratio exists to absorb, and
-//!   the final packing is scaled to feasibility either way. Only a tree that
-//!   cannot be repaired at all (the new graph no longer reaches some vertex
-//!   from the covered set) is dropped.
+//! * Warm trees touching a dead link or vertex are *rerouted*
+//!   deterministically: the tree's full old weight is re-decomposed over the
+//!   surviving capacity in equal slices, each slice built as a fresh
+//!   arborescence by repeatedly taking the crossing edge whose node-pair
+//!   group has the lowest prospective overuse ratio (ties break on the
+//!   lowest edge id) — fractional water-filling of every in-cut.
+//!   Over-subscription is what the running `total / max_overuse` feasibility
+//!   ratio exists to absorb, and the final packing is scaled to feasibility
+//!   either way. Only a tree that cannot be rerouted at all (the new graph
+//!   no longer spans from the root) is dropped.
+//! * After all warm trees are replayed, any gap left between the repaired
+//!   rate and the `(1 − ε)`·certificate exit — compound deltas clamp several
+//!   trees against the same dead region — is closed by a **min-cost reroute
+//!   over the packing residual**: widest (max-bottleneck) spanning
+//!   arborescences of the unused capacity are extracted and seeded until the
+//!   exit fires or the residual no longer spans, so the zero-MWU-iteration
+//!   guarantee holds for multi-failure deltas too, not just single ones.
 //! * Seeded state is indistinguishable from having routed those trees in
 //!   ordinary MWU iterations: lengths inflate multiplicatively, the dual and
 //!   the running feasibility estimate account for the seeds, and the
@@ -299,6 +307,17 @@ pub struct PackingStats {
     /// repair); `0` on cold runs.
     #[serde(default)]
     pub warm_dropped: usize,
+    /// Number of *damaged* warm trees that were rerouted over the surviving
+    /// capacity (a subset of `warm_seeded`; intact trees replay without
+    /// repair). `0` on cold runs.
+    #[serde(default)]
+    pub warm_repaired: usize,
+    /// Number of residual top-up arborescences packed after warm seeding —
+    /// the min-cost reroute over the packing residual that closes any gap
+    /// between the repaired warm rate and the `(1 − ε)`·certificate exit
+    /// without spending MWU iterations. `0` on cold runs.
+    #[serde(default)]
+    pub warm_topup: usize,
 }
 
 impl PackingStats {
@@ -313,6 +332,8 @@ impl PackingStats {
             certificate_gbps: 0.0,
             warm_seeded: 0,
             warm_dropped: 0,
+            warm_repaired: 0,
+            warm_topup: 0,
         }
     }
 }
@@ -494,6 +515,8 @@ fn pack_impl(
     let mut max_overuse = 0.0f64;
     let mut warm_seeded = 0usize;
     let mut warm_dropped = 0usize;
+    let mut warm_repaired = 0usize;
+    let mut warm_topup = 0usize;
     if let Some(prev) = warm {
         if prev.root == root && !prev.trees.is_empty() {
             seed_warm_trees(
@@ -507,7 +530,28 @@ fn pack_impl(
                 &mut dual,
                 &mut warm_seeded,
                 &mut warm_dropped,
+                &mut warm_repaired,
             );
+            // Compound deltas can leave the repaired warm rate short of the
+            // certificate exit (several trees clamp against the same dead
+            // region). Rather than spending MWU iterations, reroute the
+            // shortfall over the *packing residual*: repeatedly extract the
+            // widest (max-bottleneck) spanning arborescence of the unused
+            // capacity and seed it, exactly like a flow decomposition of the
+            // residual graph. Cold runs never reach this code.
+            if certificate.is_finite() {
+                seed_residual_topup(
+                    graph,
+                    root_idx,
+                    eps,
+                    target,
+                    scratch,
+                    &mut total_raw,
+                    &mut max_overuse,
+                    &mut dual,
+                    &mut warm_topup,
+                );
+            }
         } else {
             warm_dropped = prev.trees.len();
         }
@@ -518,7 +562,10 @@ fn pack_impl(
     // Warm seeds may already satisfy the certificate exit (the usual case on
     // an unchanged or purely-degraded topology): check before iterating. Cold
     // runs (no seeds) never take this branch, keeping them bit-identical.
-    if warm_seeded > 0 && certificate.is_finite() && total_raw / max_overuse.max(1.0) >= target {
+    if (warm_seeded > 0 || warm_topup > 0)
+        && certificate.is_finite()
+        && total_raw / max_overuse.max(1.0) >= target
+    {
         termination = PackingTermination::Certificate;
     }
     while termination == PackingTermination::IterationCap && iterations < opts.max_iterations {
@@ -597,6 +644,8 @@ fn pack_impl(
         certificate_gbps: certificate,
         warm_seeded,
         warm_dropped,
+        warm_repaired,
+        warm_topup,
     };
     let packing = TreePacking::new(root, trees).scaled_to_feasible(graph);
     Ok((packing, stats))
@@ -604,21 +653,20 @@ fn pack_impl(
 
 /// Replays a previous packing's trees into freshly-initialised MWU state.
 ///
-/// Each warm tree is mapped onto the new graph (edges whose GPU pair
-/// survives are kept), repaired if it no longer spans — uncovered vertices
-/// are grafted back through the highest-residual edge leaving the covered
-/// set, deterministically (ties break on the lowest edge id) — and seeded at
-/// its full old weight (the feasibility-scaled rate absorbs any resulting
-/// over-subscription, exactly as it does for ordinary iterations). Seeding
-/// mutates exactly the state one MWU iteration would: the accumulator, the
-/// raw total, the per-pair usage / running overuse, the edge lengths and the
-/// dual.
-/// Repair passes per damaged warm tree: each pass reroutes what is left of
-/// the tree's old weight through the current highest-residual edges, so the
-/// cap bounds how finely one tree's weight may be split across the surviving
-/// capacity (the remainder past the last pass is simply not seeded — MWU
-/// iterations recover it).
-const MAX_REPAIR_PASSES: usize = 8;
+/// Intact warm trees (every edge's GPU pair survives) are replayed verbatim
+/// at what fits of their old weight. Damaged trees are *rerouted*: their full
+/// old weight is re-decomposed over the surviving capacity in equal slices,
+/// each slice a fresh arborescence grown by repeatedly taking the crossing
+/// edge whose node-pair group has the lowest prospective overuse ratio (ties
+/// break on the lowest edge id). The feasibility-scaled rate absorbs any
+/// resulting over-subscription, exactly as it does for ordinary iterations.
+/// Seeding mutates exactly the state one MWU iteration would: the
+/// accumulator, the raw total, the per-pair usage / running overuse, the
+/// edge lengths and the dual.
+/// Reroute slices per damaged warm tree: more slices means finer
+/// water-filling (the residual imbalance left on any node pair is at most
+/// one slice's weight), at the cost of more distinct accumulated trees.
+const MAX_REPAIR_PASSES: usize = 32;
 /// Weight below which a repair pass (or remainder) is not worth seeding.
 const SPLIT_EPS: f64 = 1e-9;
 
@@ -634,6 +682,7 @@ fn seed_warm_trees(
     dual: &mut f64,
     warm_seeded: &mut usize,
     warm_dropped: &mut usize,
+    warm_repaired: &mut usize,
 ) {
     let n = graph.num_nodes();
     scratch.pair_edge.clear();
@@ -667,14 +716,19 @@ fn seed_warm_trees(
         })
         .collect();
     order.sort_unstable();
-    // Reserve every pending tree's kept-edge demand up front. A graft that
-    // reroutes one damaged tree through capacity a later tree's surviving
-    // edges still need would starve that tree down to nothing; keeping
-    // reroutes out of reserved capacity lets the whole warm set seed at
-    // (close to) its old collective rate instead of first-come-first-served.
+    // Reserve every pending *intact* tree's kept-edge demand up front. A
+    // reroute through capacity a later intact tree's surviving edges still
+    // need would starve that tree down to nothing; keeping reroutes out of
+    // reserved capacity lets the whole warm set seed at (close to) its old
+    // collective rate instead of first-come-first-served. Damaged trees
+    // reserve nothing: their weight is fully rerouted, so they have no fixed
+    // demand to protect (and they seed after every intact tree anyway).
     scratch.group_reserved.clear();
     scratch.group_reserved.resize(scratch.group_cap.len(), 0.0);
-    for &(_, i) in &order {
+    for &(damaged, i) in &order {
+        if damaged {
+            continue;
+        }
         let wt = &warm.trees[i];
         for &(p, c) in &wt.tree.edges {
             let (Some(u), Some(v)) = (graph.node(p), graph.node(c)) else {
@@ -688,37 +742,11 @@ fn seed_warm_trees(
             }
         }
     }
-    for (_, i) in order {
+    for (damaged, i) in order {
         let wt = &warm.trees[i];
         // This tree is being seeded now: its kept-edge demand turns into real
         // usage (or is forfeited), either way it is no longer "reserved".
-        for &(p, c) in &wt.tree.edges {
-            let (Some(u), Some(v)) = (graph.node(p), graph.node(c)) else {
-                continue;
-            };
-            if v == root_idx {
-                continue;
-            }
-            if let Some(&e) = scratch.pair_edge.get(&(u as u32, v as u32)) {
-                scratch.group_reserved[scratch.edge_group[e as usize] as usize] -= wt.weight;
-            }
-        }
-        // A damaged tree's old weight may not fit through any single
-        // replacement edge of an (almost saturated) surviving graph, but a
-        // *flow* of that value usually exists across several. Repair
-        // therefore runs in passes: each pass grafts the uncovered vertices
-        // through the highest-residual edges, seeds a variant clamped to the
-        // bottleneck residual, and re-routes the remainder — the grafts of
-        // the next pass see the updated usage and pick different edges,
-        // splitting the old weight across the surviving capacity the way a
-        // fractional reroute would.
-        let mut remaining = wt.weight;
-        let mut seeded_any = false;
-        for _pass in 0..MAX_REPAIR_PASSES {
-            // Keep surviving edges as parent assignments (one in-edge per
-            // node), rebuilt fresh each pass.
-            scratch.warm_parent.clear();
-            scratch.warm_parent.resize(n, u32::MAX);
+        if !damaged {
             for &(p, c) in &wt.tree.edges {
                 let (Some(u), Some(v)) = (graph.node(p), graph.node(c)) else {
                     continue;
@@ -727,7 +755,42 @@ fn seed_warm_trees(
                     continue;
                 }
                 if let Some(&e) = scratch.pair_edge.get(&(u as u32, v as u32)) {
-                    scratch.warm_parent[v] = e;
+                    scratch.group_reserved[scratch.edge_group[e as usize] as usize] -= wt.weight;
+                }
+            }
+        }
+        // A damaged tree's old weight may not fit through any single
+        // replacement route of an (almost saturated) surviving graph, but a
+        // *flow* of that value usually exists across several. Repair
+        // therefore re-decomposes the damaged weight over the surviving
+        // capacity in equal slices: each pass builds a fresh arborescence by
+        // repeatedly taking the crossing edge whose node-pair group has the
+        // lowest prospective overuse ratio, seeds one slice through it, and
+        // lets the next pass see the updated usage — fractional water-filling
+        // of every in-cut. Keeping the damaged tree's surviving edges pinned
+        // instead would anchor its whole weight on whatever pairs the *old*
+        // optimum happened to use, and no graft placement could then undo the
+        // imbalance; full re-decomposition is what makes the repair a
+        // min-cost reroute rather than a patch.
+        let mut remaining = wt.weight;
+        let mut seeded_any = false;
+        for pass in 0..MAX_REPAIR_PASSES {
+            // Intact trees replay their own edges as parent assignments (one
+            // in-edge per node); damaged trees start from scratch and let the
+            // ratio-minimising loop below route everything.
+            scratch.warm_parent.clear();
+            scratch.warm_parent.resize(n, u32::MAX);
+            if !damaged {
+                for &(p, c) in &wt.tree.edges {
+                    let (Some(u), Some(v)) = (graph.node(p), graph.node(c)) else {
+                        continue;
+                    };
+                    if v == root_idx {
+                        continue;
+                    }
+                    if let Some(&e) = scratch.pair_edge.get(&(u as u32, v as u32)) {
+                        scratch.warm_parent[v] = e;
+                    }
                 }
             }
             // Cover everything reachable from the root through kept edges.
@@ -752,8 +815,14 @@ fn seed_warm_trees(
                 }
             }
             let intact = num_covered == n;
-            // Graft uncovered vertices back, preferring capacity that is
-            // neither used nor reserved by still-pending warm trees.
+            // Graft uncovered vertices back through the group with the most
+            // *relative* headroom — the lowest prospective overuse ratio
+            // `(usage + reserved) / cap`. Every spanning arborescence crosses
+            // each vertex's in-cut exactly once, so the feasibility-scaled
+            // rate is ultimately bounded by the most loaded in-group; picking
+            // grafts by overuse ratio water-fills each in-cut and keeps that
+            // bound as low as the surviving capacity allows. Ties break on
+            // the lowest edge id.
             let mut repair_failed = false;
             let mut grafts: Vec<u32> = Vec::new();
             while num_covered < n {
@@ -761,15 +830,14 @@ fn seed_warm_trees(
                 for (i, e) in graph.edges().iter().enumerate() {
                     if scratch.covered[e.src] && !scratch.covered[e.dst] {
                         let g = scratch.edge_group[i] as usize;
-                        let resid = scratch.group_cap[g]
-                            - scratch.group_usage[g]
-                            - scratch.group_reserved[g];
+                        let load = (scratch.group_usage[g] + scratch.group_reserved[g].max(0.0))
+                            / scratch.group_cap[g];
                         let better = match best {
                             None => true,
-                            Some((br, bi)) => resid > br || (resid == br && (i as u32) < bi),
+                            Some((bl, bi)) => load < bl || (load == bl && (i as u32) < bi),
                         };
                         if better {
-                            best = Some((resid, i as u32));
+                            best = Some((load, i as u32));
                         }
                     }
                 }
@@ -816,15 +884,34 @@ fn seed_warm_trees(
                 }
             }
             scratch.key.sort_unstable();
-            let mut weight = remaining;
+            let mut min_avail = remaining;
             for &e in &scratch.key {
                 let g = scratch.edge_group[e as usize] as usize;
                 let mut avail = scratch.group_cap[g] - scratch.group_usage[g];
                 if grafts.contains(&e) {
                     avail -= scratch.group_reserved[g].max(0.0);
                 }
-                weight = weight.min(avail);
+                min_avail = min_avail.min(avail);
             }
+            // An intact tree seeds exactly what fits — its clamp can only be
+            // a lost parallel lane, and smearing a lane loss over the rest of
+            // the packing would just lower the scaled rate. A *damaged* tree
+            // must seed its full old weight (over-subscribing if necessary —
+            // the running `total / max_overuse` ratio absorbs overuse exactly
+            // as it does for ordinary MWU iterations), in *equal slices*
+            // across the pass budget: each slice re-picks the
+            // ratio-minimising grafts against the updated usage, so even a
+            // heavily-minimised packing (few trees, large weights) spreads
+            // its rerouted load across each in-cut the way a fractional
+            // water-filling would, instead of dumping one tree's whole rate
+            // through a single replacement pair. The equal split telescopes
+            // to completion within the pass budget.
+            let weight = if intact {
+                min_avail
+            } else {
+                let passes_left = (MAX_REPAIR_PASSES - pass) as f64;
+                (remaining / passes_left).min(remaining)
+            };
             if weight <= SPLIT_EPS {
                 break;
             }
@@ -856,9 +943,113 @@ fn seed_warm_trees(
         }
         if seeded_any {
             *warm_seeded += 1;
+            if damaged {
+                *warm_repaired += 1;
+            }
         } else {
             *warm_dropped += 1;
         }
+    }
+}
+
+/// Min-cost reroute over the packing residual: closes the gap between the
+/// repaired warm rate and the `(1 − ε)`·certificate exit without MWU
+/// iterations.
+///
+/// After every warm tree has been replayed, the unused capacity
+/// (`group_cap − group_usage` per node pair) forms a residual graph. As long
+/// as the feasibility-scaled rate is short of `target` and the residual still
+/// admits a spanning arborescence from the root, this extracts the *widest*
+/// one — grown Prim-style by repeatedly taking the maximum-residual edge
+/// leaving the covered set, ties broken on the lowest edge id, which yields a
+/// max-bottleneck arborescence — and seeds it at its bottleneck residual,
+/// exactly as one MWU iteration would (accumulator, totals, usage, lengths,
+/// dual). Each extraction saturates at least one node-pair group, so the loop
+/// runs at most `#groups` times; in practice one or two trees close the gap a
+/// compound delta opened. Seeded weight never exceeds any group's residual,
+/// so the running `max_overuse` cannot grow — every top-up tree increases the
+/// feasibility-scaled rate monotonically.
+#[allow(clippy::too_many_arguments)]
+fn seed_residual_topup(
+    graph: &DiGraph,
+    root_idx: usize,
+    eps: f64,
+    target: f64,
+    scratch: &mut PackingScratch,
+    total_raw: &mut f64,
+    max_overuse: &mut f64,
+    dual: &mut f64,
+    warm_topup: &mut usize,
+) {
+    let n = graph.num_nodes();
+    'outer: while *total_raw / max_overuse.max(1.0) < target {
+        scratch.covered.clear();
+        scratch.covered.resize(n, false);
+        scratch.covered[root_idx] = true;
+        let mut num_covered = 1usize;
+        scratch.warm_parent.clear();
+        scratch.warm_parent.resize(n, u32::MAX);
+        let mut bottleneck = f64::INFINITY;
+        while num_covered < n {
+            let mut best: Option<(f64, u32)> = None;
+            for (i, e) in graph.edges().iter().enumerate() {
+                if scratch.covered[e.src] && !scratch.covered[e.dst] {
+                    let g = scratch.edge_group[i] as usize;
+                    let resid = scratch.group_cap[g] - scratch.group_usage[g];
+                    if resid <= SPLIT_EPS {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some((br, bi)) => resid > br || (resid == br && (i as u32) < bi),
+                    };
+                    if better {
+                        best = Some((resid, i as u32));
+                    }
+                }
+            }
+            // The residual no longer spans from the root: whatever capacity
+            // is left cannot carry another whole tree. MWU iterations (if
+            // any) take over from here.
+            let Some((resid, ei)) = best else {
+                break 'outer;
+            };
+            scratch.warm_parent[graph.edges()[ei as usize].dst] = ei;
+            scratch.covered[graph.edges()[ei as usize].dst] = true;
+            num_covered += 1;
+            bottleneck = bottleneck.min(resid);
+        }
+        if !bottleneck.is_finite() || bottleneck <= SPLIT_EPS {
+            break;
+        }
+        scratch.key.clear();
+        for v in 0..n {
+            if v != root_idx {
+                scratch.key.push(scratch.warm_parent[v]);
+            }
+        }
+        scratch.key.sort_unstable();
+        if let Some(w) = scratch.acc.get_mut(scratch.key.as_slice()) {
+            *w += bottleneck;
+        } else {
+            scratch
+                .acc
+                .insert(scratch.key.as_slice().into(), bottleneck);
+        }
+        *total_raw += bottleneck;
+        for &e in &scratch.key {
+            let e = e as usize;
+            let g = scratch.edge_group[e] as usize;
+            scratch.group_usage[g] += bottleneck;
+            let overuse = scratch.group_usage[g] / scratch.group_cap[g];
+            if overuse > *max_overuse {
+                *max_overuse = overuse;
+            }
+            let old_len = scratch.lengths[e];
+            scratch.lengths[e] = old_len * (1.0 + eps * bottleneck / scratch.caps[e]);
+            *dual += (scratch.lengths[e] - old_len) * scratch.caps[e];
+        }
+        *warm_topup += 1;
     }
 }
 
@@ -1139,6 +1330,63 @@ mod tests {
             assert!(wt.tree.is_valid_over(&survivors));
         }
         assert!(warm.rate() >= (1.0 - opts.epsilon) * warm_stats.certificate_gbps - 1e-9);
+    }
+
+    /// Compound deltas — several simultaneous failures — must still reach
+    /// the certificate exit in **zero** MWU iterations: the clamp-and-split
+    /// repair handles what it can and the residual top-up reroutes the rest.
+    #[test]
+    fn warm_start_compound_delta_runs_zero_iterations() {
+        let opts = PackingOptions::default();
+        let mut scratch = PackingScratch::new();
+        let kill = |t: &Topology, a: usize, b: usize| {
+            t.filter_links(|l| {
+                !(l.kind.is_nvlink()
+                    && ((l.src == GpuId(a) && l.dst == GpuId(b))
+                        || (l.src == GpuId(b) && l.dst == GpuId(a))))
+            })
+        };
+        // two simultaneous link kills on a full DGX-1V
+        let topo = dgx1v();
+        let g = DiGraph::from_topology_filtered(&topo, |l| l.kind.is_nvlink());
+        let (cold_prev, _) = pack_spanning_trees_in(&g, GpuId(0), &opts, &mut scratch).unwrap();
+        let degraded = kill(&kill(&topo, 0, 1), 2, 3);
+        let g2 = DiGraph::from_topology_filtered(&degraded, |l| l.kind.is_nvlink());
+        let (warm, warm_stats) =
+            pack_spanning_trees_warm_in(&g2, GpuId(0), &opts, &mut scratch, &cold_prev).unwrap();
+        assert_eq!(
+            warm_stats.iterations, 0,
+            "2-link compound delta must repair without iterating (topup {})",
+            warm_stats.warm_topup
+        );
+        assert_eq!(warm_stats.termination, PackingTermination::Certificate);
+        assert!(warm.is_feasible(&g2));
+        let (cold, _) = pack_spanning_trees_in(&g2, GpuId(0), &opts, &mut scratch).unwrap();
+        assert!(
+            warm.rate() >= cold.rate() - 1e-9,
+            "warm {} must not trail cold {}",
+            warm.rate(),
+            cold.rate()
+        );
+
+        // link kill + GPU drop, simultaneously
+        let survivors: Vec<GpuId> = (0..7).map(GpuId).collect();
+        let wounded = kill(&topo, 1, 4).induced(&survivors).unwrap();
+        let g3 = DiGraph::from_topology_filtered(&wounded, |l| l.kind.is_nvlink());
+        let (warm, warm_stats) =
+            pack_spanning_trees_warm_in(&g3, GpuId(0), &opts, &mut scratch, &cold_prev).unwrap();
+        assert_eq!(
+            warm_stats.iterations, 0,
+            "link+GPU compound delta must repair without iterating (topup {})",
+            warm_stats.warm_topup
+        );
+        assert_eq!(warm_stats.termination, PackingTermination::Certificate);
+        assert!(warm.is_feasible(&g3));
+        for wt in &warm.trees {
+            assert!(wt.tree.is_valid_over(&survivors));
+        }
+        let (cold, _) = pack_spanning_trees_in(&g3, GpuId(0), &opts, &mut scratch).unwrap();
+        assert!(warm.rate() >= cold.rate() - 1e-9);
     }
 
     #[test]

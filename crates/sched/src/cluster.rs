@@ -61,6 +61,10 @@ pub struct Cluster {
     gpus_per_server: usize,
     /// free\[s\]\[g\] = GPU `g` of server `s` is free.
     free: Vec<Vec<bool>>,
+    /// quarantined\[s\]\[g\] = number of active faults holding GPU `g` of
+    /// server `s` out of service (a free-but-quarantined GPU is never handed
+    /// out; overlapping faults stack, each heal releases one hold).
+    quarantined: Vec<Vec<u32>>,
     completions: BinaryHeap<Completion>,
     running: Vec<(u64, ServerAllocation)>,
     histogram: AllocationHistogram,
@@ -75,6 +79,7 @@ impl Cluster {
         Cluster {
             gpus_per_server,
             free: vec![vec![true; gpus_per_server]; servers],
+            quarantined: vec![vec![0; gpus_per_server]; servers],
             completions: BinaryHeap::new(),
             running: Vec::new(),
             histogram: AllocationHistogram::new(gpus_per_server),
@@ -98,12 +103,82 @@ impl Cluster {
         self.free.len() * self.gpus_per_server
     }
 
-    /// Number of currently free GPUs.
+    /// Whether GPU `g` of server `s` can be handed out: free and not held by
+    /// any active fault.
+    fn available(&self, s: usize, g: usize) -> bool {
+        self.free[s][g] && self.quarantined[s][g] == 0
+    }
+
+    /// Number of GPUs on server `s` that can be handed out right now.
+    fn available_on(&self, s: usize) -> usize {
+        (0..self.gpus_per_server)
+            .filter(|&g| self.available(s, g))
+            .count()
+    }
+
+    /// Number of currently allocatable GPUs (free and not quarantined).
     pub fn free_gpus(&self) -> usize {
-        self.free
+        (0..self.free.len()).map(|s| self.available_on(s)).sum()
+    }
+
+    /// Number of GPUs currently held out of service by active faults.
+    pub fn quarantined_gpus(&self) -> usize {
+        self.quarantined
             .iter()
-            .map(|s| s.iter().filter(|&&f| f).count())
+            .map(|s| s.iter().filter(|&&q| q > 0).count())
             .sum()
+    }
+
+    /// Takes GPU `gpu` of server `server` out of service (a fault onset).
+    /// Holds stack: each call must be balanced by one [`Cluster::heal`]. A
+    /// busy GPU keeps its owner — the pipeline decides whether the owning
+    /// job sheds it — but the GPU is not handed out again until healed.
+    pub fn quarantine(&mut self, server: usize, gpu: usize) {
+        self.quarantined[server][gpu] += 1;
+    }
+
+    /// Releases one quarantine hold on GPU `gpu` of server `server` (a heal
+    /// event). Saturates at zero.
+    pub fn heal(&mut self, server: usize, gpu: usize) {
+        let q = &mut self.quarantined[server][gpu];
+        *q = q.saturating_sub(1);
+    }
+
+    /// Quarantines every GPU of one server (a whole-server loss).
+    pub fn quarantine_server(&mut self, server: usize) {
+        for gpu in 0..self.gpus_per_server {
+            self.quarantine(server, gpu);
+        }
+    }
+
+    /// Releases one hold on every GPU of one server (the server came back).
+    pub fn heal_server(&mut self, server: usize) {
+        for gpu in 0..self.gpus_per_server {
+            self.heal(server, gpu);
+        }
+    }
+
+    /// Forcibly removes a running job — its GPUs become free immediately and
+    /// its pending completion is cancelled, so a later re-submission of the
+    /// same job id is not released by the stale entry. Returns whether the
+    /// job was running. Used by the fault path to requeue jobs whose every
+    /// GPU was lost.
+    pub fn evict(&mut self, job_id: u64) -> bool {
+        let Some(pos) = self.running.iter().position(|(id, _)| *id == job_id) else {
+            return false;
+        };
+        let (_, slices) = self.running.swap_remove(pos);
+        for (server, gpus) in slices {
+            for g in gpus {
+                self.free[server][g] = true;
+            }
+        }
+        let kept: Vec<Completion> = std::mem::take(&mut self.completions)
+            .into_iter()
+            .filter(|c| c.job_id != job_id)
+            .collect();
+        self.completions = kept.into();
+        true
     }
 
     /// Jobs rejected for either reason — the sum of
@@ -163,13 +238,28 @@ impl Cluster {
     /// are not queued — queueing does not change the fragmentation
     /// statistics we are after.
     pub fn submit(&mut self, job: &Job) -> Option<Placement> {
+        self.place(job, true)
+    }
+
+    /// Re-offers an evicted job (the fault path's bounded retries) without
+    /// counting a rejection on failure — the rejection counters describe the
+    /// arrival stream, not the retry queue.
+    pub fn resubmit(&mut self, job: &Job) -> Option<Placement> {
+        self.place(job, false)
+    }
+
+    fn place(&mut self, job: &Job, count_rejections: bool) -> Option<Placement> {
         self.release_until(job.arrival);
         if (job.gpus as usize) > self.total_gpus() {
-            self.rejected_capacity += 1;
+            if count_rejections {
+                self.rejected_capacity += 1;
+            }
             return None;
         }
         if (job.gpus as usize) > self.free_gpus() {
-            self.rejected_contention += 1;
+            if count_rejections {
+                self.rejected_contention += 1;
+            }
             return None;
         }
         let mut remaining = job.gpus as usize;
@@ -180,11 +270,8 @@ impl Cluster {
         // to minimise the number of fragments. Ties break to the
         // lowest-index server in both cases.
         while remaining > 0 {
-            let counts: Vec<(usize, usize)> = self
-                .free
-                .iter()
-                .enumerate()
-                .map(|(s, gpus)| (s, gpus.iter().filter(|&&f| f).count()))
+            let counts: Vec<(usize, usize)> = (0..self.free.len())
+                .map(|s| (s, self.available_on(s)))
                 .filter(|&(_, free)| free > 0)
                 .collect();
             let target = counts
@@ -203,7 +290,7 @@ impl Cluster {
                 if remaining == 0 {
                     break;
                 }
-                if self.free[server][g] {
+                if self.available(server, g) {
                     self.free[server][g] = false;
                     taken.push(g);
                     remaining -= 1;
@@ -267,7 +354,7 @@ impl Cluster {
         };
         let mut best: Option<(usize, usize, usize)> = None; // (server, own, free)
         for s in 0..self.free.len() {
-            let free = self.free[s].iter().filter(|&&f| f).count();
+            let free = self.available_on(s);
             let own = own_on(&self.running[pos].1, s);
             if own + free < total {
                 continue;
@@ -299,7 +386,7 @@ impl Cluster {
             if gpus.len() == total {
                 break;
             }
-            if self.free[target][g] {
+            if self.available(target, g) {
                 self.free[target][g] = false;
                 gpus.push(g);
             }
@@ -490,6 +577,75 @@ mod tests {
         // when job 2 finally completes, exactly its 4 GPUs come back
         assert_eq!(cluster.release_until(200.0), vec![1, 2]);
         assert_eq!(cluster.free_gpus(), 16);
+    }
+
+    #[test]
+    fn quarantined_gpus_are_never_handed_out() {
+        let mut cluster = Cluster::new(2, 8);
+        cluster.quarantine_server(1);
+        assert_eq!(cluster.free_gpus(), 8);
+        assert_eq!(cluster.quarantined_gpus(), 8);
+        let job = Job {
+            id: 0,
+            gpus: 8,
+            arrival: 0.0,
+            duration: 10.0,
+        };
+        // the whole job lands on the healthy server
+        let p = cluster.submit(&job).unwrap();
+        assert_eq!(p.slices.len(), 1);
+        assert_eq!(p.slices[0].0, 0);
+        // a second 8-GPU job finds nothing while server 1 is down...
+        let blocked = Job {
+            id: 1,
+            gpus: 8,
+            arrival: 1.0,
+            duration: 1.0,
+        };
+        assert!(cluster.submit(&blocked).is_none());
+        assert_eq!(cluster.rejected_contention(), 1);
+        // ...and a resubmit failure does not inflate the rejection counters
+        assert!(cluster.resubmit(&blocked).is_none());
+        assert_eq!(cluster.rejected_contention(), 1);
+        // overlapping holds stack: one heal of a doubly-held GPU frees nothing
+        cluster.quarantine(1, 0);
+        cluster.heal(1, 0);
+        assert_eq!(cluster.free_gpus(), 0);
+        cluster.heal_server(1);
+        assert_eq!(cluster.quarantined_gpus(), 0);
+        assert!(cluster
+            .resubmit(&Job {
+                arrival: 2.0,
+                ..blocked
+            })
+            .is_some());
+    }
+
+    #[test]
+    fn evict_releases_gpus_and_cancels_the_stale_completion() {
+        let mut cluster = Cluster::new(1, 8);
+        let job = Job {
+            id: 3,
+            gpus: 8,
+            arrival: 0.0,
+            duration: 10.0,
+        };
+        assert!(cluster.submit(&job).is_some());
+        assert!(cluster.evict(3));
+        assert!(!cluster.evict(3), "double eviction must be a no-op");
+        assert_eq!(cluster.free_gpus(), 8);
+        // re-place the same job id later; the original completion at t=10
+        // must not release the re-placed instance early
+        let again = Job {
+            arrival: 5.0,
+            duration: 100.0,
+            ..job
+        };
+        assert!(cluster.resubmit(&again).is_some());
+        assert_eq!(cluster.release_until(50.0), Vec::<u64>::new());
+        assert_eq!(cluster.free_gpus(), 0);
+        assert_eq!(cluster.release_until(105.0), vec![3]);
+        assert_eq!(cluster.free_gpus(), 8);
     }
 
     #[test]

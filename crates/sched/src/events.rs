@@ -33,6 +33,18 @@ pub enum Stage {
     /// per-server process groups and replaying concurrent subgroup
     /// collectives through the value-level oracle.
     SubgroupLift,
+    /// A fault event: the injected record itself (instantaneous, keyed by
+    /// fault id) and, as a begin/end span keyed by job id, each affected
+    /// job's recovery — the replan through the degradation ladder plus the
+    /// post-fault probe collective. The span durations are what `bench_chaos`
+    /// computes recovery percentiles from.
+    Fault,
+    /// A heal event: the injected record (instantaneous, keyed by fault id)
+    /// and each affected job's restore replan (span, keyed by job id).
+    Heal,
+    /// A retry of an evicted job: one placement attempt from the bounded
+    /// backoff queue (span; success inserts the job back into the fleet).
+    Retry,
     /// A job left the cluster and its GPUs were released (instantaneous).
     Depart,
     /// A job could not be placed (instantaneous; capacity or contention).
@@ -48,6 +60,9 @@ impl Stage {
             Stage::FirstCollective => "first_collective",
             Stage::Consolidate => "consolidate",
             Stage::SubgroupLift => "subgroup_lift",
+            Stage::Fault => "fault",
+            Stage::Heal => "heal",
+            Stage::Retry => "retry",
             Stage::Depart => "depart",
             Stage::Reject => "reject",
         }

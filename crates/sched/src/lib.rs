@@ -39,16 +39,46 @@
 //! wall-clock timestamps inside the records vary between runs. `bench_fleet`
 //! leans on exactly this split: latency percentiles come from the
 //! timestamps, conformance gates from the deterministic part.
+//!
+//! ## Failure model
+//!
+//! With [`FleetConfig::faults`] set, a seeded [`faults::FaultInjector`]
+//! weaves a deterministic chaos schedule into the same loop. The taxonomy:
+//!
+//! * **link flap** — every non-PCIe lane between one physical GPU pair of a
+//!   server goes down (targets are drawn from the machine's real NVLink
+//!   neighbour list); the PCIe mesh survives.
+//! * **GPU drop** — one device vanishes: all incident links die and the GPU
+//!   is quarantined in the cluster until its heal.
+//! * **NIC degradation** — one server's NIC drops to a fraction of its
+//!   configured bandwidth; stacked degradations take the worst factor.
+//! * **server loss** — every GPU of one server vanishes at once.
+//!
+//! Each onset carries a matching heal at onset + outage. On every fault the
+//! pipeline replans each affected running job through
+//! `Communicator::replan`'s graceful-degradation ladder (full warm repair →
+//! packed replan → PCIe fallback → shrunk subgroup) and re-runs its
+//! collective as a recovery probe; heals replan affected jobs back onto the
+//! restored capacity (shed GPUs return to the free pool, never to a shrunk
+//! job). A job whose every GPU is lost — or whose recovery replan fails — is
+//! evicted and re-offered under the bounded [`faults::RetryPolicy`]
+//! (exponential backoff, deterministic ascending `(retry time, job id)`
+//! order); exhausting the attempts counts the job lost. The whole run —
+//! event order, recovery rungs, rates, every counter — is a pure function of
+//! the `(workload seed, fault seed)` pair, which is what `bench_chaos` gates
+//! on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
 pub mod events;
+pub mod faults;
 pub mod pipeline;
 pub mod workload;
 
 pub use cluster::{Cluster, Placement};
 pub use events::{EventMonitor, EventRecord, PendingEvent, Stage};
+pub use faults::{FaultConfig, FaultEvent, FaultInjector, FaultRecord, RetryPolicy};
 pub use pipeline::{FleetConfig, FleetPipeline, FleetReport, JobOutcome};
 pub use workload::{AllocationHistogram, Job, WorkloadConfig, WorkloadGenerator};

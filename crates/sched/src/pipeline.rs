@@ -19,10 +19,14 @@
 
 use crate::cluster::{Cluster, Placement};
 use crate::events::{EventMonitor, Stage};
+use crate::faults::{FaultConfig, FaultEvent, FaultInjector, FaultRecord, RetryPolicy};
 use crate::workload::{Job, WorkloadConfig, WorkloadGenerator};
-use blink_core::{BlinkError, CollectiveKind, Communicator, CommunicatorOptions, SharedPlanCache};
+use blink_core::{
+    BlinkError, CollectiveKind, Communicator, CommunicatorOptions, DegradationLevel,
+    SharedPlanCache,
+};
 use blink_topology::presets::{gpus_per_server, placement_topology, ServerKind};
-use blink_topology::{GroupSplit, TopologyDelta};
+use blink_topology::{GpuId, GroupSplit, Link, LinkKind, ServerId, Topology, TopologyDelta};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -59,6 +63,17 @@ pub struct FleetConfig {
     /// own shared plan cache explicitly, so `isolated_plan_cache` has no
     /// effect here.
     pub comm_options: CommunicatorOptions,
+    /// Seeded fault injection: `Some` weaves the deterministic fault
+    /// schedule into the loop (see the crate-level "failure model" docs);
+    /// `None` (the default) runs the pipeline fault-free.
+    pub faults: Option<FaultConfig>,
+    /// Bounded retry/backoff for jobs evicted by faults (or whose replan /
+    /// collective failed while fault injection is active).
+    pub retry: RetryPolicy,
+    /// Upper bound on successful consolidation moves per departure drain —
+    /// caps the synchronous re-pack work done between two arrivals.
+    /// `usize::MAX` (the default) keeps the historical unbounded sweep.
+    pub max_moves_per_drain: usize,
 }
 
 impl Default for FleetConfig {
@@ -78,6 +93,9 @@ impl Default for FleetConfig {
             consolidate: true,
             subgroup_lift_every: 0,
             comm_options: CommunicatorOptions::default(),
+            faults: None,
+            retry: RetryPolicy::default(),
+            max_moves_per_drain: usize::MAX,
         }
     }
 }
@@ -150,6 +168,38 @@ pub struct FleetReport {
     /// Subgroup replays that violated their collective contract (must stay
     /// 0).
     pub subgroup_checks_failed: usize,
+    /// Fault onsets injected so far.
+    pub faults_injected: usize,
+    /// Heal events applied so far.
+    pub heals_applied: usize,
+    /// Affected-job recoveries driven through `Communicator::replan` (one
+    /// per running job touched by a fault or heal).
+    pub fault_recoveries: usize,
+    /// How many recoveries landed on each rung of the graceful-degradation
+    /// ladder, keyed by [`DegradationLevel`]'s display tag
+    /// (`"full-warm-repair"`, `"packed-replan"`, ...).
+    pub recovery_rungs: BTreeMap<String, usize>,
+    /// Recoveries that reported [`DegradationLevel::FullWarmRepair`].
+    pub recoveries_full_warm: usize,
+    /// Of those, recoveries that also ran **zero** MWU iterations — the
+    /// min-cost-reroute guarantee `bench_chaos` gates on (the two counters
+    /// must be equal).
+    pub recoveries_full_warm_zero_iter: usize,
+    /// GPUs shed by shrink-rung recoveries across all jobs.
+    pub gpus_shed: usize,
+    /// Jobs evicted because a fault left them with no usable GPU (or their
+    /// recovery failed); each eviction enters the retry queue.
+    pub evictions: usize,
+    /// Retry attempts scheduled (first tries and backoff re-tries).
+    pub retries_scheduled: usize,
+    /// Evicted jobs that were successfully re-placed and re-ran a collective.
+    pub retries_succeeded: usize,
+    /// Retry attempts still waiting for their backoff deadline when the
+    /// report was taken (the post-stream drain empties this).
+    pub retries_pending: usize,
+    /// Jobs that exhausted every retry attempt — the chaos gate requires
+    /// this to stay 0.
+    pub jobs_lost: usize,
     /// One entry per placed job, in placement order.
     pub outcomes: Vec<JobOutcome>,
 }
@@ -167,13 +217,23 @@ impl FleetReport {
 }
 
 /// One running job's live state: its communicator (kept so topology deltas
-/// can replan it in place), its current placement, and its last measured
-/// collective rate.
+/// can replan it in place), its current placement (shrunk in place when a
+/// recovery sheds GPUs), its last measured collective rate, and the original
+/// job spec (kept so an eviction can requeue it).
 #[derive(Debug)]
 struct RunningJob {
     comm: Communicator,
     placement: Placement,
     rate_gbps: f64,
+    job: Job,
+}
+
+/// An evicted job waiting for its backoff deadline.
+#[derive(Debug, Clone, Copy)]
+struct PendingRetry {
+    retry_at: f64,
+    job: Job,
+    attempts_left: u32,
 }
 
 /// The submit→place→plan→run loop over a whole job stream. See the module
@@ -195,6 +255,22 @@ pub struct FleetPipeline {
     subgroup_lifts: usize,
     subgroup_checks_run: usize,
     subgroup_checks_failed: usize,
+    injector: Option<FaultInjector>,
+    /// Faults currently in force, keyed by fault id (removed on heal).
+    active: BTreeMap<u64, FaultEvent>,
+    /// Evicted jobs awaiting retry, sorted by ascending `(retry_at, job id)`.
+    retries: Vec<PendingRetry>,
+    faults_injected: usize,
+    heals_applied: usize,
+    fault_recoveries: usize,
+    recovery_rungs: BTreeMap<String, usize>,
+    recoveries_full_warm: usize,
+    recoveries_full_warm_zero_iter: usize,
+    gpus_shed: usize,
+    evictions: usize,
+    retries_scheduled: usize,
+    retries_succeeded: usize,
+    jobs_lost: usize,
 }
 
 impl FleetPipeline {
@@ -210,6 +286,10 @@ impl FleetPipeline {
     /// created elsewhere in the process).
     pub fn with_shared_cache(config: FleetConfig, shared: SharedPlanCache) -> Self {
         let cluster = Cluster::new(config.servers, gpus_per_server(config.server_kind));
+        let injector = config
+            .faults
+            .clone()
+            .map(|f| FaultInjector::new(f, config.servers, config.server_kind));
         FleetPipeline {
             config,
             cluster,
@@ -226,7 +306,27 @@ impl FleetPipeline {
             subgroup_lifts: 0,
             subgroup_checks_run: 0,
             subgroup_checks_failed: 0,
+            injector,
+            active: BTreeMap::new(),
+            retries: Vec::new(),
+            faults_injected: 0,
+            heals_applied: 0,
+            fault_recoveries: 0,
+            recovery_rungs: BTreeMap::new(),
+            recoveries_full_warm: 0,
+            recoveries_full_warm_zero_iter: 0,
+            gpus_shed: 0,
+            evictions: 0,
+            retries_scheduled: 0,
+            retries_succeeded: 0,
+            jobs_lost: 0,
         }
+    }
+
+    /// Replaces the fault injector — used by tests and benches that script an
+    /// exact fault schedule instead of sampling one from a seed.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
     }
 
     /// The event stream recorded so far.
@@ -267,6 +367,8 @@ impl FleetPipeline {
         for job in jobs {
             self.submitted += 1;
             self.absorb_departures(job.arrival)?;
+            self.apply_faults(job.arrival)?;
+            self.drain_retries(job.arrival)?;
             let place = self.monitor.begin(job.id, Stage::Place);
             let Some(placement) = self.cluster.submit(job) else {
                 let _ = place; // span abandoned: the job never entered the fleet
@@ -283,24 +385,43 @@ impl FleetPipeline {
                 self.config.comm_options,
                 self.shared.clone(),
             )?;
+            // A job placed while faults are in force starts degraded: links
+            // the scheduler cannot see around (flaps between healthy GPUs,
+            // degraded NICs) are replayed into the fresh communicator.
+            self.degrade_fresh(&mut comm, &placement)?;
             let plan = self.monitor.commit(plan);
 
             let check_due = self.config.check_every > 0
                 && self.outcomes.len().is_multiple_of(self.config.check_every);
             let first = self.monitor.begin(job.id, Stage::FirstCollective);
-            let (report, checked) = if check_due {
-                let (report, check) =
-                    comm.run_checked(CollectiveKind::AllReduce, self.config.collective_bytes)?;
-                self.checks_run += 1;
-                if !check.is_correct() {
-                    self.checks_failed += 1;
-                }
-                (report, true)
+            let attempt = if check_due {
+                comm.run_checked(CollectiveKind::AllReduce, self.config.collective_bytes)
+                    .map(|(report, check)| (report, true, Some(check)))
             } else {
-                (
-                    comm.run(CollectiveKind::AllReduce, self.config.collective_bytes)?,
-                    false,
-                )
+                comm.run(CollectiveKind::AllReduce, self.config.collective_bytes)
+                    .map(|report| (report, false, None))
+            };
+            let (report, checked) = match attempt {
+                Ok((report, checked, check)) => {
+                    if let Some(check) = check {
+                        self.checks_run += 1;
+                        if !check.is_correct() {
+                            self.checks_failed += 1;
+                        }
+                    }
+                    (report, checked)
+                }
+                // Under fault injection a failed first collective evicts the
+                // job into the bounded retry queue instead of killing the
+                // whole fleet run.
+                Err(_) if self.injector.is_some() => {
+                    self.monitor.commit(first);
+                    self.cluster.evict(job.id);
+                    self.evictions += 1;
+                    self.queue_retry(*job, job.arrival);
+                    continue;
+                }
+                Err(err) => return Err(err),
             };
             let first = self.monitor.commit(first);
 
@@ -333,9 +454,11 @@ impl FleetPipeline {
                     comm,
                     placement,
                     rate_gbps: report.algorithmic_bandwidth_gbps,
+                    job: *job,
                 },
             );
         }
+        self.drain_tail()?;
         Ok(self.report())
     }
 
@@ -358,6 +481,18 @@ impl FleetPipeline {
             subgroup_lifts: self.subgroup_lifts,
             subgroup_checks_run: self.subgroup_checks_run,
             subgroup_checks_failed: self.subgroup_checks_failed,
+            faults_injected: self.faults_injected,
+            heals_applied: self.heals_applied,
+            fault_recoveries: self.fault_recoveries,
+            recovery_rungs: self.recovery_rungs.clone(),
+            recoveries_full_warm: self.recoveries_full_warm,
+            recoveries_full_warm_zero_iter: self.recoveries_full_warm_zero_iter,
+            gpus_shed: self.gpus_shed,
+            evictions: self.evictions,
+            retries_scheduled: self.retries_scheduled,
+            retries_succeeded: self.retries_succeeded,
+            retries_pending: self.retries.len(),
+            jobs_lost: self.jobs_lost,
             outcomes: self.outcomes.clone(),
         }
     }
@@ -402,18 +537,19 @@ impl FleetPipeline {
             .filter(|(_, j)| j.placement.is_fragmented())
             .map(|(&id, _)| id)
             .collect();
+        let mut moves = 0usize;
         for id in candidates {
+            if moves >= self.config.max_moves_per_drain {
+                break;
+            }
             let Some(new_placement) = self.cluster.try_consolidate(id) else {
                 continue;
             };
+            // The target is degraded by whatever faults are in force: a
+            // consolidation must not replan a job onto a link that is down.
+            let target = self.degraded_target(&new_placement)?;
             let span = self.monitor.begin(id, Stage::Consolidate);
             let job = self.running.get_mut(&id).expect("candidate is running");
-            let target = placement_topology(
-                self.config.server_kind,
-                self.config.nic_gbps,
-                &new_placement.slices,
-            )
-            .map_err(|e| BlinkError::Planning(e.to_string()))?;
             let delta = TopologyDelta::between(job.comm.induced_topology(), &target);
             job.comm.replan(&delta)?;
             let report = job
@@ -426,6 +562,434 @@ impl FleetPipeline {
             job.rate_gbps = report.algorithmic_bandwidth_gbps;
             job.placement = new_placement;
             self.monitor.commit(span);
+            moves += 1;
+        }
+        Ok(())
+    }
+
+    // ---- fault injection ------------------------------------------------
+
+    /// Applies every fault and heal due at or before `time`, walking each
+    /// affected running job through its recovery.
+    fn apply_faults(&mut self, time: f64) -> blink_core::Result<()> {
+        let records = match self.injector.as_mut() {
+            Some(injector) => injector.pull_until(time),
+            None => return Ok(()),
+        };
+        self.apply_records(records)
+    }
+
+    fn apply_records(&mut self, records: Vec<FaultRecord>) -> blink_core::Result<()> {
+        for rec in records {
+            self.monitor.instant(
+                rec.fault_id,
+                if rec.heal { Stage::Heal } else { Stage::Fault },
+            );
+            if rec.heal {
+                self.apply_heal(&rec)?;
+            } else {
+                self.apply_onset(&rec)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_onset(&mut self, rec: &FaultRecord) -> blink_core::Result<()> {
+        self.faults_injected += 1;
+        self.active.insert(rec.fault_id, rec.event);
+        let gps = gpus_per_server(self.config.server_kind);
+        match rec.event {
+            FaultEvent::GpuDrop { server, gpu } => self.cluster.quarantine(server, gpu),
+            FaultEvent::ServerLoss { server } => self.cluster.quarantine_server(server),
+            _ => {}
+        }
+        // Affected running jobs in ascending id order; a job whose every GPU
+        // is gone is evicted into the retry queue, the rest recover in place.
+        let mut evict: Vec<u64> = Vec::new();
+        let mut recover: Vec<u64> = Vec::new();
+        for (&id, job) in &self.running {
+            let holds = |g: GpuId| {
+                job.placement
+                    .slices
+                    .iter()
+                    .any(|(_, gpus)| gpus.contains(&g))
+            };
+            match rec.event {
+                FaultEvent::LinkFlap { server, a, b } => {
+                    if holds(GpuId(server * gps + a)) && holds(GpuId(server * gps + b)) {
+                        recover.push(id);
+                    }
+                }
+                FaultEvent::GpuDrop { server, gpu } => {
+                    if holds(GpuId(server * gps + gpu)) {
+                        if self.job_has_live_gpu(job, gps) {
+                            recover.push(id);
+                        } else {
+                            evict.push(id);
+                        }
+                    }
+                }
+                FaultEvent::NicDegrade { server, .. } => {
+                    if job.placement.is_fragmented()
+                        && job.placement.slices.iter().any(|(s, _)| *s == server)
+                    {
+                        recover.push(id);
+                    }
+                }
+                FaultEvent::ServerLoss { server } => {
+                    if job.placement.slices.iter().any(|(s, _)| *s == server) {
+                        if self.job_has_live_gpu(job, gps) {
+                            recover.push(id);
+                        } else {
+                            evict.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        for id in recover {
+            let delta = self.recovery_delta(id, rec.event)?;
+            self.recover_job(id, rec.at, Stage::Fault, delta)?;
+        }
+        for id in evict {
+            self.evict_and_requeue(id, rec.at);
+        }
+        Ok(())
+    }
+
+    fn apply_heal(&mut self, rec: &FaultRecord) -> blink_core::Result<()> {
+        // Only heal faults that were actually applied (the post-stream drain
+        // can surface heals for onsets that never fired).
+        if self.active.remove(&rec.fault_id).is_none() {
+            return Ok(());
+        }
+        self.heals_applied += 1;
+        let gps = gpus_per_server(self.config.server_kind);
+        match rec.event {
+            FaultEvent::GpuDrop { server, gpu } => self.cluster.heal(server, gpu),
+            FaultEvent::ServerLoss { server } => self.cluster.heal_server(server),
+            _ => {}
+        }
+        // Restored capacity flows back into running jobs: flapped links and
+        // degraded NICs replan to their healed state. Shed GPUs do *not*
+        // rejoin a shrunk job — the device returns to the free pool instead.
+        let recover: Vec<u64> = self
+            .running
+            .iter()
+            .filter(|(_, job)| {
+                let holds = |g: GpuId| {
+                    job.placement
+                        .slices
+                        .iter()
+                        .any(|(_, gpus)| gpus.contains(&g))
+                };
+                match rec.event {
+                    FaultEvent::LinkFlap { server, a, b } => {
+                        holds(GpuId(server * gps + a)) && holds(GpuId(server * gps + b))
+                    }
+                    FaultEvent::NicDegrade { server, .. } => {
+                        job.placement.is_fragmented()
+                            && job.placement.slices.iter().any(|(s, _)| *s == server)
+                    }
+                    _ => false,
+                }
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in recover {
+            let delta = self.recovery_delta(id, rec.event)?;
+            self.recover_job(id, rec.at, Stage::Heal, delta)?;
+        }
+        Ok(())
+    }
+
+    /// The delta that moves one affected job from its current induced
+    /// topology to the placement topology degraded by every fault currently
+    /// in force (NIC-only events short-circuit to a pure NIC delta).
+    fn recovery_delta(&self, id: u64, event: FaultEvent) -> blink_core::Result<TopologyDelta> {
+        if let FaultEvent::NicDegrade { server, .. } = event {
+            return Ok(TopologyDelta::set_server_nic(
+                ServerId(server),
+                self.effective_nic(server),
+            ));
+        }
+        let job = self.running.get(&id).expect("affected job is running");
+        let target = self.degraded_target(&job.placement)?;
+        Ok(TopologyDelta::between(job.comm.induced_topology(), &target))
+    }
+
+    /// Replans one affected job through the degradation ladder and re-runs
+    /// its collective (the recovery probe). A failed replan or probe evicts
+    /// the job into the retry queue instead of failing the fleet.
+    fn recover_job(
+        &mut self,
+        id: u64,
+        time: f64,
+        stage: Stage,
+        delta: TopologyDelta,
+    ) -> blink_core::Result<()> {
+        if delta.is_empty() {
+            return Ok(());
+        }
+        let span = self.monitor.begin(id, stage);
+        let outcome = {
+            let job = self.running.get_mut(&id).expect("affected job is running");
+            job.comm.replan(&delta).and_then(|rep| {
+                job.comm
+                    .run(CollectiveKind::AllReduce, self.config.collective_bytes)
+                    .map(|report| (rep, report))
+            })
+        };
+        match outcome {
+            Ok((rep, report)) => {
+                {
+                    let job = self.running.get_mut(&id).expect("affected job is running");
+                    job.rate_gbps = report.algorithmic_bandwidth_gbps;
+                    if !rep.shed_gpus.is_empty() {
+                        for (_, gpus) in job.placement.slices.iter_mut() {
+                            gpus.retain(|g| !rep.shed_gpus.contains(g));
+                        }
+                        job.placement.slices.retain(|(_, gpus)| !gpus.is_empty());
+                    }
+                }
+                self.fault_recoveries += 1;
+                *self
+                    .recovery_rungs
+                    .entry(rep.degradation.to_string())
+                    .or_insert(0) += 1;
+                if rep.degradation == DegradationLevel::FullWarmRepair {
+                    self.recoveries_full_warm += 1;
+                    if rep.warm_iterations == 0 {
+                        self.recoveries_full_warm_zero_iter += 1;
+                    }
+                }
+                self.gpus_shed += rep.shed_gpus.len();
+                self.monitor.commit(span);
+                Ok(())
+            }
+            Err(err) => {
+                self.monitor.commit(span);
+                if self.config.retry.max_attempts == 0 {
+                    return Err(err);
+                }
+                self.evict_and_requeue(id, time);
+                Ok(())
+            }
+        }
+    }
+
+    /// The placement topology with every active fault applied: dead GPUs and
+    /// flapped pairs lose their links, spanned servers get their effective
+    /// (possibly degraded) NIC bandwidth.
+    fn degraded_target(&self, placement: &Placement) -> blink_core::Result<Topology> {
+        let gps = gpus_per_server(self.config.server_kind);
+        let base = placement_topology(
+            self.config.server_kind,
+            self.config.nic_gbps,
+            &placement.slices,
+        )
+        .map_err(|e| BlinkError::Planning(e.to_string()))?;
+        let mut target = base.filter_links(|l| self.link_alive(l, gps));
+        if placement.slices.len() > 1 {
+            for (server, _) in &placement.slices {
+                target.set_server_nic(ServerId(*server), self.effective_nic(*server));
+            }
+        }
+        Ok(target)
+    }
+
+    fn link_alive(&self, l: &Link, gps: usize) -> bool {
+        let (sa, la) = (l.src.index() / gps, l.src.index() % gps);
+        let (sb, lb) = (l.dst.index() / gps, l.dst.index() % gps);
+        if self.gpu_dead(sa, la) || self.gpu_dead(sb, lb) {
+            return false;
+        }
+        if sa == sb && l.kind != LinkKind::Pcie {
+            let (lo, hi) = (la.min(lb), la.max(lb));
+            let flapped = self.active.values().any(|e| {
+                matches!(e, FaultEvent::LinkFlap { server, a, b }
+                    if *server == sa && *a == lo && *b == hi)
+            });
+            if flapped {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn gpu_dead(&self, server: usize, local: usize) -> bool {
+        self.active.values().any(|e| {
+            matches!(e, FaultEvent::GpuDrop { server: s, gpu } if *s == server && *gpu == local)
+                || matches!(e, FaultEvent::ServerLoss { server: s } if *s == server)
+        })
+    }
+
+    /// Whether any of the job's GPUs survives the currently active faults.
+    fn job_has_live_gpu(&self, job: &RunningJob, gps: usize) -> bool {
+        job.placement.slices.iter().any(|(_, gpus)| {
+            gpus.iter()
+                .any(|g| !self.gpu_dead(g.index() / gps, g.index() % gps))
+        })
+    }
+
+    /// Effective NIC bandwidth of one server under the active NIC faults
+    /// (the most degraded active factor wins).
+    fn effective_nic(&self, server: usize) -> f64 {
+        let mut factor: f64 = 1.0;
+        for e in self.active.values() {
+            if let FaultEvent::NicDegrade {
+                server: s,
+                factor: f,
+            } = e
+            {
+                if *s == server {
+                    factor = factor.min(*f);
+                }
+            }
+        }
+        self.config.nic_gbps * factor
+    }
+
+    /// Replays active faults into a freshly built communicator (a job placed
+    /// mid-outage must not plan over links that are down).
+    fn degrade_fresh(
+        &mut self,
+        comm: &mut Communicator,
+        placement: &Placement,
+    ) -> blink_core::Result<()> {
+        if self.active.is_empty() {
+            return Ok(());
+        }
+        let target = self.degraded_target(placement)?;
+        let delta = TopologyDelta::between(comm.induced_topology(), &target);
+        if delta.is_empty() {
+            return Ok(());
+        }
+        comm.replan(&delta)?;
+        Ok(())
+    }
+
+    // ---- eviction and bounded retries -----------------------------------
+
+    fn evict_and_requeue(&mut self, id: u64, time: f64) {
+        if let Some(running) = self.running.remove(&id) {
+            self.cluster.evict(id);
+            self.evictions += 1;
+            self.queue_retry(running.job, time);
+        }
+    }
+
+    /// Enters a job into the retry queue (a fresh eviction episode).
+    fn queue_retry(&mut self, job: Job, now: f64) {
+        let max = self.config.retry.max_attempts;
+        if max == 0 {
+            self.jobs_lost += 1;
+            self.monitor.instant(job.id, Stage::Reject);
+            return;
+        }
+        self.retries_scheduled += 1;
+        self.push_retry(PendingRetry {
+            retry_at: now + self.config.retry.delay(0),
+            job,
+            attempts_left: max,
+        });
+    }
+
+    fn push_retry(&mut self, pending: PendingRetry) {
+        let pos = self.retries.partition_point(|r| {
+            r.retry_at
+                .total_cmp(&pending.retry_at)
+                .then(r.job.id.cmp(&pending.job.id))
+                != std::cmp::Ordering::Greater
+        });
+        self.retries.insert(pos, pending);
+    }
+
+    /// One failed attempt: re-queue with exponential backoff, or count the
+    /// job lost once the attempts are exhausted.
+    fn fail_attempt(&mut self, mut pending: PendingRetry, now: f64) {
+        pending.attempts_left -= 1;
+        if pending.attempts_left == 0 {
+            self.jobs_lost += 1;
+            self.monitor.instant(pending.job.id, Stage::Reject);
+            return;
+        }
+        let used = self.config.retry.max_attempts - pending.attempts_left;
+        pending.retry_at = now + self.config.retry.delay(used);
+        self.retries_scheduled += 1;
+        self.push_retry(pending);
+    }
+
+    /// Offers every retry due at or before `time` back to the cluster, in
+    /// deterministic `(retry time, job id)` order.
+    fn drain_retries(&mut self, time: f64) -> blink_core::Result<()> {
+        while !self.retries.is_empty() && self.retries[0].retry_at <= time {
+            let pending = self.retries.remove(0);
+            let job = Job {
+                arrival: pending.retry_at,
+                ..pending.job
+            };
+            let span = self.monitor.begin(job.id, Stage::Retry);
+            match self.cluster.resubmit(&job) {
+                None => {
+                    self.monitor.commit(span);
+                    self.fail_attempt(pending, job.arrival);
+                }
+                Some(placement) => match self.admit_retry(&job, placement) {
+                    Ok(()) => {
+                        self.retries_succeeded += 1;
+                        self.monitor.commit(span);
+                    }
+                    Err(_) => {
+                        self.cluster.evict(job.id);
+                        self.monitor.commit(span);
+                        self.fail_attempt(pending, job.arrival);
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the communicator for a successfully re-placed retry and runs
+    /// its restart collective. The job keeps its original outcome entry; a
+    /// retry only restores it to the running set.
+    fn admit_retry(&mut self, job: &Job, placement: Placement) -> blink_core::Result<()> {
+        let mut comm = Communicator::for_placement_shared(
+            self.config.server_kind,
+            self.config.nic_gbps,
+            &placement.slices,
+            self.config.comm_options,
+            self.shared.clone(),
+        )?;
+        self.degrade_fresh(&mut comm, &placement)?;
+        let report = comm.run(CollectiveKind::AllReduce, self.config.collective_bytes)?;
+        self.running.insert(
+            job.id,
+            RunningJob {
+                comm,
+                placement,
+                rate_gbps: report.algorithmic_bandwidth_gbps,
+                job: *job,
+            },
+        );
+        Ok(())
+    }
+
+    /// After the job stream ends, keeps advancing the simulation clock to
+    /// the pending retry deadlines — draining departures and already
+    /// scheduled heals, but injecting no *new* faults — until the retry
+    /// queue is empty. This is what makes "jobs lost" a meaningful end-state
+    /// gate: no retry is left forever pending.
+    fn drain_tail(&mut self) -> blink_core::Result<()> {
+        while let Some(next_at) = self.retries.first().map(|r| r.retry_at) {
+            self.absorb_departures(next_at)?;
+            let heals = match self.injector.as_mut() {
+                Some(injector) => injector.pull_heals_until(next_at),
+                None => Vec::new(),
+            };
+            self.apply_records(heals)?;
+            self.drain_retries(next_at)?;
         }
         Ok(())
     }
@@ -620,6 +1184,122 @@ mod tests {
         let (canon_hits, canon_misses) = pipeline.shared_cache().canonical_stats();
         assert!(canon_misses > 0, "no job ever reached the canonical tier");
         assert!(canon_hits > 0, "no isomorphic plan reuse across servers");
+    }
+
+    #[test]
+    fn chaos_fleet_runs_are_a_pure_function_of_both_seeds() {
+        let chaos_config = |fault_seed: u64| FleetConfig {
+            faults: Some(FaultConfig {
+                seed: fault_seed,
+                mean_interval: 10.0,
+                mean_outage: 8.0,
+                ..Default::default()
+            }),
+            ..small_config()
+        };
+        let run = |config: FleetConfig| {
+            let mut pipeline = FleetPipeline::new(config);
+            let report = pipeline.run().unwrap();
+            (pipeline.monitor().order(), report)
+        };
+        let (order_a, a) = run(chaos_config(11));
+        let (order_b, b) = run(chaos_config(11));
+        assert!(a.faults_injected > 0, "{a:?}");
+        assert!(a.fault_recoveries > 0, "no job ever recovered: {a:?}");
+        assert_eq!(a.jobs_lost, 0, "bounded retries must save every job: {a:?}");
+        assert_eq!(a.retries_pending, 0, "the tail drain must empty the queue");
+        // zero-iteration guarantee: every full warm repair converged without
+        // a single MWU iteration
+        assert_eq!(a.recoveries_full_warm, a.recoveries_full_warm_zero_iter);
+        // bit-identical replay of the whole chaos experiment
+        assert_eq!(order_a, order_b, "chaos must replay identically");
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.heals_applied, b.heals_applied);
+        assert_eq!(a.fault_recoveries, b.fault_recoveries);
+        assert_eq!(a.recovery_rungs, b.recovery_rungs);
+        assert_eq!(a.gpus_shed, b.gpus_shed);
+        assert_eq!(a.evictions, b.evictions);
+        assert_eq!(a.retries_scheduled, b.retries_scheduled);
+        assert_eq!(a.retries_succeeded, b.retries_succeeded);
+        assert_eq!(a.jobs_lost, b.jobs_lost);
+        for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(oa.job_id, ob.job_id);
+            assert_eq!(oa.rate_gbps.to_bits(), ob.rate_gbps.to_bits());
+        }
+        // ...and a different fault seed produces a different experiment
+        let (order_c, _) = run(chaos_config(12));
+        assert_ne!(order_a, order_c);
+    }
+
+    #[test]
+    fn max_moves_per_drain_caps_consolidation_churn() {
+        let run = |cap: usize| {
+            let mut pipeline = FleetPipeline::new(FleetConfig {
+                max_moves_per_drain: cap,
+                ..small_config()
+            });
+            pipeline.run().unwrap().consolidations
+        };
+        let unbounded = run(usize::MAX);
+        assert!(unbounded > 0, "the contended stream must consolidate");
+        assert_eq!(run(0), 0, "a zero cap must disable consolidation moves");
+        let capped = run(1);
+        assert!(capped > 0 && capped <= unbounded);
+    }
+
+    #[test]
+    fn a_scripted_server_loss_evicts_retries_and_recovers_the_job() {
+        let mut pipeline = FleetPipeline::new(FleetConfig {
+            servers: 2,
+            collective_bytes: 1 << 20,
+            ..Default::default()
+        });
+        let loss = FaultRecord {
+            fault_id: 0,
+            at: 5.0,
+            event: FaultEvent::ServerLoss { server: 1 },
+            heal: false,
+        };
+        let heal = FaultRecord {
+            at: 12.0,
+            heal: true,
+            ..loss
+        };
+        pipeline.set_fault_injector(FaultInjector::scripted(
+            vec![loss, heal],
+            2,
+            ServerKind::Dgx1V,
+        ));
+        let job = |id, gpus, arrival: f64, duration: f64| Job {
+            id,
+            gpus,
+            arrival,
+            duration,
+        };
+        let jobs = [
+            job(0, 4, 0.0, 100.0),
+            // fills server 1: the scripted loss at t=5 kills all of its GPUs
+            job(1, 8, 1.0, 100.0),
+            // arrives at t=6, pulling the fault in; places on server 0
+            job(2, 1, 6.0, 1.0),
+        ];
+        let report = pipeline.run_jobs(&jobs).unwrap();
+        assert_eq!(report.placed, 3);
+        assert_eq!(report.faults_injected, 1);
+        assert_eq!(report.heals_applied, 1);
+        assert_eq!(report.evictions, 1, "job 1 lost every GPU");
+        // retries at t=7 and t=11 find the server still quarantined; the
+        // t=19 attempt lands after the heal at t=12 restored capacity
+        assert_eq!(report.retries_scheduled, 3, "{report:?}");
+        assert_eq!(report.retries_succeeded, 1);
+        assert_eq!(report.jobs_lost, 0);
+        assert_eq!(report.retries_pending, 0);
+        let monitor = pipeline.monitor();
+        assert_eq!(monitor.count(Stage::Retry), 3);
+        assert_eq!(monitor.count(Stage::Reject), 0);
+        // the fault and heal instants are keyed by fault id
+        assert!(monitor.order().contains(&(0, Stage::Fault)));
+        assert!(monitor.order().contains(&(0, Stage::Heal)));
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct TopologyDelta {
     pub added_gpu_caps: BTreeMap<GpuId, f64>,
     /// NIC bandwidths for servers that appeared with the added GPUs.
     pub added_server_nics: BTreeMap<ServerId, f64>,
+    /// NIC bandwidths that *changed* on servers present before and after the
+    /// event (a degraded or healed NIC). Wins over the carried-forward value
+    /// when the delta is applied. Defaults to empty for deltas serialized
+    /// before this field existed.
+    #[serde(default)]
+    pub changed_server_nics: BTreeMap<ServerId, f64>,
 }
 
 impl TopologyDelta {
@@ -96,6 +102,18 @@ impl TopologyDelta {
             .filter(|g| !old_servers.contains(&g.server))
             .filter_map(|g| new.server_nic(g.server).map(|n| (g.server, n)))
             .collect();
+        // NICs that changed bandwidth on servers surviving the event (a
+        // degraded or healed NIC shows up here, not in `added_server_nics`).
+        let changed_server_nics = new
+            .servers()
+            .into_iter()
+            .filter(|s| old_servers.contains(s))
+            .filter_map(|s| match (old.server_nic(s), new.server_nic(s)) {
+                (Some(before), Some(after)) if before != after => Some((s, after)),
+                (None, Some(after)) => Some((s, after)),
+                _ => None,
+            })
+            .collect();
 
         TopologyDelta {
             removed_links,
@@ -104,6 +122,7 @@ impl TopologyDelta {
             added_gpus,
             added_gpu_caps,
             added_server_nics,
+            changed_server_nics,
         }
     }
 
@@ -130,12 +149,120 @@ impl TopologyDelta {
         }
     }
 
+    /// The delta that sets one server's NIC bandwidth — the "a NIC degraded
+    /// (or healed back)" event. Only the cross-machine protocol consumes NIC
+    /// bandwidth, so this leaves every induced link graph untouched.
+    pub fn set_server_nic(server: ServerId, gbps: f64) -> Self {
+        TopologyDelta {
+            changed_server_nics: [(server, gbps)].into(),
+            ..Default::default()
+        }
+    }
+
     /// Whether the delta changes nothing.
     pub fn is_empty(&self) -> bool {
         self.removed_links.is_empty()
             && self.added_links.is_empty()
             && self.removed_gpus.is_empty()
             && self.added_gpus.is_empty()
+            && self.changed_server_nics.is_empty()
+    }
+
+    /// Composes two consecutive events into one compound delta: applying
+    /// `self.compose(later)` to a topology is equivalent to applying `self`
+    /// and then `later` (for any pair of deltas valid in that sequence).
+    ///
+    /// Inverse sub-events cancel: a link removed by `self` and re-added by
+    /// `later` (a flap that healed before anyone replanned) vanishes from the
+    /// compound delta entirely, as does a link or GPU added by `self` and
+    /// removed by `later`. A GPU dropped by `self` and re-added by `later`
+    /// does *not* cancel — its original incident links were implied away by
+    /// the drop, so the compound delta keeps the remove-then-re-add pair
+    /// (which [`Topology::apply_delta`] replays in that order) together with
+    /// the links `later` restored. This is what lets a burst of fault events
+    /// collapse into a single replan instead of one replan per flap.
+    pub fn compose(&self, later: &TopologyDelta) -> TopologyDelta {
+        let earlier_added: BTreeSet<GpuId> = self.added_gpus.iter().map(|g| g.id).collect();
+        // A GPU this delta added and the later one removed never existed in
+        // the base topology: it cancels out of both lists.
+        let cancelled: BTreeSet<GpuId> = later
+            .removed_gpus
+            .iter()
+            .copied()
+            .filter(|g| earlier_added.contains(g))
+            .collect();
+        let removed_gpus: Vec<GpuId> = self
+            .removed_gpus
+            .iter()
+            .chain(later.removed_gpus.iter())
+            .copied()
+            .filter(|g| !cancelled.contains(g))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let later_removed: BTreeSet<GpuId> = later.removed_gpus.iter().copied().collect();
+        let added_gpus: Vec<GpuInfo> = self
+            .added_gpus
+            .iter()
+            .filter(|g| !later_removed.contains(&g.id))
+            .chain(later.added_gpus.iter())
+            .copied()
+            .collect();
+        let added_ids: BTreeSet<GpuId> = added_gpus.iter().map(|g| g.id).collect();
+
+        // Links cancel one-for-one as a multiset: the later event healing a
+        // link this one removed (or removing a link this one added) nets out.
+        let mut added = self.added_links.clone();
+        let mut removed = self.removed_links.clone();
+        for l in &later.removed_links {
+            if let Some(pos) = added.iter().position(|x| x == l) {
+                added.swap_remove(pos);
+            } else {
+                removed.push(*l);
+            }
+        }
+        for l in &later.added_links {
+            if let Some(pos) = removed.iter().position(|x| x == l) {
+                removed.swap_remove(pos);
+            } else {
+                added.push(*l);
+            }
+        }
+        let rg: BTreeSet<GpuId> = removed_gpus.iter().copied().collect();
+        // Removals incident to a compound-removed GPU are implied by the GPU
+        // removal; additions incident to a GPU absent from the compound
+        // post-state would dangle. Both classes drop out.
+        removed.retain(|l| {
+            !rg.contains(&l.src)
+                && !rg.contains(&l.dst)
+                && !cancelled.contains(&l.src)
+                && !cancelled.contains(&l.dst)
+        });
+        let dangling =
+            |g: &GpuId| (rg.contains(g) && !added_ids.contains(g)) || cancelled.contains(g);
+        added.retain(|l| !dangling(&l.src) && !dangling(&l.dst));
+
+        let added_gpu_caps: BTreeMap<GpuId, f64> = self
+            .added_gpu_caps
+            .iter()
+            .chain(later.added_gpu_caps.iter())
+            .filter(|(g, _)| added_ids.contains(g))
+            .map(|(g, c)| (*g, *c))
+            .collect();
+        let mut added_server_nics = self.added_server_nics.clone();
+        added_server_nics.extend(later.added_server_nics.iter());
+        let mut changed_server_nics = self.changed_server_nics.clone();
+        changed_server_nics.extend(later.changed_server_nics.iter());
+
+        TopologyDelta {
+            removed_links: removed,
+            added_links: added,
+            removed_gpus,
+            added_gpus,
+            added_gpu_caps,
+            added_server_nics,
+            changed_server_nics,
+        }
     }
 
     /// Whether the delta only removes capacity (no new links or GPUs). Under
@@ -215,9 +342,10 @@ impl Topology {
         }
         for s in out.servers() {
             if let Some(nic) = delta
-                .added_server_nics
+                .changed_server_nics
                 .get(&s)
                 .copied()
+                .or_else(|| delta.added_server_nics.get(&s).copied())
                 .or_else(|| self.server_nic(s))
             {
                 out.set_server_nic(s, nic);
@@ -295,6 +423,99 @@ mod tests {
             assert_eq!(replayed.gpu_cap(g), topo.gpu_cap(g));
         }
         assert!(!replayed.contains(GpuId(3)));
+    }
+
+    #[test]
+    fn compose_cancels_flap_then_heal() {
+        let topo = dgx1v();
+        let flap = TopologyDelta::kill_link(&topo, GpuId(0), GpuId(3));
+        let heal = TopologyDelta {
+            added_links: flap.removed_links.clone(),
+            ..Default::default()
+        };
+        assert!(
+            flap.compose(&heal).is_empty(),
+            "a flap healed before anyone replanned must vanish from the compound delta"
+        );
+        // ...and the same holds pairwise for every physical link in the box.
+        for l in topo.links() {
+            let flap = TopologyDelta::kill_link(&topo, l.src, l.dst);
+            let heal = TopologyDelta {
+                added_links: flap.removed_links.clone(),
+                ..Default::default()
+            };
+            assert!(flap.compose(&heal).is_empty(), "{:?}→{:?}", l.src, l.dst);
+        }
+    }
+
+    /// Property: applying the composed delta equals applying the two deltas
+    /// in sequence, across a matrix of compound failure shapes (two link
+    /// kills, link+GPU, GPU then heal-by-growth, NIC degrade then heal).
+    #[test]
+    fn compose_matches_sequential_application() {
+        let boxes = [dgx1v(), dgx2()];
+        for topo in &boxes {
+            let links = topo.links();
+            let pairs: Vec<(GpuId, GpuId)> = links
+                .iter()
+                .filter(|l| l.src.0 < l.dst.0)
+                .map(|l| (l.src, l.dst))
+                .collect();
+            let n = pairs.len();
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                // two simultaneous link kills, deterministic second pick
+                let (c, d) = pairs[(i + n / 2) % n];
+                let d1 = TopologyDelta::kill_link(topo, a, b);
+                let t1 = topo.apply_delta(&d1).unwrap();
+                let d2 = TopologyDelta::kill_link(&t1, c, d);
+                let sequential = t1.apply_delta(&d2).unwrap();
+                let composed = topo.apply_delta(&d1.compose(&d2)).unwrap();
+                assert!(
+                    TopologyDelta::between(&composed, &sequential).is_empty(),
+                    "2-link compose mismatch on {a:?}{b:?}+{c:?}{d:?}"
+                );
+                // link kill then GPU drop (GPU chosen off the killed pair)
+                let victim = topo.gpu_ids().into_iter().find(|g| *g != a).unwrap();
+                let d2 = TopologyDelta::drop_gpu(victim);
+                let sequential = t1.apply_delta(&d2).unwrap();
+                let composed = topo.apply_delta(&d1.compose(&d2)).unwrap();
+                assert!(
+                    TopologyDelta::between(&composed, &sequential).is_empty(),
+                    "link+gpu compose mismatch on {a:?}{b:?}+{victim:?}"
+                );
+            }
+            // GPU drop then heal-by-growth: remove-then-re-add survives
+            // composition (does not cancel — the drop implied its links away).
+            let victim = topo.gpu_ids()[1];
+            let d1 = TopologyDelta::drop_gpu(victim);
+            let t1 = topo.apply_delta(&d1).unwrap();
+            let d2 = TopologyDelta::between(&t1, topo);
+            let sequential = t1.apply_delta(&d2).unwrap();
+            let compound = d1.compose(&d2);
+            assert!(!compound.is_empty(), "drop-then-heal keeps the replay pair");
+            let composed = topo.apply_delta(&compound).unwrap();
+            assert!(TopologyDelta::between(&composed, &sequential).is_empty());
+        }
+    }
+
+    #[test]
+    fn nic_degrade_deltas_round_trip_and_compose() {
+        let cluster = multi_server(2, ServerKind::Dgx1V, 5.0);
+        let server = cluster.servers()[1];
+        let degrade = TopologyDelta::set_server_nic(server, 1.25);
+        assert!(!degrade.is_empty());
+        assert!(degrade.is_pure_removal() && degrade.is_pure_growth());
+        let degraded = cluster.apply_delta(&degrade).unwrap();
+        assert_eq!(degraded.server_nic(server), Some(1.25));
+        // between() captures the NIC change on a surviving server…
+        let diff = TopologyDelta::between(&cluster, &degraded);
+        assert_eq!(diff.changed_server_nics.get(&server), Some(&1.25));
+        assert!(diff.removed_links.is_empty() && diff.added_gpus.is_empty());
+        // …and degrade-then-heal composes to the healed bandwidth.
+        let heal = TopologyDelta::set_server_nic(server, 5.0);
+        let healed = cluster.apply_delta(&degrade.compose(&heal)).unwrap();
+        assert_eq!(healed.server_nic(server), Some(5.0));
+        assert!(TopologyDelta::between(&cluster, &healed).is_empty());
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub use delta::TopologyDelta;
 pub use group::GroupSplit;
 pub use ids::{GpuId, ServerId};
 pub use link::{Link, LinkKind};
+pub use probe::ProbeError;
 pub use topology::{GpuInfo, Topology, TopologyError};
 
 /// Convenience result alias used throughout the crate.

@@ -6,8 +6,50 @@
 //! `nvmlDeviceGetNvLinkRemotePciInfo` / `cudaDeviceCanAccessPeer`; here the
 //! [`TopologyProber`] plays that role against a modelled machine.
 
-use crate::{GpuId, LinkKind, Topology, TopologyDelta};
+use crate::{GpuId, LinkKind, Topology, TopologyDelta, TopologyError};
 use serde::{Deserialize, Serialize};
+
+/// Errors surfaced by the probing layer.
+///
+/// Probing is the first stage to notice hardware churn, so it distinguishes
+/// the operationally meaningful case — a GPU the job was allocated has
+/// vanished from the machine (dropped by a fault event or decommissioned) —
+/// from plain topology inconsistencies. Fault-handling layers match on
+/// [`ProbeError::GpuVanished`] to trigger the shrink/requeue path instead of
+/// treating the probe as an internal error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeError {
+    /// The allocation references a GPU that is no longer part of the machine.
+    ///
+    /// Before this variant existed a vanished GPU either surfaced as a
+    /// generic [`TopologyError::UnknownGpu`] or — when callers pre-filtered
+    /// the allocation — as a surprising empty delta.
+    GpuVanished {
+        /// The allocated GPU missing from the machine model.
+        gpu: GpuId,
+    },
+    /// Any other topology-level inconsistency, passed through unchanged.
+    Topology(TopologyError),
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::GpuVanished { gpu } => {
+                write!(f, "allocated GPU {gpu:?} has vanished from the machine")
+            }
+            ProbeError::Topology(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+impl From<TopologyError> for ProbeError {
+    fn from(e: TopologyError) -> Self {
+        ProbeError::Topology(e)
+    }
+}
 
 /// Result of probing a machine for one job's GPU allocation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -58,7 +100,15 @@ impl TopologyProber {
 
     /// Probes the links available to `allocation` and reports the induced
     /// topology plus the peer-access matrix.
-    pub fn probe(&self, allocation: &[GpuId]) -> crate::Result<ProbeReport> {
+    ///
+    /// # Errors
+    /// [`ProbeError::GpuVanished`] when the allocation references a GPU the
+    /// machine no longer has; [`ProbeError::Topology`] for other
+    /// inconsistencies.
+    pub fn probe(&self, allocation: &[GpuId]) -> Result<ProbeReport, ProbeError> {
+        if let Some(&gone) = allocation.iter().find(|g| !self.machine.contains(**g)) {
+            return Err(ProbeError::GpuVanished { gpu: gone });
+        }
         let topology = self.machine.induced(allocation)?;
         let n = allocation.len();
         let mut peer_access = vec![vec![false; n]; n];
@@ -85,12 +135,13 @@ impl TopologyProber {
     /// grown GPUs).
     ///
     /// # Errors
-    /// Propagates probing errors (unknown GPUs in `allocation`).
+    /// Propagates probing errors ([`ProbeError::GpuVanished`] when
+    /// `allocation` still names a GPU the machine lost).
     pub fn probe_delta(
         &self,
         previous: &ProbeReport,
         allocation: &[GpuId],
-    ) -> crate::Result<(ProbeReport, TopologyDelta)> {
+    ) -> Result<(ProbeReport, TopologyDelta), ProbeError> {
         let report = self.probe(allocation)?;
         let delta = TopologyDelta::between(&previous.topology, &report.topology);
         Ok((report, delta))
@@ -98,7 +149,10 @@ impl TopologyProber {
 
     /// Probes only a particular class of links (e.g. PCIe for the hybrid
     /// planner, after `cudaDeviceDisablePeerAccess` has turned NVLink off).
-    pub fn probe_kind(&self, allocation: &[GpuId], kind: LinkKind) -> crate::Result<Topology> {
+    pub fn probe_kind(&self, allocation: &[GpuId], kind: LinkKind) -> Result<Topology, ProbeError> {
+        if let Some(&gone) = allocation.iter().find(|g| !self.machine.contains(**g)) {
+            return Err(ProbeError::GpuVanished { gpu: gone });
+        }
         Ok(self
             .machine
             .induced(allocation)?
@@ -138,6 +192,31 @@ mod tests {
     fn probe_rejects_unknown_gpu() {
         let prober = TopologyProber::new(dgx1p());
         assert!(prober.probe(&[GpuId(42)]).is_err());
+    }
+
+    /// Regression: probing an allocation that still names a fully-dropped
+    /// GPU surfaces the typed [`ProbeError::GpuVanished`] — not an empty
+    /// delta, not a generic topology error.
+    #[test]
+    fn probe_flags_vanished_gpu_as_typed_error() {
+        let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let prober = TopologyProber::new(dgx1v());
+        let before = prober.probe(&alloc).unwrap();
+        // GPU 5 drops out of the *machine* while the job still holds it.
+        let after_fault = TopologyProber::new(prober.machine().without_gpu(GpuId(5)));
+        let err = after_fault.probe(&alloc).unwrap_err();
+        assert_eq!(err, ProbeError::GpuVanished { gpu: GpuId(5) });
+        let err = after_fault.probe_delta(&before, &alloc).unwrap_err();
+        assert_eq!(err, ProbeError::GpuVanished { gpu: GpuId(5) });
+        assert_eq!(
+            after_fault.probe_kind(&alloc, LinkKind::Pcie).unwrap_err(),
+            ProbeError::GpuVanished { gpu: GpuId(5) }
+        );
+        // Once the scheduler shrinks the allocation, probing succeeds again.
+        let survivors: Vec<GpuId> = alloc.iter().copied().filter(|g| g.0 != 5).collect();
+        let (report, delta) = after_fault.probe_delta(&before, &survivors).unwrap();
+        assert_eq!(delta.removed_gpus, vec![GpuId(5)]);
+        assert_eq!(report.allocation.len(), 7);
     }
 
     #[test]

@@ -659,6 +659,96 @@ fn replanned_communicators_conform_across_failure_scenarios() {
     }
 }
 
+/// Compound failures: two fault events composed into one
+/// [`TopologyDelta::compose`] delta — two links, a link plus a GPU, a GPU
+/// plus a degraded server NIC — replanned in a single shot on DGX-1V and
+/// DGX-2 and replayed through the value-level oracle. Whenever the warm
+/// repair consumed seeds, it must also have needed zero corrective MWU
+/// iterations (the compound-delta half of the warm-repair guarantee).
+#[test]
+fn replanned_communicators_conform_across_compound_failures() {
+    use blink_topology::{ServerId, TopologyDelta};
+    let eight: Vec<GpuId> = (0..8).map(GpuId).collect();
+    let sixteen: Vec<GpuId> = (0..16).map(GpuId).collect();
+    let v = dgx1v();
+    let d2 = dgx2();
+    let v2 = multi_server(2, ServerKind::Dgx1V, 5.0);
+    let d22 = multi_server(2, ServerKind::Dgx2, 5.0);
+    let scenarios: Vec<(&str, Topology, Vec<GpuId>, TopologyDelta)> =
+        vec![
+            (
+                "dgx1v 2-link",
+                v.clone(),
+                eight.clone(),
+                TopologyDelta::kill_link(&v, GpuId(0), GpuId(1))
+                    .compose(&TopologyDelta::kill_link(&v, GpuId(0), GpuId(3))),
+            ),
+            (
+                "dgx1v link+gpu",
+                v.clone(),
+                eight.clone(),
+                TopologyDelta::kill_link(&v, GpuId(0), GpuId(4))
+                    .compose(&TopologyDelta::drop_gpu(GpuId(6))),
+            ),
+            (
+                "dgx2 2-link",
+                d2.clone(),
+                sixteen.clone(),
+                TopologyDelta::kill_link(&d2, GpuId(0), GpuId(1))
+                    .compose(&TopologyDelta::kill_link(&d2, GpuId(2), GpuId(3))),
+            ),
+            (
+                "dgx2 link+gpu",
+                d2.clone(),
+                sixteen.clone(),
+                TopologyDelta::kill_link(&d2, GpuId(0), GpuId(1))
+                    .compose(&TopologyDelta::drop_gpu(GpuId(15))),
+            ),
+            (
+                "dgx1v gpu+server-nic",
+                v2.clone(),
+                (0..16).map(GpuId).collect(),
+                TopologyDelta::drop_gpu(GpuId(3))
+                    .compose(&TopologyDelta::set_server_nic(ServerId(1), 2.5)),
+            ),
+            (
+                "dgx2 gpu+server-nic",
+                d22.clone(),
+                (0..32).map(GpuId).collect(),
+                TopologyDelta::drop_gpu(GpuId(20))
+                    .compose(&TopologyDelta::set_server_nic(ServerId(0), 2.0)),
+            ),
+        ];
+    for (label, machine, alloc, delta) in scenarios {
+        let multi = machine.servers().len() > 1;
+        let mut comm = Communicator::new(machine, &alloc, CommunicatorOptions::default()).unwrap();
+        // Plan and run once pre-failure, exactly as a live job would.
+        comm.all_reduce(mb(1)).unwrap();
+        let rep = comm.replan(&delta).unwrap();
+        if rep.warm_seeded_trees > 0 {
+            assert_eq!(
+                rep.warm_iterations, 0,
+                "{label}: compound-delta warm repair must need zero MWU iterations"
+            );
+        }
+        // Single-server compound failures run the full collective matrix;
+        // the cross-machine NIC scenarios run the three-phase AllReduce.
+        let kinds: Vec<CollectiveKind> = if multi {
+            vec![CollectiveKind::AllReduce]
+        } else {
+            all_kinds(GpuId(0)).to_vec()
+        };
+        for kind in kinds {
+            let (report, check) = comm.run_checked(kind, mb(4) + 13).unwrap();
+            assert!(
+                check.is_correct(),
+                "{label} {kind} via '{}' after a compound replan must be byte-exact:\n{check}",
+                report.strategy
+            );
+        }
+    }
+}
+
 /// Elasticity the other way: a job grown by a whole server replans onto the
 /// cross-machine protocol and stays byte-exact.
 #[test]
@@ -944,6 +1034,89 @@ fn a_stale_plan_kept_over_a_dead_link_is_caught() {
             !wt.tree.edges.contains(&dead) && !wt.tree.edges.contains(&(dead.1, dead.0)),
             "repair must route around the dead pair"
         );
+    }
+    let program = cg
+        .build(
+            &warm.trees,
+            CollectiveKind::Broadcast { root: GpuId(0) },
+            mb(4),
+        )
+        .unwrap();
+    sim.run(&program).expect("the repaired program executes");
+}
+
+/// Compound-delta mutation negative: a stale plan kept across a *composed*
+/// two-link failure must be caught by the same two tripwires — the packing
+/// feasibility certificate and the engine — while the legal warm repair
+/// routes around both dead pairs at once and still executes.
+#[test]
+fn a_stale_plan_kept_over_a_compound_failure_is_caught() {
+    use blink_graph::{DiGraph, TreePacking};
+    use blink_sim::SimParams;
+    use blink_topology::TopologyDelta;
+
+    let machine = dgx1v();
+    let alloc: Vec<GpuId> = (0..8).map(GpuId).collect();
+    let induced = machine.induced(&alloc).unwrap();
+    let stale = TreeGen::new(induced.clone(), TreeGenOptions::default())
+        .plan(GpuId(0))
+        .unwrap();
+    let dead = [(GpuId(0), GpuId(1)), (GpuId(0), GpuId(3))];
+    let uses = |edges: &[(GpuId, GpuId)], pair: (GpuId, GpuId)| {
+        edges.contains(&pair) || edges.contains(&(pair.1, pair.0))
+    };
+    assert!(
+        stale
+            .trees
+            .iter()
+            .any(|wt| dead.iter().any(|&d| uses(&wt.tree.edges, d))),
+        "precondition: the full-topology plan routes over a doomed pair"
+    );
+
+    // One compound delta for the burst of two failures, applied in a single
+    // replan — exactly what the pipeline hands a job hit by overlapping
+    // faults.
+    let delta = TopologyDelta::kill_link(&machine, dead[0].0, dead[0].1)
+        .compose(&TopologyDelta::kill_link(&machine, dead[1].0, dead[1].1));
+    let degraded = induced.apply_delta(&delta).unwrap();
+
+    // Certificate-level catch: the stale packing over-subscribes at least
+    // one dead pair's (now zero) capacity on the compound-degraded graph.
+    let g2 = DiGraph::from_topology_filtered(&degraded, |l| l.kind.is_nvlink());
+    let stale_packing = TreePacking::new(GpuId(0), stale.trees.clone());
+    assert!(
+        !stale_packing.is_feasible(&g2),
+        "feasibility must reject a packing using either dead link"
+    );
+
+    // Engine-level catch: the lowered stale program references a missing
+    // link and the simulator refuses to execute it.
+    let cg = CodeGen::new(CodeGenOptions::default());
+    let program = cg
+        .build(
+            &stale.trees,
+            CollectiveKind::Broadcast { root: GpuId(0) },
+            mb(4),
+        )
+        .unwrap();
+    let sim = Simulator::new(degraded.clone(), SimParams::default());
+    assert!(
+        sim.run(&program).is_err(),
+        "the engine must refuse a program that copies over a dead link"
+    );
+
+    // The legal warm path repairs around *both* pairs in one pass and the
+    // recovered program executes on the compound-degraded hardware.
+    let warm = TreeGen::new(degraded.clone(), TreeGenOptions::default())
+        .plan_warm(GpuId(0), &stale)
+        .unwrap();
+    for wt in &warm.trees {
+        for &d in &dead {
+            assert!(
+                !uses(&wt.tree.edges, d),
+                "repair must route around every dead pair"
+            );
+        }
     }
     let program = cg
         .build(
